@@ -1,0 +1,179 @@
+// Atomic broadcast microbenchmarks (simulated latency, not wall clock):
+// delivery latency vs group size and topology, cost of the fall-back path,
+// and the round distribution of the randomized binary agreement.
+//
+// This quantifies the substrate the paper takes from SINTRA: how much the
+// "optimistic" protocol costs when the leader is correct, and what an epoch
+// change costs when it is not.
+#include <cstdio>
+#include <memory>
+
+#include "abcast/broadcast.hpp"
+#include "sim/costmodel.hpp"
+#include "sim/network.hpp"
+#include "sim/testbed.hpp"
+#include "util/rng.hpp"
+
+using namespace sdns;
+
+namespace {
+
+struct Fleet {
+  Fleet(const abcast::Group& g, sim::Topology topology, double timeout = 2.0)
+      : group(g), net(sim, util::Rng(11), g.pub->n + 1, 0.00015) {
+    const auto bed = sim::make_testbed(topology);
+    if (bed.replica_count() == g.pub->n) sim::apply_testbed(bed, net);
+    const sim::CostModel cost;
+    util::Rng seed(12);
+    delivered.resize(g.pub->n);
+    for (unsigned i = 0; i < g.pub->n; ++i) {
+      abcast::AtomicBroadcast::Callbacks cb;
+      cb.send = [this, i](unsigned to, const util::Bytes& m) { net.send(i, to, m); };
+      cb.deliver = [this, i](const util::Bytes&) {
+        delivered[i] += 1;
+        if (i == 0) last_delivery_at = sim.now();
+      };
+      cb.now = [this] { return sim.now(); };
+      cb.set_timer = [this, i](double d, std::function<void()> fn) {
+        sim.schedule(d, [this, i, fn = std::move(fn)] {
+          net.cpu(i).enqueue(sim.now(), fn);
+        });
+      };
+      cb.charge_message = [this, i, cost] { net.cpu(i).charge(cost.message_handle); };
+      cb.charge_auth_sign = [this, i, cost] { net.cpu(i).charge(cost.auth_sign); };
+      cb.charge_auth_verify = [this, i, cost] { net.cpu(i).charge(cost.auth_verify); };
+      abcast::AtomicBroadcast::Options opt;
+      opt.complaint_timeout = timeout;
+      nodes.push_back(std::make_unique<abcast::AtomicBroadcast>(
+          g.pub, g.secrets[i], std::move(cb), opt, seed.fork()));
+      net.set_handler(i, [this, i](sim::NodeId from, util::Bytes m) {
+        nodes[i]->on_message(static_cast<unsigned>(from), m);
+      });
+    }
+  }
+
+  const abcast::Group& group;
+  sim::Simulator sim;
+  sim::Network net;
+  std::vector<std::unique_ptr<abcast::AtomicBroadcast>> nodes;
+  std::vector<std::uint64_t> delivered;
+  double last_delivery_at = 0;
+};
+
+const abcast::Group& group_of(unsigned n, unsigned t) {
+  static std::map<std::pair<unsigned, unsigned>, abcast::Group> cache;
+  auto it = cache.find({n, t});
+  if (it == cache.end()) {
+    util::Rng rng(1000 + n);
+    it = cache.emplace(std::make_pair(n, t), abcast::generate_group(rng, n, t, 512)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Atomic broadcast (SINTRA substitute) characteristics ===\n\n");
+
+  std::printf("Delivery latency of one payload (virtual seconds):\n");
+  std::printf("%-28s %10s %12s %12s\n", "configuration", "latency", "msgs", "bytes");
+  struct Case {
+    const char* label;
+    unsigned n, t;
+    sim::Topology topology;
+  };
+  const Case cases[] = {
+      {"n=4 t=1, Zurich LAN", 4, 1, sim::Topology::kLan4},
+      {"n=4 t=1, Internet", 4, 1, sim::Topology::kInternet4},
+      {"n=7 t=2, Internet", 7, 2, sim::Topology::kInternet7},
+      {"n=10 t=3, LAN", 10, 3, sim::Topology::kLan4},  // falls back to default LAN
+  };
+  for (const Case& c : cases) {
+    Fleet fleet(group_of(c.n, c.t), c.topology);
+    fleet.net.reset_stats();
+    fleet.nodes[1]->submit(util::to_bytes("payload"));
+    fleet.sim.run();
+    std::printf("%-28s %10.4f %12llu %12llu\n", c.label, fleet.last_delivery_at,
+                static_cast<unsigned long long>(fleet.net.messages_sent()),
+                static_cast<unsigned long long>(fleet.net.bytes_sent()));
+  }
+
+  std::printf("\nThroughput (pipelined: 50 payloads, time to deliver all):\n");
+  {
+    Fleet fleet(group_of(4, 1), sim::Topology::kLan4);
+    for (int k = 0; k < 50; ++k) {
+      fleet.nodes[static_cast<unsigned>(k % 4)]->submit(
+          util::to_bytes("p" + std::to_string(k)));
+    }
+    fleet.sim.run();
+    std::printf("  n=4 LAN: 50 payloads in %.3f s => %.1f req/s\n", fleet.sim.now(),
+                50.0 / fleet.sim.now());
+  }
+
+  std::printf("\nFall-back path (mute leader, complaint timeout 0.5 s):\n");
+  {
+    Fleet fleet(group_of(4, 1), sim::Topology::kLan4, /*timeout=*/0.5);
+    fleet.net.set_node_down(0, true);
+    fleet.nodes[1]->submit(util::to_bytes("stuck"));
+    fleet.sim.run();
+    std::printf("  delivered after %.3f s (timeout + binary agreement + epoch change);\n"
+                "  epoch at node 1: %u, epoch changes: %llu\n",
+                fleet.last_delivery_at == 0 ? fleet.sim.now() : fleet.last_delivery_at,
+                fleet.nodes[1]->epoch(),
+                static_cast<unsigned long long>(fleet.nodes[1]->epoch_changes()));
+  }
+
+  std::printf("\nRandomized binary agreement convergence (threshold-RSA coin):\n");
+  {
+    // Measured indirectly: epoch changes with mixed complaint evidence still
+    // converge; here we report the BBA round count across seeds.
+    int total_rounds = 0;
+    int runs = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const abcast::Group& g = group_of(4, 1);
+      sim::Simulator sim;
+      sim::Network net(sim, util::Rng(seed), 4, 0.001);
+      abcast::ThresholdCoin* coin_ptr = nullptr;
+      std::vector<std::unique_ptr<abcast::ThresholdCoin>> coins;
+      std::vector<std::unique_ptr<abcast::BinaryAgreement>> bbas;
+      util::Rng fork(seed * 7);
+      for (unsigned i = 0; i < 4; ++i) {
+        abcast::ThresholdCoin::Callbacks ccb;
+        ccb.send_to_all = [&net, i](const util::Bytes& m) {
+          for (unsigned j = 0; j < 4; ++j) {
+            if (j != i) net.send(i, j, m);
+          }
+        };
+        coins.push_back(std::make_unique<abcast::ThresholdCoin>(g.pub, g.secrets[i],
+                                                                std::move(ccb),
+                                                                fork.fork()));
+        abcast::BinaryAgreement::Callbacks bcb;
+        bcb.send_to_all = [&net, i](const util::Bytes& m) {
+          for (unsigned j = 0; j < 4; ++j) {
+            if (j != i) net.send(i, j, m);
+          }
+        };
+        bbas.push_back(std::make_unique<abcast::BinaryAgreement>(g.pub, i, seed,
+                                                                 *coins[i],
+                                                                 std::move(bcb)));
+        net.set_handler(i, [&coins, &bbas, i](sim::NodeId from, util::Bytes m) {
+          if (abcast::ThresholdCoin::is_coin_message(m)) {
+            coins[i]->on_message(m);
+          } else {
+            bbas[i]->on_message(static_cast<unsigned>(from), m);
+          }
+        });
+      }
+      (void)coin_ptr;
+      for (unsigned i = 0; i < 4; ++i) bbas[i]->start(i % 2 == 0);
+      sim.run();
+      if (bbas[0]->decided()) {
+        total_rounds += static_cast<int>(bbas[0]->rounds_used()) + 1;
+        ++runs;
+      }
+    }
+    std::printf("  mixed inputs, 10 seeds: avg %.1f rounds to decide (expected O(1))\n",
+                runs ? double(total_rounds) / runs : -1.0);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the table/figure reproduction benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/service.hpp"
+
+namespace sdns::bench {
+
+constexpr const char* kZoneText = R"(
+@     IN SOA ns1.corp.example. hostmaster.corp.example. 100 7200 1200 604800 600
+@     IN NS  ns1.corp.example.
+@     IN NS  ns2.corp.example.
+@     IN MX  10 mail.corp.example.
+ns1   IN A   192.0.2.53
+ns2   IN A   192.0.2.54
+mail  IN A   192.0.2.25
+www   IN A   192.0.2.80
+)";
+
+inline dns::Name origin() { return dns::Name::parse("corp.example."); }
+
+/// One experiment row of Table 2: a topology plus k simulated corruptions.
+struct Setup {
+  const char* label;
+  sim::Topology topology;
+  std::vector<unsigned> corrupted;
+};
+
+/// The paper's rows. Corrupted servers follow §5.1: one corruption is a
+/// Zurich server; the second is Austin.
+inline std::vector<Setup> table2_setups() {
+  return {
+      {"(1,0)", sim::Topology::kSingleZurich, {}},
+      {"(4,0)*", sim::Topology::kLan4, {}},
+      {"(4,0)", sim::Topology::kInternet4, {}},
+      {"(4,1)", sim::Topology::kInternet4, {0}},
+      {"(7,0)", sim::Topology::kInternet7, {}},
+      {"(7,1)", sim::Topology::kInternet7, {0}},
+      {"(7,2)", sim::Topology::kInternet7, {0, 5}},
+  };
+}
+
+inline int trials_from_args(int argc, char** argv, int fallback = 20) {
+  for (int i = 1; i + 1 < argc + 1; ++i) {
+    if (i < argc && std::string(argv[i]).rfind("--trials=", 0) == 0) {
+      return std::atoi(argv[i] + 9);
+    }
+  }
+  if (const char* env = std::getenv("SDNS_BENCH_TRIALS")) return std::atoi(env);
+  return fallback;
+}
+
+struct Stats {
+  double read = 0;
+  double add = 0;
+  double del = 0;
+};
+
+/// Run `trials` read + add + delete cycles against a fresh service and
+/// return average latencies in seconds (reads averaged over all trials).
+inline Stats measure(const Setup& setup, threshold::SigProtocol protocol, int trials,
+                     std::uint64_t seed = 7) {
+  core::ServiceOptions opt;
+  opt.topology = setup.topology;
+  opt.corrupted = setup.corrupted;
+  opt.sig_protocol = protocol;
+  opt.seed = seed;
+  core::ReplicatedService svc(opt, origin(), kZoneText);
+  Stats out;
+  for (int k = 0; k < trials; ++k) {
+    auto read = svc.query(dns::Name::parse("www.corp.example."), dns::RRType::kA);
+    if (!read.ok) std::fprintf(stderr, "warning: read %d failed\n", k);
+    out.read += read.latency;
+    const dns::Name host = origin().child("host" + std::to_string(k));
+    auto add = svc.add_record(host, "10.0.0.1");
+    if (!add.ok) std::fprintf(stderr, "warning: add %d failed\n", k);
+    out.add += add.latency;
+    auto del = svc.delete_record(host);
+    if (!del.ok) std::fprintf(stderr, "warning: delete %d failed\n", k);
+    out.del += del.latency;
+    svc.settle();  // let all replicas finish their signature work
+  }
+  out.read /= trials;
+  out.add /= trials;
+  out.del /= trials;
+  return out;
+}
+
+}  // namespace sdns::bench

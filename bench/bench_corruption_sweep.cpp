@@ -1,0 +1,42 @@
+// Ablation for the paper's §5.3 claims: how each threshold-signature
+// protocol degrades as the number of actually-corrupted servers k grows.
+//
+//  - "the optimized signature protocols decrease the time taken by write
+//    requests by a factor of four to six";
+//  - "the performance of the OptProof protocol deteriorates much faster with
+//    an increasing number of corrupted servers than that of the OptTE
+//    protocol".
+#include "bench_common.hpp"
+
+using namespace sdns;
+using namespace sdns::bench;
+
+int main(int argc, char** argv) {
+  const int trials = trials_from_args(argc, argv, 10);
+  std::printf("=== Corruption sweep: add latency vs k, (7,t=2) Internet setup ===\n");
+  std::printf("(avg of %d adds; corrupted servers per the paper: Zurich first, then Austin)\n\n",
+              trials);
+  const std::vector<std::vector<unsigned>> corruption_sets = {{}, {0}, {0, 5}};
+  std::printf("%3s | %9s %9s %9s | OPTPROOF/OPTTE ratio\n", "k", "BASIC", "OPTPROOF",
+              "OPTTE");
+  double basic_k0 = 0, optte_k0 = 0;
+  for (std::size_t k = 0; k < corruption_sets.size(); ++k) {
+    Setup setup{"(7,k)", sim::Topology::kInternet7, corruption_sets[k]};
+    const Stats basic = measure(setup, threshold::SigProtocol::kBasic, trials);
+    const Stats optproof = measure(setup, threshold::SigProtocol::kOptProof, trials);
+    const Stats optte = measure(setup, threshold::SigProtocol::kOptTE, trials);
+    if (k == 0) {
+      basic_k0 = basic.add;
+      optte_k0 = optte.add;
+    }
+    std::printf("%3zu | %9.2f %9.2f %9.2f | %6.2f\n", k, basic.add, optproof.add,
+                optte.add, optproof.add / optte.add);
+  }
+  std::printf("\nClaim checks (paper section 5.3):\n");
+  std::printf("  BASIC / OPTTE speedup at k=0: %.1fx (paper: 4-6x; theirs 9.4x at n=7)\n",
+              basic_k0 / optte_k0);
+  std::printf("  OPTPROOF deteriorates toward BASIC at k=t while OPTTE stays near its\n"
+              "  fault-free latency (compare the columns above with the paper's row\n"
+              "  (7,2): BASIC 21.21, OPTPROOF 15.79, OPTTE 4.01).\n");
+  return 0;
+}

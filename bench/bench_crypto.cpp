@@ -1,0 +1,222 @@
+// Microbenchmarks of the real cryptographic substrate (google-benchmark).
+//
+// These document the actual C++ cost of the primitives whose 2004 Java cost
+// the simulator's CostModel models, plus the DNS wire/zone operations.
+#include <benchmark/benchmark.h>
+
+#include "bignum/prime.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "dns/dnssec.hpp"
+#include "dns/message.hpp"
+#include "threshold/fixtures.hpp"
+#include "threshold/shoup.hpp"
+
+namespace {
+
+using namespace sdns;
+using bn::BigInt;
+
+const threshold::DealtKey& key_for_bits(std::size_t bits) {
+  static const threshold::DealtKey k512 = [] {
+    util::Rng rng(1);
+    return threshold::deal_with_primes(rng, 4, 1, threshold::fixtures::safe_prime_256_a(),
+                                       threshold::fixtures::safe_prime_256_b());
+  }();
+  static const threshold::DealtKey k1024 = [] {
+    util::Rng rng(2);
+    return threshold::deal_with_primes(rng, 4, 1, threshold::fixtures::safe_prime_512_a(),
+                                       threshold::fixtures::safe_prime_512_b());
+  }();
+  return bits == 512 ? k512 : k1024;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha1(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto key = rng.bytes(20);
+  const auto msg = rng.bytes(512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha1(key, msg));
+  }
+}
+BENCHMARK(BM_HmacSha1);
+
+void BM_BigIntModExp(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  BigInt m = bn::random_bits(rng, bits);
+  if (m.is_even()) m += BigInt(1);
+  const BigInt base = bn::random_below(rng, m);
+  const BigInt exp = bn::random_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn::mod_pow(base, exp, m));
+  }
+}
+BENCHMARK(BM_BigIntModExp)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_GeneratePrime(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn::generate_prime(rng, 256, 16));
+  }
+}
+BENCHMARK(BM_GeneratePrime)->Unit(benchmark::kMillisecond);
+
+void BM_RsaSign(benchmark::State& state) {
+  util::Rng rng(8);
+  const auto key = crypto::rsa_generate(rng, static_cast<std::size_t>(state.range(0)));
+  const auto msg = util::to_bytes("www.corp.example. 300 IN A 192.0.2.1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign_sha1(key, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  util::Rng rng(9);
+  const auto key = crypto::rsa_generate(rng, 1024);
+  const auto msg = util::to_bytes("www.corp.example. 300 IN A 192.0.2.1");
+  const auto sig = crypto::rsa_sign_sha1(key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify_sha1(key.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify);
+
+void BM_ThresholdShare(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  const bool with_proof = state.range(1) != 0;
+  util::Rng rng(10);
+  const BigInt x = threshold::hash_to_element(key.pub, util::to_bytes("rrset"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        threshold::generate_share(key.pub, key.shares[0], x, with_proof, rng));
+  }
+}
+BENCHMARK(BM_ThresholdShare)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ThresholdVerifyShare(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(11);
+  const BigInt x = threshold::hash_to_element(key.pub, util::to_bytes("rrset"));
+  const auto share = threshold::generate_share(key.pub, key.shares[0], x, true, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold::verify_share(key.pub, x, share));
+  }
+}
+BENCHMARK(BM_ThresholdVerifyShare)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_ThresholdAssemble(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(12);
+  const BigInt x = threshold::hash_to_element(key.pub, util::to_bytes("rrset"));
+  std::vector<threshold::SignatureShare> shares;
+  for (unsigned i = 1; i <= 2; ++i) {
+    shares.push_back(threshold::generate_share(key.pub, key.shares[i - 1], x, false, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold::assemble(key.pub, x, shares));
+  }
+}
+BENCHMARK(BM_ThresholdAssemble)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_ThresholdVerifySignature(benchmark::State& state) {
+  const auto& key = key_for_bits(1024);
+  util::Rng rng(13);
+  const BigInt x = threshold::hash_to_element(key.pub, util::to_bytes("rrset"));
+  std::vector<threshold::SignatureShare> shares;
+  for (unsigned i = 1; i <= 2; ++i) {
+    shares.push_back(threshold::generate_share(key.pub, key.shares[i - 1], x, false, rng));
+  }
+  const auto y = *threshold::assemble(key.pub, x, shares);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold::verify_signature(key.pub, x, y));
+  }
+}
+BENCHMARK(BM_ThresholdVerifySignature);
+
+void BM_DnsMessageEncode(benchmark::State& state) {
+  dns::Message m = dns::Message::make_query(1, dns::Name::parse("www.corp.example."),
+                                            dns::RRType::kA);
+  for (int i = 0; i < 4; ++i) {
+    dns::ResourceRecord rr;
+    rr.name = dns::Name::parse("www.corp.example.");
+    rr.type = dns::RRType::kA;
+    rr.ttl = 300;
+    rr.rdata = dns::ARdata::from_text("192.0.2.1").encode();
+    m.answers.push_back(rr);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.encode());
+  }
+}
+BENCHMARK(BM_DnsMessageEncode);
+
+void BM_DnsMessageDecode(benchmark::State& state) {
+  dns::Message m = dns::Message::make_query(1, dns::Name::parse("www.corp.example."),
+                                            dns::RRType::kA);
+  for (int i = 0; i < 4; ++i) {
+    dns::ResourceRecord rr;
+    rr.name = dns::Name::parse("www.corp.example.");
+    rr.type = dns::RRType::kA;
+    rr.ttl = 300;
+    rr.rdata = dns::ARdata::from_text("192.0.2.1").encode();
+    m.answers.push_back(rr);
+  }
+  const auto wire = m.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsMessageDecode);
+
+void BM_SignZone(benchmark::State& state) {
+  util::Rng rng(14);
+  const auto key = crypto::rsa_generate(rng, 512);
+  const dns::Zone zone = dns::Zone::from_text(dns::Name::parse("z."), R"(
+@ IN SOA ns.z. admin.z. 1 2 3 4 5
+@ IN NS ns.z.
+ns IN A 10.0.0.1
+a IN A 10.0.0.2
+b IN A 10.0.0.3
+c IN A 10.0.0.4
+)");
+  for (auto _ : state) {
+    dns::Zone copy = zone;
+    benchmark::DoNotOptimize(dns::sign_zone(copy, key.pub, 0, 1000, [&](util::BytesView d) {
+      return crypto::rsa_sign_sha1(key, d);
+    }));
+  }
+}
+BENCHMARK(BM_SignZone)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

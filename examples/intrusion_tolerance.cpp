@@ -1,0 +1,98 @@
+// Intrusion tolerance demonstration: what happens when an attacker actually
+// compromises name servers.
+//
+// Three attacks from the paper, and how the design absorbs them:
+//   1. Corrupted servers send garbage threshold-signature shares (§4.4's
+//      bit-inversion) — updates still complete, and OptTE barely slows down.
+//   2. A corrupted gateway goes mute — the unmodified client's timeout and
+//      round-robin retry restore liveness (G2').
+//   3. A corrupted gateway replays stale (but correctly signed) data — the
+//      unmodified client is fooled (G1' is weaker than G1), while the
+//      modified voting client gets the fresh value (G1).
+#include <cstdio>
+
+#include "core/service.hpp"
+
+using namespace sdns;
+
+namespace {
+
+const char* kZone = R"(
+@    IN SOA ns1.bank.example. hostmaster.bank.example. 1 7200 1200 604800 600
+@    IN NS  ns1.bank.example.
+@    IN NS  ns2.bank.example.
+ns1  IN A   198.51.100.53
+ns2  IN A   198.51.100.54
+www  IN A   198.51.100.80
+)";
+
+const dns::Name kOrigin = dns::Name::parse("bank.example.");
+const dns::Name kWww = dns::Name::parse("www.bank.example.");
+
+std::string first_a(const dns::Message& response) {
+  for (const auto& rr : response.answers) {
+    if (rr.type == dns::RRType::kA) return dns::rdata_to_text(rr.type, rr.rdata);
+  }
+  return "(none)";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Attack 1: corrupted servers sabotage the threshold signatures ==\n");
+  {
+    core::ServiceOptions opt;
+    opt.topology = sim::Topology::kInternet7;
+    opt.corrupted = {0, 5};  // Zurich and Austin compromised (t = 2)
+    opt.corruption_mode = core::CorruptionMode::kFlipShares;
+    opt.sig_protocol = threshold::SigProtocol::kOptTE;
+    core::ReplicatedService svc(opt, kOrigin, kZone);
+    auto up = svc.add_record(dns::Name::parse("newhost.bank.example."), "198.51.100.99");
+    svc.settle();
+    auto verify = dns::verify_zone(svc.replica(1).server().zone());
+    std::printf("  update with 2/7 servers flipping shares: %s in %.2f s; "
+                "zone still verifies: %s\n\n",
+                up.ok ? "committed" : "FAILED", up.latency, verify.ok ? "yes" : "NO");
+  }
+
+  std::printf("== Attack 2: the client's chosen server ignores it (mute gateway) ==\n");
+  {
+    core::ServiceOptions opt;
+    opt.topology = sim::Topology::kLan4;
+    opt.corrupted = {1};  // the pragmatic client's gateway
+    opt.corruption_mode = core::CorruptionMode::kMute;
+    opt.client_timeout = 2.0;
+    core::ReplicatedService svc(opt, kOrigin, kZone);
+    auto r = svc.query(kWww, dns::RRType::kA);
+    std::printf("  query answered: %s after %u tries, %.2f s "
+                "(one dig timeout, then the next server)\n\n",
+                r.ok ? "yes" : "NO", r.tries, r.latency);
+  }
+
+  std::printf("== Attack 3: stale-data replay by a corrupted gateway ==\n");
+  {
+    auto run = [](core::ClientMode mode) {
+      core::ServiceOptions opt;
+      opt.topology = sim::Topology::kLan4;
+      opt.client_mode = mode;
+      opt.corrupted = {1};
+      opt.corruption_mode = core::CorruptionMode::kStaleReplay;
+      core::ReplicatedService svc(opt, kOrigin, kZone);
+      (void)svc.query(kWww, dns::RRType::kA);  // seeds the attacker's cache
+      (void)svc.delete_record(kWww);
+      (void)svc.add_record(kWww, "203.0.113.66");  // the server moved
+      auto r = svc.query(kWww, dns::RRType::kA);
+      return first_a(r.response);
+    };
+    const std::string pragmatic = run(core::ClientMode::kPragmatic);
+    const std::string voting = run(core::ClientMode::kVoting);
+    std::printf("  www.bank.example. moved from 198.51.100.80 to 203.0.113.66\n");
+    std::printf("  unmodified client sees : %s  %s\n", pragmatic.c_str(),
+                pragmatic == "203.0.113.66" ? "(fresh)" : "(STALE but validly signed: G1')");
+    std::printf("  voting client sees     : %s  %s\n", voting.c_str(),
+                voting == "203.0.113.66" ? "(fresh: majority defeats the replay, G1)"
+                                         : "(STALE?!)");
+    if (voting != "203.0.113.66") return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// zone_tool — the offline trusted-setup utilities of §4.3 as a small CLI:
+// the equivalents of BIND's dnssec-keygen/dnssec-signzone plus SINTRA's
+// threshold key generation, operating on zone files.
+//
+//   zone_tool deal <n> <t>                   generate an (n,t) threshold zone
+//                                            key (prints shares + public key)
+//   zone_tool sign <origin> <zonefile>       threshold-sign a zone file and
+//                                            print the signed zone
+//   zone_tool verify <origin> <zonefile>     verify a signed zone dump
+//
+// With no arguments it runs a self-contained demo of all three.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dns/dnssec.hpp"
+#include "threshold/fixtures.hpp"
+#include "threshold/shoup.hpp"
+
+using namespace sdns;
+
+namespace {
+
+threshold::DealtKey deal(unsigned n, unsigned t) {
+  util::Rng rng(0xbeef);
+  return threshold::deal_with_primes(rng, n, t, threshold::fixtures::safe_prime_512_a(),
+                                     threshold::fixtures::safe_prime_512_b());
+}
+
+dns::SignFn threshold_signer(const threshold::DealtKey& key) {
+  return [&key](util::BytesView data) {
+    util::Rng rng(0x51e);
+    const bn::BigInt x = threshold::hash_to_element(key.pub, data);
+    std::vector<threshold::SignatureShare> shares;
+    for (unsigned i = 1; i <= key.pub.t + 1; ++i) {
+      shares.push_back(threshold::generate_share(key.pub, key.shares[i - 1], x, false, rng));
+    }
+    auto y = threshold::assemble(key.pub, x, shares);
+    if (!y) throw std::runtime_error("threshold assembly failed");
+    return threshold::signature_bytes(key.pub, *y);
+  };
+}
+
+int cmd_deal(unsigned n, unsigned t) {
+  auto key = deal(n, t);
+  std::printf("; (n=%u, t=%u) threshold RSA zone key, modulus %zu bits\n", n, t,
+              key.pub.N.bit_length());
+  std::printf("public-key %s\n", util::hex_encode(key.pub.rsa().encode()).c_str());
+  for (const auto& share : key.shares) {
+    std::printf("share %u %s\n", share.index, util::hex_encode(share.encode()).c_str());
+  }
+  std::printf("; distribute one share per server over a secure channel (ssh),\n"
+              "; then destroy the dealer's state.\n");
+  return 0;
+}
+
+int cmd_sign(const std::string& origin_text, const std::string& zone_text) {
+  const dns::Name origin = dns::Name::parse(origin_text);
+  dns::Zone zone = dns::Zone::from_text(origin, zone_text);
+  auto key = deal(4, 1);
+  const std::size_t count =
+      dns::sign_zone(zone, key.pub.rsa(), 1'000'000, 1'000'000 + 365 * 24 * 3600,
+                     threshold_signer(key));
+  std::fprintf(stderr, "; signed %zu RRsets with the shared zone key\n", count);
+  std::printf("%s", zone.to_text().c_str());
+  return 0;
+}
+
+int cmd_verify(const std::string& origin_text, const std::string& zone_text) {
+  // Signed zone dumps contain SIG/KEY/NXT records in hex form, which the
+  // text parser does not re-ingest; verify from the wire snapshot instead
+  // when given one, else re-sign-and-compare is not possible. For the demo
+  // path we verify an in-memory zone.
+  (void)origin_text;
+  (void)zone_text;
+  std::fprintf(stderr, "verify: use the demo mode (no args) or the library API; "
+                       "text dumps of signed zones are not re-ingestible\n");
+  return 2;
+}
+
+int demo() {
+  const char* zone_text = R"(
+@    IN SOA ns.demo.example. admin.demo.example. 1 7200 1200 604800 600
+@    IN NS  ns.demo.example.
+ns   IN A   192.0.2.53
+www  IN A   192.0.2.80
+*    IN MX  10 mail.demo.example.
+mail IN A   192.0.2.25
+)";
+  std::printf("== deal: (4,1) threshold zone key ==\n");
+  auto key = deal(4, 1);
+  std::printf("modulus: %zu bits; %zu shares dealt\n\n", key.pub.N.bit_length(),
+              key.shares.size());
+
+  std::printf("== sign: threshold-sign the demo zone ==\n");
+  dns::Zone zone = dns::Zone::from_text(dns::Name::parse("demo.example."), zone_text);
+  const std::size_t count = dns::sign_zone(
+      zone, key.pub.rsa(), 1'000'000, 2'000'000, threshold_signer(key));
+  std::printf("%zu RRsets signed; zone now has %zu records\n\n", count,
+              zone.record_count());
+
+  std::printf("== verify: full DNSSEC verification of the signed zone ==\n");
+  auto result = dns::verify_zone(zone);
+  std::printf("verification: %s (%zu RRsets checked)\n",
+              result.ok ? "clean" : result.first_error.c_str(), result.verified);
+  return result.ok ? 0 : 1;
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 1) return demo();
+    const std::string cmd = argv[1];
+    if (cmd == "deal" && argc == 4) {
+      return cmd_deal(static_cast<unsigned>(std::atoi(argv[2])),
+                      static_cast<unsigned>(std::atoi(argv[3])));
+    }
+    if (cmd == "sign" && argc == 4) return cmd_sign(argv[2], read_file(argv[3]));
+    if (cmd == "verify" && argc == 4) return cmd_verify(argv[2], read_file(argv[3]));
+    std::fprintf(stderr,
+                 "usage: zone_tool [deal <n> <t> | sign <origin> <file> | "
+                 "verify <origin> <file>]\n       (no arguments: demo)\n");
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "zone_tool: %s\n", e.what());
+    return 1;
+  }
+}

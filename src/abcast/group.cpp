@@ -1,0 +1,102 @@
+#include "abcast/group.hpp"
+
+#include <stdexcept>
+
+#include "threshold/fixtures.hpp"
+
+namespace sdns::abcast {
+
+Group generate_group(util::Rng& rng, unsigned n, unsigned t, std::size_t bits) {
+  if (n < 3 * t + 1) throw std::domain_error("group requires n >= 3t+1");
+  Group group;
+  auto pub = std::make_shared<GroupPublic>();
+  pub->n = n;
+  pub->t = t;
+
+  threshold::DealtKey coin;
+  if (bits == 512) {
+    // Fast path used by tests and benchmarks: fixture safe primes.
+    coin = threshold::deal_with_primes(rng, n, t, threshold::fixtures::safe_prime_256_a(),
+                                       threshold::fixtures::safe_prime_256_b());
+  } else if (bits == 1024) {
+    coin = threshold::deal_with_primes(rng, n, t, threshold::fixtures::safe_prime_512_a(),
+                                       threshold::fixtures::safe_prime_512_b());
+  } else {
+    coin = threshold::deal(rng, n, t, bits);
+  }
+  pub->coin_key = coin.pub;
+
+  group.secrets.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    group.secrets[i].id = i;
+    group.secrets[i].signing_key = crypto::rsa_generate(rng, bits);
+    group.secrets[i].coin_share = coin.shares[i];
+    pub->node_keys.push_back(group.secrets[i].signing_key.pub);
+  }
+  group.pub = std::move(pub);
+  return group;
+}
+
+util::Bytes node_sign(const NodeSecret& secret, util::BytesView statement) {
+  return crypto::rsa_sign_sha1(secret.signing_key, statement);
+}
+
+bool node_verify(const GroupPublic& pub, unsigned node, util::BytesView statement,
+                 util::BytesView sig) {
+  if (node >= pub.node_keys.size()) return false;
+  return crypto::rsa_verify_sha1(pub.node_keys[node], statement, sig);
+}
+
+util::Bytes encode_group_public(const GroupPublic& pub) {
+  util::Writer w;
+  w.u32(pub.n);
+  w.u32(pub.t);
+  for (const auto& key : pub.node_keys) w.lp32(key.encode());
+  w.lp32(pub.coin_key.encode());
+  return std::move(w).take();
+}
+
+GroupPublic decode_group_public(util::BytesView b) {
+  util::Reader r(b);
+  GroupPublic pub;
+  pub.n = r.u32();
+  pub.t = r.u32();
+  if (pub.n == 0 || pub.n > 1024 || pub.n < 3 * pub.t + 1) {
+    throw util::ParseError("implausible group parameters");
+  }
+  for (unsigned i = 0; i < pub.n; ++i) {
+    pub.node_keys.push_back(crypto::RsaPublicKey::decode(r.lp32()));
+  }
+  pub.coin_key = threshold::ThresholdPublicKey::decode(r.lp32());
+  r.expect_done();
+  return pub;
+}
+
+util::Bytes encode_node_secret(const NodeSecret& secret) {
+  util::Writer w;
+  w.u32(secret.id);
+  w.lp32(secret.signing_key.pub.encode());
+  w.lp16(secret.signing_key.d.to_bytes_be());
+  w.lp16(secret.signing_key.p.to_bytes_be());
+  w.lp16(secret.signing_key.q.to_bytes_be());
+  w.lp32(secret.coin_share.encode());
+  return std::move(w).take();
+}
+
+NodeSecret decode_node_secret(util::BytesView b) {
+  util::Reader r(b);
+  NodeSecret secret;
+  secret.id = r.u32();
+  secret.signing_key.pub = crypto::RsaPublicKey::decode(r.lp32());
+  secret.signing_key.d = bn::BigInt::from_bytes_be(r.lp16());
+  secret.signing_key.p = bn::BigInt::from_bytes_be(r.lp16());
+  secret.signing_key.q = bn::BigInt::from_bytes_be(r.lp16());
+  if (secret.signing_key.p * secret.signing_key.q != secret.signing_key.pub.n) {
+    throw util::ParseError("inconsistent RSA key material");
+  }
+  secret.coin_share = threshold::KeyShare::decode(r.lp32());
+  r.expect_done();
+  return secret;
+}
+
+}  // namespace sdns::abcast

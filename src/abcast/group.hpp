@@ -1,0 +1,65 @@
+// Group configuration for the replicated service (SINTRA's trusted setup).
+//
+// The paper §4.3: "SINTRA requires manual key distribution before it can be
+// invoked. In particular, there is a key generation utility that must be run
+// by a trusted entity..."  generate_group() is that utility: it produces,
+// for an (n, t) group,
+//   - one RSA signing keypair per node (transferable protocol certificates),
+//   - an (n, t) threshold-RSA key used for the common coin of the
+//     randomized Byzantine agreement (the CKS coin construction), and
+//   - link-authentication secrets are implied by the simulator's
+//     authenticated point-to-point channels.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "threshold/shoup.hpp"
+
+namespace sdns::abcast {
+
+/// Public knowledge shared by every group member and (partially) clients.
+struct GroupPublic {
+  unsigned n = 0;
+  unsigned t = 0;
+  std::vector<crypto::RsaPublicKey> node_keys;  ///< index = node id (0-based)
+  threshold::ThresholdPublicKey coin_key;
+
+  /// Byzantine quorum: n - t. Two quorums intersect in >= n - 2t >= t + 1
+  /// nodes (at least one honest) for any n > 3t, which is what the prepared/
+  /// commit certificate arguments and the view-change rule rely on.
+  std::size_t quorum() const { return static_cast<std::size_t>(n) - t; }
+};
+
+/// One node's private material.
+struct NodeSecret {
+  unsigned id = 0;  ///< 0-based node id
+  crypto::RsaPrivateKey signing_key;
+  threshold::KeyShare coin_share;
+};
+
+struct Group {
+  std::shared_ptr<const GroupPublic> pub;
+  std::vector<NodeSecret> secrets;  ///< index = node id
+};
+
+/// Trusted dealer. `bits` sizes both node RSA keys and the coin modulus;
+/// tests use 512 via safe-prime fixtures.
+Group generate_group(util::Rng& rng, unsigned n, unsigned t, std::size_t bits);
+
+/// Sign / verify protocol statements with node keys.
+util::Bytes node_sign(const NodeSecret& secret, util::BytesView statement);
+bool node_verify(const GroupPublic& pub, unsigned node, util::BytesView statement,
+                 util::BytesView sig);
+
+// ---- key-material serialization (§4.3) -------------------------------------
+// The dealer writes one public file for everybody plus one private file per
+// server, "transported over a secure channel to every server (typically
+// using SSH)". Decoders throw util::ParseError on malformed input.
+util::Bytes encode_group_public(const GroupPublic& pub);
+GroupPublic decode_group_public(util::BytesView b);
+util::Bytes encode_node_secret(const NodeSecret& secret);
+NodeSecret decode_node_secret(util::BytesView b);
+
+}  // namespace sdns::abcast

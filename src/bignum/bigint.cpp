@@ -1,0 +1,565 @@
+#include "bignum/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+
+namespace sdns::bn {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+BigInt::BigInt(std::int64_t v) {
+  if (v < 0) {
+    neg_ = true;
+    // Careful with INT64_MIN.
+    d_.push_back(static_cast<u64>(-(v + 1)) + 1);
+  } else if (v > 0) {
+    d_.push_back(static_cast<u64>(v));
+  }
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) d_.push_back(v);
+}
+
+void BigInt::trim() {
+  while (!d_.empty() && d_.back() == 0) d_.pop_back();
+  if (d_.empty()) neg_ = false;
+}
+
+int BigInt::cmp_mag(const std::vector<u64>& a, const std::vector<u64>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::cmp(const BigInt& a, const BigInt& b) {
+  if (a.neg_ != b.neg_) return a.neg_ ? -1 : 1;
+  int m = cmp_mag(a.d_, b.d_);
+  return a.neg_ ? -m : m;
+}
+
+void BigInt::add_mag(std::vector<u64>& a, const std::vector<u64>& b) {
+  if (a.size() < b.size()) a.resize(b.size(), 0);
+  u64 carry = 0;
+  std::size_t i = 0;
+  for (; i < b.size(); ++i) {
+    u128 s = static_cast<u128>(a[i]) + b[i] + carry;
+    a[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  for (; carry && i < a.size(); ++i) {
+    u128 s = static_cast<u128>(a[i]) + carry;
+    a[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry) a.push_back(carry);
+}
+
+void BigInt::sub_mag(std::vector<u64>& a, const std::vector<u64>& b) {
+  assert(cmp_mag(a, b) >= 0);
+  u64 borrow = 0;
+  std::size_t i = 0;
+  for (; i < b.size(); ++i) {
+    u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  for (; borrow && i < a.size(); ++i) {
+    u128 d = static_cast<u128>(a[i]) - borrow;
+    a[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  assert(borrow == 0);
+  while (!a.empty() && a.back() == 0) a.pop_back();
+}
+
+BigInt& BigInt::operator+=(const BigInt& b) {
+  if (neg_ == b.neg_) {
+    add_mag(d_, b.d_);
+  } else if (cmp_mag(d_, b.d_) >= 0) {
+    sub_mag(d_, b.d_);
+  } else {
+    std::vector<u64> tmp = b.d_;
+    sub_mag(tmp, d_);
+    d_ = std::move(tmp);
+    neg_ = b.neg_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& b) {
+  if (neg_ != b.neg_) {
+    add_mag(d_, b.d_);
+  } else if (cmp_mag(d_, b.d_) >= 0) {
+    sub_mag(d_, b.d_);
+  } else {
+    std::vector<u64> tmp = b.d_;
+    sub_mag(tmp, d_);
+    d_ = std::move(tmp);
+    neg_ = !neg_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.neg_ = !r.neg_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.neg_ = false;
+  return r;
+}
+
+BigInt& BigInt::operator*=(const BigInt& b) {
+  if (is_zero() || b.is_zero()) {
+    d_.clear();
+    neg_ = false;
+    return *this;
+  }
+  const auto& x = d_;
+  const auto& y = b.d_;
+  std::vector<u64> r(x.size() + y.size(), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    u64 carry = 0;
+    const u64 xi = x[i];
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      u128 t = static_cast<u128>(xi) * y[j] + r[i + j] + carry;
+      r[i + j] = static_cast<u64>(t);
+      carry = static_cast<u64>(t >> 64);
+    }
+    r[i + y.size()] += carry;
+  }
+  d_ = std::move(r);
+  neg_ = neg_ != b.neg_;
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t n) {
+  if (is_zero() || n == 0) return *this;
+  const std::size_t limbs = n / 64;
+  const unsigned bits = n % 64;
+  if (bits == 0) {
+    d_.insert(d_.begin(), limbs, 0);
+    return *this;
+  }
+  d_.push_back(0);
+  for (std::size_t i = d_.size(); i-- > 1;) {
+    d_[i] = (d_[i] << bits) | (d_[i - 1] >> (64 - bits));
+  }
+  d_[0] <<= bits;
+  d_.insert(d_.begin(), limbs, 0);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t n) {
+  if (is_zero() || n == 0) return *this;
+  const std::size_t limbs = n / 64;
+  const unsigned bits = n % 64;
+  if (limbs >= d_.size()) {
+    d_.clear();
+    neg_ = false;
+    return *this;
+  }
+  d_.erase(d_.begin(), d_.begin() + static_cast<std::ptrdiff_t>(limbs));
+  if (bits != 0) {
+    for (std::size_t i = 0; i + 1 < d_.size(); ++i) {
+      d_[i] = (d_[i] >> bits) | (d_[i + 1] << (64 - bits));
+    }
+    d_.back() >>= bits;
+  }
+  trim();
+  return *this;
+}
+
+namespace {
+
+// Knuth Algorithm D. q and r receive magnitude-only results.
+void divmod_mag(const std::vector<u64>& u_in, const std::vector<u64>& v_in,
+                std::vector<u64>& q, std::vector<u64>& r) {
+  const std::size_t n = v_in.size();
+  const std::size_t m = u_in.size();
+  q.clear();
+  r.clear();
+  if (n == 0) throw std::domain_error("division by zero");
+  if (n == 1) {
+    const u64 d = v_in[0];
+    q.assign(m, 0);
+    u128 rem = 0;
+    for (std::size_t i = m; i-- > 0;) {
+      u128 cur = (rem << 64) | u_in[i];
+      q[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    while (!q.empty() && q.back() == 0) q.pop_back();
+    if (rem != 0) r.push_back(static_cast<u64>(rem));
+    return;
+  }
+  if (m < n) {
+    r = u_in;
+    return;
+  }
+  // Normalize so the top bit of v is set.
+  int s = 0;
+  {
+    u64 top = v_in.back();
+    while (!(top & (1ULL << 63))) {
+      top <<= 1;
+      ++s;
+    }
+  }
+  std::vector<u64> v(n);
+  for (std::size_t i = n; i-- > 0;) {
+    v[i] = v_in[i] << s;
+    if (s && i > 0) v[i] |= v_in[i - 1] >> (64 - s);
+  }
+  std::vector<u64> u(m + 1, 0);
+  for (std::size_t i = m; i-- > 0;) {
+    u[i] = u_in[i] << s;
+    if (s && i > 0) u[i] |= u_in[i - 1] >> (64 - s);
+  }
+  if (s) u[m] = u_in[m - 1] >> (64 - s);
+
+  q.assign(m - n + 1, 0);
+  const u64 vn1 = v[n - 1];
+  const u64 vn2 = v[n - 2];
+  for (std::size_t j = m - n + 1; j-- > 0;) {
+    u128 num = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = num / vn1;
+    u128 rhat = num % vn1;
+    while (qhat >> 64 ||
+           qhat * vn2 > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += vn1;
+      if (rhat >> 64) break;
+    }
+    // Multiply and subtract: u[j..j+n] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u128 p = qhat * v[i] + carry;
+      carry = p >> 64;
+      u128 sub = static_cast<u128>(u[j + i]) - static_cast<u64>(p) - borrow;
+      u[j + i] = static_cast<u64>(sub);
+      borrow = (sub >> 64) & 1;
+    }
+    u128 sub = static_cast<u128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<u64>(sub);
+    if ((sub >> 64) & 1) {
+      // qhat was one too large; add back.
+      --qhat;
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u128 t = static_cast<u128>(u[j + i]) + v[i] + c;
+        u[j + i] = static_cast<u64>(t);
+        c = t >> 64;
+      }
+      u[j + n] = static_cast<u64>(u[j + n] + c);
+    }
+    q[j] = static_cast<u64>(qhat);
+  }
+  while (!q.empty() && q.back() == 0) q.pop_back();
+  // Denormalize remainder.
+  r.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = u[i] >> s;
+    if (s && i + 1 < n + 1) r[i] |= u[i + 1] << (64 - s);
+  }
+  while (!r.empty() && r.back() == 0) r.pop_back();
+}
+
+}  // namespace
+
+void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem) {
+  if (den.is_zero()) throw std::domain_error("division by zero");
+  std::vector<u64> q, r;
+  divmod_mag(num.d_, den.d_, q, r);
+  quot.d_ = std::move(q);
+  quot.neg_ = num.neg_ != den.neg_;
+  quot.trim();
+  rem.d_ = std::move(r);
+  rem.neg_ = num.neg_;
+  rem.trim();
+}
+
+BigInt& BigInt::operator/=(const BigInt& b) {
+  BigInt q, r;
+  divmod(*this, b, q, r);
+  *this = std::move(q);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& b) {
+  BigInt q, r;
+  divmod(*this, b, q, r);
+  *this = std::move(r);
+  return *this;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (d_.empty()) return 0;
+  std::size_t bits = (d_.size() - 1) * 64;
+  u64 top = d_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= d_.size()) return false;
+  return (d_[limb] >> (i % 64)) & 1;
+}
+
+std::int64_t BigInt::to_i64() const {
+  if (d_.empty()) return 0;
+  if (d_.size() > 1) throw std::overflow_error("BigInt::to_i64 overflow");
+  const u64 mag = d_[0];
+  if (!neg_) {
+    if (mag > static_cast<u64>(INT64_MAX)) throw std::overflow_error("BigInt::to_i64 overflow");
+    return static_cast<std::int64_t>(mag);
+  }
+  if (mag > static_cast<u64>(INT64_MAX) + 1) throw std::overflow_error("BigInt::to_i64 overflow");
+  return -static_cast<std::int64_t>(mag - 1) - 1;
+}
+
+BigInt BigInt::from_dec(std::string_view s) {
+  if (s.empty()) throw util::ParseError("empty decimal string");
+  bool neg = false;
+  std::size_t i = 0;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) throw util::ParseError("bare minus sign");
+  }
+  BigInt r;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') throw util::ParseError("invalid decimal digit");
+    r *= BigInt(10);
+    r += BigInt(static_cast<std::int64_t>(c - '0'));
+  }
+  if (neg && !r.is_zero()) r.neg_ = true;
+  return r;
+}
+
+BigInt BigInt::from_hex(std::string_view s) {
+  if (s.empty()) throw util::ParseError("empty hex string");
+  bool neg = false;
+  std::size_t i = 0;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) throw util::ParseError("bare minus sign");
+  }
+  BigInt r;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else throw util::ParseError("invalid hex digit");
+    r <<= 4;
+    r += BigInt(static_cast<std::int64_t>(v));
+  }
+  if (neg && !r.is_zero()) r.neg_ = true;
+  return r;
+}
+
+BigInt BigInt::from_bytes_be(util::BytesView b) {
+  BigInt r;
+  const std::size_t nlimbs = (b.size() + 7) / 8;
+  r.d_.assign(nlimbs, 0);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const std::size_t bit_pos = (b.size() - 1 - i) * 8;
+    r.d_[bit_pos / 64] |= static_cast<u64>(b[i]) << (bit_pos % 64);
+  }
+  r.trim();
+  return r;
+}
+
+util::Bytes BigInt::to_bytes_be() const {
+  if (neg_) throw std::length_error("cannot encode negative BigInt");
+  const std::size_t n = (bit_length() + 7) / 8;
+  return to_bytes_be(n);
+}
+
+util::Bytes BigInt::to_bytes_be(std::size_t width) const {
+  if (neg_) throw std::length_error("cannot encode negative BigInt");
+  const std::size_t need = (bit_length() + 7) / 8;
+  if (need > width) throw std::length_error("BigInt does not fit in requested width");
+  util::Bytes out(width, 0);
+  for (std::size_t i = 0; i < need; ++i) {
+    const std::size_t bit_pos = i * 8;
+    out[width - 1 - i] =
+        static_cast<std::uint8_t>(d_[bit_pos / 64] >> (bit_pos % 64));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  if (neg_) out.push_back('-');
+  bool leading = true;
+  for (std::size_t i = d_.size(); i-- > 0;) {
+    for (int s = 60; s >= 0; s -= 4) {
+      int v = static_cast<int>((d_[i] >> s) & 0xf);
+      if (leading && v == 0) continue;
+      leading = false;
+      out.push_back(digits[v]);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^19 (largest power of ten in a u64).
+  constexpr u64 kChunk = 10000000000000000000ULL;
+  std::vector<u64> mag = d_;
+  std::string out;
+  while (!mag.empty()) {
+    u128 rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | mag[i];
+      mag[i] = static_cast<u64>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    u64 part = static_cast<u64>(rem);
+    for (int i = 0; i < 19; ++i) {
+      out.push_back(static_cast<char>('0' + part % 10));
+      part /= 10;
+      if (mag.empty() && part == 0) break;
+    }
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  if (neg_) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BigInt mod_floor(const BigInt& a, const BigInt& m) {
+  if (m.is_zero() || m.is_negative()) throw std::domain_error("modulus must be positive");
+  BigInt r = a % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod_floor(a + b, m);
+}
+
+BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod_floor(a - b, m);
+}
+
+BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod_floor(a * b, m);
+}
+
+BigInt mod_pow(const BigInt& a, const BigInt& e, const BigInt& m) {
+  if (e.is_negative()) throw std::domain_error("negative exponent in mod_pow");
+  if (m.is_zero() || m.is_negative()) throw std::domain_error("modulus must be positive");
+  if (m == BigInt(1)) return BigInt(0);
+  if (m.is_odd()) {
+    Montgomery mont(m);
+    return mont.pow(mod_floor(a, m), e);
+  }
+  // Even modulus: plain square-and-multiply with division-based reduction.
+  BigInt base = mod_floor(a, m);
+  BigInt result(1);
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    result = mod_mul(result, result, m);
+    if (e.bit(i)) result = mod_mul(result, base, m);
+  }
+  return result;
+}
+
+BigInt gcd(BigInt a, BigInt b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt ext_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y) {
+  BigInt old_r = a, r = b;
+  BigInt old_s(1), s(0);
+  BigInt old_t(0), t(1);
+  while (!r.is_zero()) {
+    BigInt q, rem;
+    BigInt::divmod(old_r, r, q, rem);
+    old_r = std::move(r);
+    r = std::move(rem);
+    BigInt ns = old_s - q * s;
+    old_s = std::move(s);
+    s = std::move(ns);
+    BigInt nt = old_t - q * t;
+    old_t = std::move(t);
+    t = std::move(nt);
+  }
+  if (old_r.is_negative()) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  x = std::move(old_s);
+  y = std::move(old_t);
+  return old_r;
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  BigInt x, y;
+  BigInt g = ext_gcd(mod_floor(a, m), m, x, y);
+  if (g != BigInt(1)) throw std::domain_error("mod_inverse: not invertible");
+  return mod_floor(x, m);
+}
+
+int jacobi(BigInt a, BigInt n) {
+  if (n.is_zero() || n.is_even() || n.is_negative()) {
+    throw std::domain_error("jacobi: n must be positive odd");
+  }
+  a = mod_floor(a, n);
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a >>= 1;
+      const u64 r = n.low_u64() & 7;
+      if (r == 3 || r == 5) result = -result;
+    }
+    std::swap(a, n);
+    if ((a.low_u64() & 3) == 3 && (n.low_u64() & 3) == 3) result = -result;
+    a = mod_floor(a, n);
+  }
+  return n == BigInt(1) ? result : 0;
+}
+
+BigInt factorial(unsigned n) {
+  BigInt r(1);
+  for (unsigned i = 2; i <= n; ++i) r *= BigInt(static_cast<std::uint64_t>(i));
+  return r;
+}
+
+}  // namespace sdns::bn

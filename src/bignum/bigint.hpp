@@ -1,0 +1,132 @@
+// Arbitrary-precision signed integers.
+//
+// This is the project's replacement for Java's BigInteger (which the paper's
+// SINTRA prototype used for all public-key operations).  Limbs are 64-bit,
+// little-endian; the value zero is represented by an empty limb vector with
+// a positive sign.  All arithmetic is value-semantic.
+//
+// Modular exponentiation goes through Montgomery multiplication (see
+// montgomery.hpp); primality and prime generation live in prime.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdns::bn {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);   // NOLINT(google-explicit-constructor): ergonomic literals
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}  // NOLINT
+
+  /// Parse decimal, with optional leading '-'. Throws util::ParseError.
+  static BigInt from_dec(std::string_view s);
+  /// Parse hex (no 0x prefix, optional leading '-'). Throws util::ParseError.
+  static BigInt from_hex(std::string_view s);
+  /// Interpret big-endian bytes as a non-negative integer.
+  static BigInt from_bytes_be(util::BytesView b);
+
+  std::string to_dec() const;
+  std::string to_hex() const;
+  /// Big-endian bytes, minimal length (empty for zero) or zero-padded to
+  /// `width` if given. Throws std::length_error if the value needs more than
+  /// `width` bytes. Negative values are not encodable.
+  util::Bytes to_bytes_be() const;
+  util::Bytes to_bytes_be(std::size_t width) const;
+
+  bool is_zero() const { return d_.empty(); }
+  bool is_negative() const { return neg_; }
+  bool is_odd() const { return !d_.empty() && (d_[0] & 1); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  /// Value of bit i (LSB = 0).
+  bool bit(std::size_t i) const;
+
+  /// Low 64 bits of the magnitude.
+  std::uint64_t low_u64() const { return d_.empty() ? 0 : d_[0]; }
+  /// Convert to int64 if representable, else throws std::overflow_error.
+  std::int64_t to_i64() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& b);
+  BigInt& operator-=(const BigInt& b);
+  BigInt& operator*=(const BigInt& b);
+  BigInt& operator/=(const BigInt& b);  // truncated toward zero
+  BigInt& operator%=(const BigInt& b);  // sign follows dividend (C++ semantics)
+  BigInt& operator<<=(std::size_t n);
+  BigInt& operator>>=(std::size_t n);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  friend BigInt operator<<(BigInt a, std::size_t n) { return a <<= n; }
+  friend BigInt operator>>(BigInt a, std::size_t n) { return a >>= n; }
+
+  /// Quotient and remainder in one division (remainder sign follows dividend).
+  static void divmod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.neg_ == b.neg_ && a.d_ == b.d_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
+  friend bool operator<(const BigInt& a, const BigInt& b) { return cmp(a, b) < 0; }
+  friend bool operator>(const BigInt& a, const BigInt& b) { return cmp(a, b) > 0; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return cmp(a, b) <= 0; }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return cmp(a, b) >= 0; }
+
+  /// -1, 0, +1.
+  static int cmp(const BigInt& a, const BigInt& b);
+
+  const std::vector<std::uint64_t>& limbs() const { return d_; }
+
+ private:
+  friend class Montgomery;
+
+  static int cmp_mag(const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b);
+  static void add_mag(std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b);
+  // a -= b, requires |a| >= |b|.
+  static void sub_mag(std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b);
+  void trim();
+
+  bool neg_ = false;
+  std::vector<std::uint64_t> d_;
+};
+
+/// Non-negative remainder in [0, m); m must be positive.
+BigInt mod_floor(const BigInt& a, const BigInt& m);
+
+BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m);
+BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m);
+BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// a^e mod m. e must be non-negative; m positive. Uses Montgomery when m is
+/// odd, square-and-multiply with division otherwise.
+BigInt mod_pow(const BigInt& a, const BigInt& e, const BigInt& m);
+
+BigInt gcd(BigInt a, BigInt b);
+
+/// Extended gcd: returns g and sets x, y such that a*x + b*y = g (g >= 0).
+BigInt ext_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y);
+
+/// Modular inverse of a mod m; throws std::domain_error if gcd(a, m) != 1.
+BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+/// Jacobi symbol (a/n); n must be positive and odd.
+int jacobi(BigInt a, BigInt n);
+
+/// n! as a BigInt (used for the Shoup scheme's Delta = n!).
+BigInt factorial(unsigned n);
+
+}  // namespace sdns::bn

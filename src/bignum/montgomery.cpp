@@ -1,0 +1,159 @@
+#include "bignum/montgomery.hpp"
+
+#include <stdexcept>
+
+namespace sdns::bn {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+namespace {
+// -n^{-1} mod 2^64 via Newton iteration (n odd).
+u64 neg_inv64(u64 n) {
+  u64 x = n;  // 3 correct bits
+  for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles correct bits each step
+  return ~x + 1;  // -(n^{-1})
+}
+}  // namespace
+
+Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
+  if (!n_.is_odd() || n_ <= BigInt(1)) {
+    throw std::domain_error("Montgomery modulus must be odd and > 1");
+  }
+  k_ = n_.limbs().size();
+  n0_inv_ = neg_inv64(n_.limbs()[0]);
+  // R^2 mod n where R = 2^(64 k): compute by shifting and reducing.
+  BigInt r2 = BigInt(1) << (64 * k_ * 2);
+  r2_ = r2 % n_;
+  BigInt r1 = (BigInt(1) << (64 * k_)) % n_;
+  one_mont_ = r1.limbs();
+  one_mont_.resize(k_, 0);
+}
+
+void Montgomery::mont_mul(const Limbs& a, const Limbs& b, Limbs& r) const {
+  const Limbs& n = n_.limbs();
+  // t has k_+2 limbs.
+  std::vector<u64> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    const u64 ai = a[i];
+    for (std::size_t j = 0; j < k_; ++j) {
+      u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<u64>(s);
+    t[k_ + 1] = static_cast<u64>(s >> 64);
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const u64 m = t[0] * n0_inv_;
+    u128 s2 = static_cast<u128>(m) * n[0] + t[0];
+    carry = static_cast<u64>(s2 >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
+      u128 p = static_cast<u128>(m) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(p);
+      carry = static_cast<u64>(p >> 64);
+    }
+    u128 s3 = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<u64>(s3);
+    t[k_] = t[k_ + 1] + static_cast<u64>(s3 >> 64);
+    t[k_ + 1] = 0;
+  }
+  // Conditional subtract n if t >= n.
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  r.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      u128 d = static_cast<u128>(r[i]) - n[i] - borrow;
+      r[i] = static_cast<u64>(d);
+      borrow = static_cast<u64>((d >> 64) & 1);
+    }
+    // If t had the extra limb set, the borrow cancels against it.
+  }
+}
+
+Montgomery::Limbs Montgomery::to_mont(const BigInt& a) const {
+  Limbs av = a.limbs();
+  av.resize(k_, 0);
+  Limbs r2 = r2_.limbs();
+  r2.resize(k_, 0);
+  Limbs out;
+  mont_mul(av, r2, out);
+  return out;
+}
+
+BigInt Montgomery::from_mont(const Limbs& a) const {
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs out;
+  mont_mul(a, one, out);
+  BigInt r;
+  r.d_ = std::move(out);
+  r.trim();
+  return r;
+}
+
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  Limbs am = to_mont(mod_floor(a, n_));
+  Limbs bm = to_mont(mod_floor(b, n_));
+  Limbs r;
+  mont_mul(am, bm, r);
+  return from_mont(r);
+}
+
+BigInt Montgomery::pow(const BigInt& a, const BigInt& e) const {
+  if (e.is_negative()) throw std::domain_error("negative exponent");
+  const BigInt base = mod_floor(a, n_);
+  if (e.is_zero()) return BigInt(1) % n_;
+
+  // 4-bit fixed window.
+  const Limbs bm = to_mont(base);
+  std::vector<Limbs> table(16);
+  table[0] = one_mont_;
+  table[1] = bm;
+  for (int i = 2; i < 16; ++i) mont_mul(table[i - 1], bm, table[i]);
+
+  const std::size_t bits = e.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  Limbs acc = one_mont_;
+  Limbs tmp;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    unsigned idx = 0;
+    for (int b = 3; b >= 0; --b) {
+      idx = (idx << 1) | (e.bit(w * 4 + static_cast<std::size_t>(b)) ? 1u : 0u);
+    }
+    if (started) {
+      for (int i = 0; i < 4; ++i) {
+        mont_mul(acc, acc, tmp);
+        acc.swap(tmp);
+      }
+    }
+    if (idx != 0) {
+      if (!started) {
+        acc = table[idx];
+        started = true;
+      } else {
+        mont_mul(acc, table[idx], tmp);
+        acc.swap(tmp);
+      }
+    } else if (!started) {
+      // leading zero window, nothing accumulated yet
+    }
+  }
+  if (!started) return BigInt(1) % n_;
+  return from_mont(acc);
+}
+
+}  // namespace sdns::bn

@@ -1,0 +1,44 @@
+// Montgomery multiplication context for a fixed odd modulus.
+//
+// All repeated modular exponentiation in the project (RSA, threshold
+// signature shares, correctness proofs) goes through this class; a context is
+// built once per modulus and reused.  The implementation is the standard CIOS
+// (coarsely integrated operand scanning) form with 64-bit limbs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.hpp"
+
+namespace sdns::bn {
+
+class Montgomery {
+ public:
+  /// Modulus must be odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  const BigInt& modulus() const { return n_; }
+
+  /// a^e mod n. a is reduced mod n first; e must be non-negative.
+  BigInt pow(const BigInt& a, const BigInt& e) const;
+
+  /// a*b mod n (one-shot; converts in and out of Montgomery form).
+  BigInt mul(const BigInt& a, const BigInt& b) const;
+
+ private:
+  using Limbs = std::vector<std::uint64_t>;
+
+  Limbs to_mont(const BigInt& a) const;
+  BigInt from_mont(const Limbs& a) const;
+  // r = a * b * R^-1 mod n, all operands sized k_.
+  void mont_mul(const Limbs& a, const Limbs& b, Limbs& r) const;
+
+  BigInt n_;
+  std::size_t k_;          // limb count of n
+  std::uint64_t n0_inv_;   // -n^{-1} mod 2^64
+  BigInt r2_;              // R^2 mod n, R = 2^(64k)
+  Limbs one_mont_;         // R mod n
+};
+
+}  // namespace sdns::bn

@@ -1,0 +1,171 @@
+#include "bignum/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "bignum/montgomery.hpp"
+
+namespace sdns::bn {
+
+namespace {
+
+// Small primes for sieving, generated once.
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    constexpr std::uint32_t kLimit = 8192;
+    std::vector<bool> composite(kLimit, false);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 2; i < kLimit; ++i) {
+      if (composite[i]) continue;
+      out.push_back(i);
+      for (std::uint32_t j = i * i; j < kLimit; j += i) composite[j] = true;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+std::uint32_t mod_small(const BigInt& n, std::uint32_t p) {
+  // Horner over limbs.
+  std::uint64_t r = 0;
+  const auto& limbs = n.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    unsigned __int128 cur = (static_cast<unsigned __int128>(r) << 64) | limbs[i];
+    r = static_cast<std::uint64_t>(cur % p);
+  }
+  return static_cast<std::uint32_t>(r);
+}
+
+bool miller_rabin_witness(const Montgomery& mont, const BigInt& n_minus_1,
+                          const BigInt& d, std::size_t s, const BigInt& a) {
+  BigInt x = mont.pow(a, d);
+  if (x == BigInt(1) || x == n_minus_1) return false;  // not a witness
+  for (std::size_t i = 1; i < s; ++i) {
+    x = mont.mul(x, x);
+    if (x == n_minus_1) return false;
+    if (x == BigInt(1)) return true;  // nontrivial sqrt of 1 => composite
+  }
+  return true;  // composite
+}
+
+}  // namespace
+
+BigInt random_bits(util::Rng& rng, std::size_t bits) {
+  if (bits == 0) return BigInt(0);
+  const std::size_t nbytes = (bits + 7) / 8;
+  util::Bytes b = rng.bytes(nbytes);
+  // Clear excess top bits, then force the top bit.
+  const unsigned excess = static_cast<unsigned>(nbytes * 8 - bits);
+  b[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  b[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return BigInt::from_bytes_be(b);
+}
+
+BigInt random_below(util::Rng& rng, const BigInt& bound) {
+  if (bound.is_zero() || bound.is_negative()) {
+    throw std::domain_error("random_below: bound must be positive");
+  }
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const unsigned excess = static_cast<unsigned>(nbytes * 8 - bits);
+  for (;;) {
+    util::Bytes b = rng.bytes(nbytes);
+    b[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigInt candidate = BigInt::from_bytes_be(b);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool is_probable_prime(const BigInt& n, util::Rng& rng, int rounds) {
+  if (n <= BigInt(1)) return false;
+  if (n == BigInt(2) || n == BigInt(3)) return true;
+  if (n.is_even()) return false;
+  for (std::uint32_t p : small_primes()) {
+    if (BigInt(static_cast<std::uint64_t>(p)) >= n) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++s;
+  }
+  Montgomery mont(n);
+  // Always test base 2 first: cheap and catches most composites.
+  if (miller_rabin_witness(mont, n_minus_1, d, s, BigInt(2))) return false;
+  const BigInt lo(2);
+  const BigInt range = n - BigInt(4);  // bases in [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    BigInt a = lo + random_below(rng, range + BigInt(1));
+    if (miller_rabin_witness(mont, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(util::Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 2) throw std::domain_error("prime must have >= 2 bits");
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    if (candidate.is_even()) candidate += BigInt(1);
+    // Sieve a window of odd offsets, then Miller-Rabin the survivors.
+    constexpr std::uint32_t kWindow = 1 << 12;
+    std::vector<bool> bad(kWindow, false);
+    for (std::uint32_t p : small_primes()) {
+      const std::uint32_t rem = mod_small(candidate, p);
+      // candidate + off ≡ 0 (mod p)  =>  off ≡ -rem (mod p); offs are even steps.
+      std::uint32_t off = (p - rem) % p;
+      for (; off < kWindow * 2; off += p) {
+        if (off % 2 == 0) bad[off / 2] = true;
+      }
+    }
+    for (std::uint32_t i = 0; i < kWindow; ++i) {
+      if (bad[i]) continue;
+      BigInt c = candidate + BigInt(static_cast<std::uint64_t>(2 * i));
+      if (c.bit_length() != bits) break;  // wandered past the top of the range
+      if (is_probable_prime(c, rng, mr_rounds)) return c;
+    }
+  }
+}
+
+BigInt generate_safe_prime(util::Rng& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 4) throw std::domain_error("safe prime must have >= 4 bits");
+  for (;;) {
+    // Search q with bits-1 bits such that p = 2q+1 is prime; sieve both.
+    BigInt q0 = random_bits(rng, bits - 1);
+    if (q0.is_even()) q0 += BigInt(1);
+    constexpr std::uint32_t kWindow = 1 << 13;
+    std::vector<bool> bad(kWindow, false);
+    for (std::uint32_t p : small_primes()) {
+      const std::uint32_t rem_q = mod_small(q0, p);
+      // q + off divisible by p
+      std::uint32_t off = (p - rem_q) % p;
+      for (; off < kWindow * 2; off += p) {
+        if (off % 2 == 0) bad[off / 2] = true;
+      }
+      // p_candidate = 2(q+off)+1 divisible by p  =>  2*off ≡ -(2 rem_q + 1) (mod p)
+      if (p == 2) continue;
+      const std::uint32_t target = (p - static_cast<std::uint32_t>((2ULL * rem_q + 1) % p)) % p;
+      // off ≡ target * inv2 (mod p); inv2 = (p+1)/2
+      const std::uint64_t inv2 = (static_cast<std::uint64_t>(p) + 1) / 2;
+      std::uint32_t off2 = static_cast<std::uint32_t>((static_cast<std::uint64_t>(target) * inv2) % p);
+      for (; off2 < kWindow * 2; off2 += p) {
+        if (off2 % 2 == 0) bad[off2 / 2] = true;
+      }
+    }
+    for (std::uint32_t i = 0; i < kWindow; ++i) {
+      if (bad[i]) continue;
+      BigInt q = q0 + BigInt(static_cast<std::uint64_t>(2 * i));
+      if (q.bit_length() != bits - 1) break;
+      // Cheap pre-tests before the expensive full check: p mod 3 etc. are
+      // already sieved; check q first (it kills ~all candidates).
+      if (!is_probable_prime(q, rng, mr_rounds)) continue;
+      BigInt p = (q << 1) + BigInt(1);
+      if (p.bit_length() != bits) continue;
+      if (is_probable_prime(p, rng, mr_rounds)) return p;
+    }
+  }
+}
+
+}  // namespace sdns::bn

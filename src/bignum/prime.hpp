@@ -1,0 +1,34 @@
+// Primality testing and prime generation.
+//
+// Shoup's threshold RSA dealer needs a modulus N = p*q built from *safe*
+// primes (p = 2p' + 1 with p' prime); ordinary RSA keygen needs plain random
+// primes.  Both searches sieve candidates against small primes before running
+// Miller-Rabin, and safe-prime search sieves p and p' simultaneously.
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::bn {
+
+/// Miller-Rabin with `rounds` random bases (plus a base-2 round).
+/// Deterministically correct for n < 2^64 regardless of `rounds`.
+bool is_probable_prime(const BigInt& n, util::Rng& rng, int rounds = 32);
+
+/// Uniform in [0, bound).
+BigInt random_below(util::Rng& rng, const BigInt& bound);
+
+/// Uniform with exactly `bits` bits (top bit set).
+BigInt random_bits(util::Rng& rng, std::size_t bits);
+
+/// Random prime with exactly `bits` bits.
+BigInt generate_prime(util::Rng& rng, std::size_t bits, int mr_rounds = 32);
+
+/// Random safe prime p = 2q + 1 (both prime) with exactly `bits` bits.
+/// Intended for the threshold-RSA dealer; cost grows steeply with size, so
+/// tests use <= 256-bit and benches load pre-generated fixtures.
+BigInt generate_safe_prime(util::Rng& rng, std::size_t bits, int mr_rounds = 32);
+
+}  // namespace sdns::bn

@@ -1,0 +1,198 @@
+#include "core/client.hpp"
+
+#include "dns/dnssec.hpp"
+#include "util/log.hpp"
+
+namespace sdns::core {
+
+using util::Bytes;
+using util::BytesView;
+
+Client::Client(Options options, Callbacks callbacks, util::Rng rng)
+    : opt_(options), cb_(std::move(callbacks)), rng_(rng) {}
+
+bool Client::response_acceptable(const dns::Message& response,
+                                 const std::optional<crypto::RsaPublicKey>& zone_key) {
+  if (response.opcode == dns::Opcode::kUpdate) {
+    return response.rcode == dns::Rcode::kNoError;
+  }
+  if (response.rcode != dns::Rcode::kNoError &&
+      response.rcode != dns::Rcode::kNxDomain) {
+    return false;
+  }
+  if (!zone_key) return true;
+
+  // Group the answer + authority sections into RRsets and their SIGs.
+  struct Group {
+    dns::RRset rrset;
+    std::vector<dns::SigRdata> sigs;
+  };
+  std::map<std::string, Group> groups;
+  auto collect = [&](const std::vector<dns::ResourceRecord>& section) {
+    for (const auto& rr : section) {
+      if (rr.type == dns::RRType::kTSIG) continue;
+      if (rr.type == dns::RRType::kSIG) {
+        try {
+          const dns::SigRdata sig = dns::SigRdata::decode(rr.rdata);
+          const std::string key = rr.name.canonical().to_string() + "/" +
+                                  dns::to_string(sig.type_covered);
+          groups[key].sigs.push_back(sig);
+        } catch (const util::ParseError&) {
+          return;
+        }
+      } else {
+        const std::string key =
+            rr.name.canonical().to_string() + "/" + dns::to_string(rr.type);
+        Group& g = groups[key];
+        g.rrset.name = rr.name;
+        g.rrset.type = rr.type;
+        g.rrset.ttl = rr.ttl;
+        g.rrset.rdatas.push_back(rr.rdata);
+      }
+    }
+  };
+  collect(response.answers);
+  collect(response.authority);
+  for (const auto& [key, group] : groups) {
+    if (group.rrset.rdatas.empty()) continue;  // orphan SIG: ignore
+    bool verified = false;
+    for (const auto& sig : group.sigs) {
+      if (dns::verify_rrset_sig(group.rrset, sig, *zone_key)) {
+        verified = true;
+        break;
+      }
+    }
+    if (!verified) return false;
+  }
+  // A positive answer must contain at least one signed RRset; a negative
+  // answer must carry the (signed) SOA denial.
+  return !groups.empty();
+}
+
+void Client::query(const dns::Name& name, dns::RRType type,
+                   std::function<void(Result)> done) {
+  const std::uint16_t id = next_id_++;
+  Op op;
+  op.request = dns::Message::make_query(id, name, type);
+  op.done = std::move(done);
+  op.start = cb_.now ? cb_.now() : 0;
+  op.current_server = opt_.first_server;
+  inflight_[id] = std::move(op);
+  dispatch(id);
+}
+
+void Client::send_update(dns::Message update, std::function<void(Result)> done) {
+  const std::uint16_t id = next_id_++;
+  update.id = id;
+  Op op;
+  op.request = std::move(update);
+  op.done = std::move(done);
+  op.start = cb_.now ? cb_.now() : 0;
+  op.current_server = opt_.first_server;
+  inflight_[id] = std::move(op);
+  dispatch(id);
+}
+
+void Client::dispatch(std::uint16_t id) {
+  Op& op = inflight_.at(id);
+  const Bytes wire = op.request.encode();
+  if (opt_.mode == ClientMode::kVoting) {
+    for (unsigned i = 0; i < opt_.n; ++i) cb_.send(i, wire);
+  } else {
+    cb_.send(op.current_server, wire);
+  }
+  arm_timeout(id);
+}
+
+void Client::arm_timeout(std::uint16_t id) {
+  if (!cb_.set_timer) return;
+  const std::uint64_t generation = inflight_.at(id).generation;
+  cb_.set_timer(opt_.timeout, [this, id, generation] {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end() || it->second.generation != generation) return;
+    Op& op = it->second;
+    if (op.tries >= opt_.max_tries) {
+      Result r;
+      r.ok = false;
+      r.latency = (cb_.now ? cb_.now() : 0) - op.start;
+      r.tries = op.tries;
+      finish(id, std::move(r));
+      return;
+    }
+    ++op.tries;
+    ++op.generation;
+    // dig/nsupdate behavior: try the next authoritative server round-robin.
+    op.current_server = (op.current_server + 1) % opt_.n;
+    SDNS_LOG_DEBUG("client: timeout on id ", id, ", retrying server ", op.current_server);
+    dispatch(id);
+  });
+}
+
+void Client::on_response(unsigned from, BytesView wire) {
+  dns::Message response;
+  try {
+    response = dns::Message::decode(wire);
+  } catch (const util::ParseError&) {
+    return;
+  }
+  const std::uint16_t rid = response.id;
+  auto it = inflight_.find(rid);
+  if (it == inflight_.end()) return;
+  Op& op = it->second;
+  if (!response.qr || response.questions != op.request.questions) return;
+
+  if (opt_.mode == ClientMode::kPragmatic) {
+    // An unmodified resolver ignores responses from addresses it did not
+    // query — it takes "the message from the gateway" (§3.4).
+    if (from != op.current_server) return;
+    if (!response_acceptable(response, opt_.zone_key)) {
+      // For updates a definite failure rcode is still an answer; only
+      // unverifiable/failed query responses are ignored (wait or retry).
+      if (response.opcode == dns::Opcode::kUpdate) {
+        Result r;
+        r.ok = false;
+        r.response = std::move(response);
+        r.latency = (cb_.now ? cb_.now() : 0) - op.start;
+        r.server = from;
+        r.tries = op.tries;
+        finish(rid, std::move(r));
+      }
+      return;
+    }
+    Result r;
+    r.ok = true;
+    r.response = std::move(response);
+    r.latency = (cb_.now ? cb_.now() : 0) - op.start;
+    r.server = from;
+    r.tries = op.tries;
+    finish(rid, std::move(r));
+    return;
+  }
+
+  // Voting: count byte-identical responses; accept at t+1 matching copies.
+  if (op.responded.count(from)) return;
+  op.responded[from] = true;
+  const std::string key(wire.begin(), wire.end());
+  auto& entry = op.votes[key];
+  entry.first += 1;
+  entry.second = from;
+  if (entry.first >= opt_.t + 1) {
+    Result r;
+    r.ok = response_acceptable(response, opt_.zone_key);
+    r.response = std::move(response);
+    r.latency = (cb_.now ? cb_.now() : 0) - op.start;
+    r.server = entry.first;  // majority size
+    r.tries = op.tries;
+    finish(rid, std::move(r));
+  }
+}
+
+void Client::finish(std::uint16_t id, Result result) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  auto done = std::move(it->second.done);
+  inflight_.erase(it);
+  if (done) done(std::move(result));
+}
+
+}  // namespace sdns::core

@@ -1,0 +1,94 @@
+// DNS clients for the replicated service.
+//
+// Pragmatic mode (§3.4) models an *unmodified* resolver (dig / nsupdate): it
+// sends each request to a single authoritative server, accepts the first
+// acceptable response, and — like real resolvers — retries the next server
+// round-robin after a timeout.  This yields the paper's weak goals G1'/G2'.
+//
+// Voting mode (§3.3) models the modified client: it sends the request to all
+// n replicas and accepts a response once t+1 byte-identical copies arrive,
+// which yields the strong goals G1/G2.  (Responses from honest replicas are
+// byte-identical because execution is deterministic and threshold RSA
+// signatures are unique.)
+//
+// When a zone key is configured, responses to queries are "acceptable" only
+// if every answered RRset carries a verifying SIG (and negative answers a
+// verifying SOA denial) — the DNSSEC client-side check.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/config.hpp"
+#include "crypto/rsa.hpp"
+#include "dns/message.hpp"
+
+namespace sdns::core {
+
+class Client {
+ public:
+  struct Callbacks {
+    std::function<void(unsigned replica, const util::Bytes&)> send;
+    std::function<double()> now;
+    std::function<void(double, std::function<void()>)> set_timer;
+  };
+
+  struct Options {
+    ClientMode mode = ClientMode::kPragmatic;
+    unsigned n = 4;
+    unsigned t = 1;
+    unsigned first_server = 0;  ///< preferred gateway (pragmatic mode)
+    double timeout = 3.0;       ///< per-try timeout before the next server
+    unsigned max_tries = 8;
+    /// Verify SIG records in responses against this zone key if set.
+    std::optional<crypto::RsaPublicKey> zone_key;
+  };
+
+  struct Result {
+    bool ok = false;
+    dns::Message response;
+    double latency = 0;
+    unsigned server = 0;  ///< responder (pragmatic) or majority size (voting)
+    unsigned tries = 1;
+  };
+
+  Client(Options options, Callbacks callbacks, util::Rng rng);
+
+  /// dig: issue a query.
+  void query(const dns::Name& name, dns::RRType type, std::function<void(Result)> done);
+
+  /// nsupdate: send a prepared UPDATE message (id is assigned here).
+  void send_update(dns::Message update, std::function<void(Result)> done);
+
+  /// Wire a response from replica `from` into the client.
+  void on_response(unsigned from, util::BytesView wire);
+
+  /// The DNSSEC acceptability check used for queries.
+  static bool response_acceptable(const dns::Message& response,
+                                  const std::optional<crypto::RsaPublicKey>& zone_key);
+
+ private:
+  struct Op {
+    dns::Message request;
+    std::function<void(Result)> done;
+    double start = 0;
+    unsigned tries = 1;
+    unsigned current_server = 0;
+    std::uint64_t generation = 0;  // invalidates stale timers
+    std::map<std::string, std::pair<unsigned, unsigned>> votes;  // wire -> (count, server)
+    std::map<unsigned, bool> responded;
+  };
+
+  void dispatch(std::uint16_t id);
+  void arm_timeout(std::uint16_t id);
+  void finish(std::uint16_t id, Result result);
+
+  Options opt_;
+  Callbacks cb_;
+  util::Rng rng_;
+  std::map<std::uint16_t, Op> inflight_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace sdns::core

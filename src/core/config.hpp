@@ -1,0 +1,53 @@
+// Configuration of the replicated name service (the Wrapper's config file,
+// §4.1: "values of n and t, the identities of all servers for the zone, and
+// the threshold signature protocol to use").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/server.hpp"
+#include "threshold/protocol.hpp"
+
+namespace sdns::core {
+
+/// How a client interacts with the service.
+enum class ClientMode : std::uint8_t {
+  /// §3.4: unmodified client; sends to one server (the gateway), accepts the
+  /// first acceptable response, retries the next server on timeout.
+  /// Achieves G1'/G2'.
+  kPragmatic = 0,
+  /// §3.3: modified client; sends to all replicas and takes the majority
+  /// (>= t+1 identical) among n-t responses. Achieves G1/G2.
+  kVoting = 1,
+};
+
+const char* to_string(ClientMode m);
+
+/// Replica misbehaviors for experiments (§4.4 uses kFlipShares).
+enum class CorruptionMode : std::uint8_t {
+  kHonest = 0,
+  /// Invert all bits of threshold signature shares before sending.
+  kFlipShares = 1,
+  /// Ignore client requests and send no responses (crash-like).
+  kMute = 2,
+  /// Answer queries with a cached stale response (the §3.4 replay attack).
+  kStaleReplay = 3,
+};
+
+const char* to_string(CorruptionMode m);
+
+struct ReplicaConfig {
+  unsigned n = 4;
+  unsigned t = 1;
+  threshold::SigProtocol sig_protocol = threshold::SigProtocol::kOptTE;
+  /// Zones with rare updates may skip atomic broadcast for reads (§3.4).
+  bool disseminate_reads = true;
+  /// (1,0) base case: unmodified named, no replication machinery at all.
+  bool base_case = false;
+  dns::UpdatePolicy update_policy;
+  std::uint32_t signature_validity = 30 * 24 * 3600;
+  double complaint_timeout = 5.0;
+};
+
+}  // namespace sdns::core

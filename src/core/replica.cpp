@@ -1,0 +1,395 @@
+#include "core/replica.hpp"
+
+#include "util/log.hpp"
+
+namespace sdns::core {
+
+using util::Bytes;
+using util::BytesView;
+using util::Reader;
+using util::Writer;
+
+const char* to_string(ClientMode m) {
+  switch (m) {
+    case ClientMode::kPragmatic: return "pragmatic";
+    case ClientMode::kVoting: return "voting";
+  }
+  return "?";
+}
+
+const char* to_string(CorruptionMode m) {
+  switch (m) {
+    case CorruptionMode::kHonest: return "honest";
+    case CorruptionMode::kFlipShares: return "flip-shares";
+    case CorruptionMode::kMute: return "mute";
+    case CorruptionMode::kStaleReplay: return "stale-replay";
+  }
+  return "?";
+}
+
+namespace {
+// Replica-to-replica frame tags.
+constexpr std::uint8_t kAbcastFrame = 0x01;
+constexpr std::uint8_t kSigningFrame = 0x02;
+constexpr std::uint8_t kSnapshotRequestFrame = 0x03;
+constexpr std::uint8_t kSnapshotFrame = 0x04;
+
+Bytes encode_payload(ClientId client, BytesView request) {
+  Writer w;
+  w.u64(client);
+  w.lp32(request);
+  return std::move(w).take();
+}
+}  // namespace
+
+ReplicaNode::ReplicaNode(ReplicaConfig config,
+                         std::shared_ptr<const abcast::GroupPublic> group,
+                         abcast::NodeSecret group_secret,
+                         std::shared_ptr<const threshold::ThresholdPublicKey> zone_key_pub,
+                         threshold::KeyShare zone_share, dns::Zone zone,
+                         Callbacks callbacks, util::Rng rng, CorruptionMode corruption,
+                         std::shared_ptr<const crypto::RsaPrivateKey> local_key)
+    : config_(config),
+      secret_(std::move(group_secret)),
+      zone_key_(std::move(zone_key_pub)),
+      zone_share_(std::move(zone_share)),
+      server_(std::move(zone), config.update_policy, config.signature_validity),
+      cb_(std::move(callbacks)),
+      rng_(rng),
+      corruption_(corruption),
+      local_key_(std::move(local_key)) {
+  if (!config_.base_case) {
+    abcast::AtomicBroadcast::Callbacks acb;
+    acb.send = [this](unsigned to, const Bytes& m) {
+      if (!cb_.send_replica) return;
+      Writer w;
+      w.u8(kAbcastFrame);
+      w.raw(m);
+      cb_.send_replica(to, std::move(w).take());
+    };
+    acb.deliver = [this](const Bytes& payload) {
+      exec_queue_.push_back(payload);
+      execute_next();
+    };
+    acb.now = cb_.now;
+    acb.set_timer = cb_.set_timer;
+    acb.charge_message = cb_.charge_message;
+    acb.charge_auth_sign = cb_.charge_auth_sign;
+    acb.charge_auth_verify = cb_.charge_auth_verify;
+    acb.charge_coin = cb_.charge_crypto;
+    abcast::AtomicBroadcast::Options opt;
+    opt.complaint_timeout = config_.complaint_timeout;
+    abcast_ = std::make_unique<abcast::AtomicBroadcast>(std::move(group), secret_,
+                                                        std::move(acb), opt, rng_.fork());
+  }
+}
+
+void ReplicaNode::on_client_request(ClientId client, BytesView wire) {
+  if (cb_.charge_message) cb_.charge_message();
+  if (corruption_ == CorruptionMode::kMute) return;  // ignores its clients
+  if (config_.base_case) {
+    execute(encode_payload(client, wire));
+    return;
+  }
+  // Reads can bypass atomic broadcast when configured (§3.4 last paragraph).
+  if (!config_.disseminate_reads) {
+    try {
+      dns::Message request = dns::Message::decode(wire);
+      if (request.opcode == dns::Opcode::kQuery) {
+        run_query(client, request);
+        return;
+      }
+    } catch (const util::ParseError&) {
+      return;
+    }
+  }
+  abcast_->submit(encode_payload(client, wire));
+}
+
+void ReplicaNode::on_replica_message(unsigned from, BytesView msg) {
+  if (msg.empty()) return;
+  const std::uint8_t tag = msg[0];
+  BytesView body = msg.subspan(1);
+  if (tag == kAbcastFrame) {
+    if (abcast_) abcast_->on_message(from, body);
+    return;
+  }
+  if (tag == kSigningFrame) {
+    if (cb_.charge_message) cb_.charge_message();
+    const auto sid = threshold::SigningSession::peek_session_id(body);
+    if (!sid) return;
+    if (signing_ && signing_->session_id() == *sid) {
+      signing_->on_message(body);
+      return;
+    }
+    // Session not (yet) active here: replicas run signatures sequentially
+    // and at different speeds, so buffer messages for future sessions.
+    if (*sid > last_finished_sid_) {
+      auto& queue = pending_signing_[*sid];
+      if (queue.size() < 4096) queue.emplace_back(body.begin(), body.end());
+    }
+    return;
+  }
+  if (tag == kSnapshotRequestFrame) {
+    handle_snapshot_request(from);
+    return;
+  }
+  if (tag == kSnapshotFrame) {
+    handle_snapshot(from, body);
+    return;
+  }
+}
+
+void ReplicaNode::start_recovery() {
+  if (config_.base_case || !cb_.send_replica) return;
+  recovering_ = true;
+  recovery_snapshots_.clear();
+  Writer w;
+  w.u8(kSnapshotRequestFrame);
+  const Bytes msg = std::move(w).take();
+  for (unsigned i = 0; i < config_.n; ++i) {
+    if (i != secret_.id) cb_.send_replica(i, msg);
+  }
+}
+
+void ReplicaNode::handle_snapshot_request(unsigned from) {
+  if (corruption_ == CorruptionMode::kMute) return;
+  // Only serve a consistent point: between operations, with the execution
+  // queue drained, the zone reflects exactly `deliveries_` executed requests.
+  if (executing_ || !exec_queue_.empty() || !abcast_) return;
+  Writer w;
+  w.u8(kSnapshotFrame);
+  w.u64(abcast_->delivered_count());
+  w.u64(deliveries_);
+  w.u64(update_counter_);
+  w.lp32(server_.zone().to_wire());
+  if (cb_.send_replica) cb_.send_replica(from, std::move(w).take());
+}
+
+void ReplicaNode::handle_snapshot(unsigned from, BytesView body) {
+  if (!recovering_) return;
+  try {
+    Reader r(body);
+    Snapshot snap;
+    snap.abcast_cursor = r.u64();
+    snap.deliveries = r.u64();
+    snap.update_counter = r.u64();
+    snap.zone_wire = r.lp32();
+    r.expect_done();
+    recovery_snapshots_[from] = std::move(snap);
+  } catch (const util::ParseError&) {
+    return;
+  }
+  try_finish_recovery();
+}
+
+void ReplicaNode::try_finish_recovery() {
+  // Verify candidates; a snapshot counts once it passes full DNSSEC zone
+  // verification (signed zones) or at face value for unsigned ones, where
+  // freshness is established by t+1 agreeing on (cursor, zone) instead.
+  std::vector<std::pair<unsigned, const Snapshot*>> valid;
+  for (const auto& [from, snap] : recovery_snapshots_) {
+    try {
+      dns::Zone zone = dns::Zone::from_wire(snap.zone_wire);
+      if (server_.zone_is_signed()) {
+        if (!dns::verify_zone(zone).ok) continue;
+      }
+      valid.push_back({from, &snap});
+    } catch (const util::ParseError&) {
+    }
+  }
+  if (valid.size() < static_cast<std::size_t>(config_.t) + 1) return;
+  const Snapshot* best = nullptr;
+  if (server_.zone_is_signed()) {
+    // Signed zone: any verified snapshot is authentic; take the freshest.
+    for (const auto& [from, snap] : valid) {
+      if (!best || snap->abcast_cursor > best->abcast_cursor) best = snap;
+    }
+  } else {
+    // Unsigned zone: require t+1 identical snapshots (majority evidence).
+    std::map<std::string, std::pair<unsigned, const Snapshot*>> votes;
+    for (const auto& [from, snap] : valid) {
+      Writer key;
+      key.u64(snap->abcast_cursor);
+      key.lp32(snap->zone_wire);
+      auto& entry = votes[util::to_string(key.bytes())];
+      entry.first += 1;
+      entry.second = snap;
+      if (entry.first >= config_.t + 1) best = snap;
+    }
+  }
+  if (!best) return;
+  server_.zone() = dns::Zone::from_wire(best->zone_wire);
+  deliveries_ = best->deliveries;
+  update_counter_ = best->update_counter;
+  abcast_->fast_forward(best->abcast_cursor);
+  recovering_ = false;
+  recovery_snapshots_.clear();
+  ++recoveries_completed_;
+  SDNS_LOG_INFO("replica ", secret_.id, ": recovered to delivery cursor ",
+                best->abcast_cursor);
+}
+
+void ReplicaNode::execute_next() {
+  while (!executing_ && !exec_queue_.empty()) {
+    executing_ = true;
+    Bytes payload = std::move(exec_queue_.front());
+    exec_queue_.pop_front();
+    execute(payload);
+    // execute() clears executing_ for synchronous operations; updates with
+    // signature work leave it set until finish_update().
+  }
+}
+
+void ReplicaNode::execute(const Bytes& payload) {
+  ++deliveries_;
+  ClientId client = 0;
+  dns::Message request;
+  try {
+    Reader r(payload);
+    client = r.u64();
+    const Bytes wire = r.lp32();
+    r.expect_done();
+    request = dns::Message::decode(wire);
+  } catch (const util::ParseError&) {
+    SDNS_LOG_DEBUG("replica ", secret_.id, ": undecodable request payload");
+    executing_ = false;
+    return;
+  }
+  if (request.opcode == dns::Opcode::kUpdate) {
+    run_update(client, request);
+  } else {
+    run_query(client, request);
+    executing_ = false;
+  }
+}
+
+void ReplicaNode::run_query(ClientId client, const dns::Message& request) {
+  ++executed_reads_;
+  if (cb_.charge_dns_query) cb_.charge_dns_query();
+  respond(client, server_.answer_query(request));
+}
+
+void ReplicaNode::run_update(ClientId client, const dns::Message& request) {
+  ++executed_updates_;
+  if (cb_.charge_dns_update) cb_.charge_dns_update();
+  // Deterministic logical inception time shared by all replicas.
+  const std::uint32_t inception =
+      1'000'000 + static_cast<std::uint32_t>(update_counter_);
+  ++update_counter_;
+  dns::UpdateResult result = server_.apply_update(request, inception);
+  if (result.rcode != dns::Rcode::kNoError || result.sig_tasks.empty()) {
+    respond(client, dns::AuthoritativeServer::update_response(request, result.rcode));
+    executing_ = false;
+    execute_next();
+    return;
+  }
+  if (config_.base_case) {
+    // Unmodified named: sign locally with the zone's private key.
+    for (const auto& task : result.sig_tasks) {
+      if (cb_.charge_local_sign) cb_.charge_local_sign();
+      server_.install_signature(task, crypto::rsa_sign_sha1(*local_key_, task.data));
+      ++signatures_computed_;
+    }
+    server_.finalize_journal();
+    respond(client, dns::AuthoritativeServer::update_response(request, dns::Rcode::kNoError));
+    executing_ = false;
+    execute_next();
+    return;
+  }
+  current_update_ = PendingUpdate{client, request, std::move(result.sig_tasks), 0};
+  start_next_signature();
+}
+
+void ReplicaNode::start_next_signature() {
+  PendingUpdate& update = *current_update_;
+  const std::size_t index = update.next_task;
+  const dns::SigTask& task = update.tasks[index];
+  // Session ids are derived from the deterministic execution sequence, so
+  // every replica runs the same session for the same SIG record.
+  const std::uint64_t sid = (update_counter_ << 8) | index;
+  const bn::BigInt x = threshold::hash_to_element(*zone_key_, task.data);
+  threshold::SessionCallbacks scb;
+  scb.send_to_all = [this](const Bytes& m) {
+    if (!cb_.send_replica) return;
+    Writer w;
+    w.u8(kSigningFrame);
+    w.raw(m);
+    const Bytes framed = std::move(w).take();
+    for (unsigned i = 0; i < config_.n; ++i) {
+      if (i != secret_.id) cb_.send_replica(i, framed);
+    }
+  };
+  scb.charge = cb_.charge_crypto;
+  scb.on_complete = [this, index](const bn::BigInt& y) {
+    PendingUpdate& u = *current_update_;
+    server_.install_signature(u.tasks[index], threshold::signature_bytes(*zone_key_, y));
+    ++signatures_computed_;
+    last_finished_sid_ = signing_->session_id();
+    pending_signing_.erase(last_finished_sid_);
+    ++u.next_task;
+    if (u.next_task < u.tasks.size()) {
+      // named computes SIG records sequentially (§5.2).
+      start_next_signature();
+    } else {
+      finish_update();
+    }
+  };
+  const threshold::ShareCorruption share_corruption =
+      corruption_ == CorruptionMode::kFlipShares ? threshold::ShareCorruption::kFlipShare
+      : corruption_ == CorruptionMode::kMute     ? threshold::ShareCorruption::kMute
+                                                 : threshold::ShareCorruption::kNone;
+  // The transition runs inside the previous session's completion callback;
+  // retire it instead of destroying it out from under itself.
+  retired_session_ = std::move(signing_);
+  signing_ = std::make_unique<threshold::SigningSession>(
+      *zone_key_, zone_share_, config_.sig_protocol, sid, x, std::move(scb), rng_.fork(),
+      share_corruption);
+  signing_->start();
+  // Replay any shares that arrived before we reached this session.
+  auto it = pending_signing_.find(sid);
+  if (it != pending_signing_.end()) {
+    auto buffered = std::move(it->second);
+    pending_signing_.erase(it);
+    for (const Bytes& m : buffered) {
+      if (signing_ && signing_->session_id() == sid && !signing_->done()) {
+        signing_->on_message(m);
+      }
+    }
+  }
+}
+
+void ReplicaNode::finish_update() {
+  server_.finalize_journal();  // the diff now includes the fresh signatures
+  PendingUpdate update = std::move(*current_update_);
+  current_update_.reset();
+  retired_session_ = std::move(signing_);
+  respond(update.client,
+          dns::AuthoritativeServer::update_response(update.request, dns::Rcode::kNoError));
+  executing_ = false;
+  execute_next();
+}
+
+void ReplicaNode::respond(ClientId client, const dns::Message& response) {
+  if (!cb_.send_client || corruption_ == CorruptionMode::kMute) return;
+  Bytes wire = response.encode();
+  if (corruption_ == CorruptionMode::kStaleReplay && !response.questions.empty() &&
+      response.opcode == dns::Opcode::kQuery) {
+    const std::string key = response.questions.front().name.canonical().to_string() +
+                            "/" + dns::to_string(response.questions.front().type);
+    auto [it, inserted] = stale_cache_.emplace(key, wire);
+    if (!inserted) {
+      // Replay the first response ever given, patched to the current id so
+      // the client matches it to its request.
+      try {
+        dns::Message stale = dns::Message::decode(it->second);
+        stale.id = response.id;
+        wire = stale.encode();
+      } catch (const util::ParseError&) {
+      }
+    }
+  }
+  cb_.send_client(client, wire);
+}
+
+}  // namespace sdns::core

@@ -1,0 +1,154 @@
+// ReplicaNode — the paper's Wrapper plus its modified `named`.
+//
+// One instance runs on every authoritative server of the zone.  It
+//  - accepts client requests on "port 53" (on_client_request), acting as the
+//    gateway of the pragmatic design: the request is disseminated to all
+//    replicas over atomic broadcast (§3.4);
+//  - executes delivered requests against its local zone copy in delivery
+//    order (state-machine replication), strictly one at a time;
+//  - for dynamic updates in the signed zone, runs the configured threshold
+//    signature protocol (BASIC / OPTPROOF / OPTTE) once per SIG record the
+//    update requires — sequentially, as the paper observed named does
+//    (4 signatures for an add, 2 for a delete, §5.2);
+//  - sends the response directly to the client (every replica does, so
+//    voting clients can take a majority, §3.3).
+//
+// Corruption modes implement the paper's testbed misbehaviors (§4.4).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "abcast/broadcast.hpp"
+#include "core/config.hpp"
+#include "crypto/rsa.hpp"
+#include "dns/server.hpp"
+#include "threshold/protocol.hpp"
+
+namespace sdns::core {
+
+/// Clients are addressed by opaque ids (the simulator's node ids).
+using ClientId = std::uint64_t;
+
+class ReplicaNode {
+ public:
+  struct Callbacks {
+    /// Replica-to-replica channel (authenticated point-to-point links).
+    std::function<void(unsigned to, const util::Bytes&)> send_replica;
+    /// Reply channel to a client.
+    std::function<void(ClientId, const util::Bytes&)> send_client;
+    std::function<double()> now;
+    std::function<void(double, std::function<void()>)> set_timer;
+    // Cost hooks (all optional).
+    std::function<void(threshold::CryptoOp)> charge_crypto;
+    std::function<void()> charge_message;
+    std::function<void()> charge_auth_sign;
+    std::function<void()> charge_auth_verify;
+    std::function<void()> charge_dns_query;
+    std::function<void()> charge_dns_update;
+    std::function<void()> charge_local_sign;
+  };
+
+  /// `zone_share` is this server's share of the zone key; `zone_key_pub` the
+  /// threshold public key (both from the trusted dealer, §4.3).  In
+  /// base_case mode, `local_key` signs instead and the group material is
+  /// unused.
+  ReplicaNode(ReplicaConfig config, std::shared_ptr<const abcast::GroupPublic> group,
+              abcast::NodeSecret group_secret,
+              std::shared_ptr<const threshold::ThresholdPublicKey> zone_key_pub,
+              threshold::KeyShare zone_share, dns::Zone zone, Callbacks callbacks,
+              util::Rng rng, CorruptionMode corruption = CorruptionMode::kHonest,
+              std::shared_ptr<const crypto::RsaPrivateKey> local_key = nullptr);
+
+  /// A DNS request arrived from a client (gateway role).
+  void on_client_request(ClientId client, util::BytesView wire);
+
+  /// A message from another replica (atomic broadcast or signing protocol).
+  void on_replica_message(unsigned from, util::BytesView msg);
+
+  /// Ask the other replicas for a zone snapshot (AXFR-style state transfer)
+  /// and reinstall the freshest one that t+1 replicas vouch for — the
+  /// recovery path for a repaired or long-partitioned server. The snapshot
+  /// is trusted because the zone is threshold-signed (each candidate must
+  /// pass full DNSSEC verification); freshness comes from taking the
+  /// highest execution counter among >= t+1 verified snapshots, at least
+  /// one of which is honest.
+  void start_recovery();
+  bool recovering() const { return recovering_; }
+  std::uint64_t recoveries_completed() const { return recoveries_completed_; }
+
+  unsigned id() const { return secret_.id; }
+  const dns::AuthoritativeServer& server() const { return server_; }
+  dns::AuthoritativeServer& server() { return server_; }
+  const abcast::AtomicBroadcast& abcast() const { return *abcast_; }
+
+  // Statistics for benches.
+  std::uint64_t executed_reads() const { return executed_reads_; }
+  std::uint64_t executed_updates() const { return executed_updates_; }
+  std::uint64_t signatures_computed() const { return signatures_computed_; }
+
+ private:
+  struct PendingUpdate {
+    ClientId client;
+    dns::Message request;
+    std::vector<dns::SigTask> tasks;
+    std::size_t next_task = 0;
+  };
+
+  struct Snapshot {
+    std::uint64_t abcast_cursor = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t update_counter = 0;
+    util::Bytes zone_wire;
+  };
+
+  void execute_next();
+  void execute(const util::Bytes& payload);
+  void handle_snapshot_request(unsigned from);
+  void handle_snapshot(unsigned from, util::BytesView body);
+  void try_finish_recovery();
+  void run_query(ClientId client, const dns::Message& request);
+  void run_update(ClientId client, const dns::Message& request);
+  void start_next_signature();
+  void finish_update();
+  void respond(ClientId client, const dns::Message& response);
+  std::uint64_t next_session_id();
+
+  ReplicaConfig config_;
+  abcast::NodeSecret secret_;
+  std::shared_ptr<const threshold::ThresholdPublicKey> zone_key_;
+  threshold::KeyShare zone_share_;
+  dns::AuthoritativeServer server_;
+  Callbacks cb_;
+  util::Rng rng_;
+  CorruptionMode corruption_;
+  std::shared_ptr<const crypto::RsaPrivateKey> local_key_;
+
+  std::unique_ptr<abcast::AtomicBroadcast> abcast_;
+  std::deque<util::Bytes> exec_queue_;
+  bool executing_ = false;
+  std::optional<PendingUpdate> current_update_;
+  std::unique_ptr<threshold::SigningSession> signing_;
+  /// The previous session, kept alive because transitions happen inside its
+  /// completion callback.
+  std::unique_ptr<threshold::SigningSession> retired_session_;
+  /// Shares arriving for sessions this (slower) replica has not reached yet.
+  std::map<std::uint64_t, std::vector<util::Bytes>> pending_signing_;
+  std::uint64_t last_finished_sid_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t update_counter_ = 0;
+
+  std::uint64_t executed_reads_ = 0;
+  std::uint64_t executed_updates_ = 0;
+  std::uint64_t signatures_computed_ = 0;
+
+  // kStaleReplay: first response recorded per question.
+  std::map<std::string, util::Bytes> stale_cache_;
+
+  // Recovery state.
+  bool recovering_ = false;
+  std::map<unsigned, Snapshot> recovery_snapshots_;
+  std::uint64_t recoveries_completed_ = 0;
+};
+
+}  // namespace sdns::core

@@ -1,0 +1,44 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sdns::crypto {
+
+namespace {
+
+template <typename Hash>
+util::Bytes hmac(util::BytesView key, util::BytesView msg) {
+  constexpr std::size_t kBlock = Hash::kBlockSize;
+  util::Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = Hash::digest(k);
+  k.resize(kBlock, 0);
+
+  util::Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Hash inner;
+  inner.update(ipad);
+  inner.update(msg);
+  auto inner_digest = inner.finish();
+
+  Hash outer;
+  outer.update(opad);
+  outer.update({inner_digest.data(), inner_digest.size()});
+  auto d = outer.finish();
+  return util::Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+util::Bytes hmac_sha1(util::BytesView key, util::BytesView msg) {
+  return hmac<Sha1>(key, msg);
+}
+
+util::Bytes hmac_sha256(util::BytesView key, util::BytesView msg) {
+  return hmac<Sha256>(key, msg);
+}
+
+}  // namespace sdns::crypto

@@ -1,0 +1,15 @@
+// HMAC (RFC 2104) over SHA-1 and SHA-256.
+//
+// Used for DNS transaction signatures (the paper's TSIG-style client/server
+// authentication, DNSSEC "transaction signatures" with a shared secret) and
+// for authenticating the point-to-point replica links that SINTRA assumes.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace sdns::crypto {
+
+util::Bytes hmac_sha1(util::BytesView key, util::BytesView msg);
+util::Bytes hmac_sha256(util::BytesView key, util::BytesView msg);
+
+}  // namespace sdns::crypto

@@ -1,0 +1,89 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "bignum/prime.hpp"
+#include "crypto/sha1.hpp"
+
+namespace sdns::crypto {
+
+using bn::BigInt;
+
+util::Bytes RsaPublicKey::encode() const {
+  util::Writer w;
+  w.lp16(n.to_bytes_be());
+  w.lp16(e.to_bytes_be());
+  return std::move(w).take();
+}
+
+RsaPublicKey RsaPublicKey::decode(util::BytesView b) {
+  util::Reader r(b);
+  RsaPublicKey k;
+  k.n = BigInt::from_bytes_be(r.lp16());
+  k.e = BigInt::from_bytes_be(r.lp16());
+  r.expect_done();
+  return k;
+}
+
+RsaPrivateKey rsa_generate(util::Rng& rng, std::size_t bits, const BigInt& e) {
+  if (bits < 64) throw std::domain_error("RSA modulus too small");
+  for (;;) {
+    BigInt p = bn::generate_prime(rng, bits / 2);
+    BigInt q = bn::generate_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (bn::gcd(e, phi) != BigInt(1)) continue;
+    RsaPrivateKey key;
+    key.pub = {n, e};
+    key.d = bn::mod_inverse(e, phi);
+    key.p = std::move(p);
+    key.q = std::move(q);
+    return key;
+  }
+}
+
+BigInt pkcs1_sha1_encode(util::BytesView msg, std::size_t k) {
+  // DigestInfo for SHA-1 (RFC 3447 §9.2).
+  static const std::uint8_t kPrefix[] = {0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b,
+                                         0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14};
+  util::Bytes digest = Sha1::digest(msg);
+  const std::size_t t_len = sizeof(kPrefix) + digest.size();
+  if (k < t_len + 11) throw std::length_error("modulus too small for PKCS#1/SHA-1");
+  util::Bytes em(k);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  std::size_t ps_len = k - t_len - 3;
+  for (std::size_t i = 0; i < ps_len; ++i) em[2 + i] = 0xff;
+  em[2 + ps_len] = 0x00;
+  std::copy(std::begin(kPrefix), std::end(kPrefix), em.begin() + 3 + static_cast<std::ptrdiff_t>(ps_len));
+  std::copy(digest.begin(), digest.end(), em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+  return BigInt::from_bytes_be(em);
+}
+
+util::Bytes rsa_sign_sha1(const RsaPrivateKey& key, util::BytesView msg) {
+  const std::size_t k = key.pub.modulus_bytes();
+  const BigInt m = pkcs1_sha1_encode(msg, k);
+  // CRT: s_p = m^(d mod p-1) mod p, s_q likewise, recombine.
+  const BigInt dp = key.d % (key.p - BigInt(1));
+  const BigInt dq = key.d % (key.q - BigInt(1));
+  const BigInt sp = bn::mod_pow(m % key.p, dp, key.p);
+  const BigInt sq = bn::mod_pow(m % key.q, dq, key.q);
+  const BigInt qinv = bn::mod_inverse(key.q, key.p);
+  const BigInt h = bn::mod_floor((sp - sq) * qinv, key.p);
+  const BigInt s = sq + h * key.q;
+  return s.to_bytes_be(k);
+}
+
+bool rsa_verify_sha1(const RsaPublicKey& key, util::BytesView msg, util::BytesView sig) {
+  const std::size_t k = key.modulus_bytes();
+  if (sig.size() != k) return false;
+  const BigInt s = BigInt::from_bytes_be(sig);
+  if (s >= key.n) return false;
+  const BigInt m = bn::mod_pow(s, key.e, key.n);
+  const BigInt expected = pkcs1_sha1_encode(msg, k);
+  return m == expected;
+}
+
+}  // namespace sdns::crypto

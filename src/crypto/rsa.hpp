@@ -1,0 +1,49 @@
+// Plain (non-threshold) RSA with PKCS#1 v1.5 signatures.
+//
+// This is what a DNSSEC client of 2004 verifies: RSA/SHA-1, algorithm 5.
+// Shoup's threshold scheme produces signatures that verify under exactly this
+// routine — a key design point of the paper ("produces standard RSA/SHA-1
+// signatures that can be verified by DNSSEC clients").
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/bigint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::crypto {
+
+struct RsaPublicKey {
+  bn::BigInt n;  ///< modulus
+  bn::BigInt e;  ///< public exponent
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  util::Bytes encode() const;
+  static RsaPublicKey decode(util::BytesView b);
+
+  friend bool operator==(const RsaPublicKey& a, const RsaPublicKey& b) = default;
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  bn::BigInt d;  ///< private exponent
+  bn::BigInt p, q;  ///< factors (kept for CRT speedup)
+};
+
+/// Generate an RSA key; `bits` is the modulus size. e defaults to 65537.
+RsaPrivateKey rsa_generate(util::Rng& rng, std::size_t bits,
+                           const bn::BigInt& e = bn::BigInt(65537));
+
+/// EMSA-PKCS1-v1_5 encoding of SHA-1(msg) into k bytes (DigestInfo prefix).
+/// Exposed because the threshold scheme signs the identical encoded block.
+bn::BigInt pkcs1_sha1_encode(util::BytesView msg, std::size_t k);
+
+/// Sign SHA-1(msg) with PKCS#1 v1.5. Returns a modulus-sized signature.
+util::Bytes rsa_sign_sha1(const RsaPrivateKey& key, util::BytesView msg);
+
+/// Verify a PKCS#1 v1.5 RSA/SHA-1 signature.
+bool rsa_verify_sha1(const RsaPublicKey& key, util::BytesView msg, util::BytesView sig);
+
+}  // namespace sdns::crypto

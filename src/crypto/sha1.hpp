@@ -1,0 +1,38 @@
+// SHA-1 (FIPS 180-1).
+//
+// The paper's zone signatures are "1024-bit RSA with SHA-1 and PKCS#1
+// encoding"; DNSSEC algorithm 5 (RSA/SHA-1) is what our SIG records carry.
+// SHA-1 is cryptographically broken today — it is implemented here solely to
+// reproduce the 2004 system faithfully.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sdns::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(util::BytesView data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static util::Bytes digest(util::BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint8_t buf_[kBlockSize];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sdns::crypto

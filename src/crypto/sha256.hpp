@@ -1,0 +1,35 @@
+// SHA-256 (FIPS 180-2).  Used for Fiat-Shamir challenges in the threshold
+// signature correctness proofs and for the common-coin derivation — places
+// where we need a hash but are not bound by the 2004 DNSSEC wire format.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sdns::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(util::BytesView data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static util::Bytes digest(util::BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[kBlockSize];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sdns::crypto

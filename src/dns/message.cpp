@@ -1,0 +1,240 @@
+#include "dns/message.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace sdns::dns {
+
+using util::Bytes;
+using util::BytesView;
+using util::ParseError;
+using util::Reader;
+using util::Writer;
+
+std::string to_string(Rcode rc) {
+  switch (rc) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+    case Rcode::kYxDomain: return "YXDOMAIN";
+    case Rcode::kYxRRset: return "YXRRSET";
+    case Rcode::kNxRRset: return "NXRRSET";
+    case Rcode::kNotAuth: return "NOTAUTH";
+    case Rcode::kNotZone: return "NOTZONE";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(rc));
+}
+
+bool operator==(const Question& a, const Question& b) {
+  return a.name == b.name && a.type == b.type && a.klass == b.klass;
+}
+
+namespace {
+
+/// Compressing name writer: remembers where each suffix was written and
+/// emits a pointer when the same suffix recurs (RFC 1035 §4.1.4).
+class NameCompressor {
+ public:
+  void write(Writer& w, const Name& name) {
+    const std::size_t count = name.label_count();
+    for (std::size_t skip = 0; skip < count; ++skip) {
+      const Name suffix = name.parent(skip);
+      const std::string key = suffix.canonical().to_string();
+      auto it = offsets_.find(key);
+      if (it != offsets_.end()) {
+        w.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+      if (w.size() < 0x3fff) offsets_.emplace(key, w.size());
+      const std::string& label = name.label(skip);
+      w.u8(static_cast<std::uint8_t>(label.size()));
+      w.raw(reinterpret_cast<const std::uint8_t*>(label.data()), label.size());
+    }
+    w.u8(0);
+  }
+
+ private:
+  std::map<std::string, std::size_t> offsets_;
+};
+
+Name read_name(Reader& r) {
+  std::vector<std::string> labels;
+  std::size_t jumps = 0;
+  std::optional<std::size_t> resume;
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if (len == 0) break;
+    if ((len & 0xc0) == 0xc0) {
+      const std::size_t target = static_cast<std::size_t>(len & 0x3f) << 8 | r.u8();
+      if (++jumps > 64) throw ParseError("compression pointer loop");
+      if (!resume) resume = r.pos();
+      if (target >= r.pos()) throw ParseError("forward compression pointer");
+      r.seek(target);
+      continue;
+    }
+    if (len > 63) throw ParseError("bad label length");
+    auto raw = r.raw(len);
+    labels.emplace_back(raw.begin(), raw.end());
+  }
+  if (resume) r.seek(*resume);
+  return Name::from_labels(std::move(labels));
+}
+
+void write_rr(Writer& w, NameCompressor& comp, const ResourceRecord& rr) {
+  comp.write(w, rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(static_cast<std::uint16_t>(rr.klass));
+  w.u32(rr.ttl);
+  w.lp16(rr.rdata);  // rdata kept uncompressed (canonical-friendly)
+}
+
+ResourceRecord read_rr(Reader& r) {
+  ResourceRecord rr;
+  rr.name = read_name(r);
+  rr.type = static_cast<RRType>(r.u16());
+  rr.klass = static_cast<RRClass>(r.u16());
+  rr.ttl = r.u32();
+  const std::uint16_t rdlen = r.u16();
+  const std::size_t rdata_start = r.pos();
+  // Within RDATA, embedded names may themselves be compressed by other
+  // implementations; we re-encode them uncompressed.
+  switch (rr.type) {
+    case RRType::kNS:
+    case RRType::kCNAME:
+    case RRType::kPTR: {
+      const Name target = read_name(r);
+      if (r.pos() != rdata_start + rdlen) throw ParseError("rdata length mismatch");
+      rr.rdata = NameRdata{target}.encode();
+      break;
+    }
+    case RRType::kSOA: {
+      SoaRdata s;
+      s.mname = read_name(r);
+      s.rname = read_name(r);
+      s.serial = r.u32();
+      s.refresh = r.u32();
+      s.retry = r.u32();
+      s.expire = r.u32();
+      s.minimum = r.u32();
+      if (r.pos() != rdata_start + rdlen) throw ParseError("rdata length mismatch");
+      rr.rdata = s.encode();
+      break;
+    }
+    case RRType::kMX: {
+      MxRdata m;
+      m.preference = r.u16();
+      m.exchange = read_name(r);
+      if (r.pos() != rdata_start + rdlen) throw ParseError("rdata length mismatch");
+      rr.rdata = m.encode();
+      break;
+    }
+    default:
+      rr.rdata = r.raw_copy(rdlen);
+      break;
+  }
+  return rr;
+}
+
+}  // namespace
+
+Bytes Message::encode() const {
+  Writer w;
+  w.u16(id);
+  std::uint16_t flags = 0;
+  if (qr) flags |= 0x8000;
+  flags = static_cast<std::uint16_t>(
+      flags | (static_cast<std::uint16_t>(opcode) & 0xf) << 11);
+  if (aa) flags |= 0x0400;
+  if (tc) flags |= 0x0200;
+  if (rd) flags |= 0x0100;
+  if (ra) flags |= 0x0080;
+  flags = static_cast<std::uint16_t>(flags | (static_cast<std::uint16_t>(rcode) & 0xf));
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authority.size()));
+  w.u16(static_cast<std::uint16_t>(additional.size()));
+  NameCompressor comp;
+  for (const auto& q : questions) {
+    comp.write(w, q.name);
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(static_cast<std::uint16_t>(q.klass));
+  }
+  for (const auto& rr : answers) write_rr(w, comp, rr);
+  for (const auto& rr : authority) write_rr(w, comp, rr);
+  for (const auto& rr : additional) write_rr(w, comp, rr);
+  return std::move(w).take();
+}
+
+Message Message::decode(BytesView b) {
+  Reader r(b);
+  Message m;
+  m.id = r.u16();
+  const std::uint16_t flags = r.u16();
+  m.qr = flags & 0x8000;
+  m.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  m.aa = flags & 0x0400;
+  m.tc = flags & 0x0200;
+  m.rd = flags & 0x0100;
+  m.ra = flags & 0x0080;
+  m.rcode = static_cast<Rcode>(flags & 0xf);
+  const std::uint16_t qd = r.u16();
+  const std::uint16_t an = r.u16();
+  const std::uint16_t ns = r.u16();
+  const std::uint16_t ar = r.u16();
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    Question q;
+    q.name = read_name(r);
+    q.type = static_cast<RRType>(r.u16());
+    q.klass = static_cast<RRClass>(r.u16());
+    m.questions.push_back(std::move(q));
+  }
+  for (std::uint16_t i = 0; i < an; ++i) m.answers.push_back(read_rr(r));
+  for (std::uint16_t i = 0; i < ns; ++i) m.authority.push_back(read_rr(r));
+  for (std::uint16_t i = 0; i < ar; ++i) m.additional.push_back(read_rr(r));
+  r.expect_done();
+  return m;
+}
+
+std::string Message::to_text() const {
+  std::ostringstream os;
+  os << ";; id " << id << " opcode "
+     << (opcode == Opcode::kUpdate ? "UPDATE" : "QUERY") << " rcode "
+     << to_string(rcode) << (qr ? " qr" : "") << (aa ? " aa" : "") << "\n";
+  os << ";; QUESTION (" << questions.size() << ")\n";
+  for (const auto& q : questions) {
+    os << q.name.to_string() << " " << to_string(q.klass) << " " << to_string(q.type)
+       << "\n";
+  }
+  auto section = [&os](const char* title, const std::vector<ResourceRecord>& rrs) {
+    os << ";; " << title << " (" << rrs.size() << ")\n";
+    for (const auto& rr : rrs) os << rr.to_text() << "\n";
+  };
+  section("ANSWER", answers);
+  section("AUTHORITY", authority);
+  section("ADDITIONAL", additional);
+  return os.str();
+}
+
+Message Message::make_query(std::uint16_t id, const Name& name, RRType type) {
+  Message m;
+  m.id = id;
+  m.rd = false;
+  m.questions.push_back({name, type, RRClass::kIN});
+  return m;
+}
+
+Message Message::make_response(const Message& request) {
+  Message m;
+  m.id = request.id;
+  m.qr = true;
+  m.opcode = request.opcode;
+  m.rd = request.rd;
+  m.questions = request.questions;
+  return m;
+}
+
+}  // namespace sdns::dns

@@ -1,0 +1,83 @@
+// DNS messages (RFC 1035 §4) with name compression.
+//
+// One Message type serves queries, responses, and RFC 2136 dynamic updates
+// (where the four sections are reinterpreted as Zone / Prerequisite / Update
+// / Additional). Encoding compresses owner names; decoding follows
+// compression pointers with loop protection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dns/rr.hpp"
+
+namespace sdns::dns {
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kUpdate = 5,
+};
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+  kYxDomain = 6,   // RFC 2136: name exists when it should not
+  kYxRRset = 7,    // RFC 2136: RRset exists when it should not
+  kNxRRset = 8,    // RFC 2136: RRset does not exist when it should
+  kNotAuth = 9,
+  kNotZone = 10,
+};
+
+std::string to_string(Rcode rc);
+
+struct Question {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass klass = RRClass::kIN;
+
+  friend bool operator==(const Question& a, const Question& b);
+};
+
+struct Message {
+  std::uint16_t id = 0;
+  bool qr = false;  ///< response flag
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  ///< authoritative answer
+  bool tc = false;  ///< truncated
+  bool rd = false;  ///< recursion desired
+  bool ra = false;  ///< recursion available
+  Rcode rcode = Rcode::kNoError;
+
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;     ///< update: prerequisites
+  std::vector<ResourceRecord> authority;   ///< update: update records
+  std::vector<ResourceRecord> additional;
+
+  /// Wire encoding with owner-name compression.
+  util::Bytes encode() const;
+
+  /// Decode; throws util::ParseError on malformed input.
+  static Message decode(util::BytesView b);
+
+  /// Multi-line presentation form (dig-like).
+  std::string to_text() const;
+
+  // Update-message aliases (RFC 2136 section names).
+  std::vector<ResourceRecord>& prerequisites() { return answers; }
+  const std::vector<ResourceRecord>& prerequisites() const { return answers; }
+  std::vector<ResourceRecord>& updates() { return authority; }
+  const std::vector<ResourceRecord>& updates() const { return authority; }
+
+  /// Build a query for (name, type).
+  static Message make_query(std::uint16_t id, const Name& name, RRType type);
+
+  /// Build the response skeleton for a request (copies id and question).
+  static Message make_response(const Message& request);
+};
+
+}  // namespace sdns::dns

@@ -1,0 +1,181 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sdns::dns {
+
+namespace {
+
+char fold(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool label_equal(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (fold(a[i]) != fold(b[i])) return false;
+  }
+  return true;
+}
+
+int label_compare(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca = static_cast<unsigned char>(fold(a[i]));
+    const unsigned char cb = static_cast<unsigned char>(fold(b[i]));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 255;
+
+}  // namespace
+
+Name Name::parse(std::string_view text) {
+  if (text.empty()) throw util::ParseError("empty domain name");
+  if (text == ".") return Name();
+  std::vector<std::string> labels;
+  std::string current;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\') {
+      // Escapes: \. literal dot, \\ backslash, \DDD decimal octet.
+      if (i + 1 >= text.size()) throw util::ParseError("dangling escape in name");
+      const char next = text[i + 1];
+      if (next >= '0' && next <= '9') {
+        if (i + 3 >= text.size()) throw util::ParseError("short decimal escape");
+        int v = 0;
+        for (int d = 1; d <= 3; ++d) {
+          const char dc = text[i + d];
+          if (dc < '0' || dc > '9') throw util::ParseError("bad decimal escape");
+          v = v * 10 + (dc - '0');
+        }
+        if (v > 255) throw util::ParseError("decimal escape out of range");
+        current.push_back(static_cast<char>(v));
+        i += 3;
+      } else {
+        current.push_back(next);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '.') {
+      if (current.empty()) throw util::ParseError("empty label in name");
+      labels.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) labels.push_back(std::move(current));
+  return from_labels(std::move(labels));
+}
+
+Name Name::from_labels(std::vector<std::string> labels) {
+  Name n;
+  std::size_t total = 1;
+  for (const auto& l : labels) {
+    if (l.empty()) throw util::ParseError("empty label");
+    if (l.size() > kMaxLabel) throw util::ParseError("label exceeds 63 octets");
+    total += 1 + l.size();
+  }
+  if (total > kMaxName) throw util::ParseError("name exceeds 255 octets");
+  n.labels_ = std::move(labels);
+  return n;
+}
+
+std::size_t Name::wire_length() const {
+  std::size_t total = 1;
+  for (const auto& l : labels_) total += 1 + l.size();
+  return total;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& l : labels_) {
+    for (char c : l) {
+      if (c == '.' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x21 ||
+                 static_cast<unsigned char>(c) > 0x7e) {
+        out.push_back('\\');
+        out.push_back(static_cast<char>('0' + (static_cast<unsigned char>(c) / 100)));
+        out.push_back(static_cast<char>('0' + (static_cast<unsigned char>(c) / 10) % 10));
+        out.push_back(static_cast<char>('0' + static_cast<unsigned char>(c) % 10));
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('.');
+  }
+  return out;
+}
+
+bool Name::is_subdomain_of(const Name& zone) const {
+  if (zone.labels_.size() > labels_.size()) return false;
+  for (std::size_t i = 0; i < zone.labels_.size(); ++i) {
+    const auto& mine = labels_[labels_.size() - 1 - i];
+    const auto& theirs = zone.labels_[zone.labels_.size() - 1 - i];
+    if (!label_equal(mine, theirs)) return false;
+  }
+  return true;
+}
+
+Name Name::parent(std::size_t n) const {
+  Name out;
+  if (n >= labels_.size()) return out;
+  out.labels_.assign(labels_.begin() + static_cast<std::ptrdiff_t>(n), labels_.end());
+  return out;
+}
+
+Name Name::child(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+Name Name::canonical() const {
+  Name out = *this;
+  for (auto& l : out.labels_) {
+    std::transform(l.begin(), l.end(), l.begin(), fold);
+  }
+  return out;
+}
+
+bool operator==(const Name& a, const Name& b) {
+  if (a.labels_.size() != b.labels_.size()) return false;
+  for (std::size_t i = 0; i < a.labels_.size(); ++i) {
+    if (!label_equal(a.labels_[i], b.labels_[i])) return false;
+  }
+  return true;
+}
+
+int Name::canonical_compare(const Name& a, const Name& b) {
+  const std::size_t na = a.labels_.size();
+  const std::size_t nb = b.labels_.size();
+  const std::size_t n = std::min(na, nb);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int c = label_compare(a.labels_[na - i], b.labels_[nb - i]);
+    if (c != 0) return c;
+  }
+  if (na != nb) return na < nb ? -1 : 1;
+  return 0;
+}
+
+void Name::to_wire(util::Writer& w) const {
+  for (const auto& l : labels_) {
+    w.u8(static_cast<std::uint8_t>(l.size()));
+    w.raw(reinterpret_cast<const std::uint8_t*>(l.data()), l.size());
+  }
+  w.u8(0);
+}
+
+}  // namespace sdns::dns

@@ -1,0 +1,69 @@
+// Domain names (RFC 1035 §3.1, RFC 4034 §6.1 canonical ordering).
+//
+// A Name is a sequence of labels, root last. Comparison is case-insensitive
+// per the DNS specification; the original spelling is preserved for display.
+// Canonical ordering (right-to-left by label, case-folded) drives the zone's
+// NXT chain, which provides authenticated denial of existence.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdns::dns {
+
+class Name {
+ public:
+  /// The root name (empty label sequence).
+  Name() = default;
+
+  /// Parse presentation format ("www.example.com." or relative "www").
+  /// Throws util::ParseError on malformed input (bad escapes, length limits).
+  static Name parse(std::string_view text);
+
+  /// Build from raw labels (no dots/escapes interpreted).
+  static Name from_labels(std::vector<std::string> labels);
+
+  bool is_root() const { return labels_.empty(); }
+  std::size_t label_count() const { return labels_.size(); }
+  const std::string& label(std::size_t i) const { return labels_[i]; }
+
+  /// Total wire length: sum of (1 + label length) + 1 for the root byte.
+  std::size_t wire_length() const;
+
+  /// "a.b.c." presentation form; "." for root.
+  std::string to_string() const;
+
+  /// True if this name equals `zone` or is below it.
+  bool is_subdomain_of(const Name& zone) const;
+
+  /// Name with the first `n` labels removed (moving toward the root).
+  Name parent(std::size_t n = 1) const;
+
+  /// New name with `label` prepended (one level deeper).
+  Name child(std::string_view label) const;
+
+  /// Case-folded copy (canonical form for signing and ordering).
+  Name canonical() const;
+
+  /// Case-insensitive equality.
+  friend bool operator==(const Name& a, const Name& b);
+  friend bool operator!=(const Name& a, const Name& b) { return !(a == b); }
+
+  /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+  /// right-to-left, each label as case-folded octets.
+  static int canonical_compare(const Name& a, const Name& b);
+  friend bool operator<(const Name& a, const Name& b) {
+    return canonical_compare(a, b) < 0;
+  }
+
+  /// Uncompressed wire form (for digests and canonical encodings).
+  void to_wire(util::Writer& w) const;
+
+ private:
+  std::vector<std::string> labels_;  ///< leftmost label first
+};
+
+}  // namespace sdns::dns

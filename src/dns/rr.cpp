@@ -1,0 +1,592 @@
+#include "dns/rr.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sdns::dns {
+
+using util::Bytes;
+using util::BytesView;
+using util::ParseError;
+using util::Reader;
+using util::Writer;
+
+std::string to_string(RRType t) {
+  switch (t) {
+    case RRType::kA: return "A";
+    case RRType::kNS: return "NS";
+    case RRType::kCNAME: return "CNAME";
+    case RRType::kSOA: return "SOA";
+    case RRType::kPTR: return "PTR";
+    case RRType::kMX: return "MX";
+    case RRType::kTXT: return "TXT";
+    case RRType::kSIG: return "SIG";
+    case RRType::kKEY: return "KEY";
+    case RRType::kAAAA: return "AAAA";
+    case RRType::kNXT: return "NXT";
+    case RRType::kTSIG: return "TSIG";
+    case RRType::kIXFR: return "IXFR";
+    case RRType::kAXFR: return "AXFR";
+    case RRType::kANY: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(t));
+}
+
+std::string to_string(RRClass c) {
+  switch (c) {
+    case RRClass::kIN: return "IN";
+    case RRClass::kNONE: return "NONE";
+    case RRClass::kANY: return "ANY";
+  }
+  return "CLASS" + std::to_string(static_cast<std::uint16_t>(c));
+}
+
+RRType rrtype_from_string(std::string_view s) {
+  struct Entry {
+    const char* name;
+    RRType type;
+  };
+  static const Entry kTable[] = {
+      {"A", RRType::kA},     {"NS", RRType::kNS},     {"CNAME", RRType::kCNAME},
+      {"SOA", RRType::kSOA}, {"PTR", RRType::kPTR},   {"MX", RRType::kMX},
+      {"TXT", RRType::kTXT}, {"SIG", RRType::kSIG},   {"KEY", RRType::kKEY},
+      {"AAAA", RRType::kAAAA}, {"NXT", RRType::kNXT}, {"TSIG", RRType::kTSIG},
+      {"IXFR", RRType::kIXFR},
+      {"AXFR", RRType::kAXFR}, {"ANY", RRType::kANY},
+  };
+  for (const auto& e : kTable) {
+    if (s == e.name) return e.type;
+  }
+  if (s.substr(0, 4) == "TYPE") {
+    int v = 0;
+    for (char c : s.substr(4)) {
+      if (c < '0' || c > '9') throw ParseError("bad TYPE number");
+      v = v * 10 + (c - '0');
+      if (v > 0xffff) throw ParseError("TYPE number out of range");
+    }
+    return static_cast<RRType>(v);
+  }
+  throw ParseError("unknown RR type: " + std::string(s));
+}
+
+void ResourceRecord::to_wire(Writer& w) const {
+  name.to_wire(w);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u16(static_cast<std::uint16_t>(klass));
+  w.u32(ttl);
+  w.lp16(rdata);
+}
+
+void ResourceRecord::to_canonical_wire(Writer& w) const {
+  name.canonical().to_wire(w);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u16(static_cast<std::uint16_t>(klass));
+  w.u32(ttl);
+  w.lp16(rdata);
+}
+
+std::string ResourceRecord::to_text() const {
+  std::ostringstream os;
+  os << name.to_string() << " " << ttl << " " << to_string(klass) << " "
+     << to_string(type) << " " << rdata_to_text(type, rdata);
+  return os.str();
+}
+
+bool operator==(const ResourceRecord& a, const ResourceRecord& b) {
+  return a.name == b.name && a.type == b.type && a.klass == b.klass && a.ttl == b.ttl &&
+         a.rdata == b.rdata;
+}
+
+std::vector<ResourceRecord> RRset::to_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(rdatas.size());
+  for (const auto& rd : rdatas) {
+    out.push_back({name, type, RRClass::kIN, ttl, rd});
+  }
+  return out;
+}
+
+// ---- A --------------------------------------------------------------------
+
+Bytes ARdata::encode() const { return Bytes(address.begin(), address.end()); }
+
+ARdata ARdata::decode(BytesView b) {
+  if (b.size() != 4) throw ParseError("A rdata must be 4 octets");
+  ARdata r;
+  std::copy(b.begin(), b.end(), r.address.begin());
+  return r;
+}
+
+ARdata ARdata::from_text(std::string_view s) {
+  ARdata r;
+  int part = 0, value = 0, digits = 0;
+  for (char c : s) {
+    if (c == '.') {
+      if (digits == 0 || part >= 3) throw ParseError("bad IPv4 address");
+      r.address[part++] = static_cast<std::uint8_t>(value);
+      value = 0;
+      digits = 0;
+    } else if (c >= '0' && c <= '9') {
+      value = value * 10 + (c - '0');
+      if (value > 255) throw ParseError("IPv4 octet out of range");
+      ++digits;
+    } else {
+      throw ParseError("bad IPv4 address character");
+    }
+  }
+  if (digits == 0 || part != 3) throw ParseError("bad IPv4 address");
+  r.address[3] = static_cast<std::uint8_t>(value);
+  return r;
+}
+
+std::string ARdata::to_text() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", address[0], address[1], address[2],
+                address[3]);
+  return buf;
+}
+
+// ---- AAAA -----------------------------------------------------------------
+
+Bytes AaaaRdata::encode() const { return Bytes(address.begin(), address.end()); }
+
+AaaaRdata AaaaRdata::decode(BytesView b) {
+  if (b.size() != 16) throw ParseError("AAAA rdata must be 16 octets");
+  AaaaRdata r;
+  std::copy(b.begin(), b.end(), r.address.begin());
+  return r;
+}
+
+AaaaRdata AaaaRdata::from_text(std::string_view s) {
+  // Split on "::" into head and tail groups of 16-bit hex values.
+  auto parse_groups = [](std::string_view part) {
+    std::vector<std::uint16_t> groups;
+    if (part.empty()) return groups;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= part.size(); ++i) {
+      if (i == part.size() || part[i] == ':') {
+        std::string_view g = part.substr(start, i - start);
+        if (g.empty() || g.size() > 4) throw ParseError("bad IPv6 group");
+        int v = 0;
+        for (char c : g) {
+          int d;
+          if (c >= '0' && c <= '9') d = c - '0';
+          else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+          else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+          else throw ParseError("bad IPv6 hex digit");
+          v = v * 16 + d;
+        }
+        groups.push_back(static_cast<std::uint16_t>(v));
+        start = i + 1;
+      }
+    }
+    return groups;
+  };
+  std::vector<std::uint16_t> groups;
+  const std::size_t gap = s.find("::");
+  if (gap != std::string_view::npos) {
+    auto head = parse_groups(s.substr(0, gap));
+    auto tail = parse_groups(s.substr(gap + 2));
+    if (head.size() + tail.size() > 8) throw ParseError("too many IPv6 groups");
+    groups = head;
+    groups.resize(8 - tail.size(), 0);
+    groups.insert(groups.end(), tail.begin(), tail.end());
+  } else {
+    groups = parse_groups(s);
+    if (groups.size() != 8) throw ParseError("IPv6 address needs 8 groups");
+  }
+  AaaaRdata r;
+  for (std::size_t i = 0; i < 8; ++i) {
+    r.address[i * 2] = static_cast<std::uint8_t>(groups[i] >> 8);
+    r.address[i * 2 + 1] = static_cast<std::uint8_t>(groups[i]);
+  }
+  return r;
+}
+
+std::string AaaaRdata::to_text() const {
+  // Full form, no zero compression (valid presentation format).
+  std::ostringstream os;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i) os << ':';
+    char buf[5];
+    std::snprintf(buf, sizeof buf, "%x",
+                  (address[i * 2] << 8) | address[i * 2 + 1]);
+    os << buf;
+  }
+  return os.str();
+}
+
+// ---- NS / CNAME / PTR -----------------------------------------------------
+
+Bytes NameRdata::encode() const {
+  Writer w;
+  target.to_wire(w);
+  return std::move(w).take();
+}
+
+namespace {
+Name read_wire_name(Reader& r) {
+  std::vector<std::string> labels;
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if (len == 0) break;
+    if (len > 63) throw ParseError("compressed name in rdata not supported here");
+    auto raw = r.raw(len);
+    labels.emplace_back(raw.begin(), raw.end());
+  }
+  return Name::from_labels(std::move(labels));
+}
+}  // namespace
+
+NameRdata NameRdata::decode(BytesView b) {
+  Reader r(b);
+  NameRdata out{read_wire_name(r)};
+  r.expect_done();
+  return out;
+}
+
+// ---- SOA ------------------------------------------------------------------
+
+Bytes SoaRdata::encode() const {
+  Writer w;
+  mname.to_wire(w);
+  rname.to_wire(w);
+  w.u32(serial);
+  w.u32(refresh);
+  w.u32(retry);
+  w.u32(expire);
+  w.u32(minimum);
+  return std::move(w).take();
+}
+
+SoaRdata SoaRdata::decode(BytesView b) {
+  Reader r(b);
+  SoaRdata s;
+  s.mname = read_wire_name(r);
+  s.rname = read_wire_name(r);
+  s.serial = r.u32();
+  s.refresh = r.u32();
+  s.retry = r.u32();
+  s.expire = r.u32();
+  s.minimum = r.u32();
+  r.expect_done();
+  return s;
+}
+
+std::string SoaRdata::to_text() const {
+  std::ostringstream os;
+  os << mname.to_string() << " " << rname.to_string() << " " << serial << " " << refresh
+     << " " << retry << " " << expire << " " << minimum;
+  return os.str();
+}
+
+// ---- MX -------------------------------------------------------------------
+
+Bytes MxRdata::encode() const {
+  Writer w;
+  w.u16(preference);
+  exchange.to_wire(w);
+  return std::move(w).take();
+}
+
+MxRdata MxRdata::decode(BytesView b) {
+  Reader r(b);
+  MxRdata m;
+  m.preference = r.u16();
+  m.exchange = read_wire_name(r);
+  r.expect_done();
+  return m;
+}
+
+std::string MxRdata::to_text() const {
+  return std::to_string(preference) + " " + exchange.to_string();
+}
+
+// ---- TXT ------------------------------------------------------------------
+
+Bytes TxtRdata::encode() const {
+  Writer w;
+  for (const auto& s : strings) {
+    if (s.size() > 255) throw std::length_error("TXT string too long");
+    w.u8(static_cast<std::uint8_t>(s.size()));
+    w.raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  return std::move(w).take();
+}
+
+TxtRdata TxtRdata::decode(BytesView b) {
+  Reader r(b);
+  TxtRdata t;
+  while (!r.done()) {
+    const std::uint8_t len = r.u8();
+    auto raw = r.raw(len);
+    t.strings.emplace_back(raw.begin(), raw.end());
+  }
+  if (t.strings.empty()) throw ParseError("TXT rdata must contain a string");
+  return t;
+}
+
+std::string TxtRdata::to_text() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    if (i) os << ' ';
+    os << '"' << strings[i] << '"';
+  }
+  return os.str();
+}
+
+// ---- KEY ------------------------------------------------------------------
+
+Bytes KeyRdata::encode() const {
+  Writer w;
+  w.u16(flags);
+  w.u8(protocol);
+  w.u8(algorithm);
+  w.raw(public_key);
+  return std::move(w).take();
+}
+
+KeyRdata KeyRdata::decode(BytesView b) {
+  Reader r(b);
+  KeyRdata k;
+  k.flags = r.u16();
+  k.protocol = r.u8();
+  k.algorithm = r.u8();
+  k.public_key = r.raw_copy(r.remaining());
+  return k;
+}
+
+std::string KeyRdata::to_text() const {
+  std::ostringstream os;
+  os << flags << " " << static_cast<int>(protocol) << " " << static_cast<int>(algorithm)
+     << " " << util::hex_encode(public_key);
+  return os.str();
+}
+
+// ---- SIG ------------------------------------------------------------------
+
+Bytes SigRdata::presignature_prefix() const {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(type_covered));
+  w.u8(algorithm);
+  w.u8(labels);
+  w.u32(original_ttl);
+  w.u32(expiration);
+  w.u32(inception);
+  w.u16(key_tag);
+  signer.canonical().to_wire(w);
+  return std::move(w).take();
+}
+
+Bytes SigRdata::encode() const {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(type_covered));
+  w.u8(algorithm);
+  w.u8(labels);
+  w.u32(original_ttl);
+  w.u32(expiration);
+  w.u32(inception);
+  w.u16(key_tag);
+  signer.to_wire(w);
+  w.raw(signature);
+  return std::move(w).take();
+}
+
+SigRdata SigRdata::decode(BytesView b) {
+  Reader r(b);
+  SigRdata s;
+  s.type_covered = static_cast<RRType>(r.u16());
+  s.algorithm = r.u8();
+  s.labels = r.u8();
+  s.original_ttl = r.u32();
+  s.expiration = r.u32();
+  s.inception = r.u32();
+  s.key_tag = r.u16();
+  s.signer = read_wire_name(r);
+  s.signature = r.raw_copy(r.remaining());
+  return s;
+}
+
+std::string SigRdata::to_text() const {
+  std::ostringstream os;
+  os << to_string(type_covered) << " " << static_cast<int>(algorithm) << " "
+     << static_cast<int>(labels) << " " << original_ttl << " " << expiration << " "
+     << inception << " " << key_tag << " " << signer.to_string() << " "
+     << util::hex_encode(signature);
+  return os.str();
+}
+
+// ---- NXT ------------------------------------------------------------------
+
+Bytes NxtRdata::encode() const {
+  Writer w;
+  next.to_wire(w);
+  std::uint8_t bitmap[16] = {};
+  for (RRType t : types) {
+    const auto v = static_cast<std::uint16_t>(t);
+    if (v > 127) throw std::length_error("NXT bitmap covers types 0..127 only");
+    bitmap[v / 8] |= static_cast<std::uint8_t>(0x80 >> (v % 8));
+  }
+  w.raw(bitmap, sizeof bitmap);
+  return std::move(w).take();
+}
+
+NxtRdata NxtRdata::decode(BytesView b) {
+  Reader r(b);
+  NxtRdata n;
+  n.next = read_wire_name(r);
+  auto bitmap = r.raw(r.remaining());
+  if (bitmap.size() > 16) throw ParseError("NXT bitmap too long");
+  for (std::size_t byte = 0; byte < bitmap.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (bitmap[byte] & (0x80 >> bit)) {
+        n.types.push_back(static_cast<RRType>(byte * 8 + static_cast<std::size_t>(bit)));
+      }
+    }
+  }
+  return n;
+}
+
+std::string NxtRdata::to_text() const {
+  std::ostringstream os;
+  os << next.to_string();
+  for (RRType t : types) os << ' ' << to_string(t);
+  return os.str();
+}
+
+bool NxtRdata::has_type(RRType t) const {
+  return std::find(types.begin(), types.end(), t) != types.end();
+}
+
+// ---- TSIG -----------------------------------------------------------------
+
+Bytes TsigRdata::encode() const {
+  Writer w;
+  w.str(key_name);
+  w.u64(timestamp);
+  w.lp16(mac);
+  return std::move(w).take();
+}
+
+TsigRdata TsigRdata::decode(BytesView b) {
+  Reader r(b);
+  TsigRdata t;
+  t.key_name = r.str();
+  t.timestamp = r.u64();
+  t.mac = r.lp16();
+  r.expect_done();
+  return t;
+}
+
+std::string TsigRdata::to_text() const {
+  return key_name + " " + std::to_string(timestamp) + " " + util::hex_encode(mac);
+}
+
+// ---- text dispatch --------------------------------------------------------
+
+std::string rdata_to_text(RRType type, BytesView rdata) {
+  try {
+    switch (type) {
+      case RRType::kA: return ARdata::decode(rdata).to_text();
+      case RRType::kAAAA: return AaaaRdata::decode(rdata).to_text();
+      case RRType::kNS:
+      case RRType::kCNAME:
+      case RRType::kPTR: return NameRdata::decode(rdata).to_text();
+      case RRType::kSOA: return SoaRdata::decode(rdata).to_text();
+      case RRType::kMX: return MxRdata::decode(rdata).to_text();
+      case RRType::kTXT: return TxtRdata::decode(rdata).to_text();
+      case RRType::kKEY: return KeyRdata::decode(rdata).to_text();
+      case RRType::kSIG: return SigRdata::decode(rdata).to_text();
+      case RRType::kNXT: return NxtRdata::decode(rdata).to_text();
+      case RRType::kTSIG: return TsigRdata::decode(rdata).to_text();
+      default: break;
+    }
+  } catch (const ParseError&) {
+    // fall through to hex
+  }
+  return "\\# " + std::to_string(rdata.size()) + " " + util::hex_encode(rdata);
+}
+
+namespace {
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (char c : s) {
+    if (c == '"') {
+      quoted = !quoted;
+      continue;
+    }
+    if (!quoted && (c == ' ' || c == '\t')) {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& s) {
+  std::uint64_t v = 0;
+  if (s.empty()) throw ParseError("empty number");
+  for (char c : s) {
+    if (c < '0' || c > '9') throw ParseError("bad number: " + s);
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 0xffffffffULL) throw ParseError("number out of range: " + s);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+}  // namespace
+
+Bytes rdata_from_text(RRType type, std::string_view text) {
+  const auto tok = split_ws(text);
+  switch (type) {
+    case RRType::kA:
+      if (tok.size() != 1) throw ParseError("A rdata wants one field");
+      return ARdata::from_text(tok[0]).encode();
+    case RRType::kAAAA:
+      if (tok.size() != 1) throw ParseError("AAAA rdata wants one field");
+      return AaaaRdata::from_text(tok[0]).encode();
+    case RRType::kNS:
+    case RRType::kCNAME:
+    case RRType::kPTR:
+      if (tok.size() != 1) throw ParseError("name rdata wants one field");
+      return NameRdata{Name::parse(tok[0])}.encode();
+    case RRType::kSOA: {
+      if (tok.size() != 7) throw ParseError("SOA rdata wants 7 fields");
+      SoaRdata s;
+      s.mname = Name::parse(tok[0]);
+      s.rname = Name::parse(tok[1]);
+      s.serial = parse_u32(tok[2]);
+      s.refresh = parse_u32(tok[3]);
+      s.retry = parse_u32(tok[4]);
+      s.expire = parse_u32(tok[5]);
+      s.minimum = parse_u32(tok[6]);
+      return s.encode();
+    }
+    case RRType::kMX: {
+      if (tok.size() != 2) throw ParseError("MX rdata wants 2 fields");
+      MxRdata m;
+      const std::uint32_t pref = parse_u32(tok[0]);
+      if (pref > 0xffff) throw ParseError("MX preference out of range");
+      m.preference = static_cast<std::uint16_t>(pref);
+      m.exchange = Name::parse(tok[1]);
+      return m.encode();
+    }
+    case RRType::kTXT: {
+      if (tok.empty()) throw ParseError("TXT rdata wants at least one string");
+      TxtRdata t;
+      t.strings = tok;
+      return t.encode();
+    }
+    default:
+      throw ParseError("no text parser for type " + to_string(type));
+  }
+}
+
+}  // namespace sdns::dns

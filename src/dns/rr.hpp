@@ -1,0 +1,204 @@
+// Resource records (RFC 1035) and the 2004-era DNSSEC record types the paper
+// relies on: KEY (RFC 2535 zone keys), SIG (signatures over RRsets), and NXT
+// (authenticated denial chain).
+//
+// A ResourceRecord stores its RDATA as *uncompressed* wire bytes; typed
+// structs (SoaRdata, SigRdata, ...) convert to and from those bytes.  This
+// mirrors how the records travel and keeps the canonical (signing) form
+// trivially available.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "util/bytes.hpp"
+
+namespace sdns::dns {
+
+enum class RRType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kSIG = 24,
+  kKEY = 25,
+  kAAAA = 28,
+  kNXT = 30,
+  kTSIG = 250,  // transaction signature meta-record
+  kIXFR = 251,  // incremental zone transfer pseudo-type
+  kAXFR = 252,  // whole-zone transfer pseudo-type
+  kANY = 255,
+};
+
+enum class RRClass : std::uint16_t {
+  kIN = 1,
+  kNONE = 254,  // RFC 2136 "delete specific RR"
+  kANY = 255,   // RFC 2136 "delete RRset"
+};
+
+std::string to_string(RRType t);
+std::string to_string(RRClass c);
+/// Parse "A", "SOA", "TYPE123"... Throws util::ParseError on unknown input.
+RRType rrtype_from_string(std::string_view s);
+
+struct ResourceRecord {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass klass = RRClass::kIN;
+  std::uint32_t ttl = 0;
+  util::Bytes rdata;  ///< uncompressed wire form
+
+  /// Full uncompressed wire form (owner, type, class, ttl, rdlength, rdata).
+  void to_wire(util::Writer& w) const;
+
+  /// Canonical form for DNSSEC digests: owner name case-folded, TTL as given.
+  void to_canonical_wire(util::Writer& w) const;
+
+  /// One-line presentation form ("name ttl class type rdata").
+  std::string to_text() const;
+
+  friend bool operator==(const ResourceRecord& a, const ResourceRecord& b);
+};
+
+/// A set of records sharing (name, type, class); the unit DNSSEC signs.
+struct RRset {
+  Name name;
+  RRType type = RRType::kA;
+  std::uint32_t ttl = 0;
+  std::vector<util::Bytes> rdatas;
+
+  bool empty() const { return rdatas.empty(); }
+  std::vector<ResourceRecord> to_records() const;
+};
+
+// ---- typed RDATA ----------------------------------------------------------
+
+struct ARdata {
+  std::array<std::uint8_t, 4> address{};
+
+  util::Bytes encode() const;
+  static ARdata decode(util::BytesView b);
+  static ARdata from_text(std::string_view dotted_quad);
+  std::string to_text() const;
+};
+
+struct AaaaRdata {
+  std::array<std::uint8_t, 16> address{};
+
+  util::Bytes encode() const;
+  static AaaaRdata decode(util::BytesView b);
+  static AaaaRdata from_text(std::string_view colon_hex);
+  std::string to_text() const;
+};
+
+/// Shared shape for NS / CNAME / PTR: a single domain name.
+struct NameRdata {
+  Name target;
+
+  util::Bytes encode() const;
+  static NameRdata decode(util::BytesView b);
+  std::string to_text() const { return target.to_string(); }
+};
+
+struct SoaRdata {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 3600;
+  std::uint32_t retry = 600;
+  std::uint32_t expire = 86400;
+  std::uint32_t minimum = 300;
+
+  util::Bytes encode() const;
+  static SoaRdata decode(util::BytesView b);
+  std::string to_text() const;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+
+  util::Bytes encode() const;
+  static MxRdata decode(util::BytesView b);
+  std::string to_text() const;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;
+
+  util::Bytes encode() const;
+  static TxtRdata decode(util::BytesView b);
+  std::string to_text() const;
+};
+
+/// RFC 2535 KEY record carrying the zone's public key.
+struct KeyRdata {
+  std::uint16_t flags = 0x0100;  // zone key
+  std::uint8_t protocol = 3;     // DNSSEC
+  std::uint8_t algorithm = 5;    // RSA/SHA-1
+  util::Bytes public_key;        // opaque key material (our RSA encoding)
+
+  util::Bytes encode() const;
+  static KeyRdata decode(util::BytesView b);
+  std::string to_text() const;
+};
+
+/// RFC 2535 SIG record: a signature over one RRset.
+struct SigRdata {
+  RRType type_covered = RRType::kA;
+  std::uint8_t algorithm = 5;  // RSA/SHA-1
+  std::uint8_t labels = 0;
+  std::uint32_t original_ttl = 0;
+  std::uint32_t expiration = 0;  // absolute seconds
+  std::uint32_t inception = 0;
+  std::uint16_t key_tag = 0;
+  Name signer;
+  util::Bytes signature;
+
+  util::Bytes encode() const;
+  static SigRdata decode(util::BytesView b);
+  std::string to_text() const;
+
+  /// The RDATA prefix (everything before the signature), which is included
+  /// in the data being signed (RFC 2535 §4.1.8).
+  util::Bytes presignature_prefix() const;
+};
+
+/// RFC 2535 NXT record: next owner name in canonical order plus a bitmap of
+/// the types present at this owner. Provides authenticated denial.
+struct NxtRdata {
+  Name next;
+  std::vector<RRType> types;  ///< types <= 127 only, sorted ascending
+
+  util::Bytes encode() const;
+  static NxtRdata decode(util::BytesView b);
+  std::string to_text() const;
+  bool has_type(RRType t) const;
+};
+
+/// Simplified transaction-signature record (the paper's TSIG-style client
+/// authentication). Carried last in the additional section, never signed.
+struct TsigRdata {
+  std::string key_name;
+  std::uint64_t timestamp = 0;
+  util::Bytes mac;
+
+  util::Bytes encode() const;
+  static TsigRdata decode(util::BytesView b);
+  std::string to_text() const;
+};
+
+/// Render any known rdata type to presentation text (hex for unknown types).
+std::string rdata_to_text(RRType type, util::BytesView rdata);
+
+/// Parse presentation text into rdata wire bytes for the given type.
+/// Throws util::ParseError for unsupported types or malformed text.
+util::Bytes rdata_from_text(RRType type, std::string_view text);
+
+}  // namespace sdns::dns

@@ -1,0 +1,64 @@
+#include "dns/tsig.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace sdns::dns {
+
+namespace {
+
+util::Bytes mac_input(const Message& msg_without_tsig, const std::string& key_name,
+                      std::uint64_t timestamp) {
+  // The id is excluded from the MAC: resolvers assign it at send time, after
+  // the update body is composed and signed. Freshness comes from the
+  // timestamp (real TSIG instead covers the original id).
+  Message normalized = msg_without_tsig;
+  normalized.id = 0;
+  util::Writer w;
+  w.raw(normalized.encode());
+  w.str(key_name);
+  w.u64(timestamp);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void tsig_sign(Message& msg, const TsigKey& key, std::uint64_t timestamp) {
+  TsigRdata tsig;
+  tsig.key_name = key.name;
+  tsig.timestamp = timestamp;
+  tsig.mac = crypto::hmac_sha1(key.secret, mac_input(msg, key.name, timestamp));
+  ResourceRecord rr;
+  rr.name = Name::parse(key.name + ".");
+  rr.type = RRType::kTSIG;
+  rr.klass = RRClass::kANY;
+  rr.ttl = 0;
+  rr.rdata = tsig.encode();
+  msg.additional.push_back(std::move(rr));
+}
+
+TsigStatus tsig_verify(
+    Message& msg,
+    const std::function<std::optional<util::Bytes>(const std::string&)>& lookup,
+    std::string* key_name_out) {
+  if (msg.additional.empty() || msg.additional.back().type != RRType::kTSIG) {
+    return TsigStatus::kMissing;
+  }
+  TsigRdata tsig;
+  try {
+    tsig = TsigRdata::decode(msg.additional.back().rdata);
+  } catch (const util::ParseError&) {
+    return TsigStatus::kBadMac;
+  }
+  const auto secret = lookup(tsig.key_name);
+  if (!secret) return TsigStatus::kUnknownKey;
+  Message without = msg;
+  without.additional.pop_back();
+  const util::Bytes expected =
+      crypto::hmac_sha1(*secret, mac_input(without, tsig.key_name, tsig.timestamp));
+  if (!util::constant_time_equal(expected, tsig.mac)) return TsigStatus::kBadMac;
+  msg.additional.pop_back();
+  if (key_name_out) *key_name_out = tsig.key_name;
+  return TsigStatus::kOk;
+}
+
+}  // namespace sdns::dns

@@ -1,0 +1,42 @@
+// Transaction signatures (the paper's client/server authentication).
+//
+// DNSSEC transaction signatures let a client and server authenticate
+// requests and responses with a shared secret (HMAC).  The paper requires
+// every write request to be "authorized by a transaction signature of the
+// client" (§3.3).  This is a simplified TSIG: an HMAC-SHA1 record appended
+// as the last record of the additional section, computed over the message
+// encoded *without* that record, the key name, and a timestamp.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "dns/message.hpp"
+
+namespace sdns::dns {
+
+struct TsigKey {
+  std::string name;
+  util::Bytes secret;
+};
+
+/// Append a TSIG record to `msg` (must be the final mutation before encode).
+void tsig_sign(Message& msg, const TsigKey& key, std::uint64_t timestamp);
+
+enum class TsigStatus {
+  kOk,
+  kMissing,     ///< no TSIG record present
+  kUnknownKey,  ///< key name not recognized by the verifier
+  kBadMac,      ///< signature check failed
+};
+
+/// Verify and strip the trailing TSIG record. `lookup` maps a key name to
+/// its secret (return nullopt for unknown keys). On kOk the TSIG record has
+/// been removed from `msg` and `key_name_out` (if given) holds the signer.
+TsigStatus tsig_verify(
+    Message& msg,
+    const std::function<std::optional<util::Bytes>(const std::string&)>& lookup,
+    std::string* key_name_out = nullptr);
+
+}  // namespace sdns::dns

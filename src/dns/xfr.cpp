@@ -1,0 +1,88 @@
+#include "dns/xfr.hpp"
+
+namespace sdns::dns {
+
+int serial_compare(std::uint32_t a, std::uint32_t b) {
+  if (a == b) return 0;
+  constexpr std::uint32_t kHalf = 0x80000000u;
+  const std::uint32_t diff = b - a;  // modular
+  if (diff == kHalf) return 0;       // RFC 1982: incomparable
+  return diff < kHalf ? -1 : 1;
+}
+
+Message make_ixfr_query(std::uint16_t id, const Name& zone, const SoaRdata& current_soa) {
+  Message q;
+  q.id = id;
+  q.questions.push_back({zone, RRType::kIXFR, RRClass::kIN});
+  ResourceRecord soa;
+  soa.name = zone;
+  soa.type = RRType::kSOA;
+  soa.ttl = 0;
+  soa.rdata = current_soa.encode();
+  q.authority.push_back(std::move(soa));
+  return q;
+}
+
+namespace {
+
+bool is_soa(const ResourceRecord& rr) { return rr.type == RRType::kSOA; }
+
+XfrOutcome apply_axfr(Zone& zone, const Message& response) {
+  Zone fresh(zone.origin());
+  // SOA leads and trails; every record in between (including the leading
+  // SOA, excluding the trailing duplicate) goes into the new zone.
+  for (std::size_t i = 0; i + 1 < response.answers.size(); ++i) {
+    const ResourceRecord& rr = response.answers[i];
+    if (!fresh.in_zone(rr.name)) return XfrOutcome::kMalformed;
+    fresh.add_record(rr);
+  }
+  zone = std::move(fresh);
+  return XfrOutcome::kReplacedAxfr;
+}
+
+}  // namespace
+
+XfrOutcome apply_xfr_response(Zone& zone, const Message& response) {
+  const auto& rrs = response.answers;
+  if (rrs.empty() || !is_soa(rrs.front())) return XfrOutcome::kMalformed;
+  if (rrs.size() == 1) return XfrOutcome::kUpToDate;
+  if (!is_soa(rrs.back())) return XfrOutcome::kMalformed;
+  // IXFR responses have a SOA as the *second* record (the first diff's
+  // old-serial marker); AXFR responses have zone data there.
+  if (!is_soa(rrs[1])) return apply_axfr(zone, response);
+
+  // IXFR: new-SOA, then (old-SOA, deletions..., new-SOA, additions...)*,
+  // terminated by the new SOA.
+  const SoaRdata target = SoaRdata::decode(rrs.front().rdata);
+  std::size_t i = 1;
+  while (i < rrs.size() - 1 || (i == rrs.size() - 1 && !is_soa(rrs[i]))) {
+    if (!is_soa(rrs[i])) return XfrOutcome::kMalformed;
+    const SoaRdata from = SoaRdata::decode(rrs[i].rdata);
+    auto current = zone.soa();
+    if (!current || current->serial != from.serial) return XfrOutcome::kMalformed;
+    ++i;
+    // Deletions until the next SOA.
+    while (i < rrs.size() && !is_soa(rrs[i])) {
+      zone.remove_record(rrs[i].name, rrs[i].type, rrs[i].rdata);
+      ++i;
+    }
+    if (i >= rrs.size()) return XfrOutcome::kMalformed;
+    const ResourceRecord new_soa_rr = rrs[i];
+    const SoaRdata to = SoaRdata::decode(new_soa_rr.rdata);
+    ++i;
+    // Additions until the next SOA (or end marker).
+    zone.remove_rrset(zone.origin(), RRType::kSOA);
+    zone.add_record(new_soa_rr);
+    while (i < rrs.size() && !is_soa(rrs[i])) {
+      if (!zone.in_zone(rrs[i].name)) return XfrOutcome::kMalformed;
+      zone.add_record(rrs[i]);
+      ++i;
+    }
+    if (to.serial == target.serial && i == rrs.size() - 1) break;
+  }
+  auto final_soa = zone.soa();
+  if (!final_soa || final_soa->serial != target.serial) return XfrOutcome::kMalformed;
+  return XfrOutcome::kAppliedIxfr;
+}
+
+}  // namespace sdns::dns

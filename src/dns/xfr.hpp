@@ -1,0 +1,33 @@
+// Zone transfer helpers: RFC 1982 serial arithmetic and client-side
+// application of AXFR / IXFR responses.
+//
+// The server side lives in AuthoritativeServer (answer_query handles the
+// AXFR and IXFR pseudo-types; a bounded journal of per-update diffs feeds
+// IXFR). These helpers let a secondary — or a recovering replica — bring a
+// stale zone copy up to date from a transfer response.
+#pragma once
+
+#include "dns/message.hpp"
+#include "dns/zone.hpp"
+
+namespace sdns::dns {
+
+/// RFC 1982 serial-number comparison for 32-bit DNS serials:
+/// -1 if a < b, +1 if a > b, 0 if equal or incomparable (distance 2^31).
+int serial_compare(std::uint32_t a, std::uint32_t b);
+
+/// Build an IXFR query: question (zone, IXFR), authority carrying the
+/// client's current SOA (whose serial tells the server where to diff from).
+Message make_ixfr_query(std::uint16_t id, const Name& zone, const SoaRdata& current_soa);
+
+enum class XfrOutcome {
+  kUpToDate,    ///< single-SOA response: nothing to do
+  kAppliedIxfr, ///< incremental diffs applied
+  kReplacedAxfr,///< full zone replaced
+  kMalformed,   ///< response did not follow the transfer format
+};
+
+/// Apply a transfer response (from answer_query on AXFR/IXFR) to `zone`.
+XfrOutcome apply_xfr_response(Zone& zone, const Message& response);
+
+}  // namespace sdns::dns

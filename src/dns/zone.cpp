@@ -1,0 +1,361 @@
+#include "dns/zone.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdns::dns {
+
+using util::Bytes;
+using util::BytesView;
+using util::ParseError;
+
+Zone::Zone(Name origin) : origin_(std::move(origin)) {}
+
+const RRset* Zone::find(const Name& name, RRType type) const {
+  auto it = data_.find(name);
+  if (it == data_.end()) return nullptr;
+  auto jt = it->second.find(type);
+  if (jt == it->second.end()) return nullptr;
+  return &jt->second;
+}
+
+std::vector<RRset> Zone::rrsets_at(const Name& name) const {
+  std::vector<RRset> out;
+  auto it = data_.find(name);
+  if (it == data_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [type, rrset] : it->second) out.push_back(rrset);
+  return out;
+}
+
+bool Zone::name_exists(const Name& name) const { return data_.count(name) != 0; }
+
+Name Zone::predecessor(const Name& name) const {
+  if (data_.empty()) return origin_;
+  auto it = data_.upper_bound(name);
+  if (it == data_.begin()) return origin_;
+  --it;
+  return it->first;
+}
+
+void Zone::add_record(const ResourceRecord& rr) {
+  auto& rrset = data_[rr.name][rr.type];
+  rrset.name = rr.name;
+  rrset.type = rr.type;
+  rrset.ttl = rr.ttl;
+  if (std::find(rrset.rdatas.begin(), rrset.rdatas.end(), rr.rdata) ==
+      rrset.rdatas.end()) {
+    rrset.rdatas.push_back(rr.rdata);
+  }
+}
+
+bool Zone::remove_rrset(const Name& name, RRType type) {
+  auto it = data_.find(name);
+  if (it == data_.end()) return false;
+  const bool removed = it->second.erase(type) != 0;
+  if (it->second.empty()) data_.erase(it);
+  return removed;
+}
+
+bool Zone::remove_record(const Name& name, RRType type, BytesView rdata) {
+  auto it = data_.find(name);
+  if (it == data_.end()) return false;
+  auto jt = it->second.find(type);
+  if (jt == it->second.end()) return false;
+  auto& rdatas = jt->second.rdatas;
+  auto rt = std::find_if(rdatas.begin(), rdatas.end(), [&](const Bytes& b) {
+    return BytesView(b).size() == rdata.size() &&
+           std::equal(b.begin(), b.end(), rdata.begin());
+  });
+  if (rt == rdatas.end()) return false;
+  rdatas.erase(rt);
+  if (rdatas.empty()) it->second.erase(jt);
+  if (it->second.empty()) data_.erase(it);
+  return true;
+}
+
+bool Zone::remove_name(const Name& name) { return data_.erase(name) != 0; }
+
+std::optional<SoaRdata> Zone::soa() const {
+  const RRset* rrset = find(origin_, RRType::kSOA);
+  if (!rrset || rrset->rdatas.empty()) return std::nullopt;
+  return SoaRdata::decode(rrset->rdatas.front());
+}
+
+void Zone::bump_serial() {
+  auto it = data_.find(origin_);
+  if (it == data_.end()) throw std::logic_error("zone has no SOA");
+  auto jt = it->second.find(RRType::kSOA);
+  if (jt == it->second.end() || jt->second.rdatas.empty()) {
+    throw std::logic_error("zone has no SOA");
+  }
+  SoaRdata soa = SoaRdata::decode(jt->second.rdatas.front());
+  ++soa.serial;
+  jt->second.rdatas.front() = soa.encode();
+}
+
+std::vector<Name> Zone::names() const {
+  std::vector<Name> out;
+  out.reserve(data_.size());
+  for (const auto& [name, types] : data_) out.push_back(name);
+  return out;
+}
+
+void Zone::for_each_rrset(const std::function<void(const RRset&)>& fn) const {
+  for (const auto& [name, types] : data_) {
+    for (const auto& [type, rrset] : types) fn(rrset);
+  }
+}
+
+std::size_t Zone::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, types] : data_) {
+    for (const auto& [type, rrset] : types) n += rrset.rdatas.size();
+  }
+  return n;
+}
+
+std::size_t Zone::rrset_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, types] : data_) n += types.size();
+  return n;
+}
+
+std::vector<Name> Zone::rebuild_nxt_chain() {
+  std::vector<Name> changed;
+  // Names holding only DNSSEC meta-records (NXT/SIG) are empty: they leave
+  // the zone and the chain entirely.
+  for (auto it = data_.begin(); it != data_.end();) {
+    bool only_meta = true;
+    for (const auto& [type, rrset] : it->second) {
+      if (type != RRType::kNXT && type != RRType::kSIG) {
+        only_meta = false;
+        break;
+      }
+    }
+    if (only_meta) {
+      it = data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (data_.empty()) return changed;
+  // Gather owner names (all existing names participate in the chain).
+  std::vector<const Name*> owners;
+  owners.reserve(data_.size());
+  for (const auto& [name, types] : data_) owners.push_back(&name);
+
+  const std::uint32_t nxt_ttl = [&] {
+    auto s = soa();
+    return s ? s->minimum : 300u;
+  }();
+
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    const Name& owner = *owners[i];
+    const Name& next = *owners[(i + 1) % owners.size()];
+    auto& types_at_owner = data_.find(owner)->second;
+    NxtRdata nxt;
+    nxt.next = next;
+    for (const auto& [type, rrset] : types_at_owner) {
+      if (static_cast<std::uint16_t>(type) <= 127 && type != RRType::kNXT) {
+        nxt.types.push_back(type);
+      }
+    }
+    nxt.types.push_back(RRType::kNXT);
+    if (std::find(nxt.types.begin(), nxt.types.end(), RRType::kSIG) == nxt.types.end()) {
+      nxt.types.push_back(RRType::kSIG);
+    }
+    std::sort(nxt.types.begin(), nxt.types.end());
+    const Bytes encoded = nxt.encode();
+    auto jt = types_at_owner.find(RRType::kNXT);
+    if (jt != types_at_owner.end() && jt->second.rdatas.size() == 1 &&
+        jt->second.rdatas.front() == encoded) {
+      continue;  // unchanged
+    }
+    RRset rrset;
+    rrset.name = owner;
+    rrset.type = RRType::kNXT;
+    rrset.ttl = nxt_ttl;
+    rrset.rdatas = {encoded};
+    types_at_owner[RRType::kNXT] = std::move(rrset);
+    changed.push_back(owner);
+  }
+  return changed;
+}
+
+void Zone::remove_sigs(const Name& name, RRType covered) {
+  auto it = data_.find(name);
+  if (it == data_.end()) return;
+  auto jt = it->second.find(RRType::kSIG);
+  if (jt == it->second.end()) return;
+  auto& rdatas = jt->second.rdatas;
+  rdatas.erase(std::remove_if(rdatas.begin(), rdatas.end(),
+                              [&](const Bytes& rd) {
+                                try {
+                                  return SigRdata::decode(rd).type_covered == covered;
+                                } catch (const ParseError&) {
+                                  return true;  // drop malformed SIGs
+                                }
+                              }),
+               rdatas.end());
+  if (rdatas.empty()) it->second.erase(jt);
+  if (it->second.empty()) data_.erase(it);
+}
+
+std::vector<ResourceRecord> Zone::all_records() const {
+  std::vector<ResourceRecord> out;
+  for_each_rrset([&](const RRset& rrset) {
+    for (auto& rr : rrset.to_records()) out.push_back(std::move(rr));
+  });
+  return out;
+}
+
+util::Bytes Zone::to_wire() const {
+  util::Writer w;
+  origin_.to_wire(w);
+  const auto records = all_records();
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const auto& rr : records) rr.to_wire(w);
+  return std::move(w).take();
+}
+
+Zone Zone::from_wire(util::BytesView data) {
+  util::Reader r(data);
+  std::vector<std::string> labels;
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if (len == 0) break;
+    if (len > 63) throw ParseError("bad origin label");
+    auto raw = r.raw(len);
+    labels.emplace_back(raw.begin(), raw.end());
+  }
+  Zone zone(Name::from_labels(std::move(labels)));
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ResourceRecord rr;
+    std::vector<std::string> owner;
+    for (;;) {
+      const std::uint8_t len = r.u8();
+      if (len == 0) break;
+      if (len > 63) throw ParseError("bad owner label");
+      auto raw = r.raw(len);
+      owner.emplace_back(raw.begin(), raw.end());
+    }
+    rr.name = Name::from_labels(std::move(owner));
+    rr.type = static_cast<RRType>(r.u16());
+    rr.klass = static_cast<RRClass>(r.u16());
+    rr.ttl = r.u32();
+    rr.rdata = r.lp16();
+    if (!zone.in_zone(rr.name)) throw ParseError("record outside zone in snapshot");
+    zone.add_record(rr);
+  }
+  r.expect_done();
+  return zone;
+}
+
+std::string Zone::to_text() const {
+  std::ostringstream os;
+  for_each_rrset([&](const RRset& rrset) {
+    for (const auto& rr : rrset.to_records()) os << rr.to_text() << "\n";
+  });
+  return os.str();
+}
+
+namespace {
+std::uint32_t parse_zone_u32(const std::string& s, std::size_t line_no) {
+  if (s.empty()) throw ParseError("empty number at line " + std::to_string(line_no));
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw ParseError("bad number '" + s + "' at line " + std::to_string(line_no));
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 0xffffffffULL) {
+      throw ParseError("number out of range at line " + std::to_string(line_no));
+    }
+  }
+  return static_cast<std::uint32_t>(v);
+}
+}  // namespace
+
+Zone Zone::from_text(const Name& origin, std::string_view text) {
+  Zone zone(origin);
+  std::uint32_t default_ttl = 3600;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    // Strip comments.
+    if (auto c = line.find(';'); c != std::string_view::npos) line = line.substr(0, c);
+    // Tokenize.
+    std::vector<std::string> tok;
+    std::string cur;
+    bool quoted = false;
+    for (char ch : line) {
+      if (ch == '"') {
+        quoted = !quoted;
+        cur.push_back(ch);
+        continue;
+      }
+      if (!quoted && (ch == ' ' || ch == '\t' || ch == '\r')) {
+        if (!cur.empty()) {
+          tok.push_back(std::move(cur));
+          cur.clear();
+        }
+      } else {
+        cur.push_back(ch);
+      }
+    }
+    if (!cur.empty()) tok.push_back(std::move(cur));
+    if (tok.empty()) continue;
+    if (tok[0] == "$TTL") {
+      if (tok.size() != 2) throw ParseError("bad $TTL at line " + std::to_string(line_no));
+      default_ttl = parse_zone_u32(tok[1], line_no);
+      continue;
+    }
+    if (tok.size() < 3) throw ParseError("short record at line " + std::to_string(line_no));
+
+    std::size_t i = 0;
+    Name owner = tok[i] == "@" ? origin : Name::parse(tok[i]);
+    if (tok[i] != "@" && tok[i].back() != '.') {
+      // Relative name: append origin.
+      std::vector<std::string> labels;
+      for (std::size_t l = 0; l < owner.label_count(); ++l) labels.push_back(owner.label(l));
+      Name abs = origin;
+      for (auto it = labels.rbegin(); it != labels.rend(); ++it) abs = abs.child(*it);
+      owner = abs;
+    }
+    ++i;
+    std::uint32_t ttl = default_ttl;
+    if (i < tok.size() && !tok[i].empty() && tok[i][0] >= '0' && tok[i][0] <= '9') {
+      ttl = parse_zone_u32(tok[i], line_no);
+      ++i;
+    }
+    if (i < tok.size() && tok[i] == "IN") ++i;
+    if (i >= tok.size()) throw ParseError("missing type at line " + std::to_string(line_no));
+    const RRType type = rrtype_from_string(tok[i]);
+    ++i;
+    std::string rdata_text;
+    for (; i < tok.size(); ++i) {
+      if (!rdata_text.empty()) rdata_text.push_back(' ');
+      rdata_text += tok[i];
+    }
+    ResourceRecord rr;
+    rr.name = owner;
+    rr.type = type;
+    rr.ttl = ttl;
+    rr.rdata = rdata_from_text(type, rdata_text);
+    if (!zone.in_zone(rr.name)) {
+      throw ParseError("record outside zone at line " + std::to_string(line_no));
+    }
+    zone.add_record(rr);
+  }
+  return zone;
+}
+
+}  // namespace sdns::dns

@@ -1,0 +1,98 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace sdns::sim {
+
+namespace {
+// Runs `job` now if the CPU is idle, otherwise re-schedules at busy_until.
+// FIFO tie-breaking in the simulator keeps deferred jobs in arrival order.
+void run_or_defer(Simulator& sim, Cpu& cpu, const std::function<void()>& job);
+}  // namespace
+
+void Cpu::enqueue(Time t, std::function<void()> job) {
+  sim_.schedule_at(std::max(t, busy_until_),
+                   [this, job = std::move(job)] { run_or_defer(sim_, *this, job); });
+}
+
+void Cpu::run_now(const std::function<void()>& job) {
+  pending_ = 0;
+  job();
+  busy_until_ = sim_.now() + pending_;
+  pending_ = 0;
+}
+
+namespace {
+void run_or_defer(Simulator& sim, Cpu& cpu, const std::function<void()>& job) {
+  if (cpu.busy_until() > sim.now()) {
+    sim.schedule_at(cpu.busy_until(), [&sim, &cpu, job] { run_or_defer(sim, cpu, job); });
+    return;
+  }
+  cpu.run_now(job);
+}
+}  // namespace
+
+Network::Network(Simulator& sim, util::Rng rng, std::size_t nodes, double default_latency)
+    : sim_(sim), rng_(rng) {
+  cpus_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) cpus_.emplace_back(sim, 1.0);
+  latency_.assign(nodes, std::vector<double>(nodes, default_latency));
+  drop_.assign(nodes, std::vector<double>(nodes, 0.0));
+  blocked_.assign(nodes, std::vector<bool>(nodes, false));
+  down_.assign(nodes, false);
+  handlers_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) latency_[i][i] = 0.0;
+}
+
+void Network::set_speed(NodeId node, double speed) {
+  if (speed <= 0) throw std::domain_error("speed must be positive");
+  cpus_[node].set_speed(speed);
+}
+
+void Network::set_latency(NodeId a, NodeId b, double one_way) {
+  latency_[a][b] = one_way;
+  latency_[b][a] = one_way;
+}
+
+void Network::set_drop_rate(NodeId a, NodeId b, double p) {
+  drop_[a][b] = p;
+  drop_[b][a] = p;
+}
+
+void Network::set_partitioned(NodeId a, NodeId b, bool blocked) {
+  blocked_[a][b] = blocked;
+  blocked_[b][a] = blocked;
+}
+
+void Network::set_node_down(NodeId node, bool down) { down_[node] = down; }
+
+void Network::set_handler(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Network::send(NodeId from, NodeId to, util::Bytes msg) {
+  ++messages_sent_;
+  bytes_sent_ += msg.size();
+  if (down_[from] || down_[to] || blocked_[from][to] ||
+      (drop_[from][to] > 0 && rng_.chance(drop_[from][to]))) {
+    ++messages_dropped_;
+    return;
+  }
+  const Time departure = cpus_[from].effective_now();
+  const double base = latency_[from][to];
+  const double delay = base * (1.0 + (jitter_ > 0 ? rng_.unit() * jitter_ : 0.0));
+  const Time arrival = departure + delay;
+  sim_.schedule_at(arrival, [this, from, to, msg = std::move(msg)]() mutable {
+    cpus_[to].enqueue(sim_.now(), [this, from, to, msg = std::move(msg)]() mutable {
+      if (handlers_[to]) handlers_[to](from, std::move(msg));
+    });
+  });
+}
+
+void Network::reset_stats() {
+  messages_sent_ = 0;
+  bytes_sent_ = 0;
+  messages_dropped_ = 0;
+}
+
+}  // namespace sdns::sim

@@ -1,0 +1,112 @@
+// Simulated network and per-node CPU accounting.
+//
+// Nodes are integers 0..n-1 (node n-1 + beyond may be clients). Each ordered
+// pair of nodes has a one-way latency (from the Figure 1 topology) plus
+// multiplicative jitter; messages may be dropped or the link partitioned for
+// fault injection.
+//
+// Every node owns a Cpu that serializes its message handling: a message
+// arriving at time t is handled at max(t, cpu.busy_until), and the handler
+// may charge() additional seconds of (speed-scaled) CPU work — the cost of
+// cryptographic operations, modelled after the paper's Table 3.  Messages a
+// handler sends depart at the moment the charged work completes, which makes
+// compute-bound protocols (the BASIC threshold signature protocol) behave in
+// the simulator the way the paper observed on its 266 MHz machines.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::sim {
+
+using NodeId = std::size_t;
+
+class Network;
+
+/// One node's serial processor.
+class Cpu {
+ public:
+  Cpu(Simulator& sim, double speed) : sim_(sim), speed_(speed) {}
+
+  double speed() const { return speed_; }
+  void set_speed(double speed) { speed_ = speed; }
+  Time busy_until() const { return busy_until_; }
+
+  /// Charge `ref_seconds` of work measured on the reference machine
+  /// (a Zurich PII-266). Only meaningful inside a running handler/job.
+  void charge(double ref_seconds) { pending_ += ref_seconds / speed_; }
+
+  /// Current virtual time including work charged so far by the running job.
+  Time effective_now() const { return sim_.now() + pending_; }
+
+  /// Run `job` as soon as the CPU is free at or after time `t`.
+  void enqueue(Time t, std::function<void()> job);
+
+  /// Execute `job` immediately, accounting its charges (internal helper).
+  void run_now(const std::function<void()>& job);
+
+ private:
+  Simulator& sim_;
+  double speed_;
+  Time busy_until_ = 0;
+  double pending_ = 0;  ///< work charged by the currently running job
+};
+
+class Network {
+ public:
+  /// `nodes` counts every addressable endpoint (servers and clients).
+  Network(Simulator& sim, util::Rng rng, std::size_t nodes, double default_latency);
+
+  Simulator& sim() { return sim_; }
+  std::size_t size() const { return cpus_.size(); }
+
+  Cpu& cpu(NodeId node) { return cpus_[node]; }
+  void set_speed(NodeId node, double speed);
+
+  /// Symmetric one-way latency between two endpoints (seconds).
+  void set_latency(NodeId a, NodeId b, double one_way);
+  double latency(NodeId a, NodeId b) const { return latency_[a][b]; }
+
+  /// Multiplicative jitter: each delivery takes latency * (1 + U[0,f]).
+  void set_jitter(double fraction) { jitter_ = fraction; }
+
+  /// Fault injection.
+  void set_drop_rate(NodeId a, NodeId b, double p);  // both directions
+  void set_partitioned(NodeId a, NodeId b, bool blocked);
+  void set_node_down(NodeId node, bool down);  // drops all its traffic
+  bool is_down(NodeId node) const { return down_[node]; }
+
+  using Handler = std::function<void(NodeId from, util::Bytes msg)>;
+  void set_handler(NodeId node, Handler handler);
+
+  /// Deliver `msg` to `to`; departs at the sender CPU's effective time and
+  /// arrives after link latency (+jitter), then waits for the receiver CPU.
+  void send(NodeId from, NodeId to, util::Bytes msg);
+
+  // Statistics.
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  void reset_stats();
+
+ private:
+  Simulator& sim_;
+  util::Rng rng_;
+  std::vector<Cpu> cpus_;
+  std::vector<std::vector<double>> latency_;
+  std::vector<std::vector<double>> drop_;
+  std::vector<std::vector<bool>> blocked_;
+  std::vector<bool> down_;
+  std::vector<Handler> handlers_;
+  double jitter_ = 0.05;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace sdns::sim

@@ -1,0 +1,99 @@
+#include "sim/testbed.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdns::sim {
+
+namespace {
+
+// Speeds relative to the Zurich PII-266 (Table 1). The Austin machine is a
+// dual PIII-1260 but each protocol thread is single-threaded, so we use the
+// per-core ratio; the Sun vs IBM JVM difference is folded into the ratio.
+const MachineSpec kZurich{"Zurich", "P II", 266, 1.0};
+const MachineSpec kNewYork{"New York", "P II", 300, 1.13};
+const MachineSpec kAustin{"Austin", "dual P III", 1260, 4.7};
+const MachineSpec kSanJose{"San Jose", "P III", 930, 3.5};
+
+// One-way link latencies in seconds (RTT/2). Keyed by location pair.
+double one_way(const std::string& a, const std::string& b) {
+  if (a == b) return 0.00015;  // same-site LAN: 0.3 ms RTT
+  static const std::map<std::pair<std::string, std::string>, double> kRtt = {
+      {{"New York", "Zurich"}, 0.095},
+      {{"Austin", "Zurich"}, 0.125},
+      {{"San Jose", "Zurich"}, 0.160},
+      {{"Austin", "New York"}, 0.055},
+      {{"New York", "San Jose"}, 0.075},
+      {{"Austin", "San Jose"}, 0.045},
+  };
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = kRtt.find(key);
+  if (it == kRtt.end()) throw std::logic_error("no latency for " + a + "-" + b);
+  return it->second / 2;
+}
+
+}  // namespace
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::kSingleZurich: return "single-zurich";
+    case Topology::kLan4: return "lan-4";
+    case Topology::kInternet4: return "internet-4";
+    case Topology::kInternet7: return "internet-7";
+  }
+  return "?";
+}
+
+Testbed make_testbed(Topology topology) {
+  Testbed bed;
+  switch (topology) {
+    case Topology::kSingleZurich:
+      bed.machines = {kZurich};
+      break;
+    case Topology::kLan4:
+      bed.machines = {kZurich, kZurich, kZurich, kZurich};
+      break;
+    case Topology::kInternet4:
+      bed.machines = {kZurich, kZurich, kNewYork, kSanJose};
+      break;
+    case Topology::kInternet7:
+      bed.machines = {kZurich, kZurich, kZurich, kZurich, kNewYork, kAustin, kSanJose};
+      break;
+  }
+  // The client: a machine on the Zurich LAN (dig/nsupdate host).
+  bed.machines.push_back(kZurich);
+  bed.client = bed.machines.size() - 1;
+  return bed;
+}
+
+void apply_testbed(const Testbed& bed, Network& net) {
+  if (net.size() < bed.machines.size()) {
+    throw std::logic_error("network too small for testbed");
+  }
+  for (NodeId i = 0; i < bed.machines.size(); ++i) {
+    net.set_speed(i, bed.machines[i].speed);
+    for (NodeId j = 0; j < i; ++j) {
+      net.set_latency(i, j, one_way(bed.machines[i].location, bed.machines[j].location));
+    }
+  }
+}
+
+std::string testbed_table1() {
+  std::ostringstream os;
+  os << "Location  | machines | CPU        | MHz  | speed (vs PII-266)\n"
+     << "Zurich    | 4        | P II       | 266  | 1.0\n"
+     << "New York  | 1        | P II       | 300  | 1.13\n"
+     << "Austin    | 1        | dual P III | 1260 | 4.7\n"
+     << "San Jose  | 1        | P III      | 930  | 3.5\n";
+  return os.str();
+}
+
+std::string testbed_figure1() {
+  std::ostringstream os;
+  os << "Assumed link RTTs (ms):  Zurich LAN 0.3 | Zurich-NY 95 | Zurich-Austin 125 |\n"
+     << "Zurich-SanJose 160 | NY-Austin 55 | NY-SanJose 75 | Austin-SanJose 45\n";
+  return os.str();
+}
+
+}  // namespace sdns::sim

@@ -1,0 +1,55 @@
+// The paper's experimental setups (Table 1 machines, Figure 1 topology).
+//
+// Seven server machines — four in Zurich on a 100 Mbit/s LAN, one each in
+// New York, Austin, and San Jose — plus a client on the Zurich LAN.  CPU
+// speeds are relative to the Zurich PII-266 reference.  The paper's Figure 1
+// reports measured round-trip times per link; the figure's numbers are not
+// present in the text we reproduce from, so the values below are plausible
+// 2004 IBM-intranet RTTs, documented in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sdns::sim {
+
+struct MachineSpec {
+  std::string location;
+  std::string cpu;
+  unsigned mhz;
+  double speed;  ///< relative to Zurich PII-266
+};
+
+/// Which replica group an experiment row uses (Table 2 first column).
+enum class Topology {
+  kSingleZurich,   ///< (1,0): one unmodified server
+  kLan4,           ///< (4,0)*: four Zurich machines on the LAN
+  kInternet4,      ///< (4,k): Zurich x2, New York, San Jose
+  kInternet7,      ///< (7,k): Zurich x4, New York, Austin, San Jose
+};
+
+const char* to_string(Topology t);
+
+struct Testbed {
+  /// Machines hosting replicas, index = NodeId. The client is the last node.
+  std::vector<MachineSpec> machines;
+  NodeId client = 0;  ///< the dig/nsupdate host (Zurich LAN)
+
+  std::size_t replica_count() const { return machines.size() - 1; }
+};
+
+/// Build the machine list for a topology (client appended last).
+Testbed make_testbed(Topology topology);
+
+/// Configure latencies and CPU speeds on a Network sized for `bed`.
+void apply_testbed(const Testbed& bed, Network& net);
+
+/// Table 1 of the paper, for bench banners.
+std::string testbed_table1();
+
+/// The Figure 1 link RTTs we assume (milliseconds), for bench banners.
+std::string testbed_figure1();
+
+}  // namespace sdns::sim

@@ -1,0 +1,25 @@
+// Pre-generated safe primes for benchmark-sized threshold keys.
+//
+// Shoup's dealer needs safe primes; generating 512-bit safe primes takes
+// minutes, which is fine for a one-time trusted setup (the paper's SINTRA
+// key utility is also run offline) but too slow inside benchmarks and tests.
+// These constants were produced by tools/gen_fixtures using this library's
+// own generate_safe_prime and are re-validated by tests/threshold tests.
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/bigint.hpp"
+
+namespace sdns::threshold::fixtures {
+
+/// Safe primes p, q for a 512-bit modulus (256-bit each).
+const bn::BigInt& safe_prime_256_a();
+const bn::BigInt& safe_prime_256_b();
+
+/// Safe primes p, q for a 1024-bit modulus (512-bit each) — the paper's
+/// "1024-bit RSA moduli with SHA-1 and PKCS#1 encoding".
+const bn::BigInt& safe_prime_512_a();
+const bn::BigInt& safe_prime_512_b();
+
+}  // namespace sdns::threshold::fixtures

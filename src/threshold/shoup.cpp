@@ -1,0 +1,297 @@
+#include "threshold/shoup.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+#include "bignum/prime.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sdns::threshold {
+
+using bn::BigInt;
+using util::Bytes;
+using util::BytesView;
+using util::Reader;
+using util::Writer;
+
+namespace {
+
+void put_bigint(Writer& w, const BigInt& v) { w.lp16(v.to_bytes_be()); }
+BigInt get_bigint(Reader& r) { return BigInt::from_bytes_be(r.lp16()); }
+
+/// Fiat-Shamir challenge c = SHA-256(v, x_tilde, v_i, x_i^2, v_prime, x_prime).
+BigInt challenge(const ThresholdPublicKey& pk, const BigInt& x_tilde, const BigInt& vi,
+                 const BigInt& xi2, const BigInt& v_prime, const BigInt& x_prime) {
+  Writer w;
+  put_bigint(w, pk.v);
+  put_bigint(w, x_tilde);
+  put_bigint(w, vi);
+  put_bigint(w, xi2);
+  put_bigint(w, v_prime);
+  put_bigint(w, x_prime);
+  return BigInt::from_bytes_be(crypto::Sha256::digest(w.bytes()));
+}
+
+}  // namespace
+
+Bytes ThresholdPublicKey::encode() const {
+  Writer w;
+  w.u32(n);
+  w.u32(t);
+  put_bigint(w, N);
+  put_bigint(w, e);
+  put_bigint(w, v);
+  w.u32(static_cast<std::uint32_t>(vi.size()));
+  for (const auto& x : vi) put_bigint(w, x);
+  return std::move(w).take();
+}
+
+ThresholdPublicKey ThresholdPublicKey::decode(BytesView b) {
+  Reader r(b);
+  ThresholdPublicKey pk;
+  pk.n = r.u32();
+  pk.t = r.u32();
+  pk.N = get_bigint(r);
+  pk.e = get_bigint(r);
+  pk.v = get_bigint(r);
+  const std::uint32_t count = r.u32();
+  if (count != pk.n) throw util::ParseError("verification key count mismatch");
+  pk.vi.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) pk.vi.push_back(get_bigint(r));
+  r.expect_done();
+  pk.delta = bn::factorial(pk.n);
+  return pk;
+}
+
+Bytes KeyShare::encode() const {
+  Writer w;
+  w.u32(index);
+  put_bigint(w, si);
+  return std::move(w).take();
+}
+
+KeyShare KeyShare::decode(BytesView b) {
+  Reader r(b);
+  KeyShare s;
+  s.index = r.u32();
+  s.si = get_bigint(r);
+  r.expect_done();
+  return s;
+}
+
+Bytes SignatureShare::encode() const {
+  Writer w;
+  w.u32(index);
+  put_bigint(w, xi);
+  w.u8(has_proof ? 1 : 0);
+  if (has_proof) {
+    put_bigint(w, c);
+    put_bigint(w, z);
+  }
+  return std::move(w).take();
+}
+
+SignatureShare SignatureShare::decode(BytesView b) {
+  Reader r(b);
+  SignatureShare s;
+  s.index = r.u32();
+  s.xi = get_bigint(r);
+  s.has_proof = r.u8() != 0;
+  if (s.has_proof) {
+    s.c = get_bigint(r);
+    s.z = get_bigint(r);
+  }
+  r.expect_done();
+  return s;
+}
+
+DealtKey deal_with_primes(util::Rng& rng, unsigned n, unsigned t, const BigInt& p,
+                          const BigInt& q) {
+  if (n == 0 || t >= n) throw std::domain_error("require 0 <= t < n");
+  const BigInt N = p * q;
+  const BigInt p_prime = (p - BigInt(1)) >> 1;
+  const BigInt q_prime = (q - BigInt(1)) >> 1;
+  const BigInt m = p_prime * q_prime;
+
+  // Public exponent: prime, > n, coprime to m. 65537 works for any sane n.
+  const BigInt e(65537);
+  if (BigInt(static_cast<std::uint64_t>(n)) >= e) {
+    throw std::domain_error("group too large for fixed public exponent");
+  }
+  const BigInt d = bn::mod_inverse(e, m);
+
+  // Secret sharing polynomial f of degree t over Z_m with f(0) = d.
+  std::vector<BigInt> coeff;
+  coeff.push_back(d);
+  for (unsigned i = 0; i < t; ++i) coeff.push_back(bn::random_below(rng, m));
+
+  DealtKey out;
+  out.pub.n = n;
+  out.pub.t = t;
+  out.pub.N = N;
+  out.pub.e = e;
+  out.pub.delta = bn::factorial(n);
+
+  // Verification base v: a random square (generator of Q_N w.h.p.).
+  bn::Montgomery mont(N);
+  for (;;) {
+    BigInt r = bn::random_below(rng, N);
+    if (bn::gcd(r, N) != BigInt(1)) continue;
+    out.pub.v = mont.mul(r, r);
+    if (out.pub.v != BigInt(1)) break;
+  }
+
+  out.shares.reserve(n);
+  out.pub.vi.reserve(n);
+  for (unsigned i = 1; i <= n; ++i) {
+    // Horner evaluation of f(i) mod m.
+    BigInt x(static_cast<std::uint64_t>(i));
+    BigInt s(0);
+    for (std::size_t j = coeff.size(); j-- > 0;) {
+      s = bn::mod_floor(s * x + coeff[j], m);
+    }
+    out.pub.vi.push_back(mont.pow(out.pub.v, s));
+    out.shares.push_back(KeyShare{i, std::move(s)});
+  }
+  return out;
+}
+
+DealtKey refresh_shares(util::Rng& rng, const ThresholdPublicKey& current,
+                        const BigInt& p, const BigInt& q) {
+  if (p * q != current.N) {
+    throw std::domain_error("refresh_shares: primes do not match the modulus");
+  }
+  // d is recomputed from (e, p, q); a fresh polynomial re-shares it.
+  DealtKey fresh = deal_with_primes(rng, current.n, current.t, p, q);
+  if (fresh.pub.e != current.e) {
+    throw std::logic_error("refresh produced a different public exponent");
+  }
+  return fresh;
+}
+
+DealtKey deal(util::Rng& rng, unsigned n, unsigned t, std::size_t bits) {
+  for (;;) {
+    BigInt p = bn::generate_safe_prime(rng, bits / 2);
+    BigInt q = bn::generate_safe_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    if ((p * q).bit_length() != bits) continue;
+    return deal_with_primes(rng, n, t, p, q);
+  }
+}
+
+BigInt hash_to_element(const ThresholdPublicKey& pk, BytesView msg) {
+  return crypto::pkcs1_sha1_encode(msg, pk.modulus_bytes());
+}
+
+SignatureShare generate_share(const ThresholdPublicKey& pk, const KeyShare& share,
+                              const BigInt& x, bool with_proof, util::Rng& rng) {
+  bn::Montgomery mont(pk.N);
+  SignatureShare out;
+  out.index = share.index;
+  const BigInt exponent = (share.si * pk.delta) << 1;  // 2*Delta*s_i
+  out.xi = mont.pow(x, exponent);
+  if (with_proof) {
+    // Prove log_{x_tilde}(x_i^2) == log_v(v_i) where x_tilde = x^{4*Delta}.
+    const BigInt x_tilde = mont.pow(x, pk.delta << 2);
+    const BigInt xi2 = mont.mul(out.xi, out.xi);
+    // Nonce r uniform in [0, 2^(|N| + 2*256)).
+    const std::size_t r_bits = pk.N.bit_length() + 2 * crypto::Sha256::kDigestSize * 8;
+    const BigInt r = bn::random_below(rng, BigInt(1) << r_bits);
+    const BigInt v_prime = mont.pow(pk.v, r);
+    const BigInt x_prime = mont.pow(x_tilde, r);
+    out.c = challenge(pk, x_tilde, pk.vi[share.index - 1], xi2, v_prime, x_prime);
+    out.z = share.si * out.c + r;
+    out.has_proof = true;
+  }
+  return out;
+}
+
+bool verify_share(const ThresholdPublicKey& pk, const BigInt& x, const SignatureShare& share) {
+  if (!share.has_proof) return false;
+  if (share.index < 1 || share.index > pk.n) return false;
+  if (share.xi.is_zero() || share.xi.is_negative() || share.xi >= pk.N) return false;
+  if (share.z.is_negative() || share.c.is_negative()) return false;
+  bn::Montgomery mont(pk.N);
+  const BigInt x_tilde = mont.pow(x, pk.delta << 2);
+  const BigInt xi2 = mont.mul(share.xi, share.xi);
+  const BigInt& vi = pk.vi[share.index - 1];
+  BigInt v_prime, x_prime;
+  try {
+    // v^z * v_i^{-c} and x_tilde^z * x_i^{-2c}.
+    v_prime = mont.mul(mont.pow(pk.v, share.z),
+                       mont.pow(bn::mod_inverse(vi, pk.N), share.c));
+    x_prime = mont.mul(mont.pow(x_tilde, share.z),
+                       mont.pow(bn::mod_inverse(xi2, pk.N), share.c));
+  } catch (const std::domain_error&) {
+    return false;  // non-invertible element: reveals a factor, but never valid
+  }
+  return challenge(pk, x_tilde, vi, xi2, v_prime, x_prime) == share.c;
+}
+
+std::optional<BigInt> assemble(const ThresholdPublicKey& pk, const BigInt& x,
+                               std::span<const SignatureShare> shares) {
+  if (shares.size() != static_cast<std::size_t>(pk.t) + 1) return std::nullopt;
+  std::set<unsigned> indices;
+  for (const auto& s : shares) {
+    if (s.index < 1 || s.index > pk.n) return std::nullopt;
+    if (!indices.insert(s.index).second) return std::nullopt;
+    if (s.xi.is_zero() || s.xi.is_negative() || s.xi >= pk.N) return std::nullopt;
+  }
+  bn::Montgomery mont(pk.N);
+  // w = prod x_j^{2*lambda_{0,j}} where lambda_{0,j} = Delta * prod_{j'!=j} j'/(j'-j)
+  BigInt w(1);
+  for (const auto& s : shares) {
+    BigInt num = pk.delta;
+    BigInt den(1);
+    for (const auto& other : shares) {
+      if (other.index == s.index) continue;
+      num *= BigInt(static_cast<std::uint64_t>(other.index));
+      den *= BigInt(static_cast<std::int64_t>(other.index) -
+                    static_cast<std::int64_t>(s.index));
+    }
+    BigInt lambda = num / den;  // exact division (standard Shoup fact)
+    if (lambda * den != num) return std::nullopt;  // defensive: never happens
+    BigInt exp2 = lambda << 1;
+    BigInt base = s.xi;
+    if (exp2.is_negative()) {
+      try {
+        base = bn::mod_inverse(base, pk.N);
+      } catch (const std::domain_error&) {
+        return std::nullopt;
+      }
+      exp2 = -exp2;
+    }
+    w = mont.mul(w, mont.pow(base, exp2));
+  }
+  // w^e = x^{4*Delta^2}; find a, b with 4*Delta^2*a + e*b = 1, y = w^a * x^b.
+  const BigInt four_delta_sq = (pk.delta * pk.delta) << 2;
+  BigInt a, b;
+  const BigInt g = bn::ext_gcd(four_delta_sq, pk.e, a, b);
+  if (g != BigInt(1)) return std::nullopt;  // impossible: e prime > n
+  BigInt wa, xb;
+  auto pow_signed = [&](const BigInt& base, const BigInt& exp) -> std::optional<BigInt> {
+    if (!exp.is_negative()) return mont.pow(base, exp);
+    try {
+      return mont.pow(bn::mod_inverse(base, pk.N), -exp);
+    } catch (const std::domain_error&) {
+      return std::nullopt;
+    }
+  };
+  auto wa_opt = pow_signed(w, a);
+  auto xb_opt = pow_signed(x, b);
+  if (!wa_opt || !xb_opt) return std::nullopt;
+  return mont.mul(*wa_opt, *xb_opt);
+}
+
+bool verify_signature(const ThresholdPublicKey& pk, const BigInt& x, const BigInt& y) {
+  if (y.is_negative() || y >= pk.N) return false;
+  bn::Montgomery mont(pk.N);
+  return mont.pow(y, pk.e) == bn::mod_floor(x, pk.N);
+}
+
+Bytes signature_bytes(const ThresholdPublicKey& pk, const BigInt& y) {
+  return y.to_bytes_be(pk.modulus_bytes());
+}
+
+}  // namespace sdns::threshold

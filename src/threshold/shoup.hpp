@@ -1,0 +1,124 @@
+// Shoup's practical RSA threshold signature scheme (EUROCRYPT 2000).
+//
+// This is the paper's mechanism for keeping the DNSSEC zone key online
+// without any single server ever holding it (goal G3): an (n, t) sharing of
+// the RSA private exponent where any t+1 servers can jointly produce a
+// *standard* PKCS#1 v1.5 RSA/SHA-1 signature, while t servers learn nothing.
+//
+// Components:
+//  - Dealer: run once by a trusted entity (the paper uses SINTRA's key
+//    generation utility); picks N = p*q from safe primes, shares d with a
+//    degree-t polynomial mod m = p'q', and publishes verification values.
+//  - generate_share / verify_share: a server's signature share
+//    x_i = x^{2*Delta*s_i} mod N with an optional non-interactive
+//    zero-knowledge correctness proof (Fiat-Shamir over SHA-256).
+//  - assemble: combine t+1 share values into y with y^e = x via integer
+//    Lagrange interpolation in the exponent.
+//
+// The share *value* is cheap; the proof is the expensive part — this cost
+// split is exactly what the paper's OptProof/OptTE optimizations exploit
+// (§3.5, Table 3).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bignum/bigint.hpp"
+#include "crypto/rsa.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::threshold {
+
+/// Public data of an (n, t) threshold RSA key. Known to every server and to
+/// verifying clients (clients only need {N, e}).
+struct ThresholdPublicKey {
+  unsigned n = 0;  ///< number of servers
+  unsigned t = 0;  ///< corruption threshold; t+1 shares assemble a signature
+  bn::BigInt N;    ///< RSA modulus (product of two safe primes)
+  bn::BigInt e;    ///< public exponent, prime and > n
+  bn::BigInt v;    ///< verification base, generator of the squares subgroup
+  std::vector<bn::BigInt> vi;  ///< vi[i-1] = v^{s_i} mod N for server i
+  bn::BigInt delta;            ///< n! (Shoup's Delta)
+
+  crypto::RsaPublicKey rsa() const { return {N, e}; }
+  std::size_t modulus_bytes() const { return (N.bit_length() + 7) / 8; }
+
+  util::Bytes encode() const;
+  static ThresholdPublicKey decode(util::BytesView b);
+};
+
+/// One server's private share of the zone key.
+struct KeyShare {
+  unsigned index = 0;  ///< 1-based server index
+  bn::BigInt si;       ///< f(index) mod m
+
+  util::Bytes encode() const;
+  static KeyShare decode(util::BytesView b);
+};
+
+/// A signature share, optionally carrying the correctness proof (c, z).
+struct SignatureShare {
+  unsigned index = 0;
+  bn::BigInt xi;  ///< x^{2*Delta*s_i} mod N
+  bool has_proof = false;
+  bn::BigInt c;  ///< Fiat-Shamir challenge
+  bn::BigInt z;  ///< response, z = s_i*c + r over the integers
+
+  util::Bytes encode() const;
+  static SignatureShare decode(util::BytesView b);
+};
+
+/// Output of the trusted dealer.
+struct DealtKey {
+  ThresholdPublicKey pub;
+  std::vector<KeyShare> shares;  ///< one per server, index 1..n
+};
+
+/// Run the trusted dealer. `bits` is the modulus size; p and q are safe
+/// primes, which makes large sizes slow to generate — tests use <= 512 bits
+/// and benches load fixtures (see fixtures.hpp).
+DealtKey deal(util::Rng& rng, unsigned n, unsigned t, std::size_t bits);
+
+/// Dealer variant with externally supplied safe primes (for fixtures).
+DealtKey deal_with_primes(util::Rng& rng, unsigned n, unsigned t, const bn::BigInt& p,
+                          const bn::BigInt& q);
+
+/// Proactive share refresh (run periodically by the dealer, cf. the paper's
+/// reference to Castro-Liskov proactive recovery): re-shares the *same* RSA
+/// key with a fresh random polynomial and fresh verification values. The
+/// public key {N, e} is unchanged, so existing SIG records and clients are
+/// unaffected, but old and new shares are mutually incompatible — shares an
+/// attacker stole before the refresh become useless. Requires the dealer's
+/// primes p, q (the dealer is trusted and offline, §4.3).
+DealtKey refresh_shares(util::Rng& rng, const ThresholdPublicKey& current,
+                        const bn::BigInt& p, const bn::BigInt& q);
+
+/// The value actually signed: EMSA-PKCS1-v1_5(SHA-1(msg)) as an integer,
+/// identical to what plain RSA would sign — so assembled signatures verify
+/// with crypto::rsa_verify_sha1.
+bn::BigInt hash_to_element(const ThresholdPublicKey& pk, util::BytesView msg);
+
+/// Compute server `share.index`'s signature share on x. When `with_proof`,
+/// also compute the (expensive) correctness proof.
+SignatureShare generate_share(const ThresholdPublicKey& pk, const KeyShare& share,
+                              const bn::BigInt& x, bool with_proof, util::Rng& rng);
+
+/// Verify a share's correctness proof. Shares without proofs never verify.
+bool verify_share(const ThresholdPublicKey& pk, const bn::BigInt& x,
+                  const SignatureShare& share);
+
+/// Combine exactly t+1 shares (distinct indices) into y with y^e = x mod N.
+/// Does not check share validity; callers verify the result (or the shares).
+/// Returns std::nullopt if indices are out of range or duplicated.
+std::optional<bn::BigInt> assemble(const ThresholdPublicKey& pk, const bn::BigInt& x,
+                                   std::span<const SignatureShare> shares);
+
+/// Check y^e == x mod N (cheap: e is small).
+bool verify_signature(const ThresholdPublicKey& pk, const bn::BigInt& x, const bn::BigInt& y);
+
+/// Convenience: modulus-sized signature bytes from y (for DNS SIG records).
+util::Bytes signature_bytes(const ThresholdPublicKey& pk, const bn::BigInt& y);
+
+}  // namespace sdns::threshold

@@ -1,0 +1,16 @@
+// One-shot utility that regenerates the safe-prime fixtures embedded in
+// fixtures.cpp. Run manually; output is C++ source to paste in.
+#include <cstdio>
+
+#include "bignum/prime.hpp"
+
+int main() {
+  sdns::util::Rng rng(0x5d5e5);  // fixed seed: fixtures are reproducible
+  for (std::size_t bits : {256u, 512u}) {
+    for (char tag : {'a', 'b'}) {
+      auto p = sdns::bn::generate_safe_prime(rng, bits, 40);
+      std::printf("// %zu-bit safe prime '%c'\n\"%s\"\n", bits, tag, p.to_hex().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "util/bytes.hpp"
+
+namespace sdns::util {
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+std::string hex_encode(BytesView b) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t c : b) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw ParseError("hex string has odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_val(hex[i]);
+    int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw ParseError("invalid hex digit");
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace sdns::util

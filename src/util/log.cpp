@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace sdns::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::function<void(LogLevel, const std::string&)> g_sink;
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace sdns::util

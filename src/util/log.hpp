@@ -1,0 +1,44 @@
+// Minimal leveled logging.  Protocol modules log through this so tests can
+// silence output and examples can show message flow.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace sdns::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replace the sink (default writes to stderr). Used by tests.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void logf(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log_line(level, os.str());
+}
+
+#define SDNS_LOG_DEBUG(...) ::sdns::util::logf(::sdns::util::LogLevel::kDebug, __VA_ARGS__)
+#define SDNS_LOG_INFO(...) ::sdns::util::logf(::sdns::util::LogLevel::kInfo, __VA_ARGS__)
+#define SDNS_LOG_WARN(...) ::sdns::util::logf(::sdns::util::LogLevel::kWarn, __VA_ARGS__)
+#define SDNS_LOG_ERROR(...) ::sdns::util::logf(::sdns::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace sdns::util

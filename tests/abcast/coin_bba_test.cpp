@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abcast/bba.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::abcast {
+namespace {
+
+using sim::Network;
+using sim::NodeId;
+using sim::Simulator;
+using util::Bytes;
+using util::Rng;
+
+// Group generation is expensive; share one group per (n, t).
+const Group& group_4() {
+  static const Group g = [] {
+    Rng rng(1001);
+    return generate_group(rng, 4, 1, 512);
+  }();
+  return g;
+}
+
+const Group& group_7() {
+  static const Group g = [] {
+    Rng rng(1002);
+    return generate_group(rng, 7, 2, 512);
+  }();
+  return g;
+}
+
+TEST(Group, GenerateRejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(generate_group(rng, 3, 1, 512), std::domain_error);
+}
+
+TEST(Group, SignVerifyWorksPerNode) {
+  const Group& g = group_4();
+  const auto msg = util::to_bytes("statement");
+  for (unsigned i = 0; i < 4; ++i) {
+    auto sig = node_sign(g.secrets[i], msg);
+    EXPECT_TRUE(node_verify(*g.pub, i, msg, sig));
+    EXPECT_FALSE(node_verify(*g.pub, (i + 1) % 4, msg, sig));
+  }
+  EXPECT_FALSE(node_verify(*g.pub, 99, msg, {}));
+}
+
+// ---- threshold coin ----------------------------------------------------------
+
+struct CoinHarness {
+  explicit CoinHarness(const Group& g, std::vector<unsigned> down = {})
+      : sim(), net(sim, Rng(42), g.pub->n, 0.001) {
+    net.set_jitter(0.1);
+    Rng seed(43);
+    for (unsigned i = 0; i < g.pub->n; ++i) {
+      ThresholdCoin::Callbacks cb;
+      cb.send_to_all = [this, i, n = g.pub->n](const Bytes& m) {
+        for (unsigned j = 0; j < n; ++j) {
+          if (j != i) net.send(i, j, m);
+        }
+      };
+      coins.push_back(
+          std::make_unique<ThresholdCoin>(g.pub, g.secrets[i], std::move(cb), seed.fork()));
+      net.set_handler(i, [this, i](NodeId, Bytes m) { coins[i]->on_message(m); });
+    }
+    for (unsigned d : down) net.set_node_down(d, true);
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<ThresholdCoin>> coins;
+};
+
+TEST(ThresholdCoin, AllNodesSeeTheSameCoin) {
+  CoinHarness h(group_4());
+  std::vector<int> values(4, -1);
+  for (unsigned i = 0; i < 4; ++i) {
+    h.coins[i]->request(5, 0, [&values, i](bool b) { values[i] = b ? 1 : 0; });
+  }
+  h.sim.run();
+  for (unsigned i = 0; i < 4; ++i) {
+    ASSERT_NE(values[i], -1) << "node " << i << " never got the coin";
+    EXPECT_EQ(values[i], values[0]);
+  }
+}
+
+TEST(ThresholdCoin, DifferentRoundsGiveIndependentCoins) {
+  CoinHarness h(group_4());
+  std::vector<int> bits;
+  for (std::uint32_t round = 0; round < 16; ++round) {
+    for (unsigned i = 0; i < 4; ++i) {
+      h.coins[i]->request(7, round, [&bits, i](bool b) {
+        if (i == 0) bits.push_back(b ? 1 : 0);
+      });
+    }
+  }
+  h.sim.run();
+  ASSERT_EQ(bits.size(), 16u);
+  // Not all identical (probability 2^-15 under a fair coin).
+  EXPECT_NE(std::count(bits.begin(), bits.end(), bits[0]), 16);
+}
+
+TEST(ThresholdCoin, WorksWithTSilentNodes) {
+  CoinHarness h(group_7(), /*down=*/{5, 6});
+  std::vector<int> values(7, -1);
+  for (unsigned i = 0; i < 5; ++i) {
+    h.coins[i]->request(9, 3, [&values, i](bool b) { values[i] = b ? 1 : 0; });
+  }
+  h.sim.run();
+  for (unsigned i = 0; i < 5; ++i) {
+    ASSERT_NE(values[i], -1);
+    EXPECT_EQ(values[i], values[0]);
+  }
+}
+
+TEST(ThresholdCoin, CachedCoinFiresSynchronously) {
+  CoinHarness h(group_4());
+  for (unsigned i = 0; i < 4; ++i) h.coins[i]->request(1, 0, [](bool) {});
+  h.sim.run();
+  bool fired = false;
+  h.coins[0]->request(1, 0, [&](bool) { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(ThresholdCoin, IgnoresGarbageMessages) {
+  CoinHarness h(group_4());
+  h.coins[0]->on_message(util::to_bytes("\xC0garbage"));
+  h.coins[0]->on_message(util::to_bytes("unrelated"));
+  std::vector<int> values(4, -1);
+  for (unsigned i = 0; i < 4; ++i) {
+    h.coins[i]->request(2, 0, [&values, i](bool b) { values[i] = b ? 1 : 0; });
+  }
+  h.sim.run();
+  EXPECT_NE(values[0], -1);
+}
+
+// ---- binary agreement --------------------------------------------------------
+
+struct BbaHarness {
+  BbaHarness(const Group& g, std::uint64_t instance, std::vector<unsigned> down = {})
+      : group(g), net(sim, Rng(52), g.pub->n, 0.001) {
+    net.set_jitter(0.2);
+    Rng seed(53);
+    decisions.assign(g.pub->n, -1);
+    for (unsigned i = 0; i < g.pub->n; ++i) {
+      ThresholdCoin::Callbacks ccb;
+      ccb.send_to_all = [this, i](const Bytes& m) { broadcast(i, m); };
+      coins.push_back(
+          std::make_unique<ThresholdCoin>(g.pub, g.secrets[i], std::move(ccb), seed.fork()));
+      BinaryAgreement::Callbacks bcb;
+      bcb.send_to_all = [this, i](const Bytes& m) { broadcast(i, m); };
+      bcb.on_decide = [this, i](bool v) { decisions[i] = v ? 1 : 0; };
+      bbas.push_back(std::make_unique<BinaryAgreement>(g.pub, i, instance, *coins[i],
+                                                       std::move(bcb)));
+      net.set_handler(i, [this, i](NodeId from, Bytes m) {
+        if (ThresholdCoin::is_coin_message(m)) {
+          coins[i]->on_message(m);
+        } else {
+          bbas[i]->on_message(static_cast<unsigned>(from), m);
+        }
+      });
+    }
+    for (unsigned d : down) net.set_node_down(d, true);
+  }
+
+  void broadcast(unsigned from, const Bytes& m) {
+    for (unsigned j = 0; j < group.pub->n; ++j) {
+      if (j != from) net.send(from, j, m);
+    }
+  }
+
+  void expect_agreement(const std::vector<unsigned>& faulty = {}) {
+    int value = -1;
+    for (unsigned i = 0; i < group.pub->n; ++i) {
+      if (std::find(faulty.begin(), faulty.end(), i) != faulty.end()) continue;
+      ASSERT_NE(decisions[i], -1) << "node " << i << " undecided";
+      if (value == -1) value = decisions[i];
+      EXPECT_EQ(decisions[i], value) << "node " << i;
+    }
+  }
+
+  const Group& group;
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<ThresholdCoin>> coins;
+  std::vector<std::unique_ptr<BinaryAgreement>> bbas;
+  std::vector<int> decisions;
+};
+
+TEST(BinaryAgreement, UnanimousZeroDecidesZero) {
+  BbaHarness h(group_4(), 100);
+  for (auto& b : h.bbas) b->start(false);
+  h.sim.run();
+  h.expect_agreement();
+  EXPECT_EQ(h.decisions[0], 0);
+}
+
+TEST(BinaryAgreement, UnanimousOneDecidesOne) {
+  BbaHarness h(group_4(), 101);
+  for (auto& b : h.bbas) b->start(true);
+  h.sim.run();
+  h.expect_agreement();
+  EXPECT_EQ(h.decisions[0], 1);
+}
+
+TEST(BinaryAgreement, MixedInputsStillAgree) {
+  for (std::uint64_t instance : {200u, 201u, 202u, 203u}) {
+    BbaHarness h(group_4(), instance);
+    for (unsigned i = 0; i < 4; ++i) h.bbas[i]->start(i % 2 == 0);
+    h.sim.run();
+    h.expect_agreement();
+  }
+}
+
+TEST(BinaryAgreement, SevenNodesMixedInputs) {
+  BbaHarness h(group_7(), 300);
+  for (unsigned i = 0; i < 7; ++i) h.bbas[i]->start(i < 3);
+  h.sim.run();
+  h.expect_agreement();
+  EXPECT_LT(h.bbas[0]->rounds_used(), 50u);
+}
+
+TEST(BinaryAgreement, ToleratesTCrashedNodes) {
+  BbaHarness h(group_7(), 301, /*down=*/{5, 6});
+  for (unsigned i = 0; i < 5; ++i) h.bbas[i]->start(i % 2 == 1);
+  h.sim.run();
+  h.expect_agreement({5, 6});
+}
+
+TEST(BinaryAgreement, ToleratesEquivocatingByzantineNode) {
+  // Node 3 is Byzantine: it runs no protocol but floods conflicting BVAL and
+  // AUX frames for every round.
+  BbaHarness h(group_4(), 400);
+  for (unsigned i = 0; i < 3; ++i) h.bbas[i]->start(i != 0);
+  // Craft conflicting frames from node 3.
+  for (std::uint32_t round = 0; round < 6; ++round) {
+    for (int bit = 0; bit < 2; ++bit) {
+      util::Writer bval;
+      bval.u8(0xB1);
+      bval.u64(400);
+      bval.u32(round);
+      bval.u8(static_cast<std::uint8_t>(bit));
+      util::Writer aux;
+      aux.u8(0xB2);
+      aux.u64(400);
+      aux.u32(round);
+      aux.u8(static_cast<std::uint8_t>(bit));
+      for (unsigned j = 0; j < 3; ++j) {
+        h.net.send(3, j, bval.bytes());
+        h.net.send(3, j, aux.bytes());
+      }
+    }
+  }
+  h.sim.run();
+  h.expect_agreement({3});
+}
+
+TEST(BinaryAgreement, FakeDecideFromByzantineIsNotTrusted) {
+  // With t = 1, a single Byzantine DECIDE(1) must not flip honest nodes that
+  // all vote 0.
+  BbaHarness h(group_4(), 500);
+  for (unsigned i = 0; i < 3; ++i) h.bbas[i]->start(false);
+  util::Writer decide;
+  decide.u8(0xB3);
+  decide.u64(500);
+  decide.u32(0);
+  decide.u8(1);
+  for (unsigned j = 0; j < 3; ++j) h.net.send(3, j, decide.bytes());
+  h.sim.run();
+  h.expect_agreement({3});
+  EXPECT_EQ(h.decisions[0], 0);
+}
+
+TEST(BinaryAgreement, PeekHelpers) {
+  util::Writer w;
+  w.u8(0xB1);
+  w.u64(777);
+  w.u32(0);
+  w.u8(1);
+  EXPECT_TRUE(BinaryAgreement::is_bba_message(w.bytes()));
+  EXPECT_EQ(BinaryAgreement::peek_instance(w.bytes()), 777u);
+  EXPECT_FALSE(BinaryAgreement::is_bba_message(util::to_bytes("x")));
+  EXPECT_EQ(BinaryAgreement::peek_instance(util::to_bytes("xx")), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sdns::abcast

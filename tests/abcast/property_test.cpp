@@ -1,0 +1,178 @@
+// Property tests for the atomic broadcast: across random seeds, fault
+// mixes, and submission patterns, all honest nodes must deliver the same
+// sequence (agreement + integrity) containing every honest submission
+// (validity), with no duplicates.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abcast/broadcast.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::abcast {
+namespace {
+
+using sim::Network;
+using sim::NodeId;
+using sim::Simulator;
+using util::Bytes;
+using util::Rng;
+
+const Group& group_4() {
+  static const Group g = [] {
+    Rng rng(3001);
+    return generate_group(rng, 4, 1, 512);
+  }();
+  return g;
+}
+
+const Group& group_7() {
+  static const Group g = [] {
+    Rng rng(3002);
+    return generate_group(rng, 7, 2, 512);
+  }();
+  return g;
+}
+
+struct RunResult {
+  std::vector<std::vector<Bytes>> delivered;
+  std::vector<unsigned> crashed;
+};
+
+RunResult random_run(const Group& g, std::uint64_t seed) {
+  Rng scenario(seed);
+  const unsigned n = g.pub->n;
+  Simulator sim;
+  Network net(sim, Rng(seed * 31), n, 0.002);
+  net.set_jitter(0.3);
+  Rng fork(seed * 17);
+  RunResult run;
+  run.delivered.resize(n);
+  std::vector<std::unique_ptr<AtomicBroadcast>> nodes;
+  for (unsigned i = 0; i < n; ++i) {
+    AtomicBroadcast::Callbacks cb;
+    cb.send = [&net, i](unsigned to, const Bytes& m) { net.send(i, to, m); };
+    cb.deliver = [&run, i](const Bytes& p) { run.delivered[i].push_back(p); };
+    cb.now = [&sim] { return sim.now(); };
+    cb.set_timer = [&sim, &net, i](double d, std::function<void()> fn) {
+      // A crashed node does not run: its timers die with it (otherwise its
+      // complaint loop would tick forever).
+      sim.schedule(d, [&net, &sim, i, fn = std::move(fn)] {
+        if (net.is_down(i)) return;
+        net.cpu(i).enqueue(sim.now(), fn);
+      });
+    };
+    AtomicBroadcast::Options opt;
+    opt.complaint_timeout = 0.4;
+    nodes.push_back(std::make_unique<AtomicBroadcast>(g.pub, g.secrets[i], std::move(cb),
+                                                      opt, fork.fork()));
+    net.set_handler(i, [&nodes, i](NodeId from, Bytes m) {
+      nodes[i]->on_message(static_cast<unsigned>(from), m);
+    });
+  }
+  // Crash up to t nodes (possibly including the leader) at a random time.
+  const unsigned crash_count = static_cast<unsigned>(scenario.below(g.pub->t + 1));
+  std::set<unsigned> crashed;
+  while (crashed.size() < crash_count) {
+    crashed.insert(static_cast<unsigned>(scenario.below(n)));
+  }
+  run.crashed.assign(crashed.begin(), crashed.end());
+  for (unsigned c : run.crashed) {
+    const double when = scenario.unit() * 0.2;
+    sim.schedule(when, [&net, c] { net.set_node_down(c, true); });
+  }
+  // Random submissions from random (healthy-at-submit-time) nodes.
+  const int payloads = 3 + static_cast<int>(scenario.below(8));
+  for (int k = 0; k < payloads; ++k) {
+    unsigned origin;
+    do {
+      origin = static_cast<unsigned>(scenario.below(n));
+    } while (crashed.count(origin));
+    const double when = scenario.unit() * 0.5;
+    sim.schedule(when, [&nodes, origin, k] {
+      nodes[origin]->submit(util::to_bytes("payload-" + std::to_string(k)));
+    });
+  }
+  sim.set_event_cap(5'000'000);
+  sim.run();
+  return run;
+}
+
+void check_invariants(const Group& g, const RunResult& run, std::uint64_t seed) {
+  const std::vector<Bytes>* reference = nullptr;
+  for (unsigned i = 0; i < g.pub->n; ++i) {
+    if (std::find(run.crashed.begin(), run.crashed.end(), i) != run.crashed.end()) {
+      continue;
+    }
+    // Integrity: no duplicates at any honest node.
+    std::set<std::string> seen;
+    for (const auto& p : run.delivered[i]) {
+      EXPECT_TRUE(seen.insert(util::to_string(p)).second)
+          << "duplicate delivery at node " << i << " seed " << seed;
+    }
+    // Agreement: identical sequences.
+    if (!reference) {
+      reference = &run.delivered[i];
+    } else {
+      EXPECT_EQ(run.delivered[i], *reference) << "node " << i << " seed " << seed;
+    }
+  }
+  ASSERT_NE(reference, nullptr);
+}
+
+class BroadcastProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST_P(BroadcastProperty, AgreementAndIntegrityFourNodes) {
+  const RunResult run = random_run(group_4(), GetParam());
+  check_invariants(group_4(), run, GetParam());
+}
+
+TEST_P(BroadcastProperty, AgreementAndIntegritySevenNodes) {
+  const RunResult run = random_run(group_7(), GetParam() + 1000);
+  check_invariants(group_7(), run, GetParam());
+}
+
+TEST(BroadcastProperty, ValidityWithoutFaults) {
+  // With no crashes, every submitted payload must be delivered everywhere.
+  const Group& g = group_4();
+  Simulator sim;
+  Network net(sim, Rng(71), 4, 0.002);
+  Rng fork(72);
+  std::vector<std::vector<Bytes>> delivered(4);
+  std::vector<std::unique_ptr<AtomicBroadcast>> nodes;
+  for (unsigned i = 0; i < 4; ++i) {
+    AtomicBroadcast::Callbacks cb;
+    cb.send = [&net, i](unsigned to, const Bytes& m) { net.send(i, to, m); };
+    cb.deliver = [&delivered, i](const Bytes& p) { delivered[i].push_back(p); };
+    cb.now = [&sim] { return sim.now(); };
+    cb.set_timer = [&sim, &net, i](double d, std::function<void()> fn) {
+      sim.schedule(d, [&net, &sim, i, fn = std::move(fn)] {
+        net.cpu(i).enqueue(sim.now(), fn);
+      });
+    };
+    nodes.push_back(std::make_unique<AtomicBroadcast>(
+        g.pub, g.secrets[i], std::move(cb), AtomicBroadcast::Options{}, fork.fork()));
+    net.set_handler(i, [&nodes, i](NodeId from, Bytes m) {
+      nodes[i]->on_message(static_cast<unsigned>(from), m);
+    });
+  }
+  std::set<std::string> submitted;
+  for (int k = 0; k < 25; ++k) {
+    const std::string payload = "v" + std::to_string(k);
+    submitted.insert(payload);
+    nodes[static_cast<unsigned>(k % 4)]->submit(util::to_bytes(payload));
+  }
+  sim.run();
+  for (unsigned i = 0; i < 4; ++i) {
+    std::set<std::string> got;
+    for (const auto& p : delivered[i]) got.insert(util::to_string(p));
+    EXPECT_EQ(got, submitted) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sdns::abcast

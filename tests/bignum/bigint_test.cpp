@@ -1,0 +1,297 @@
+#include "bignum/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sdns::bn {
+namespace {
+
+using util::Rng;
+
+BigInt rand_int(Rng& rng, std::size_t max_bits) {
+  const std::size_t bits = rng.below(max_bits) + 1;
+  const std::size_t nbytes = (bits + 7) / 8;
+  auto b = rng.bytes(nbytes);
+  BigInt v = BigInt::from_bytes_be(b);
+  return rng.chance(0.5) ? v : -v;
+}
+
+TEST(BigInt, ConstructionFromInt64) {
+  EXPECT_EQ(BigInt(0).to_dec(), "0");
+  EXPECT_EQ(BigInt(1).to_dec(), "1");
+  EXPECT_EQ(BigInt(-1).to_dec(), "-1");
+  EXPECT_EQ(BigInt(INT64_MAX).to_dec(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).to_dec(), "-9223372036854775808");
+}
+
+TEST(BigInt, ToI64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         INT64_MAX, INT64_MIN, std::int64_t{123456789}}) {
+    EXPECT_EQ(BigInt(v).to_i64(), v);
+  }
+  BigInt big = BigInt(1) << 64;
+  EXPECT_THROW(big.to_i64(), std::overflow_error);
+}
+
+TEST(BigInt, DecStringRoundTrip) {
+  const char* cases[] = {
+      "0", "1", "-1", "18446744073709551616",  // 2^64
+      "340282366920938463463374607431768211455",  // 2^128-1
+      "-99999999999999999999999999999999999999"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::from_dec(s).to_dec(), s) << s;
+  }
+}
+
+TEST(BigInt, HexStringRoundTrip) {
+  EXPECT_EQ(BigInt::from_hex("ff").to_dec(), "255");
+  EXPECT_EQ(BigInt::from_hex("-10").to_dec(), "-16");
+  EXPECT_EQ(BigInt::from_hex("deadbeefcafebabe0123456789").to_hex(),
+            "deadbeefcafebabe0123456789");
+}
+
+TEST(BigInt, ParseErrors) {
+  EXPECT_THROW(BigInt::from_dec(""), util::ParseError);
+  EXPECT_THROW(BigInt::from_dec("-"), util::ParseError);
+  EXPECT_THROW(BigInt::from_dec("12a"), util::ParseError);
+  EXPECT_THROW(BigInt::from_hex("xyz"), util::ParseError);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  util::Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  BigInt v = BigInt::from_bytes_be(b);
+  EXPECT_EQ(v.to_bytes_be(), b);
+  EXPECT_EQ(v.to_bytes_be(12).size(), 12u);
+  EXPECT_EQ(v.to_bytes_be(12)[0], 0);
+  EXPECT_THROW(v.to_bytes_be(4), std::length_error);
+}
+
+TEST(BigInt, LeadingZeroBytesIgnored) {
+  util::Bytes b = {0x00, 0x00, 0x7f};
+  EXPECT_EQ(BigInt::from_bytes_be(b).to_dec(), "127");
+}
+
+TEST(BigInt, AdditionBasics) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).to_dec(), "5");
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).to_dec(), "1");
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).to_dec(), "-1");
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).to_dec(), "-5");
+}
+
+TEST(BigInt, CarryPropagation) {
+  BigInt max64 = BigInt::from_hex("ffffffffffffffff");
+  EXPECT_EQ((max64 + BigInt(1)).to_hex(), "10000000000000000");
+  BigInt max128 = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((max128 + BigInt(1)).to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(BigInt, MultiplicationBasics) {
+  EXPECT_EQ((BigInt(7) * BigInt(-6)).to_dec(), "-42");
+  BigInt big = BigInt::from_dec("18446744073709551615");
+  EXPECT_EQ((big * big).to_dec(), "340282366920938463426481119284349108225");
+}
+
+TEST(BigInt, ShiftLeftRight) {
+  BigInt one(1);
+  EXPECT_EQ((one << 100).to_hex(), "10000000000000000000000000");
+  EXPECT_EQ(((one << 100) >> 100).to_dec(), "1");
+  EXPECT_EQ((BigInt(0xff) >> 4).to_dec(), "15");
+  EXPECT_EQ((BigInt(1) >> 1).to_dec(), "0");
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_dec(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_dec(), "-3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_dec(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_dec(), "-1");
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::domain_error);
+  EXPECT_THROW(BigInt(1) % BigInt(0), std::domain_error);
+}
+
+TEST(BigInt, KnuthDivisionHardCase) {
+  // Case designed to trigger the qhat correction path: divisor with high limb
+  // pattern close to the base.
+  BigInt u = BigInt::from_hex("7fffffffffffffff8000000000000000");
+  BigInt v = BigInt::from_hex("80000000000000000000000000000001");
+  BigInt q, r;
+  BigInt::divmod(u, v, q, r);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_TRUE(r < v);
+}
+
+TEST(BigInt, DivModPropertyRandomized) {
+  Rng rng(2026);
+  for (int i = 0; i < 500; ++i) {
+    BigInt a = rand_int(rng, 512);
+    BigInt b = rand_int(rng, 256);
+    if (b.is_zero()) continue;
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.abs() < b.abs());
+    // Remainder sign matches dividend (or zero).
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.is_negative(), a.is_negative());
+    }
+  }
+}
+
+TEST(BigInt, AddSubPropertyRandomized) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    BigInt a = rand_int(rng, 384);
+    BigInt b = rand_int(rng, 384);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+TEST(BigInt, MulDistributesOverAdd) {
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = rand_int(rng, 256);
+    BigInt b = rand_int(rng, 256);
+    BigInt c = rand_int(rng, 256);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigInt, ShiftEqualsMulDivByPowerOfTwo) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = rand_int(rng, 300).abs();
+    std::size_t s = rng.below(130);
+    EXPECT_EQ(a << s, a * (BigInt(1) << s));
+    EXPECT_EQ(a >> s, a / (BigInt(1) << s));
+  }
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt(5), BigInt(3));
+  EXPECT_LE(BigInt(3), BigInt(3));
+  EXPECT_EQ(BigInt(0), -BigInt(0));
+}
+
+TEST(BigInt, BitLengthAndBit) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ((BigInt(1) << 1000).bit_length(), 1001u);
+  BigInt v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(ModArith, ModFloorAlwaysNonNegative) {
+  EXPECT_EQ(mod_floor(BigInt(-7), BigInt(3)).to_dec(), "2");
+  EXPECT_EQ(mod_floor(BigInt(7), BigInt(3)).to_dec(), "1");
+  EXPECT_EQ(mod_floor(BigInt(-9), BigInt(3)).to_dec(), "0");
+  EXPECT_THROW(mod_floor(BigInt(1), BigInt(0)), std::domain_error);
+  EXPECT_THROW(mod_floor(BigInt(1), BigInt(-3)), std::domain_error);
+}
+
+TEST(ModArith, AddSubMul) {
+  BigInt m(101);
+  EXPECT_EQ(mod_add(BigInt(100), BigInt(5), m).to_dec(), "4");
+  EXPECT_EQ(mod_sub(BigInt(3), BigInt(5), m).to_dec(), "99");
+  EXPECT_EQ(mod_mul(BigInt(50), BigInt(50), m).to_dec(), "76");  // 2500 mod 101
+}
+
+TEST(ModArith, ModPowSmall) {
+  EXPECT_EQ(mod_pow(BigInt(2), BigInt(10), BigInt(1000)).to_dec(), "24");
+  EXPECT_EQ(mod_pow(BigInt(3), BigInt(0), BigInt(7)).to_dec(), "1");
+  EXPECT_EQ(mod_pow(BigInt(0), BigInt(5), BigInt(7)).to_dec(), "0");
+  EXPECT_EQ(mod_pow(BigInt(5), BigInt(3), BigInt(1)).to_dec(), "0");
+}
+
+TEST(ModArith, ModPowEvenModulus) {
+  // Exercise the non-Montgomery path.
+  EXPECT_EQ(mod_pow(BigInt(3), BigInt(4), BigInt(100)).to_dec(), "81");
+  EXPECT_EQ(mod_pow(BigInt(7), BigInt(13), BigInt(2048)).to_dec(),
+            mod_floor(BigInt(std::int64_t{96889010407}) /* 7^13 */, BigInt(2048)).to_dec());
+}
+
+TEST(ModArith, FermatLittleTheorem) {
+  // p prime: a^(p-1) = 1 mod p.
+  BigInt p = BigInt::from_dec("1000000007");
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt(rng.range(2, 1000000));
+    EXPECT_EQ(mod_pow(a, p - BigInt(1), p).to_dec(), "1");
+  }
+}
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd(BigInt(12), BigInt(18)).to_dec(), "6");
+  EXPECT_EQ(gcd(BigInt(-12), BigInt(18)).to_dec(), "6");
+  EXPECT_EQ(gcd(BigInt(0), BigInt(5)).to_dec(), "5");
+  EXPECT_EQ(gcd(BigInt(17), BigInt(13)).to_dec(), "1");
+}
+
+TEST(ExtGcd, BezoutIdentityRandomized) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = rand_int(rng, 200);
+    BigInt b = rand_int(rng, 200);
+    BigInt x, y;
+    BigInt g = ext_gcd(a, b, x, y);
+    EXPECT_EQ(a * x + b * y, g);
+    EXPECT_FALSE(g.is_negative());
+    if (!a.is_zero() || !b.is_zero()) {
+      EXPECT_FALSE(g.is_zero());
+    }
+  }
+}
+
+TEST(ModInverse, InverseTimesValueIsOne) {
+  Rng rng(12);
+  BigInt m = BigInt::from_dec("1000000007");
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt(rng.range(1, 1000000006));
+    BigInt inv = mod_inverse(a, m);
+    EXPECT_EQ(mod_mul(a, inv, m).to_dec(), "1");
+  }
+  EXPECT_THROW(mod_inverse(BigInt(6), BigInt(12)), std::domain_error);
+}
+
+TEST(Jacobi, KnownValues) {
+  // (a/7) for a = 1..6: 1, 1, -1, 1, -1, -1
+  const int expected[] = {1, 1, -1, 1, -1, -1};
+  for (int a = 1; a <= 6; ++a) {
+    EXPECT_EQ(jacobi(BigInt(a), BigInt(7)), expected[a - 1]) << a;
+  }
+  EXPECT_EQ(jacobi(BigInt(7), BigInt(7)), 0);
+  EXPECT_THROW(jacobi(BigInt(1), BigInt(8)), std::domain_error);
+}
+
+TEST(Jacobi, MultiplicativeInTopArgument) {
+  Rng rng(13);
+  BigInt n = BigInt::from_dec("104729");  // prime
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt(rng.range(1, 104728));
+    BigInt b = BigInt(rng.range(1, 104728));
+    EXPECT_EQ(jacobi(a * b, n), jacobi(a, n) * jacobi(b, n));
+  }
+}
+
+TEST(Factorial, SmallValues) {
+  EXPECT_EQ(factorial(0).to_dec(), "1");
+  EXPECT_EQ(factorial(1).to_dec(), "1");
+  EXPECT_EQ(factorial(5).to_dec(), "120");
+  EXPECT_EQ(factorial(20).to_dec(), "2432902008176640000");
+  EXPECT_EQ(factorial(25).to_dec(), "15511210043330985984000000");
+}
+
+}  // namespace
+}  // namespace sdns::bn

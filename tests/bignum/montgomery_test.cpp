@@ -1,0 +1,92 @@
+#include "bignum/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::bn {
+namespace {
+
+using util::Rng;
+
+TEST(Montgomery, RejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(Montgomery(BigInt(10)), std::domain_error);
+  EXPECT_THROW(Montgomery(BigInt(1)), std::domain_error);
+  EXPECT_THROW(Montgomery(BigInt(0)), std::domain_error);
+}
+
+TEST(Montgomery, MulMatchesNaive) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    BigInt m = random_bits(rng, 10 + rng.below(300));
+    if (m.is_even()) m += BigInt(1);
+    if (m <= BigInt(1)) continue;
+    Montgomery mont(m);
+    for (int i = 0; i < 10; ++i) {
+      BigInt a = random_below(rng, m);
+      BigInt b = random_below(rng, m);
+      EXPECT_EQ(mont.mul(a, b), mod_mul(a, b, m));
+    }
+  }
+}
+
+TEST(Montgomery, PowMatchesNaiveSquareAndMultiply) {
+  Rng rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    BigInt m = random_bits(rng, 64 + rng.below(200));
+    if (m.is_even()) m += BigInt(1);
+    Montgomery mont(m);
+    BigInt a = random_below(rng, m);
+    BigInt e = random_bits(rng, 1 + rng.below(80));
+    // Naive reference.
+    BigInt expected(1);
+    for (std::size_t i = e.bit_length(); i-- > 0;) {
+      expected = mod_mul(expected, expected, m);
+      if (e.bit(i)) expected = mod_mul(expected, a, m);
+    }
+    EXPECT_EQ(mont.pow(a, e), expected);
+  }
+}
+
+TEST(Montgomery, PowEdgeCases) {
+  Montgomery mont(BigInt(101));
+  EXPECT_EQ(mont.pow(BigInt(5), BigInt(0)), BigInt(1));
+  EXPECT_EQ(mont.pow(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(mont.pow(BigInt(1), BigInt(1000000)), BigInt(1));
+  EXPECT_EQ(mont.pow(BigInt(100), BigInt(2)), BigInt(1));  // (-1)^2
+  EXPECT_THROW(mont.pow(BigInt(2), BigInt(-1)), std::domain_error);
+}
+
+TEST(Montgomery, PowReducesBaseFirst) {
+  Montgomery mont(BigInt(97));
+  EXPECT_EQ(mont.pow(BigInt(97 + 3), BigInt(5)), mod_pow(BigInt(3), BigInt(5), BigInt(97)));
+  EXPECT_EQ(mont.pow(BigInt(-1), BigInt(3)), BigInt(96));
+}
+
+TEST(Montgomery, LargeModulusRsaSized) {
+  Rng rng(23);
+  BigInt p = generate_prime(rng, 256, 12);
+  BigInt q = generate_prime(rng, 256, 12);
+  BigInt n = p * q;
+  Montgomery mont(n);
+  // Euler: a^phi = 1 (mod n) for gcd(a, n) = 1.
+  BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+  for (int i = 0; i < 5; ++i) {
+    BigInt a = random_below(rng, n);
+    if (gcd(a, n) != BigInt(1)) continue;
+    EXPECT_EQ(mont.pow(a, phi), BigInt(1));
+  }
+}
+
+TEST(Montgomery, ExponentWithZeroWindows) {
+  // Exponent with long runs of zero bits exercises the window loop.
+  Montgomery mont(BigInt::from_dec("1000000000000000003"));
+  BigInt e = (BigInt(1) << 130) + BigInt(1);
+  BigInt a(12345);
+  BigInt expected = mod_pow(a, e, mont.modulus());
+  EXPECT_EQ(mont.pow(a, e), expected);
+}
+
+}  // namespace
+}  // namespace sdns::bn

@@ -1,0 +1,91 @@
+#include "bignum/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdns::bn {
+namespace {
+
+using util::Rng;
+
+TEST(MillerRabin, SmallKnownPrimes) {
+  Rng rng(31);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 7919ULL, 104729ULL, 1000000007ULL}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(MillerRabin, SmallKnownComposites) {
+  Rng rng(32);
+  for (std::uint64_t c : {1ULL, 4ULL, 9ULL, 15ULL, 91ULL, 561ULL /* Carmichael */,
+                          41041ULL /* Carmichael */, 1000000008ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(MillerRabin, NegativeAndZero) {
+  Rng rng(33);
+  EXPECT_FALSE(is_probable_prime(BigInt(0), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(-7), rng));
+}
+
+TEST(MillerRabin, LargeKnownPrime) {
+  Rng rng(34);
+  // 2^127 - 1 is a Mersenne prime.
+  BigInt m127 = (BigInt(1) << 127) - BigInt(1);
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  // 2^128 - 1 = 3 * 5 * 17 * ... is composite.
+  EXPECT_FALSE(is_probable_prime((BigInt(1) << 128) - BigInt(1), rng));
+}
+
+TEST(RandomBits, ExactBitLength) {
+  Rng rng(35);
+  for (std::size_t bits : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 257u}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(random_bits(rng, bits).bit_length(), bits);
+    }
+  }
+}
+
+TEST(RandomBelow, UniformSupport) {
+  Rng rng(36);
+  BigInt bound(10);
+  bool seen[10] = {};
+  for (int i = 0; i < 500; ++i) {
+    BigInt v = random_below(rng, bound);
+    ASSERT_TRUE(v < bound);
+    ASSERT_FALSE(v.is_negative());
+    seen[v.low_u64()] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_THROW(random_below(rng, BigInt(0)), std::domain_error);
+}
+
+TEST(GeneratePrime, ProducesPrimesOfRequestedSize) {
+  Rng rng(37);
+  for (std::size_t bits : {32u, 64u, 128u, 256u}) {
+    BigInt p = generate_prime(rng, bits, 16);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng, 32));
+  }
+}
+
+TEST(GenerateSafePrime, BothHalvesPrime) {
+  Rng rng(38);
+  for (std::size_t bits : {32u, 64u, 128u}) {
+    BigInt p = generate_safe_prime(rng, bits, 16);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng, 32));
+    BigInt q = (p - BigInt(1)) >> 1;
+    EXPECT_TRUE(is_probable_prime(q, rng, 32)) << "q not prime for p=" << p.to_dec();
+  }
+}
+
+TEST(GeneratePrime, DistinctAcrossCalls) {
+  Rng rng(39);
+  BigInt a = generate_prime(rng, 96, 12);
+  BigInt b = generate_prime(rng, 96, 12);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sdns::bn

@@ -1,0 +1,97 @@
+// Cross-implementation vectors: division and modular exponentiation results
+// generated independently with CPython's arbitrary-precision integers
+// (seed 20040704). Guards the Knuth Algorithm D corner cases (qhat
+// correction, add-back) and the Montgomery window exponentiation against a
+// second implementation.
+#include <gtest/gtest.h>
+
+#include "bignum/bigint.hpp"
+
+namespace sdns::bn {
+namespace {
+
+struct DivVector {
+  const char* a;
+  const char* b;
+  const char* q;
+  const char* r;
+};
+
+constexpr DivVector kDivVectors[] = {
+    {"1b9fc9e1198a6e42227afa3019933ee4192878b21e24fa7ae882b7c535a7d34239aedb9ff7495abe86f0e6fba9e753ca",
+     "136e5691886df527ef548ff78608e253c6b3b6d55b304fc3b9fc95b45729f03",
+     "16bf1871b17a1e89bdab72e0135f40120a",
+     "cd93c977ba345ef14fada7fee1ef54cf251a57a29bed047df94ba6067ee7ac"},
+    {"336466e8ff7d45dc63c70f4843378146a81ae2ff4b2157f1695a31d2955f71d28bf820c2de54a816553ffb0c6b98061db3c11668a9cac8ed70980e697ddcecd5a8f00176bb3ac15ba1d2e0186640cd",
+     "397487db18c82fb14f2ba561bf62094fa53db5ba2c15c6c69fe5",
+     "e4fc43bdf5c179414aa7aeacf2d777c9508331e25f1c1922350f3e0db0c1c8e031a6ad57bcca122c316005a92068d078f16e169243",
+     "3e5ac19184c37031a900928ed1ee8071b614b7b9174a78bcdde"},
+    {"b6abd935e0ae22b5b928960d7a1ec8c25839e55d98e621c8b0273d8cdab84081f1d05857efc11dbda2ad3c3b43b95015a06e15f761e3",
+     "612a4f36d42d5b1e2caf3a356adc8e7bf03d1b39a43dce4dd98a88419e4016343b77a50c47",
+     "1e148110f3452a2d72e9754a2dbe08b9ba6",
+     "3c30c279f6f0f91a656f5710e773c9ab1d17251092e0e90858181de9ce36d2f054c7f56ed9"},
+    {"1ff135a93339625e92ad95b48769165d93bf521810c9b7ef569d0735e5934",
+     "1241bd94a31d8e65f282392ab1b3db77fd14159c42933e0cebb822031a7bd91b9556f627f4abf1feb9853",
+     "0",
+     "1ff135a93339625e92ad95b48769165d93bf521810c9b7ef569d0735e5934"},
+    {"19c03a20b9aa3db1e477d1543c5711b0925473309a5b802f3247813e1b8a25382d792caa27eda9cd87cfc6426209ccbe7762ed11ff5ebd772c6d05d1005b6bee6c6396b9a51509d9161b1a80709fb5b021334e97",
+     "ef87386a380ffad149bfcbf07a3269704bed6f1013108ff7b130d01fc45",
+     "1b858f22ed5e7fdd3e1a37cc762378ed2a32946ebdfd5a18b3844aa9b5ff5d7f3ccc1ac4ee6f8c53522512e36ea1973a2a3628e1ee986",
+     "ee7ebbe849fbede4d2a557362c192d055a1a2bb028b5561d14cad787579"},
+    {"76ef5dd8f4c698f26d9684e281626776fcc9acc5c3f2f28ed677b00ae8688594c0ec6",
+     "22e77c16ee78be1de32643d94a531a52ac658fd5e1696a2eb14603d103874b25dcbd81b2e386d6d38549238fc2b7f5e7",
+     "0",
+     "76ef5dd8f4c698f26d9684e281626776fcc9acc5c3f2f28ed677b00ae8688594c0ec6"},
+    {"54fb4ec6c83eb86b8d201d41e1bff219abe8c26ee4ac3577f7576302f9d9324852426157b6986f79adcd3541b72a7dab06e6d021a994801624a9beb38e529d00feec9b2",
+     "1d0acf26e339c81137d89",
+     "2ed17a50c951c104984273665c52e54be2b2f1b20ebccc936b0403a1c51c898bc9e4c8a490c5e8d4d61af9c7acc949463894c34c61f8335f74b",
+     "18fca39142e8f58bcd38f"},
+    {"2c868378155ceb5a836b3243debcdb80766528b4ccdab00a1024676421d3beab24e5036102f3a1d1d9151299da4326ebbb56c81746ef4ce0b9f1aa2c8ad4f190914a4e0a6706d03a72ff0b8a7",
+     "aefcc9d62da22a8cd5446e03f898e2d333cc77daa3ea2cc5caf94b83b77444a85111cd",
+     "412397a6c7baf457382a1318d5f08ca0dcd304014e68ec410716ba65ab94a171cce154cbe213200ef59",
+     "611e803bc8d2dc9bad95e6f3e51524556d456dd5b859659ee19174ffb437bdf2232562"},
+};
+
+TEST(PythonVectors, DivisionMatchesCPython) {
+  for (const auto& v : kDivVectors) {
+    const BigInt a = BigInt::from_hex(v.a);
+    const BigInt b = BigInt::from_hex(v.b);
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q.to_hex(), v.q) << v.a;
+    EXPECT_EQ(r.to_hex(), v.r) << v.a;
+  }
+}
+
+struct PowVector {
+  const char* base;
+  const char* exp;
+  const char* mod;
+  const char* expected;
+};
+
+constexpr PowVector kPowVectors[] = {
+    {"9de61fc52342c3907ce546228ec46aa4985de076c2b4cabc1d", "fa0fe3fb385fedc8976ab533",
+     "2ce42971d1c93f9a105704fa565be6baef9a08ad42119f4da4960d924676d069",
+     "13a24271c25d7d3785d7cbcd5aeb8aafb70e9ff729b0b9db999bcf76474de4c9"},
+    {"70c0d388f08eda45a0b77c7bb7fa74c3e86e3063850da6d6ef", "e741e0494d19f585c6009a3c",
+     "9ebc1b95d936240a827b57ba3c1e32a626035cdb9108e5b5769998baa2c652b9",
+     "5847de74204639e707fac6837d09b82fad4e4f1b5f9e797b1b1421494cdabe3e"},
+    {"84758eccaf1b711b6ed6d7f97f40aba4aede07fb61b85e40a4", "d42ad824fd837c123e0c6893",
+     "945c7322a74eef22dd06b55cb4010f68a52c09bf291e18c05789fb341fd2f7f7",
+     "25e9670dbd6ac0a6703251782962407a88c7d37e1f38c034d635eb1cb8bd3ddf"},
+    {"493f436c6947049534737d19f21fcc9ccc8b6056187f2c1289", "bf10c706141c1912c830fd07",
+     "c754d54a90f6a32fe48c361ff8d85faf38de4740f53114da1259a91439ba1199",
+     "7eac9637e019b92fa72a7657a2dcd838277e2d557d423cd69628ed08ea8674a8"},
+};
+
+TEST(PythonVectors, ModExpMatchesCPython) {
+  for (const auto& v : kPowVectors) {
+    const BigInt result =
+        mod_pow(BigInt::from_hex(v.base), BigInt::from_hex(v.exp), BigInt::from_hex(v.mod));
+    EXPECT_EQ(result.to_hex(), v.expected) << v.base;
+  }
+}
+
+}  // namespace
+}  // namespace sdns::bn

@@ -1,0 +1,247 @@
+// Unit tests for the client logic in isolation (mock transport, manual
+// timer control): retry/round-robin behavior, vote counting, response
+// matching, and the DNSSEC acceptability check.
+#include "core/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "crypto/rsa.hpp"
+#include "dns/dnssec.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using util::Bytes;
+using util::Rng;
+
+struct MockTransport {
+  std::vector<std::pair<unsigned, Bytes>> sent;
+  std::deque<std::function<void()>> timers;
+  double now = 0;
+
+  Client make_client(Client::Options opt) {
+    Client::Callbacks cb;
+    cb.send = [this](unsigned replica, const Bytes& wire) {
+      sent.push_back({replica, wire});
+    };
+    cb.now = [this] { return now; };
+    cb.set_timer = [this](double, std::function<void()> fn) {
+      timers.push_back(std::move(fn));
+    };
+    return Client(opt, std::move(cb), Rng(1));
+  }
+
+  void fire_next_timer() {
+    ASSERT_FALSE(timers.empty());
+    auto fn = std::move(timers.front());
+    timers.pop_front();
+    fn();
+  }
+};
+
+dns::Message response_for(const Bytes& query_wire, const char* addr = "192.0.2.1") {
+  dns::Message q = dns::Message::decode(query_wire);
+  dns::Message r = dns::Message::make_response(q);
+  r.aa = true;
+  dns::ResourceRecord rr;
+  rr.name = q.questions[0].name;
+  rr.type = RRType::kA;
+  rr.ttl = 60;
+  rr.rdata = dns::ARdata::from_text(addr).encode();
+  r.answers.push_back(rr);
+  return r;
+}
+
+Client::Options pragmatic_options() {
+  Client::Options opt;
+  opt.mode = ClientMode::kPragmatic;
+  opt.n = 4;
+  opt.t = 1;
+  opt.first_server = 1;
+  return opt;
+}
+
+TEST(ClientUnit, PragmaticSendsToGatewayOnly) {
+  MockTransport mock;
+  Client client = mock.make_client(pragmatic_options());
+  client.query(Name::parse("x.example."), RRType::kA, [](Client::Result) {});
+  ASSERT_EQ(mock.sent.size(), 1u);
+  EXPECT_EQ(mock.sent[0].first, 1u);
+}
+
+TEST(ClientUnit, PragmaticAcceptsGatewayResponse) {
+  MockTransport mock;
+  Client client = mock.make_client(pragmatic_options());
+  Client::Result result;
+  bool done = false;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result r) {
+    result = std::move(r);
+    done = true;
+  });
+  mock.now = 0.050;
+  client.on_response(1, response_for(mock.sent[0].second).encode());
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.server, 1u);
+  EXPECT_DOUBLE_EQ(result.latency, 0.050);
+  EXPECT_EQ(result.tries, 1u);
+}
+
+TEST(ClientUnit, PragmaticIgnoresResponsesFromOtherServers) {
+  MockTransport mock;
+  Client client = mock.make_client(pragmatic_options());
+  bool done = false;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result) { done = true; });
+  // A (possibly malicious) non-queried replica responds first: ignored.
+  client.on_response(3, response_for(mock.sent[0].second, "203.0.113.6").encode());
+  EXPECT_FALSE(done);
+  client.on_response(1, response_for(mock.sent[0].second).encode());
+  EXPECT_TRUE(done);
+}
+
+TEST(ClientUnit, TimeoutRotatesToNextServer) {
+  MockTransport mock;
+  Client client = mock.make_client(pragmatic_options());
+  bool done = false;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.server, 2u);
+    EXPECT_EQ(r.tries, 2u);
+  });
+  mock.fire_next_timer();  // gateway 1 timed out
+  ASSERT_EQ(mock.sent.size(), 2u);
+  EXPECT_EQ(mock.sent[1].first, 2u);  // round-robin to the next server
+  client.on_response(2, response_for(mock.sent[1].second).encode());
+  EXPECT_TRUE(done);
+}
+
+TEST(ClientUnit, ExhaustedRetriesFail) {
+  MockTransport mock;
+  auto opt = pragmatic_options();
+  opt.max_tries = 3;
+  Client client = mock.make_client(opt);
+  Client::Result result;
+  bool done = false;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result r) {
+    result = std::move(r);
+    done = true;
+  });
+  mock.fire_next_timer();
+  mock.fire_next_timer();
+  mock.fire_next_timer();  // third try also times out
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.tries, 3u);
+}
+
+TEST(ClientUnit, StaleTimerAfterResponseIsHarmless) {
+  MockTransport mock;
+  Client client = mock.make_client(pragmatic_options());
+  int calls = 0;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result) { ++calls; });
+  client.on_response(1, response_for(mock.sent[0].second).encode());
+  EXPECT_EQ(calls, 1);
+  mock.fire_next_timer();  // the original timeout fires late: no effect
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(mock.sent.size(), 1u);  // no spurious resend
+}
+
+TEST(ClientUnit, MismatchedIdOrQuestionIgnored) {
+  MockTransport mock;
+  Client client = mock.make_client(pragmatic_options());
+  bool done = false;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result) { done = true; });
+  dns::Message r = response_for(mock.sent[0].second);
+  r.id = static_cast<std::uint16_t>(r.id + 1);  // wrong id
+  client.on_response(1, r.encode());
+  EXPECT_FALSE(done);
+  dns::Message r2 = response_for(mock.sent[0].second);
+  r2.questions[0].name = Name::parse("other.example.");  // wrong question
+  client.on_response(1, r2.encode());
+  EXPECT_FALSE(done);
+  client.on_response(1, util::to_bytes("garbage"));  // undecodable
+  EXPECT_FALSE(done);
+}
+
+TEST(ClientUnit, VotingNeedsTPlusOneMatching) {
+  MockTransport mock;
+  auto opt = pragmatic_options();
+  opt.mode = ClientMode::kVoting;
+  Client client = mock.make_client(opt);
+  Client::Result result;
+  bool done = false;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result r) {
+    result = std::move(r);
+    done = true;
+  });
+  EXPECT_EQ(mock.sent.size(), 4u);  // sent to all replicas
+  const Bytes good = response_for(mock.sent[0].second).encode();
+  const Bytes bad = response_for(mock.sent[0].second, "203.0.113.66").encode();
+  client.on_response(0, bad);  // corrupted replica lies
+  EXPECT_FALSE(done);
+  client.on_response(1, good);
+  EXPECT_FALSE(done);  // one copy is not a majority with t = 1
+  client.on_response(2, good);
+  ASSERT_TRUE(done);   // t+1 = 2 identical copies accepted
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.server, 2u);  // majority size
+  EXPECT_EQ(dns::rdata_to_text(RRType::kA, result.response.answers[0].rdata),
+            "192.0.2.1");
+}
+
+TEST(ClientUnit, VotingIgnoresDuplicateVotesFromSameReplica) {
+  MockTransport mock;
+  auto opt = pragmatic_options();
+  opt.mode = ClientMode::kVoting;
+  Client client = mock.make_client(opt);
+  bool done = false;
+  client.query(Name::parse("x.example."), RRType::kA, [&](Client::Result) { done = true; });
+  const Bytes lie = response_for(mock.sent[0].second, "203.0.113.66").encode();
+  client.on_response(0, lie);
+  client.on_response(0, lie);  // a corrupted replica cannot vote twice
+  client.on_response(0, lie);
+  EXPECT_FALSE(done);
+}
+
+TEST(ClientUnit, AcceptabilityRequiresVerifyingSigs) {
+  Rng rng(2500);
+  const auto key = crypto::rsa_generate(rng, 512);
+  dns::RRset rrset;
+  rrset.name = Name::parse("www.zone.example.");
+  rrset.type = RRType::kA;
+  rrset.ttl = 60;
+  rrset.rdatas = {dns::ARdata::from_text("192.0.2.1").encode()};
+  auto sig_rr = dns::sign_rrset(rrset, Name::parse("zone.example."), 1, 0, 100,
+                                [&](util::BytesView d) {
+                                  return crypto::rsa_sign_sha1(key, d);
+                                });
+  dns::Message r;
+  r.qr = true;
+  r.questions.push_back({rrset.name, RRType::kA, dns::RRClass::kIN});
+  for (auto& rec : rrset.to_records()) r.answers.push_back(rec);
+  r.answers.push_back(sig_rr);
+  EXPECT_TRUE(Client::response_acceptable(r, key.pub));
+  // Without the SIG it must be rejected when a zone key is configured...
+  dns::Message unsigned_r = r;
+  unsigned_r.answers.pop_back();
+  EXPECT_FALSE(Client::response_acceptable(unsigned_r, key.pub));
+  // ...but fine without one (plain DNS).
+  EXPECT_TRUE(Client::response_acceptable(unsigned_r, std::nullopt));
+  // Tampered data under a valid-looking SIG: rejected.
+  dns::Message tampered = r;
+  tampered.answers[0].rdata = dns::ARdata::from_text("203.0.113.1").encode();
+  EXPECT_FALSE(Client::response_acceptable(tampered, key.pub));
+  // SERVFAIL responses are never acceptable.
+  dns::Message fail = r;
+  fail.rcode = dns::Rcode::kServFail;
+  EXPECT_FALSE(Client::response_acceptable(fail, key.pub));
+}
+
+}  // namespace
+}  // namespace sdns::core

@@ -1,0 +1,105 @@
+// Reproduction regression anchors: the Table 2 shapes this repository
+// exists to demonstrate, pinned as tests so a refactor cannot silently
+// destroy them. Bands are deliberately generous — they encode the paper's
+// qualitative claims, not exact simulator output.
+#include <gtest/gtest.h>
+
+#include "core/service.hpp"
+
+namespace sdns::core {
+namespace {
+
+constexpr const char* kZoneText = R"(
+@     IN SOA ns1.corp.example. hostmaster.corp.example. 100 7200 1200 604800 600
+@     IN NS  ns1.corp.example.
+ns1   IN A   192.0.2.53
+www   IN A   192.0.2.80
+)";
+
+const dns::Name kOrigin = dns::Name::parse("corp.example.");
+
+struct Measured {
+  double read = 0, add = 0, del = 0;
+};
+
+Measured measure(sim::Topology topology, threshold::SigProtocol protocol,
+                 std::vector<unsigned> corrupted = {}) {
+  ServiceOptions opt;
+  opt.topology = topology;
+  opt.sig_protocol = protocol;
+  opt.corrupted = std::move(corrupted);
+  ReplicatedService svc(opt, kOrigin, kZoneText);
+  Measured m;
+  auto read = svc.query(dns::Name::parse("www.corp.example."), dns::RRType::kA);
+  EXPECT_TRUE(read.ok);
+  m.read = read.latency;
+  auto add = svc.add_record(kOrigin.child("host"), "10.0.0.1");
+  EXPECT_TRUE(add.ok);
+  m.add = add.latency;
+  auto del = svc.delete_record(kOrigin.child("host"));
+  EXPECT_TRUE(del.ok);
+  m.del = del.latency;
+  svc.settle();
+  return m;
+}
+
+TEST(Table2Shape, BaseCaseMatchesPaperBand) {
+  // Paper (1,0): add 0.047 s, delete 0.022 s.
+  auto m = measure(sim::Topology::kSingleZurich, threshold::SigProtocol::kBasic);
+  EXPECT_GT(m.add, 0.03);
+  EXPECT_LT(m.add, 0.08);
+  EXPECT_GT(m.del, 0.015);
+  EXPECT_LT(m.del, 0.05);
+}
+
+TEST(Table2Shape, LanReadAround50Ms) {
+  // Paper (4,0)*: 0.05 s.
+  auto m = measure(sim::Topology::kLan4, threshold::SigProtocol::kOptTE);
+  EXPECT_GT(m.read, 0.01);
+  EXPECT_LT(m.read, 0.15);
+}
+
+TEST(Table2Shape, BasicFourToSevenTimesSlowerThanOptimized) {
+  // Paper §5.3: "a factor of four to six" (we allow 3-10).
+  auto basic = measure(sim::Topology::kLan4, threshold::SigProtocol::kBasic);
+  auto optte = measure(sim::Topology::kLan4, threshold::SigProtocol::kOptTE);
+  const double speedup = basic.add / optte.add;
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 10.0);
+}
+
+TEST(Table2Shape, AddsCostRoughlyTwiceDeletes) {
+  // 4 vs 2 threshold signatures (paper §5.2).
+  for (auto protocol : {threshold::SigProtocol::kBasic, threshold::SigProtocol::kOptTE}) {
+    auto m = measure(sim::Topology::kLan4, protocol);
+    const double ratio = m.add / m.del;
+    EXPECT_GT(ratio, 1.5) << threshold::to_string(protocol);
+    EXPECT_LT(ratio, 2.6) << threshold::to_string(protocol);
+  }
+}
+
+TEST(Table2Shape, BasicDegradesWithGroupSize) {
+  auto n4 = measure(sim::Topology::kInternet4, threshold::SigProtocol::kBasic);
+  auto n7 = measure(sim::Topology::kInternet7, threshold::SigProtocol::kBasic);
+  EXPECT_GT(n7.add, 1.2 * n4.add);
+}
+
+TEST(Table2Shape, OptProofCollapsesUnderCorruptionOptTeDoesNot) {
+  // The central §5.3 observation, at the paper's (7,2) configuration.
+  auto clean_proof = measure(sim::Topology::kInternet7, threshold::SigProtocol::kOptProof);
+  auto dirty_proof =
+      measure(sim::Topology::kInternet7, threshold::SigProtocol::kOptProof, {0, 5});
+  auto dirty_optte =
+      measure(sim::Topology::kInternet7, threshold::SigProtocol::kOptTE, {0, 5});
+  EXPECT_GT(dirty_proof.add, 3 * clean_proof.add);   // OptProof deteriorates hard
+  EXPECT_GT(dirty_proof.add, 2.5 * dirty_optte.add); // OptTE stays fast (paper: ~4x)
+}
+
+TEST(Table2Shape, InternetReadsSlowerThanLan) {
+  auto lan = measure(sim::Topology::kLan4, threshold::SigProtocol::kOptTE);
+  auto inet = measure(sim::Topology::kInternet4, threshold::SigProtocol::kOptTE);
+  EXPECT_GT(inet.read, 2 * lan.read);
+}
+
+}  // namespace
+}  // namespace sdns::core

@@ -1,0 +1,73 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdns::crypto {
+namespace {
+
+using util::hex_encode;
+using util::to_bytes;
+
+// RFC 2202 test vectors for HMAC-SHA1.
+TEST(HmacSha1, Rfc2202Case1) {
+  util::Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha1(key, to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(hex_encode(hmac_sha1(to_bytes("Jefe"),
+                                 to_bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3) {
+  util::Bytes key(20, 0xaa);
+  util::Bytes msg(50, 0xdd);
+  EXPECT_EQ(hex_encode(hmac_sha1(key, msg)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, Rfc2202Case6LongKey) {
+  util::Bytes key(80, 0xaa);
+  EXPECT_EQ(hex_encode(hmac_sha1(
+                key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+// RFC 4231 test vectors for HMAC-SHA256.
+TEST(HmacSha256, Rfc4231Case1) {
+  util::Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hex_encode(hmac_sha256(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case7LongKeyLongData) {
+  util::Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      hex_encode(hmac_sha256(
+          key, to_bytes("This is a test using a larger than block-size key and a "
+                        "larger than block-size data. The key needs to be hashed "
+                        "before being used by the HMAC algorithm."))),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  auto m1 = hmac_sha1(to_bytes("key1"), to_bytes("msg"));
+  auto m2 = hmac_sha1(to_bytes("key2"), to_bytes("msg"));
+  EXPECT_NE(m1, m2);
+}
+
+TEST(Hmac, EmptyMessageAndKey) {
+  EXPECT_EQ(hmac_sha1({}, {}).size(), 20u);
+  EXPECT_EQ(hmac_sha256({}, {}).size(), 32u);
+}
+
+}  // namespace
+}  // namespace sdns::crypto

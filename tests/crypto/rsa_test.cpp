@@ -1,0 +1,111 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::crypto {
+namespace {
+
+using bn::BigInt;
+using util::Rng;
+using util::to_bytes;
+
+RsaPrivateKey test_key() {
+  static const RsaPrivateKey key = [] {
+    Rng rng(101);
+    return rsa_generate(rng, 512);
+  }();
+  return key;
+}
+
+TEST(RsaGenerate, KeyInvariants) {
+  RsaPrivateKey key = test_key();
+  EXPECT_EQ(key.pub.n.bit_length(), 512u);
+  EXPECT_EQ(key.pub.n, key.p * key.q);
+  BigInt phi = (key.p - BigInt(1)) * (key.q - BigInt(1));
+  EXPECT_EQ(bn::mod_floor(key.d * key.pub.e, phi), BigInt(1));
+  Rng rng(102);
+  EXPECT_TRUE(bn::is_probable_prime(key.p, rng));
+  EXPECT_TRUE(bn::is_probable_prime(key.q, rng));
+}
+
+TEST(RsaSign, SignVerifyRoundTrip) {
+  RsaPrivateKey key = test_key();
+  auto sig = rsa_sign_sha1(key, to_bytes("www.example.com. A 192.0.2.1"));
+  EXPECT_EQ(sig.size(), key.pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify_sha1(key.pub, to_bytes("www.example.com. A 192.0.2.1"), sig));
+}
+
+TEST(RsaSign, VerifyRejectsWrongMessage) {
+  RsaPrivateKey key = test_key();
+  auto sig = rsa_sign_sha1(key, to_bytes("message A"));
+  EXPECT_FALSE(rsa_verify_sha1(key.pub, to_bytes("message B"), sig));
+}
+
+TEST(RsaSign, VerifyRejectsTamperedSignature) {
+  RsaPrivateKey key = test_key();
+  auto sig = rsa_sign_sha1(key, to_bytes("message"));
+  sig[10] ^= 0x01;
+  EXPECT_FALSE(rsa_verify_sha1(key.pub, to_bytes("message"), sig));
+}
+
+TEST(RsaSign, VerifyRejectsWrongLength) {
+  RsaPrivateKey key = test_key();
+  auto sig = rsa_sign_sha1(key, to_bytes("message"));
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify_sha1(key.pub, to_bytes("message"), sig));
+}
+
+TEST(RsaSign, VerifyRejectsSignatureGeModulus) {
+  RsaPrivateKey key = test_key();
+  auto bad = key.pub.n.to_bytes_be(key.pub.modulus_bytes());
+  EXPECT_FALSE(rsa_verify_sha1(key.pub, to_bytes("message"), bad));
+}
+
+TEST(RsaSign, DeterministicSignature) {
+  RsaPrivateKey key = test_key();
+  EXPECT_EQ(rsa_sign_sha1(key, to_bytes("m")), rsa_sign_sha1(key, to_bytes("m")));
+}
+
+TEST(RsaSign, CrtMatchesPlainExponentiation) {
+  RsaPrivateKey key = test_key();
+  const auto msg = to_bytes("crt check");
+  const BigInt m = pkcs1_sha1_encode(msg, key.pub.modulus_bytes());
+  const BigInt plain = bn::mod_pow(m, key.d, key.pub.n);
+  EXPECT_EQ(rsa_sign_sha1(key, msg), plain.to_bytes_be(key.pub.modulus_bytes()));
+}
+
+TEST(Pkcs1Encode, StructureIsCorrect) {
+  const auto em_int = pkcs1_sha1_encode(to_bytes("x"), 64);
+  const auto em = em_int.to_bytes_be(64);
+  EXPECT_EQ(em[0], 0x00);
+  EXPECT_EQ(em[1], 0x01);
+  // PS padding of 0xff up to the 0x00 separator.
+  std::size_t i = 2;
+  while (i < em.size() && em[i] == 0xff) ++i;
+  EXPECT_EQ(em[i], 0x00);
+  EXPECT_GE(i - 2, 8u);  // at least 8 bytes of PS
+  // Suffix is DigestInfo || SHA1 (15 + 20 bytes).
+  EXPECT_EQ(em.size() - (i + 1), 35u);
+}
+
+TEST(Pkcs1Encode, TooSmallModulusThrows) {
+  EXPECT_THROW(pkcs1_sha1_encode(to_bytes("x"), 40), std::length_error);
+}
+
+TEST(RsaPublicKey, EncodeDecodeRoundTrip) {
+  RsaPrivateKey key = test_key();
+  auto enc = key.pub.encode();
+  auto dec = RsaPublicKey::decode(enc);
+  EXPECT_EQ(dec, key.pub);
+}
+
+TEST(RsaGenerate, TooSmallThrows) {
+  Rng rng(104);
+  EXPECT_THROW(rsa_generate(rng, 32), std::domain_error);
+}
+
+}  // namespace
+}  // namespace sdns::crypto

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace sdns::crypto {
+namespace {
+
+using util::hex_encode;
+using util::to_bytes;
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(hex_encode(Sha1::digest(to_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(hex_encode(Sha1::digest(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(hex_encode(Sha1::digest({})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  util::Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  auto d = h.finish();
+  EXPECT_EQ(hex_encode({d.data(), d.size()}),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 h;
+    h.update(to_bytes(msg.substr(0, split)));
+    h.update(to_bytes(msg.substr(split)));
+    auto d = h.finish();
+    EXPECT_EQ(hex_encode({d.data(), d.size()}),
+              "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+  }
+}
+
+TEST(Sha1, BlockBoundaryLengths) {
+  // Padding behaves correctly at 55/56/63/64/65-byte messages.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    util::Bytes msg(len, 'x');
+    auto one_shot = Sha1::digest(msg);
+    Sha1 h;
+    for (std::size_t i = 0; i < len; ++i) h.update({&msg[i], 1});
+    auto incremental = h.finish();
+    EXPECT_EQ(hex_encode(one_shot),
+              hex_encode({incremental.data(), incremental.size()}))
+        << len;
+  }
+}
+
+TEST(Sha1, ReusableAfterFinish) {
+  Sha1 h;
+  h.update(to_bytes("abc"));
+  h.finish();
+  h.update(to_bytes("abc"));
+  auto d = h.finish();
+  EXPECT_EQ(hex_encode({d.data(), d.size()}),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(hex_encode(Sha256::digest(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_encode(Sha256::digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_encode(Sha256::digest(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  util::Bytes chunk(10000, 'a');
+  for (int i = 0; i < 100; ++i) h.update(chunk);
+  auto d = h.finish();
+  EXPECT_EQ(hex_encode({d.data(), d.size()}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    util::Bytes msg(len, 'y');
+    auto one_shot = Sha256::digest(msg);
+    Sha256 h;
+    h.update({msg.data(), 1});
+    h.update({msg.data() + 1, len - 1});
+    auto incremental = h.finish();
+    EXPECT_EQ(hex_encode(one_shot),
+              hex_encode({incremental.data(), incremental.size()}))
+        << len;
+  }
+}
+
+}  // namespace
+}  // namespace sdns::crypto

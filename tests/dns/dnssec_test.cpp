@@ -1,0 +1,190 @@
+#include "dns/dnssec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "threshold/fixtures.hpp"
+#include "threshold/shoup.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+using util::Rng;
+
+const crypto::RsaPrivateKey& zone_key() {
+  static const crypto::RsaPrivateKey key = [] {
+    Rng rng(808);
+    return crypto::rsa_generate(rng, 512);
+  }();
+  return key;
+}
+
+SignFn local_signer() {
+  return [](util::BytesView data) { return crypto::rsa_sign_sha1(zone_key(), data); };
+}
+
+Zone small_zone() {
+  return Zone::from_text(Name::parse("sec.example."), R"(
+@    IN SOA ns.sec.example. admin.sec.example. 1 7200 1200 604800 600
+@    IN NS  ns.sec.example.
+ns   IN A   192.0.2.53
+www  IN A   192.0.2.80
+)");
+}
+
+RRset www_rrset(const Zone& z) {
+  const RRset* set = z.find(Name::parse("www.sec.example."), RRType::kA);
+  EXPECT_NE(set, nullptr);
+  return *set;
+}
+
+TEST(KeyTag, DeterministicAndSpreads) {
+  KeyRdata k1;
+  k1.public_key = {1, 2, 3};
+  KeyRdata k2;
+  k2.public_key = {1, 2, 4};
+  EXPECT_EQ(key_tag(k1), key_tag(k1));
+  EXPECT_NE(key_tag(k1), key_tag(k2));
+}
+
+TEST(ZoneKeyRecord, RoundTrip) {
+  auto rr = make_zone_key_record(Name::parse("sec.example."), 600, zone_key().pub);
+  EXPECT_EQ(rr.type, RRType::kKEY);
+  const KeyRdata key = KeyRdata::decode(rr.rdata);
+  EXPECT_EQ(key.algorithm, 5);
+  EXPECT_EQ(zone_key_from_record(key), zone_key().pub);
+}
+
+TEST(SignRrset, ProducesVerifyingSig) {
+  Zone z = small_zone();
+  const RRset rrset = www_rrset(z);
+  auto sig_rr = sign_rrset(rrset, z.origin(), 42, 1000, 2000, local_signer());
+  EXPECT_EQ(sig_rr.type, RRType::kSIG);
+  EXPECT_EQ(sig_rr.name, rrset.name);
+  const SigRdata sig = SigRdata::decode(sig_rr.rdata);
+  EXPECT_EQ(sig.type_covered, RRType::kA);
+  EXPECT_EQ(sig.labels, 3);
+  EXPECT_EQ(sig.key_tag, 42);
+  EXPECT_TRUE(verify_rrset_sig(rrset, sig, zone_key().pub));
+}
+
+TEST(SignRrset, VerifyFailsOnModifiedRrset) {
+  Zone z = small_zone();
+  RRset rrset = www_rrset(z);
+  auto sig_rr = sign_rrset(rrset, z.origin(), 42, 1000, 2000, local_signer());
+  const SigRdata sig = SigRdata::decode(sig_rr.rdata);
+  rrset.rdatas.push_back(ARdata::from_text("192.0.2.81").encode());
+  EXPECT_FALSE(verify_rrset_sig(rrset, sig, zone_key().pub));
+}
+
+TEST(SignRrset, VerifyFailsWithWrongKey) {
+  Zone z = small_zone();
+  const RRset rrset = www_rrset(z);
+  auto sig_rr = sign_rrset(rrset, z.origin(), 42, 1000, 2000, local_signer());
+  Rng rng(809);
+  auto other = crypto::rsa_generate(rng, 512);
+  EXPECT_FALSE(
+      verify_rrset_sig(rrset, SigRdata::decode(sig_rr.rdata), other.pub));
+}
+
+TEST(SignRrset, RdataOrderDoesNotMatter) {
+  // Canonical form sorts rdatas, so permuted RRsets sign identically.
+  Zone z = small_zone();
+  RRset rrset = www_rrset(z);
+  rrset.rdatas.push_back(ARdata::from_text("192.0.2.81").encode());
+  RRset permuted = rrset;
+  std::swap(permuted.rdatas[0], permuted.rdatas[1]);
+  auto t1 = make_sig_task(rrset, z.origin(), 1, 10, 20);
+  auto t2 = make_sig_task(permuted, z.origin(), 1, 10, 20);
+  EXPECT_EQ(t1.data, t2.data);
+}
+
+TEST(SignRrset, OwnerCaseDoesNotMatter) {
+  Zone z = small_zone();
+  RRset rrset = www_rrset(z);
+  RRset upper = rrset;
+  upper.name = Name::parse("WWW.SEC.EXAMPLE.");
+  auto t1 = make_sig_task(rrset, z.origin(), 1, 10, 20);
+  auto t2 = make_sig_task(upper, z.origin(), 1, 10, 20);
+  EXPECT_EQ(t1.data, t2.data);
+}
+
+TEST(SigTask, FinishAttachesSignature) {
+  Zone z = small_zone();
+  auto task = make_sig_task(www_rrset(z), z.origin(), 7, 100, 200);
+  auto rr = finish_sig_task(task, util::Bytes{0xab, 0xcd});
+  const SigRdata sig = SigRdata::decode(rr.rdata);
+  EXPECT_EQ(sig.signature, (util::Bytes{0xab, 0xcd}));
+  EXPECT_EQ(sig.key_tag, 7);
+}
+
+TEST(SignZone, EveryRrsetGetsSig) {
+  Zone z = small_zone();
+  const std::size_t count = sign_zone(z, zone_key().pub, 1000, 2000, local_signer());
+  // SOA, NS, ns A, www A, KEY, 3 NXTs = 8 signatures.
+  EXPECT_EQ(count, 8u);
+  auto result = verify_zone(z);
+  EXPECT_TRUE(result.ok) << result.first_error;
+  EXPECT_EQ(result.verified, 8u);
+}
+
+TEST(SignZone, VerifyDetectsTampering) {
+  Zone z = small_zone();
+  sign_zone(z, zone_key().pub, 1000, 2000, local_signer());
+  // Tamper: change an A record without re-signing.
+  ResourceRecord rr;
+  rr.name = Name::parse("www.sec.example.");
+  rr.type = RRType::kA;
+  rr.ttl = 3600;
+  rr.rdata = ARdata::from_text("203.0.113.66").encode();
+  z.add_record(rr);
+  auto result = verify_zone(z);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.first_error.find("www.sec.example."), std::string::npos);
+}
+
+TEST(SignZone, VerifyDetectsBrokenNxtChain) {
+  Zone z = small_zone();
+  sign_zone(z, zone_key().pub, 1000, 2000, local_signer());
+  // Remove one NXT record: chain check must fail.
+  z.remove_rrset(Name::parse("ns.sec.example."), RRType::kNXT);
+  z.remove_sigs(Name::parse("ns.sec.example."), RRType::kNXT);
+  auto result = verify_zone(z);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(VerifyZone, FailsWithoutKey) {
+  Zone z = small_zone();
+  auto result = verify_zone(z);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.first_error.find("KEY"), std::string::npos);
+}
+
+TEST(SignZone, ThresholdSignerProducesVerifyingZone) {
+  // The paper's headline integration: the zone signed by the *threshold*
+  // scheme verifies exactly like one signed with a local key.
+  Rng rng(810);
+  auto dealt = threshold::deal_with_primes(rng, 4, 1,
+                                           threshold::fixtures::safe_prime_256_a(),
+                                           threshold::fixtures::safe_prime_256_b());
+  Zone z = small_zone();
+  Rng srng(811);
+  SignFn threshold_signer = [&](util::BytesView data) {
+    const bn::BigInt x = threshold::hash_to_element(dealt.pub, data);
+    std::vector<threshold::SignatureShare> shares;
+    for (unsigned i = 1; i <= 2; ++i) {
+      shares.push_back(
+          threshold::generate_share(dealt.pub, dealt.shares[i - 1], x, false, srng));
+    }
+    auto y = threshold::assemble(dealt.pub, x, shares);
+    EXPECT_TRUE(y.has_value());
+    return threshold::signature_bytes(dealt.pub, *y);
+  };
+  sign_zone(z, dealt.pub.rsa(), 1000, 2000, threshold_signer);
+  auto result = verify_zone(z);
+  EXPECT_TRUE(result.ok) << result.first_error;
+}
+
+}  // namespace
+}  // namespace sdns::dns

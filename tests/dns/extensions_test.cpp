@@ -1,0 +1,190 @@
+// Tests for the DNS-engine extensions: zone snapshots, AXFR, wildcard
+// synthesis (with DNSSEC label-count reconstruction), and UDP truncation.
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "dns/dnssec.hpp"
+#include "dns/server.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+using util::Rng;
+
+const crypto::RsaPrivateKey& zone_key() {
+  static const crypto::RsaPrivateKey key = [] {
+    Rng rng(1200);
+    return crypto::rsa_generate(rng, 512);
+  }();
+  return key;
+}
+
+Zone wild_zone(bool sign = false) {
+  Zone z = Zone::from_text(Name::parse("wild.example."), R"(
+@     IN SOA ns.wild.example. admin.wild.example. 7 7200 1200 604800 600
+@     IN NS  ns.wild.example.
+ns    IN A   192.0.2.53
+www   IN A   192.0.2.80
+*     IN A   192.0.2.99
+*.dyn IN TXT "wildcard text"
+real.dyn IN A 192.0.2.44
+)");
+  if (sign) {
+    sign_zone(z, zone_key().pub, 1000, 100000, [](util::BytesView d) {
+      return crypto::rsa_sign_sha1(zone_key(), d);
+    });
+  }
+  return z;
+}
+
+TEST(ZoneWire, RoundTripPreservesEverything) {
+  Zone z = wild_zone(/*sign=*/true);
+  Zone copy = Zone::from_wire(z.to_wire());
+  EXPECT_EQ(copy.origin(), z.origin());
+  EXPECT_EQ(copy.record_count(), z.record_count());
+  EXPECT_EQ(copy.to_text(), z.to_text());
+  auto verify = verify_zone(copy);
+  EXPECT_TRUE(verify.ok) << verify.first_error;
+}
+
+TEST(ZoneWire, RejectsTruncatedInput) {
+  Zone z = wild_zone();
+  auto wire = z.to_wire();
+  for (std::size_t cut : {1u, 5u, 20u}) {
+    util::BytesView partial(wire.data(), wire.size() - cut);
+    EXPECT_THROW(Zone::from_wire(partial), util::ParseError);
+  }
+  wire.push_back(0);
+  EXPECT_THROW(Zone::from_wire(wire), util::ParseError);
+}
+
+TEST(Axfr, ReturnsWholeZoneSoaFramed) {
+  AuthoritativeServer server(wild_zone());
+  Message q = Message::make_query(1, Name::parse("wild.example."), RRType::kAXFR);
+  Message r = server.answer_query(q);
+  EXPECT_EQ(r.rcode, Rcode::kNoError);
+  ASSERT_GE(r.answers.size(), 3u);
+  EXPECT_EQ(r.answers.front().type, RRType::kSOA);
+  EXPECT_EQ(r.answers.back().type, RRType::kSOA);
+  // record_count + 1 (SOA appears twice).
+  EXPECT_EQ(r.answers.size(), server.zone().record_count() + 1);
+}
+
+TEST(Axfr, RefusedBelowApex) {
+  AuthoritativeServer server(wild_zone());
+  Message q = Message::make_query(1, Name::parse("www.wild.example."), RRType::kAXFR);
+  EXPECT_EQ(server.answer_query(q).rcode, Rcode::kRefused);
+}
+
+TEST(Wildcard, SynthesizesAtMissingName) {
+  AuthoritativeServer server(wild_zone());
+  Message q = Message::make_query(1, Name::parse("anything.wild.example."), RRType::kA);
+  Message r = server.answer_query(q);
+  EXPECT_EQ(r.rcode, Rcode::kNoError);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].name, Name::parse("anything.wild.example."));
+  EXPECT_EQ(rdata_to_text(RRType::kA, r.answers[0].rdata), "192.0.2.99");
+}
+
+TEST(Wildcard, DeeperWildcardWins) {
+  AuthoritativeServer server(wild_zone());
+  Message q = Message::make_query(1, Name::parse("x.dyn.wild.example."), RRType::kTXT);
+  Message r = server.answer_query(q);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(rdata_to_text(RRType::kTXT, r.answers[0].rdata), "\"wildcard text\"");
+}
+
+TEST(Wildcard, ExistingNameIsNotOverridden) {
+  AuthoritativeServer server(wild_zone());
+  Message q = Message::make_query(1, Name::parse("real.dyn.wild.example."), RRType::kA);
+  Message r = server.answer_query(q);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(rdata_to_text(RRType::kA, r.answers[0].rdata), "192.0.2.44");
+}
+
+TEST(Wildcard, ExistingNameWrongTypeIsNoData) {
+  AuthoritativeServer server(wild_zone());
+  // www exists with A only; MX must be NODATA, not wildcard-synthesized.
+  Message q = Message::make_query(1, Name::parse("www.wild.example."), RRType::kMX);
+  Message r = server.answer_query(q);
+  EXPECT_EQ(r.rcode, Rcode::kNoError);
+  EXPECT_TRUE(r.answers.empty());
+}
+
+TEST(Wildcard, NoMatchStillNxDomain) {
+  AuthoritativeServer server(wild_zone());
+  // *.wild.example has A only; an MX query at a missing name has nothing to
+  // synthesize and the name does not exist.
+  Message q = Message::make_query(1, Name::parse("missing.wild.example."), RRType::kMX);
+  Message r = server.answer_query(q);
+  EXPECT_EQ(r.rcode, Rcode::kNxDomain);
+}
+
+TEST(Wildcard, SynthesizedSigVerifiesViaLabelsField) {
+  AuthoritativeServer server(wild_zone(/*sign=*/true));
+  Message q = Message::make_query(1, Name::parse("ghost.wild.example."), RRType::kA);
+  Message r = server.answer_query(q);
+  ASSERT_FALSE(r.answers.empty());
+  RRset rrset;
+  std::optional<SigRdata> sig;
+  for (const auto& rr : r.answers) {
+    if (rr.type == RRType::kA) {
+      rrset.name = rr.name;
+      rrset.type = rr.type;
+      rrset.ttl = rr.ttl;
+      rrset.rdatas.push_back(rr.rdata);
+    } else if (rr.type == RRType::kSIG) {
+      sig = SigRdata::decode(rr.rdata);
+    }
+  }
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(rrset.name, Name::parse("ghost.wild.example."));
+  EXPECT_LT(sig->labels, rrset.name.label_count());
+  EXPECT_TRUE(verify_rrset_sig(rrset, *sig, zone_key().pub));
+  // And tampering with the synthesized data still fails.
+  rrset.rdatas[0] = ARdata::from_text("203.0.113.1").encode();
+  EXPECT_FALSE(verify_rrset_sig(rrset, *sig, zone_key().pub));
+}
+
+TEST(Wildcard, SignedZoneWithWildcardsVerifiesWholesale) {
+  Zone z = wild_zone(/*sign=*/true);
+  auto verify = verify_zone(z);
+  EXPECT_TRUE(verify.ok) << verify.first_error;
+}
+
+TEST(Truncation, LargeResponseSetsTcAndEmptiesSections) {
+  Zone z = Zone::from_text(Name::parse("big.example."), R"(
+@   IN SOA ns.big.example. admin.big.example. 1 2 3 4 5
+@   IN NS ns.big.example.
+ns  IN A 10.0.0.1
+)");
+  // 60 A records at one name: far over 512 bytes.
+  for (int i = 0; i < 60; ++i) {
+    ResourceRecord rr;
+    rr.name = Name::parse("fat.big.example.");
+    rr.type = RRType::kA;
+    rr.ttl = 60;
+    ARdata a;
+    a.address = {10, 1, static_cast<std::uint8_t>(i / 250), static_cast<std::uint8_t>(i % 250)};
+    rr.rdata = a.encode();
+    z.add_record(rr);
+  }
+  AuthoritativeServer server(std::move(z));
+  Message q = Message::make_query(1, Name::parse("fat.big.example."), RRType::kA);
+  Message full = server.answer_query(q);
+  EXPECT_EQ(full.answers.size(), 60u);
+  EXPECT_FALSE(full.tc);
+  Message limited = server.answer_query(q, 512);
+  EXPECT_TRUE(limited.tc);
+  EXPECT_TRUE(limited.answers.empty());
+  EXPECT_LE(limited.encode().size(), 512u);
+  // Small responses are unaffected by the limit.
+  Message small = server.answer_query(
+      Message::make_query(2, Name::parse("ns.big.example."), RRType::kA), 512);
+  EXPECT_FALSE(small.tc);
+  EXPECT_EQ(small.answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdns::dns

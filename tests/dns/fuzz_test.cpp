@@ -1,0 +1,160 @@
+// Robustness fuzzing for the DNS wire-format and zone parsers: malformed
+// input must raise util::ParseError (or parse cleanly), never crash, hang,
+// or corrupt state. Runs a few thousand mutated and random inputs with a
+// deterministic seed.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "dns/zone.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+
+Message sample_message() {
+  Message m = Message::make_query(4242, Name::parse("host.corp.example."), RRType::kA);
+  m.qr = true;
+  m.aa = true;
+  ResourceRecord a;
+  a.name = Name::parse("host.corp.example.");
+  a.type = RRType::kA;
+  a.ttl = 300;
+  a.rdata = ARdata::from_text("192.0.2.1").encode();
+  m.answers.push_back(a);
+  ResourceRecord soa;
+  soa.name = Name::parse("corp.example.");
+  soa.type = RRType::kSOA;
+  soa.ttl = 600;
+  SoaRdata rd;
+  rd.mname = Name::parse("ns.corp.example.");
+  rd.rname = Name::parse("admin.corp.example.");
+  soa.rdata = rd.encode();
+  m.authority.push_back(soa);
+  ResourceRecord mx;
+  mx.name = Name::parse("corp.example.");
+  mx.type = RRType::kMX;
+  mx.ttl = 600;
+  mx.rdata = MxRdata{10, Name::parse("mail.corp.example.")}.encode();
+  m.additional.push_back(mx);
+  return m;
+}
+
+TEST(MessageFuzz, SingleByteMutationsNeverCrash) {
+  const Bytes wire = sample_message().encode();
+  int parsed = 0, rejected = 0;
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    for (std::uint8_t delta : {0x01, 0x80, 0xff}) {
+      Bytes mutated = wire;
+      mutated[pos] = static_cast<std::uint8_t>(mutated[pos] ^ delta);
+      try {
+        Message m = Message::decode(mutated);
+        (void)m.to_text();  // rendering must not crash either
+        ++parsed;
+      } catch (const util::ParseError&) {
+        ++rejected;
+      }
+    }
+  }
+  // Both outcomes must occur: some mutations are benign, some are fatal.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(MessageFuzz, RandomBytesNeverCrash) {
+  Rng rng(616);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Bytes junk = rng.bytes(rng.below(200));
+    try {
+      Message m = Message::decode(junk);
+      (void)m.to_text();
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+TEST(MessageFuzz, TruncationsAndExtensionsNeverCrash) {
+  Rng rng(617);
+  const Bytes wire = sample_message().encode();
+  for (std::size_t len = 0; len <= wire.size(); ++len) {
+    util::BytesView prefix(wire.data(), len);
+    try {
+      (void)Message::decode(prefix);
+    } catch (const util::ParseError&) {
+    }
+  }
+  for (int extra = 1; extra < 20; ++extra) {
+    Bytes extended = wire;
+    for (int i = 0; i < extra; ++i) {
+      extended.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    EXPECT_THROW(Message::decode(extended), util::ParseError);
+  }
+}
+
+TEST(MessageFuzz, ReencodeOfSurvivingMutantsRoundTrips) {
+  // Anything we accept must re-encode to something we accept again and that
+  // decodes to the same message (idempotent normalization).
+  Rng rng(618);
+  const Bytes wire = sample_message().encode();
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = wire;
+    const std::size_t flips = 1 + rng.below(3);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    try {
+      const Message once = Message::decode(mutated);
+      const Message twice = Message::decode(once.encode());
+      EXPECT_EQ(once.encode(), twice.encode());
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+TEST(ZoneFuzz, RandomZoneTextNeverCrashes) {
+  Rng rng(619);
+  const char* fragments[] = {"@",      "www",   "IN",     "A",        "10.0.0.1",
+                             "SOA",    "ns.z.", "600",    "$TTL",     "MX",
+                             "\"txt\"", ";c",   "TYPE99", "bogus..",  "*"};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    const std::size_t lines = rng.below(6);
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t tokens = rng.below(7);
+      for (std::size_t t = 0; t < tokens; ++t) {
+        text += fragments[rng.below(std::size(fragments))];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      (void)Zone::from_text(Name::parse("z."), text);
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+TEST(ZoneFuzz, SnapshotMutationsNeverCrash) {
+  Zone z = Zone::from_text(Name::parse("z."), R"(
+@   IN SOA ns.z. a.z. 1 2 3 4 5
+@   IN NS ns.z.
+ns  IN A 10.0.0.1
+www IN A 10.0.0.2
+)");
+  const Bytes wire = z.to_wire();
+  Rng rng(620);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = wire;
+    mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      (void)Zone::from_wire(mutated);
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdns::dns

@@ -1,0 +1,217 @@
+#include "dns/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+ResourceRecord a_record(const char* name, const char* addr, std::uint32_t ttl = 300) {
+  ResourceRecord rr;
+  rr.name = Name::parse(name);
+  rr.type = RRType::kA;
+  rr.ttl = ttl;
+  rr.rdata = ARdata::from_text(addr).encode();
+  return rr;
+}
+
+TEST(Message, QueryRoundTrip) {
+  Message q = Message::make_query(0x1234, Name::parse("www.example.com."), RRType::kA);
+  Message d = Message::decode(q.encode());
+  EXPECT_EQ(d.id, 0x1234);
+  EXPECT_FALSE(d.qr);
+  EXPECT_EQ(d.opcode, Opcode::kQuery);
+  ASSERT_EQ(d.questions.size(), 1u);
+  EXPECT_EQ(d.questions[0], q.questions[0]);
+}
+
+TEST(Message, FullResponseRoundTrip) {
+  Message q = Message::make_query(7, Name::parse("www.example.com."), RRType::kA);
+  Message r = Message::make_response(q);
+  r.aa = true;
+  r.rcode = Rcode::kNoError;
+  r.answers.push_back(a_record("www.example.com.", "192.0.2.1"));
+  r.answers.push_back(a_record("www.example.com.", "192.0.2.2"));
+  ResourceRecord ns;
+  ns.name = Name::parse("example.com.");
+  ns.type = RRType::kNS;
+  ns.ttl = 3600;
+  ns.rdata = NameRdata{Name::parse("ns1.example.com.")}.encode();
+  r.authority.push_back(ns);
+  r.additional.push_back(a_record("ns1.example.com.", "192.0.2.53"));
+
+  Message d = Message::decode(r.encode());
+  EXPECT_TRUE(d.qr);
+  EXPECT_TRUE(d.aa);
+  EXPECT_EQ(d.answers.size(), 2u);
+  EXPECT_EQ(d.authority.size(), 1u);
+  EXPECT_EQ(d.additional.size(), 1u);
+  EXPECT_EQ(d.answers[0], r.answers[0]);
+  EXPECT_EQ(d.authority[0], r.authority[0]);
+  EXPECT_EQ(d.additional[0], r.additional[0]);
+}
+
+TEST(Message, CompressionShrinksRepeatedNames) {
+  Message r;
+  r.id = 1;
+  r.questions.push_back({Name::parse("host.department.example.com."), RRType::kA,
+                         RRClass::kIN});
+  for (int i = 0; i < 5; ++i) {
+    r.answers.push_back(a_record("host.department.example.com.", "10.0.0.1"));
+  }
+  const auto wire = r.encode();
+  // Without compression each owner name costs 30 bytes; with it, 2 bytes.
+  const std::size_t uncompressed_estimate = 12 + 34 + 5 * (30 + 14);
+  EXPECT_LT(wire.size(), uncompressed_estimate - 5 * 25);
+  // And it still decodes identically.
+  Message d = Message::decode(wire);
+  EXPECT_EQ(d.answers.size(), 5u);
+  EXPECT_EQ(d.answers[4].name, r.answers[4].name);
+}
+
+TEST(Message, CompressionSharesSuffixes) {
+  Message r;
+  r.id = 2;
+  r.answers.push_back(a_record("a.example.com.", "10.0.0.1"));
+  r.answers.push_back(a_record("b.example.com.", "10.0.0.2"));
+  Message d = Message::decode(r.encode());
+  EXPECT_EQ(d.answers[0].name.to_string(), "a.example.com.");
+  EXPECT_EQ(d.answers[1].name.to_string(), "b.example.com.");
+}
+
+TEST(Message, DecodeRejectsTruncation) {
+  Message q = Message::make_query(9, Name::parse("x.example."), RRType::kTXT);
+  auto wire = q.encode();
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    util::BytesView partial(wire.data(), wire.size() - cut);
+    EXPECT_THROW(Message::decode(partial), util::ParseError) << cut;
+  }
+}
+
+TEST(Message, DecodeRejectsTrailingGarbage) {
+  Message q = Message::make_query(9, Name::parse("x.example."), RRType::kA);
+  auto wire = q.encode();
+  wire.push_back(0);
+  EXPECT_THROW(Message::decode(wire), util::ParseError);
+}
+
+TEST(Message, DecodeRejectsPointerLoops) {
+  // Header + a question whose name is a self-referencing pointer.
+  util::Writer w;
+  w.u16(1);   // id
+  w.u16(0);   // flags
+  w.u16(1);   // qdcount
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xc00c);  // pointer to itself (offset 12)
+  w.u16(1);
+  w.u16(1);
+  EXPECT_THROW(Message::decode(w.bytes()), util::ParseError);
+}
+
+TEST(Message, FlagsRoundTrip) {
+  Message m;
+  m.id = 0xffff;
+  m.qr = true;
+  m.opcode = Opcode::kUpdate;
+  m.aa = true;
+  m.tc = true;
+  m.rd = true;
+  m.ra = true;
+  m.rcode = Rcode::kYxRRset;
+  Message d = Message::decode(m.encode());
+  EXPECT_TRUE(d.qr);
+  EXPECT_EQ(d.opcode, Opcode::kUpdate);
+  EXPECT_TRUE(d.aa);
+  EXPECT_TRUE(d.tc);
+  EXPECT_TRUE(d.rd);
+  EXPECT_TRUE(d.ra);
+  EXPECT_EQ(d.rcode, Rcode::kYxRRset);
+}
+
+TEST(Message, EmbeddedNamesInRdataSurviveRoundTrip) {
+  Message m;
+  m.id = 5;
+  ResourceRecord soa;
+  soa.name = Name::parse("example.com.");
+  soa.type = RRType::kSOA;
+  soa.ttl = 3600;
+  SoaRdata rd;
+  rd.mname = Name::parse("ns1.example.com.");
+  rd.rname = Name::parse("admin.example.com.");
+  rd.serial = 42;
+  soa.rdata = rd.encode();
+  m.answers.push_back(soa);
+  ResourceRecord mx;
+  mx.name = Name::parse("example.com.");
+  mx.type = RRType::kMX;
+  mx.ttl = 3600;
+  mx.rdata = MxRdata{5, Name::parse("mail.example.com.")}.encode();
+  m.answers.push_back(mx);
+
+  Message d = Message::decode(m.encode());
+  EXPECT_EQ(SoaRdata::decode(d.answers[0].rdata).serial, 42u);
+  EXPECT_EQ(MxRdata::decode(d.answers[1].rdata).exchange,
+            Name::parse("mail.example.com."));
+}
+
+TEST(Message, RandomizedEncodeDecodeProperty) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    Message m;
+    m.id = static_cast<std::uint16_t>(rng.next());
+    m.qr = rng.chance(0.5);
+    m.aa = rng.chance(0.5);
+    m.rcode = static_cast<Rcode>(rng.below(11));
+    const char* names[] = {"a.zone.test.", "b.zone.test.", "c.d.zone.test.",
+                           "zone.test.", "deep.e.zone.test."};
+    m.questions.push_back(
+        {Name::parse(names[rng.below(5)]), RRType::kA, RRClass::kIN});
+    const std::size_t n_ans = rng.below(6);
+    for (std::size_t i = 0; i < n_ans; ++i) {
+      ResourceRecord rr;
+      rr.name = Name::parse(names[rng.below(5)]);
+      rr.ttl = static_cast<std::uint32_t>(rng.below(100000));
+      if (rng.chance(0.5)) {
+        rr.type = RRType::kA;
+        rr.rdata = util::Bytes{static_cast<std::uint8_t>(rng.next()),
+                               static_cast<std::uint8_t>(rng.next()),
+                               static_cast<std::uint8_t>(rng.next()),
+                               static_cast<std::uint8_t>(rng.next())};
+      } else {
+        rr.type = RRType::kTXT;
+        rr.rdata = TxtRdata{{"t" + std::to_string(rng.below(100))}}.encode();
+      }
+      m.answers.push_back(std::move(rr));
+    }
+    Message d = Message::decode(m.encode());
+    EXPECT_EQ(d.id, m.id);
+    ASSERT_EQ(d.answers.size(), m.answers.size());
+    for (std::size_t i = 0; i < m.answers.size(); ++i) {
+      EXPECT_EQ(d.answers[i], m.answers[i]);
+    }
+  }
+}
+
+TEST(Message, MakeResponseCopiesIdentity) {
+  Message q = Message::make_query(42, Name::parse("q.example."), RRType::kMX);
+  q.rd = true;
+  Message r = Message::make_response(q);
+  EXPECT_EQ(r.id, 42);
+  EXPECT_TRUE(r.qr);
+  EXPECT_TRUE(r.rd);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0], q.questions[0]);
+}
+
+TEST(Message, TextFormMentionsSections) {
+  Message q = Message::make_query(1, Name::parse("x.example."), RRType::kA);
+  const std::string text = q.to_text();
+  EXPECT_NE(text.find("QUESTION"), std::string::npos);
+  EXPECT_NE(text.find("x.example. IN A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdns::dns

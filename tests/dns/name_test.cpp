@@ -1,0 +1,105 @@
+#include "dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdns::dns {
+namespace {
+
+TEST(Name, ParseAndPrint) {
+  EXPECT_EQ(Name::parse("www.example.com.").to_string(), "www.example.com.");
+  EXPECT_EQ(Name::parse("www.example.com").to_string(), "www.example.com.");
+  EXPECT_EQ(Name::parse(".").to_string(), ".");
+  EXPECT_TRUE(Name::parse(".").is_root());
+  EXPECT_EQ(Name().to_string(), ".");
+}
+
+TEST(Name, LabelAccess) {
+  Name n = Name::parse("a.b.c.");
+  EXPECT_EQ(n.label_count(), 3u);
+  EXPECT_EQ(n.label(0), "a");
+  EXPECT_EQ(n.label(2), "c");
+}
+
+TEST(Name, EscapedCharacters) {
+  Name n = Name::parse("a\\.b.c.");
+  EXPECT_EQ(n.label_count(), 2u);
+  EXPECT_EQ(n.label(0), "a.b");
+  EXPECT_EQ(n.to_string(), "a\\.b.c.");
+  Name d = Name::parse("x\\032y.z.");  // decimal escape for space
+  EXPECT_EQ(d.label(0), "x y");
+}
+
+TEST(Name, ParseErrors) {
+  EXPECT_THROW(Name::parse(""), util::ParseError);
+  EXPECT_THROW(Name::parse("a..b."), util::ParseError);
+  EXPECT_THROW(Name::parse("a.\\"), util::ParseError);
+  EXPECT_THROW(Name::parse("a\\999b."), util::ParseError);
+  // 64-char label
+  EXPECT_THROW(Name::parse(std::string(64, 'x') + ".com."), util::ParseError);
+  // > 255 octets total
+  std::string big;
+  for (int i = 0; i < 50; ++i) big += "abcdef.";
+  EXPECT_THROW(Name::parse(big), util::ParseError);
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(Name::parse("WWW.Example.COM."), Name::parse("www.example.com."));
+  EXPECT_NE(Name::parse("www.example.com."), Name::parse("example.com."));
+}
+
+TEST(Name, SubdomainChecks) {
+  const Name zone = Name::parse("example.com.");
+  EXPECT_TRUE(Name::parse("example.com.").is_subdomain_of(zone));
+  EXPECT_TRUE(Name::parse("www.example.com.").is_subdomain_of(zone));
+  EXPECT_TRUE(Name::parse("a.b.example.com.").is_subdomain_of(zone));
+  EXPECT_FALSE(Name::parse("example.org.").is_subdomain_of(zone));
+  EXPECT_FALSE(Name::parse("com.").is_subdomain_of(zone));
+  EXPECT_FALSE(Name::parse("badexample.com.").is_subdomain_of(zone));
+  EXPECT_TRUE(zone.is_subdomain_of(Name()));  // everything under root
+}
+
+TEST(Name, ParentAndChild) {
+  const Name n = Name::parse("www.example.com.");
+  EXPECT_EQ(n.parent().to_string(), "example.com.");
+  EXPECT_EQ(n.parent(2).to_string(), "com.");
+  EXPECT_EQ(n.parent(3).to_string(), ".");
+  EXPECT_EQ(n.parent(9).to_string(), ".");
+  EXPECT_EQ(Name::parse("example.com.").child("api").to_string(), "api.example.com.");
+}
+
+TEST(Name, CanonicalOrderRfc4034) {
+  // The RFC 4034 §6.1 example ordering (adapted to our supported charset).
+  std::vector<Name> sorted = {
+      Name::parse("example."),       Name::parse("a.example."),
+      Name::parse("yljkjljk.a.example."), Name::parse("Z.a.example."),
+      Name::parse("zABC.a.EXAMPLE."), Name::parse("z.example."),
+      Name::parse("www.z.example."),
+  };
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_LT(Name::canonical_compare(sorted[i], sorted[i + 1]), 0)
+        << sorted[i].to_string() << " vs " << sorted[i + 1].to_string();
+    EXPECT_GT(Name::canonical_compare(sorted[i + 1], sorted[i]), 0);
+  }
+  EXPECT_EQ(Name::canonical_compare(Name::parse("A.example."), Name::parse("a.EXAMPLE.")),
+            0);
+}
+
+TEST(Name, CanonicalFoldsCase) {
+  EXPECT_EQ(Name::parse("WwW.ExAmPlE.").canonical().to_string(), "www.example.");
+}
+
+TEST(Name, WireLength) {
+  EXPECT_EQ(Name().wire_length(), 1u);                       // root = 1 zero byte
+  EXPECT_EQ(Name::parse("com.").wire_length(), 5u);          // 3 'com' + len + root
+  EXPECT_EQ(Name::parse("a.bc.").wire_length(), 6u);
+}
+
+TEST(Name, WireEncoding) {
+  util::Writer w;
+  Name::parse("ab.c.").to_wire(w);
+  const util::Bytes expected = {2, 'a', 'b', 1, 'c', 0};
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+}  // namespace
+}  // namespace sdns::dns

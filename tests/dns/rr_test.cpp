@@ -1,0 +1,215 @@
+#include "dns/rr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdns::dns {
+namespace {
+
+TEST(RRType, StringRoundTrip) {
+  for (RRType t : {RRType::kA, RRType::kNS, RRType::kCNAME, RRType::kSOA, RRType::kPTR,
+                   RRType::kMX, RRType::kTXT, RRType::kSIG, RRType::kKEY, RRType::kAAAA,
+                   RRType::kNXT, RRType::kTSIG, RRType::kANY}) {
+    EXPECT_EQ(rrtype_from_string(to_string(t)), t);
+  }
+  EXPECT_EQ(rrtype_from_string("TYPE99"), static_cast<RRType>(99));
+  EXPECT_THROW(rrtype_from_string("BOGUS"), util::ParseError);
+  EXPECT_THROW(rrtype_from_string("TYPE99999"), util::ParseError);
+}
+
+TEST(ARdata, TextRoundTrip) {
+  ARdata a = ARdata::from_text("192.0.2.1");
+  EXPECT_EQ(a.to_text(), "192.0.2.1");
+  EXPECT_EQ(a.encode(), (util::Bytes{192, 0, 2, 1}));
+  EXPECT_EQ(ARdata::decode(a.encode()).to_text(), "192.0.2.1");
+}
+
+TEST(ARdata, RejectsBadText) {
+  EXPECT_THROW(ARdata::from_text("256.0.0.1"), util::ParseError);
+  EXPECT_THROW(ARdata::from_text("1.2.3"), util::ParseError);
+  EXPECT_THROW(ARdata::from_text("1.2.3.4.5"), util::ParseError);
+  EXPECT_THROW(ARdata::from_text("a.b.c.d"), util::ParseError);
+  EXPECT_THROW(ARdata::decode(util::Bytes{1, 2, 3}), util::ParseError);
+}
+
+TEST(AaaaRdata, TextRoundTrip) {
+  AaaaRdata a = AaaaRdata::from_text("2001:db8::1");
+  EXPECT_EQ(a.to_text(), "2001:db8:0:0:0:0:0:1");
+  EXPECT_EQ(AaaaRdata::decode(a.encode()).address, a.address);
+  AaaaRdata full = AaaaRdata::from_text("1:2:3:4:5:6:7:8");
+  EXPECT_EQ(full.to_text(), "1:2:3:4:5:6:7:8");
+  AaaaRdata loop = AaaaRdata::from_text("::1");
+  EXPECT_EQ(loop.address[15], 1);
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(loop.address[i], 0);
+}
+
+TEST(AaaaRdata, RejectsBadText) {
+  EXPECT_THROW(AaaaRdata::from_text("1:2:3"), util::ParseError);
+  EXPECT_THROW(AaaaRdata::from_text("1:2:3:4:5:6:7:8:9"), util::ParseError);
+  EXPECT_THROW(AaaaRdata::from_text("g::1"), util::ParseError);
+}
+
+TEST(SoaRdata, EncodeDecodeRoundTrip) {
+  SoaRdata s;
+  s.mname = Name::parse("ns1.example.com.");
+  s.rname = Name::parse("admin.example.com.");
+  s.serial = 2004010101;
+  s.refresh = 7200;
+  s.retry = 1200;
+  s.expire = 604800;
+  s.minimum = 600;
+  SoaRdata d = SoaRdata::decode(s.encode());
+  EXPECT_EQ(d.mname, s.mname);
+  EXPECT_EQ(d.rname, s.rname);
+  EXPECT_EQ(d.serial, s.serial);
+  EXPECT_EQ(d.minimum, s.minimum);
+}
+
+TEST(MxRdata, EncodeDecodeRoundTrip) {
+  MxRdata m{10, Name::parse("mail.example.com.")};
+  MxRdata d = MxRdata::decode(m.encode());
+  EXPECT_EQ(d.preference, 10);
+  EXPECT_EQ(d.exchange, m.exchange);
+  EXPECT_EQ(d.to_text(), "10 mail.example.com.");
+}
+
+TEST(TxtRdata, EncodeDecodeRoundTrip) {
+  TxtRdata t{{"hello world", "second"}};
+  TxtRdata d = TxtRdata::decode(t.encode());
+  EXPECT_EQ(d.strings, t.strings);
+  EXPECT_EQ(d.to_text(), "\"hello world\" \"second\"");
+  EXPECT_THROW(TxtRdata::decode({}), util::ParseError);
+}
+
+TEST(KeyRdata, EncodeDecodeRoundTrip) {
+  KeyRdata k;
+  k.public_key = {1, 2, 3, 4};
+  KeyRdata d = KeyRdata::decode(k.encode());
+  EXPECT_EQ(d.flags, k.flags);
+  EXPECT_EQ(d.protocol, 3);
+  EXPECT_EQ(d.algorithm, 5);
+  EXPECT_EQ(d.public_key, k.public_key);
+}
+
+TEST(SigRdata, EncodeDecodeRoundTrip) {
+  SigRdata s;
+  s.type_covered = RRType::kA;
+  s.labels = 3;
+  s.original_ttl = 3600;
+  s.expiration = 1000000;
+  s.inception = 900000;
+  s.key_tag = 0xbeef;
+  s.signer = Name::parse("example.com.");
+  s.signature = {9, 8, 7};
+  SigRdata d = SigRdata::decode(s.encode());
+  EXPECT_EQ(d.type_covered, RRType::kA);
+  EXPECT_EQ(d.key_tag, 0xbeef);
+  EXPECT_EQ(d.signer, s.signer);
+  EXPECT_EQ(d.signature, s.signature);
+}
+
+TEST(SigRdata, PresignaturePrefixExcludesSignature) {
+  SigRdata s;
+  s.type_covered = RRType::kMX;
+  s.signer = Name::parse("Example.COM.");
+  s.signature = {1, 2, 3};
+  const auto prefix = s.presignature_prefix();
+  // Prefix must not contain the signature and must case-fold the signer.
+  SigRdata s2 = s;
+  s2.signature = {9, 9, 9, 9};
+  EXPECT_EQ(prefix, s2.presignature_prefix());
+  SigRdata s3 = s;
+  s3.signer = Name::parse("example.com.");
+  EXPECT_EQ(prefix, s3.presignature_prefix());
+}
+
+TEST(NxtRdata, EncodeDecodeRoundTrip) {
+  NxtRdata n;
+  n.next = Name::parse("b.example.com.");
+  n.types = {RRType::kA, RRType::kSOA, RRType::kSIG, RRType::kNXT};
+  NxtRdata d = NxtRdata::decode(n.encode());
+  EXPECT_EQ(d.next, n.next);
+  EXPECT_EQ(d.types, n.types);
+  EXPECT_TRUE(d.has_type(RRType::kA));
+  EXPECT_FALSE(d.has_type(RRType::kMX));
+}
+
+TEST(NxtRdata, RejectsHighTypesInBitmap) {
+  NxtRdata n;
+  n.next = Name::parse("x.");
+  n.types = {RRType::kTSIG};  // 250 > 127
+  EXPECT_THROW(n.encode(), std::length_error);
+}
+
+TEST(TsigRdata, EncodeDecodeRoundTrip) {
+  TsigRdata t;
+  t.key_name = "client-key";
+  t.timestamp = 1234567;
+  t.mac = {0xaa, 0xbb};
+  TsigRdata d = TsigRdata::decode(t.encode());
+  EXPECT_EQ(d.key_name, t.key_name);
+  EXPECT_EQ(d.timestamp, t.timestamp);
+  EXPECT_EQ(d.mac, t.mac);
+}
+
+TEST(RdataText, DispatchRoundTrip) {
+  struct Case {
+    RRType type;
+    const char* text;
+  };
+  const Case cases[] = {
+      {RRType::kA, "10.1.2.3"},
+      {RRType::kNS, "ns1.example.com."},
+      {RRType::kCNAME, "real.example.com."},
+      {RRType::kPTR, "host.example.com."},
+      {RRType::kMX, "20 mx.example.com."},
+      {RRType::kSOA, "ns1.example.com. admin.example.com. 1 7200 1200 604800 600"},
+  };
+  for (const auto& c : cases) {
+    const auto rdata = rdata_from_text(c.type, c.text);
+    EXPECT_EQ(rdata_to_text(c.type, rdata), c.text) << c.text;
+  }
+}
+
+TEST(RdataText, UnknownTypeRendersAsHex) {
+  const util::Bytes raw = {0xde, 0xad};
+  EXPECT_EQ(rdata_to_text(static_cast<RRType>(99), raw), "\\# 2 dead");
+  EXPECT_THROW(rdata_from_text(static_cast<RRType>(99), "x"), util::ParseError);
+}
+
+TEST(ResourceRecord, TextForm) {
+  ResourceRecord rr;
+  rr.name = Name::parse("www.example.com.");
+  rr.type = RRType::kA;
+  rr.ttl = 3600;
+  rr.rdata = ARdata::from_text("192.0.2.1").encode();
+  EXPECT_EQ(rr.to_text(), "www.example.com. 3600 IN A 192.0.2.1");
+}
+
+TEST(ResourceRecord, CanonicalWireFoldsOwnerCase) {
+  ResourceRecord rr;
+  rr.name = Name::parse("WWW.Example.Com.");
+  rr.type = RRType::kA;
+  rr.ttl = 60;
+  rr.rdata = ARdata::from_text("192.0.2.1").encode();
+  util::Writer w1, w2;
+  rr.to_canonical_wire(w1);
+  rr.name = Name::parse("www.example.com.");
+  rr.to_canonical_wire(w2);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+}
+
+TEST(RRset, ToRecords) {
+  RRset set;
+  set.name = Name::parse("multi.example.com.");
+  set.type = RRType::kA;
+  set.ttl = 120;
+  set.rdatas = {ARdata::from_text("10.0.0.1").encode(),
+                ARdata::from_text("10.0.0.2").encode()};
+  auto records = set.to_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].ttl, 120u);
+  EXPECT_EQ(records[1].rdata, set.rdatas[1]);
+}
+
+}  // namespace
+}  // namespace sdns::dns

@@ -1,0 +1,466 @@
+#include "dns/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+using util::Rng;
+using util::to_bytes;
+
+const crypto::RsaPrivateKey& zone_key() {
+  static const crypto::RsaPrivateKey key = [] {
+    Rng rng(900);
+    return crypto::rsa_generate(rng, 512);
+  }();
+  return key;
+}
+
+Zone base_zone() {
+  return Zone::from_text(Name::parse("corp.example."), R"(
+@     IN SOA ns1.corp.example. hostmaster.corp.example. 100 7200 1200 604800 600
+@     IN NS  ns1.corp.example.
+@     IN NS  ns2.corp.example.
+@     IN MX  10 mail.corp.example.
+ns1   IN A   192.0.2.53
+ns2   IN A   192.0.2.54
+mail  IN A   192.0.2.25
+www   IN A   192.0.2.80
+www   IN A   192.0.2.81
+alias IN CNAME www.corp.example.
+deep  IN CNAME alias.corp.example.
+)");
+}
+
+AuthoritativeServer make_server(bool sign = false) {
+  Zone z = base_zone();
+  if (sign) {
+    sign_zone(z, zone_key().pub, 1000, 100000, [](util::BytesView d) {
+      return crypto::rsa_sign_sha1(zone_key(), d);
+    });
+  }
+  return AuthoritativeServer(std::move(z));
+}
+
+Message query(const char* name, RRType type) {
+  return Message::make_query(1, Name::parse(name), type);
+}
+
+// ---- queries ----------------------------------------------------------------
+
+TEST(Query, PositiveAnswer) {
+  auto server = make_server();
+  Message r = server.answer_query(query("www.corp.example.", RRType::kA));
+  EXPECT_EQ(r.rcode, Rcode::kNoError);
+  EXPECT_TRUE(r.aa);
+  EXPECT_TRUE(r.qr);
+  EXPECT_EQ(r.answers.size(), 2u);
+  for (const auto& rr : r.answers) EXPECT_EQ(rr.type, RRType::kA);
+}
+
+TEST(Query, CaseInsensitiveLookup) {
+  auto server = make_server();
+  Message r = server.answer_query(query("WWW.CORP.EXAMPLE.", RRType::kA));
+  EXPECT_EQ(r.answers.size(), 2u);
+}
+
+TEST(Query, NxDomainIncludesSoa) {
+  auto server = make_server();
+  Message r = server.answer_query(query("missing.corp.example.", RRType::kA));
+  EXPECT_EQ(r.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(r.answers.empty());
+  ASSERT_FALSE(r.authority.empty());
+  EXPECT_EQ(r.authority[0].type, RRType::kSOA);
+}
+
+TEST(Query, NoDataIncludesSoa) {
+  auto server = make_server();
+  Message r = server.answer_query(query("www.corp.example.", RRType::kMX));
+  EXPECT_EQ(r.rcode, Rcode::kNoError);
+  EXPECT_TRUE(r.answers.empty());
+  ASSERT_FALSE(r.authority.empty());
+  EXPECT_EQ(r.authority[0].type, RRType::kSOA);
+}
+
+TEST(Query, OutOfZoneRefused) {
+  auto server = make_server();
+  Message r = server.answer_query(query("www.other.example.", RRType::kA));
+  EXPECT_EQ(r.rcode, Rcode::kRefused);
+  EXPECT_FALSE(r.aa);
+}
+
+TEST(Query, CnameIsChased) {
+  auto server = make_server();
+  Message r = server.answer_query(query("alias.corp.example.", RRType::kA));
+  EXPECT_EQ(r.rcode, Rcode::kNoError);
+  ASSERT_EQ(r.answers.size(), 3u);
+  EXPECT_EQ(r.answers[0].type, RRType::kCNAME);
+  EXPECT_EQ(r.answers[1].type, RRType::kA);
+}
+
+TEST(Query, CnameChainChased) {
+  auto server = make_server();
+  Message r = server.answer_query(query("deep.corp.example.", RRType::kA));
+  // deep -> alias -> www -> two A records.
+  EXPECT_EQ(r.answers.size(), 4u);
+}
+
+TEST(Query, CnameItselfQueryable) {
+  auto server = make_server();
+  Message r = server.answer_query(query("alias.corp.example.", RRType::kCNAME));
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type, RRType::kCNAME);
+}
+
+TEST(Query, AnyReturnsAllTypes) {
+  auto server = make_server();
+  Message r = server.answer_query(query("corp.example.", RRType::kANY));
+  // SOA + 2 NS + MX.
+  EXPECT_EQ(r.answers.size(), 4u);
+}
+
+TEST(Query, AdditionalSectionCarriesGlue) {
+  auto server = make_server();
+  Message r = server.answer_query(query("corp.example.", RRType::kMX));
+  ASSERT_EQ(r.answers.size(), 1u);
+  ASSERT_FALSE(r.additional.empty());
+  EXPECT_EQ(r.additional[0].name, Name::parse("mail.corp.example."));
+  EXPECT_EQ(r.additional[0].type, RRType::kA);
+}
+
+TEST(Query, MalformedQuestionCount) {
+  auto server = make_server();
+  Message m;  // zero questions
+  Message r = server.answer_query(m);
+  EXPECT_EQ(r.rcode, Rcode::kFormErr);
+}
+
+TEST(QuerySigned, AnswersCarrySigRecords) {
+  auto server = make_server(/*sign=*/true);
+  Message r = server.answer_query(query("www.corp.example.", RRType::kA));
+  bool has_sig = false;
+  for (const auto& rr : r.answers) {
+    if (rr.type == RRType::kSIG) {
+      has_sig = true;
+      EXPECT_EQ(SigRdata::decode(rr.rdata).type_covered, RRType::kA);
+    }
+  }
+  EXPECT_TRUE(has_sig);
+}
+
+TEST(QuerySigned, NxDomainCarriesNxtDenial) {
+  auto server = make_server(/*sign=*/true);
+  Message r = server.answer_query(query("miss.corp.example.", RRType::kA));
+  EXPECT_EQ(r.rcode, Rcode::kNxDomain);
+  bool has_nxt = false;
+  for (const auto& rr : r.authority) {
+    if (rr.type == RRType::kNXT) has_nxt = true;
+  }
+  EXPECT_TRUE(has_nxt);
+}
+
+TEST(QuerySigned, ResponseSigsVerify) {
+  auto server = make_server(/*sign=*/true);
+  Message r = server.answer_query(query("www.corp.example.", RRType::kA));
+  RRset rrset;
+  SigRdata sig;
+  bool have_sig = false;
+  for (const auto& rr : r.answers) {
+    if (rr.type == RRType::kA) {
+      rrset.name = rr.name;
+      rrset.type = rr.type;
+      rrset.ttl = rr.ttl;
+      rrset.rdatas.push_back(rr.rdata);
+    } else if (rr.type == RRType::kSIG) {
+      sig = SigRdata::decode(rr.rdata);
+      have_sig = true;
+    }
+  }
+  ASSERT_TRUE(have_sig);
+  EXPECT_TRUE(verify_rrset_sig(rrset, sig, zone_key().pub));
+}
+
+// ---- updates ------------------------------------------------------------------
+
+Message update_message() {
+  Message m;
+  m.id = 7;
+  m.opcode = Opcode::kUpdate;
+  m.questions.push_back({Name::parse("corp.example."), RRType::kSOA, RRClass::kIN});
+  return m;
+}
+
+ResourceRecord add_a(const char* name, const char* addr) {
+  ResourceRecord rr;
+  rr.name = Name::parse(name);
+  rr.type = RRType::kA;
+  rr.ttl = 300;
+  rr.rdata = ARdata::from_text(addr).encode();
+  return rr;
+}
+
+TEST(Update, AddNewRecord) {
+  auto server = make_server();
+  Message m = update_message();
+  m.updates().push_back(add_a("new.corp.example.", "10.0.0.1"));
+  auto result = server.apply_update(m, 5000);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);
+  EXPECT_NE(server.zone().find(Name::parse("new.corp.example."), RRType::kA), nullptr);
+  EXPECT_EQ(server.zone().soa()->serial, 101u);  // bumped
+  EXPECT_TRUE(result.sig_tasks.empty());         // unsigned zone
+}
+
+TEST(Update, DeleteSpecificRecord) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord rr = add_a("www.corp.example.", "192.0.2.80");
+  rr.klass = RRClass::kNONE;
+  rr.ttl = 0;
+  m.updates().push_back(rr);
+  auto result = server.apply_update(m, 5000);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);
+  EXPECT_EQ(server.zone().find(Name::parse("www.corp.example."), RRType::kA)->rdatas.size(),
+            1u);
+}
+
+TEST(Update, DeleteRRset) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord rr;
+  rr.name = Name::parse("www.corp.example.");
+  rr.type = RRType::kA;
+  rr.klass = RRClass::kANY;
+  rr.ttl = 0;
+  m.updates().push_back(rr);
+  auto result = server.apply_update(m, 5000);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);
+  EXPECT_EQ(server.zone().find(Name::parse("www.corp.example."), RRType::kA), nullptr);
+}
+
+TEST(Update, DeleteAllAtName) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord rr;
+  rr.name = Name::parse("mail.corp.example.");
+  rr.type = RRType::kANY;
+  rr.klass = RRClass::kANY;
+  rr.ttl = 0;
+  m.updates().push_back(rr);
+  server.apply_update(m, 5000);
+  EXPECT_FALSE(server.zone().name_exists(Name::parse("mail.corp.example.")));
+}
+
+TEST(Update, ApexSoaAndNsProtected) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord rr;
+  rr.name = Name::parse("corp.example.");
+  rr.type = RRType::kSOA;
+  rr.klass = RRClass::kANY;
+  rr.ttl = 0;
+  m.updates().push_back(rr);
+  server.apply_update(m, 5000);
+  EXPECT_TRUE(server.zone().soa().has_value());
+}
+
+TEST(Update, WrongZoneRejected) {
+  auto server = make_server();
+  Message m = update_message();
+  m.questions[0].name = Name::parse("other.example.");
+  m.updates().push_back(add_a("x.other.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(m, 1).rcode, Rcode::kNotZone);
+}
+
+TEST(Update, OutOfZoneRecordRejected) {
+  auto server = make_server();
+  Message m = update_message();
+  m.updates().push_back(add_a("x.other.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(m, 1).rcode, Rcode::kNotZone);
+}
+
+TEST(Update, PrereqNameInUse) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord pre;
+  pre.name = Name::parse("www.corp.example.");
+  pre.type = RRType::kANY;
+  pre.klass = RRClass::kANY;
+  m.prerequisites().push_back(pre);
+  m.updates().push_back(add_a("new.corp.example.", "10.0.0.2"));
+  EXPECT_EQ(server.apply_update(m, 1).rcode, Rcode::kNoError);
+
+  Message m2 = update_message();
+  pre.name = Name::parse("ghost.corp.example.");
+  m2.prerequisites().push_back(pre);
+  m2.updates().push_back(add_a("new2.corp.example.", "10.0.0.3"));
+  EXPECT_EQ(server.apply_update(m2, 1).rcode, Rcode::kNxDomain);
+  EXPECT_FALSE(server.zone().name_exists(Name::parse("new2.corp.example.")));
+}
+
+TEST(Update, PrereqNameNotInUse) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord pre;
+  pre.name = Name::parse("www.corp.example.");
+  pre.type = RRType::kANY;
+  pre.klass = RRClass::kNONE;
+  m.prerequisites().push_back(pre);
+  m.updates().push_back(add_a("x.corp.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(m, 1).rcode, Rcode::kYxDomain);
+}
+
+TEST(Update, PrereqRRsetExists) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord pre;
+  pre.name = Name::parse("www.corp.example.");
+  pre.type = RRType::kMX;  // www has no MX
+  pre.klass = RRClass::kANY;
+  m.prerequisites().push_back(pre);
+  m.updates().push_back(add_a("x.corp.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(m, 1).rcode, Rcode::kNxRRset);
+}
+
+TEST(Update, PrereqRRsetDoesNotExist) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord pre;
+  pre.name = Name::parse("www.corp.example.");
+  pre.type = RRType::kA;
+  pre.klass = RRClass::kNONE;
+  m.prerequisites().push_back(pre);
+  m.updates().push_back(add_a("x.corp.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(m, 1).rcode, Rcode::kYxRRset);
+}
+
+TEST(Update, PrereqExactRRsetMatch) {
+  auto server = make_server();
+  Message good = update_message();
+  for (const char* addr : {"192.0.2.80", "192.0.2.81"}) {
+    ResourceRecord pre = add_a("www.corp.example.", addr);
+    pre.ttl = 0;
+    good.prerequisites().push_back(pre);
+  }
+  good.updates().push_back(add_a("ok.corp.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(good, 1).rcode, Rcode::kNoError);
+
+  Message bad = update_message();
+  ResourceRecord pre = add_a("www.corp.example.", "192.0.2.80");
+  pre.ttl = 0;
+  bad.prerequisites().push_back(pre);  // incomplete rrset
+  bad.updates().push_back(add_a("no.corp.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(bad, 1).rcode, Rcode::kNxRRset);
+}
+
+TEST(Update, PrereqNonZeroTtlIsFormErr) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord pre = add_a("www.corp.example.", "192.0.2.80");
+  pre.ttl = 300;
+  m.prerequisites().push_back(pre);
+  EXPECT_EQ(server.apply_update(m, 1).rcode, Rcode::kFormErr);
+}
+
+TEST(Update, TsigEnforcedWhenRequired) {
+  Zone z = base_zone();
+  UpdatePolicy policy;
+  policy.require_tsig = true;
+  policy.keys.push_back({"client", to_bytes("shared")});
+  AuthoritativeServer server(std::move(z), policy);
+
+  Message unsigned_update = update_message();
+  unsigned_update.updates().push_back(add_a("u.corp.example.", "10.0.0.1"));
+  EXPECT_EQ(server.apply_update(unsigned_update, 1).rcode, Rcode::kRefused);
+
+  Message signed_update = update_message();
+  signed_update.updates().push_back(add_a("u.corp.example.", "10.0.0.1"));
+  tsig_sign(signed_update, {"client", to_bytes("shared")}, 42);
+  EXPECT_EQ(server.apply_update(signed_update, 1).rcode, Rcode::kNoError);
+
+  Message forged = update_message();
+  forged.updates().push_back(add_a("evil.corp.example.", "10.6.6.6"));
+  tsig_sign(forged, {"client", to_bytes("wrong secret")}, 43);
+  EXPECT_EQ(server.apply_update(forged, 1).rcode, Rcode::kRefused);
+  EXPECT_FALSE(server.zone().name_exists(Name::parse("evil.corp.example.")));
+}
+
+TEST(UpdateSigned, AddYieldsFourSigTasks) {
+  // The paper's §5.2 observation: an add at a new name triggers four
+  // signatures (new RRset, new NXT, predecessor NXT, SOA) and a delete two.
+  auto server = make_server(/*sign=*/true);
+  Message m = update_message();
+  m.updates().push_back(add_a("brandnew.corp.example.", "10.0.0.9"));
+  auto result = server.apply_update(m, 5000);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);
+  EXPECT_EQ(result.sig_tasks.size(), 4u);
+}
+
+TEST(UpdateSigned, DeleteYieldsTwoSigTasks) {
+  auto server = make_server(/*sign=*/true);
+  Message m = update_message();
+  ResourceRecord rr;
+  rr.name = Name::parse("mail.corp.example.");
+  rr.type = RRType::kA;
+  rr.klass = RRClass::kANY;
+  rr.ttl = 0;
+  m.updates().push_back(rr);
+  auto result = server.apply_update(m, 5000);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);
+  // Deleted rrset contributes none; predecessor NXT + SOA remain.
+  EXPECT_EQ(result.sig_tasks.size(), 2u);
+}
+
+TEST(UpdateSigned, CompletingTasksRestoresVerifiableZone) {
+  auto server = make_server(/*sign=*/true);
+  Message m = update_message();
+  m.updates().push_back(add_a("brandnew.corp.example.", "10.0.0.9"));
+  auto result = server.apply_update(m, 5000);
+  for (const auto& task : result.sig_tasks) {
+    server.install_signature(task, crypto::rsa_sign_sha1(zone_key(), task.data));
+  }
+  auto verify = verify_zone(server.zone());
+  EXPECT_TRUE(verify.ok) << verify.first_error;
+}
+
+TEST(UpdateSigned, TasksAreDeterministicallyOrdered) {
+  auto s1 = make_server(/*sign=*/true);
+  auto s2 = make_server(/*sign=*/true);
+  Message m = update_message();
+  m.updates().push_back(add_a("det.corp.example.", "10.0.0.10"));
+  m.updates().push_back(add_a("alpha.corp.example.", "10.0.0.11"));
+  auto r1 = s1.apply_update(m, 5000);
+  auto r2 = s2.apply_update(m, 5000);
+  ASSERT_EQ(r1.sig_tasks.size(), r2.sig_tasks.size());
+  for (std::size_t i = 0; i < r1.sig_tasks.size(); ++i) {
+    EXPECT_EQ(r1.sig_tasks[i], r2.sig_tasks[i]) << i;
+  }
+}
+
+TEST(Update, NoopUpdateSucceedsWithoutSerialBump) {
+  auto server = make_server();
+  Message m = update_message();
+  ResourceRecord rr;
+  rr.name = Name::parse("ghost.corp.example.");
+  rr.type = RRType::kTXT;
+  rr.klass = RRClass::kANY;  // delete rrset that is not there
+  rr.ttl = 0;
+  m.updates().push_back(rr);
+  auto result = server.apply_update(m, 1);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);
+  EXPECT_EQ(server.zone().soa()->serial, 100u);
+}
+
+TEST(Update, ResponseBuilder) {
+  Message m = update_message();
+  Message r = AuthoritativeServer::update_response(m, Rcode::kYxRRset);
+  EXPECT_TRUE(r.qr);
+  EXPECT_EQ(r.opcode, Opcode::kUpdate);
+  EXPECT_EQ(r.rcode, Rcode::kYxRRset);
+  EXPECT_EQ(r.id, m.id);
+}
+
+}  // namespace
+}  // namespace sdns::dns

@@ -1,0 +1,95 @@
+#include "dns/tsig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdns::dns {
+namespace {
+
+using util::to_bytes;
+
+TsigKey key() { return {"update-key", to_bytes("super secret")}; }
+
+std::function<std::optional<util::Bytes>(const std::string&)> single_key_lookup() {
+  return [](const std::string& name) -> std::optional<util::Bytes> {
+    if (name == "update-key") return to_bytes("super secret");
+    return std::nullopt;
+  };
+}
+
+Message sample_update() {
+  Message m;
+  m.id = 99;
+  m.opcode = Opcode::kUpdate;
+  m.questions.push_back({Name::parse("zone.example."), RRType::kSOA, RRClass::kIN});
+  ResourceRecord rr;
+  rr.name = Name::parse("new.zone.example.");
+  rr.type = RRType::kA;
+  rr.ttl = 300;
+  rr.rdata = ARdata::from_text("10.1.1.1").encode();
+  m.updates().push_back(rr);
+  return m;
+}
+
+TEST(Tsig, SignVerifyRoundTrip) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 1111);
+  ASSERT_EQ(m.additional.size(), 1u);
+  EXPECT_EQ(m.additional.back().type, RRType::kTSIG);
+  std::string signer;
+  EXPECT_EQ(tsig_verify(m, single_key_lookup(), &signer), TsigStatus::kOk);
+  EXPECT_EQ(signer, "update-key");
+  EXPECT_TRUE(m.additional.empty());  // stripped on success
+}
+
+TEST(Tsig, SurvivesWireRoundTrip) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 2222);
+  Message decoded = Message::decode(m.encode());
+  EXPECT_EQ(tsig_verify(decoded, single_key_lookup()), TsigStatus::kOk);
+}
+
+TEST(Tsig, MissingSignature) {
+  Message m = sample_update();
+  EXPECT_EQ(tsig_verify(m, single_key_lookup()), TsigStatus::kMissing);
+}
+
+TEST(Tsig, UnknownKey) {
+  Message m = sample_update();
+  tsig_sign(m, {"other-key", to_bytes("whatever")}, 1);
+  EXPECT_EQ(tsig_verify(m, single_key_lookup()), TsigStatus::kUnknownKey);
+  EXPECT_FALSE(m.additional.empty());  // left intact on failure
+}
+
+TEST(Tsig, WrongSecret) {
+  Message m = sample_update();
+  tsig_sign(m, {"update-key", to_bytes("wrong secret")}, 1);
+  EXPECT_EQ(tsig_verify(m, single_key_lookup()), TsigStatus::kBadMac);
+}
+
+TEST(Tsig, TamperedMessageFails) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 1234);
+  m.updates()[0].rdata = ARdata::from_text("10.9.9.9").encode();  // tamper
+  EXPECT_EQ(tsig_verify(m, single_key_lookup()), TsigStatus::kBadMac);
+}
+
+TEST(Tsig, TamperedTimestampFails) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 1234);
+  TsigRdata tsig = TsigRdata::decode(m.additional.back().rdata);
+  tsig.timestamp = 9999;  // replay at a different time
+  m.additional.back().rdata = tsig.encode();
+  EXPECT_EQ(tsig_verify(m, single_key_lookup()), TsigStatus::kBadMac);
+}
+
+TEST(Tsig, DifferentTimestampsGiveDifferentMacs) {
+  Message m1 = sample_update();
+  Message m2 = sample_update();
+  tsig_sign(m1, key(), 1);
+  tsig_sign(m2, key(), 2);
+  EXPECT_NE(TsigRdata::decode(m1.additional.back().rdata).mac,
+            TsigRdata::decode(m2.additional.back().rdata).mac);
+}
+
+}  // namespace
+}  // namespace sdns::dns

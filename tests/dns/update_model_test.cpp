@@ -1,0 +1,183 @@
+// Model-based testing of the RFC 2136 update engine: random sequences of
+// adds and deletes are applied both to the AuthoritativeServer and to a
+// trivially-correct reference model (a map of record sets); after every
+// step the observable zone state must match, and in signed mode completing
+// the returned SigTasks must leave a fully verifying zone.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "crypto/rsa.hpp"
+#include "dns/server.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+using util::Rng;
+
+const crypto::RsaPrivateKey& zone_key() {
+  static const crypto::RsaPrivateKey key = [] {
+    Rng rng(1300);
+    return crypto::rsa_generate(rng, 512);
+  }();
+  return key;
+}
+
+const Name kOrigin = Name::parse("model.example.");
+
+Zone base_zone(bool sign) {
+  Zone z = Zone::from_text(kOrigin, R"(
+@   IN SOA ns.model.example. admin.model.example. 1 7200 1200 604800 600
+@   IN NS  ns.model.example.
+ns  IN A   192.0.2.53
+)");
+  if (sign) {
+    sign_zone(z, zone_key().pub, 1000, 1000000, [](util::BytesView d) {
+      return crypto::rsa_sign_sha1(zone_key(), d);
+    });
+  }
+  return z;
+}
+
+// Reference model: name -> set of A-record addresses.
+using Model = std::map<std::string, std::set<std::string>>;
+
+struct Op {
+  enum Kind { kAdd, kDeleteRecord, kDeleteRRset } kind;
+  std::string host;
+  std::string address;
+};
+
+Op random_op(Rng& rng) {
+  Op op;
+  const auto pick = rng.below(10);
+  op.kind = pick < 5 ? Op::kAdd : pick < 8 ? Op::kDeleteRecord : Op::kDeleteRRset;
+  op.host = "h" + std::to_string(rng.below(8));
+  op.address = "10.0.0." + std::to_string(1 + rng.below(5));
+  return op;
+}
+
+Message update_for(const Op& op) {
+  Message m;
+  m.opcode = Opcode::kUpdate;
+  m.questions.push_back({kOrigin, RRType::kSOA, RRClass::kIN});
+  ResourceRecord rr;
+  rr.name = kOrigin.child(op.host);
+  rr.type = RRType::kA;
+  switch (op.kind) {
+    case Op::kAdd:
+      rr.ttl = 300;
+      rr.rdata = ARdata::from_text(op.address).encode();
+      break;
+    case Op::kDeleteRecord:
+      rr.klass = RRClass::kNONE;
+      rr.ttl = 0;
+      rr.rdata = ARdata::from_text(op.address).encode();
+      break;
+    case Op::kDeleteRRset:
+      rr.klass = RRClass::kANY;
+      rr.ttl = 0;
+      break;
+  }
+  m.updates().push_back(rr);
+  return m;
+}
+
+void apply_to_model(Model& model, const Op& op) {
+  switch (op.kind) {
+    case Op::kAdd:
+      model[op.host].insert(op.address);
+      break;
+    case Op::kDeleteRecord:
+      if (auto it = model.find(op.host); it != model.end()) {
+        it->second.erase(op.address);
+        if (it->second.empty()) model.erase(it);
+      }
+      break;
+    case Op::kDeleteRRset:
+      model.erase(op.host);
+      break;
+  }
+}
+
+void expect_match(const AuthoritativeServer& server, const Model& model) {
+  // Every model entry exists with exactly the modeled addresses.
+  for (const auto& [host, addrs] : model) {
+    const RRset* rrset = server.zone().find(kOrigin.child(host), RRType::kA);
+    ASSERT_NE(rrset, nullptr) << host;
+    std::set<std::string> got;
+    for (const auto& rd : rrset->rdatas) got.insert(ARdata::decode(rd).to_text());
+    EXPECT_EQ(got, addrs) << host;
+  }
+  // No extra hosts beyond the model and the base zone.
+  for (const auto& name : server.zone().names()) {
+    if (name == kOrigin || name == kOrigin.child("ns")) continue;
+    ASSERT_EQ(name.label_count(), kOrigin.label_count() + 1) << name.to_string();
+    EXPECT_TRUE(model.count(name.label(0))) << name.to_string();
+  }
+}
+
+class UpdateModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateModel, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(UpdateModel, UnsignedZoneMatchesReference) {
+  Rng rng(GetParam());
+  AuthoritativeServer server(base_zone(false));
+  Model model;
+  for (int step = 0; step < 120; ++step) {
+    const Op op = random_op(rng);
+    apply_to_model(model, op);
+    auto result = server.apply_update(update_for(op), 5000 + step);
+    ASSERT_EQ(result.rcode, Rcode::kNoError) << "step " << step;
+    expect_match(server, model);
+  }
+}
+
+TEST_P(UpdateModel, SignedZoneStaysVerifiableAtEveryStep) {
+  Rng rng(100 + GetParam());
+  AuthoritativeServer server(base_zone(true));
+  Model model;
+  for (int step = 0; step < 40; ++step) {
+    const Op op = random_op(rng);
+    apply_to_model(model, op);
+    auto result = server.apply_update(update_for(op), 5000 + step);
+    ASSERT_EQ(result.rcode, Rcode::kNoError) << "step " << step;
+    for (const auto& task : result.sig_tasks) {
+      server.install_signature(task, crypto::rsa_sign_sha1(zone_key(), task.data));
+    }
+    expect_match(server, model);
+    auto verify = verify_zone(server.zone());
+    ASSERT_TRUE(verify.ok) << "step " << step << ": " << verify.first_error;
+  }
+}
+
+TEST_P(UpdateModel, SerialBumpsExactlyOnEffectiveUpdates) {
+  Rng rng(200 + GetParam());
+  AuthoritativeServer server(base_zone(false));
+  Model model;
+
+  for (int step = 0; step < 80; ++step) {
+    const Op op = random_op(rng);
+    Model before = model;
+    apply_to_model(model, op);
+    // The server bumps the serial iff the update touched anything. A
+    // kDeleteRecord of an absent record or re-add of an existing one is
+    // still "touching" per our engine if it names an existing rrset; use the
+    // coarse rule: serial never decreases and grows by at most 1 per update.
+    const std::uint32_t pre = server.zone().soa()->serial;
+    ASSERT_EQ(server.apply_update(update_for(op), 1).rcode, Rcode::kNoError);
+    const std::uint32_t post = server.zone().soa()->serial;
+    EXPECT_GE(post, pre);
+    EXPECT_LE(post - pre, 1u);
+    if (before != model) {
+      EXPECT_EQ(post, pre + 1) << "step " << step;
+    }
+
+  }
+}
+
+}  // namespace
+}  // namespace sdns::dns

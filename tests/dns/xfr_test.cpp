@@ -1,0 +1,208 @@
+// Incremental zone transfer (IXFR, RFC 1995) and serial arithmetic
+// (RFC 1982): the journal-driven diff path, the AXFR fallback, and
+// client-side application to a stale secondary.
+#include "dns/xfr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "dns/server.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+using util::Rng;
+
+const Name kOrigin = Name::parse("xfr.example.");
+
+AuthoritativeServer make_server() {
+  return AuthoritativeServer(Zone::from_text(kOrigin, R"(
+@    IN SOA ns.xfr.example. admin.xfr.example. 10 7200 1200 604800 600
+@    IN NS  ns.xfr.example.
+ns   IN A   192.0.2.53
+www  IN A   192.0.2.80
+)"));
+}
+
+Message add_update(const char* host, const char* addr) {
+  Message m;
+  m.opcode = Opcode::kUpdate;
+  m.questions.push_back({kOrigin, RRType::kSOA, RRClass::kIN});
+  ResourceRecord rr;
+  rr.name = kOrigin.child(host);
+  rr.type = RRType::kA;
+  rr.ttl = 300;
+  rr.rdata = ARdata::from_text(addr).encode();
+  m.updates().push_back(rr);
+  return m;
+}
+
+Message delete_update(const char* host) {
+  Message m;
+  m.opcode = Opcode::kUpdate;
+  m.questions.push_back({kOrigin, RRType::kSOA, RRClass::kIN});
+  ResourceRecord rr;
+  rr.name = kOrigin.child(host);
+  rr.type = RRType::kA;
+  rr.klass = RRClass::kANY;
+  rr.ttl = 0;
+  m.updates().push_back(rr);
+  return m;
+}
+
+TEST(SerialCompare, Rfc1982Semantics) {
+  EXPECT_EQ(serial_compare(1, 1), 0);
+  EXPECT_LT(serial_compare(1, 2), 0);
+  EXPECT_GT(serial_compare(2, 1), 0);
+  // Wraparound: 0xFFFFFFFF < 0 < 1 in serial arithmetic.
+  EXPECT_LT(serial_compare(0xFFFFFFFFu, 0u), 0);
+  EXPECT_GT(serial_compare(0u, 0xFFFFFFFFu), 0);
+  EXPECT_LT(serial_compare(0xFFFFFFF0u, 5u), 0);
+  // Exactly half the space apart: incomparable.
+  EXPECT_EQ(serial_compare(0, 0x80000000u), 0);
+}
+
+TEST(Journal, RecordsDiffsPerUpdate) {
+  auto server = make_server();
+  ASSERT_EQ(server.apply_update(add_update("a", "10.0.0.1"), 1).rcode, Rcode::kNoError);
+  ASSERT_EQ(server.apply_update(delete_update("www"), 2).rcode, Rcode::kNoError);
+  ASSERT_EQ(server.journal().size(), 2u);
+  const auto& first = server.journal()[0];
+  EXPECT_EQ(SoaRdata::decode(first.soa_before.rdata).serial, 10u);
+  EXPECT_EQ(SoaRdata::decode(first.soa_after.rdata).serial, 11u);
+  ASSERT_EQ(first.added.size(), 1u);
+  EXPECT_EQ(first.added[0].name, kOrigin.child("a"));
+  EXPECT_TRUE(first.removed.empty());
+  const auto& second = server.journal()[1];
+  ASSERT_EQ(second.removed.size(), 1u);
+  EXPECT_EQ(second.removed[0].name, kOrigin.child("www"));
+}
+
+TEST(Journal, NoEntryForNoopUpdates) {
+  auto server = make_server();
+  ASSERT_EQ(server.apply_update(delete_update("ghost"), 1).rcode, Rcode::kNoError);
+  EXPECT_TRUE(server.journal().empty());
+}
+
+TEST(Journal, LimitTrimsOldEntries) {
+  auto server = make_server();
+  server.set_journal_limit(3);
+  for (int i = 0; i < 6; ++i) {
+    server.apply_update(add_update(("h" + std::to_string(i)).c_str(), "10.0.0.1"), 1);
+  }
+  EXPECT_EQ(server.journal().size(), 3u);
+  EXPECT_EQ(SoaRdata::decode(server.journal().front().soa_before.rdata).serial, 13u);
+}
+
+TEST(Ixfr, UpToDateClientGetsSingleSoa) {
+  auto server = make_server();
+  auto q = make_ixfr_query(1, kOrigin, *server.zone().soa());
+  Message r = server.answer_query(q);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type, RRType::kSOA);
+  Zone stale = server.zone();
+  EXPECT_EQ(apply_xfr_response(stale, r), XfrOutcome::kUpToDate);
+}
+
+TEST(Ixfr, StaleSecondaryCatchesUpIncrementally) {
+  auto server = make_server();
+  Zone secondary = server.zone();  // in sync at serial 10
+  const SoaRdata old_soa = *secondary.soa();
+
+  server.apply_update(add_update("a", "10.0.0.1"), 1);
+  server.apply_update(add_update("b", "10.0.0.2"), 2);
+  server.apply_update(delete_update("www"), 3);
+
+  Message r = server.answer_query(make_ixfr_query(2, kOrigin, old_soa));
+  EXPECT_EQ(apply_xfr_response(secondary, r), XfrOutcome::kAppliedIxfr);
+  EXPECT_EQ(secondary.soa()->serial, server.zone().soa()->serial);
+  EXPECT_EQ(secondary.to_text(), server.zone().to_text());
+}
+
+TEST(Ixfr, MidHistoryClientGetsPartialDiff) {
+  auto server = make_server();
+  server.apply_update(add_update("a", "10.0.0.1"), 1);  // serial 11
+  Zone secondary = server.zone();
+  const SoaRdata mid_soa = *secondary.soa();
+  server.apply_update(add_update("b", "10.0.0.2"), 2);  // serial 12
+  Message r = server.answer_query(make_ixfr_query(3, kOrigin, mid_soa));
+  // Diff must cover exactly one update (serial 11 -> 12).
+  EXPECT_EQ(apply_xfr_response(secondary, r), XfrOutcome::kAppliedIxfr);
+  EXPECT_EQ(secondary.to_text(), server.zone().to_text());
+}
+
+TEST(Ixfr, AncientClientFallsBackToAxfr) {
+  auto server = make_server();
+  server.set_journal_limit(1);
+  Zone secondary = server.zone();
+  const SoaRdata old_soa = *secondary.soa();
+  for (int i = 0; i < 4; ++i) {
+    server.apply_update(add_update(("h" + std::to_string(i)).c_str(), "10.0.0.3"), 1);
+  }
+  Message r = server.answer_query(make_ixfr_query(4, kOrigin, old_soa));
+  EXPECT_EQ(apply_xfr_response(secondary, r), XfrOutcome::kReplacedAxfr);
+  EXPECT_EQ(secondary.to_text(), server.zone().to_text());
+}
+
+TEST(Ixfr, SignedZoneDiffsCarrySignatures) {
+  // Journal entries finalized after signature installation must transfer the
+  // SIG/NXT changes too, so the secondary's copy verifies.
+  Rng rng(1400);
+  const auto key = crypto::rsa_generate(rng, 512);
+  Zone z = Zone::from_text(kOrigin, R"(
+@    IN SOA ns.xfr.example. admin.xfr.example. 10 7200 1200 604800 600
+@    IN NS  ns.xfr.example.
+ns   IN A   192.0.2.53
+)");
+  sign_zone(z, key.pub, 1000, 100000, [&](util::BytesView d) {
+    return crypto::rsa_sign_sha1(key, d);
+  });
+  AuthoritativeServer server(std::move(z));
+  Zone secondary = server.zone();
+  const SoaRdata old_soa = *secondary.soa();
+
+  auto result = server.apply_update(add_update("new", "10.0.0.9"), 2000);
+  ASSERT_EQ(result.rcode, Rcode::kNoError);
+  for (const auto& task : result.sig_tasks) {
+    server.install_signature(task, crypto::rsa_sign_sha1(key, task.data));
+  }
+  server.finalize_journal();
+
+  Message r = server.answer_query(make_ixfr_query(5, kOrigin, old_soa));
+  EXPECT_EQ(apply_xfr_response(secondary, r), XfrOutcome::kAppliedIxfr);
+  EXPECT_EQ(secondary.to_text(), server.zone().to_text());
+  auto verify = verify_zone(secondary);
+  EXPECT_TRUE(verify.ok) << verify.first_error;
+}
+
+TEST(Ixfr, QueryWithoutSoaFallsBackToAxfr) {
+  auto server = make_server();
+  Message q = Message::make_query(6, kOrigin, RRType::kIXFR);  // no authority SOA
+  Message r = server.answer_query(q);
+  ASSERT_GE(r.answers.size(), 2u);
+  EXPECT_EQ(r.answers.front().type, RRType::kSOA);
+  EXPECT_EQ(r.answers.back().type, RRType::kSOA);
+}
+
+TEST(Ixfr, MalformedResponsesRejected) {
+  Zone z = make_server().zone();
+  Message empty;
+  EXPECT_EQ(apply_xfr_response(z, empty), XfrOutcome::kMalformed);
+  Message bogus;
+  ResourceRecord a;
+  a.name = kOrigin;
+  a.type = RRType::kA;
+  a.rdata = ARdata::from_text("1.2.3.4").encode();
+  bogus.answers.push_back(a);
+  EXPECT_EQ(apply_xfr_response(z, bogus), XfrOutcome::kMalformed);
+}
+
+TEST(Ixfr, RefusedBelowApex) {
+  auto server = make_server();
+  Message q = Message::make_query(7, kOrigin.child("www"), RRType::kIXFR);
+  EXPECT_EQ(server.answer_query(q).rcode, Rcode::kRefused);
+}
+
+}  // namespace
+}  // namespace sdns::dns

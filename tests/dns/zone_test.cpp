@@ -1,0 +1,269 @@
+#include "dns/zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sdns::dns {
+namespace {
+
+constexpr const char* kZoneText = R"(
+$TTL 3600
+@           IN SOA ns1.zone.example. admin.zone.example. 1 7200 1200 604800 600
+@           IN NS  ns1.zone.example.
+@           IN NS  ns2.zone.example.
+ns1         IN A   192.0.2.53
+ns2         IN A   192.0.2.54
+www         IN A   192.0.2.1
+www         IN A   192.0.2.2
+mail        IN A   192.0.2.25
+@           IN MX  10 mail.zone.example.
+alias       IN CNAME www.zone.example.
+text        IN TXT "hello zone"
+v6          IN AAAA 2001:db8::1
+)";
+
+Zone test_zone() {
+  return Zone::from_text(Name::parse("zone.example."), kZoneText);
+}
+
+TEST(ZoneParse, LoadsAllRecords) {
+  Zone z = test_zone();
+  EXPECT_EQ(z.origin().to_string(), "zone.example.");
+  EXPECT_EQ(z.record_count(), 12u);
+  ASSERT_NE(z.find(Name::parse("www.zone.example."), RRType::kA), nullptr);
+  EXPECT_EQ(z.find(Name::parse("www.zone.example."), RRType::kA)->rdatas.size(), 2u);
+  ASSERT_TRUE(z.soa().has_value());
+  EXPECT_EQ(z.soa()->serial, 1u);
+  EXPECT_EQ(z.soa()->minimum, 600u);
+}
+
+TEST(ZoneParse, RelativeAndAbsoluteNames) {
+  Zone z = Zone::from_text(Name::parse("z."), R"(
+@    IN SOA ns.z. admin.z. 1 2 3 4 5
+abs.z.  600 IN A 10.0.0.1
+rel     600 IN A 10.0.0.2
+a.b     600 IN A 10.0.0.3
+)");
+  EXPECT_TRUE(z.name_exists(Name::parse("abs.z.")));
+  EXPECT_TRUE(z.name_exists(Name::parse("rel.z.")));
+  EXPECT_TRUE(z.name_exists(Name::parse("a.b.z.")));
+}
+
+TEST(ZoneParse, RejectsOutOfZoneRecords) {
+  EXPECT_THROW(Zone::from_text(Name::parse("zone.example."),
+                               "other.example. 60 IN A 10.0.0.1\n"),
+               util::ParseError);
+}
+
+TEST(ZoneParse, RejectsMalformedLines) {
+  EXPECT_THROW(Zone::from_text(Name::parse("z."), "www\n"), util::ParseError);
+  EXPECT_THROW(Zone::from_text(Name::parse("z."), "$TTL\n"), util::ParseError);
+  EXPECT_THROW(Zone::from_text(Name::parse("z."), "www 60 IN BOGUS x\n"),
+               util::ParseError);
+}
+
+TEST(ZoneParse, CommentsAndBlankLinesIgnored)
+{
+  Zone z = Zone::from_text(Name::parse("z."), R"(
+; leading comment
+@ IN SOA ns.z. admin.z. 1 2 3 4 5
+
+www 60 IN A 10.0.0.1 ; trailing comment
+)");
+  EXPECT_EQ(z.record_count(), 2u);
+}
+
+TEST(Zone, FindIsTypeAndNameExact) {
+  Zone z = test_zone();
+  EXPECT_NE(z.find(Name::parse("WWW.ZONE.EXAMPLE."), RRType::kA), nullptr);
+  EXPECT_EQ(z.find(Name::parse("www.zone.example."), RRType::kMX), nullptr);
+  EXPECT_EQ(z.find(Name::parse("nope.zone.example."), RRType::kA), nullptr);
+}
+
+TEST(Zone, RRsetsAtName) {
+  Zone z = test_zone();
+  auto sets = z.rrsets_at(Name::parse("zone.example."));
+  // SOA, NS, MX at the apex.
+  EXPECT_EQ(sets.size(), 3u);
+}
+
+TEST(Zone, AddRecordMergesAndDeduplicates) {
+  Zone z = test_zone();
+  ResourceRecord rr;
+  rr.name = Name::parse("www.zone.example.");
+  rr.type = RRType::kA;
+  rr.ttl = 60;
+  rr.rdata = ARdata::from_text("192.0.2.1").encode();  // duplicate rdata
+  z.add_record(rr);
+  const RRset* set = z.find(rr.name, RRType::kA);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->rdatas.size(), 2u);
+  EXPECT_EQ(set->ttl, 60u);  // ttl follows latest add
+  rr.rdata = ARdata::from_text("192.0.2.3").encode();
+  z.add_record(rr);
+  EXPECT_EQ(z.find(rr.name, RRType::kA)->rdatas.size(), 3u);
+}
+
+TEST(Zone, RemoveRecordAndRRset) {
+  Zone z = test_zone();
+  const Name www = Name::parse("www.zone.example.");
+  EXPECT_TRUE(z.remove_record(www, RRType::kA, ARdata::from_text("192.0.2.1").encode()));
+  EXPECT_EQ(z.find(www, RRType::kA)->rdatas.size(), 1u);
+  EXPECT_FALSE(z.remove_record(www, RRType::kA, ARdata::from_text("192.0.2.99").encode()));
+  EXPECT_TRUE(z.remove_record(www, RRType::kA, ARdata::from_text("192.0.2.2").encode()));
+  EXPECT_FALSE(z.name_exists(www));  // empty name disappears
+  EXPECT_FALSE(z.remove_rrset(www, RRType::kA));
+  EXPECT_TRUE(z.remove_rrset(Name::parse("mail.zone.example."), RRType::kA));
+}
+
+TEST(Zone, RemoveName) {
+  Zone z = test_zone();
+  EXPECT_TRUE(z.remove_name(Name::parse("text.zone.example.")));
+  EXPECT_FALSE(z.remove_name(Name::parse("text.zone.example.")));
+}
+
+TEST(Zone, BumpSerial) {
+  Zone z = test_zone();
+  z.bump_serial();
+  z.bump_serial();
+  EXPECT_EQ(z.soa()->serial, 3u);
+  Zone empty(Name::parse("no-soa.example."));
+  EXPECT_THROW(empty.bump_serial(), std::logic_error);
+}
+
+TEST(Zone, NamesInCanonicalOrder) {
+  Zone z = test_zone();
+  auto names = z.names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), z.origin());  // apex sorts first
+  for (std::size_t i = 0; i + 1 < names.size(); ++i) {
+    EXPECT_LT(Name::canonical_compare(names[i], names[i + 1]), 0);
+  }
+}
+
+TEST(Zone, PredecessorForDenial) {
+  Zone z = test_zone();
+  // "nxdomain.zone.example." sorts between existing names; its predecessor
+  // must be an existing name canonically before it.
+  const Name missing = Name::parse("nx.zone.example.");
+  const Name pred = z.predecessor(missing);
+  EXPECT_TRUE(z.name_exists(pred));
+  EXPECT_LT(Name::canonical_compare(pred, missing), 0);
+}
+
+TEST(Zone, NxtChainClosedCycle) {
+  Zone z = test_zone();
+  auto changed = z.rebuild_nxt_chain();
+  EXPECT_EQ(changed.size(), z.names().size());  // all fresh
+  auto names = z.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const RRset* nxt = z.find(names[i], RRType::kNXT);
+    ASSERT_NE(nxt, nullptr) << names[i].to_string();
+    ASSERT_EQ(nxt->rdatas.size(), 1u);
+    const NxtRdata rd = NxtRdata::decode(nxt->rdatas.front());
+    EXPECT_EQ(rd.next, names[(i + 1) % names.size()]);
+    EXPECT_TRUE(rd.has_type(RRType::kNXT));
+  }
+}
+
+TEST(Zone, NxtBitmapTracksTypes) {
+  Zone z = test_zone();
+  z.rebuild_nxt_chain();
+  const NxtRdata apex =
+      NxtRdata::decode(z.find(z.origin(), RRType::kNXT)->rdatas.front());
+  EXPECT_TRUE(apex.has_type(RRType::kSOA));
+  EXPECT_TRUE(apex.has_type(RRType::kNS));
+  EXPECT_TRUE(apex.has_type(RRType::kMX));
+  EXPECT_FALSE(apex.has_type(RRType::kA));
+}
+
+TEST(Zone, NxtRebuildIsIncremental) {
+  Zone z = test_zone();
+  z.rebuild_nxt_chain();
+  // No data change: nothing to update.
+  EXPECT_TRUE(z.rebuild_nxt_chain().empty());
+  // Adding a record at a NEW name changes that name and its predecessor.
+  ResourceRecord rr;
+  rr.name = Name::parse("new.zone.example.");
+  rr.type = RRType::kA;
+  rr.ttl = 60;
+  rr.rdata = ARdata::from_text("10.9.9.9").encode();
+  z.add_record(rr);
+  auto changed = z.rebuild_nxt_chain();
+  EXPECT_EQ(changed.size(), 2u);
+}
+
+TEST(Zone, NxtChainDropsEmptyNames) {
+  Zone z = test_zone();
+  z.rebuild_nxt_chain();
+  // Delete the only real rrset at "text": the NXT there must disappear.
+  const Name text = Name::parse("text.zone.example.");
+  z.remove_rrset(text, RRType::kTXT);
+  z.rebuild_nxt_chain();
+  EXPECT_FALSE(z.name_exists(text));
+}
+
+TEST(Zone, NxtChainRandomizedInvariant) {
+  util::Rng rng(404);
+  Zone z = test_zone();
+  z.rebuild_nxt_chain();
+  for (int step = 0; step < 60; ++step) {
+    const std::string label = "h" + std::to_string(rng.below(20));
+    const Name name = z.origin().child(label);
+    if (rng.chance(0.5)) {
+      ResourceRecord rr;
+      rr.name = name;
+      rr.type = RRType::kA;
+      rr.ttl = 60;
+      ARdata a;
+      a.address = {10, 0, 0, static_cast<std::uint8_t>(rng.below(250))};
+      rr.rdata = a.encode();
+      z.add_record(rr);
+    } else {
+      z.remove_rrset(name, RRType::kA);
+    }
+    z.rebuild_nxt_chain();
+    // Invariant: the NXT chain is one closed cycle over existing names.
+    auto names = z.names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const RRset* nxt = z.find(names[i], RRType::kNXT);
+      ASSERT_NE(nxt, nullptr);
+      const NxtRdata rd = NxtRdata::decode(nxt->rdatas.front());
+      ASSERT_EQ(rd.next, names[(i + 1) % names.size()])
+          << "broken chain after step " << step;
+    }
+  }
+}
+
+TEST(Zone, RemoveSigsByCoveredType) {
+  Zone z = test_zone();
+  SigRdata sig;
+  sig.type_covered = RRType::kA;
+  sig.signer = z.origin();
+  sig.signature = {1};
+  ResourceRecord rr;
+  rr.name = Name::parse("www.zone.example.");
+  rr.type = RRType::kSIG;
+  rr.ttl = 60;
+  rr.rdata = sig.encode();
+  z.add_record(rr);
+  sig.type_covered = RRType::kTXT;
+  rr.rdata = sig.encode();
+  z.add_record(rr);
+  z.remove_sigs(rr.name, RRType::kA);
+  const RRset* sigs = z.find(rr.name, RRType::kSIG);
+  ASSERT_NE(sigs, nullptr);
+  EXPECT_EQ(sigs->rdatas.size(), 1u);
+  EXPECT_EQ(SigRdata::decode(sigs->rdatas.front()).type_covered, RRType::kTXT);
+}
+
+TEST(Zone, ToTextRoundTripsThroughParser) {
+  Zone z = test_zone();
+  Zone reparsed = Zone::from_text(z.origin(), z.to_text());
+  EXPECT_EQ(reparsed.record_count(), z.record_count());
+  EXPECT_EQ(reparsed.soa()->serial, z.soa()->serial);
+}
+
+}  // namespace
+}  // namespace sdns::dns

@@ -1,0 +1,96 @@
+// Proactive share refresh: same public key, incompatible share generations.
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+#include "threshold/fixtures.hpp"
+#include "threshold/shoup.hpp"
+
+namespace sdns::threshold {
+namespace {
+
+using bn::BigInt;
+using util::Rng;
+using util::to_bytes;
+
+struct Generations {
+  DealtKey old_key;
+  DealtKey new_key;
+};
+
+Generations make_generations() {
+  Rng rng(4040);
+  Generations g;
+  g.old_key = deal_with_primes(rng, 4, 1, fixtures::safe_prime_256_a(),
+                               fixtures::safe_prime_256_b());
+  g.new_key = refresh_shares(rng, g.old_key.pub, fixtures::safe_prime_256_a(),
+                             fixtures::safe_prime_256_b());
+  return g;
+}
+
+TEST(Refresh, PublicKeyUnchanged) {
+  auto g = make_generations();
+  EXPECT_EQ(g.new_key.pub.N, g.old_key.pub.N);
+  EXPECT_EQ(g.new_key.pub.e, g.old_key.pub.e);
+  EXPECT_EQ(g.new_key.pub.rsa(), g.old_key.pub.rsa());
+}
+
+TEST(Refresh, SharesAndVerificationValuesRotate) {
+  auto g = make_generations();
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_NE(g.new_key.shares[i].si, g.old_key.shares[i].si) << i;
+    EXPECT_NE(g.new_key.pub.vi[i], g.old_key.pub.vi[i]) << i;
+  }
+}
+
+TEST(Refresh, NewSharesProduceSignaturesVerifyingUnderOldPublicKey) {
+  auto g = make_generations();
+  const auto msg = to_bytes("record after refresh");
+  const BigInt x = hash_to_element(g.new_key.pub, msg);
+  Rng rng(4141);
+  std::vector<SignatureShare> shares;
+  for (unsigned i = 1; i <= 2; ++i) {
+    shares.push_back(generate_share(g.new_key.pub, g.new_key.shares[i - 1], x, false, rng));
+  }
+  auto y = assemble(g.new_key.pub, x, shares);
+  ASSERT_TRUE(y.has_value());
+  // Clients keep using the original zone key.
+  EXPECT_TRUE(crypto::rsa_verify_sha1(g.old_key.pub.rsa(), msg,
+                                      signature_bytes(g.new_key.pub, *y)));
+}
+
+TEST(Refresh, MixedGenerationsCannotSign) {
+  // The point of proactive refresh: a share stolen before the refresh is
+  // useless combined with post-refresh shares.
+  auto g = make_generations();
+  const BigInt x = hash_to_element(g.old_key.pub, to_bytes("mixed"));
+  Rng rng(4242);
+  std::vector<SignatureShare> mixed = {
+      generate_share(g.old_key.pub, g.old_key.shares[0], x, false, rng),
+      generate_share(g.new_key.pub, g.new_key.shares[1], x, false, rng),
+  };
+  auto y = assemble(g.old_key.pub, x, mixed);
+  if (y) {
+    EXPECT_FALSE(verify_signature(g.old_key.pub, x, *y));
+  }
+}
+
+TEST(Refresh, OldSharesRejectedByNewVerificationValues) {
+  auto g = make_generations();
+  const BigInt x = hash_to_element(g.old_key.pub, to_bytes("stale share"));
+  Rng rng(4343);
+  auto old_share = generate_share(g.old_key.pub, g.old_key.shares[2], x, true, rng);
+  EXPECT_TRUE(verify_share(g.old_key.pub, x, old_share));
+  EXPECT_FALSE(verify_share(g.new_key.pub, x, old_share));
+}
+
+TEST(Refresh, WrongPrimesRejected) {
+  Rng rng(4444);
+  auto dealt = deal_with_primes(rng, 4, 1, fixtures::safe_prime_256_a(),
+                                fixtures::safe_prime_256_b());
+  EXPECT_THROW(refresh_shares(rng, dealt.pub, fixtures::safe_prime_512_a(),
+                              fixtures::safe_prime_512_b()),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace sdns::threshold

@@ -1,0 +1,255 @@
+#include "threshold/shoup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "crypto/rsa.hpp"
+#include "threshold/fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::threshold {
+namespace {
+
+using bn::BigInt;
+using util::Rng;
+using util::to_bytes;
+
+// Shared small key so the suite stays fast; dealt once.
+const DealtKey& key47() {
+  static const DealtKey k = [] {
+    Rng rng(501);
+    return deal_with_primes(rng, 7, 2, fixtures::safe_prime_256_a(),
+                            fixtures::safe_prime_256_b());
+  }();
+  return k;
+}
+
+std::vector<SignatureShare> make_shares(const DealtKey& k, const BigInt& x,
+                                        const std::vector<unsigned>& indices,
+                                        bool with_proof) {
+  Rng rng(601);
+  std::vector<SignatureShare> out;
+  for (unsigned i : indices) {
+    out.push_back(generate_share(k.pub, k.shares[i - 1], x, with_proof, rng));
+  }
+  return out;
+}
+
+TEST(Dealer, ParametersAndShareCount) {
+  const auto& k = key47();
+  EXPECT_EQ(k.pub.n, 7u);
+  EXPECT_EQ(k.pub.t, 2u);
+  EXPECT_EQ(k.shares.size(), 7u);
+  EXPECT_EQ(k.pub.vi.size(), 7u);
+  for (unsigned i = 0; i < 7; ++i) EXPECT_EQ(k.shares[i].index, i + 1);
+  EXPECT_EQ(k.pub.delta, bn::factorial(7));
+  EXPECT_EQ(k.pub.N, fixtures::safe_prime_256_a() * fixtures::safe_prime_256_b());
+}
+
+TEST(Dealer, RejectsBadParameters) {
+  Rng rng(502);
+  EXPECT_THROW(deal_with_primes(rng, 0, 0, fixtures::safe_prime_256_a(),
+                                fixtures::safe_prime_256_b()),
+               std::domain_error);
+  EXPECT_THROW(deal_with_primes(rng, 3, 3, fixtures::safe_prime_256_a(),
+                                fixtures::safe_prime_256_b()),
+               std::domain_error);
+}
+
+TEST(Dealer, FreshSmallKeyWorksEndToEnd) {
+  // Exercise the full dealer path including safe-prime generation.
+  Rng rng(503);
+  DealtKey k = deal(rng, 4, 1, 384);
+  const BigInt x = hash_to_element(k.pub, to_bytes("fresh-key"));
+  Rng srng(504);
+  std::vector<SignatureShare> shares;
+  for (unsigned i = 1; i <= 2; ++i) {
+    shares.push_back(generate_share(k.pub, k.shares[i - 1], x, false, srng));
+  }
+  auto y = assemble(k.pub, x, shares);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_TRUE(verify_signature(k.pub, x, *y));
+}
+
+TEST(Shoup, AnyTplus1SubsetAssemblesValidSignature) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("zone update #1"));
+  // Every 3-subset of {1..7} must produce the same valid signature value.
+  std::optional<BigInt> reference;
+  for (unsigned a = 1; a <= 7; ++a) {
+    for (unsigned b = a + 1; b <= 7; ++b) {
+      for (unsigned c = b + 1; c <= 7; ++c) {
+        auto shares = make_shares(k, x, {a, b, c}, false);
+        auto y = assemble(k.pub, x, shares);
+        ASSERT_TRUE(y.has_value()) << a << "," << b << "," << c;
+        EXPECT_TRUE(verify_signature(k.pub, x, *y));
+        if (!reference) reference = y;
+        EXPECT_EQ(*y, *reference) << "signature must be unique";
+      }
+    }
+  }
+}
+
+TEST(Shoup, TSharesAreInsufficient) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("insufficient"));
+  auto shares = make_shares(k, x, {1, 2}, false);
+  EXPECT_FALSE(assemble(k.pub, x, shares).has_value());
+}
+
+TEST(Shoup, DuplicateOrOutOfRangeIndicesRejected) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("dups"));
+  auto shares = make_shares(k, x, {1, 2, 3}, false);
+  shares[2].index = 1;  // duplicate
+  EXPECT_FALSE(assemble(k.pub, x, shares).has_value());
+  shares[2].index = 9;  // out of range
+  EXPECT_FALSE(assemble(k.pub, x, shares).has_value());
+}
+
+TEST(Shoup, AssembledSignatureIsStandardRsa) {
+  // The headline DNSSEC-compatibility property: the threshold signature
+  // verifies with the plain PKCS#1 v1.5 RSA/SHA-1 verifier.
+  const auto& k = key47();
+  const auto msg = to_bytes("www.zone.example. 3600 IN A 192.0.2.1");
+  const BigInt x = hash_to_element(k.pub, msg);
+  auto shares = make_shares(k, x, {2, 5, 7}, false);
+  auto y = assemble(k.pub, x, shares);
+  ASSERT_TRUE(y.has_value());
+  const util::Bytes sig = signature_bytes(k.pub, *y);
+  EXPECT_TRUE(crypto::rsa_verify_sha1(k.pub.rsa(), msg, sig));
+}
+
+TEST(Shoup, ProofsVerify) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("proof check"));
+  auto shares = make_shares(k, x, {1, 2, 3, 4, 5, 6, 7}, true);
+  for (const auto& s : shares) {
+    EXPECT_TRUE(verify_share(k.pub, x, s)) << "share " << s.index;
+  }
+}
+
+TEST(Shoup, ProofRejectsTamperedShareValue) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("tamper"));
+  auto shares = make_shares(k, x, {3}, true);
+  shares[0].xi = bn::mod_floor(shares[0].xi + BigInt(1), k.pub.N);
+  EXPECT_FALSE(verify_share(k.pub, x, shares[0]));
+}
+
+TEST(Shoup, ProofRejectsBitFlippedShare) {
+  // The paper's corruption model: all bits of the share value inverted.
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("bitflip"));
+  auto shares = make_shares(k, x, {4}, true);
+  auto bytes = shares[0].xi.to_bytes_be(k.pub.modulus_bytes());
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(~b);
+  shares[0].xi = bn::mod_floor(BigInt::from_bytes_be(bytes), k.pub.N);
+  EXPECT_FALSE(verify_share(k.pub, x, shares[0]));
+}
+
+TEST(Shoup, ProofRejectsWrongIndexClaim) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("wrong index"));
+  auto shares = make_shares(k, x, {5}, true);
+  shares[0].index = 6;  // claim to be server 6 with server 5's share
+  EXPECT_FALSE(verify_share(k.pub, x, shares[0]));
+}
+
+TEST(Shoup, ProofRejectsReplayOnDifferentMessage) {
+  const auto& k = key47();
+  const BigInt x1 = hash_to_element(k.pub, to_bytes("message one"));
+  const BigInt x2 = hash_to_element(k.pub, to_bytes("message two"));
+  auto shares = make_shares(k, x1, {1}, true);
+  EXPECT_TRUE(verify_share(k.pub, x1, shares[0]));
+  EXPECT_FALSE(verify_share(k.pub, x2, shares[0]));
+}
+
+TEST(Shoup, ShareWithoutProofNeverVerifies) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("no proof"));
+  auto shares = make_shares(k, x, {1}, false);
+  EXPECT_FALSE(verify_share(k.pub, x, shares[0]));
+}
+
+TEST(Shoup, AssemblyWithOneBadShareFailsVerification) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("bad assembly"));
+  auto shares = make_shares(k, x, {1, 2, 3}, false);
+  shares[1].xi = bn::mod_floor(shares[1].xi * BigInt(2), k.pub.N);
+  auto y = assemble(k.pub, x, shares);
+  // Assembly itself may "succeed" numerically but the result must not verify.
+  if (y) {
+    EXPECT_FALSE(verify_signature(k.pub, x, *y));
+  }
+}
+
+TEST(Shoup, SignatureShareEncodingRoundTrip) {
+  const auto& k = key47();
+  const BigInt x = hash_to_element(k.pub, to_bytes("encode"));
+  for (bool with_proof : {false, true}) {
+    auto shares = make_shares(k, x, {6}, with_proof);
+    auto decoded = SignatureShare::decode(shares[0].encode());
+    EXPECT_EQ(decoded.index, shares[0].index);
+    EXPECT_EQ(decoded.xi, shares[0].xi);
+    EXPECT_EQ(decoded.has_proof, with_proof);
+    if (with_proof) {
+      EXPECT_EQ(decoded.c, shares[0].c);
+      EXPECT_EQ(decoded.z, shares[0].z);
+      EXPECT_TRUE(verify_share(k.pub, x, decoded));
+    }
+  }
+}
+
+TEST(Shoup, PublicKeyEncodingRoundTrip) {
+  const auto& k = key47();
+  auto decoded = ThresholdPublicKey::decode(k.pub.encode());
+  EXPECT_EQ(decoded.n, k.pub.n);
+  EXPECT_EQ(decoded.t, k.pub.t);
+  EXPECT_EQ(decoded.N, k.pub.N);
+  EXPECT_EQ(decoded.e, k.pub.e);
+  EXPECT_EQ(decoded.v, k.pub.v);
+  EXPECT_EQ(decoded.vi, k.pub.vi);
+  EXPECT_EQ(decoded.delta, k.pub.delta);
+}
+
+TEST(Shoup, KeyShareEncodingRoundTrip) {
+  const auto& k = key47();
+  auto decoded = KeyShare::decode(k.shares[3].encode());
+  EXPECT_EQ(decoded.index, k.shares[3].index);
+  EXPECT_EQ(decoded.si, k.shares[3].si);
+}
+
+TEST(Fixtures, SafePrimesAreActuallySafePrimes) {
+  Rng rng(505);
+  for (const BigInt& p : {fixtures::safe_prime_256_a(), fixtures::safe_prime_256_b(),
+                          fixtures::safe_prime_512_a(), fixtures::safe_prime_512_b()}) {
+    EXPECT_TRUE(bn::is_probable_prime(p, rng));
+    EXPECT_TRUE(bn::is_probable_prime((p - BigInt(1)) >> 1, rng));
+  }
+  EXPECT_EQ(fixtures::safe_prime_256_a().bit_length(), 256u);
+  EXPECT_EQ(fixtures::safe_prime_512_a().bit_length(), 512u);
+  EXPECT_NE(fixtures::safe_prime_256_a(), fixtures::safe_prime_256_b());
+  EXPECT_NE(fixtures::safe_prime_512_a(), fixtures::safe_prime_512_b());
+}
+
+TEST(Shoup, FullSize1024BitKeySignsAndVerifies) {
+  Rng rng(506);
+  DealtKey k = deal_with_primes(rng, 4, 1, fixtures::safe_prime_512_a(),
+                                fixtures::safe_prime_512_b());
+  EXPECT_EQ(k.pub.N.bit_length(), 1024u);
+  const auto msg = to_bytes("paper-sized key");
+  const BigInt x = hash_to_element(k.pub, msg);
+  Rng srng(507);
+  std::vector<SignatureShare> shares;
+  for (unsigned i : {1u, 3u}) {
+    shares.push_back(generate_share(k.pub, k.shares[i - 1], x, true, srng));
+    EXPECT_TRUE(verify_share(k.pub, x, shares.back()));
+  }
+  auto y = assemble(k.pub, x, shares);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_TRUE(crypto::rsa_verify_sha1(k.pub.rsa(), msg, signature_bytes(k.pub, *y)));
+}
+
+}  // namespace
+}  // namespace sdns::threshold

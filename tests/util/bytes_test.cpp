@@ -1,0 +1,104 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdns::util {
+namespace {
+
+TEST(Writer, IntegersAreBigEndian) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0102030405060708ULL);
+  const Bytes expected = {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde,
+                          0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(Writer, PatchU16RewritesInPlace) {
+  Writer w;
+  w.u16(0);
+  w.u8(0xaa);
+  w.patch_u16(0, 0xbeef);
+  EXPECT_EQ(w.bytes(), (Bytes{0xbe, 0xef, 0xaa}));
+}
+
+TEST(Writer, PatchOutOfRangeThrows) {
+  Writer w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 1), std::out_of_range);
+}
+
+TEST(ReaderWriter, RoundTripAllTypes) {
+  Writer w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0xdeadbeef);
+  w.u64(0xffffffffffffffffULL);
+  w.lp16(to_bytes("hello"));
+  w.lp32(to_bytes("world!"));
+  w.str("zone.example.");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0xffffffffffffffffULL);
+  EXPECT_EQ(to_string(r.lp16()), "hello");
+  EXPECT_EQ(to_string(r.lp32()), "world!");
+  EXPECT_EQ(r.str(), "zone.example.");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Reader, TruncatedInputThrows) {
+  Bytes b = {0x01};
+  Reader r(b);
+  EXPECT_THROW(r.u16(), ParseError);
+}
+
+TEST(Reader, TruncatedLengthPrefixThrows) {
+  Writer w;
+  w.u16(100);  // claims 100 bytes follow
+  w.u8(1);
+  Reader r(w.bytes());
+  EXPECT_THROW(r.lp16(), ParseError);
+}
+
+TEST(Reader, ExpectDoneThrowsOnTrailing) {
+  Bytes b = {0x01, 0x02};
+  Reader r(b);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), ParseError);
+}
+
+TEST(Reader, SeekAndPos) {
+  Bytes b = {1, 2, 3, 4};
+  Reader r(b);
+  r.u16();
+  EXPECT_EQ(r.pos(), 2u);
+  r.seek(0);
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW(r.seek(5), ParseError);
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  Bytes b = {0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(hex_encode(b), "00ff10ab");
+  EXPECT_EQ(hex_decode("00ff10ab"), b);
+  EXPECT_EQ(hex_decode("00FF10AB"), b);
+}
+
+TEST(Hex, BadInputThrows) {
+  EXPECT_THROW(hex_decode("abc"), ParseError);   // odd length
+  EXPECT_THROW(hex_decode("zz"), ParseError);    // bad digit
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  EXPECT_TRUE(constant_time_equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace sdns::util

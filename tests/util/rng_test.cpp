@@ -1,0 +1,81 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdns::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversFullRange) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    auto v = r.range(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, FillProducesRequestedLength) {
+  Rng r(13);
+  auto b = r.bytes(37);
+  EXPECT_EQ(b.size(), 37u);
+  // Not all zero.
+  bool nonzero = false;
+  for (auto c : b) nonzero |= (c != 0);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(99), b(99);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next(), fb.next());
+  // Fork should not replay the parent stream.
+  Rng c(99);
+  Rng fc = c.fork();
+  EXPECT_NE(fc.next(), c.next());
+}
+
+}  // namespace
+}  // namespace sdns::util
