@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client_modes.dir/bench_client_modes.cpp.o"
+  "CMakeFiles/bench_client_modes.dir/bench_client_modes.cpp.o.d"
+  "bench_client_modes"
+  "bench_client_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corruption_sweep.dir/bench_corruption_sweep.cpp.o"
+  "CMakeFiles/bench_corruption_sweep.dir/bench_corruption_sweep.cpp.o.d"
+  "bench_corruption_sweep"
+  "bench_corruption_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corruption_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

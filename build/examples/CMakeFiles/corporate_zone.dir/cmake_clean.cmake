@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corporate_zone.dir/corporate_zone.cpp.o"
+  "CMakeFiles/corporate_zone.dir/corporate_zone.cpp.o.d"
+  "corporate_zone"
+  "corporate_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/intrusion_tolerance.cpp" "examples/CMakeFiles/intrusion_tolerance.dir/intrusion_tolerance.cpp.o" "gcc" "examples/CMakeFiles/intrusion_tolerance.dir/intrusion_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/abcast/CMakeFiles/sdns_abcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threshold/CMakeFiles/sdns_threshold.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdns_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/sdns_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_tolerance.dir/intrusion_tolerance.cpp.o"
+  "CMakeFiles/intrusion_tolerance.dir/intrusion_tolerance.cpp.o.d"
+  "intrusion_tolerance"
+  "intrusion_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_signing.dir/threshold_signing.cpp.o"
+  "CMakeFiles/threshold_signing.dir/threshold_signing.cpp.o.d"
+  "threshold_signing"
+  "threshold_signing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_signing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

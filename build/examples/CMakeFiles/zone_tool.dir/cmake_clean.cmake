@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_tool.dir/zone_tool.cpp.o"
+  "CMakeFiles/zone_tool.dir/zone_tool.cpp.o.d"
+  "zone_tool"
+  "zone_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

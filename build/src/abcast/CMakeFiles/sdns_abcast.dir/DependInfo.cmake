@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abcast/bba.cpp" "src/abcast/CMakeFiles/sdns_abcast.dir/bba.cpp.o" "gcc" "src/abcast/CMakeFiles/sdns_abcast.dir/bba.cpp.o.d"
+  "/root/repo/src/abcast/broadcast.cpp" "src/abcast/CMakeFiles/sdns_abcast.dir/broadcast.cpp.o" "gcc" "src/abcast/CMakeFiles/sdns_abcast.dir/broadcast.cpp.o.d"
+  "/root/repo/src/abcast/coin.cpp" "src/abcast/CMakeFiles/sdns_abcast.dir/coin.cpp.o" "gcc" "src/abcast/CMakeFiles/sdns_abcast.dir/coin.cpp.o.d"
+  "/root/repo/src/abcast/group.cpp" "src/abcast/CMakeFiles/sdns_abcast.dir/group.cpp.o" "gcc" "src/abcast/CMakeFiles/sdns_abcast.dir/group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threshold/CMakeFiles/sdns_threshold.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdns_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/sdns_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_abcast.dir/bba.cpp.o"
+  "CMakeFiles/sdns_abcast.dir/bba.cpp.o.d"
+  "CMakeFiles/sdns_abcast.dir/broadcast.cpp.o"
+  "CMakeFiles/sdns_abcast.dir/broadcast.cpp.o.d"
+  "CMakeFiles/sdns_abcast.dir/coin.cpp.o"
+  "CMakeFiles/sdns_abcast.dir/coin.cpp.o.d"
+  "CMakeFiles/sdns_abcast.dir/group.cpp.o"
+  "CMakeFiles/sdns_abcast.dir/group.cpp.o.d"
+  "libsdns_abcast.a"
+  "libsdns_abcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_abcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_bignum.dir/bigint.cpp.o"
+  "CMakeFiles/sdns_bignum.dir/bigint.cpp.o.d"
+  "CMakeFiles/sdns_bignum.dir/montgomery.cpp.o"
+  "CMakeFiles/sdns_bignum.dir/montgomery.cpp.o.d"
+  "CMakeFiles/sdns_bignum.dir/prime.cpp.o"
+  "CMakeFiles/sdns_bignum.dir/prime.cpp.o.d"
+  "libsdns_bignum.a"
+  "libsdns_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_core.dir/client.cpp.o"
+  "CMakeFiles/sdns_core.dir/client.cpp.o.d"
+  "CMakeFiles/sdns_core.dir/replica.cpp.o"
+  "CMakeFiles/sdns_core.dir/replica.cpp.o.d"
+  "CMakeFiles/sdns_core.dir/service.cpp.o"
+  "CMakeFiles/sdns_core.dir/service.cpp.o.d"
+  "libsdns_core.a"
+  "libsdns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

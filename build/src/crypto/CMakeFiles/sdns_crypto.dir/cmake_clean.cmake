@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sdns_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sdns_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/sdns_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/sdns_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/sdns_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/sdns_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sdns_crypto.dir/sha256.cpp.o.d"
+  "libsdns_crypto.a"
+  "libsdns_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

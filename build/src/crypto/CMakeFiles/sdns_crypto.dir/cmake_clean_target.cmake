@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdns_crypto.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/dnssec.cpp" "src/dns/CMakeFiles/sdns_dns.dir/dnssec.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/dnssec.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/sdns_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/sdns_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/rr.cpp" "src/dns/CMakeFiles/sdns_dns.dir/rr.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/rr.cpp.o.d"
+  "/root/repo/src/dns/server.cpp" "src/dns/CMakeFiles/sdns_dns.dir/server.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/server.cpp.o.d"
+  "/root/repo/src/dns/tsig.cpp" "src/dns/CMakeFiles/sdns_dns.dir/tsig.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/tsig.cpp.o.d"
+  "/root/repo/src/dns/xfr.cpp" "src/dns/CMakeFiles/sdns_dns.dir/xfr.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/xfr.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/dns/CMakeFiles/sdns_dns.dir/zone.cpp.o" "gcc" "src/dns/CMakeFiles/sdns_dns.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/sdns_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/sdns_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_dns.dir/dnssec.cpp.o"
+  "CMakeFiles/sdns_dns.dir/dnssec.cpp.o.d"
+  "CMakeFiles/sdns_dns.dir/message.cpp.o"
+  "CMakeFiles/sdns_dns.dir/message.cpp.o.d"
+  "CMakeFiles/sdns_dns.dir/name.cpp.o"
+  "CMakeFiles/sdns_dns.dir/name.cpp.o.d"
+  "CMakeFiles/sdns_dns.dir/rr.cpp.o"
+  "CMakeFiles/sdns_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/sdns_dns.dir/server.cpp.o"
+  "CMakeFiles/sdns_dns.dir/server.cpp.o.d"
+  "CMakeFiles/sdns_dns.dir/tsig.cpp.o"
+  "CMakeFiles/sdns_dns.dir/tsig.cpp.o.d"
+  "CMakeFiles/sdns_dns.dir/xfr.cpp.o"
+  "CMakeFiles/sdns_dns.dir/xfr.cpp.o.d"
+  "CMakeFiles/sdns_dns.dir/zone.cpp.o"
+  "CMakeFiles/sdns_dns.dir/zone.cpp.o.d"
+  "libsdns_dns.a"
+  "libsdns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_sim.dir/network.cpp.o"
+  "CMakeFiles/sdns_sim.dir/network.cpp.o.d"
+  "CMakeFiles/sdns_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sdns_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sdns_sim.dir/testbed.cpp.o"
+  "CMakeFiles/sdns_sim.dir/testbed.cpp.o.d"
+  "libsdns_sim.a"
+  "libsdns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threshold/tools/gen_fixtures.cpp" "src/threshold/CMakeFiles/gen_fixtures.dir/tools/gen_fixtures.cpp.o" "gcc" "src/threshold/CMakeFiles/gen_fixtures.dir/tools/gen_fixtures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threshold/CMakeFiles/sdns_threshold.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdns_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/sdns_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

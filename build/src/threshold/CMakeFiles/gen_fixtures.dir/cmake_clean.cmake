@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_fixtures.dir/tools/gen_fixtures.cpp.o"
+  "CMakeFiles/gen_fixtures.dir/tools/gen_fixtures.cpp.o.d"
+  "gen_fixtures"
+  "gen_fixtures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

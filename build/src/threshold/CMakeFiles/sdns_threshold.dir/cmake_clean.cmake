@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_threshold.dir/fixtures.cpp.o"
+  "CMakeFiles/sdns_threshold.dir/fixtures.cpp.o.d"
+  "CMakeFiles/sdns_threshold.dir/protocol.cpp.o"
+  "CMakeFiles/sdns_threshold.dir/protocol.cpp.o.d"
+  "CMakeFiles/sdns_threshold.dir/shoup.cpp.o"
+  "CMakeFiles/sdns_threshold.dir/shoup.cpp.o.d"
+  "libsdns_threshold.a"
+  "libsdns_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

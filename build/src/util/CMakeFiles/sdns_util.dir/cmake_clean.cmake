@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdns_util.dir/bytes.cpp.o"
+  "CMakeFiles/sdns_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sdns_util.dir/log.cpp.o"
+  "CMakeFiles/sdns_util.dir/log.cpp.o.d"
+  "CMakeFiles/sdns_util.dir/rng.cpp.o"
+  "CMakeFiles/sdns_util.dir/rng.cpp.o.d"
+  "libsdns_util.a"
+  "libsdns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

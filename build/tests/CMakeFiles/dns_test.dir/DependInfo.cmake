@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns/dnssec_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/dnssec_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/dnssec_test.cpp.o.d"
+  "/root/repo/tests/dns/extensions_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/extensions_test.cpp.o.d"
+  "/root/repo/tests/dns/fuzz_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/fuzz_test.cpp.o.d"
+  "/root/repo/tests/dns/message_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/message_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/message_test.cpp.o.d"
+  "/root/repo/tests/dns/name_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/name_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/name_test.cpp.o.d"
+  "/root/repo/tests/dns/rr_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/rr_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/rr_test.cpp.o.d"
+  "/root/repo/tests/dns/server_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/server_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/server_test.cpp.o.d"
+  "/root/repo/tests/dns/tsig_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/tsig_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/tsig_test.cpp.o.d"
+  "/root/repo/tests/dns/update_model_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/update_model_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/update_model_test.cpp.o.d"
+  "/root/repo/tests/dns/xfr_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/xfr_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/xfr_test.cpp.o.d"
+  "/root/repo/tests/dns/zone_test.cpp" "tests/CMakeFiles/dns_test.dir/dns/zone_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns/zone_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/sdns_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sdns_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/threshold/CMakeFiles/sdns_threshold.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_test.dir/dns/dnssec_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/dnssec_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/extensions_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/extensions_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/fuzz_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/fuzz_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/message_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/message_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/name_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/name_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/rr_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/rr_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/server_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/server_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/tsig_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/tsig_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/update_model_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/update_model_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/xfr_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/xfr_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns/zone_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns/zone_test.cpp.o.d"
+  "dns_test"
+  "dns_test.pdb"
+  "dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_test.dir/threshold/protocol_property_test.cpp.o"
+  "CMakeFiles/threshold_test.dir/threshold/protocol_property_test.cpp.o.d"
+  "CMakeFiles/threshold_test.dir/threshold/protocol_test.cpp.o"
+  "CMakeFiles/threshold_test.dir/threshold/protocol_test.cpp.o.d"
+  "CMakeFiles/threshold_test.dir/threshold/refresh_test.cpp.o"
+  "CMakeFiles/threshold_test.dir/threshold/refresh_test.cpp.o.d"
+  "CMakeFiles/threshold_test.dir/threshold/shoup_test.cpp.o"
+  "CMakeFiles/threshold_test.dir/threshold/shoup_test.cpp.o.d"
+  "threshold_test"
+  "threshold_test.pdb"
+  "threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
