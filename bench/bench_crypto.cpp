@@ -4,6 +4,7 @@
 // the simulator's CostModel models, plus the DNS wire/zone operations.
 #include <benchmark/benchmark.h>
 
+#include "bignum/montgomery.hpp"
 #include "bignum/prime.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
@@ -11,6 +12,7 @@
 #include "crypto/sha256.hpp"
 #include "dns/dnssec.hpp"
 #include "dns/message.hpp"
+#include "threshold/context.hpp"
 #include "threshold/fixtures.hpp"
 #include "threshold/shoup.hpp"
 
@@ -161,6 +163,132 @@ void BM_ThresholdVerifySignature(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThresholdVerifySignature);
+
+// ---- threshold hot path through the cached crypto context ------------------
+// BM_VerifyShare / BM_Assemble are the acceptance benchmarks for the
+// context + allocation-free-kernel + multi-exp fast path; before/after
+// numbers are recorded in EXPERIMENTS.md and BENCH_crypto.json.
+
+void BM_VerifyShare(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  auto ctx = threshold::CryptoContext::get(key.pub);
+  util::Rng rng(20);
+  const BigInt x = threshold::hash_to_element(key.pub, util::to_bytes("rrset"));
+  const auto share = threshold::generate_share(*ctx, key.shares[0], x, true, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold::verify_share(*ctx, x, share));
+  }
+}
+BENCHMARK(BM_VerifyShare)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Assemble(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  auto ctx = threshold::CryptoContext::get(key.pub);
+  util::Rng rng(21);
+  const BigInt x = threshold::hash_to_element(key.pub, util::to_bytes("rrset"));
+  std::vector<threshold::SignatureShare> shares;
+  for (unsigned i = 1; i <= key.pub.t + 1; ++i) {
+    shares.push_back(threshold::generate_share(*ctx, key.shares[i - 1], x, false, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold::assemble(*ctx, x, shares));
+  }
+}
+BENCHMARK(BM_Assemble)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateShareProof(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  auto ctx = threshold::CryptoContext::get(key.pub);
+  util::Rng rng(22);
+  const BigInt x = threshold::hash_to_element(key.pub, util::to_bytes("rrset"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold::generate_share(*ctx, key.shares[0], x, true, rng));
+  }
+}
+BENCHMARK(BM_GenerateShareProof)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// ---- bignum kernels behind the fast path -----------------------------------
+
+void BM_MontMul(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  bn::Montgomery mont(key.pub.N);
+  util::Rng rng(23);
+  const BigInt a = bn::random_below(rng, key.pub.N);
+  const BigInt b = bn::random_below(rng, key.pub.N);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.mul(a, b));
+  }
+}
+BENCHMARK(BM_MontMul)->Arg(512)->Arg(1024);
+
+void BM_MontSqr(benchmark::State& state) {
+  const auto& key = key_for_bits(static_cast<std::size_t>(state.range(0)));
+  bn::Montgomery mont(key.pub.N);
+  util::Rng rng(24);
+  const BigInt a = bn::random_below(rng, key.pub.N);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.sqr(a));
+  }
+}
+BENCHMARK(BM_MontSqr)->Arg(512)->Arg(1024);
+
+// Simultaneous b1^e1 * b2^e2 with verify_share-shaped exponents (full-size z,
+// 256-bit challenge) vs the two independent pows it replaces.
+void BM_MultiExp(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const auto& key = key_for_bits(bits);
+  bn::Montgomery mont(key.pub.N);
+  util::Rng rng(25);
+  const BigInt b1 = bn::random_below(rng, key.pub.N);
+  const BigInt b2 = bn::random_below(rng, key.pub.N);
+  const BigInt e1 = bn::random_bits(rng, bits + 512);
+  const BigInt e2 = bn::random_bits(rng, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.pow2(b1, e1, b2, e2));
+  }
+}
+BENCHMARK(BM_MultiExp)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_MultiExpAsTwoPows(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const auto& key = key_for_bits(bits);
+  bn::Montgomery mont(key.pub.N);
+  util::Rng rng(25);  // same stream as BM_MultiExp for identical operands
+  const BigInt b1 = bn::random_below(rng, key.pub.N);
+  const BigInt b2 = bn::random_below(rng, key.pub.N);
+  const BigInt e1 = bn::random_bits(rng, bits + 512);
+  const BigInt e2 = bn::random_bits(rng, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.mul(mont.pow(b1, e1), mont.pow(b2, e2)));
+  }
+}
+BENCHMARK(BM_MultiExpAsTwoPows)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// Fixed-base window evaluation vs the generic pow for a proof-sized exponent.
+void BM_FixedBasePow(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const auto& key = key_for_bits(bits);
+  bn::Montgomery mont(key.pub.N);
+  bn::Montgomery::FixedBase fb(mont, key.pub.v, bits + 512 + 2);
+  util::Rng rng(26);
+  const BigInt e = bn::random_bits(rng, bits + 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fb.pow(e));
+  }
+}
+BENCHMARK(BM_FixedBasePow)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_FixedBaseAsGenericPow(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const auto& key = key_for_bits(bits);
+  bn::Montgomery mont(key.pub.N);
+  util::Rng rng(26);  // same stream as BM_FixedBasePow
+  const BigInt e = bn::random_bits(rng, bits + 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.pow(key.pub.v, e));
+  }
+}
+BENCHMARK(BM_FixedBaseAsGenericPow)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
 void BM_DnsMessageEncode(benchmark::State& state) {
   dns::Message m = dns::Message::make_query(1, dns::Name::parse("www.corp.example."),

@@ -16,8 +16,8 @@ constexpr std::uint8_t kCoinTag = 0xC0;
 
 ThresholdCoin::ThresholdCoin(std::shared_ptr<const GroupPublic> pub, NodeSecret secret,
                              Callbacks callbacks, util::Rng rng)
-    : pub_(std::move(pub)), secret_(std::move(secret)), cb_(std::move(callbacks)),
-      rng_(rng) {}
+    : pub_(std::move(pub)), ctx_(threshold::CryptoContext::get(pub_->coin_key)),
+      secret_(std::move(secret)), cb_(std::move(callbacks)), rng_(rng) {}
 
 bn::BigInt ThresholdCoin::coin_element(std::uint64_t instance, std::uint32_t round) const {
   Writer w;
@@ -51,7 +51,7 @@ void ThresholdCoin::release_share(std::uint64_t instance, std::uint32_t round, S
     cb_.charge(threshold::CryptoOp::kShareValue);
     cb_.charge(threshold::CryptoOp::kProofGen);
   }
-  auto share = threshold::generate_share(pub_->coin_key, secret_.coin_share, x,
+  auto share = threshold::generate_share(*ctx_, secret_.coin_share, x,
                                          /*with_proof=*/true, rng_);
   slot.shares.emplace(share.index, share);
   if (cb_.send_to_all) {
@@ -76,7 +76,7 @@ void ThresholdCoin::on_message(BytesView msg) {
     if (slot.value || slot.shares.count(share.index)) return;
     const bn::BigInt x = coin_element(instance, round);
     if (cb_.charge) cb_.charge(threshold::CryptoOp::kProofVerify);
-    if (!threshold::verify_share(pub_->coin_key, x, share)) {
+    if (!threshold::verify_share(*ctx_, x, share)) {
       SDNS_LOG_DEBUG("coin: invalid share from index ", share.index);
       return;
     }
@@ -104,8 +104,8 @@ void ThresholdCoin::try_assemble(std::uint64_t instance, std::uint32_t round, Sl
     cb_.charge(threshold::CryptoOp::kAssemble);
     cb_.charge(threshold::CryptoOp::kFinalVerify);
   }
-  auto y = threshold::assemble(pub_->coin_key, x, subset);
-  if (!y || !threshold::verify_signature(pub_->coin_key, x, *y)) {
+  auto y = threshold::assemble(*ctx_, x, subset);
+  if (!y || !threshold::verify_signature(*ctx_, x, *y)) {
     SDNS_LOG_WARN("coin: assembly failed despite verified shares");
     return;
   }

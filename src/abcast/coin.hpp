@@ -54,6 +54,9 @@ class ThresholdCoin {
   void try_assemble(std::uint64_t instance, std::uint32_t round, Slot& slot);
 
   std::shared_ptr<const GroupPublic> pub_;
+  // Shared crypto context for the coin key: Montgomery state and fixed-base
+  // tables reused across every share release/verification/assembly.
+  std::shared_ptr<const threshold::CryptoContext> ctx_;
   NodeSecret secret_;
   Callbacks cb_;
   util::Rng rng_;

@@ -530,7 +530,47 @@ BigInt ext_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y) {
   return old_r;
 }
 
+namespace {
+
+// Binary extended Euclid specialized to an odd modulus (HAC 14.64): only
+// shifts, in-place adds and subtracts — no BigInt division. Inversion is the
+// dominant cost of threshold share verification and signature assembly, and
+// the division-based ext_gcd path spends most of its time in divmod.
+// Invariant: x1 * a == u (mod m) and x2 * a == v (mod m).
+BigInt mod_inverse_odd(const BigInt& a, const BigInt& m) {
+  BigInt u = mod_floor(a, m);
+  if (u.is_zero()) throw std::domain_error("mod_inverse: not invertible");
+  BigInt v = m;
+  BigInt x1(1), x2(0);
+  while (!u.is_zero()) {
+    while (u.is_even()) {
+      u >>= 1;
+      if (x1.is_odd()) x1 += m;
+      x1 >>= 1;
+    }
+    while (v.is_even()) {
+      v >>= 1;
+      if (x2.is_odd()) x2 += m;
+      x2 >>= 1;
+    }
+    if (u >= v) {
+      u -= v;
+      x1 -= x2;
+      if (x1.is_negative()) x1 += m;
+    } else {
+      v -= u;
+      x2 -= x1;
+      if (x2.is_negative()) x2 += m;
+    }
+  }
+  if (v != BigInt(1)) throw std::domain_error("mod_inverse: not invertible");
+  return x2;  // maintained in [0, m)
+}
+
+}  // namespace
+
 BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  if (m > BigInt(1) && m.is_odd()) return mod_inverse_odd(a, m);
   BigInt x, y;
   BigInt g = ext_gcd(mod_floor(a, m), m, x, y);
   if (g != BigInt(1)) throw std::domain_error("mod_inverse: not invertible");

@@ -1,5 +1,7 @@
 #include "bignum/montgomery.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace sdns::bn {
@@ -14,6 +16,16 @@ u64 neg_inv64(u64 n) {
   for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles correct bits each step
   return ~x + 1;  // -(n^{-1})
 }
+
+// Per-thread scratch arena. Grown once per (thread, largest-modulus) and then
+// reused, so the kernels and the public entry points below stay heap-free in
+// steady state. Only top-level entry points may call this (the raw kernels
+// never do), so a single arena per thread cannot be re-entered.
+u64* tls_scratch(std::size_t words) {
+  static thread_local std::vector<u64> buf;
+  if (buf.size() < words) buf.resize(words);
+  return buf.data();
+}
 }  // namespace
 
 Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
@@ -23,111 +35,240 @@ Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
   k_ = n_.limbs().size();
   n0_inv_ = neg_inv64(n_.limbs()[0]);
   // R^2 mod n where R = 2^(64 k): compute by shifting and reducing.
-  BigInt r2 = BigInt(1) << (64 * k_ * 2);
-  r2_ = r2 % n_;
-  BigInt r1 = (BigInt(1) << (64 * k_)) % n_;
-  one_mont_ = r1.limbs();
+  r2_ = ((BigInt(1) << (64 * k_ * 2)) % n_).limbs();
+  r2_.resize(k_, 0);
+  one_mont_ = ((BigInt(1) << (64 * k_)) % n_).limbs();
   one_mont_.resize(k_, 0);
+  one_raw_.assign(k_, 0);
+  one_raw_[0] = 1;
 }
 
-void Montgomery::mont_mul(const Limbs& a, const Limbs& b, Limbs& r) const {
-  const Limbs& n = n_.limbs();
-  // t has k_+2 limbs.
-  std::vector<u64> t(k_ + 2, 0);
-  for (std::size_t i = 0; i < k_; ++i) {
+void Montgomery::mmul(const u64* a, const u64* b, u64* r, u64* t) const {
+  const u64* n = n_.limbs().data();
+  const std::size_t k = k_;
+  std::fill(t, t + k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
     // t += a[i] * b
     u64 carry = 0;
     const u64 ai = a[i];
-    for (std::size_t j = 0; j < k_; ++j) {
+    for (std::size_t j = 0; j < k; ++j) {
       u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
       t[j] = static_cast<u64>(s);
       carry = static_cast<u64>(s >> 64);
     }
-    u128 s = static_cast<u128>(t[k_]) + carry;
-    t[k_] = static_cast<u64>(s);
-    t[k_ + 1] = static_cast<u64>(s >> 64);
+    u128 s = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(s);
+    t[k + 1] = static_cast<u64>(s >> 64);
     // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
     const u64 m = t[0] * n0_inv_;
     u128 s2 = static_cast<u128>(m) * n[0] + t[0];
     carry = static_cast<u64>(s2 >> 64);
-    for (std::size_t j = 1; j < k_; ++j) {
+    for (std::size_t j = 1; j < k; ++j) {
       u128 p = static_cast<u128>(m) * n[j] + t[j] + carry;
       t[j - 1] = static_cast<u64>(p);
       carry = static_cast<u64>(p >> 64);
     }
-    u128 s3 = static_cast<u128>(t[k_]) + carry;
-    t[k_ - 1] = static_cast<u64>(s3);
-    t[k_] = t[k_ + 1] + static_cast<u64>(s3 >> 64);
-    t[k_ + 1] = 0;
+    u128 s3 = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(s3);
+    t[k] = t[k + 1] + static_cast<u64>(s3 >> 64);
+    t[k + 1] = 0;
   }
   // Conditional subtract n if t >= n.
-  bool ge = t[k_] != 0;
+  bool ge = t[k] != 0;
   if (!ge) {
     ge = true;
-    for (std::size_t i = k_; i-- > 0;) {
+    for (std::size_t i = k; i-- > 0;) {
       if (t[i] != n[i]) {
         ge = t[i] > n[i];
         break;
       }
     }
   }
-  r.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
   if (ge) {
     u64 borrow = 0;
-    for (std::size_t i = 0; i < k_; ++i) {
-      u128 d = static_cast<u128>(r[i]) - n[i] - borrow;
+    for (std::size_t i = 0; i < k; ++i) {
+      u128 d = static_cast<u128>(t[i]) - n[i] - borrow;
       r[i] = static_cast<u64>(d);
       borrow = static_cast<u64>((d >> 64) & 1);
     }
     // If t had the extra limb set, the borrow cancels against it.
+  } else {
+    std::copy(t, t + k, r);
   }
 }
 
-Montgomery::Limbs Montgomery::to_mont(const BigInt& a) const {
-  Limbs av = a.limbs();
-  av.resize(k_, 0);
-  Limbs r2 = r2_.limbs();
-  r2.resize(k_, 0);
-  Limbs out;
-  mont_mul(av, r2, out);
+void Montgomery::msqr(const u64* a, u64* r, u64* t) const {
+  const u64* n = n_.limbs().data();
+  const std::size_t k = k_;
+  // Full product t[0..2k) = a*a: cross terms once, doubled, plus diagonal.
+  std::fill(t, t + 2 * k + 1, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    u64 carry = 0;
+    const u64 ai = a[i];
+    for (std::size_t j = i + 1; j < k; ++j) {
+      u128 s = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    t[i + k] = carry;
+  }
+  // Double the cross terms (2*cross < a^2 < 2^(128k), so no carry out).
+  u64 c = 0;
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    const u64 v = t[i];
+    t[i] = (v << 1) | c;
+    c = v >> 63;
+  }
+  // Add the diagonal a[i]^2 at position 2i.
+  u64 carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 lo = static_cast<u128>(t[2 * i]) + static_cast<u64>(sq) + carry;
+    t[2 * i] = static_cast<u64>(lo);
+    u128 hi = static_cast<u128>(t[2 * i + 1]) + static_cast<u64>(sq >> 64) +
+              static_cast<u64>(lo >> 64);
+    t[2 * i + 1] = static_cast<u64>(hi);
+    carry = static_cast<u64>(hi >> 64);
+  }
+  t[2 * k] = carry;  // a^2 < n^2 < 2^(128k), so this ends up zero
+  // Montgomery reduction: k rounds of t += m_i * n << 64i, then t >>= 64k.
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 m = t[i] * n0_inv_;
+    u64 cy = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 s = static_cast<u128>(m) * n[j] + t[i + j] + cy;
+      t[i + j] = static_cast<u64>(s);
+      cy = static_cast<u64>(s >> 64);
+    }
+    std::size_t idx = i + k;
+    while (cy != 0) {
+      u128 s = static_cast<u128>(t[idx]) + cy;
+      t[idx] = static_cast<u64>(s);
+      cy = static_cast<u64>(s >> 64);
+      ++idx;  // bounded: t has 2k+1 limbs and the sum fits in them
+    }
+  }
+  const u64* hi = t + k;  // result = t >> 64k, < 2n
+  bool ge = t[2 * k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (hi[i] != n[i]) {
+        ge = hi[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      u128 d = static_cast<u128>(hi[i]) - n[i] - borrow;
+      r[i] = static_cast<u64>(d);
+      borrow = static_cast<u64>((d >> 64) & 1);
+    }
+  } else {
+    std::copy(hi, hi + k, r);
+  }
+}
+
+void Montgomery::load(const BigInt& a, u64* dst, std::size_t k) {
+  const auto& limbs = a.limbs();
+  std::copy(limbs.begin(), limbs.end(), dst);
+  std::fill(dst + limbs.size(), dst + k, 0);
+}
+
+void Montgomery::to_mont(const BigInt& a, u64* out, u64* pad, u64* t) const {
+  load(a, pad, k_);
+  mmul(pad, r2_.data(), out, t);
+}
+
+BigInt Montgomery::from_mont(const u64* a, u64* scratch_r, u64* t) const {
+  mmul(a, one_raw_.data(), scratch_r, t);
+  BigInt out;
+  out.d_.assign(scratch_r, scratch_r + static_cast<std::ptrdiff_t>(k_));
+  out.trim();
   return out;
 }
 
-BigInt Montgomery::from_mont(const Limbs& a) const {
-  Limbs one(k_, 0);
-  one[0] = 1;
-  Limbs out;
-  mont_mul(a, one, out);
-  BigInt r;
-  r.d_ = std::move(out);
-  r.trim();
-  return r;
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  // mmul(aR, b) = a*b directly: only one conversion needed.
+  // scratch: am(k) | pad(k) | out(k) | t(k+2)
+  u64* s = tls_scratch(3 * k_ + (k_ + 2));
+  u64* am = s;
+  u64* pad = am + k_;
+  u64* out = pad + k_;
+  u64* t = out + k_;
+  to_mont(mod_floor(a, n_), am, pad, t);
+  load(mod_floor(b, n_), pad, k_);
+  mmul(am, pad, out, t);
+  BigInt result;
+  result.d_.assign(out, out + static_cast<std::ptrdiff_t>(k_));
+  result.trim();
+  return result;
 }
 
-BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
-  Limbs am = to_mont(mod_floor(a, n_));
-  Limbs bm = to_mont(mod_floor(b, n_));
-  Limbs r;
-  mont_mul(am, bm, r);
-  return from_mont(r);
+BigInt Montgomery::sqr(const BigInt& a) const {
+  // msqr(a) = a^2 R^-1; one mmul by R^2 brings it back to a^2 mod n.
+  // scratch: pad(k) | lo(k) | out(k) | t(2k+1)
+  u64* s = tls_scratch(3 * k_ + (2 * k_ + 1));
+  u64* pad = s;
+  u64* lo = pad + k_;
+  u64* out = lo + k_;
+  u64* t = out + k_;
+  load(mod_floor(a, n_), pad, k_);
+  msqr(pad, lo, t);
+  mmul(lo, r2_.data(), out, t);
+  BigInt result;
+  result.d_.assign(out, out + static_cast<std::ptrdiff_t>(k_));
+  result.trim();
+  return result;
 }
 
 BigInt Montgomery::pow(const BigInt& a, const BigInt& e) const {
   if (e.is_negative()) throw std::domain_error("negative exponent");
   const BigInt base = mod_floor(a, n_);
-  if (e.is_zero()) return BigInt(1) % n_;
-
-  // 4-bit fixed window.
-  const Limbs bm = to_mont(base);
-  std::vector<Limbs> table(16);
-  table[0] = one_mont_;
-  table[1] = bm;
-  for (int i = 2; i < 16; ++i) mont_mul(table[i - 1], bm, table[i]);
+  if (e.is_zero()) return BigInt(1);  // n > 1, so 1 is already reduced
+  if (base.is_zero()) return BigInt(0);
 
   const std::size_t bits = e.bit_length();
+  if (bits <= 24) {
+    // Short exponents (Lagrange coefficients, the public RSA exponent): the
+    // 14-multiply window table costs more than plain square-and-multiply.
+    // scratch: bm(k) | acc(k) | tmp(k) | t(2k+1)
+    u64* s = tls_scratch(3 * k_ + 2 * k_ + 1);
+    u64* bm = s;
+    u64* acc = bm + k_;
+    u64* tmp = acc + k_;
+    u64* t = tmp + k_;
+    to_mont(base, bm, acc, t);
+    std::copy(bm, bm + k_, acc);
+    for (std::size_t i = bits - 1; i-- > 0;) {
+      msqr(acc, tmp, t);
+      std::swap(acc, tmp);
+      if (e.bit(i)) {
+        mmul(acc, bm, tmp, t);
+        std::swap(acc, tmp);
+      }
+    }
+    return from_mont(acc, tmp, t);
+  }
+
+  // 4-bit fixed window over a scratch-resident table.
+  // scratch: table(16k) | acc(k) | tmp(k) | t(2k+1)
+  const std::size_t tlen = 2 * k_ + 1;
+  u64* s = tls_scratch(16 * k_ + 2 * k_ + tlen);
+  u64* table = s;
+  u64* acc = table + 16 * k_;
+  u64* tmp = acc + k_;
+  u64* t = tmp + k_;
+
+  std::copy(one_mont_.begin(), one_mont_.end(), table);
+  to_mont(base, table + k_, tmp, t);
+  for (std::size_t i = 2; i < 16; ++i) {
+    mmul(table + (i - 1) * k_, table + k_, table + i * k_, t);
+  }
+
   const std::size_t windows = (bits + 3) / 4;
-  Limbs acc = one_mont_;
-  Limbs tmp;
   bool started = false;
   for (std::size_t w = windows; w-- > 0;) {
     unsigned idx = 0;
@@ -136,24 +277,139 @@ BigInt Montgomery::pow(const BigInt& a, const BigInt& e) const {
     }
     if (started) {
       for (int i = 0; i < 4; ++i) {
-        mont_mul(acc, acc, tmp);
-        acc.swap(tmp);
+        msqr(acc, tmp, t);
+        std::swap(acc, tmp);
       }
     }
     if (idx != 0) {
       if (!started) {
-        acc = table[idx];
+        std::copy(table + idx * k_, table + (idx + 1) * k_, acc);
         started = true;
       } else {
-        mont_mul(acc, table[idx], tmp);
-        acc.swap(tmp);
+        mmul(acc, table + idx * k_, tmp, t);
+        std::swap(acc, tmp);
       }
-    } else if (!started) {
-      // leading zero window, nothing accumulated yet
     }
   }
-  if (!started) return BigInt(1) % n_;
-  return from_mont(acc);
+  if (!started) return BigInt(1);
+  return from_mont(acc, tmp, t);
+}
+
+BigInt Montgomery::pow2(const BigInt& b1, const BigInt& e1, const BigInt& b2,
+                        const BigInt& e2) const {
+  if (e1.is_negative() || e2.is_negative()) throw std::domain_error("negative exponent");
+  if (e1.is_zero()) return pow(b2, e2);
+  if (e2.is_zero()) return pow(b1, e1);
+  const BigInt x1 = mod_floor(b1, n_);
+  const BigInt x2 = mod_floor(b2, n_);
+  if (x1.is_zero() || x2.is_zero()) return BigInt(0);
+
+  // Joint 2-bit windows: T[d1*4+d2] = b1^d1 * b2^d2 in Montgomery form.
+  // scratch: T(16k) | acc(k) | tmp(k) | t(2k+1)
+  const std::size_t tlen = 2 * k_ + 1;
+  u64* s = tls_scratch(16 * k_ + 2 * k_ + tlen);
+  u64* T = s;
+  u64* acc = T + 16 * k_;
+  u64* tmp = acc + k_;
+  u64* t = tmp + k_;
+
+  std::copy(one_mont_.begin(), one_mont_.end(), T);
+  to_mont(x1, T + 4 * k_, tmp, t);               // b1
+  msqr(T + 4 * k_, T + 8 * k_, t);               // b1^2
+  mmul(T + 8 * k_, T + 4 * k_, T + 12 * k_, t);  // b1^3
+  to_mont(x2, T + 1 * k_, tmp, t);               // b2
+  msqr(T + 1 * k_, T + 2 * k_, t);               // b2^2
+  mmul(T + 2 * k_, T + 1 * k_, T + 3 * k_, t);   // b2^3
+  for (std::size_t d1 = 1; d1 < 4; ++d1) {
+    for (std::size_t d2 = 1; d2 < 4; ++d2) {
+      mmul(T + d1 * 4 * k_, T + d2 * k_, T + (d1 * 4 + d2) * k_, t);
+    }
+  }
+
+  const std::size_t bits = std::max(e1.bit_length(), e2.bit_length());
+  const std::size_t windows = (bits + 1) / 2;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (started) {
+      msqr(acc, tmp, t);
+      std::swap(acc, tmp);
+      msqr(acc, tmp, t);
+      std::swap(acc, tmp);
+    }
+    const unsigned d1 = (e1.bit(2 * w + 1) ? 2u : 0u) | (e1.bit(2 * w) ? 1u : 0u);
+    const unsigned d2 = (e2.bit(2 * w + 1) ? 2u : 0u) | (e2.bit(2 * w) ? 1u : 0u);
+    const unsigned idx = d1 * 4 + d2;
+    if (idx != 0) {
+      if (!started) {
+        std::copy(T + idx * k_, T + (idx + 1) * k_, acc);
+        started = true;
+      } else {
+        mmul(acc, T + idx * k_, tmp, t);
+        std::swap(acc, tmp);
+      }
+    }
+  }
+  if (!started) return BigInt(1);  // unreachable: both exponents are nonzero
+  return from_mont(acc, tmp, t);
+}
+
+Montgomery::FixedBase::FixedBase(const Montgomery& mont, const BigInt& base,
+                                 std::size_t max_exp_bits)
+    : mont_(&mont), base_(mod_floor(base, mont.modulus())) {
+  const std::size_t k = mont.k_;
+  windows_ = (std::max<std::size_t>(max_exp_bits, 1) + kWindowBits - 1) / kWindowBits;
+  table_.resize(windows_ * kEntries * k);
+  // scratch: cur(k) | nxt(k) | t(2k+1)
+  u64* s = tls_scratch(2 * k + (2 * k + 1));
+  u64* cur = s;        // base^(2^(4j)) in Montgomery form
+  u64* nxt = cur + k;
+  u64* t = nxt + k;
+  mont.to_mont(base_, cur, nxt, t);
+  for (std::size_t j = 0; j < windows_; ++j) {
+    u64* row = table_.data() + j * kEntries * k;
+    std::copy(cur, cur + k, row);  // digit 1
+    for (std::size_t d = 2; d <= kEntries; ++d) {
+      mont.mmul(row + (d - 2) * k, cur, row + (d - 1) * k, t);
+    }
+    if (j + 1 < windows_) {
+      // base^(2^(4(j+1))) = entry(j, 15) * entry(j, 1)
+      mont.mmul(row + (kEntries - 1) * k, cur, nxt, t);
+      std::swap(cur, nxt);
+    }
+  }
+}
+
+BigInt Montgomery::FixedBase::pow(const BigInt& e) const {
+  if (mont_ == nullptr) throw std::logic_error("FixedBase not initialized");
+  if (e.is_negative()) throw std::domain_error("negative exponent");
+  if (e.is_zero()) return BigInt(1);
+  if (e.bit_length() > windows_ * kWindowBits) {
+    return mont_->pow(base_, e);  // exponent exceeds the table: stay correct
+  }
+  const std::size_t k = mont_->k_;
+  // scratch: acc(k) | tmp(k) | t(k+2)
+  u64* s = tls_scratch(2 * k + (k + 2));
+  u64* acc = s;
+  u64* tmp = acc + k;
+  u64* t = tmp + k;
+  bool started = false;
+  for (std::size_t j = 0; j < windows_; ++j) {
+    unsigned d = 0;
+    for (int b = 3; b >= 0; --b) {
+      d = (d << 1) | (e.bit(j * 4 + static_cast<std::size_t>(b)) ? 1u : 0u);
+    }
+    if (d == 0) continue;
+    const u64* entry = table_.data() + (j * kEntries + d - 1) * k;
+    if (!started) {
+      std::copy(entry, entry + k, acc);
+      started = true;
+    } else {
+      mont_->mmul(acc, entry, tmp, t);
+      std::swap(acc, tmp);
+    }
+  }
+  if (!started) return BigInt(1);
+  return mont_->from_mont(acc, tmp, t);
 }
 
 }  // namespace sdns::bn

@@ -1,0 +1,74 @@
+#include "threshold/context.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace sdns::threshold {
+
+using bn::BigInt;
+
+namespace {
+// Proof exponents are bounded by z = s_i*c + r with s_i < N, c a SHA-256
+// digest and r < 2^(|N| + 512); a couple of guard bits keep the table exact.
+std::size_t proof_exp_bits(const ThresholdPublicKey& pk) {
+  return pk.N.bit_length() + 2 * crypto::Sha256::kDigestSize * 8 + 2;
+}
+constexpr std::size_t kChallengeBits = crypto::Sha256::kDigestSize * 8 + 1;
+}  // namespace
+
+CryptoContext::CryptoContext(const ThresholdPublicKey& pk)
+    : pk_(pk), mont_(pk.N), v_(mont_, pk.v, proof_exp_bits(pk)) {
+  vi_inv_.resize(pk_.vi.size());
+  for (std::size_t i = 0; i < pk_.vi.size(); ++i) {
+    try {
+      vi_inv_[i] = bn::Montgomery::FixedBase(mont_, bn::mod_inverse(pk_.vi[i], pk_.N),
+                                             kChallengeBits);
+    } catch (const std::domain_error&) {
+      // Non-invertible v_i: only possible for a malformed/malicious key.
+      // Leave the slot uninitialized; verification for this index fails.
+    }
+  }
+}
+
+bool CryptoContext::matches(const ThresholdPublicKey& pk) const {
+  return pk_.n == pk.n && pk_.t == pk.t && pk_.N == pk.N && pk_.e == pk.e &&
+         pk_.v == pk.v && pk_.vi == pk.vi;
+}
+
+std::shared_ptr<const CryptoContext> CryptoContext::get(const ThresholdPublicKey& pk) {
+  // Small MRU cache. Keyed by the modulus in practice (lookup compares the
+  // full key material, so refreshed shares with the same N rebuild instead
+  // of reusing stale tables). A handful of entries covers every realistic
+  // process: one coin key plus one zone key per group this node is part of.
+  static std::mutex mu;
+  static std::vector<std::shared_ptr<const CryptoContext>> cache;
+  constexpr std::size_t kMaxEntries = 8;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto it = cache.begin(); it != cache.end(); ++it) {
+      if ((*it)->matches(pk)) {
+        auto ctx = *it;
+        if (it != cache.begin()) {
+          cache.erase(it);
+          cache.insert(cache.begin(), ctx);
+        }
+        return ctx;
+      }
+    }
+  }
+  // Build outside the lock: table construction does real bignum work.
+  auto ctx = std::make_shared<const CryptoContext>(pk);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& existing : cache) {
+      if (existing->matches(pk)) return existing;  // lost a benign race
+    }
+    cache.insert(cache.begin(), ctx);
+    if (cache.size() > kMaxEntries) cache.pop_back();
+  }
+  return ctx;
+}
+
+}  // namespace sdns::threshold

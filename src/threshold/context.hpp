@@ -1,0 +1,84 @@
+// Cached per-key cryptographic context for the Shoup threshold scheme.
+//
+// Every hot-path operation (share generation, share verification, assembly,
+// final verification, the common coin) needs a bn::Montgomery state for the
+// key's modulus N and repeatedly exponentiates the fixed verification bases
+// v and v_i. Building the Montgomery state costs a 2|N|-bit division (R^2 mod
+// N) and the fixed-base work costs full-length square chains — paying either
+// per call is what made the naive implementation slow (cf. the paper's
+// Tables 2-3, where share generation/verification dominate signing latency).
+//
+// A CryptoContext bundles, per threshold public key:
+//  - the Montgomery state for N,
+//  - a fixed-base window table for v sized for the proof exponents
+//    (|N| + 2*256 bits, covering z = s_i*c + r and the nonce r), and
+//  - a fixed-base window table for each v_i^{-1} sized for the 256-bit
+//    Fiat-Shamir challenge c (this also removes the per-verification
+//    mod_inverse(v_i) call).
+//
+// Contexts are immutable after construction and shared via shared_ptr, so
+// they are safe to use concurrently. CryptoContext::get() maintains a small
+// process-wide cache keyed by the modulus; the full key material (v, all
+// v_i) is fingerprint-checked on lookup so a proactive share refresh (same
+// N, fresh v/v_i) never sees a stale table.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bignum/montgomery.hpp"
+#include "threshold/shoup.hpp"
+
+namespace sdns::threshold {
+
+class CryptoContext {
+ public:
+  /// Builds the Montgomery state and fixed-base tables for `pk`. Throws
+  /// std::domain_error if pk.N is not an odd integer > 1 (matching what the
+  /// per-call bn::Montgomery construction used to do).
+  explicit CryptoContext(const ThresholdPublicKey& pk);
+
+  /// Shared, cached context for `pk`. Repeated calls with the same key
+  /// material return the same context; a key with the same modulus but
+  /// refreshed v/v_i values gets a fresh one.
+  static std::shared_ptr<const CryptoContext> get(const ThresholdPublicKey& pk);
+
+  const ThresholdPublicKey& pk() const { return pk_; }
+  const bn::Montgomery& mont() const { return mont_; }
+
+  /// v^e mod N via the fixed-base table (e >= 0).
+  bn::BigInt pow_v(const bn::BigInt& e) const { return v_.pow(e); }
+
+  /// True if v_i is invertible mod N (always, for an honestly dealt key).
+  bool vi_invertible(unsigned index) const {
+    return index >= 1 && index <= vi_inv_.size() && vi_inv_[index - 1].initialized();
+  }
+
+  /// (v_i)^{-e} mod N via the fixed-base table on v_i^{-1} (e >= 0).
+  /// Requires vi_invertible(index).
+  bn::BigInt pow_vi_inv(unsigned index, const bn::BigInt& e) const {
+    return vi_inv_[index - 1].pow(e);
+  }
+
+  /// True if this context was built from exactly this key material.
+  bool matches(const ThresholdPublicKey& pk) const;
+
+ private:
+  ThresholdPublicKey pk_;
+  bn::Montgomery mont_;
+  bn::Montgomery::FixedBase v_;
+  std::vector<bn::Montgomery::FixedBase> vi_inv_;
+};
+
+// Context-threaded variants of the hot-path operations in shoup.hpp. The
+// pk-taking overloads forward here through CryptoContext::get(); long-lived
+// callers (SigningSession, ThresholdCoin) hold the shared context directly.
+SignatureShare generate_share(const CryptoContext& ctx, const KeyShare& share,
+                              const bn::BigInt& x, bool with_proof, util::Rng& rng);
+bool verify_share(const CryptoContext& ctx, const bn::BigInt& x,
+                  const SignatureShare& share);
+std::optional<bn::BigInt> assemble(const CryptoContext& ctx, const bn::BigInt& x,
+                                   std::span<const SignatureShare> shares);
+bool verify_signature(const CryptoContext& ctx, const bn::BigInt& x, const bn::BigInt& y);
+
+}  // namespace sdns::threshold

@@ -26,6 +26,7 @@ SigningSession::SigningSession(const ThresholdPublicKey& pk, const KeyShare& sha
                                SessionCallbacks callbacks, util::Rng rng,
                                ShareCorruption corruption)
     : pk_(pk),
+      ctx_(CryptoContext::get(pk)),
       share_(share),
       protocol_(protocol),
       sid_(session_id),
@@ -53,7 +54,7 @@ SignatureShare SigningSession::make_own_share(bool with_proof) {
     cb_.charge(CryptoOp::kShareValue);
     if (with_proof) cb_.charge(CryptoOp::kProofGen);
   }
-  SignatureShare s = generate_share(pk_, share_, x_, with_proof, rng_);
+  SignatureShare s = generate_share(*ctx_, share_, x_, with_proof, rng_);
   if (corruption_ == ShareCorruption::kFlipShare) {
     // The paper's simulated corruption: invert every bit of the share value.
     Bytes b = s.xi.to_bytes_be(pk_.modulus_bytes());
@@ -118,7 +119,7 @@ void SigningSession::handle_share(SignatureShare share) {
       if (valid_shares_.count(share.index) || rejected_indices_.count(share.index)) return;
       if (!share.has_proof) return;
       if (cb_.charge) cb_.charge(CryptoOp::kProofVerify);
-      if (verify_share(pk_, x_, share)) {
+      if (verify_share(*ctx_, x_, share)) {
         valid_shares_.emplace(share.index, std::move(share));
         check_basic_progress();
       } else {
@@ -131,7 +132,7 @@ void SigningSession::handle_share(SignatureShare share) {
         if (valid_shares_.count(share.index) || rejected_indices_.count(share.index)) return;
         if (!share.has_proof) return;
         if (cb_.charge) cb_.charge(CryptoOp::kProofVerify);
-        if (verify_share(pk_, x_, share)) {
+        if (verify_share(*ctx_, x_, share)) {
           valid_shares_.emplace(share.index, std::move(share));
           check_basic_progress();
         } else {
@@ -171,7 +172,7 @@ void SigningSession::handle_proof_request() {
 
 void SigningSession::handle_final(const BigInt& y) {
   if (cb_.charge) cb_.charge(CryptoOp::kFinalVerify);
-  if (verify_signature(pk_, x_, y)) complete(y);
+  if (verify_signature(*ctx_, x_, y)) complete(y);
 }
 
 void SigningSession::try_assemble_optimistic() {
@@ -196,8 +197,8 @@ void SigningSession::try_assemble_optimistic() {
     cb_.charge(CryptoOp::kAssemble);
     cb_.charge(CryptoOp::kFinalVerify);
   }
-  auto y = assemble(pk_, x_, subset);
-  if (y && verify_signature(pk_, x_, *y)) {
+  auto y = assemble(*ctx_, x_, subset);
+  if (y && verify_signature(*ctx_, x_, *y)) {
     if (corruption_ == ShareCorruption::kNone && cb_.send_to_all) {
       cb_.send_to_all(frame(kFinalSig, y->to_bytes_be()));
     }
@@ -233,8 +234,8 @@ void SigningSession::try_assemble_subsets() {
       cb_.charge(CryptoOp::kAssemble);
       cb_.charge(CryptoOp::kFinalVerify);
     }
-    auto y = assemble(pk_, x_, subset);
-    if (y && verify_signature(pk_, x_, *y)) {
+    auto y = assemble(*ctx_, x_, subset);
+    if (y && verify_signature(*ctx_, x_, *y)) {
       if (corruption_ == ShareCorruption::kNone && cb_.send_to_all) {
         cb_.send_to_all(frame(kFinalSig, y->to_bytes_be()));
       }
@@ -257,8 +258,8 @@ void SigningSession::check_basic_progress() {
     cb_.charge(CryptoOp::kAssemble);
     cb_.charge(CryptoOp::kFinalVerify);
   }
-  auto y = assemble(pk_, x_, subset);
-  if (y && verify_signature(pk_, x_, *y)) {
+  auto y = assemble(*ctx_, x_, subset);
+  if (y && verify_signature(*ctx_, x_, *y)) {
     if ((protocol_ == SigProtocol::kOptProof || protocol_ == SigProtocol::kBasic) &&
         corruption_ == ShareCorruption::kNone && cb_.send_to_all) {
       // Helps peers that ran out of honest resenders (paper §3.5, OptProof).

@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "threshold/context.hpp"
 #include "threshold/shoup.hpp"
 
 namespace sdns::threshold {
@@ -96,6 +98,9 @@ class SigningSession {
   util::Bytes frame(MsgType type, util::BytesView payload) const;
 
   const ThresholdPublicKey& pk_;
+  // Shared per-key crypto context (Montgomery state, fixed-base tables); all
+  // of this session's share/assemble/verify calls go through it.
+  std::shared_ptr<const CryptoContext> ctx_;
   KeyShare share_;
   SigProtocol protocol_;
   std::uint64_t sid_;

@@ -6,6 +6,7 @@
 #include "bignum/montgomery.hpp"
 #include "bignum/prime.hpp"
 #include "crypto/sha256.hpp"
+#include "threshold/context.hpp"
 
 namespace sdns::threshold {
 
@@ -154,6 +155,9 @@ DealtKey deal_with_primes(util::Rng& rng, unsigned n, unsigned t, const BigInt& 
     out.pub.vi.push_back(mont.pow(out.pub.v, s));
     out.shares.push_back(KeyShare{i, std::move(s)});
   }
+  // Prime the shared context cache (the dealer's own Montgomery state above
+  // is once-per-deal; all per-call paths go through the cached context).
+  CryptoContext::get(out.pub);
   return out;
 }
 
@@ -184,9 +188,10 @@ BigInt hash_to_element(const ThresholdPublicKey& pk, BytesView msg) {
   return crypto::pkcs1_sha1_encode(msg, pk.modulus_bytes());
 }
 
-SignatureShare generate_share(const ThresholdPublicKey& pk, const KeyShare& share,
+SignatureShare generate_share(const CryptoContext& ctx, const KeyShare& share,
                               const BigInt& x, bool with_proof, util::Rng& rng) {
-  bn::Montgomery mont(pk.N);
+  const ThresholdPublicKey& pk = ctx.pk();
+  const bn::Montgomery& mont = ctx.mont();
   SignatureShare out;
   out.index = share.index;
   const BigInt exponent = (share.si * pk.delta) << 1;  // 2*Delta*s_i
@@ -194,11 +199,11 @@ SignatureShare generate_share(const ThresholdPublicKey& pk, const KeyShare& shar
   if (with_proof) {
     // Prove log_{x_tilde}(x_i^2) == log_v(v_i) where x_tilde = x^{4*Delta}.
     const BigInt x_tilde = mont.pow(x, pk.delta << 2);
-    const BigInt xi2 = mont.mul(out.xi, out.xi);
+    const BigInt xi2 = mont.sqr(out.xi);
     // Nonce r uniform in [0, 2^(|N| + 2*256)).
     const std::size_t r_bits = pk.N.bit_length() + 2 * crypto::Sha256::kDigestSize * 8;
     const BigInt r = bn::random_below(rng, BigInt(1) << r_bits);
-    const BigInt v_prime = mont.pow(pk.v, r);
+    const BigInt v_prime = ctx.pow_v(r);
     const BigInt x_prime = mont.pow(x_tilde, r);
     out.c = challenge(pk, x_tilde, pk.vi[share.index - 1], xi2, v_prime, x_prime);
     out.z = share.si * out.c + r;
@@ -207,30 +212,46 @@ SignatureShare generate_share(const ThresholdPublicKey& pk, const KeyShare& shar
   return out;
 }
 
-bool verify_share(const ThresholdPublicKey& pk, const BigInt& x, const SignatureShare& share) {
+SignatureShare generate_share(const ThresholdPublicKey& pk, const KeyShare& share,
+                              const BigInt& x, bool with_proof, util::Rng& rng) {
+  return generate_share(*CryptoContext::get(pk), share, x, with_proof, rng);
+}
+
+bool verify_share(const CryptoContext& ctx, const BigInt& x, const SignatureShare& share) {
+  const ThresholdPublicKey& pk = ctx.pk();
   if (!share.has_proof) return false;
   if (share.index < 1 || share.index > pk.n) return false;
   if (share.xi.is_zero() || share.xi.is_negative() || share.xi >= pk.N) return false;
   if (share.z.is_negative() || share.c.is_negative()) return false;
-  bn::Montgomery mont(pk.N);
+  // Non-invertible v_i or x_i^2 would reveal a factor of N but never verify.
+  if (!ctx.vi_invertible(share.index)) return false;
+  const bn::Montgomery& mont = ctx.mont();
   const BigInt x_tilde = mont.pow(x, pk.delta << 2);
-  const BigInt xi2 = mont.mul(share.xi, share.xi);
+  const BigInt xi2 = mont.sqr(share.xi);
   const BigInt& vi = pk.vi[share.index - 1];
-  BigInt v_prime, x_prime;
+  // v' = v^z * v_i^{-c}: both bases are fixed per key, so both factors come
+  // from precomputed window tables (no squarings, no per-call inversion).
+  const BigInt v_prime = mont.mul(ctx.pow_v(share.z),
+                                  ctx.pow_vi_inv(share.index, share.c));
+  // x' = x_tilde^z * (x_i^2)^{-c}: both bases vary per message, so share one
+  // squaring chain between the two exponents (Shamir's trick).
+  BigInt xi2_inv;
   try {
-    // v^z * v_i^{-c} and x_tilde^z * x_i^{-2c}.
-    v_prime = mont.mul(mont.pow(pk.v, share.z),
-                       mont.pow(bn::mod_inverse(vi, pk.N), share.c));
-    x_prime = mont.mul(mont.pow(x_tilde, share.z),
-                       mont.pow(bn::mod_inverse(xi2, pk.N), share.c));
+    xi2_inv = bn::mod_inverse(xi2, pk.N);
   } catch (const std::domain_error&) {
-    return false;  // non-invertible element: reveals a factor, but never valid
+    return false;
   }
+  const BigInt x_prime = mont.pow2(x_tilde, share.z, xi2_inv, share.c);
   return challenge(pk, x_tilde, vi, xi2, v_prime, x_prime) == share.c;
 }
 
-std::optional<BigInt> assemble(const ThresholdPublicKey& pk, const BigInt& x,
+bool verify_share(const ThresholdPublicKey& pk, const BigInt& x, const SignatureShare& share) {
+  return verify_share(*CryptoContext::get(pk), x, share);
+}
+
+std::optional<BigInt> assemble(const CryptoContext& ctx, const BigInt& x,
                                std::span<const SignatureShare> shares) {
+  const ThresholdPublicKey& pk = ctx.pk();
   if (shares.size() != static_cast<std::size_t>(pk.t) + 1) return std::nullopt;
   std::set<unsigned> indices;
   for (const auto& s : shares) {
@@ -238,9 +259,12 @@ std::optional<BigInt> assemble(const ThresholdPublicKey& pk, const BigInt& x,
     if (!indices.insert(s.index).second) return std::nullopt;
     if (s.xi.is_zero() || s.xi.is_negative() || s.xi >= pk.N) return std::nullopt;
   }
-  bn::Montgomery mont(pk.N);
-  // w = prod x_j^{2*lambda_{0,j}} where lambda_{0,j} = Delta * prod_{j'!=j} j'/(j'-j)
-  BigInt w(1);
+  const bn::Montgomery& mont = ctx.mont();
+  // w = prod x_j^{2*lambda_{0,j}} where lambda_{0,j} = Delta * prod_{j'!=j} j'/(j'-j).
+  // Negative Lagrange exponents are accumulated into a separate denominator
+  // (w = wnum / wden) so the whole assembly performs a single modular
+  // inversion at the end instead of one per negative coefficient.
+  BigInt wnum(1), wden(1);
   for (const auto& s : shares) {
     BigInt num = pk.delta;
     BigInt den(1);
@@ -253,41 +277,52 @@ std::optional<BigInt> assemble(const ThresholdPublicKey& pk, const BigInt& x,
     BigInt lambda = num / den;  // exact division (standard Shoup fact)
     if (lambda * den != num) return std::nullopt;  // defensive: never happens
     BigInt exp2 = lambda << 1;
-    BigInt base = s.xi;
     if (exp2.is_negative()) {
-      try {
-        base = bn::mod_inverse(base, pk.N);
-      } catch (const std::domain_error&) {
-        return std::nullopt;
-      }
-      exp2 = -exp2;
+      wden = mont.mul(wden, mont.pow(s.xi, -exp2));
+    } else {
+      wnum = mont.mul(wnum, mont.pow(s.xi, exp2));
     }
-    w = mont.mul(w, mont.pow(base, exp2));
   }
   // w^e = x^{4*Delta^2}; find a, b with 4*Delta^2*a + e*b = 1, y = w^a * x^b.
   const BigInt four_delta_sq = (pk.delta * pk.delta) << 2;
   BigInt a, b;
   const BigInt g = bn::ext_gcd(four_delta_sq, pk.e, a, b);
   if (g != BigInt(1)) return std::nullopt;  // impossible: e prime > n
-  BigInt wa, xb;
-  auto pow_signed = [&](const BigInt& base, const BigInt& exp) -> std::optional<BigInt> {
-    if (!exp.is_negative()) return mont.pow(base, exp);
-    try {
-      return mont.pow(bn::mod_inverse(base, pk.N), -exp);
-    } catch (const std::domain_error&) {
-      return std::nullopt;
+  // y = wnum^a * wden^{-a} * x^b: fold every negative-exponent factor into
+  // one denominator and invert once.
+  BigInt pos(1), neg(1);
+  auto accumulate = [&](const BigInt& base, const BigInt& exp) {
+    if (exp.is_zero()) return;
+    if (exp.is_negative()) {
+      neg = mont.mul(neg, mont.pow(base, -exp));
+    } else {
+      pos = mont.mul(pos, mont.pow(base, exp));
     }
   };
-  auto wa_opt = pow_signed(w, a);
-  auto xb_opt = pow_signed(x, b);
-  if (!wa_opt || !xb_opt) return std::nullopt;
-  return mont.mul(*wa_opt, *xb_opt);
+  accumulate(wnum, a);
+  accumulate(wden, -a);
+  accumulate(x, b);
+  if (neg == BigInt(1)) return pos;
+  try {
+    return mont.mul(pos, bn::mod_inverse(neg, pk.N));
+  } catch (const std::domain_error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<BigInt> assemble(const ThresholdPublicKey& pk, const BigInt& x,
+                               std::span<const SignatureShare> shares) {
+  return assemble(*CryptoContext::get(pk), x, shares);
+}
+
+bool verify_signature(const CryptoContext& ctx, const BigInt& x, const BigInt& y) {
+  const ThresholdPublicKey& pk = ctx.pk();
+  if (y.is_negative() || y >= pk.N) return false;
+  return ctx.mont().pow(y, pk.e) == bn::mod_floor(x, pk.N);
 }
 
 bool verify_signature(const ThresholdPublicKey& pk, const BigInt& x, const BigInt& y) {
-  if (y.is_negative() || y >= pk.N) return false;
-  bn::Montgomery mont(pk.N);
-  return mont.pow(y, pk.e) == bn::mod_floor(x, pk.N);
+  return verify_signature(*CryptoContext::get(pk), x, y);
 }
 
 Bytes signature_bytes(const ThresholdPublicKey& pk, const BigInt& y) {

@@ -1,0 +1,106 @@
+// Asserts the Montgomery kernels are allocation-free in steady state.
+//
+// The pre-optimization implementation heap-allocated a scratch vector inside
+// every mont_mul call — thousands of allocations per modular exponentiation.
+// The rewritten kernels run on a per-thread scratch arena, so after a warm-up
+// call the only allocations left in pow/mul/sqr/pow2 are the handful of
+// BigInt results and input reductions at the API boundary (O(1), not
+// O(exponent bits)).
+//
+// This file replaces global operator new to count allocations, so it is its
+// own test binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+
+#include "bignum/montgomery.hpp"
+#include "bignum/prime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<long> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sdns::bn {
+namespace {
+
+class MontgomeryAllocTest : public ::testing::Test {
+ protected:
+  // 1024-bit odd modulus, matching the threshold hot path.
+  void SetUp() override {
+    util::Rng rng(31);
+    BigInt m = random_bits(rng, 1024);
+    if (m.is_even()) m += BigInt(1);
+    mont_ = std::make_unique<Montgomery>(m);
+    a_ = random_below(rng, m);
+    b_ = random_below(rng, m);
+    e_ = random_bits(rng, 1024);
+    c_ = random_bits(rng, 256);
+  }
+
+  long allocations_during(const std::function<void()>& fn) {
+    // Warm up: grows the thread-local scratch arena and any lazy state.
+    fn();
+    fn();
+    const long before = g_allocations.load(std::memory_order_relaxed);
+    fn();
+    return g_allocations.load(std::memory_order_relaxed) - before;
+  }
+
+  std::unique_ptr<Montgomery> mont_;
+  BigInt a_, b_, e_, c_;
+};
+
+// A 1024-bit pow performs ~1280 mont_mul/mont_sqr kernel calls. The old code
+// allocated in each; the rewrite must stay at a constant handful (result
+// BigInt + reductions at the API boundary).
+constexpr long kBoundary = 16;
+
+TEST_F(MontgomeryAllocTest, PowInnerLoopIsAllocationFree) {
+  BigInt sink;
+  const long n = allocations_during([&] { sink = mont_->pow(a_, e_); });
+  EXPECT_LE(n, kBoundary) << "pow allocated " << n << " times (O(bits) regression?)";
+  EXPECT_FALSE(sink.is_zero());
+}
+
+TEST_F(MontgomeryAllocTest, MulAndSqrAreAllocationFree) {
+  BigInt sink;
+  const long n_mul = allocations_during([&] { sink = mont_->mul(a_, b_); });
+  EXPECT_LE(n_mul, kBoundary);
+  const long n_sqr = allocations_during([&] { sink = mont_->sqr(a_); });
+  EXPECT_LE(n_sqr, kBoundary);
+}
+
+TEST_F(MontgomeryAllocTest, MultiExpInnerLoopIsAllocationFree) {
+  BigInt sink;
+  const long n = allocations_during([&] { sink = mont_->pow2(a_, e_, b_, c_); });
+  EXPECT_LE(n, kBoundary);
+}
+
+TEST_F(MontgomeryAllocTest, FixedBasePowIsAllocationFree) {
+  Montgomery::FixedBase fb(*mont_, a_, 1024);
+  BigInt sink;
+  const long n = allocations_during([&] { sink = fb.pow(e_); });
+  EXPECT_LE(n, kBoundary);
+  EXPECT_EQ(sink, mont_->pow(a_, e_));
+}
+
+}  // namespace
+}  // namespace sdns::bn

@@ -79,6 +79,92 @@ TEST(Montgomery, LargeModulusRsaSized) {
   }
 }
 
+TEST(Montgomery, SqrMatchesMul) {
+  Rng rng(24);
+  for (int trial = 0; trial < 30; ++trial) {
+    BigInt m = random_bits(rng, 10 + rng.below(500));
+    if (m.is_even()) m += BigInt(1);
+    if (m <= BigInt(1)) continue;
+    Montgomery mont(m);
+    for (int i = 0; i < 5; ++i) {
+      BigInt a = random_below(rng, m);
+      EXPECT_EQ(mont.sqr(a), mont.mul(a, a));
+    }
+  }
+}
+
+TEST(Montgomery, MultiExpMatchesProductOfPows) {
+  Rng rng(25);
+  // Moduli deliberately include 1-limb (<= 64 bits) and non-limb-aligned
+  // sizes; exponents include asymmetric lengths like the verify_share pair
+  // (full-size z vs 256-bit challenge c).
+  for (int trial = 0; trial < 25; ++trial) {
+    std::size_t bits = trial < 5 ? 5 + rng.below(59) : 65 + rng.below(450);
+    BigInt m = random_bits(rng, bits);
+    if (m.is_even()) m += BigInt(1);
+    if (m <= BigInt(1)) continue;
+    Montgomery mont(m);
+    BigInt b1 = random_below(rng, m);
+    BigInt b2 = random_below(rng, m);
+    BigInt e1 = random_bits(rng, 1 + rng.below(300));
+    BigInt e2 = random_bits(rng, 1 + rng.below(80));
+    EXPECT_EQ(mont.pow2(b1, e1, b2, e2), mont.mul(mont.pow(b1, e1), mont.pow(b2, e2)));
+  }
+}
+
+TEST(Montgomery, MultiExpEdgeCases) {
+  Montgomery mont(BigInt(101));
+  EXPECT_EQ(mont.pow2(BigInt(5), BigInt(0), BigInt(7), BigInt(3)),
+            mont.pow(BigInt(7), BigInt(3)));
+  EXPECT_EQ(mont.pow2(BigInt(5), BigInt(4), BigInt(7), BigInt(0)),
+            mont.pow(BigInt(5), BigInt(4)));
+  EXPECT_EQ(mont.pow2(BigInt(0), BigInt(0), BigInt(0), BigInt(0)), BigInt(1));
+  EXPECT_EQ(mont.pow2(BigInt(0), BigInt(2), BigInt(7), BigInt(3)), BigInt(0));
+  EXPECT_THROW(mont.pow2(BigInt(2), BigInt(-1), BigInt(2), BigInt(1)), std::domain_error);
+}
+
+TEST(Montgomery, FixedBaseMatchesGenericPow) {
+  Rng rng(26);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t bits = trial < 4 ? 5 + rng.below(59) : 65 + rng.below(450);
+    BigInt m = random_bits(rng, bits);
+    if (m.is_even()) m += BigInt(1);
+    if (m <= BigInt(1)) continue;
+    Montgomery mont(m);
+    BigInt g = random_below(rng, m);
+    Montgomery::FixedBase fb(mont, g, 256);
+    for (int i = 0; i < 5; ++i) {
+      BigInt e = random_bits(rng, 1 + rng.below(256));
+      EXPECT_EQ(fb.pow(e), mont.pow(g, e));
+    }
+    // Exponent beyond the table size falls back to the generic path.
+    BigInt big_e = random_bits(rng, 300);
+    EXPECT_EQ(fb.pow(big_e), mont.pow(g, big_e));
+    EXPECT_EQ(fb.pow(BigInt(0)), BigInt(1));
+    EXPECT_THROW(fb.pow(BigInt(-1)), std::domain_error);
+  }
+}
+
+TEST(Montgomery, RoundTripIdentitiesSmallAndUnalignedModuli) {
+  Rng rng(27);
+  // a*1 == a, a*a^... identities over a 1-limb modulus and a modulus whose
+  // bit length is not a multiple of 64.
+  BigInt unaligned = random_bits(rng, 300);
+  if (unaligned.is_even()) unaligned += BigInt(1);
+  for (const BigInt& m : {BigInt::from_dec("18446744073709551557"),  // < 2^64, odd prime
+                          unaligned}) {
+    Montgomery mont(m);
+    for (int i = 0; i < 20; ++i) {
+      BigInt a = random_below(rng, m);
+      EXPECT_EQ(mont.mul(a, BigInt(1)), a);
+      EXPECT_EQ(mont.pow(a, BigInt(1)), a);
+      EXPECT_EQ(mont.sqr(a), mod_mul(a, a, m));
+      BigInt e = random_bits(rng, 1 + rng.below(128));
+      EXPECT_EQ(mont.pow(a, e), mod_pow(a, e, m));
+    }
+  }
+}
+
 TEST(Montgomery, ExponentWithZeroWindows) {
   // Exponent with long runs of zero bits exercises the window loop.
   Montgomery mont(BigInt::from_dec("1000000000000000003"));

@@ -1,0 +1,134 @@
+// Tests for the cached per-key crypto context (threshold/context.hpp):
+// cache identity, refresh invalidation, and the fast-path algebra
+// (fixed-base windows, multi-exponentiation) checked against the generic
+// Montgomery operations over the 512- and 1024-bit fixture keys.
+#include "threshold/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "threshold/fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace sdns::threshold {
+namespace {
+
+using bn::BigInt;
+using util::Rng;
+
+DealtKey fixture_key(std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  if (bits == 512) {
+    return deal_with_primes(rng, 4, 1, fixtures::safe_prime_256_a(),
+                            fixtures::safe_prime_256_b());
+  }
+  return deal_with_primes(rng, 4, 1, fixtures::safe_prime_512_a(),
+                          fixtures::safe_prime_512_b());
+}
+
+TEST(CryptoContext, CacheReturnsSameContextForSameKey) {
+  const DealtKey key = fixture_key(512, 101);
+  auto a = CryptoContext::get(key.pub);
+  auto b = CryptoContext::get(key.pub);
+  EXPECT_EQ(a.get(), b.get());
+  // A decoded copy of the same key material hits the same entry.
+  const ThresholdPublicKey decoded = ThresholdPublicKey::decode(key.pub.encode());
+  EXPECT_EQ(CryptoContext::get(decoded).get(), a.get());
+}
+
+TEST(CryptoContext, RefreshedKeyGetsFreshContext) {
+  const DealtKey key = fixture_key(512, 102);
+  auto before = CryptoContext::get(key.pub);
+  Rng rng(103);
+  const DealtKey refreshed = refresh_shares(rng, key.pub, fixtures::safe_prime_256_a(),
+                                            fixtures::safe_prime_256_b());
+  ASSERT_EQ(refreshed.pub.N, key.pub.N);
+  auto after = CryptoContext::get(refreshed.pub);
+  // Same modulus, different verification values: must not reuse stale tables.
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_TRUE(after->matches(refreshed.pub));
+  EXPECT_FALSE(after->matches(key.pub));
+  // The original key's context is still served for the original key.
+  EXPECT_EQ(CryptoContext::get(key.pub).get(), before.get());
+}
+
+TEST(CryptoContext, FixedBasePowVMatchesGenericPow) {
+  for (std::size_t bits : {std::size_t{512}, std::size_t{1024}}) {
+    const DealtKey key = fixture_key(bits, 104);
+    auto ctx = CryptoContext::get(key.pub);
+    const bn::Montgomery& mont = ctx->mont();
+    Rng rng(105);
+    // Exponents across the whole proof range, including the full
+    // |N| + 512-bit nonce size used by generate_share.
+    for (std::size_t ebits : {std::size_t{1}, std::size_t{64}, std::size_t{256},
+                              bits, bits + 512}) {
+      const BigInt e = bn::random_bits(rng, ebits);
+      EXPECT_EQ(ctx->pow_v(e), mont.pow(key.pub.v, e)) << bits << "/" << ebits;
+    }
+    EXPECT_EQ(ctx->pow_v(BigInt(0)), BigInt(1));
+  }
+}
+
+TEST(CryptoContext, FixedBaseViInverseMatchesGenericPow) {
+  const DealtKey key = fixture_key(512, 106);
+  auto ctx = CryptoContext::get(key.pub);
+  const bn::Montgomery& mont = ctx->mont();
+  Rng rng(107);
+  for (unsigned i = 1; i <= key.pub.n; ++i) {
+    ASSERT_TRUE(ctx->vi_invertible(i));
+    const BigInt vi_inv = bn::mod_inverse(key.pub.vi[i - 1], key.pub.N);
+    const BigInt c = bn::random_bits(rng, 256);
+    EXPECT_EQ(ctx->pow_vi_inv(i, c), mont.pow(vi_inv, c));
+    // v_i^{-c} * v_i^c == 1.
+    EXPECT_EQ(mont.mul(ctx->pow_vi_inv(i, c), mont.pow(key.pub.vi[i - 1], c)), BigInt(1));
+  }
+}
+
+TEST(CryptoContext, MultiExpMatchesProductOfPowsOverFixtureModuli) {
+  for (std::size_t bits : {std::size_t{512}, std::size_t{1024}}) {
+    const DealtKey key = fixture_key(bits, 108);
+    auto ctx = CryptoContext::get(key.pub);
+    const bn::Montgomery& mont = ctx->mont();
+    Rng rng(109);
+    for (int trial = 0; trial < 8; ++trial) {
+      const BigInt b1 = bn::random_below(rng, key.pub.N);
+      const BigInt b2 = bn::random_below(rng, key.pub.N);
+      // Asymmetric lengths like verify_share's (z, c) pair.
+      const BigInt e1 = bn::random_bits(rng, bits + 512);
+      const BigInt e2 = bn::random_bits(rng, 256);
+      EXPECT_EQ(mont.pow2(b1, e1, b2, e2), mont.mul(mont.pow(b1, e1), mont.pow(b2, e2)));
+    }
+  }
+}
+
+TEST(CryptoContext, ContextAndPkOverloadsAgree) {
+  const DealtKey key = fixture_key(512, 110);
+  auto ctx = CryptoContext::get(key.pub);
+  Rng rng(111);
+  const BigInt x = hash_to_element(key.pub, util::to_bytes("context test rrset"));
+  // Share generated via context == share generated via pk (same rng stream).
+  Rng r1(42), r2(42);
+  const auto via_ctx = generate_share(*ctx, key.shares[0], x, true, r1);
+  const auto via_pk = generate_share(key.pub, key.shares[0], x, true, r2);
+  EXPECT_EQ(via_ctx.xi, via_pk.xi);
+  EXPECT_EQ(via_ctx.c, via_pk.c);
+  EXPECT_EQ(via_ctx.z, via_pk.z);
+  EXPECT_TRUE(verify_share(*ctx, x, via_ctx));
+  EXPECT_TRUE(verify_share(key.pub, x, via_ctx));
+  // Tampered shares still fail through the fast path.
+  auto bad = via_ctx;
+  bad.xi = bn::mod_floor(bad.xi + BigInt(1), key.pub.N);
+  EXPECT_FALSE(verify_share(*ctx, x, bad));
+  // Assemble + final verification through the context.
+  std::vector<SignatureShare> shares;
+  for (unsigned i = 1; i <= key.pub.t + 1; ++i) {
+    shares.push_back(generate_share(*ctx, key.shares[i - 1], x, false, rng));
+  }
+  auto y = assemble(*ctx, x, shares);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_TRUE(verify_signature(*ctx, x, *y));
+  EXPECT_TRUE(verify_signature(key.pub, x, *y));
+}
+
+}  // namespace
+}  // namespace sdns::threshold
