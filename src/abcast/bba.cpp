@@ -76,10 +76,15 @@ void BinaryAgreement::on_message(unsigned from, BytesView msg) {
       case kBval: {
         Round& r = rounds_[round];
         if (!r.bval_from[bit ? 1 : 0].insert(from).second) return;
-        const std::size_t count = r.bval_from[bit ? 1 : 0].size();
-        if (count >= static_cast<std::size_t>(pub_->t) + 1 && started_) {
+        if (r.bval_from[bit ? 1 : 0].size() >= static_cast<std::size_t>(pub_->t) + 1 &&
+            started_) {
           broadcast_bval(round, bit);  // amplification
         }
+        // Count after amplification: our own broadcast adds us to the sender
+        // set, and with exactly n-t live nodes that self-vote is what closes
+        // the 2t+1 quorum — a node that proposed the other bit would
+        // otherwise withhold its AUX forever and wedge the round.
+        const std::size_t count = r.bval_from[bit ? 1 : 0].size();
         if (count >= pub_->quorum() && !r.bin_values[bit ? 1 : 0]) {
           r.bin_values[bit ? 1 : 0] = true;
           if (!r.aux_sent && started_) {
@@ -152,6 +157,23 @@ void BinaryAgreement::try_finish_round(std::uint32_t round) {
     }
     advance(round + 1);
   });
+}
+
+void BinaryAgreement::rebroadcast() {
+  if (!started_ || halted_ || !cb_.send_to_all) return;
+  if (decide_sent_) {
+    cb_.send_to_all(frame(kDecide, round_, *decision_));
+    return;
+  }
+  Round& r = rounds_[round_];
+  for (int b = 0; b < 2; ++b) {
+    if (r.bval_sent[b]) cb_.send_to_all(frame(kBval, round_, b != 0));
+  }
+  auto own_aux = r.aux.find(my_id_);
+  if (r.aux_sent && own_aux != r.aux.end()) {
+    cb_.send_to_all(frame(kAux, round_, own_aux->second));
+  }
+  if (r.coin_requested && !r.coin) coin_.resend(instance_, round_);
 }
 
 void BinaryAgreement::advance(std::uint32_t round) {

@@ -44,6 +44,14 @@ class BinaryAgreement {
 
   void on_message(unsigned from, util::BytesView msg);
 
+  /// Re-broadcast this node's outstanding messages: the decision if one was
+  /// reached, otherwise the current round's BVAL/AUX votes and — if the round
+  /// is blocked on the common coin — our coin share. Every frame is one-shot
+  /// on first send; peers cut off by a crash or partition need this to catch
+  /// up, or an agreement instance can stall below its quorums forever.
+  /// Owners call it from a periodic retry timer. Idempotent at receivers.
+  void rebroadcast();
+
   bool decided() const { return decision_.has_value(); }
   bool decision() const { return *decision_; }
   std::uint32_t rounds_used() const { return round_; }

@@ -118,6 +118,13 @@ void AtomicBroadcast::fast_forward(std::uint64_t next_deliver) {
   if (next_deliver <= next_deliver_) return;
   next_deliver_ = next_deliver;
   if (next_order_seq_ < next_deliver) next_order_seq_ = next_deliver;
+  // State transfer supersedes in-flight submissions: a pending payload was
+  // either delivered inside the skipped prefix (its effect is in the
+  // snapshot, but this node will never see its sequence number, so it would
+  // pend — and feed the complaint timer — forever) or is still held pending
+  // by the peers that saw its SUBMIT. Clients re-drive genuinely lost
+  // requests; that is their role even without state transfer.
+  pending_.clear();
   try_deliver();
 }
 
@@ -128,7 +135,19 @@ void AtomicBroadcast::note_payload(Bytes payload) {
     pending_.emplace(d, cb_.now ? cb_.now() : 0.0);
     arm_timer();
   }
-  if (fresh) try_deliver();
+  if (fresh) {
+    // Echoes we withheld pending this payload (data-availability gate).
+    // Snapshot first: echoing can commit/deliver synchronously, and the
+    // deliver callback may re-enter and grow slots_.
+    std::vector<std::uint64_t> waiting;
+    for (const auto& [key, sl] : slots_) {
+      if (key.first == epoch_ && sl.digest && *sl.digest == d && !sl.echo_sent) {
+        waiting.push_back(key.second);
+      }
+    }
+    for (std::uint64_t s : waiting) maybe_echo(epoch_, s);
+    try_deliver();
+  }
   if (is_leader() && !in_epoch_change_) leader_order_pending();
 }
 
@@ -145,7 +164,24 @@ void AtomicBroadcast::leader_order_pending() {
     ordered_.insert(d);
     Slot& sl = slot(epoch_, s);
     sl.digest = d;
-    broadcast(encode_order(epoch_, s, d));
+    if (opt_.equivocate_as_leader && pub_->n > 1) {
+      // Byzantine leader: half the peers see a phantom binding. The phantom
+      // digest has no payload anywhere, so honest nodes must refuse to vote
+      // for it (the availability gate in maybe_echo) or the slot could
+      // commit a payload nobody can ever deliver.
+      Digest alt = d;
+      alt[0] = static_cast<std::uint8_t>(~alt[0]);
+      const Bytes real_order = encode_order(epoch_, s, d);
+      const Bytes fake_order = encode_order(epoch_, s, alt);
+      bool fake = true;
+      for (unsigned i = 0; i < pub_->n; ++i) {
+        if (i == secret_.id) continue;
+        if (cb_.send) cb_.send(i, fake ? fake_order : real_order);
+        fake = !fake;
+      }
+    } else {
+      broadcast(encode_order(epoch_, s, d));
+    }
     maybe_echo(epoch_, s);
   }
 }
@@ -156,6 +192,20 @@ void AtomicBroadcast::maybe_echo(unsigned epoch, std::uint64_t seq) {
   if (!sl.digest || sl.echo_sent) return;
   auto committed = committed_.find(seq);
   if (committed != committed_.end() && committed->second != *sl.digest) return;
+  // Data-availability gate: never vote for a binding whose payload we do not
+  // hold — an equivocating leader could otherwise gather a quorum on a
+  // phantom digest and wedge delivery at this sequence number forever. Ask
+  // for the payload instead; note_payload() re-runs this echo when it lands.
+  // (The null digest is the epoch-change no-op and carries no payload.)
+  if (*sl.digest != kNullDigest && !payloads_.count(*sl.digest)) {
+    if (requested_payloads_.insert(*sl.digest).second) {
+      Writer w;
+      w.u8(kGetPayload);
+      write_digest(w, *sl.digest);
+      broadcast(std::move(w).take());
+    }
+    return;
+  }
   sl.echo_sent = true;
   if (cb_.charge_auth_sign) cb_.charge_auth_sign();
   Bytes sig = node_sign(secret_, echo_statement(epoch, seq, *sl.digest));
@@ -424,12 +474,32 @@ void AtomicBroadcast::on_timer() {
   if (in_epoch_change_) {
     // Waiting on the incoming leader's NEWEPOCH; if it never arrives the
     // leader of the pending epoch is faulty too — complain to skip it.
-    overdue = now - epoch_change_started_ > 2 * opt_.complaint_timeout;
+    const double waited = now - epoch_change_started_;
+    overdue = waited > 2 * opt_.complaint_timeout;
+    if (waited > opt_.complaint_timeout) {
+      // Re-broadcast our EPOCHCHANGE: the incoming leader may have missed
+      // the one-shot original (crash, partition) and be short of its quorum.
+      auto& msgs = epoch_change_msgs_[pending_new_epoch_];
+      auto own = msgs.find(secret_.id);
+      if (own != msgs.end()) broadcast(own->second);
+    }
   } else {
     for (const auto& [d, since] : pending_) {
       if (now - since > opt_.complaint_timeout) {
         overdue = true;
         break;
+      }
+    }
+    if (overdue) {
+      // Re-announce overdue payloads: the original SUBMIT broadcast may have
+      // been lost to a crashed or partitioned peer — in particular to the
+      // node that is leader now. Peers that already delivered them ignore
+      // the duplicate (delivered_ check in note_payload).
+      for (const auto& [d, since] : pending_) {
+        if (now - since > opt_.complaint_timeout && !ordered_.count(d)) {
+          auto payload = payloads_.find(d);
+          if (payload != payloads_.end()) broadcast(encode_submit(payload->second));
+        }
       }
     }
   }
@@ -447,6 +517,24 @@ void AtomicBroadcast::on_timer() {
     broadcast(std::move(w).take());
     const auto& set = complaints_[{target, attempt_}];
     if (set.size() >= pub_->quorum()) start_fallback_vote(true);
+  } else if (overdue && complained_) {
+    // Still stuck on a later tick: retransmit the fall-back machinery. The
+    // complaint, the agreement votes and the coin share all went out exactly
+    // once; peers that were crashed or partitioned at that moment never saw
+    // them, and with only n-t live nodes every one of those messages is
+    // needed to close a quorum. Receivers de-duplicate, so this is safe.
+    const auto& set = complaints_[{vote_epoch(), attempt_}];
+    auto own = set.find(secret_.id);
+    if (own != set.end()) {
+      Writer w;
+      w.u8(kComplain);
+      w.u32(vote_epoch());
+      w.u32(attempt_);
+      w.lp16(own->second);
+      broadcast(std::move(w).take());
+    }
+    auto bba = bbas_.find(bba_instance());
+    if (bba != bbas_.end()) bba->second->rebroadcast();
   }
   arm_timer();
 }
@@ -460,7 +548,18 @@ void AtomicBroadcast::handle_complain(unsigned from, Reader& r) {
   if (cb_.charge_auth_verify) cb_.charge_auth_verify();
   if (!node_verify(*pub_, from, complain_statement(epoch, attempt), sig)) return;
   set[from] = sig;
-  if (epoch != vote_epoch() || attempt != attempt_) return;
+  if (epoch != vote_epoch()) return;
+  if (attempt > attempt_ &&
+      set.size() >= static_cast<std::size_t>(pub_->t) + 1) {
+    // t+1 complaints for a later attempt include an honest node's: the group
+    // ran an abandonment vote we missed (crash, partition) and decided to
+    // keep the epoch. Adopt the attempt so our complaint and votes rejoin
+    // the quorum — stuck at the old attempt we could never participate
+    // again, and the group may now need us to reach n-t.
+    attempt_ = attempt;
+    complained_ = false;
+  }
+  if (attempt != attempt_) return;
   if (set.size() >= static_cast<std::size_t>(pub_->t) + 1 && !complained_) {
     // Join the complaint: at least one honest node is stuck.
     complained_ = true;

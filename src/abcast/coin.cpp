@@ -54,14 +54,21 @@ void ThresholdCoin::release_share(std::uint64_t instance, std::uint32_t round, S
   auto share = threshold::generate_share(*ctx_, secret_.coin_share, x,
                                          /*with_proof=*/true, rng_);
   slot.shares.emplace(share.index, share);
-  if (cb_.send_to_all) {
-    Writer w;
-    w.u8(kCoinTag);
-    w.u64(instance);
-    w.u32(round);
-    w.lp32(share.encode());
-    cb_.send_to_all(std::move(w).take());
-  }
+  Writer w;
+  w.u8(kCoinTag);
+  w.u64(instance);
+  w.u32(round);
+  w.lp32(share.encode());
+  slot.share_frame = std::move(w).take();
+  if (cb_.send_to_all) cb_.send_to_all(slot.share_frame);
+}
+
+void ThresholdCoin::resend(std::uint64_t instance, std::uint32_t round) {
+  auto it = slots_.find({instance, round});
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (!slot.released || slot.value || slot.share_frame.empty()) return;
+  if (cb_.send_to_all) cb_.send_to_all(slot.share_frame);
 }
 
 void ThresholdCoin::on_message(BytesView msg) {

@@ -38,12 +38,19 @@ class ThresholdCoin {
   /// Feed a coin protocol message from another node.
   void on_message(util::BytesView msg);
 
+  /// Re-broadcast our share for an unresolved (instance, round): the one-shot
+  /// release in request() can be lost to crashed or partitioned peers, and
+  /// without it the group may sit below the t+1 assembly threshold forever.
+  /// No-op if the share was never released or the coin already resolved.
+  void resend(std::uint64_t instance, std::uint32_t round);
+
   /// True if `msg` is a coin message (dispatch helper for the owner).
   static bool is_coin_message(util::BytesView msg);
 
  private:
   struct Slot {
     bool released = false;
+    util::Bytes share_frame;  ///< our encoded share message, for resend()
     std::map<unsigned, threshold::SignatureShare> shares;
     std::optional<bool> value;
     std::vector<std::function<void(bool)>> waiters;

@@ -33,6 +33,15 @@ enum class CorruptionMode : std::uint8_t {
   kMute = 2,
   /// Answer queries with a cached stale response (the §3.4 replay attack).
   kStaleReplay = 3,
+  /// As the epoch's atomic-broadcast leader, bind sequence numbers to a
+  /// phantom digest for half of the peers (equivocation / data withholding).
+  kEquivocate = 4,
+  /// Gateway role: replace the client's request with random bytes before
+  /// disseminating it over atomic broadcast.
+  kGarbagePayload = 5,
+  /// Send uniformly random threshold signature shares (worse than
+  /// kFlipShares: not even a deterministic corruption of the real share).
+  kGarbageShares = 6,
 };
 
 const char* to_string(CorruptionMode m);

@@ -23,6 +23,9 @@ const char* to_string(CorruptionMode m) {
     case CorruptionMode::kFlipShares: return "flip-shares";
     case CorruptionMode::kMute: return "mute";
     case CorruptionMode::kStaleReplay: return "stale-replay";
+    case CorruptionMode::kEquivocate: return "equivocate";
+    case CorruptionMode::kGarbagePayload: return "garbage-payload";
+    case CorruptionMode::kGarbageShares: return "garbage-shares";
   }
   return "?";
 }
@@ -68,6 +71,8 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
       cb_.send_replica(to, std::move(w).take());
     };
     acb.deliver = [this](const Bytes& payload) {
+      delivery_log_[abcast_->delivered_count()] =
+          abcast::AtomicBroadcast::digest_of(payload);
       exec_queue_.push_back(payload);
       execute_next();
     };
@@ -79,6 +84,7 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
     acb.charge_coin = cb_.charge_crypto;
     abcast::AtomicBroadcast::Options opt;
     opt.complaint_timeout = config_.complaint_timeout;
+    opt.equivocate_as_leader = corruption_ == CorruptionMode::kEquivocate;
     abcast_ = std::make_unique<abcast::AtomicBroadcast>(std::move(group), secret_,
                                                         std::move(acb), opt, rng_.fork());
   }
@@ -102,6 +108,10 @@ void ReplicaNode::on_client_request(ClientId client, BytesView wire) {
     } catch (const util::ParseError&) {
       return;
     }
+  }
+  if (corruption_ == CorruptionMode::kGarbagePayload) {
+    abcast_->submit(encode_payload(client, rng_.bytes(32)));
+    return;
   }
   abcast_->submit(encode_payload(client, wire));
 }
@@ -127,6 +137,19 @@ void ReplicaNode::on_replica_message(unsigned from, BytesView msg) {
     if (*sid > last_finished_sid_) {
       auto& queue = pending_signing_[*sid];
       if (queue.size() < 4096) queue.emplace_back(body.begin(), body.end());
+      return;
+    }
+    // A peer is re-sending shares for a session we already finished — it
+    // missed the final-signature broadcast (crash or partition). Answer with
+    // the assembled signature so it can complete.
+    if (!threshold::SigningSession::is_share_message(body)) return;
+    auto done = finished_sigs_.find(*sid);
+    if (done != finished_sigs_.end() && cb_.send_replica &&
+        corruption_ != CorruptionMode::kMute) {
+      Writer w;
+      w.u8(kSigningFrame);
+      w.raw(threshold::SigningSession::encode_final(*sid, done->second));
+      cb_.send_replica(from, std::move(w).take());
     }
     return;
   }
@@ -219,15 +242,39 @@ void ReplicaNode::try_finish_recovery() {
     }
   }
   if (!best) return;
+  if (best->abcast_cursor < abcast_->delivered_count()) {
+    // The peers' freshest snapshot is behind what we already delivered —
+    // adopting it would roll our state back. We are not behind; stand down.
+    recovering_ = false;
+    recovery_snapshots_.clear();
+    return;
+  }
   server_.zone() = dns::Zone::from_wire(best->zone_wire);
   deliveries_ = best->deliveries;
   update_counter_ = best->update_counter;
   abcast_->fast_forward(best->abcast_cursor);
+  // Whatever was mid-execution was computed against the pre-snapshot state;
+  // the snapshot already contains those operations' effects. Drop the
+  // execution pipeline and any in-flight signing work.
+  exec_queue_.clear();
+  executing_ = false;
+  current_update_.reset();
+  retired_session_ = std::move(signing_);
+  ++signing_timer_gen_;
+  pending_signing_.clear();
   recovering_ = false;
   recovery_snapshots_.clear();
   ++recoveries_completed_;
   SDNS_LOG_INFO("replica ", secret_.id, ": recovered to delivery cursor ",
                 best->abcast_cursor);
+}
+
+void ReplicaNode::install_zone_share(
+    std::shared_ptr<const threshold::ThresholdPublicKey> pub,
+    threshold::KeyShare share) {
+  if (zone_key_) old_zone_keys_.push_back(zone_key_);
+  zone_key_ = std::move(pub);
+  zone_share_ = std::move(share);
 }
 
 void ReplicaNode::execute_next() {
@@ -327,6 +374,8 @@ void ReplicaNode::start_next_signature() {
     ++signatures_computed_;
     last_finished_sid_ = signing_->session_id();
     pending_signing_.erase(last_finished_sid_);
+    finished_sigs_[last_finished_sid_] = y;
+    while (finished_sigs_.size() > 128) finished_sigs_.erase(finished_sigs_.begin());
     ++u.next_task;
     if (u.next_task < u.tasks.size()) {
       // named computes SIG records sequentially (§5.2).
@@ -336,9 +385,11 @@ void ReplicaNode::start_next_signature() {
     }
   };
   const threshold::ShareCorruption share_corruption =
-      corruption_ == CorruptionMode::kFlipShares ? threshold::ShareCorruption::kFlipShare
-      : corruption_ == CorruptionMode::kMute     ? threshold::ShareCorruption::kMute
-                                                 : threshold::ShareCorruption::kNone;
+      corruption_ == CorruptionMode::kFlipShares    ? threshold::ShareCorruption::kFlipShare
+      : corruption_ == CorruptionMode::kMute        ? threshold::ShareCorruption::kMute
+      : corruption_ == CorruptionMode::kGarbageShares
+          ? threshold::ShareCorruption::kGarbage
+          : threshold::ShareCorruption::kNone;
   // The transition runs inside the previous session's completion callback;
   // retire it instead of destroying it out from under itself.
   retired_session_ = std::move(signing_);
@@ -346,6 +397,7 @@ void ReplicaNode::start_next_signature() {
       *zone_key_, zone_share_, config_.sig_protocol, sid, x, std::move(scb), rng_.fork(),
       share_corruption);
   signing_->start();
+  arm_signing_timer();
   // Replay any shares that arrived before we reached this session.
   auto it = pending_signing_.find(sid);
   if (it != pending_signing_.end()) {
@@ -357,6 +409,27 @@ void ReplicaNode::start_next_signature() {
       }
     }
   }
+}
+
+void ReplicaNode::arm_signing_timer() {
+  if (!cb_.set_timer || !signing_) return;
+  // Shares are broadcast exactly once; a peer that was crashed or cut off at
+  // that moment would wedge the session forever. Re-send this server's
+  // contribution periodically until the session completes (then once more,
+  // as the final signature, for stragglers).
+  schedule_signing_resend(++signing_timer_gen_, signing_->session_id());
+}
+
+void ReplicaNode::schedule_signing_resend(std::uint64_t gen, std::uint64_t sid,
+                                          unsigned attempts) {
+  // Bounded so a session that can never complete (more than t corrupt or
+  // crashed peers) does not keep the event queue alive forever.
+  if (attempts >= 64) return;
+  cb_.set_timer(config_.complaint_timeout, [this, gen, sid, attempts] {
+    if (gen != signing_timer_gen_ || !signing_ || signing_->session_id() != sid) return;
+    signing_->resend();
+    if (!signing_->done()) schedule_signing_resend(gen, sid, attempts + 1);
+  });
 }
 
 void ReplicaNode::finish_update() {

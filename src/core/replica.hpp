@@ -77,6 +77,21 @@ class ReplicaNode {
   bool recovering() const { return recovering_; }
   std::uint64_t recoveries_completed() const { return recoveries_completed_; }
 
+  /// Proactive share refresh (§4.3): install a re-dealt share of the *same*
+  /// RSA key (N, e unchanged; verification values v, v_i re-randomized). The
+  /// new public key is kept alongside the old ones so signing sessions still
+  /// in flight — which hold references into the previous key — stay valid.
+  void install_zone_share(std::shared_ptr<const threshold::ThresholdPublicKey> pub,
+                          threshold::KeyShare share);
+
+  /// Every payload this replica delivered through atomic broadcast, as
+  /// (sequence number -> SHA-256 of payload). The chaos harness compares
+  /// these maps across replicas to check abcast agreement; entries skipped
+  /// by snapshot recovery (fast_forward) are simply absent.
+  const std::map<std::uint64_t, abcast::Digest>& delivery_log() const {
+    return delivery_log_;
+  }
+
   unsigned id() const { return secret_.id; }
   const dns::AuthoritativeServer& server() const { return server_; }
   dns::AuthoritativeServer& server() { return server_; }
@@ -110,6 +125,9 @@ class ReplicaNode {
   void run_query(ClientId client, const dns::Message& request);
   void run_update(ClientId client, const dns::Message& request);
   void start_next_signature();
+  void arm_signing_timer();
+  void schedule_signing_resend(std::uint64_t gen, std::uint64_t sid,
+                               unsigned attempts = 0);
   void finish_update();
   void respond(ClientId client, const dns::Message& response);
   std::uint64_t next_session_id();
@@ -135,8 +153,19 @@ class ReplicaNode {
   /// Shares arriving for sessions this (slower) replica has not reached yet.
   std::map<std::uint64_t, std::vector<util::Bytes>> pending_signing_;
   std::uint64_t last_finished_sid_ = 0;
+  /// Assembled signatures of recently finished sessions, kept so a lagging
+  /// peer re-sending shares for an old session gets the final signature back
+  /// instead of silence (liveness across crashes and partitions).
+  std::map<std::uint64_t, bn::BigInt> finished_sigs_;
+  /// Generation counter for the per-session share-resend timer; bumping it
+  /// invalidates timers armed for superseded sessions.
+  std::uint64_t signing_timer_gen_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t update_counter_ = 0;
+  std::map<std::uint64_t, abcast::Digest> delivery_log_;
+  /// Superseded public keys from share refreshes, kept alive for sessions
+  /// (current or retired) that still reference them.
+  std::vector<std::shared_ptr<const threshold::ThresholdPublicKey>> old_zone_keys_;
 
   std::uint64_t executed_reads_ = 0;
   std::uint64_t executed_updates_ = 0;

@@ -10,6 +10,16 @@ namespace sdns::core {
 using util::Bytes;
 using util::Rng;
 
+namespace {
+// Rng stream ids for the non-replica actors. Replica i uses stream i, so
+// these live far above any realistic node count; per-node streams mean
+// adding a node to a scenario never perturbs the others' randomness.
+constexpr std::uint64_t kNetworkStream = 0xFFFF'0000'0000'0001ULL;
+constexpr std::uint64_t kClientStream = 0xFFFF'0000'0000'0002ULL;
+constexpr std::uint64_t kSignerStream = 0xFFFF'0000'0000'0003ULL;
+constexpr std::uint64_t kRefreshStream = 0xFFFF'0000'0001'0000ULL;
+}  // namespace
+
 ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& origin,
                                      std::string_view zone_text)
     : opt_(std::move(options)), origin_(origin) {
@@ -18,7 +28,8 @@ ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& or
   t_ = (n_ - 1) / 3;  // the paper's t = (n-1)/3
   Rng rng(opt_.seed);
 
-  net_ = std::make_unique<sim::Network>(sim_, rng.fork(), bed_.machines.size(), 0.0005);
+  net_ = std::make_unique<sim::Network>(sim_, Rng(opt_.seed, kNetworkStream),
+                                        bed_.machines.size(), 0.0005);
   sim::apply_testbed(bed_, *net_);
 
   tsig_key_ = {"update-key", util::to_bytes("sdns shared update secret")};
@@ -31,7 +42,8 @@ ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& or
 
   // Zone key: threshold for the replicated service, plain RSA for the base
   // case's unmodified named.
-  auto zone_pub = std::make_shared<threshold::ThresholdPublicKey>();
+  zone_pub_ = std::make_shared<threshold::ThresholdPublicKey>();
+  auto zone_pub = zone_pub_;
   std::vector<threshold::KeyShare> zone_shares(n_);
   std::shared_ptr<crypto::RsaPrivateKey> local_key;
   dns::SignFn initial_signer;
@@ -62,7 +74,8 @@ ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& or
       zone_pub_rsa_ = dealt.pub.rsa();
       // The initial zone signing (the §4.3 "special command"): the dealer
       // assembles t+1 shares directly; the private exponent never exists.
-      initial_signer = [zone_pub, zone_shares, seed = rng.next()](
+      initial_signer = [zone_pub, zone_shares,
+                        seed = Rng(opt_.seed, kSignerStream).next()](
                            util::BytesView data) mutable {
         Rng srng(seed++);
         const bn::BigInt x = threshold::hash_to_element(*zone_pub, data);
@@ -117,10 +130,14 @@ ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& or
     cb.charge_local_sign = [this, i, &cost] { net_->cpu(i).charge(cost.local_sign); };
     const bool corrupted =
         std::find(opt_.corrupted.begin(), opt_.corrupted.end(), i) != opt_.corrupted.end();
+    CorruptionMode mode = corrupted ? opt_.corruption_mode : CorruptionMode::kHonest;
+    if (auto it = opt_.corruption_by_replica.find(i);
+        it != opt_.corruption_by_replica.end()) {
+      mode = it->second;
+    }
     replicas_.push_back(std::make_unique<ReplicaNode>(
         config, group.pub, base ? abcast::NodeSecret{} : group.secrets[i], zone_pub,
-        zone_shares[i], zone, cb, rng.fork(),
-        corrupted ? opt_.corruption_mode : CorruptionMode::kHonest, local_key));
+        zone_shares[i], zone, cb, Rng(opt_.seed, i), mode, local_key));
   }
 
   // ---- network handlers ----
@@ -152,10 +169,43 @@ ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& or
       net_->cpu(client_node).enqueue(sim_.now(), fn);
     });
   };
-  client_ = std::make_unique<Client>(copt, ccb, rng.fork());
+  client_ = std::make_unique<Client>(copt, ccb, Rng(opt_.seed, kClientStream));
   net_->set_handler(client_node, [this](sim::NodeId from, Bytes msg) {
     client_->on_response(static_cast<unsigned>(from), msg);
   });
+}
+
+void ReplicatedService::refresh_zone_shares(const std::vector<unsigned>& skip) {
+  if (n_ == 1 || !opt_.zone_signed) {
+    throw std::logic_error("refresh_zone_shares: needs a threshold-signed zone");
+  }
+  const bn::BigInt* p = nullptr;
+  const bn::BigInt* q = nullptr;
+  if (opt_.key_bits == 512) {
+    p = &threshold::fixtures::safe_prime_256_a();
+    q = &threshold::fixtures::safe_prime_256_b();
+  } else if (opt_.key_bits == 1024) {
+    p = &threshold::fixtures::safe_prime_512_a();
+    q = &threshold::fixtures::safe_prime_512_b();
+  } else {
+    throw std::logic_error("refresh_zone_shares: dealer primes only known for fixtures");
+  }
+  Rng rng(opt_.seed, kRefreshStream + refresh_count_);
+  ++refresh_count_;
+  last_refresh_ = threshold::refresh_shares(rng, *zone_pub_, *p, *q);
+  auto pub = std::make_shared<threshold::ThresholdPublicKey>(last_refresh_->pub);
+  zone_pub_ = pub;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (std::find(skip.begin(), skip.end(), i) != skip.end()) continue;
+    replicas_[i]->install_zone_share(pub, last_refresh_->shares[i]);
+  }
+}
+
+void ReplicatedService::install_refreshed_share(unsigned i) {
+  if (!last_refresh_) throw std::logic_error("install_refreshed_share: no refresh yet");
+  replicas_[i]->install_zone_share(
+      std::make_shared<threshold::ThresholdPublicKey>(last_refresh_->pub),
+      last_refresh_->shares[i]);
 }
 
 void ReplicatedService::drive(const bool& done) {

@@ -28,6 +28,10 @@ struct ServiceOptions {
   /// Replica ids simulating corruption, and how they misbehave.
   std::vector<unsigned> corrupted;
   CorruptionMode corruption_mode = CorruptionMode::kFlipShares;
+  /// Per-replica override of `corruption_mode` (chaos campaigns mix
+  /// misbehaviors); replicas listed here are corrupt even if absent from
+  /// `corrupted`.
+  std::map<unsigned, CorruptionMode> corruption_by_replica;
   /// Replica the pragmatic client contacts first (a healthy Zurich server).
   unsigned gateway = 1;
   std::size_t key_bits = 512;  ///< 512 or 1024 use safe-prime fixtures
@@ -77,6 +81,17 @@ class ReplicatedService {
   /// Drain all remaining simulator events (replica-side completion).
   void settle() { sim_.run(); }
 
+  /// Proactive share refresh (§4.3): re-deal the zone key's shares (same
+  /// N and e, fresh polynomial and verification values) and install them on
+  /// every replica except those in `skip` — typically replicas currently
+  /// crashed, which come back holding a stale, useless share. Requires the
+  /// fixture key sizes (512/1024 bits) whose primes are known.
+  void refresh_zone_shares(const std::vector<unsigned>& skip = {});
+
+  /// Hand replica `i` the share it missed during the last refresh (the
+  /// repaired-server handoff from the offline dealer).
+  void install_refreshed_share(unsigned i);
+
  private:
   OpResult run_query_op(const dns::Name& name, dns::RRType type);
   OpResult run_update_op(dns::Message update);
@@ -90,6 +105,9 @@ class ReplicatedService {
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<Client> client_;
   std::vector<std::unique_ptr<ReplicaNode>> replicas_;
+  std::shared_ptr<threshold::ThresholdPublicKey> zone_pub_;
+  std::optional<threshold::DealtKey> last_refresh_;
+  std::uint64_t refresh_count_ = 0;
   crypto::RsaPublicKey zone_pub_rsa_;
   dns::TsigKey tsig_key_;
   dns::Name origin_;

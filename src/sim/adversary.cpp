@@ -1,0 +1,163 @@
+#include "sim/adversary.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace sdns::sim {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDrop: return "link-drop";
+    case FaultKind::kLinkDelay: return "link-delay";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+std::string Fault::to_string() const {
+  std::ostringstream os;
+  os << sdns::sim::to_string(kind) << " ";
+  if (kind == FaultKind::kLinkDrop || kind == FaultKind::kLinkDelay) {
+    os << "link " << a << "-" << b;
+  } else {
+    os << "node " << a;
+  }
+  os << " @" << at << "s for " << duration << "s";
+  if (kind == FaultKind::kLinkDrop) os << " (p=" << magnitude << ")";
+  if (kind == FaultKind::kLinkDelay) os << " (+" << magnitude << "s)";
+  return os.str();
+}
+
+double FaultSchedule::horizon() const {
+  double h = 0;
+  for (const Fault& f : faults) h = std::max(h, f.heals_at());
+  return h;
+}
+
+std::string FaultSchedule::to_string() const {
+  if (faults.empty()) return "  (no faults)\n";
+  std::string out;
+  for (const Fault& f : faults) {
+    out += "  ";
+    out += f.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+FaultSchedule random_schedule(std::uint64_t seed, const ScheduleOptions& opt) {
+  util::Rng rng(seed, /*stream=*/0xFA17'5C8DULL);
+  FaultSchedule schedule;
+  if (opt.nodes < 2 || opt.max_faults == 0) return schedule;
+  const std::size_t count = 1 + rng.below(opt.max_faults);
+  const std::size_t iso_bound = std::min(opt.isolation_bound, opt.nodes);
+  for (std::size_t i = 0; i < count; ++i) {
+    Fault f;
+    f.kind = static_cast<FaultKind>(rng.below(4));
+    if ((f.kind == FaultKind::kPartition || f.kind == FaultKind::kCrash) &&
+        iso_bound == 0) {
+      f.kind = FaultKind::kLinkDrop;
+    }
+    f.at = rng.unit() * opt.window;
+    f.duration = std::max(0.25, rng.unit() * opt.max_duration);
+    switch (f.kind) {
+      case FaultKind::kLinkDrop:
+      case FaultKind::kLinkDelay: {
+        f.a = rng.below(opt.nodes);
+        f.b = rng.below(opt.nodes - 1);
+        if (f.b >= f.a) ++f.b;  // distinct endpoints
+        f.magnitude = f.kind == FaultKind::kLinkDrop
+                          ? std::max(0.1, rng.unit() * opt.max_drop)
+                          : std::max(0.05, rng.unit() * opt.max_delay);
+        break;
+      }
+      case FaultKind::kPartition:
+      case FaultKind::kCrash:
+        f.a = rng.below(iso_bound);
+        break;
+    }
+    schedule.faults.push_back(f);
+  }
+  std::stable_sort(schedule.faults.begin(), schedule.faults.end(),
+                   [](const Fault& x, const Fault& y) { return x.at < y.at; });
+  return schedule;
+}
+
+void Adversary::install(FaultSchedule schedule) {
+  schedule_ = std::move(schedule);
+  base_latency_.assign(net_.size(), std::vector<double>(net_.size(), 0));
+  for (NodeId i = 0; i < net_.size(); ++i) {
+    for (NodeId j = 0; j < net_.size(); ++j) base_latency_[i][j] = net_.latency(i, j);
+  }
+  Simulator& sim = net_.sim();
+  for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
+    const Fault& f = schedule_.faults[i];
+    sim.schedule_at(f.at, [this, i] { transition(i, /*activate=*/true); });
+    sim.schedule_at(f.heals_at(), [this, i] { transition(i, /*activate=*/false); });
+  }
+}
+
+std::set<NodeId> Adversary::ever_crashed() const {
+  std::set<NodeId> out;
+  for (const Fault& f : schedule_.faults) {
+    if (f.kind == FaultKind::kCrash) out.insert(f.a);
+  }
+  return out;
+}
+
+void Adversary::transition(std::size_t index, bool activate) {
+  const Fault& f = schedule_.faults[index];
+  if (activate) {
+    active_.insert(index);
+  } else {
+    active_.erase(index);
+  }
+  reapply();
+  if (!activate && on_heal &&
+      (f.kind == FaultKind::kCrash || f.kind == FaultKind::kPartition)) {
+    // Only report the heal once the node is fully reachable again.
+    bool still_isolated = net_.is_down(f.a);
+    for (NodeId j = 0; j < net_.size() && !still_isolated; ++j) {
+      if (j != f.a && net_.is_partitioned(f.a, j)) still_isolated = true;
+    }
+    if (!still_isolated) on_heal(f.a);
+  }
+}
+
+void Adversary::reapply() {
+  // Recompute the whole fault state from the active set; composition of
+  // overlapping faults then needs no per-kind bookkeeping.
+  const std::size_t n = net_.size();
+  for (NodeId i = 0; i < n; ++i) {
+    net_.set_node_down(i, false);
+    for (NodeId j = i + 1; j < n; ++j) {
+      net_.set_drop_rate(i, j, 0.0);
+      net_.set_partitioned(i, j, false);
+      net_.set_latency(i, j, base_latency_[i][j]);
+    }
+  }
+  for (std::size_t index : active_) {
+    const Fault& f = schedule_.faults[index];
+    switch (f.kind) {
+      case FaultKind::kLinkDrop:
+        net_.set_drop_rate(f.a, f.b, std::max(net_.drop_rate(f.a, f.b), f.magnitude));
+        break;
+      case FaultKind::kLinkDelay:
+        net_.set_latency(f.a, f.b, net_.latency(f.a, f.b) + f.magnitude);
+        break;
+      case FaultKind::kPartition:
+        for (NodeId j = 0; j < n; ++j) {
+          if (j != f.a) net_.set_partitioned(f.a, j, true);
+        }
+        break;
+      case FaultKind::kCrash:
+        net_.set_node_down(f.a, true);
+        break;
+    }
+  }
+}
+
+}  // namespace sdns::sim

@@ -1,0 +1,106 @@
+// Deterministic fault injection on top of the simulated network.
+//
+// An Adversary owns a FaultSchedule — a list of timed faults (message drops
+// and delays per link, network partitions, node crashes) — and replays it
+// against a Network by scheduling apply/heal events in the simulator. Because
+// the schedule is plain data generated from a single uint64 seed, any run is
+// reproducible bit-for-bit and any failing schedule can be minimized by
+// deleting faults and re-running.
+//
+// Fault semantics:
+//  - kLinkDrop:  link a<->b drops each message with probability `magnitude`
+//                for [at, at+duration).
+//  - kLinkDelay: link a<->b latency is raised by `magnitude` seconds.
+//  - kPartition: node `a` is cut off from every other node (both ways).
+//  - kCrash:     node `a` is down (all its traffic dropped); on heal the
+//                `on_heal` hook fires so the owner can run state recovery.
+//
+// Overlapping faults compose: the adversary recomputes the full network
+// fault state from the set of currently active faults on every transition,
+// so healing one fault never accidentally heals another.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sdns::sim {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDrop = 0,
+  kLinkDelay = 1,
+  kPartition = 2,
+  kCrash = 3,
+};
+
+const char* to_string(FaultKind k);
+
+struct Fault {
+  FaultKind kind = FaultKind::kLinkDrop;
+  double at = 0;        ///< activation time (virtual seconds)
+  double duration = 0;  ///< active for [at, at + duration)
+  NodeId a = 0;         ///< target node (kPartition/kCrash) or link endpoint
+  NodeId b = 0;         ///< second link endpoint (link faults only)
+  double magnitude = 0; ///< drop probability or extra one-way delay (seconds)
+
+  double heals_at() const { return at + duration; }
+  std::string to_string() const;
+};
+
+struct FaultSchedule {
+  std::vector<Fault> faults;
+
+  /// Latest heal time over all faults (0 for an empty schedule).
+  double horizon() const;
+  /// One fault per line, human-readable — the replay contract's evidence.
+  std::string to_string() const;
+};
+
+/// Options for random_schedule().
+struct ScheduleOptions {
+  std::size_t nodes = 4;       ///< fault targets are nodes [0, nodes)
+  std::size_t max_faults = 6;  ///< actual count is drawn in [1, max_faults]
+  double window = 30.0;        ///< activations are drawn in [0, window)
+  double max_duration = 8.0;   ///< durations in (0, max_duration]
+  double max_drop = 1.0;       ///< link drop probabilities in (0, max_drop]
+  double max_delay = 2.0;      ///< extra link delays in (0, max_delay]
+  /// Crash/partition faults are restricted to nodes below this bound so a
+  /// harness can exempt e.g. the client (default: no restriction).
+  std::size_t isolation_bound = SIZE_MAX;
+};
+
+/// Generate a randomized schedule; a pure function of (seed, options).
+FaultSchedule random_schedule(std::uint64_t seed, const ScheduleOptions& opt);
+
+class Adversary {
+ public:
+  explicit Adversary(Network& net) : net_(net) {}
+
+  /// Fires when a crashed or partitioned node has every such fault healed;
+  /// the owner typically triggers state recovery for it.
+  std::function<void(NodeId)> on_heal;
+
+  /// Schedule every fault's apply/heal transition in the simulator. Must be
+  /// called once, before the run starts.
+  void install(FaultSchedule schedule);
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  bool all_healed() const { return active_.empty(); }
+  /// Nodes that were crashed at any point during the schedule.
+  std::set<NodeId> ever_crashed() const;
+
+ private:
+  void transition(std::size_t index, bool activate);
+  void reapply();
+
+  Network& net_;
+  FaultSchedule schedule_;
+  std::set<std::size_t> active_;  ///< indices into schedule_.faults
+  std::vector<std::vector<double>> base_latency_;
+};
+
+}  // namespace sdns::sim

@@ -89,6 +89,39 @@ void Network::send(NodeId from, NodeId to, util::Bytes msg) {
   });
 }
 
+bool Network::any_fault_active() const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (down_[i]) return true;
+    for (std::size_t j = i + 1; j < size(); ++j) {
+      if (blocked_[i][j] || drop_[i][j] > 0) return true;
+    }
+  }
+  return false;
+}
+
+std::string Network::describe_faults() const {
+  std::string out;
+  auto append = [&out](const std::string& item) {
+    if (!out.empty()) out += "; ";
+    out += item;
+  };
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (down_[i]) append("node " + std::to_string(i) + " down");
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = i + 1; j < size(); ++j) {
+      if (blocked_[i][j]) {
+        append("link " + std::to_string(i) + "-" + std::to_string(j) + " partitioned");
+      }
+      if (drop_[i][j] > 0) {
+        append("link " + std::to_string(i) + "-" + std::to_string(j) + " drop " +
+               std::to_string(drop_[i][j]));
+      }
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
 void Network::reset_stats() {
   messages_sent_ = 0;
   bytes_sent_ = 0;

@@ -16,6 +16,7 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -80,6 +81,14 @@ class Network {
   void set_partitioned(NodeId a, NodeId b, bool blocked);
   void set_node_down(NodeId node, bool down);  // drops all its traffic
   bool is_down(NodeId node) const { return down_[node]; }
+
+  // Fault-state queries, so invariant checkers and failure reports can state
+  // which faults were active when something tripped.
+  double drop_rate(NodeId a, NodeId b) const { return drop_[a][b]; }
+  bool is_partitioned(NodeId a, NodeId b) const { return blocked_[a][b]; }
+  bool any_fault_active() const;
+  /// Human-readable list of the currently active faults ("none" when clean).
+  std::string describe_faults() const;
 
   using Handler = std::function<void(NodeId from, util::Bytes msg)>;
   void set_handler(NodeId node, Handler handler);

@@ -49,6 +49,10 @@ std::optional<std::uint64_t> SigningSession::peek_session_id(BytesView msg) {
   return r.u64();
 }
 
+bool SigningSession::is_share_message(BytesView msg) {
+  return msg.size() >= 9 && msg[8] == kShare;
+}
+
 SignatureShare SigningSession::make_own_share(bool with_proof) {
   if (cb_.charge) {
     cb_.charge(CryptoOp::kShareValue);
@@ -61,8 +65,30 @@ SignatureShare SigningSession::make_own_share(bool with_proof) {
     for (auto& byte : b) byte = static_cast<std::uint8_t>(~byte);
     s.xi = bn::mod_floor(BigInt::from_bytes_be(b), pk_.N);
     if (s.xi.is_zero()) s.xi = BigInt(1);
+  } else if (corruption_ == ShareCorruption::kGarbage) {
+    s.xi = bn::mod_floor(BigInt::from_bytes_be(rng_.bytes(pk_.modulus_bytes())), pk_.N);
+    if (s.xi.is_zero()) s.xi = BigInt(1);
   }
   return s;
+}
+
+void SigningSession::resend() {
+  if (!started_ || corruption_ == ShareCorruption::kMute || !cb_.send_to_all) return;
+  if (done()) {
+    if (corruption_ == ShareCorruption::kNone) {
+      cb_.send_to_all(frame(kFinalSig, signature_->to_bytes_be()));
+    }
+    return;
+  }
+  if (!own_share_frame_.empty()) cb_.send_to_all(own_share_frame_);
+}
+
+Bytes SigningSession::encode_final(std::uint64_t sid, const BigInt& y) {
+  Writer w;
+  w.u64(sid);
+  w.u8(kFinalSig);
+  w.raw(y.to_bytes_be());
+  return std::move(w).take();
 }
 
 void SigningSession::start() {
@@ -70,7 +96,8 @@ void SigningSession::start() {
   const bool with_proof = protocol_ == SigProtocol::kBasic;
   SignatureShare own = make_own_share(with_proof);
   if (corruption_ != ShareCorruption::kMute && cb_.send_to_all) {
-    cb_.send_to_all(frame(kShare, own.encode()));
+    own_share_frame_ = frame(kShare, own.encode());
+    cb_.send_to_all(own_share_frame_);
   }
   if (corruption_ == ShareCorruption::kNone) {
     // An honest server trusts its own (uncorrupted) share.
@@ -162,7 +189,8 @@ void SigningSession::handle_proof_request() {
   proof_requested_ = true;
   SignatureShare own = make_own_share(/*with_proof=*/true);
   if (corruption_ != ShareCorruption::kMute && cb_.send_to_all) {
-    cb_.send_to_all(frame(kShare, own.encode()));
+    own_share_frame_ = frame(kShare, own.encode());
+    cb_.send_to_all(own_share_frame_);
   }
   if (corruption_ == ShareCorruption::kNone) {
     valid_shares_.insert_or_assign(own.index, std::move(own));

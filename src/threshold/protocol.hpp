@@ -56,8 +56,15 @@ struct SessionCallbacks {
 
 /// How a corrupted server misbehaves inside the signing protocol. The paper's
 /// testbed corruption is kFlipShare: "inverts all the bits in its signature
-/// share before sending it to the others."
-enum class ShareCorruption : std::uint8_t { kNone = 0, kFlipShare = 1, kMute = 2 };
+/// share before sending it to the others."  kMute withholds the share
+/// entirely; kGarbage replaces it with a uniformly random residue (a share
+/// that is not even a corruption of the correct one).
+enum class ShareCorruption : std::uint8_t {
+  kNone = 0,
+  kFlipShare = 1,
+  kMute = 2,
+  kGarbage = 3,
+};
 
 class SigningSession {
  public:
@@ -79,9 +86,27 @@ class SigningSession {
 
   std::uint64_t session_id() const { return sid_; }
 
+  /// Re-broadcast this server's current contribution: the final signature if
+  /// the session completed, otherwise the share already sent by start().
+  /// Makes signing sessions live across message loss (crashed/partitioned
+  /// peers miss the one-shot share broadcast); owners call this from a
+  /// periodic timer. No-op for muted (corrupt) servers.
+  void resend();
+
   /// Extract the session id from an encoded protocol message so the owner
   /// can route it; returns nullopt on malformed input.
   static std::optional<std::uint64_t> peek_session_id(util::BytesView msg);
+
+  /// True when `msg` carries a signature share (a peer still working on the
+  /// session). Owners answering finished sessions must reply only to these —
+  /// replying to a kFinalSig would let two finished peers echo each other's
+  /// answers forever.
+  static bool is_share_message(util::BytesView msg);
+
+  /// Encode a final-signature message for `sid`, as complete() broadcasts.
+  /// Lets a server that already finished session `sid` answer a lagging
+  /// peer's re-sent share with the assembled signature.
+  static util::Bytes encode_final(std::uint64_t sid, const bn::BigInt& y);
 
  private:
   enum MsgType : std::uint8_t { kShare = 1, kProofRequest = 2, kFinalSig = 3 };
@@ -113,6 +138,7 @@ class SigningSession {
   bool proof_mode_ = false;      // OptProof: fallen back to proofs
   bool proof_requested_ = false; // we already answered a proof request
   std::optional<bn::BigInt> signature_;
+  util::Bytes own_share_frame_;  // last share broadcast, for resend()
 
   // Shares collected without proof verification (OptProof fast path, OptTE).
   std::map<unsigned, SignatureShare> plain_shares_;

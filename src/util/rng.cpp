@@ -20,6 +20,15 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix(x);
 }
 
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id through splitmix before folding it into the seed so
+  // that numerically adjacent streams (node ids 0, 1, 2, ...) land far apart.
+  std::uint64_t a = stream ^ 0xd1b54a32d192ed03ULL;
+  std::uint64_t x = seed ^ splitmix(a);
+  x ^= splitmix(a) << 1;
+  for (auto& s : s_) s = splitmix(x);
+}
+
 std::uint64_t Rng::next() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

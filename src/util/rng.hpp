@@ -20,6 +20,13 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
+  /// Independent stream `stream` of the generator family seeded by `seed`.
+  /// Streams are stable: Rng(seed, k) produces the same sequence no matter
+  /// how many other streams exist, so giving every simulated node its own
+  /// stream keeps per-node randomness unperturbed when nodes are added to or
+  /// removed from a scenario (a prerequisite for chaos-seed replay).
+  Rng(std::uint64_t seed, std::uint64_t stream);
+
   /// Uniform 64-bit value.
   std::uint64_t next();
 

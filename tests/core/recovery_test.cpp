@@ -107,6 +107,55 @@ TEST(Recovery, NoopWhenBaseCase) {
   EXPECT_FALSE(svc.replica(0).recovering());
 }
 
+TEST(Recovery, CrashRecoveryAcrossShareRefresh) {
+  // A replica crashes, the group proactively refreshes the zone key's shares
+  // while it is down (§4.3), and keeps updating. The repaired replica comes
+  // back holding a stale share: state transfer must still hand it the current
+  // signed zone, updates must keep succeeding with its share useless, and the
+  // dealer handoff of the missed share must restore it as a useful signer.
+  ServiceOptions opt;
+  opt.topology = sim::Topology::kLan4;
+  ReplicatedService svc(opt, kOrigin, kZoneText);
+
+  partition_replica(svc, 3, true);
+  ASSERT_TRUE(svc.add_record(Name::parse("pre.rec.example."), "10.0.0.1").ok);
+  svc.settle();
+
+  // Refresh while 3 is down; it keeps its now-stale share.
+  svc.refresh_zone_shares({3});
+  ASSERT_TRUE(svc.add_record(Name::parse("mid.rec.example."), "10.0.0.2").ok);
+  svc.settle();
+
+  partition_replica(svc, 3, false);
+  svc.replica(3).start_recovery();
+  svc.settle();
+  ASSERT_FALSE(svc.replica(3).recovering());
+  EXPECT_EQ(svc.replica(3).server().zone().to_text(),
+            svc.replica(0).server().zone().to_text());
+  auto verify = dns::verify_zone(svc.replica(3).server().zone());
+  EXPECT_TRUE(verify.ok) << verify.first_error;
+
+  // Replica 3's stale share cannot combine with the refreshed ones, but t+1
+  // refreshed signers remain, so updates still go through.
+  ASSERT_TRUE(svc.add_record(Name::parse("post.rec.example."), "10.0.0.3").ok);
+  svc.settle();
+  EXPECT_NE(svc.replica(3).server().zone().find(Name::parse("post.rec.example."),
+                                                RRType::kA),
+            nullptr);
+
+  // The dealer hands over the share replica 3 missed; it signs again and the
+  // group stays convergent and verified.
+  svc.install_refreshed_share(3);
+  ASSERT_TRUE(svc.add_record(Name::parse("final.rec.example."), "10.0.0.4").ok);
+  svc.settle();
+  for (unsigned i = 1; i < svc.n(); ++i) {
+    EXPECT_EQ(svc.replica(i).server().zone().to_text(),
+              svc.replica(0).server().zone().to_text());
+  }
+  auto final_verify = dns::verify_zone(svc.replica(3).server().zone());
+  EXPECT_TRUE(final_verify.ok) << final_verify.first_error;
+}
+
 TEST(Recovery, SnapshotRequiresQuorumOfResponders) {
   // With every other replica partitioned away, recovery cannot finish; the
   // flag stays set (and no bogus zone is installed).

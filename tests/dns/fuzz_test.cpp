@@ -114,6 +114,130 @@ TEST(MessageFuzz, ReencodeOfSurvivingMutantsRoundTrips) {
   }
 }
 
+// ---- corpus-driven round-trip properties -----------------------------------
+// Randomly *generated* (not mutated) messages drawn from a small label pool,
+// so suffixes recur and the encoder's RFC 1035 §4.1.4 compression pointers
+// are actually exercised; every accepted wire form must re-encode
+// byte-identically.
+
+Name random_name(Rng& rng) {
+  static const char* kLabels[] = {"a", "bb", "ccc", "host", "www",
+                                  "corp", "example", "net"};
+  std::string s;
+  const std::size_t depth = 1 + rng.below(4);
+  for (std::size_t i = 0; i < depth; ++i) {
+    s += kLabels[rng.below(std::size(kLabels))];
+    s += '.';
+  }
+  return Name::parse(s);
+}
+
+Message random_message(Rng& rng) {
+  Message m = Message::make_query(static_cast<std::uint16_t>(rng.next()),
+                                  random_name(rng), RRType::kA);
+  m.qr = rng.below(2) != 0;
+  m.aa = rng.below(2) != 0;
+  const std::size_t answers = rng.below(6);
+  for (std::size_t i = 0; i < answers; ++i) {
+    ResourceRecord rr;
+    rr.name = random_name(rng);
+    rr.ttl = static_cast<std::uint32_t>(rng.below(86400));
+    if (rng.below(2) == 0) {
+      rr.type = RRType::kA;
+      rr.rdata = ARdata::from_text("192.0.2." + std::to_string(rng.below(256))).encode();
+    } else {
+      rr.type = RRType::kMX;
+      rr.rdata = MxRdata{static_cast<std::uint16_t>(rng.below(100)),
+                         random_name(rng)}.encode();
+    }
+    m.answers.push_back(std::move(rr));
+  }
+  if (rng.below(2) == 0) {
+    ResourceRecord soa;
+    soa.name = random_name(rng);
+    soa.type = RRType::kSOA;
+    soa.ttl = 600;
+    SoaRdata rd;
+    rd.mname = random_name(rng);
+    rd.rname = random_name(rng);
+    rd.serial = static_cast<std::uint32_t>(rng.next());
+    soa.rdata = rd.encode();
+    m.authority.push_back(std::move(soa));
+  }
+  return m;
+}
+
+TEST(MessageCorpus, GeneratedMessagesRoundTripByteIdentically) {
+  Rng rng(700);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Message m = random_message(rng);
+    const Bytes wire = m.encode();
+    const Message back = Message::decode(wire);
+    EXPECT_EQ(back.encode(), wire) << "trial " << trial;
+  }
+}
+
+TEST(MessageCorpus, SharedSuffixesCompress) {
+  // Five answers carrying the question's exact name: every repetition after
+  // the first must collapse to a pointer, so the wire is strictly smaller
+  // than the uncompressed encoding.
+  const Name name = Name::parse("host.corp.example.");
+  Message m = Message::make_query(1, name, RRType::kA);
+  m.qr = true;
+  std::size_t uncompressed = 12 + name.wire_length() + 4;
+  for (int i = 0; i < 5; ++i) {
+    ResourceRecord rr;
+    rr.name = name;
+    rr.type = RRType::kA;
+    rr.ttl = 300;
+    rr.rdata = ARdata::from_text("192.0.2.1").encode();
+    uncompressed += name.wire_length() + 10 + rr.rdata.size();
+    m.answers.push_back(std::move(rr));
+  }
+  const Bytes wire = m.encode();
+  EXPECT_LT(wire.size(), uncompressed);
+  EXPECT_EQ(Message::decode(wire).encode(), wire);
+}
+
+TEST(MessageCorpus, TruncatedGeneratedMessagesNeverCrash) {
+  Rng rng(701);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Bytes wire = random_message(rng).encode();
+    const std::size_t cut = rng.below(wire.size());
+    try {
+      (void)Message::decode(util::BytesView(wire.data(), cut));
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+TEST(MessageFuzz, CompressionPointerLoopIsRejected) {
+  // qdcount=1; the question name is a pointer to its own offset (12), which
+  // the decoder must cut off as a loop instead of spinning forever.
+  Bytes wire = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1};
+  EXPECT_THROW(Message::decode(wire), util::ParseError);
+}
+
+TEST(MessageFuzz, ForwardCompressionPointerIsRejected) {
+  Bytes wire = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x20, 0, 1, 0, 1};
+  EXPECT_THROW(Message::decode(wire), util::ParseError);
+}
+
+TEST(MessageFuzz, PathologicalLabelsRoundTripOrAreRejected) {
+  // A 63-octet label is the RFC 1035 maximum and must survive a round trip.
+  const std::string l63(63, 'x');
+  const Name long_label = Name::parse(l63 + ".example.");
+  Message m = Message::make_query(9, long_label, RRType::kA);
+  EXPECT_EQ(Message::decode(m.encode()).encode(), m.encode());
+  // One octet more must be rejected at parse time, as must an over-long
+  // name and an empty label.
+  EXPECT_THROW(Name::parse(std::string(64, 'x') + ".example."), util::ParseError);
+  std::string giant;
+  for (int i = 0; i < 5; ++i) giant += l63 + ".";
+  EXPECT_THROW(Name::parse(giant), util::ParseError);
+  EXPECT_THROW(Name::parse("a..example."), util::ParseError);
+}
+
 TEST(ZoneFuzz, RandomZoneTextNeverCrashes) {
   Rng rng(619);
   const char* fragments[] = {"@",      "www",   "IN",     "A",        "10.0.0.1",

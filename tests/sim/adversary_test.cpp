@@ -1,0 +1,135 @@
+// Fault-schedule generation and the Adversary's apply/heal mechanics.
+#include <gtest/gtest.h>
+
+#include "sim/adversary.hpp"
+
+namespace sdns::sim {
+namespace {
+
+ScheduleOptions small_options() {
+  ScheduleOptions opt;
+  opt.nodes = 4;
+  opt.max_faults = 6;
+  opt.window = 10.0;
+  opt.max_duration = 3.0;
+  return opt;
+}
+
+TEST(FaultSchedule, GenerationIsDeterministic) {
+  const ScheduleOptions opt = small_options();
+  EXPECT_EQ(random_schedule(42, opt).to_string(), random_schedule(42, opt).to_string());
+  EXPECT_NE(random_schedule(42, opt).to_string(), random_schedule(43, opt).to_string());
+}
+
+TEST(FaultSchedule, RespectsBounds) {
+  const ScheduleOptions opt = small_options();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const FaultSchedule s = random_schedule(seed, opt);
+    ASSERT_GE(s.faults.size(), 1u);
+    ASSERT_LE(s.faults.size(), opt.max_faults);
+    for (const Fault& f : s.faults) {
+      EXPECT_GE(f.at, 0.0);
+      EXPECT_LT(f.at, opt.window);
+      EXPECT_GT(f.duration, 0.0);
+      EXPECT_LE(f.duration, opt.max_duration);
+      EXPECT_LT(f.a, opt.nodes);
+      if (f.kind == FaultKind::kLinkDrop || f.kind == FaultKind::kLinkDelay) {
+        EXPECT_LT(f.b, opt.nodes);
+        EXPECT_NE(f.a, f.b);
+      }
+      if (f.kind == FaultKind::kLinkDrop) {
+        EXPECT_LE(f.magnitude, opt.max_drop);
+      }
+      if (f.kind == FaultKind::kLinkDelay) {
+        EXPECT_LE(f.magnitude, opt.max_delay);
+      }
+      EXPECT_LE(f.heals_at(), s.horizon());
+    }
+  }
+}
+
+TEST(FaultSchedule, IsolationBoundRestrictsCrashTargets) {
+  ScheduleOptions opt = small_options();
+  opt.nodes = 6;
+  opt.isolation_bound = 2;  // e.g. nodes 2.. host clients that must stay up
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    for (const Fault& f : random_schedule(seed, opt).faults) {
+      if (f.kind == FaultKind::kPartition || f.kind == FaultKind::kCrash) {
+        EXPECT_LT(f.a, 2u);
+      }
+    }
+  }
+}
+
+TEST(Adversary, AppliesAndHealsLinkAndNodeFaults) {
+  Simulator sim;
+  Network net(sim, util::Rng(1), 3, 0.001);
+  Adversary adv(net);
+  FaultSchedule s;
+  s.faults.push_back({FaultKind::kLinkDrop, 1.0, 2.0, 0, 1, 0.5});
+  s.faults.push_back({FaultKind::kPartition, 2.0, 2.0, 2, 0, 0});
+  adv.install(s);
+
+  EXPECT_FALSE(net.any_fault_active());
+  sim.run_until(1.5);
+  EXPECT_DOUBLE_EQ(net.drop_rate(0, 1), 0.5);
+  EXPECT_FALSE(net.is_partitioned(2, 0));
+  sim.run_until(2.5);
+  EXPECT_TRUE(net.is_partitioned(2, 0));
+  EXPECT_TRUE(net.is_partitioned(2, 1));
+  sim.run_until(3.5);  // drop healed at 3.0, partition still active
+  EXPECT_DOUBLE_EQ(net.drop_rate(0, 1), 0.0);
+  EXPECT_TRUE(net.is_partitioned(2, 1));
+  EXPECT_FALSE(adv.all_healed());
+  sim.run();
+  EXPECT_FALSE(net.any_fault_active());
+  EXPECT_TRUE(adv.all_healed());
+}
+
+TEST(Adversary, OverlappingFaultsComposeOnHeal) {
+  // Two partitions of the same node overlap; healing the first must not
+  // un-partition the node while the second is still active.
+  Simulator sim;
+  Network net(sim, util::Rng(2), 3, 0.001);
+  Adversary adv(net);
+  FaultSchedule s;
+  s.faults.push_back({FaultKind::kPartition, 1.0, 2.0, 0, 0, 0});
+  s.faults.push_back({FaultKind::kPartition, 2.0, 3.0, 0, 0, 0});
+  adv.install(s);
+  sim.run_until(3.5);  // first healed at 3.0
+  EXPECT_TRUE(net.is_partitioned(0, 1));
+  sim.run();
+  EXPECT_FALSE(net.any_fault_active());
+}
+
+TEST(Adversary, OnHealFiresOncePerIsolatedNodeAfterLastFault) {
+  Simulator sim;
+  Network net(sim, util::Rng(3), 3, 0.001);
+  Adversary adv(net);
+  std::vector<NodeId> healed;
+  adv.on_heal = [&](NodeId n) { healed.push_back(n); };
+  FaultSchedule s;
+  s.faults.push_back({FaultKind::kCrash, 1.0, 2.0, 1, 0, 0});
+  s.faults.push_back({FaultKind::kPartition, 2.5, 1.0, 1, 0, 0});
+  s.faults.push_back({FaultKind::kLinkDelay, 1.0, 1.0, 0, 2, 0.5});
+  adv.install(s);
+  sim.run();
+  // Node 1 was crashed then partitioned; one heal event, after the last
+  // isolating fault cleared. Link faults never trigger heal callbacks.
+  ASSERT_EQ(healed.size(), 1u);
+  EXPECT_EQ(healed[0], 1u);
+  EXPECT_EQ(adv.ever_crashed(), std::set<NodeId>{1});
+}
+
+TEST(Adversary, DescribeFaultsListsActiveState) {
+  Simulator sim;
+  Network net(sim, util::Rng(4), 3, 0.001);
+  EXPECT_EQ(net.describe_faults(), "none");
+  net.set_partitioned(0, 1, true);
+  EXPECT_NE(net.describe_faults().find("link 0-1 partitioned"), std::string::npos);
+  net.set_partitioned(0, 1, false);
+  EXPECT_EQ(net.describe_faults(), "none");
+}
+
+}  // namespace
+}  // namespace sdns::sim
