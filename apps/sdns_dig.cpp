@@ -1,0 +1,103 @@
+// sdns_dig — a minimal dig/nsupdate for talking to a running cluster.
+//
+//   sdns_dig @HOST:PORT [@HOST:PORT...] NAME [TYPE] [+tcp] [+edns[=SIZE]]
+//   sdns_dig @HOST:PORT [...] --add NAME ADDRESS [--tsig NAME:HEXSECRET]
+//   sdns_dig @HOST:PORT [...] --del NAME [--tsig NAME:HEXSECRET]
+//
+// Queries go over UDP with automatic TC fallback to TCP (like dig); updates
+// are RFC 2136 messages, optionally TSIG-signed (like nsupdate -y). Prints
+// the response in presentation form; exit 0 iff NOERROR.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dns/edns.hpp"
+#include "net/resolver.hpp"
+
+namespace {
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s @HOST:PORT [@HOST:PORT...] NAME [TYPE] [+tcp] "
+               "[+edns[=SIZE]]\n"
+               "       %s @HOST:PORT [...] --add NAME ADDR [--tsig N:HEX]\n"
+               "       %s @HOST:PORT [...] --del NAME [--tsig N:HEX]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  sdns::net::StubResolver::Options opt;
+  std::vector<std::string> words;
+  std::string mode = "query";
+  std::string tsig_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() > 1 && arg[0] == '@') {
+      opt.servers.push_back(sdns::net::SockAddr::parse(arg.substr(1)));
+    } else if (arg == "+tcp") {
+      opt.tcp_only = true;
+    } else if (arg.rfind("+edns", 0) == 0) {
+      opt.edns_payload = arg.size() > 6 ? static_cast<std::uint16_t>(
+                                              std::stoul(arg.substr(6)))
+                                        : sdns::dns::kDefaultEdnsPayload;
+    } else if (arg == "--add" || arg == "--del") {
+      mode = arg.substr(2);
+    } else if (arg == "--tsig" && i + 1 < argc) {
+      tsig_spec = argv[++i];
+    } else {
+      words.push_back(arg);
+    }
+  }
+  if (opt.servers.empty() || words.empty()) return usage(argv[0]);
+
+  try {
+    sdns::net::StubResolver resolver(opt);
+    sdns::net::StubResolver::Result result;
+    if (mode == "query") {
+      sdns::dns::RRType type = sdns::dns::RRType::kA;
+      if (words.size() > 1) type = sdns::dns::rrtype_from_string(words[1]);
+      result = resolver.query(sdns::dns::Name::parse(words[0]), type);
+    } else {
+      sdns::dns::Message update;
+      update.opcode = sdns::dns::Opcode::kUpdate;
+      // The zone section names the apex: derive it by dropping one label.
+      const sdns::dns::Name name = sdns::dns::Name::parse(words[0]);
+      update.questions.push_back(
+          {name.parent(), sdns::dns::RRType::kSOA, sdns::dns::RRClass::kIN});
+      sdns::dns::ResourceRecord rr;
+      rr.name = name;
+      rr.type = sdns::dns::RRType::kA;
+      if (mode == "add") {
+        if (words.size() < 2) return usage(argv[0]);
+        rr.ttl = 300;
+        rr.rdata = sdns::dns::ARdata::from_text(words[1]).encode();
+      } else {
+        rr.klass = sdns::dns::RRClass::kANY;
+        rr.ttl = 0;
+      }
+      update.updates().push_back(rr);
+      if (!tsig_spec.empty()) {
+        const auto colon = tsig_spec.find(':');
+        if (colon == std::string::npos) return usage(argv[0]);
+        sdns::dns::TsigKey key{tsig_spec.substr(0, colon),
+                               sdns::util::hex_decode(tsig_spec.substr(colon + 1))};
+        result = resolver.send_update(std::move(update), &key);
+      } else {
+        result = resolver.send_update(std::move(update));
+      }
+    }
+    if (!result.ok) {
+      std::fprintf(stderr, "sdns_dig: no response: %s\n", result.error.c_str());
+      return 1;
+    }
+    std::printf("%s", result.response.to_text().c_str());
+    std::printf(";; tries: %u, transport: %s\n", result.tries,
+                result.used_tcp ? "tcp" : "udp");
+    return result.response.rcode == sdns::dns::Rcode::kNoError ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdns_dig: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,79 @@
+// sdnsd — one replica of the intrusion-tolerant name service, deployed.
+//
+//   sdnsd <config-file> [--recover] [--log LEVEL]
+//
+// The config file format is RuntimeConfig::load's `key = value` form; see
+// README.md for the four-replica localhost recipe and sdns_keygen for how
+// the trusted dealer produces the key material the config points at.
+//
+// SIGINT/SIGTERM stop the loop cleanly (EventLoop::wake is async-signal
+// safe), so supervisors can restart a replica and exercise the recovery
+// path (--recover pulls a verified snapshot from the peers after boot).
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "net/runtime.hpp"
+#include "util/log.hpp"
+
+namespace {
+sdns::net::EventLoop* g_loop = nullptr;
+
+void handle_signal(int) {
+  if (g_loop) g_loop->stop();  // stop() only touches an atomic + eventfd
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <config-file> [--recover] [--log error|warn|info|debug]\n",
+               argv0);
+  return 2;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const char* config_path = nullptr;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      const char* level = argv[++i];
+      if (std::strcmp(level, "error") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kError);
+      } else if (std::strcmp(level, "warn") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kWarn);
+      } else if (std::strcmp(level, "info") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kInfo);
+      } else if (std::strcmp(level, "debug") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kDebug);
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (!config_path) {
+      config_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!config_path) return usage(argv[0]);
+
+  try {
+    sdns::net::RuntimeConfig config = sdns::net::RuntimeConfig::load(config_path);
+    if (recover) config.recover = true;
+    sdns::net::EventLoop loop;
+    g_loop = &loop;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    sdns::net::ReplicaRuntime runtime(loop, std::move(config));
+    runtime.start();
+    loop.run();
+    g_loop = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdnsd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -12,26 +12,36 @@ using namespace sdns::bench;
 
 namespace {
 
-double avg_read(core::ReplicatedService& svc, int trials) {
-  double total = 0;
+LatencySummary read_latency(core::ReplicatedService& svc, int trials) {
+  std::vector<double> samples;
   for (int k = 0; k < trials; ++k) {
     auto r = svc.query(dns::Name::parse("www.corp.example."), dns::RRType::kA);
     if (!r.ok) std::fprintf(stderr, "warning: read failed\n");
-    total += r.latency;
+    samples.push_back(r.latency);
   }
-  return total / trials;
+  return LatencySummary::of(samples);
 }
 
-double avg_add(core::ReplicatedService& svc, int trials, const char* tag) {
-  double total = 0;
+LatencySummary add_latency(core::ReplicatedService& svc, int trials, const char* tag) {
+  std::vector<double> samples;
   for (int k = 0; k < trials; ++k) {
     auto r = svc.add_record(origin().child(std::string(tag) + std::to_string(k)),
                             "10.0.0.1");
     if (!r.ok) std::fprintf(stderr, "warning: add failed\n");
-    total += r.latency;
+    samples.push_back(r.latency);
     svc.settle();
   }
-  return total / trials;
+  return LatencySummary::of(samples);
+}
+
+void row(const char* label, const LatencySummary& read, const LatencySummary& add) {
+  std::printf("%-44s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", label, read.mean,
+              read.p50, read.p99, add.mean, add.p50, add.p99);
+}
+
+void row(const char* label, const LatencySummary& read) {
+  std::printf("%-44s %8.3f %8.3f %8.3f %8s %8s %8s\n", label, read.mean, read.p50,
+              read.p99, "-", "-", "-");
 }
 
 }  // namespace
@@ -39,31 +49,34 @@ double avg_add(core::ReplicatedService& svc, int trials, const char* tag) {
 int main(int argc, char** argv) {
   const int trials = trials_from_args(argc, argv, 10);
   std::printf("=== Client-mode and read-path ablations, (4,0) Internet setup ===\n");
-  std::printf("(averages of %d operations)\n\n", trials);
+  std::printf("(mean/p50/p99 over %d operations)\n\n", trials);
 
-  std::printf("%-44s %9s %9s\n", "configuration", "read [s]", "add [s]");
+  std::printf("%-44s %26s %26s\n", "", "-------- read [s] -------",
+              "-------- add [s] --------");
+  std::printf("%-44s %8s %8s %8s %8s %8s %8s\n", "configuration", "mean", "p50",
+              "p99", "mean", "p50", "p99");
   {
     core::ServiceOptions opt;
     opt.topology = sim::Topology::kInternet4;
     core::ReplicatedService svc(opt, origin(), kZoneText);
-    std::printf("%-44s %9.3f %9.3f\n", "pragmatic client, reads via abcast",
-                avg_read(svc, trials), avg_add(svc, trials, "p"));
+    row("pragmatic client, reads via abcast", read_latency(svc, trials),
+        add_latency(svc, trials, "p"));
   }
   {
     core::ServiceOptions opt;
     opt.topology = sim::Topology::kInternet4;
     opt.disseminate_reads = false;
     core::ReplicatedService svc(opt, origin(), kZoneText);
-    std::printf("%-44s %9.3f %9.3f\n", "pragmatic client, direct reads (rare updates)",
-                avg_read(svc, trials), avg_add(svc, trials, "d"));
+    row("pragmatic client, direct reads (rare updates)", read_latency(svc, trials),
+        add_latency(svc, trials, "d"));
   }
   {
     core::ServiceOptions opt;
     opt.topology = sim::Topology::kInternet4;
     opt.client_mode = core::ClientMode::kVoting;
     core::ReplicatedService svc(opt, origin(), kZoneText);
-    std::printf("%-44s %9.3f %9.3f\n", "voting client (G1/G2), reads via abcast",
-                avg_read(svc, trials), avg_add(svc, trials, "v"));
+    row("voting client (G1/G2), reads via abcast", read_latency(svc, trials),
+        add_latency(svc, trials, "v"));
   }
   {
     core::ServiceOptions opt;
@@ -71,8 +84,8 @@ int main(int argc, char** argv) {
     opt.client_mode = core::ClientMode::kVoting;
     opt.corrupted = {0};
     core::ReplicatedService svc(opt, origin(), kZoneText);
-    std::printf("%-44s %9.3f %9.3f\n", "voting client, one corrupted replica",
-                avg_read(svc, trials), avg_add(svc, trials, "w"));
+    row("voting client, one corrupted replica", read_latency(svc, trials),
+        add_latency(svc, trials, "w"));
   }
   {
     core::ServiceOptions opt;
@@ -81,8 +94,7 @@ int main(int argc, char** argv) {
     opt.corruption_mode = core::CorruptionMode::kMute;
     opt.client_timeout = 2.0;
     core::ReplicatedService svc(opt, origin(), kZoneText);
-    std::printf("%-44s %9.3f %9s\n", "pragmatic client, mute gateway (retry cost)",
-                avg_read(svc, trials), "-");
+    row("pragmatic client, mute gateway (retry cost)", read_latency(svc, trials));
   }
   std::printf(
       "\nNotes: direct reads cost one LAN round-trip plus the named lookup — the\n"

@@ -1,8 +1,10 @@
 // Shared helpers for the table/figure reproduction benchmarks.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -54,10 +56,43 @@ inline int trials_from_args(int argc, char** argv, int fallback = 20) {
   return fallback;
 }
 
+/// Linear-interpolated percentile of an unsorted sample set (p in [0, 1]).
+inline double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+/// Mean / median / tail summary of a latency sample set. Averages alone hide
+/// the retry and view-change tail, which is exactly what Byzantine-fault
+/// experiments are about — so benches report p50/p99 alongside the mean.
+struct LatencySummary {
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+
+  static LatencySummary of(const std::vector<double>& samples) {
+    LatencySummary s;
+    if (samples.empty()) return s;
+    s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+             static_cast<double>(samples.size());
+    s.p50 = percentile(samples, 0.50);
+    s.p99 = percentile(samples, 0.99);
+    return s;
+  }
+};
+
 struct Stats {
   double read = 0;
   double add = 0;
   double del = 0;
+  LatencySummary read_summary;
+  LatencySummary add_summary;
+  LatencySummary del_summary;
 };
 
 /// Run `trials` read + add + delete cycles against a fresh service and
@@ -71,22 +106,26 @@ inline Stats measure(const Setup& setup, threshold::SigProtocol protocol, int tr
   opt.seed = seed;
   core::ReplicatedService svc(opt, origin(), kZoneText);
   Stats out;
+  std::vector<double> reads, adds, dels;
   for (int k = 0; k < trials; ++k) {
     auto read = svc.query(dns::Name::parse("www.corp.example."), dns::RRType::kA);
     if (!read.ok) std::fprintf(stderr, "warning: read %d failed\n", k);
-    out.read += read.latency;
+    reads.push_back(read.latency);
     const dns::Name host = origin().child("host" + std::to_string(k));
     auto add = svc.add_record(host, "10.0.0.1");
     if (!add.ok) std::fprintf(stderr, "warning: add %d failed\n", k);
-    out.add += add.latency;
+    adds.push_back(add.latency);
     auto del = svc.delete_record(host);
     if (!del.ok) std::fprintf(stderr, "warning: delete %d failed\n", k);
-    out.del += del.latency;
+    dels.push_back(del.latency);
     svc.settle();  // let all replicas finish their signature work
   }
-  out.read /= trials;
-  out.add /= trials;
-  out.del /= trials;
+  out.read_summary = LatencySummary::of(reads);
+  out.add_summary = LatencySummary::of(adds);
+  out.del_summary = LatencySummary::of(dels);
+  out.read = out.read_summary.mean;
+  out.add = out.add_summary.mean;
+  out.del = out.del_summary.mean;
   return out;
 }
 

@@ -1,0 +1,67 @@
+#include "dns/edns.hpp"
+
+#include <algorithm>
+
+namespace sdns::dns {
+
+ResourceRecord EdnsInfo::to_rr() const {
+  ResourceRecord rr;
+  rr.name = Name();  // root owner
+  rr.type = RRType::kOPT;
+  rr.klass = static_cast<RRClass>(udp_payload);
+  rr.ttl = static_cast<std::uint32_t>(extended_rcode) << 24 |
+           static_cast<std::uint32_t>(version) << 16 | (dnssec_ok ? 0x8000u : 0u);
+  return rr;
+}
+
+EdnsInfo EdnsInfo::from_rr(const ResourceRecord& rr) {
+  EdnsInfo info;
+  info.udp_payload = static_cast<std::uint16_t>(rr.klass);
+  info.extended_rcode = static_cast<std::uint8_t>(rr.ttl >> 24);
+  info.version = static_cast<std::uint8_t>(rr.ttl >> 16);
+  info.dnssec_ok = (rr.ttl & 0x8000u) != 0;
+  return info;
+}
+
+std::optional<EdnsInfo> find_edns(const Message& msg) {
+  for (const auto& rr : msg.additional) {
+    if (rr.type == RRType::kOPT) return EdnsInfo::from_rr(rr);
+  }
+  return std::nullopt;
+}
+
+void set_edns(Message& msg, const EdnsInfo& info) {
+  strip_edns(msg);
+  // TSIG must remain the final record of the additional section.
+  auto pos = msg.additional.end();
+  if (!msg.additional.empty() && msg.additional.back().type == RRType::kTSIG) {
+    pos = msg.additional.end() - 1;
+  }
+  msg.additional.insert(pos, info.to_rr());
+}
+
+void strip_edns(Message& msg) {
+  msg.additional.erase(
+      std::remove_if(msg.additional.begin(), msg.additional.end(),
+                     [](const ResourceRecord& rr) { return rr.type == RRType::kOPT; }),
+      msg.additional.end());
+}
+
+std::size_t effective_udp_payload(const Message& query) {
+  const auto edns = find_edns(query);
+  if (!edns) return kClassicUdpLimit;
+  return std::max<std::size_t>(kClassicUdpLimit, edns->udp_payload);
+}
+
+bool truncate_for_udp(Message& response, std::size_t limit) {
+  if (!limit || response.encode().size() <= limit) return false;
+  const auto edns = find_edns(response);
+  response.answers.clear();
+  response.authority.clear();
+  response.additional.clear();
+  response.tc = true;
+  if (edns) set_edns(response, *edns);
+  return true;
+}
+
+}  // namespace sdns::dns

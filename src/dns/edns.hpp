@@ -1,0 +1,58 @@
+// EDNS0 (RFC 2671): the OPT pseudo-RR that lets a requestor advertise a UDP
+// payload size larger than the classic 512-byte limit (RFC 1035 §4.2.1).
+//
+// Without EDNS0 every threshold-signed response — an RRset plus its SIG plus
+// the additional-section signatures — blows through 512 bytes, truncates,
+// and forces the client onto TCP. The OPT record abuses the fixed RR fields:
+// CLASS carries the sender's UDP payload size, TTL packs
+// (extended-rcode, version, DO bit + zeroes), and RDATA holds options we do
+// not use. OPT lives in the additional section, is never cached or signed,
+// and there can be at most one.
+#pragma once
+
+#include <optional>
+
+#include "dns/message.hpp"
+
+namespace sdns::dns {
+
+/// The classic limit that applies when a query carries no OPT record.
+constexpr std::size_t kClassicUdpLimit = 512;
+
+/// Our default advertised receive size (the DNS-flag-day value, safely
+/// below common MTUs once encapsulated).
+constexpr std::uint16_t kDefaultEdnsPayload = 1232;
+
+struct EdnsInfo {
+  std::uint16_t udp_payload = kDefaultEdnsPayload;
+  std::uint8_t extended_rcode = 0;  ///< high 8 bits of a 12-bit rcode
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;  ///< the DO bit (RFC 3225)
+
+  /// The OPT pseudo-record carrying this info (root owner, empty RDATA).
+  ResourceRecord to_rr() const;
+  static EdnsInfo from_rr(const ResourceRecord& rr);
+};
+
+/// The message's OPT record, if present (scans the additional section).
+std::optional<EdnsInfo> find_edns(const Message& msg);
+
+/// Add or replace the message's OPT record. Keeps OPT ahead of a trailing
+/// TSIG record, which must stay last (tsig_sign/tsig_verify invariant).
+void set_edns(Message& msg, const EdnsInfo& info);
+
+/// Remove any OPT record from the additional section.
+void strip_edns(Message& msg);
+
+/// The UDP response budget a query grants its responder: the advertised
+/// payload size when the query carries an OPT (floored at 512 — RFC 2671
+/// treats smaller values as 512), else the classic 512-byte limit.
+std::size_t effective_udp_payload(const Message& query);
+
+/// Truncate `response` for a UDP path with `limit` bytes: if its encoding
+/// exceeds the limit, drop all three record sections, set TC, and re-attach
+/// the responder's OPT (if one was present) so the requestor still learns
+/// our EDNS support while retrying over TCP. Returns true if truncated.
+bool truncate_for_udp(Message& response, std::size_t limit);
+
+}  // namespace sdns::dns

@@ -25,6 +25,7 @@ std::string to_string(RRType t) {
     case RRType::kKEY: return "KEY";
     case RRType::kAAAA: return "AAAA";
     case RRType::kNXT: return "NXT";
+    case RRType::kOPT: return "OPT";
     case RRType::kTSIG: return "TSIG";
     case RRType::kIXFR: return "IXFR";
     case RRType::kAXFR: return "AXFR";
@@ -51,7 +52,8 @@ RRType rrtype_from_string(std::string_view s) {
       {"A", RRType::kA},     {"NS", RRType::kNS},     {"CNAME", RRType::kCNAME},
       {"SOA", RRType::kSOA}, {"PTR", RRType::kPTR},   {"MX", RRType::kMX},
       {"TXT", RRType::kTXT}, {"SIG", RRType::kSIG},   {"KEY", RRType::kKEY},
-      {"AAAA", RRType::kAAAA}, {"NXT", RRType::kNXT}, {"TSIG", RRType::kTSIG},
+      {"AAAA", RRType::kAAAA}, {"NXT", RRType::kNXT}, {"OPT", RRType::kOPT},
+      {"TSIG", RRType::kTSIG},
       {"IXFR", RRType::kIXFR},
       {"AXFR", RRType::kAXFR}, {"ANY", RRType::kANY},
   };

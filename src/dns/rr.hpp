@@ -30,6 +30,7 @@ enum class RRType : std::uint16_t {
   kKEY = 25,
   kAAAA = 28,
   kNXT = 30,
+  kOPT = 41,    // EDNS0 pseudo-RR (RFC 2671)
   kTSIG = 250,  // transaction signature meta-record
   kIXFR = 251,  // incremental zone transfer pseudo-type
   kAXFR = 252,  // whole-zone transfer pseudo-type

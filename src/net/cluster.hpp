@@ -1,0 +1,49 @@
+// Cluster material generation — the trusted dealer of §4.3, as a library.
+//
+// generate_cluster() performs everything the paper's "key generation utility
+// run by a trusted entity" does: it deals the SINTRA group keys, deals the
+// (n, t) threshold zone key, signs the initial zone by assembling t+1 shares
+// (the private exponent never exists anywhere), and writes one config file
+// plus the per-replica private material into a directory, ready for n sdnsd
+// processes to boot against. sdns_keygen is a thin CLI over this; the
+// loopback integration test calls it directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/runtime.hpp"
+
+namespace sdns::net {
+
+struct ClusterOptions {
+  unsigned n = 4;
+  unsigned t = 1;
+  std::size_t key_bits = 512;  ///< 512 and 1024 use safe-prime fixtures
+  threshold::SigProtocol sig_protocol = threshold::SigProtocol::kOptTE;
+  bool disseminate_reads = false;
+  bool require_tsig = false;
+  std::string tsig_name = "update-key";
+  std::string tsig_secret_hex;  ///< empty: derived from seed
+  std::string origin = "example.com.";
+  std::string zone_text;  ///< master-file text; empty = a small default zone
+  std::uint64_t seed = 1;
+
+  std::string dns_host = "127.0.0.1";
+  std::uint16_t dns_base_port = 5300;   ///< replica i serves dns_base_port + i
+  std::uint16_t mesh_base_port = 5400;  ///< replica i's mesh listener
+};
+
+struct ClusterFiles {
+  std::vector<std::string> configs;  ///< per-replica sdnsd config paths
+  std::vector<SockAddr> dns_addrs;   ///< client-facing endpoints
+  std::string tsig_name;
+  std::string tsig_secret_hex;
+  crypto::RsaPublicKey zone_key;  ///< for client-side DNSSEC verification
+};
+
+/// Deal keys, sign the zone, and write everything under `dir` (which must
+/// already exist). Throws NetError / std::logic_error on failure.
+ClusterFiles generate_cluster(const std::string& dir, const ClusterOptions& options);
+
+}  // namespace sdns::net

@@ -1,0 +1,147 @@
+// Wire framing for the real transport.
+//
+// Two stream formats share one incremental-decode idiom (append bytes,
+// pop complete frames, reject garbage early):
+//
+//  - DNS over TCP (RFC 1035 §4.2.2): each message is preceded by a two-byte
+//    big-endian length. DnsTcpDecoder additionally rejects lengths shorter
+//    than a DNS header and (configurably) oversized messages, and caps the
+//    buffered backlog so a peer cannot balloon our memory.
+//
+//  - The replica mesh: four-byte big-endian length, then a typed payload.
+//    Mesh frames are authenticated with HMAC-SHA256 under a per-connection
+//    session key — the deployable form of the authenticated point-to-point
+//    links the protocol stack assumes (SINTRA §4.3). A pairwise link key is
+//    derived from the cluster mesh secret; each connection mixes in both
+//    sides' hello nonces so frames recorded from an old connection can
+//    never replay into a new one, and a per-frame sequence number prevents
+//    replay and reordering within a connection.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace sdns::net {
+
+// ---- DNS over TCP ---------------------------------------------------------
+
+class DnsTcpDecoder {
+ public:
+  /// `max_message` rejects advertised lengths above it (0 = the u16 max);
+  /// `max_buffered` caps unconsumed backlog (pipelined queries included).
+  explicit DnsTcpDecoder(std::size_t max_message = 0,
+                         std::size_t max_buffered = 256 * 1024);
+
+  /// Append raw stream bytes. Returns false if the peer violated framing
+  /// (undersized/oversized length, backlog overflow); the connection should
+  /// be dropped and no further frames extracted.
+  bool feed(util::BytesView data);
+
+  /// Extract the next complete message, if any.
+  std::optional<util::Bytes> next();
+
+  bool broken() const { return broken_; }
+
+  /// Frame a message for the stream (length prefix + payload).
+  static util::Bytes frame(util::BytesView msg);
+
+ private:
+  std::size_t max_message_;
+  std::size_t max_buffered_;
+  util::Bytes buf_;
+  std::size_t consumed_ = 0;  ///< bytes of buf_ already handed out
+  bool broken_ = false;
+};
+
+// ---- replica mesh ---------------------------------------------------------
+
+/// Mesh protocol magic + version, first bytes of every hello.
+constexpr std::uint8_t kMeshMagic[4] = {'S', 'D', 'N', 'M'};
+constexpr std::uint8_t kMeshVersion = 1;
+constexpr std::size_t kMeshNonceLen = 16;
+constexpr std::size_t kMeshMacLen = 32;  // HMAC-SHA256
+
+/// Pairwise link key for replicas (a, b), order-independent:
+/// HMAC(mesh_secret, "link" || min || max).
+util::Bytes derive_link_key(util::BytesView mesh_secret, unsigned a, unsigned b);
+
+/// Per-connection session key: both hello nonces mixed under the link key,
+/// ordered by replica id so the two ends derive the same key.
+util::Bytes derive_session_key(util::BytesView link_key, unsigned lower_id,
+                               util::BytesView lower_nonce,
+                               util::BytesView higher_nonce);
+
+struct MeshHello {
+  unsigned from = 0;
+  util::Bytes nonce;  ///< kMeshNonceLen bytes
+};
+
+/// Hello frame payload: magic, version, sender id, nonce, MAC under the
+/// link key (proves knowledge of the mesh secret before any data flows).
+util::Bytes encode_hello(const MeshHello& hello, util::BytesView link_key);
+
+/// Parse + verify a hello. `expect_from` (if set) additionally pins the
+/// sender id. Returns nullopt on any mismatch.
+std::optional<MeshHello> decode_hello(
+    util::BytesView payload,
+    const std::function<util::Bytes(unsigned claimed_from)>& link_key_for,
+    std::optional<unsigned> expect_from = std::nullopt);
+
+/// Data frame payload: u64 sequence number, body, trailing MAC over
+/// (from || to || seq || body) under the session key.
+util::Bytes encode_data_frame(util::BytesView session_key, unsigned from, unsigned to,
+                              std::uint64_t seq, util::BytesView body);
+
+/// Verify and strip; returns the body or nullopt on MAC/sequence mismatch.
+/// `expected_seq` is the next sequence number this connection must carry.
+std::optional<util::Bytes> decode_data_frame(util::BytesView session_key, unsigned from,
+                                             unsigned to, std::uint64_t expected_seq,
+                                             util::BytesView payload);
+
+/// Incremental u32-length-prefixed frame extraction for the mesh stream.
+class MeshFrameDecoder {
+ public:
+  explicit MeshFrameDecoder(std::size_t max_frame = 16 * 1024 * 1024);
+  bool feed(util::BytesView data);  ///< false: framing violation, drop conn
+  std::optional<util::Bytes> next();
+  static util::Bytes frame(util::BytesView payload);
+
+ private:
+  std::size_t max_frame_;
+  util::Bytes buf_;
+  std::size_t consumed_ = 0;
+  bool broken_ = false;
+};
+
+// ---- buffered writes ------------------------------------------------------
+
+/// Outbound byte queue for a non-blocking stream socket: partial writes are
+/// buffered, `pending()` drives EPOLLOUT interest, and a hard cap provides
+/// backpressure (exceeding it is reported so the caller can drop the
+/// message or the connection).
+class WriteQueue {
+ public:
+  explicit WriteQueue(std::size_t cap = 4 * 1024 * 1024) : cap_(cap) {}
+
+  /// Enqueue; returns false (without queuing) if the cap would be exceeded.
+  bool push(util::Bytes data);
+
+  /// Write as much as the socket accepts. Returns false on a fatal socket
+  /// error (the connection should be closed); EAGAIN/EINTR are not fatal.
+  bool flush(int fd);
+
+  std::size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+  void clear();
+
+ private:
+  std::size_t cap_;
+  std::size_t pending_ = 0;
+  std::size_t head_offset_ = 0;  ///< consumed bytes of the front chunk
+  std::deque<util::Bytes> chunks_;
+};
+
+}  // namespace sdns::net

@@ -1,0 +1,263 @@
+#include "net/frontend.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "util/log.hpp"
+
+namespace sdns::net {
+
+using util::Bytes;
+using util::BytesView;
+
+namespace {
+constexpr std::uint64_t kTcpBit = 1ULL << 63;
+}
+
+bool client_is_udp(ClientId id) { return (id & kTcpBit) == 0; }
+
+SockAddr client_udp_addr(ClientId id) {
+  SockAddr addr;
+  addr.ip = static_cast<std::uint32_t>(id >> 16);
+  addr.port = static_cast<std::uint16_t>(id);
+  return addr;
+}
+
+std::uint16_t client_udp_payload(ClientId id) {
+  return static_cast<std::uint16_t>((id >> 48) & 0x7fff);
+}
+
+unsigned client_tcp_owner(ClientId id) {
+  return static_cast<unsigned>((id >> 48) & 0xff);
+}
+
+ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload) {
+  // 15 bits suffice: RFC 2671 sizes beyond 32767 have no practical meaning
+  // and the classic floor is reapplied on the way out.
+  const std::uint64_t payload = std::min<std::uint64_t>(edns_payload, 0x7fff);
+  return payload << 48 | static_cast<std::uint64_t>(addr.ip) << 16 | addr.port;
+}
+
+ClientId make_tcp_client(unsigned replica, std::uint64_t serial) {
+  return kTcpBit | static_cast<std::uint64_t>(replica & 0xff) << 48 |
+         (serial & 0xFFFFFFFFFFFFULL);
+}
+
+DnsFrontend::DnsFrontend(EventLoop& loop, Options options, RequestFn on_request)
+    : loop_(loop), opt_(options), on_request_(std::move(on_request)) {}
+
+DnsFrontend::~DnsFrontend() {
+  for (auto& [serial, conn] : conns_) loop_.del_fd(conn.fd);
+  if (sweep_timer_) loop_.cancel_timer(sweep_timer_);
+  if (udp_fd_ >= 0) loop_.del_fd(udp_fd_);
+  if (listen_fd_ >= 0) loop_.del_fd(listen_fd_);
+}
+
+void DnsFrontend::start() {
+  udp_fd_ = udp_bind(opt_.listen);
+  // TCP binds the same port the UDP socket resolved (when listen.port == 0,
+  // tests let the kernel pick — both transports must share the number).
+  SockAddr tcp_addr = local_addr(udp_fd_);
+  tcp_addr.ip = opt_.listen.ip;
+  listen_fd_ = tcp_listen(tcp_addr);
+  loop_.add_fd(udp_fd_, EventLoop::kReadable, [this](std::uint32_t) { on_udp_ready(); });
+  loop_.add_fd(listen_fd_, EventLoop::kReadable,
+               [this](std::uint32_t) { on_listener_ready(); });
+  // Self-re-arming idle sweep (sweep_idle schedules the next pass).
+  sweep_timer_ = loop_.add_timer(std::max(opt_.idle_timeout / 4, 0.05),
+                                 [this] { sweep_idle(); });
+}
+
+SockAddr DnsFrontend::bound_addr() const { return local_addr(udp_fd_); }
+
+void DnsFrontend::on_udp_ready() {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    sockaddr_in sa{};
+    socklen_t sa_len = sizeof sa;
+    const ssize_t n = ::recvfrom(udp_fd_, buf, sizeof buf, 0,
+                                 reinterpret_cast<sockaddr*>(&sa), &sa_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    if (n < 12) continue;  // shorter than a DNS header: noise
+    ++udp_queries_;
+    const SockAddr from = SockAddr::from_sockaddr(sa);
+    // Pull the advertised EDNS payload out of the query so the return
+    // address carries the response budget to whichever replica answers.
+    std::uint16_t payload = 0;
+    try {
+      const dns::Message query =
+          dns::Message::decode({buf, static_cast<std::size_t>(n)});
+      if (const auto edns = dns::find_edns(query)) payload = edns->udp_payload;
+    } catch (const util::ParseError&) {
+      continue;  // unparseable datagram: drop silently like named does
+    }
+    on_request_(make_udp_client(from, payload),
+                Bytes(buf, buf + static_cast<std::size_t>(n)));
+  }
+}
+
+void DnsFrontend::on_listener_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (conns_.size() >= opt_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    try {
+      set_nonblocking(fd);
+    } catch (const NetError&) {
+      ::close(fd);
+      continue;
+    }
+    const std::uint64_t serial = next_serial_++;
+    Conn conn;
+    conn.fd = fd;
+    conn.serial = serial;
+    conn.decoder = DnsTcpDecoder(opt_.max_tcp_message);
+    conn.wq = WriteQueue(opt_.write_cap);
+    conn.last_active = loop_.now();
+    conns_.emplace(serial, std::move(conn));
+    loop_.add_fd(fd, EventLoop::kReadable,
+                 [this, serial](std::uint32_t ev) { on_conn_io(serial, ev); });
+  }
+}
+
+void DnsFrontend::close_conn(std::uint64_t serial) {
+  auto it = conns_.find(serial);
+  if (it == conns_.end()) return;
+  loop_.del_fd(it->second.fd);
+  conns_.erase(it);
+}
+
+void DnsFrontend::sweep_idle() {
+  const double cutoff = loop_.now() - opt_.idle_timeout;
+  std::vector<std::uint64_t> idle;
+  for (const auto& [serial, conn] : conns_) {
+    if (conn.last_active < cutoff) idle.push_back(serial);
+  }
+  for (const std::uint64_t serial : idle) close_conn(serial);
+  sweep_timer_ = loop_.add_timer(std::max(opt_.idle_timeout / 4, 0.05),
+                                 [this] { sweep_idle(); });
+}
+
+void DnsFrontend::on_conn_io(std::uint64_t serial, std::uint32_t events) {
+  auto it = conns_.find(serial);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (events & EventLoop::kError) {
+    close_conn(serial);
+    return;
+  }
+  if (events & EventLoop::kWritable) {
+    if (!conn.wq.flush(conn.fd)) {
+      close_conn(serial);
+      return;
+    }
+    if (conn.wq.empty() && conn.want_write) {
+      conn.want_write = false;
+      loop_.mod_fd(conn.fd, EventLoop::kReadable);
+    }
+    conn.last_active = loop_.now();
+  }
+  if (!(events & EventLoop::kReadable)) return;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(serial);
+      return;
+    }
+    if (n == 0) {
+      // Peer closed; a partially received message dies with the stream.
+      close_conn(serial);
+      return;
+    }
+    conn.last_active = loop_.now();
+    if (!conn.decoder.feed({buf, static_cast<std::size_t>(n)})) {
+      close_conn(serial);  // undersized/oversized length or backlog abuse
+      return;
+    }
+    // Pipelining: a single read may complete several queries.
+    while (auto wire = conn.decoder.next()) {
+      ++tcp_queries_;
+      on_request_(make_tcp_client(opt_.replica, serial), std::move(*wire));
+      if (conns_.find(serial) == conns_.end()) return;  // closed by reentry
+    }
+    if (conn.decoder.broken()) {
+      close_conn(serial);
+      return;
+    }
+  }
+}
+
+void DnsFrontend::respond_udp(ClientId client, BytesView wire) {
+  const SockAddr to = client_udp_addr(client);
+  const std::uint16_t advertised = client_udp_payload(client);
+  const std::size_t limit =
+      advertised ? std::max<std::size_t>(advertised, dns::kClassicUdpLimit)
+                 : dns::kClassicUdpLimit;
+  Bytes out(wire.begin(), wire.end());
+  if (advertised || wire.size() > limit) {
+    // EDNS clients get our OPT echoed; any oversized answer is truncated to
+    // a TC-bit stub that sends the client to TCP.
+    try {
+      dns::Message response = dns::Message::decode(wire);
+      if (advertised) {
+        dns::EdnsInfo info;
+        info.udp_payload = opt_.edns_payload;
+        dns::set_edns(response, info);
+      }
+      if (dns::truncate_for_udp(response, limit)) ++truncated_;
+      out = response.encode();
+    } catch (const util::ParseError&) {
+      return;  // replica produced an undecodable response; drop
+    }
+  }
+  const sockaddr_in sa = to.to_sockaddr();
+  for (;;) {
+    const ssize_t n = ::sendto(udp_fd_, out.data(), out.size(), 0,
+                               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN: kernel buffer full — UDP may drop, the client retries
+  }
+}
+
+void DnsFrontend::respond(ClientId client, BytesView wire) {
+  if (client_is_udp(client)) {
+    respond_udp(client, wire);
+    return;
+  }
+  if (client_tcp_owner(client) != opt_.replica) {
+    return;  // another replica's connection; unreachable from here
+  }
+  auto it = conns_.find(client & 0xFFFFFFFFFFFFULL);
+  if (it == conns_.end()) return;  // client hung up before the answer
+  Conn& conn = it->second;
+  if (!conn.wq.push(DnsTcpDecoder::frame(wire))) {
+    close_conn(conn.serial);  // slow reader beyond the cap
+    return;
+  }
+  if (!conn.wq.flush(conn.fd)) {
+    close_conn(conn.serial);
+    return;
+  }
+  if (!conn.wq.empty() && !conn.want_write) {
+    conn.want_write = true;
+    loop_.mod_fd(conn.fd, EventLoop::kReadable | EventLoop::kWritable);
+  }
+  conn.last_active = loop_.now();
+}
+
+}  // namespace sdns::net

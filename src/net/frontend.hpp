@@ -1,0 +1,109 @@
+// UDP + TCP DNS frontend — the "port 53" face of a replica.
+//
+// Speaks real RFC 1035 wire format on both transports: raw datagrams on
+// UDP, two-byte length-prefixed framing with partial-read/-write buffering
+// and pipelining on TCP. Per-connection idle timeouts bound resource use;
+// oversized or undersized TCP length prefixes drop the connection.
+//
+// Requests are handed to the owner as (ClientId, wire bytes). A ClientId is
+// a self-contained 64-bit return address, so it can travel through atomic
+// broadcast and let EVERY replica answer the client directly (§3.3 — voting
+// clients need n independent responses):
+//
+//   UDP  [63]=0 | [62..48] advertised EDNS payload (0 = no OPT in query)
+//              | [47..16] IPv4 | [15..0] port
+//        Any replica can sendto() that address from its own UDP socket.
+//   TCP  [63]=1 | [55..48] replica id that owns the connection
+//              | [47..0] connection serial
+//        Only the replica holding the connection can respond; others drop.
+//
+// Responses over UDP are EDNS-aware: the frontend re-attaches an OPT if the
+// query carried one and truncates to the advertised payload size (classic
+// 512 bytes without EDNS), setting TC so the client retries over TCP.
+#pragma once
+
+#include <map>
+
+#include "dns/edns.hpp"
+#include "net/frame.hpp"
+#include "net/loop.hpp"
+#include "net/socket.hpp"
+
+namespace sdns::net {
+
+using ClientId = std::uint64_t;
+
+/// True if `id` addresses a UDP client (any replica can respond).
+bool client_is_udp(ClientId id);
+/// The UDP return address encoded in a UDP ClientId.
+SockAddr client_udp_addr(ClientId id);
+/// The advertised EDNS payload (0 = query had no OPT).
+std::uint16_t client_udp_payload(ClientId id);
+/// The replica owning a TCP ClientId's connection.
+unsigned client_tcp_owner(ClientId id);
+
+ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload);
+ClientId make_tcp_client(unsigned replica, std::uint64_t serial);
+
+class DnsFrontend {
+ public:
+  struct Options {
+    unsigned replica = 0;   ///< stamped into TCP ClientIds
+    SockAddr listen;        ///< one address, both transports
+    double idle_timeout = 30.0;        ///< close idle TCP connections
+    std::size_t max_tcp_message = 0;   ///< 0 = u16 max (65535)
+    std::size_t max_connections = 512;
+    std::size_t write_cap = 1 * 1024 * 1024;  ///< per-connection
+    std::uint16_t edns_payload = 4096;  ///< our advertised receive size
+  };
+
+  using RequestFn = std::function<void(ClientId, util::Bytes wire)>;
+
+  DnsFrontend(EventLoop& loop, Options options, RequestFn on_request);
+  ~DnsFrontend();
+
+  void start();
+
+  /// Deliver a response. UDP ids are answered with sendto (EDNS attach +
+  /// truncation applied); TCP ids are length-framed onto the connection if
+  /// it is still open and owned by this replica.
+  void respond(ClientId client, util::BytesView wire);
+
+  /// The bound address (resolves port 0 for tests).
+  SockAddr bound_addr() const;
+
+  std::uint64_t udp_queries() const { return udp_queries_; }
+  std::uint64_t tcp_queries() const { return tcp_queries_; }
+  std::uint64_t truncated() const { return truncated_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t serial = 0;
+    DnsTcpDecoder decoder;
+    WriteQueue wq;
+    bool want_write = false;
+    double last_active = 0;
+  };
+
+  void on_udp_ready();
+  void on_listener_ready();
+  void on_conn_io(std::uint64_t serial, std::uint32_t events);
+  void close_conn(std::uint64_t serial);
+  void sweep_idle();
+  void respond_udp(ClientId client, util::BytesView wire);
+
+  EventLoop& loop_;
+  Options opt_;
+  RequestFn on_request_;
+  int udp_fd_ = -1;
+  int listen_fd_ = -1;
+  std::map<std::uint64_t, Conn> conns_;  ///< by serial
+  std::uint64_t next_serial_ = 1;
+  EventLoop::TimerId sweep_timer_ = 0;
+  std::uint64_t udp_queries_ = 0;
+  std::uint64_t tcp_queries_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace sdns::net

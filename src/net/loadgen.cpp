@@ -1,0 +1,139 @@
+#include "net/loadgen.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <numeric>
+
+#include "dns/edns.hpp"
+
+namespace sdns::net {
+
+using util::Bytes;
+
+namespace {
+constexpr double kTickInterval = 0.001;  ///< 1 kHz pacing
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Loadgen::Loadgen(EventLoop& loop, Options options)
+    : loop_(loop), opt_(std::move(options)) {
+  dns::Message query = dns::Message::make_query(0, opt_.name, opt_.type);
+  if (opt_.edns_payload) {
+    dns::EdnsInfo info;
+    info.udp_payload = opt_.edns_payload;
+    dns::set_edns(query, info);
+  }
+  query_template_ = query.encode();
+}
+
+Loadgen::~Loadgen() {
+  if (fd_ >= 0) loop_.del_fd(fd_);
+}
+
+void Loadgen::start() {
+  SockAddr any;  // 0.0.0.0:0 — the kernel picks
+  any.ip = 0;
+  any.port = 0;
+  fd_ = udp_bind(any);
+  loop_.add_fd(fd_, EventLoop::kReadable, [this](std::uint32_t) { on_readable(); });
+  started_ = loop_.now();
+  last_tick_ = started_;
+  loop_.add_timer(kTickInterval, [this] { tick(); });
+}
+
+void Loadgen::send_one() {
+  const std::uint16_t id = static_cast<std::uint16_t>(sent_ & 0xffff);
+  // Patch the id into the pre-encoded template (bytes 0-1, big endian).
+  query_template_[0] = static_cast<std::uint8_t>(id >> 8);
+  query_template_[1] = static_cast<std::uint8_t>(id);
+  const SockAddr& server = opt_.servers[next_server_];
+  next_server_ = (next_server_ + 1) % opt_.servers.size();
+  const sockaddr_in sa = server.to_sockaddr();
+  for (;;) {
+    const ssize_t n =
+        ::sendto(fd_, query_template_.data(), query_template_.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN: the datagram is lost, like any UDP drop
+  }
+  in_flight_[id] = loop_.now();
+  ++sent_;
+}
+
+void Loadgen::tick() {
+  const double now = loop_.now();
+  if (!done_sending_) {
+    // Credit accrues from wall time, not tick count, so timer jitter and
+    // slow ticks don't silently lower the offered rate.
+    credit_ += opt_.rate * (now - last_tick_);
+    // Cap the burst so a stalled loop doesn't release a giant backlog.
+    credit_ = std::min(credit_, opt_.rate * 0.05);
+    while (credit_ >= 1.0) {
+      send_one();
+      credit_ -= 1.0;
+    }
+    last_tick_ = now;
+    if (now - started_ >= opt_.duration) {
+      done_sending_ = true;
+      finished_sending_ = now;
+    }
+    loop_.add_timer(kTickInterval, [this] { tick(); });
+    return;
+  }
+  if (now - finished_sending_ >= opt_.drain || received_ >= sent_) {
+    loop_.stop();
+    return;
+  }
+  loop_.add_timer(kTickInterval, [this] { tick(); });
+}
+
+void Loadgen::on_readable() {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n < 2) continue;
+    const std::uint16_t id =
+        static_cast<std::uint16_t>(buf[0]) << 8 | buf[1];
+    auto it = in_flight_.find(id);
+    if (it == in_flight_.end()) continue;  // duplicate or late
+    latencies_.push_back(loop_.now() - it->second);
+    in_flight_.erase(it);
+    ++received_;
+  }
+}
+
+Loadgen::Report Loadgen::report() const {
+  Report r;
+  r.sent = sent_;
+  r.received = received_;
+  r.elapsed = (done_sending_ ? finished_sending_ : loop_.now()) - started_;
+  if (r.elapsed > 0) r.achieved_qps = static_cast<double>(received_) / r.elapsed;
+  if (latencies_.empty()) return r;
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  r.p50 = percentile(sorted, 0.50);
+  r.p90 = percentile(sorted, 0.90);
+  r.p99 = percentile(sorted, 0.99);
+  r.p999 = percentile(sorted, 0.999);
+  r.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  r.max = sorted.back();
+  return r;
+}
+
+}  // namespace sdns::net

@@ -1,0 +1,74 @@
+// Loadgen — an open-loop UDP query driver for measuring a live cluster.
+//
+// Sends make_query datagrams at a configured rate from one socket on the
+// event loop (a 1 kHz pacing timer releases rate/1000 queries per tick,
+// accumulating fractional credit), matches responses to in-flight queries by
+// DNS id, and records per-query latency. After `duration` seconds it stops
+// the loop and the caller reads a Report with achieved QPS and p50/p99/p999
+// percentiles — the numbers BENCH_net.json captures.
+//
+// Open-loop (send at the target rate regardless of completions) is the
+// honest way to measure a server: closed-loop drivers self-throttle and
+// hide queueing delay.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "net/loop.hpp"
+#include "net/socket.hpp"
+
+namespace sdns::net {
+
+class Loadgen {
+ public:
+  struct Options {
+    std::vector<SockAddr> servers;  ///< round-robin targets
+    dns::Name name;                 ///< the question (one hot name)
+    dns::RRType type = dns::RRType::kA;
+    double rate = 5000;      ///< queries per second
+    double duration = 5.0;   ///< send window, seconds
+    double drain = 1.0;      ///< wait after sending for stragglers
+    std::uint16_t edns_payload = 0;  ///< 0 = no OPT
+  };
+
+  struct Report {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    double elapsed = 0;       ///< send window wall time
+    double achieved_qps = 0;  ///< received / elapsed
+    double p50 = 0, p90 = 0, p99 = 0, p999 = 0, mean = 0, max = 0;  ///< seconds
+  };
+
+  Loadgen(EventLoop& loop, Options options);
+  ~Loadgen();
+
+  /// Start sending; stops the loop when the run (plus drain) completes.
+  void start();
+
+  /// Percentile summary of everything received so far.
+  Report report() const;
+
+ private:
+  void tick();
+  void on_readable();
+  void send_one();
+
+  EventLoop& loop_;
+  Options opt_;
+  int fd_ = -1;
+  util::Bytes query_template_;  ///< encoded once; id patched per send
+  double started_ = 0;
+  double finished_sending_ = 0;
+  double last_tick_ = 0;
+  double credit_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::size_t next_server_ = 0;
+  std::map<std::uint16_t, double> in_flight_;  ///< id -> send time
+  std::vector<double> latencies_;
+  bool done_sending_ = false;
+};
+
+}  // namespace sdns::net

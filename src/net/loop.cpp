@@ -1,0 +1,203 @@
+#include "net/loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket.hpp"
+#include "util/log.hpp"
+
+namespace sdns::net {
+
+namespace {
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t ev = 0;
+  if (interest & EventLoop::kReadable) ev |= EPOLLIN;
+  if (interest & EventLoop::kWritable) ev |= EPOLLOUT;
+  return ev;
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw NetError("epoll_create1 failed");
+  timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) throw NetError("timerfd_create failed");
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw NetError("eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = timer_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  for (const auto& [fd, handler] : fds_) ::close(fd);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw NetError(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  fds_[fd] = std::move(handler);
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw NetError(std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+  }
+}
+
+void EventLoop::del_fd(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(it);
+  dead_fds_.push_back(fd);
+  ::close(fd);
+}
+
+void EventLoop::set_handler(int fd, FdHandler handler) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) throw NetError("set_handler: fd not registered");
+  it->second = std::move(handler);
+}
+
+EventLoop::TimerId EventLoop::add_timer(double delay, std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timer_fns_[id] = std::move(fn);
+  timers_.push({now() + std::max(delay, 0.0), id});
+  arm_timerfd();
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  // The heap entry stays behind and is skipped when it surfaces.
+  timer_fns_.erase(id);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // Async-signal-safe; EAGAIN means the counter is already nonzero, which
+  // is exactly the state we want.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+double EventLoop::now() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void EventLoop::arm_timerfd() {
+  itimerspec spec{};
+  if (!timers_.empty()) {
+    double delta = timers_.top().deadline - now();
+    if (delta < 1e-9) delta = 1e-9;  // 0 would disarm; fire "immediately"
+    spec.it_value.tv_sec = static_cast<time_t>(delta);
+    spec.it_value.tv_nsec =
+        static_cast<long>((delta - static_cast<double>(spec.it_value.tv_sec)) * 1e9);
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+      spec.it_value.tv_nsec = 1;
+    }
+  }
+  timerfd_settime(timer_fd_, 0, &spec, nullptr);
+}
+
+void EventLoop::fire_due_timers() {
+  const double t = now();
+  while (!timers_.empty() && timers_.top().deadline <= t) {
+    const TimerId id = timers_.top().id;
+    timers_.pop();
+    auto it = timer_fns_.find(id);
+    if (it == timer_fns_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+  }
+  arm_timerfd();
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  running_ = true;
+  epoll_event events[64];
+  while (running_) {
+    const int n = epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    dead_fds_.clear();
+    for (int i = 0; i < n && running_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == timer_fd_) {
+        std::uint64_t expirations = 0;
+        while (::read(timer_fd_, &expirations, sizeof expirations) > 0) {
+        }
+        fire_due_timers();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t count = 0;
+        while (::read(wake_fd_, &count, sizeof count) > 0) {
+        }
+        drain_posted();
+        continue;
+      }
+      if (std::find(dead_fds_.begin(), dead_fds_.end(), fd) != dead_fds_.end()) {
+        continue;  // deregistered by an earlier handler in this batch
+      }
+      auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;
+      std::uint32_t mask = 0;
+      if (events[i].events & EPOLLIN) mask |= kReadable;
+      if (events[i].events & EPOLLOUT) mask |= kWritable;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) mask |= kError;
+      // Invoke through a copy: the handler may del_fd(fd), which would
+      // destroy the map's std::function out from under the call.
+      FdHandler handler = it->second;
+      handler(mask);
+    }
+  }
+}
+
+void EventLoop::stop() {
+  running_ = false;
+  wake();
+}
+
+}  // namespace sdns::net

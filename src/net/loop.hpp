@@ -1,0 +1,104 @@
+// Single-threaded epoll event loop — the deployable counterpart of
+// sim::Simulator. ReplicaNode's callback surface (now / set_timer / send)
+// binds to either one, which is what lets the identical protocol stack run
+// simulated and deployed.
+//
+//  - fd readiness via epoll (level-triggered; handlers drain until EAGAIN),
+//  - timers via one timerfd re-armed to the earliest deadline of a min-heap
+//    (the std::function timers ReplicaNode arms map 1:1 onto add_timer),
+//  - cross-thread / signal-context wakeups via eventfd: post() is the only
+//    thread-safe entry point, wake() the only async-signal-safe one.
+//
+// All epoll_wait / read / accept paths retry on EINTR and treat EAGAIN as
+// "drained"; callbacks run on the loop thread only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace sdns::net {
+
+class EventLoop {
+ public:
+  /// Bitmask passed to fd handlers.
+  static constexpr std::uint32_t kReadable = 1;
+  static constexpr std::uint32_t kWritable = 2;
+  static constexpr std::uint32_t kError = 4;  ///< EPOLLERR / EPOLLHUP
+
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for the given interest mask. The loop takes ownership of
+  /// the fd and closes it on del_fd / destruction.
+  void add_fd(int fd, std::uint32_t interest, FdHandler handler);
+  /// Change the interest mask (e.g. add kWritable while a queue drains).
+  void mod_fd(int fd, std::uint32_t interest);
+  /// Deregister and close. Safe to call from inside the fd's own handler.
+  void del_fd(int fd);
+  /// Replace the handler of a registered fd (ownership transfer between
+  /// components, e.g. an accepted mesh connection after its hello).
+  void set_handler(int fd, FdHandler handler);
+
+  /// One-shot timer `delay` seconds from now (monotonic). Returns an id
+  /// usable with cancel_timer; fired and cancelled ids are never reused.
+  TimerId add_timer(double delay, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  /// Run `fn` on the loop thread soon. Thread-safe.
+  void post(std::function<void()> fn);
+
+  /// Wake the loop without running anything; async-signal-safe (one write
+  /// to an eventfd). Pair with a flag the loop polls via check_stop().
+  void wake();
+
+  /// Process events until stop() is called.
+  void run();
+  /// Ask run() to return after the current iteration. Thread-safe.
+  void stop();
+
+  /// Seconds on CLOCK_MONOTONIC; the `now()` fed to protocol timers.
+  double now() const;
+
+  std::size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    double deadline = 0;
+    TimerId id = 0;
+    bool operator>(const Timer& o) const {
+      return deadline != o.deadline ? deadline > o.deadline : id > o.id;
+    }
+  };
+
+  void arm_timerfd();
+  void fire_due_timers();
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::map<int, FdHandler> fds_;
+  /// fds deregistered during dispatch of the current epoll batch; their
+  /// queued events must not reach a dead (or recycled) handler.
+  std::vector<int> dead_fds_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::map<TimerId, std::function<void()>> timer_fns_;  ///< absent = cancelled
+  TimerId next_timer_ = 1;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace sdns::net

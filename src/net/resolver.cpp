@@ -1,0 +1,188 @@
+#include "net/resolver.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "dns/edns.hpp"
+#include "net/frame.hpp"
+#include "util/bytes.hpp"
+
+namespace sdns::net {
+
+using util::Bytes;
+using util::BytesView;
+
+namespace {
+
+/// RAII fd for the blocking sockets used here.
+struct Fd {
+  int fd = -1;
+  explicit Fd(int f) : fd(f) {}
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+};
+
+void set_rcv_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+bool matches(const dns::Message& request, const dns::Message& response) {
+  return response.id == request.id && response.qr &&
+         (response.opcode == dns::Opcode::kUpdate ||
+          response.questions == request.questions);
+}
+
+}  // namespace
+
+StubResolver::StubResolver(Options options) : opt_(std::move(options)) {}
+
+StubResolver::Result StubResolver::exchange_udp(const dns::Message& request,
+                                                const SockAddr& server) {
+  Result out;
+  Fd sock(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (sock.fd < 0) {
+    out.error = "socket: " + std::string(std::strerror(errno));
+    return out;
+  }
+  set_rcv_timeout(sock.fd, opt_.timeout);
+  const Bytes wire = request.encode();
+  const sockaddr_in sa = server.to_sockaddr();
+  if (::sendto(sock.fd, wire.data(), wire.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+    out.error = "sendto: " + std::string(std::strerror(errno));
+    return out;
+  }
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.error = "timeout";
+      return out;
+    }
+    try {
+      dns::Message response = dns::Message::decode({buf, static_cast<std::size_t>(n)});
+      if (!matches(request, response)) continue;  // stray datagram
+      out.ok = true;
+      out.response = std::move(response);
+      return out;
+    } catch (const util::ParseError&) {
+      continue;
+    }
+  }
+}
+
+StubResolver::Result StubResolver::exchange_tcp(const dns::Message& request,
+                                                const SockAddr& server) {
+  Result out;
+  out.used_tcp = true;
+  Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (sock.fd < 0) {
+    out.error = "socket: " + std::string(std::strerror(errno));
+    return out;
+  }
+  set_rcv_timeout(sock.fd, opt_.timeout);
+  const sockaddr_in sa = server.to_sockaddr();
+  if (::connect(sock.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+    out.error = "connect: " + std::string(std::strerror(errno));
+    return out;
+  }
+  const Bytes framed = DnsTcpDecoder::frame(request.encode());
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(sock.fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.error = "send: " + std::string(std::strerror(errno));
+      return out;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  DnsTcpDecoder decoder;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.error = "timeout";
+      return out;
+    }
+    if (n == 0) {
+      out.error = "connection closed";
+      return out;
+    }
+    if (!decoder.feed({buf, static_cast<std::size_t>(n)})) {
+      out.error = "bad framing";
+      return out;
+    }
+    while (auto wire = decoder.next()) {
+      try {
+        dns::Message response = dns::Message::decode(*wire);
+        if (!matches(request, response)) continue;
+        out.ok = true;
+        out.response = std::move(response);
+        return out;
+      } catch (const util::ParseError&) {
+        out.error = "undecodable response";
+        return out;
+      }
+    }
+  }
+}
+
+StubResolver::Result StubResolver::exchange(dns::Message request) {
+  if (request.id == 0) request.id = next_id_++;
+  if (next_id_ == 0) next_id_ = 1;
+  // Only plain queries get an OPT: updates may carry a TSIG whose MAC
+  // already covers the message — appending after signing would break it.
+  if (opt_.edns_payload && request.opcode == dns::Opcode::kQuery &&
+      !dns::find_edns(request)) {
+    dns::EdnsInfo info;
+    info.udp_payload = opt_.edns_payload;
+    dns::set_edns(request, info);
+  }
+  Result last;
+  for (unsigned attempt = 0; attempt < opt_.attempts; ++attempt) {
+    const SockAddr& server = opt_.servers[attempt % opt_.servers.size()];
+    Result r = opt_.tcp_only ? exchange_tcp(request, server)
+                             : exchange_udp(request, server);
+    r.tries = attempt + 1;
+    if (r.ok && r.response.tc && !opt_.tcp_only) {
+      // Truncated: retry over TCP against the same server (RFC 1035 §4.2.2).
+      Result tcp = exchange_tcp(request, server);
+      tcp.tries = r.tries;
+      if (tcp.ok) return tcp;
+      last = std::move(tcp);
+      continue;
+    }
+    if (r.ok) return r;
+    last = std::move(r);
+  }
+  return last;
+}
+
+StubResolver::Result StubResolver::query(const dns::Name& name, dns::RRType type) {
+  return exchange(dns::Message::make_query(0, name, type));
+}
+
+StubResolver::Result StubResolver::send_update(dns::Message update,
+                                               const dns::TsigKey* key,
+                                               std::uint64_t timestamp) {
+  update.id = next_id_++;
+  if (next_id_ == 0) next_id_ = 1;
+  if (key) dns::tsig_sign(update, *key, timestamp);
+  return exchange(std::move(update));
+}
+
+}  // namespace sdns::net

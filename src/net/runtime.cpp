@@ -1,0 +1,185 @@
+#include "net/runtime.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "abcast/group.hpp"
+#include "util/log.hpp"
+
+namespace sdns::net {
+
+using util::Bytes;
+using util::BytesView;
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw NetError("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string s = os.str();
+  return Bytes(s.begin(), s.end());
+}
+
+void write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw NetError("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw NetError("short write to " + path);
+}
+
+namespace {
+bool parse_bool(const std::string& v, const std::string& line) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw NetError("bad boolean in config line: " + line);
+}
+
+threshold::SigProtocol parse_protocol(const std::string& v, const std::string& line) {
+  if (v == "basic") return threshold::SigProtocol::kBasic;
+  if (v == "optproof") return threshold::SigProtocol::kOptProof;
+  if (v == "optte") return threshold::SigProtocol::kOptTE;
+  throw NetError("bad sig_protocol in config line: " + line);
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+}  // namespace
+
+RuntimeConfig RuntimeConfig::load(const std::string& path) {
+  const Bytes raw = read_file(path);
+  std::istringstream in(std::string(raw.begin(), raw.end()));
+  RuntimeConfig cfg;
+  std::map<unsigned, SockAddr> peers;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string stripped = trim(line.substr(0, line.find('#')));
+    if (stripped.empty()) continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) throw NetError("config line wants key = value: " + line);
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key == "id") cfg.id = static_cast<unsigned>(std::stoul(value));
+    else if (key == "n") cfg.n = static_cast<unsigned>(std::stoul(value));
+    else if (key == "t") cfg.t = static_cast<unsigned>(std::stoul(value));
+    else if (key == "sig_protocol") cfg.sig_protocol = parse_protocol(value, line);
+    else if (key == "disseminate_reads") cfg.disseminate_reads = parse_bool(value, line);
+    else if (key == "require_tsig") cfg.require_tsig = parse_bool(value, line);
+    else if (key == "tsig_name") cfg.tsig_name = value;
+    else if (key == "tsig_secret") cfg.tsig_secret_hex = value;
+    else if (key == "origin") cfg.origin = value;
+    else if (key == "zone_file") cfg.zone_file = value;
+    else if (key == "group_public") cfg.group_public = value;
+    else if (key == "node_secret") cfg.node_secret = value;
+    else if (key == "zone_public") cfg.zone_public = value;
+    else if (key == "zone_share") cfg.zone_share = value;
+    else if (key == "mesh_secret") cfg.mesh_secret = value;
+    else if (key == "listen_dns") cfg.listen_dns = SockAddr::parse(value);
+    else if (key == "recover") cfg.recover = parse_bool(value, line);
+    else if (key == "recover_delay") cfg.recover_delay = std::stod(value);
+    else if (key == "complaint_timeout") cfg.complaint_timeout = std::stod(value);
+    else if (key == "idle_timeout") cfg.idle_timeout = std::stod(value);
+    else if (key == "edns_payload")
+      cfg.edns_payload = static_cast<std::uint16_t>(std::stoul(value));
+    else if (key == "seed") cfg.seed = std::stoull(value);
+    else if (key.rfind("peer", 0) == 0) {
+      const unsigned peer_id = static_cast<unsigned>(std::stoul(key.substr(4)));
+      peers[peer_id] = SockAddr::parse(value);
+    } else {
+      throw NetError("unknown config key: " + key);
+    }
+  }
+  cfg.mesh_peers.assign(cfg.n, SockAddr{});
+  for (const auto& [id, addr] : peers) {
+    if (id >= cfg.n) throw NetError("peer id out of range in " + path);
+    cfg.mesh_peers[id] = addr;
+  }
+  return cfg;
+}
+
+ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
+    : loop_(loop), cfg_(std::move(config)) {
+  // ---- key material from the trusted dealer (§4.3) ----
+  auto group = std::make_shared<abcast::GroupPublic>(
+      abcast::decode_group_public(read_file(cfg_.group_public)));
+  abcast::NodeSecret secret = abcast::decode_node_secret(read_file(cfg_.node_secret));
+  if (secret.id != cfg_.id) {
+    throw NetError("node_secret belongs to replica " + std::to_string(secret.id));
+  }
+  auto zone_pub = std::make_shared<threshold::ThresholdPublicKey>(
+      threshold::ThresholdPublicKey::decode(read_file(cfg_.zone_public)));
+  threshold::KeyShare share = threshold::KeyShare::decode(read_file(cfg_.zone_share));
+  dns::Zone zone = dns::Zone::from_wire(read_file(cfg_.zone_file));
+
+  core::ReplicaConfig rc;
+  rc.n = cfg_.n;
+  rc.t = cfg_.t;
+  rc.sig_protocol = cfg_.sig_protocol;
+  rc.disseminate_reads = cfg_.disseminate_reads;
+  rc.complaint_timeout = cfg_.complaint_timeout;
+  if (cfg_.require_tsig) {
+    rc.update_policy.require_tsig = true;
+    rc.update_policy.keys.push_back(
+        {cfg_.tsig_name, util::hex_decode(cfg_.tsig_secret_hex)});
+  }
+
+  // ---- transports ----
+  DnsFrontend::Options fopt;
+  fopt.replica = cfg_.id;
+  fopt.listen = cfg_.listen_dns;
+  fopt.idle_timeout = cfg_.idle_timeout;
+  fopt.edns_payload = cfg_.edns_payload;
+  frontend_ = std::make_unique<DnsFrontend>(
+      loop_, fopt, [this](ClientId client, Bytes wire) {
+        replica_->on_client_request(client, wire);
+      });
+
+  const std::uint64_t seed =
+      cfg_.seed ? cfg_.seed
+                : (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                      static_cast<std::uint64_t>(loop_.now() * 1e6);
+  Mesh::Options mopt;
+  mopt.self = cfg_.id;
+  mopt.peers = cfg_.mesh_peers;
+  mopt.mesh_secret = read_file(cfg_.mesh_secret);
+  mesh_ = std::make_unique<Mesh>(
+      loop_, mopt,
+      [this](unsigned from, Bytes msg) { replica_->on_replica_message(from, msg); },
+      util::Rng(seed, 0xFFFF'0000'0000'00AAULL));
+
+  // ---- the untouched protocol stack, bound to the loop ----
+  core::ReplicaNode::Callbacks cb;
+  cb.send_replica = [this](unsigned to, const Bytes& m) { mesh_->send(to, m); };
+  cb.send_client = [this](core::ClientId client, const Bytes& m) {
+    frontend_->respond(client, m);
+  };
+  cb.now = [this] { return loop_.now(); };
+  cb.set_timer = [this](double delay, std::function<void()> fn) {
+    loop_.add_timer(delay, std::move(fn));
+  };
+  replica_ = std::make_unique<core::ReplicaNode>(
+      rc, group, std::move(secret), zone_pub, std::move(share), std::move(zone), cb,
+      util::Rng(seed, cfg_.id));
+}
+
+void ReplicaRuntime::start() {
+  frontend_->start();
+  mesh_->start();
+  SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": serving ", cfg_.listen_dns.to_string(),
+                ", mesh ", cfg_.mesh_peers[cfg_.id].to_string());
+  if (cfg_.recover) {
+    loop_.add_timer(cfg_.recover_delay, [this] {
+      SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": starting snapshot recovery");
+      replica_->start_recovery();
+    });
+  }
+}
+
+}  // namespace sdns::net

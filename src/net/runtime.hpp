@@ -1,0 +1,84 @@
+// net::ReplicaRuntime — one replica of the intrusion-tolerant name service
+// bound to real sockets.
+//
+// The protocol stack (core::ReplicaNode and everything beneath it) is
+// untouched: it already speaks through injected send_replica / send_client
+// callbacks and set_timer/now hooks. This file binds those callbacks to the
+// epoll loop — mesh for replica traffic, DNS frontend for clients, loop
+// timers for protocol timers — which is the whole argument that the same
+// code runs simulated and deployed.
+//
+// RuntimeConfig is the sdnsd config file (the paper's Wrapper config §4.1:
+// n, t, the identities of all servers, the signature protocol — plus the
+// key-material paths the trusted dealer distributed §4.3).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/replica.hpp"
+#include "net/frontend.hpp"
+#include "net/mesh.hpp"
+
+namespace sdns::net {
+
+struct RuntimeConfig {
+  unsigned id = 0;
+  unsigned n = 4;
+  unsigned t = 1;
+  threshold::SigProtocol sig_protocol = threshold::SigProtocol::kOptTE;
+  bool disseminate_reads = false;  ///< direct reads: the §3.4 rare-update mode
+  bool require_tsig = false;
+  std::string tsig_name;
+  std::string tsig_secret_hex;
+  std::string origin = ".";
+
+  // Key material and zone data written by the dealer (sdns_keygen).
+  std::string zone_file;      ///< threshold-signed zone, dns::Zone wire form
+  std::string group_public;   ///< abcast::GroupPublic
+  std::string node_secret;    ///< abcast::NodeSecret for this id
+  std::string zone_public;    ///< threshold::ThresholdPublicKey
+  std::string zone_share;     ///< threshold::KeyShare for this id
+  std::string mesh_secret;    ///< shared link-authentication secret
+
+  SockAddr listen_dns;                ///< UDP + TCP client-facing endpoint
+  std::vector<SockAddr> mesh_peers;   ///< index = replica id (incl. self)
+
+  bool recover = false;        ///< run snapshot recovery after boot (§4.3)
+  double recover_delay = 1.0;  ///< let mesh links come up first
+  double complaint_timeout = 5.0;
+  double idle_timeout = 30.0;
+  std::uint16_t edns_payload = 4096;
+  std::uint64_t seed = 0;  ///< 0: derive from pid/clock (nonces, jitter)
+
+  /// Parse the `key = value` config file format. Throws NetError with the
+  /// offending line on malformed input.
+  static RuntimeConfig load(const std::string& path);
+};
+
+/// Read a whole file; throws NetError if unreadable.
+util::Bytes read_file(const std::string& path);
+/// Write a whole file; throws NetError on failure.
+void write_file(const std::string& path, util::BytesView data);
+
+class ReplicaRuntime {
+ public:
+  ReplicaRuntime(EventLoop& loop, RuntimeConfig config);
+
+  /// Bind sockets, connect the mesh, and (if configured) schedule recovery.
+  void start();
+
+  core::ReplicaNode& replica() { return *replica_; }
+  DnsFrontend& frontend() { return *frontend_; }
+  Mesh& mesh() { return *mesh_; }
+  const RuntimeConfig& config() const { return cfg_; }
+
+ private:
+  EventLoop& loop_;
+  RuntimeConfig cfg_;
+  std::unique_ptr<DnsFrontend> frontend_;
+  std::unique_ptr<Mesh> mesh_;
+  std::unique_ptr<core::ReplicaNode> replica_;
+};
+
+}  // namespace sdns::net

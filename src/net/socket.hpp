@@ -1,0 +1,58 @@
+// Thin POSIX socket helpers for the real transport: IPv4 address parsing,
+// non-blocking socket creation, and EINTR-safe syscall wrappers. Everything
+// returns plain fds owned by the caller (the event loop closes what it
+// registers); errors throw NetError with errno context.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sdns::net {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An IPv4 endpoint ("127.0.0.1:5300"). The reproduction deploys on
+/// LAN/WAN IPv4 testbeds like the paper's; IPv6 would only change this file.
+struct SockAddr {
+  std::uint32_t ip = 0;  ///< host byte order
+  std::uint16_t port = 0;
+
+  /// Parse "a.b.c.d:port". Throws NetError on malformed input.
+  static SockAddr parse(const std::string& text);
+
+  sockaddr_in to_sockaddr() const;
+  static SockAddr from_sockaddr(const sockaddr_in& sa);
+
+  std::string to_string() const;
+
+  friend bool operator==(const SockAddr& a, const SockAddr& b) {
+    return a.ip == b.ip && a.port == b.port;
+  }
+};
+
+/// Make an fd non-blocking (O_NONBLOCK) and close-on-exec.
+void set_nonblocking(int fd);
+
+/// Bound, non-blocking UDP socket.
+int udp_bind(const SockAddr& addr);
+
+/// Listening, non-blocking TCP socket (SO_REUSEADDR, backlog 128).
+int tcp_listen(const SockAddr& addr);
+
+/// Non-blocking TCP connect; returns the fd with the connection typically
+/// still in progress (poll for writability, then check SO_ERROR).
+int tcp_connect(const SockAddr& addr);
+
+/// The error accumulated on a socket (SO_ERROR), 0 if none.
+int socket_error(int fd);
+
+/// Local address of a bound socket (resolves port 0 after bind).
+SockAddr local_addr(int fd);
+
+}  // namespace sdns::net

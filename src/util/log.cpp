@@ -1,12 +1,16 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
 namespace sdns::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// The daemon logs from the event loop, from helper threads (tests, load
+// generators) and from signal-adjacent shutdown paths, so the level gate is
+// a relaxed atomic and every sink invocation happens under one mutex.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::function<void(LogLevel, const std::string&)> g_sink;
 std::mutex g_mutex;
 
@@ -23,8 +27,8 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
   std::lock_guard<std::mutex> lock(g_mutex);

@@ -1,5 +1,9 @@
 // Minimal leveled logging.  Protocol modules log through this so tests can
 // silence output and examples can show message flow.
+//
+// Thread-safe: the level is atomic and the sink is invoked under a mutex,
+// so the daemon may log concurrently from the event loop and helper
+// threads. Do not log from async-signal context (the sink allocates).
 #pragma once
 
 #include <functional>

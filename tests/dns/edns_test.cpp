@@ -1,0 +1,153 @@
+// EDNS0 (RFC 2671): OPT pseudo-RR parse/emit, payload-size negotiation and
+// UDP truncation behavior.
+#include "dns/edns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/tsig.hpp"
+#include "util/bytes.hpp"
+
+namespace sdns::dns {
+namespace {
+
+Message query_for(const std::string& name) {
+  return Message::make_query(0x1234, Name::parse(name), RRType::kA);
+}
+
+ResourceRecord a_record(const std::string& name, std::uint32_t ttl = 300) {
+  ResourceRecord rr;
+  rr.name = Name::parse(name);
+  rr.type = RRType::kA;
+  rr.ttl = ttl;
+  rr.rdata = ARdata::from_text("192.0.2.1").encode();
+  return rr;
+}
+
+TEST(Edns, OptRrRoundTrip) {
+  EdnsInfo info;
+  info.udp_payload = 4096;
+  info.extended_rcode = 0x12;
+  info.version = 0;
+  info.dnssec_ok = true;
+  const ResourceRecord rr = info.to_rr();
+  EXPECT_EQ(rr.type, RRType::kOPT);
+  EXPECT_TRUE(rr.name.is_root());
+  const EdnsInfo back = EdnsInfo::from_rr(rr);
+  EXPECT_EQ(back.udp_payload, 4096);
+  EXPECT_EQ(back.extended_rcode, 0x12);
+  EXPECT_EQ(back.version, 0);
+  EXPECT_TRUE(back.dnssec_ok);
+}
+
+TEST(Edns, SurvivesWireEncoding) {
+  Message q = query_for("www.example.com.");
+  EdnsInfo info;
+  info.udp_payload = 1232;
+  set_edns(q, info);
+  const Message decoded = Message::decode(q.encode());
+  const auto found = find_edns(decoded);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->udp_payload, 1232);
+  EXPECT_FALSE(found->dnssec_ok);
+}
+
+TEST(Edns, FindOnPlainMessageIsEmpty) {
+  const Message q = query_for("www.example.com.");
+  EXPECT_FALSE(find_edns(q).has_value());
+  EXPECT_EQ(effective_udp_payload(q), kClassicUdpLimit);
+}
+
+TEST(Edns, SetReplacesExistingOpt) {
+  Message q = query_for("www.example.com.");
+  set_edns(q, EdnsInfo{.udp_payload = 512});
+  set_edns(q, EdnsInfo{.udp_payload = 4096});
+  ASSERT_EQ(q.additional.size(), 1u);
+  EXPECT_EQ(find_edns(q)->udp_payload, 4096);
+}
+
+TEST(Edns, StripRemovesOpt) {
+  Message q = query_for("www.example.com.");
+  set_edns(q, EdnsInfo{});
+  strip_edns(q);
+  EXPECT_TRUE(q.additional.empty());
+  EXPECT_FALSE(find_edns(q).has_value());
+}
+
+TEST(Edns, OptStaysAheadOfTrailingTsig) {
+  // TSIG must remain the final record (its MAC covers everything before
+  // it); set_edns on a signed message inserts the OPT before it.
+  Message update = query_for("www.example.com.");
+  update.opcode = Opcode::kUpdate;
+  const TsigKey key{"k", util::to_bytes("secret")};
+  tsig_sign(update, key, 42);
+  ASSERT_EQ(update.additional.back().type, RRType::kTSIG);
+  set_edns(update, EdnsInfo{});
+  ASSERT_EQ(update.additional.size(), 2u);
+  EXPECT_EQ(update.additional.front().type, RRType::kOPT);
+  EXPECT_EQ(update.additional.back().type, RRType::kTSIG);
+}
+
+TEST(Edns, EffectivePayloadHonorsAdvertisedSize) {
+  Message q = query_for("www.example.com.");
+  set_edns(q, EdnsInfo{.udp_payload = 4096});
+  EXPECT_EQ(effective_udp_payload(q), 4096u);
+}
+
+TEST(Edns, EffectivePayloadFloorsAt512) {
+  // RFC 2671 §4.5: values below 512 are treated as 512.
+  Message q = query_for("www.example.com.");
+  set_edns(q, EdnsInfo{.udp_payload = 100});
+  EXPECT_EQ(effective_udp_payload(q), kClassicUdpLimit);
+}
+
+TEST(Edns, TruncateSmallResponseIsNoop) {
+  Message r = query_for("www.example.com.");
+  r.qr = true;
+  r.answers.push_back(a_record("www.example.com."));
+  EXPECT_FALSE(truncate_for_udp(r, kClassicUdpLimit));
+  EXPECT_FALSE(r.tc);
+  EXPECT_EQ(r.answers.size(), 1u);
+}
+
+TEST(Edns, TruncateOversizedResponseSetsTcAndClearsSections) {
+  Message r = query_for("www.example.com.");
+  r.qr = true;
+  for (int i = 0; i < 60; ++i) {
+    r.answers.push_back(a_record("host" + std::to_string(i) + ".example.com."));
+  }
+  ASSERT_GT(r.encode().size(), kClassicUdpLimit);
+  EXPECT_TRUE(truncate_for_udp(r, kClassicUdpLimit));
+  EXPECT_TRUE(r.tc);
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_LE(r.encode().size(), kClassicUdpLimit);
+  // The question survives so the client can match the stub response.
+  ASSERT_EQ(r.questions.size(), 1u);
+}
+
+TEST(Edns, TruncateKeepsOptRecord) {
+  Message r = query_for("www.example.com.");
+  r.qr = true;
+  set_edns(r, EdnsInfo{.udp_payload = 1232});
+  for (int i = 0; i < 60; ++i) {
+    r.answers.push_back(a_record("host" + std::to_string(i) + ".example.com."));
+  }
+  EXPECT_TRUE(truncate_for_udp(r, kClassicUdpLimit));
+  const auto found = find_edns(r);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->udp_payload, 1232);
+}
+
+TEST(Edns, LargerBudgetAvoidsTruncation) {
+  Message r = query_for("www.example.com.");
+  r.qr = true;
+  for (int i = 0; i < 60; ++i) {
+    r.answers.push_back(a_record("host" + std::to_string(i) + ".example.com."));
+  }
+  const std::size_t size = r.encode().size();
+  EXPECT_FALSE(truncate_for_udp(r, size));
+  EXPECT_FALSE(r.tc);
+  EXPECT_EQ(r.answers.size(), 60u);
+}
+
+}  // namespace
+}  // namespace sdns::dns

@@ -1,0 +1,226 @@
+// Multi-process loopback integration test: the real deployment, in miniature.
+//
+// Deals a (4,1) cluster with generate_cluster, forks four replica processes
+// (each runs EventLoop + ReplicaRuntime — byte-identical to the sdnsd
+// binary's code path), then from the parent:
+//   - dig over real UDP sockets against several replicas (signed answers),
+//   - dig over TCP (TC-free path),
+//   - nsupdate (TSIG-signed RFC 2136 update) and convergence on ALL replicas,
+//   - SIGKILL one replica, update while it is down, restart it with
+//     recovery, and assert it converges to the post-crash zone.
+//
+// Ports are derived from the test pid to keep parallel ctest runs apart.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "net/resolver.hpp"
+#include "net/runtime.hpp"
+
+namespace sdns::net {
+namespace {
+
+using util::Bytes;
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/sdns_cluster_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+
+    ClusterOptions opt;
+    opt.n = 4;
+    opt.t = 1;
+    opt.require_tsig = true;
+    opt.seed = 42;
+    // Spread port ranges by pid so parallel test runs don't collide.
+    const std::uint16_t base =
+        static_cast<std::uint16_t>(20000 + (::getpid() % 4000) * 8);
+    opt.dns_base_port = base;
+    opt.mesh_base_port = base + 4;
+    files_ = generate_cluster(dir_, opt);
+    tsig_key_ = {files_.tsig_name, util::hex_decode(files_.tsig_secret_hex)};
+
+    pids_.assign(4, -1);
+    for (unsigned i = 0; i < 4; ++i) spawn(i, /*recover=*/false);
+    for (unsigned i = 0; i < 4; ++i) {
+      ASSERT_TRUE(wait_until_up(i)) << "replica " << i << " never came up";
+    }
+  }
+
+  void TearDown() override {
+    for (pid_t pid : pids_) {
+      if (pid > 0) ::kill(pid, SIGTERM);
+    }
+    for (pid_t pid : pids_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+    const std::string cleanup = "rm -rf '" + dir_ + "'";
+    (void)std::system(cleanup.c_str());
+  }
+
+  /// Fork one replica process; its code path is exactly sdnsd's.
+  void spawn(unsigned id, bool recover) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      try {
+        RuntimeConfig config = RuntimeConfig::load(files_.configs[id]);
+        config.recover = recover;
+        config.recover_delay = 0.5;
+        EventLoop loop;
+        ReplicaRuntime runtime(loop, std::move(config));
+        runtime.start();
+        loop.run();
+        std::_Exit(0);
+      } catch (...) {
+        std::_Exit(1);
+      }
+    }
+    pids_[id] = pid;
+  }
+
+  void kill_replica(unsigned id) {
+    ASSERT_GT(pids_[id], 0);
+    ::kill(pids_[id], SIGKILL);
+    ::waitpid(pids_[id], nullptr, 0);
+    pids_[id] = -1;
+  }
+
+  StubResolver resolver_for(unsigned id, double timeout = 1.0,
+                            unsigned attempts = 10) const {
+    StubResolver::Options opt;
+    opt.servers = {files_.dns_addrs[id]};
+    opt.timeout = timeout;
+    opt.attempts = attempts;
+    return StubResolver(opt);
+  }
+
+  bool wait_until_up(unsigned id) {
+    StubResolver probe = resolver_for(id, /*timeout=*/0.5, /*attempts=*/30);
+    const auto r =
+        probe.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+    return r.ok;
+  }
+
+  /// Wait until replica `id` serves `name` with an A record (updates are
+  /// applied asynchronously after abcast delivery + threshold signing).
+  bool converges_on(unsigned id, const std::string& name, double timeout = 15.0) {
+    StubResolver r = resolver_for(id, /*timeout=*/0.5, /*attempts=*/1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto res = r.query(dns::Name::parse(name), dns::RRType::kA);
+      if (res.ok && res.response.rcode == dns::Rcode::kNoError &&
+          !res.response.answers.empty()) {
+        return true;
+      }
+      ::usleep(200 * 1000);
+    }
+    return false;
+  }
+
+  StubResolver::Result add_record(unsigned via, const std::string& name,
+                                  const std::string& addr) {
+    dns::Message update;
+    update.opcode = dns::Opcode::kUpdate;
+    update.questions.push_back(
+        {dns::Name::parse("example.com."), dns::RRType::kSOA, dns::RRClass::kIN});
+    dns::ResourceRecord rr;
+    rr.name = dns::Name::parse(name);
+    rr.type = dns::RRType::kA;
+    rr.ttl = 300;
+    rr.rdata = dns::ARdata::from_text(addr).encode();
+    update.updates().push_back(rr);
+    StubResolver r = resolver_for(via, /*timeout=*/5.0, /*attempts=*/3);
+    return r.send_update(std::move(update), &tsig_key_);
+  }
+
+  std::string dir_;
+  ClusterFiles files_;
+  dns::TsigKey tsig_key_;
+  std::vector<pid_t> pids_;
+};
+
+TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
+  // ---- dig over UDP against two different replicas ----
+  for (unsigned id : {0u, 2u}) {
+    StubResolver r = resolver_for(id);
+    const auto res =
+        r.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+    ASSERT_TRUE(res.ok) << "replica " << id;
+    EXPECT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    EXPECT_FALSE(res.used_tcp);
+    ASSERT_FALSE(res.response.answers.empty());
+    // The answer carries the zone's threshold SIG.
+    bool has_sig = false;
+    for (const auto& rr : res.response.answers) {
+      if (rr.type == dns::RRType::kSIG) has_sig = true;
+    }
+    EXPECT_TRUE(has_sig) << "replica " << id << " served an unsigned answer";
+  }
+
+  // ---- dig over TCP ----
+  {
+    StubResolver::Options topt;
+    topt.servers = {files_.dns_addrs[1]};
+    topt.timeout = 2.0;
+    topt.tcp_only = true;
+    StubResolver r(topt);
+    const auto res =
+        r.query(dns::Name::parse("mail.example.com."), dns::RRType::kA);
+    ASSERT_TRUE(res.ok);
+    EXPECT_TRUE(res.used_tcp);
+    EXPECT_FALSE(res.response.tc);
+    EXPECT_FALSE(res.response.answers.empty());
+  }
+
+  // ---- nsupdate: TSIG-signed dynamic update, converges everywhere ----
+  {
+    const auto res = add_record(0, "added.example.com.", "10.1.1.1");
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    for (unsigned id = 0; id < 4; ++id) {
+      EXPECT_TRUE(converges_on(id, "added.example.com."))
+          << "replica " << id << " never served the update";
+    }
+  }
+
+  // ---- crash one replica; the cluster (n=4, t=1) keeps serving ----
+  kill_replica(2);
+  {
+    const auto res = add_record(0, "while-down.example.com.", "10.2.2.2");
+    ASSERT_TRUE(res.ok) << "update failed with one replica down";
+    ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    for (unsigned id : {0u, 1u, 3u}) {
+      EXPECT_TRUE(converges_on(id, "while-down.example.com."));
+    }
+  }
+
+  // ---- restart it with snapshot recovery; it must catch up ----
+  spawn(2, /*recover=*/true);
+  ASSERT_TRUE(wait_until_up(2)) << "restarted replica never came up";
+  EXPECT_TRUE(converges_on(2, "while-down.example.com."))
+      << "recovered replica missed the update applied while it was down";
+  EXPECT_TRUE(converges_on(2, "added.example.com."));
+
+  // ---- and participates in new updates again ----
+  {
+    const auto res = add_record(2, "after-recovery.example.com.", "10.3.3.3");
+    ASSERT_TRUE(res.ok);
+    for (unsigned id = 0; id < 4; ++id) {
+      EXPECT_TRUE(converges_on(id, "after-recovery.example.com."));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdns::net

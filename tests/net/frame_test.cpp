@@ -1,0 +1,238 @@
+// Stream framing: DNS-over-TCP length-prefix handling (including the nasty
+// segmentation cases), mesh frame authentication, and WriteQueue caps.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/bytes.hpp"
+
+namespace sdns::net {
+namespace {
+
+using util::Bytes;
+
+Bytes fake_message(std::size_t len, std::uint8_t fill = 0xAB) {
+  return Bytes(len, fill);
+}
+
+TEST(DnsTcpDecoder, SingleMessage) {
+  DnsTcpDecoder d;
+  const Bytes msg = fake_message(32);
+  ASSERT_TRUE(d.feed(DnsTcpDecoder::frame(msg)));
+  const auto out = d.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(DnsTcpDecoder, LengthPrefixSplitAcrossSegments) {
+  // The two length bytes arrive in separate reads — the decoder must not
+  // misparse a half-received prefix.
+  DnsTcpDecoder d;
+  const Bytes msg = fake_message(300);
+  const Bytes framed = DnsTcpDecoder::frame(msg);
+  ASSERT_TRUE(d.feed({framed.data(), 1}));
+  EXPECT_FALSE(d.next().has_value());
+  ASSERT_TRUE(d.feed({framed.data() + 1, 1}));
+  EXPECT_FALSE(d.next().has_value());
+  // Body dribbles in one byte at a time.
+  for (std::size_t i = 2; i < framed.size(); ++i) {
+    ASSERT_TRUE(d.feed({framed.data() + i, 1}));
+    if (i + 1 < framed.size()) EXPECT_FALSE(d.next().has_value());
+  }
+  const auto out = d.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(DnsTcpDecoder, PipelinedQueriesInOneSegment) {
+  DnsTcpDecoder d;
+  const Bytes a = fake_message(20, 0x01);
+  const Bytes b = fake_message(40, 0x02);
+  const Bytes c = fake_message(60, 0x03);
+  Bytes stream;
+  for (const Bytes* m : {&a, &b, &c}) {
+    const Bytes f = DnsTcpDecoder::frame(*m);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  ASSERT_TRUE(d.feed(stream));
+  EXPECT_EQ(*d.next(), a);
+  EXPECT_EQ(*d.next(), b);
+  EXPECT_EQ(*d.next(), c);
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(DnsTcpDecoder, PipelinedAcrossSegmentBoundary) {
+  // Second message's prefix straddles the segment boundary.
+  DnsTcpDecoder d;
+  const Bytes a = fake_message(20, 0x01);
+  const Bytes b = fake_message(40, 0x02);
+  Bytes stream = DnsTcpDecoder::frame(a);
+  const Bytes fb = DnsTcpDecoder::frame(b);
+  stream.insert(stream.end(), fb.begin(), fb.end());
+  const std::size_t cut = DnsTcpDecoder::frame(a).size() + 1;
+  ASSERT_TRUE(d.feed({stream.data(), cut}));
+  EXPECT_EQ(*d.next(), a);
+  EXPECT_FALSE(d.next().has_value());
+  ASSERT_TRUE(d.feed({stream.data() + cut, stream.size() - cut}));
+  EXPECT_EQ(*d.next(), b);
+}
+
+TEST(DnsTcpDecoder, RejectsUndersizedLength) {
+  // A length below the 12-byte DNS header cannot be a DNS message.
+  DnsTcpDecoder d;
+  const Bytes bogus = {0x00, 0x05, 1, 2, 3, 4, 5};
+  EXPECT_FALSE(d.feed(bogus));
+  EXPECT_TRUE(d.broken());
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(DnsTcpDecoder, RejectsOversizedLength) {
+  DnsTcpDecoder d(/*max_message=*/512);
+  Bytes framed = DnsTcpDecoder::frame(fake_message(513));
+  EXPECT_FALSE(d.feed(framed));
+  EXPECT_TRUE(d.broken());
+}
+
+TEST(DnsTcpDecoder, OversizedRejectedFromPrefixAlone) {
+  // The decoder must reject as soon as the prefix arrives, without waiting
+  // to buffer an attacker-chosen amount of body.
+  DnsTcpDecoder d(/*max_message=*/512);
+  const Bytes prefix = {0x40, 0x00};  // advertises 16384 bytes
+  EXPECT_FALSE(d.feed(prefix));
+  EXPECT_TRUE(d.broken());
+}
+
+TEST(DnsTcpDecoder, BrokenDecoderStaysBroken) {
+  DnsTcpDecoder d;
+  EXPECT_FALSE(d.feed(Bytes{0x00, 0x01, 0xFF}));
+  EXPECT_FALSE(d.feed(DnsTcpDecoder::frame(fake_message(32))));
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(DnsTcpDecoder, BacklogCapRejectsFlood) {
+  DnsTcpDecoder d(/*max_message=*/0, /*max_buffered=*/1024);
+  const Bytes framed = DnsTcpDecoder::frame(fake_message(512));
+  ASSERT_TRUE(d.feed(framed));   // 514 bytes buffered
+  EXPECT_FALSE(d.feed(framed));  // would exceed the cap without draining
+  // Draining between feeds keeps the stream healthy.
+  DnsTcpDecoder d2(/*max_message=*/0, /*max_buffered=*/1024);
+  ASSERT_TRUE(d2.feed(framed));
+  EXPECT_TRUE(d2.next().has_value());
+  EXPECT_TRUE(d2.feed(framed));
+}
+
+// ---- mesh framing ---------------------------------------------------------
+
+TEST(MeshFrames, LinkKeysAreOrderIndependentAndPairwise) {
+  const Bytes secret = util::to_bytes("cluster mesh secret");
+  EXPECT_EQ(derive_link_key(secret, 0, 3), derive_link_key(secret, 3, 0));
+  EXPECT_NE(derive_link_key(secret, 0, 3), derive_link_key(secret, 1, 3));
+}
+
+TEST(MeshFrames, HelloRoundTrip) {
+  const Bytes secret = util::to_bytes("cluster mesh secret");
+  const Bytes key = derive_link_key(secret, 0, 2);
+  MeshHello hello{2, Bytes(kMeshNonceLen, 0x11)};
+  const Bytes wire = encode_hello(hello, key);
+  const auto back = decode_hello(wire, [&](unsigned) { return key; });
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->from, 2u);
+  EXPECT_EQ(back->nonce, hello.nonce);
+}
+
+TEST(MeshFrames, HelloRejectsWrongKeyAndWrongSender) {
+  const Bytes secret = util::to_bytes("cluster mesh secret");
+  const Bytes key = derive_link_key(secret, 0, 2);
+  const Bytes wire = encode_hello({2, Bytes(kMeshNonceLen, 0x11)}, key);
+  EXPECT_FALSE(decode_hello(wire, [&](unsigned) {
+                 return derive_link_key(secret, 0, 1);  // wrong pair
+               }).has_value());
+  EXPECT_FALSE(
+      decode_hello(wire, [&](unsigned) { return key; }, /*expect_from=*/3)
+          .has_value());
+}
+
+TEST(MeshFrames, DataFrameRoundTrip) {
+  const Bytes key(32, 0x42);
+  const Bytes body = util::to_bytes("abcast payload");
+  const Bytes wire = encode_data_frame(key, 1, 2, 7, body);
+  const auto back = decode_data_frame(key, 1, 2, 7, wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, body);
+}
+
+TEST(MeshFrames, DataFrameRejectsTamperingReplayAndMisdirection) {
+  const Bytes key(32, 0x42);
+  const Bytes body = util::to_bytes("abcast payload");
+  Bytes wire = encode_data_frame(key, 1, 2, 7, body);
+  // Wrong sequence (replay of an old frame).
+  EXPECT_FALSE(decode_data_frame(key, 1, 2, 8, wire).has_value());
+  // Wrong direction (reflected back at the sender).
+  EXPECT_FALSE(decode_data_frame(key, 2, 1, 7, wire).has_value());
+  // Flipped body bit.
+  wire[10] ^= 1;
+  EXPECT_FALSE(decode_data_frame(key, 1, 2, 7, wire).has_value());
+}
+
+TEST(MeshFrames, SessionKeysDifferPerConnection) {
+  const Bytes link = Bytes(32, 0x01);
+  const Bytes n1(kMeshNonceLen, 0xAA), n2(kMeshNonceLen, 0xBB);
+  const Bytes n3(kMeshNonceLen, 0xCC);
+  EXPECT_NE(derive_session_key(link, 0, n1, n2), derive_session_key(link, 0, n1, n3));
+}
+
+TEST(MeshFrameDecoder, RoundTripAndOversize) {
+  MeshFrameDecoder d(/*max_frame=*/1024);
+  const Bytes payload = fake_message(100);
+  ASSERT_TRUE(d.feed(MeshFrameDecoder::frame(payload)));
+  EXPECT_EQ(*d.next(), payload);
+  EXPECT_FALSE(d.feed(MeshFrameDecoder::frame(fake_message(2048))));
+}
+
+// ---- write queue ----------------------------------------------------------
+
+TEST(WriteQueue, CapRejectsExcess) {
+  WriteQueue q(/*cap=*/100);
+  EXPECT_TRUE(q.push(fake_message(60)));
+  EXPECT_FALSE(q.push(fake_message(60)));  // would exceed the cap
+  EXPECT_EQ(q.pending(), 60u);
+  EXPECT_TRUE(q.push(fake_message(40)));
+  EXPECT_EQ(q.pending(), 100u);
+}
+
+TEST(WriteQueue, FlushDrainsThroughSocket) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  WriteQueue q;
+  q.push(fake_message(10, 0x5A));
+  EXPECT_TRUE(q.flush(fds[1]));
+  EXPECT_TRUE(q.empty());
+  std::uint8_t buf[16];
+  EXPECT_EQ(::recv(fds[0], buf, sizeof buf, 0), 10);
+  EXPECT_EQ(buf[0], 0x5A);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WriteQueue, FlushOnClosedSocketIsFatal) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+  WriteQueue q;
+  q.push(fake_message(10));
+  // The first send may land in the kernel buffer; a second push + flush
+  // after the RST must surface the failure.
+  bool ok = q.flush(fds[1]);
+  if (ok) {
+    q.push(fake_message(10));
+    ok = q.flush(fds[1]);
+  }
+  EXPECT_FALSE(ok);  // EPIPE / ECONNRESET
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace sdns::net

@@ -1,0 +1,285 @@
+// DnsFrontend over real loopback sockets: UDP + EDNS truncation behavior
+// and the TCP framing edge cases (split length prefix, pipelining,
+// oversized-length rejection, mid-message close, idle timeout).
+//
+// The loop runs on the test's main thread; a client thread speaks blocking
+// sockets against the frontend and stops the loop when done.
+#include "net/frontend.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "dns/edns.hpp"
+#include "net/loop.hpp"
+
+namespace sdns::net {
+namespace {
+
+using util::Bytes;
+
+constexpr double kClientTimeout = 5.0;
+
+void set_timeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(kClientTimeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Frontend + loop + a request handler that answers from a tiny in-memory
+/// "zone": one A record, with an adjustable amount of answer padding so
+/// tests can force truncation.
+class FrontendTest : public ::testing::Test {
+ protected:
+  void start(DnsFrontend::Options opt, int answer_count = 1) {
+    opt.listen = SockAddr::parse("127.0.0.1:0");
+    frontend_ = std::make_unique<DnsFrontend>(
+        loop_, opt, [this, answer_count](ClientId client, Bytes wire) {
+          dns::Message query = dns::Message::decode(wire);
+          dns::Message response = dns::Message::make_response(query);
+          response.aa = true;
+          for (int i = 0; i < answer_count; ++i) {
+            dns::ResourceRecord rr;
+            rr.name = dns::Name::parse("h" + std::to_string(i) + ".example.com.");
+            rr.type = dns::RRType::kA;
+            rr.ttl = 300;
+            rr.rdata = dns::ARdata::from_text("192.0.2.7").encode();
+            response.answers.push_back(rr);
+          }
+          frontend_->respond(client, response.encode());
+        });
+    frontend_->start();
+    addr_ = frontend_->bound_addr();
+  }
+
+  /// Run the loop while `client` executes on its own thread.
+  void run_with_client(const std::function<void()>& client) {
+    std::thread t([&] {
+      client();
+      loop_.stop();
+    });
+    loop_.run();
+    t.join();
+  }
+
+  int tcp_connect_blocking() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    set_timeouts(fd);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa), 0);
+    return fd;
+  }
+
+  /// Read one length-prefixed DNS message from a blocking TCP socket.
+  static std::optional<Bytes> read_tcp_message(int fd) {
+    std::uint8_t prefix[2];
+    std::size_t got = 0;
+    while (got < 2) {
+      const ssize_t n = ::recv(fd, prefix + got, 2 - got, 0);
+      if (n <= 0) return std::nullopt;
+      got += static_cast<std::size_t>(n);
+    }
+    const std::size_t len = static_cast<std::size_t>(prefix[0]) << 8 | prefix[1];
+    Bytes msg(len);
+    got = 0;
+    while (got < len) {
+      const ssize_t n = ::recv(fd, msg.data() + got, len - got, 0);
+      if (n <= 0) return std::nullopt;
+      got += static_cast<std::size_t>(n);
+    }
+    return msg;
+  }
+
+  static Bytes query_wire(std::uint16_t id, std::uint16_t edns_payload = 0) {
+    dns::Message q =
+        dns::Message::make_query(id, dns::Name::parse("www.example.com."),
+                                 dns::RRType::kA);
+    if (edns_payload) {
+      dns::EdnsInfo info;
+      info.udp_payload = edns_payload;
+      dns::set_edns(q, info);
+    }
+    return q.encode();
+  }
+
+  EventLoop loop_;
+  std::unique_ptr<DnsFrontend> frontend_;
+  SockAddr addr_;
+};
+
+TEST_F(FrontendTest, UdpQueryGetsResponse) {
+  start({});
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    const Bytes q = query_wire(0x0101);
+    ASSERT_GT(::sendto(fd, q.data(), q.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    const dns::Message r = dns::Message::decode({buf, static_cast<std::size_t>(n)});
+    EXPECT_EQ(r.id, 0x0101);
+    EXPECT_TRUE(r.qr);
+    EXPECT_FALSE(r.tc);
+    EXPECT_EQ(r.answers.size(), 1u);
+    ::close(fd);
+  });
+  EXPECT_EQ(frontend_->udp_queries(), 1u);
+}
+
+TEST_F(FrontendTest, OversizedUdpResponseTruncatesWithoutEdns) {
+  start({}, /*answer_count=*/40);  // well past 512 bytes
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    const Bytes q = query_wire(0x0202);
+    ASSERT_GT(::sendto(fd, q.data(), q.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    EXPECT_LE(static_cast<std::size_t>(n), dns::kClassicUdpLimit);
+    const dns::Message r = dns::Message::decode({buf, static_cast<std::size_t>(n)});
+    EXPECT_TRUE(r.tc);  // client must retry over TCP
+    EXPECT_TRUE(r.answers.empty());
+    ::close(fd);
+  });
+  EXPECT_EQ(frontend_->truncated(), 1u);
+}
+
+TEST_F(FrontendTest, EdnsPayloadLiftsTruncationLimit) {
+  start({}, /*answer_count=*/40);
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    const Bytes q = query_wire(0x0303, /*edns_payload=*/4096);
+    ASSERT_GT(::sendto(fd, q.data(), q.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    std::uint8_t buf[8192];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    EXPECT_GT(static_cast<std::size_t>(n), dns::kClassicUdpLimit);
+    const dns::Message r = dns::Message::decode({buf, static_cast<std::size_t>(n)});
+    EXPECT_FALSE(r.tc);
+    EXPECT_EQ(r.answers.size(), 40u);
+    // The response carries our OPT so the client learns our receive size.
+    EXPECT_TRUE(dns::find_edns(r).has_value());
+    ::close(fd);
+  });
+  EXPECT_EQ(frontend_->truncated(), 0u);
+}
+
+TEST_F(FrontendTest, TcpQueryWithSplitLengthPrefix) {
+  start({});
+  run_with_client([&] {
+    const int fd = tcp_connect_blocking();
+    const Bytes framed = DnsTcpDecoder::frame(query_wire(0x0404));
+    // Dribble the frame one byte at a time — prefix split included.
+    for (std::size_t i = 0; i < framed.size(); ++i) {
+      ASSERT_EQ(::send(fd, framed.data() + i, 1, MSG_NOSIGNAL), 1);
+    }
+    const auto msg = read_tcp_message(fd);
+    ASSERT_TRUE(msg.has_value());
+    const dns::Message r = dns::Message::decode(*msg);
+    EXPECT_EQ(r.id, 0x0404);
+    EXPECT_EQ(r.answers.size(), 1u);
+    ::close(fd);
+  });
+  EXPECT_EQ(frontend_->tcp_queries(), 1u);
+}
+
+TEST_F(FrontendTest, TcpPipelinedQueries) {
+  start({});
+  run_with_client([&] {
+    const int fd = tcp_connect_blocking();
+    Bytes stream;
+    for (std::uint16_t id : {0x11, 0x22, 0x33}) {
+      const Bytes f = DnsTcpDecoder::frame(query_wire(id));
+      stream.insert(stream.end(), f.begin(), f.end());
+    }
+    ASSERT_EQ(::send(fd, stream.data(), stream.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(stream.size()));
+    for (std::uint16_t id : {0x11, 0x22, 0x33}) {
+      const auto msg = read_tcp_message(fd);
+      ASSERT_TRUE(msg.has_value());
+      EXPECT_EQ(dns::Message::decode(*msg).id, id);
+    }
+    ::close(fd);
+  });
+  EXPECT_EQ(frontend_->tcp_queries(), 3u);
+}
+
+TEST_F(FrontendTest, TcpOversizedLengthDropsConnection) {
+  DnsFrontend::Options opt;
+  opt.max_tcp_message = 512;
+  start(opt);
+  run_with_client([&] {
+    const int fd = tcp_connect_blocking();
+    const std::uint8_t bogus[2] = {0x40, 0x00};  // advertises 16384 > 512
+    ASSERT_EQ(::send(fd, bogus, 2, MSG_NOSIGNAL), 2);
+    std::uint8_t buf[16];
+    EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0);  // server closed
+    ::close(fd);
+  });
+}
+
+TEST_F(FrontendTest, TcpUndersizedLengthDropsConnection) {
+  start({});
+  run_with_client([&] {
+    const int fd = tcp_connect_blocking();
+    const std::uint8_t bogus[4] = {0x00, 0x03, 0xAA, 0xBB};  // 3 < header
+    ASSERT_EQ(::send(fd, bogus, 4, MSG_NOSIGNAL), 4);
+    std::uint8_t buf[16];
+    EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0);
+    ::close(fd);
+  });
+}
+
+TEST_F(FrontendTest, TcpMidMessageCloseIsHarmless) {
+  start({});
+  run_with_client([&] {
+    // A client dies mid-message; the server must clean up and keep serving.
+    const int dying = tcp_connect_blocking();
+    const Bytes framed = DnsTcpDecoder::frame(query_wire(0x0505));
+    ASSERT_EQ(::send(dying, framed.data(), framed.size() / 2, MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size() / 2));
+    ::close(dying);
+
+    const int fd = tcp_connect_blocking();
+    const Bytes full = DnsTcpDecoder::frame(query_wire(0x0606));
+    ASSERT_EQ(::send(fd, full.data(), full.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(full.size()));
+    const auto msg = read_tcp_message(fd);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(dns::Message::decode(*msg).id, 0x0606);
+    ::close(fd);
+  });
+  EXPECT_EQ(frontend_->tcp_queries(), 1u);  // the half message never counted
+}
+
+TEST_F(FrontendTest, IdleTcpConnectionIsClosed) {
+  DnsFrontend::Options opt;
+  opt.idle_timeout = 0.2;
+  start(opt);
+  run_with_client([&] {
+    const int fd = tcp_connect_blocking();
+    std::uint8_t buf[16];
+    // No traffic: the sweep must close us within a few sweep periods.
+    EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0);
+    ::close(fd);
+  });
+}
+
+}  // namespace
+}  // namespace sdns::net

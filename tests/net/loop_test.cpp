@@ -1,0 +1,128 @@
+// EventLoop: timers, fd readiness, cross-thread post, stop semantics.
+#include "net/loop.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+namespace sdns::net {
+namespace {
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.add_timer(0.03, [&] { order.push_back(3); });
+  loop.add_timer(0.01, [&] { order.push_back(1); });
+  loop.add_timer(0.02, [&] { order.push_back(2); });
+  loop.add_timer(0.04, [&] {
+    order.push_back(4);
+    loop.stop();
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  EventLoop loop;
+  bool fired = false;
+  const EventLoop::TimerId id = loop.add_timer(0.01, [&] { fired = true; });
+  loop.cancel_timer(id);
+  loop.add_timer(0.03, [&] { loop.stop(); });
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, TimerArmedFromTimerCallback) {
+  EventLoop loop;
+  int fired = 0;
+  loop.add_timer(0.005, [&] {
+    ++fired;
+    loop.add_timer(0.005, [&] {
+      ++fired;
+      loop.stop();
+    });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, ZeroDelayTimerFires) {
+  EventLoop loop;
+  bool fired = false;
+  loop.add_timer(0.0, [&] {
+    fired = true;
+    loop.stop();
+  });
+  loop.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, PipeReadability) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string got;
+  loop.add_fd(fds[0], EventLoop::kReadable, [&](std::uint32_t) {
+    char buf[16];
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    if (n > 0) got.assign(buf, static_cast<std::size_t>(n));
+    loop.stop();
+  });
+  ASSERT_EQ(::write(fds[1], "ping", 4), 4);
+  loop.run();
+  ::close(fds[1]);
+  EXPECT_EQ(got, "ping");
+}
+
+TEST(EventLoop, HandlerMayDeleteOwnFd) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  bool handled = false;
+  loop.add_fd(fds[0], EventLoop::kReadable, [&](std::uint32_t) {
+    handled = true;
+    loop.del_fd(fds[0]);  // destroys this handler while it runs
+    loop.stop();
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  loop.run();
+  ::close(fds[1]);
+  EXPECT_TRUE(handled);
+}
+
+TEST(EventLoop, PostFromAnotherThreadRunsOnLoop) {
+  EventLoop loop;
+  bool ran = false;
+  std::thread poster([&] {
+    loop.post([&] {
+      ran = true;
+      loop.stop();
+    });
+  });
+  loop.run();
+  poster.join();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, StopFromAnotherThread) {
+  EventLoop loop;
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.stop();
+  });
+  loop.run();  // returns only if the cross-thread stop wakes it
+  stopper.join();
+  SUCCEED();
+}
+
+TEST(EventLoop, NowIsMonotonic) {
+  EventLoop loop;
+  const double a = loop.now();
+  const double b = loop.now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace sdns::net
