@@ -1,12 +1,15 @@
 // sdns_dig — a minimal dig/nsupdate for talking to a running cluster.
 //
-//   sdns_dig @HOST:PORT [@HOST:PORT...] NAME [TYPE] [+tcp] [+edns[=SIZE]]
+//   sdns_dig @HOST:PORT [@HOST:PORT...] NAME [TYPE] [+tcp] [+edns[=SIZE]] [+ch]
 //   sdns_dig @HOST:PORT [...] --add NAME ADDRESS [--tsig NAME:HEXSECRET]
 //   sdns_dig @HOST:PORT [...] --del NAME [--tsig NAME:HEXSECRET]
 //
 // Queries go over UDP with automatic TC fallback to TCP (like dig); updates
 // are RFC 2136 messages, optionally TSIG-signed (like nsupdate -y). Prints
 // the response in presentation form; exit 0 iff NOERROR.
+//
+// `+ch` queries the CHAOS class — `sdns_dig @HOST:PORT stats.sdns. TXT +ch`
+// scrapes a replica's live counters (BIND-style introspection).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,7 +22,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s @HOST:PORT [@HOST:PORT...] NAME [TYPE] [+tcp] "
-               "[+edns[=SIZE]]\n"
+               "[+edns[=SIZE]] [+ch]\n"
                "       %s @HOST:PORT [...] --add NAME ADDR [--tsig N:HEX]\n"
                "       %s @HOST:PORT [...] --del NAME [--tsig N:HEX]\n",
                argv0, argv0, argv0);
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> words;
   std::string mode = "query";
   std::string tsig_spec;
+  sdns::dns::RRClass klass = sdns::dns::RRClass::kIN;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.size() > 1 && arg[0] == '@') {
@@ -42,6 +46,8 @@ int main(int argc, char** argv) {
       opt.edns_payload = arg.size() > 6 ? static_cast<std::uint16_t>(
                                               std::stoul(arg.substr(6)))
                                         : sdns::dns::kDefaultEdnsPayload;
+    } else if (arg == "+ch") {
+      klass = sdns::dns::RRClass::kCH;
     } else if (arg == "--add" || arg == "--del") {
       mode = arg.substr(2);
     } else if (arg == "--tsig" && i + 1 < argc) {
@@ -58,7 +64,7 @@ int main(int argc, char** argv) {
     if (mode == "query") {
       sdns::dns::RRType type = sdns::dns::RRType::kA;
       if (words.size() > 1) type = sdns::dns::rrtype_from_string(words[1]);
-      result = resolver.query(sdns::dns::Name::parse(words[0]), type);
+      result = resolver.query(sdns::dns::Name::parse(words[0]), type, klass);
     } else {
       sdns::dns::Message update;
       update.opcode = sdns::dns::Opcode::kUpdate;

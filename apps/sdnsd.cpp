@@ -1,6 +1,7 @@
 // sdnsd — one replica of the intrusion-tolerant name service, deployed.
 //
-//   sdnsd <config-file> [--recover] [--log LEVEL]
+//   sdnsd <config-file> [--recover] [--log LEVEL] [--stats-interval SECONDS]
+//         [--trace-dump]
 //
 // The config file format is RuntimeConfig::load's `key = value` form; see
 // README.md for the four-replica localhost recipe and sdns_keygen for how
@@ -9,6 +10,14 @@
 // SIGINT/SIGTERM stop the loop cleanly (EventLoop::wake is async-signal
 // safe), so supervisors can restart a replica and exercise the recovery
 // path (--recover pulls a verified snapshot from the peers after boot).
+//
+// Introspection:
+//   --stats-interval N   log one counter-summary line every N seconds (the
+//                        same counters `stats.sdns. CH TXT` serves live);
+//   --trace-dump         dump the bounded protocol trace ring to stderr on
+//                        SIGUSR1, and — via an async-signal-safe path — on
+//                        SIGSEGV/SIGABRT before re-raising, so a crashed
+//                        replica leaves its last protocol events behind.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -18,16 +27,46 @@
 
 namespace {
 sdns::net::EventLoop* g_loop = nullptr;
+sdns::net::ReplicaRuntime* g_runtime = nullptr;
+volatile std::sig_atomic_t g_trace_requested = 0;
 
 void handle_signal(int) {
   if (g_loop) g_loop->stop();  // stop() only touches an atomic + eventfd
 }
 
+void handle_trace_signal(int) {
+  g_trace_requested = 1;
+  if (g_loop) g_loop->wake();
+}
+
+// Crash path: TraceRing::dump is async-signal-safe (write(2) only), and the
+// ring itself is only ever mutated from the event-loop thread this handler
+// interrupts, so reading it here is safe.
+void handle_crash_signal(int sig) {
+  if (g_runtime) g_runtime->registry().trace().dump(2);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <config-file> [--recover] [--log error|warn|info|debug]\n",
+               "usage: %s <config-file> [--recover] [--log error|warn|info|debug]"
+               " [--stats-interval SECONDS] [--trace-dump]\n",
                argv0);
   return 2;
+}
+
+// Poll for a pending SIGUSR1 trace request; re-arms itself forever. A timer
+// (rather than dumping inside the handler) keeps the common path entirely
+// out of signal context.
+void arm_trace_poll(sdns::net::EventLoop& loop) {
+  loop.add_timer(0.25, [&loop] {
+    if (g_trace_requested) {
+      g_trace_requested = 0;
+      if (g_runtime) g_runtime->registry().trace().dump(2);
+    }
+    arm_trace_poll(loop);
+  });
 }
 }  // namespace
 
@@ -35,10 +74,19 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const char* config_path = nullptr;
   bool recover = false;
+  bool trace_dump = false;
+  bool explicit_log_level = false;
+  double stats_interval = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[i], "--trace-dump") == 0) {
+      trace_dump = true;
+    } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
+      stats_interval = std::atof(argv[++i]);
+      if (stats_interval <= 0) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      explicit_log_level = true;
       const char* level = argv[++i];
       if (std::strcmp(level, "error") == 0) {
         sdns::util::set_log_level(sdns::util::LogLevel::kError);
@@ -58,18 +106,32 @@ int main(int argc, char** argv) {
     }
   }
   if (!config_path) return usage(argv[0]);
+  // Asking for periodic stats means asking to see them: the summary line is
+  // logged at info, so lift the default warn threshold unless --log was given.
+  if (stats_interval > 0 && !explicit_log_level) {
+    sdns::util::set_log_level(sdns::util::LogLevel::kInfo);
+  }
 
   try {
     sdns::net::RuntimeConfig config = sdns::net::RuntimeConfig::load(config_path);
     if (recover) config.recover = true;
+    if (stats_interval > 0) config.stats_interval = stats_interval;
     sdns::net::EventLoop loop;
     g_loop = &loop;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGPIPE, SIG_IGN);
     sdns::net::ReplicaRuntime runtime(loop, std::move(config));
+    g_runtime = &runtime;
+    if (trace_dump) {
+      std::signal(SIGUSR1, handle_trace_signal);
+      std::signal(SIGSEGV, handle_crash_signal);
+      std::signal(SIGABRT, handle_crash_signal);
+      arm_trace_poll(loop);
+    }
     runtime.start();
     loop.run();
+    g_runtime = nullptr;
     g_loop = nullptr;
     return 0;
   } catch (const std::exception& e) {

@@ -18,6 +18,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,31 @@ int run_replica(const std::string& config_path) {
     std::fprintf(stderr, "replica %s: %s\n", config_path.c_str(), e.what());
     return 1;
   }
+}
+
+// Scrape one replica's live counters over `stats.sdns. CH TXT` — the same
+// endpoint sdns_dig's `+ch` uses. Returns an empty map when unreachable.
+std::map<std::string, std::string> scrape_counters(const net::SockAddr& addr) {
+  std::map<std::string, std::string> out;
+  net::StubResolver::Options ropt;
+  ropt.servers = {addr};
+  ropt.timeout = 1.0;
+  ropt.attempts = 3;
+  ropt.edns_payload = 4096;  // the sample set does not fit in 512 bytes
+  net::StubResolver scraper(ropt);
+  const auto r = scraper.query(dns::Name::parse("stats.sdns."),
+                               dns::RRType::kTXT, dns::RRClass::kCH);
+  if (!r.ok) return out;
+  for (const dns::ResourceRecord& rr : r.response.answers) {
+    if (rr.type != dns::RRType::kTXT || rr.rdata.empty()) continue;
+    const std::size_t len = rr.rdata[0];
+    if (1 + len > rr.rdata.size()) continue;
+    const std::string txt(rr.rdata.begin() + 1,
+                          rr.rdata.begin() + 1 + static_cast<std::ptrdiff_t>(len));
+    const auto eq = txt.find('=');
+    if (eq != std::string::npos) out[txt.substr(0, eq)] = txt.substr(eq + 1);
+  }
+  return out;
 }
 
 }  // namespace
@@ -122,10 +149,48 @@ int main(int argc, char** argv) {
   loop.run();
   const net::Loadgen::Report r = loadgen.report();
 
+  // Scrape each replica's counters while it is still alive: server-side
+  // query totals, the server-observed latency histogram, and — the run's
+  // fault-free invariant — zero abcast fallbacks.
+  std::vector<std::map<std::string, std::string>> counters;
+  for (const net::SockAddr& addr : files.dns_addrs) {
+    counters.push_back(scrape_counters(addr));
+  }
+
   for (pid_t pid : children) ::kill(pid, SIGTERM);
   for (pid_t pid : children) ::waitpid(pid, nullptr, 0);
 
-  char json[1024];
+  bool fallback_free = true;
+  std::ostringstream replicas_json;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const auto& c = counters[i];
+    auto get = [&c](const char* key) -> std::string {
+      auto it = c.find(key);
+      return it == c.end() ? "0" : it->second;
+    };
+    if (c.empty() || get("abcast.fallback") != "0") fallback_free = false;
+    replicas_json << "    {\n"
+                  << "      \"replica\": " << i << ",\n"
+                  << "      \"scraped\": " << (c.empty() ? "false" : "true")
+                  << ",\n"
+                  << "      \"udp_queries\": " << get("net.udp.queries") << ",\n"
+                  << "      \"replica_reads\": " << get("replica.reads") << ",\n"
+                  << "      \"abcast_fallback\": " << get("abcast.fallback")
+                  << ",\n"
+                  << "      \"query_latency_us\": {\n"
+                  << "        \"count\": " << get("net.query.latency_us.count")
+                  << ",\n"
+                  << "        \"p50\": " << get("net.query.latency_us.p50")
+                  << ",\n"
+                  << "        \"p99\": " << get("net.query.latency_us.p99")
+                  << ",\n"
+                  << "        \"max\": " << get("net.query.latency_us.max")
+                  << "\n"
+                  << "      }\n"
+                  << "    }" << (i + 1 < counters.size() ? "," : "") << "\n";
+  }
+
+  char json[2048];
   std::snprintf(json, sizeof json,
                 "{\n"
                 "  \"benchmark\": \"net_loadgen_loopback\",\n"
@@ -142,21 +207,27 @@ int main(int argc, char** argv) {
                 "    \"p99\": %.3f,\n"
                 "    \"p999\": %.3f,\n"
                 "    \"max\": %.3f\n"
-                "  }\n"
-                "}\n",
+                "  },\n"
+                "  \"replica_counters\": [\n",
                 rate, duration, static_cast<unsigned long long>(r.sent),
                 static_cast<unsigned long long>(r.received), r.achieved_qps,
                 r.mean * 1e3, r.p50 * 1e3, r.p90 * 1e3, r.p99 * 1e3, r.p999 * 1e3,
                 r.max * 1e3);
-  std::fputs(json, stdout);
+  std::string full = json;
+  full += replicas_json.str();
+  full += "  ]\n}\n";
+  std::fputs(full.c_str(), stdout);
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << json;
+    out << full;
   }
-  // ≥95% answered at the offered rate counts as sustaining it.
-  const bool ok = r.received >= static_cast<std::uint64_t>(0.95 * r.sent);
-  std::fprintf(stderr, "%s: %llu/%llu answered\n", ok ? "PASS" : "FAIL",
+  // ≥95% answered at the offered rate counts as sustaining it, and a
+  // fault-free run must never leave the optimistic abcast path.
+  const bool ok =
+      r.received >= static_cast<std::uint64_t>(0.95 * r.sent) && fallback_free;
+  std::fprintf(stderr, "%s: %llu/%llu answered, %s\n", ok ? "PASS" : "FAIL",
                static_cast<unsigned long long>(r.received),
-               static_cast<unsigned long long>(r.sent));
+               static_cast<unsigned long long>(r.sent),
+               fallback_free ? "fallback-free" : "FALLBACK OBSERVED");
   return ok ? 0 : 1;
 }

@@ -99,8 +99,21 @@ AtomicBroadcast::AtomicBroadcast(std::shared_ptr<const GroupPublic> pub, NodeSec
                 [this](const Bytes& m) { broadcast(m); },
                 [this](threshold::CryptoOp op) {
                   if (cb_.charge_coin) cb_.charge_coin(op);
-                }},
-            rng_.fork()) {}
+                },
+                [this] { c_coin_flips_->inc(); }},
+            rng_.fork()) {
+  obs::Registry* m = cb_.metrics;
+  c_deliver_ = m ? &m->counter("abcast.deliver") : &obs::noop_counter();
+  c_commit_fast_ = m ? &m->counter("abcast.commit.fast") : &obs::noop_counter();
+  c_commit_fallback_ =
+      m ? &m->counter("abcast.commit.fallback") : &obs::noop_counter();
+  c_fallback_ = m ? &m->counter("abcast.fallback") : &obs::noop_counter();
+  c_epoch_adopted_ =
+      m ? &m->counter("abcast.epoch_change") : &obs::noop_counter();
+  c_complaints_ = m ? &m->counter("abcast.complaints") : &obs::noop_counter();
+  c_bba_rounds_ = m ? &m->counter("abcast.bba.rounds") : &obs::noop_counter();
+  c_coin_flips_ = m ? &m->counter("abcast.coin.flips") : &obs::noop_counter();
+}
 
 void AtomicBroadcast::broadcast(const Bytes& msg) {
   if (!cb_.send) return;
@@ -372,7 +385,8 @@ void encode_cert(Writer& w, const AtomicBroadcast* /*self*/, unsigned epoch,
 }
 }  // namespace
 
-void AtomicBroadcast::commit(std::uint64_t seq, const Digest& d, const Cert* cert) {
+void AtomicBroadcast::commit(std::uint64_t seq, const Digest& d, const Cert* cert,
+                             bool via_epoch_change) {
   auto it = committed_.find(seq);
   if (it != committed_.end()) {
     if (it->second != d) {
@@ -381,6 +395,7 @@ void AtomicBroadcast::commit(std::uint64_t seq, const Digest& d, const Cert* cer
     return;
   }
   committed_[seq] = d;
+  (via_epoch_change ? c_commit_fallback_ : c_commit_fast_)->inc();
   if (cert) {
     commit_certs_[seq] = *cert;
     Writer w;
@@ -450,6 +465,7 @@ void AtomicBroadcast::try_deliver() {
     if (!delivered_.count(d)) {
       delivered_.insert(d);
       pending_.erase(d);
+      c_deliver_->inc();
       if (cb_.deliver) cb_.deliver(payload->second);
     }
     ++next_deliver_;
@@ -506,6 +522,7 @@ void AtomicBroadcast::on_timer() {
   if (overdue && !complained_) {
     const unsigned target = vote_epoch();
     complained_ = true;
+    c_complaints_->inc();
     if (cb_.charge_auth_sign) cb_.charge_auth_sign();
     Bytes sig = node_sign(secret_, complain_statement(target, attempt_));
     complaints_[{target, attempt_}][secret_.id] = sig;
@@ -563,6 +580,7 @@ void AtomicBroadcast::handle_complain(unsigned from, Reader& r) {
   if (set.size() >= static_cast<std::size_t>(pub_->t) + 1 && !complained_) {
     // Join the complaint: at least one honest node is stuck.
     complained_ = true;
+    c_complaints_->inc();
     if (cb_.charge_auth_sign) cb_.charge_auth_sign();
     Bytes my_sig = node_sign(secret_, complain_statement(epoch, attempt_));
     set[secret_.id] = my_sig;
@@ -600,6 +618,10 @@ void AtomicBroadcast::start_fallback_vote(bool my_input) {
 void AtomicBroadcast::on_fallback_decision(std::uint64_t instance, bool abandon) {
   // Stale sessions (older epoch or attempt) may still decide; ignore them.
   if (instance != bba_instance()) return;
+  auto bba_it = bbas_.find(instance);
+  if (bba_it != bbas_.end()) {
+    c_bba_rounds_->inc(bba_it->second->rounds_used() + 1);
+  }
   if (abandon) {
     begin_epoch_change(vote_epoch() + 1);
   } else {
@@ -639,6 +661,11 @@ void AtomicBroadcast::begin_epoch_change(unsigned new_epoch) {
   epoch_change_started_ = cb_.now ? cb_.now() : 0.0;
   complained_ = false;  // escalation complaints target the pending epoch
   ++epoch_change_count_;
+  c_fallback_->inc();
+  if (cb_.metrics) {
+    cb_.metrics->trace().record(cb_.now ? cb_.now() : 0.0, "abcast",
+                                "epoch-change", new_epoch, next_deliver_);
+  }
   const Bytes body = build_epoch_change_body();
   if (cb_.charge_auth_sign) cb_.charge_auth_sign();
   const Bytes sig = node_sign(secret_, body);
@@ -785,7 +812,7 @@ bool AtomicBroadcast::adopt_new_epoch(unsigned target,
       if (c.seq < next_deliver_ || committed_.count(c.seq)) continue;
       if (!cert_valid(c, /*is_commit=*/true)) continue;
       commit_certs_.emplace(c.seq, c);
-      commit(c.seq, c.digest, nullptr);
+      commit(c.seq, c.digest, nullptr, /*via_epoch_change=*/true);
       hi = std::max(hi, c.seq);
       any = true;
     }
@@ -828,6 +855,11 @@ bool AtomicBroadcast::adopt_new_epoch(unsigned target,
   }
   if (is_leader()) leader_order_pending();
   arm_timer();
+  c_epoch_adopted_->inc();
+  if (cb_.metrics) {
+    cb_.metrics->trace().record(cb_.now ? cb_.now() : 0.0, "abcast",
+                                "epoch-adopted", epoch_, next_deliver_);
+  }
   SDNS_LOG_INFO("abcast ", secret_.id, ": entered epoch ", epoch_);
   return true;
 }

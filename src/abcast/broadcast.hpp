@@ -43,6 +43,7 @@
 #include <set>
 
 #include "abcast/bba.hpp"
+#include "obs/metrics.hpp"
 
 namespace sdns::abcast {
 
@@ -61,6 +62,9 @@ class AtomicBroadcast {
     std::function<void()> charge_auth_sign;
     std::function<void()> charge_auth_verify;
     std::function<void(threshold::CryptoOp)> charge_coin;
+    /// Metrics sink (owned by the caller, must outlive the broadcast);
+    /// null components count into a shared no-op sink.
+    obs::Registry* metrics = nullptr;
   };
 
   struct Options {
@@ -158,7 +162,11 @@ class AtomicBroadcast {
   void maybe_echo(unsigned epoch, std::uint64_t seq);
   void check_prepared(unsigned epoch, std::uint64_t seq);
   void check_committed_quorum(unsigned epoch, std::uint64_t seq);
-  void commit(std::uint64_t seq, const Digest& d, const Cert* cert_to_share);
+  /// `via_epoch_change` distinguishes commits recovered through the
+  /// fall-back (epoch-change certificate replay) from optimistic fast-path
+  /// commits — the split the paper's §5 measurements are about.
+  void commit(std::uint64_t seq, const Digest& d, const Cert* cert_to_share,
+              bool via_epoch_change = false);
   void try_deliver();
   void arm_timer();
   void on_timer();
@@ -213,6 +221,16 @@ class AtomicBroadcast {
   double epoch_change_started_ = 0;
   bool timer_armed_ = false;
   std::uint64_t epoch_change_count_ = 0;
+
+  // Counters resolved once at construction (see Callbacks::metrics).
+  obs::Counter* c_deliver_;
+  obs::Counter* c_commit_fast_;
+  obs::Counter* c_commit_fallback_;
+  obs::Counter* c_fallback_;
+  obs::Counter* c_epoch_adopted_;
+  obs::Counter* c_complaints_;
+  obs::Counter* c_bba_rounds_;
+  obs::Counter* c_coin_flips_;
 };
 
 }  // namespace sdns::abcast

@@ -118,6 +118,7 @@ void ThresholdCoin::try_assemble(std::uint64_t instance, std::uint32_t round, Sl
   }
   const Bytes digest = crypto::Sha256::digest(y->to_bytes_be());
   slot.value = (digest.back() & 1) != 0;
+  if (cb_.on_flip) cb_.on_flip();
   auto waiters = std::move(slot.waiters);
   slot.waiters.clear();
   for (auto& w : waiters) w(*slot.value);

@@ -25,6 +25,9 @@ class ThresholdCoin {
     std::function<void(const util::Bytes&)> send_to_all;
     /// Cost hook (proof generation/verification); may be empty.
     std::function<void(threshold::CryptoOp)> charge;
+    /// Fired once per resolved coin (a slot's value assembled); may be
+    /// empty. The observability layer counts flips through this.
+    std::function<void()> on_flip;
   };
 
   ThresholdCoin(std::shared_ptr<const GroupPublic> pub, NodeSecret secret,

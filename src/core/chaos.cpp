@@ -70,7 +70,7 @@ std::string ChaosReport::to_string() const {
 }
 
 std::vector<ChaosViolation> check_observations(const std::vector<ReplicaObservation>& obs,
-                                               unsigned t) {
+                                               unsigned t, bool fault_free) {
   std::vector<ChaosViolation> out;
   std::vector<const ReplicaObservation*> honest;
   for (const ReplicaObservation& o : obs) {
@@ -130,6 +130,20 @@ std::vector<ChaosViolation> check_observations(const std::vector<ReplicaObservat
       std::ostringstream os;
       os << "replica " << o->id << "'s zone fails DNSSEC verification";
       out.push_back({"zone-signature", os.str()});
+    }
+  }
+
+  // Counter-based introspection: under a fault-free schedule the optimistic
+  // path must carry everything — a fallback (epoch change) means complaint
+  // timers fired with a correct leader, which safety checks cannot see.
+  if (fault_free) {
+    for (const ReplicaObservation* o : honest) {
+      if (o->fallbacks != 0) {
+        std::ostringstream os;
+        os << "replica " << o->id << " entered abcast fallback " << o->fallbacks
+           << " time(s) in a fault-free run (t=" << t << ")";
+        out.push_back({"fallback-free", os.str()});
+      }
     }
   }
   return out;
@@ -263,13 +277,16 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
     o.byzantine = report.corruption.count(i) != 0;
     o.recovering = svc.replica(i).recovering();
     o.delivered = svc.replica(i).abcast().delivered_count();
+    o.fallbacks = svc.replica(i).abcast().epoch_changes();
     o.delivery_log = svc.replica(i).delivery_log();
     o.zone_wire = svc.replica(i).server().zone().to_wire();
     o.zone_signed = svc.replica(i).server().zone_is_signed();
     o.zone_verifies = o.zone_signed && dns::verify_zone(svc.replica(i).server().zone()).ok;
     obs.push_back(std::move(o));
   }
-  auto violations = check_observations(obs, svc.t());
+  const bool fault_free =
+      report.schedule.faults.empty() && report.corruption.empty();
+  auto violations = check_observations(obs, svc.t(), fault_free);
   report.violations.insert(report.violations.end(), violations.begin(),
                            violations.end());
   return report;

@@ -62,6 +62,8 @@ struct ReplicaObservation {
   bool zone_signed = false;
   bool zone_verifies = false;
   std::uint64_t delivered = 0;  ///< atomic broadcast delivery cursor
+  /// Epoch changes this replica initiated (abcast fallback activations).
+  std::uint64_t fallbacks = 0;
   std::map<std::uint64_t, abcast::Digest> delivery_log;
   util::Bytes zone_wire;
 };
@@ -90,9 +92,12 @@ struct ChaosReport {
 ChaosReport run_chaos(const ChaosConfig& cfg);
 
 /// The pure invariant checkers, exposed for unit tests. `t` is the fault
-/// threshold (used only for context in messages).
+/// threshold (used only for context in messages). `fault_free` enables the
+/// counter-based "fallback-free" invariant: a run with no injected faults and
+/// no Byzantine replicas must never leave the optimistic abcast path, so any
+/// nonzero fallback count is a protocol regression even when safety held.
 std::vector<ChaosViolation> check_observations(const std::vector<ReplicaObservation>& obs,
-                                               unsigned t);
+                                               unsigned t, bool fault_free = false);
 
 /// Greedily shrink a failing run's fault schedule: drop one fault at a time,
 /// keeping each deletion that preserves the failure. Returns the report of

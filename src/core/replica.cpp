@@ -61,6 +61,24 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
       rng_(rng),
       corruption_(corruption),
       local_key_(std::move(local_key)) {
+  if (cb_.metrics) {
+    metrics_ = cb_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::Registry>();
+    metrics_ = own_metrics_.get();
+  }
+  c_reads_ = &metrics_->counter("replica.reads");
+  c_updates_ = &metrics_->counter("replica.updates");
+  c_signatures_ = &metrics_->counter("replica.signatures");
+  c_recoveries_ = &metrics_->counter("replica.recoveries");
+  // Threshold counters normally materialize when the first signing session
+  // constructs; pre-create them so every scrape exposes the full taxonomy
+  // from boot (dashboards can rely on the names existing at 0).
+  metrics_->counter("threshold.share.verify_ok");
+  metrics_->counter("threshold.share.verify_fail");
+  metrics_->counter("threshold.optimistic.hit");
+  metrics_->counter("threshold.optimistic.miss");
+  metrics_->histogram("threshold.sign_us");
   if (!config_.base_case) {
     abcast::AtomicBroadcast::Callbacks acb;
     acb.send = [this](unsigned to, const Bytes& m) {
@@ -82,6 +100,7 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
     acb.charge_auth_sign = cb_.charge_auth_sign;
     acb.charge_auth_verify = cb_.charge_auth_verify;
     acb.charge_coin = cb_.charge_crypto;
+    acb.metrics = metrics_;
     abcast::AtomicBroadcast::Options opt;
     opt.complaint_timeout = config_.complaint_timeout;
     opt.equivocate_as_leader = corruption_ == CorruptionMode::kEquivocate;
@@ -265,6 +284,7 @@ void ReplicaNode::try_finish_recovery() {
   recovering_ = false;
   recovery_snapshots_.clear();
   ++recoveries_completed_;
+  c_recoveries_->inc();
   SDNS_LOG_INFO("replica ", secret_.id, ": recovered to delivery cursor ",
                 best->abcast_cursor);
 }
@@ -313,12 +333,14 @@ void ReplicaNode::execute(const Bytes& payload) {
 
 void ReplicaNode::run_query(ClientId client, const dns::Message& request) {
   ++executed_reads_;
+  c_reads_->inc();
   if (cb_.charge_dns_query) cb_.charge_dns_query();
   respond(client, server_.answer_query(request));
 }
 
 void ReplicaNode::run_update(ClientId client, const dns::Message& request) {
   ++executed_updates_;
+  c_updates_->inc();
   if (cb_.charge_dns_update) cb_.charge_dns_update();
   // Deterministic logical inception time shared by all replicas.
   const std::uint32_t inception =
@@ -337,6 +359,7 @@ void ReplicaNode::run_update(ClientId client, const dns::Message& request) {
       if (cb_.charge_local_sign) cb_.charge_local_sign();
       server_.install_signature(task, crypto::rsa_sign_sha1(*local_key_, task.data));
       ++signatures_computed_;
+      c_signatures_->inc();
     }
     server_.finalize_journal();
     respond(client, dns::AuthoritativeServer::update_response(request, dns::Rcode::kNoError));
@@ -368,10 +391,13 @@ void ReplicaNode::start_next_signature() {
     }
   };
   scb.charge = cb_.charge_crypto;
+  scb.metrics = metrics_;
+  scb.now = cb_.now;
   scb.on_complete = [this, index](const bn::BigInt& y) {
     PendingUpdate& u = *current_update_;
     server_.install_signature(u.tasks[index], threshold::signature_bytes(*zone_key_, y));
     ++signatures_computed_;
+    c_signatures_->inc();
     last_finished_sid_ = signing_->session_id();
     pending_signing_.erase(last_finished_sid_);
     finished_sigs_[last_finished_sid_] = y;

@@ -47,6 +47,9 @@ class ReplicaNode {
     std::function<void()> charge_dns_query;
     std::function<void()> charge_dns_update;
     std::function<void()> charge_local_sign;
+    /// Metrics sink; when null the replica owns a private registry so its
+    /// counters (and the components' below it) are still introspectable.
+    obs::Registry* metrics = nullptr;
   };
 
   /// `zone_share` is this server's share of the zone key; `zone_key_pub` the
@@ -96,6 +99,10 @@ class ReplicaNode {
   const dns::AuthoritativeServer& server() const { return server_; }
   dns::AuthoritativeServer& server() { return server_; }
   const abcast::AtomicBroadcast& abcast() const { return *abcast_; }
+  /// The registry this replica counts into (the caller's, or the private
+  /// fallback created when Callbacks::metrics was null).
+  obs::Registry& metrics() { return *metrics_; }
+  const obs::Registry& metrics() const { return *metrics_; }
 
   // Statistics for benches.
   std::uint64_t executed_reads() const { return executed_reads_; }
@@ -170,6 +177,15 @@ class ReplicaNode {
   std::uint64_t executed_reads_ = 0;
   std::uint64_t executed_updates_ = 0;
   std::uint64_t signatures_computed_ = 0;
+
+  /// Private registry when Callbacks::metrics is null (the simulator runs
+  /// many replicas per process; each needs its own counter namespace).
+  std::unique_ptr<obs::Registry> own_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter* c_reads_;
+  obs::Counter* c_updates_;
+  obs::Counter* c_signatures_;
+  obs::Counter* c_recoveries_;
 
   // kStaleReplay: first response recorded per question.
   std::map<std::string, util::Bytes> stale_cache_;

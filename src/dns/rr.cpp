@@ -37,6 +37,7 @@ std::string to_string(RRType t) {
 std::string to_string(RRClass c) {
   switch (c) {
     case RRClass::kIN: return "IN";
+    case RRClass::kCH: return "CH";
     case RRClass::kNONE: return "NONE";
     case RRClass::kANY: return "ANY";
   }

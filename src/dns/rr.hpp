@@ -39,6 +39,7 @@ enum class RRType : std::uint16_t {
 
 enum class RRClass : std::uint16_t {
   kIN = 1,
+  kCH = 3,      // CHAOS — BIND-style server introspection (stats.sdns. CH TXT)
   kNONE = 254,  // RFC 2136 "delete specific RR"
   kANY = 255,   // RFC 2136 "delete RRset"
 };

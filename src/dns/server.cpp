@@ -310,15 +310,24 @@ UpdateResult AuthoritativeServer::apply_update(const Message& update, std::uint3
 
   Message req = update;  // TSIG verification strips the signature record
   if (policy_.require_tsig) {
-    const TsigStatus status = tsig_verify(req, [&](const std::string& name) {
-      for (const auto& key : policy_.keys) {
-        if (key.name == name) return std::optional<Bytes>(key.secret);
-      }
-      return std::optional<Bytes>();
-    });
+    TsigVerifyOptions topt;
+    topt.now = policy_.tsig_clock;
+    topt.fudge = policy_.tsig_fudge;
+    const TsigStatus status = tsig_verify(
+        req,
+        [&](const std::string& name) {
+          for (const auto& key : policy_.keys) {
+            if (key.name == name) return std::optional<Bytes>(key.secret);
+          }
+          return std::optional<Bytes>();
+        },
+        topt);
     if (status != TsigStatus::kOk) {
       SDNS_LOG_DEBUG("update rejected: TSIG status ", static_cast<int>(status));
-      result.rcode = Rcode::kRefused;
+      // BADTIME answers NOTAUTH (RFC 2845 §4.5.2 maps TSIG errors onto it);
+      // everything else stays the generic policy refusal.
+      result.rcode =
+          status == TsigStatus::kBadTime ? Rcode::kNotAuth : Rcode::kRefused;
       return result;
     }
   }

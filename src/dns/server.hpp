@@ -30,6 +30,12 @@ struct UpdatePolicy {
   bool require_tsig = false;
   /// Shared secrets for TSIG verification.
   std::vector<TsigKey> keys;
+  /// Clock for the TSIG freshness check (empty = logical time only, no
+  /// check — the deterministic simulator has no wall clock). The deployed
+  /// runtime injects time(2) so captured updates stop replaying.
+  std::function<std::uint64_t()> tsig_clock;
+  /// RFC 2845-style fudge window, seconds.
+  std::uint64_t tsig_fudge = 300;
 };
 
 struct UpdateResult {

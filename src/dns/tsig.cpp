@@ -39,7 +39,7 @@ void tsig_sign(Message& msg, const TsigKey& key, std::uint64_t timestamp) {
 TsigStatus tsig_verify(
     Message& msg,
     const std::function<std::optional<util::Bytes>(const std::string&)>& lookup,
-    std::string* key_name_out) {
+    const TsigVerifyOptions& options, std::string* key_name_out) {
   if (msg.additional.empty() || msg.additional.back().type != RRType::kTSIG) {
     return TsigStatus::kMissing;
   }
@@ -56,9 +56,26 @@ TsigStatus tsig_verify(
   const util::Bytes expected =
       crypto::hmac_sha1(*secret, mac_input(without, tsig.key_name, tsig.timestamp));
   if (!util::constant_time_equal(expected, tsig.mac)) return TsigStatus::kBadMac;
+  if (options.now) {
+    // MAC first, then freshness: the timestamp is only meaningful once the
+    // signature over it has been validated. Outside |now - ts| <= fudge the
+    // message is authentic but stale — a capture-and-replay.
+    const std::uint64_t now = options.now();
+    const std::uint64_t ts = tsig.timestamp;
+    if (ts > now + options.fudge || ts + options.fudge < now) {
+      return TsigStatus::kBadTime;
+    }
+  }
   msg.additional.pop_back();
   if (key_name_out) *key_name_out = tsig.key_name;
   return TsigStatus::kOk;
+}
+
+TsigStatus tsig_verify(
+    Message& msg,
+    const std::function<std::optional<util::Bytes>(const std::string&)>& lookup,
+    std::string* key_name_out) {
+  return tsig_verify(msg, lookup, TsigVerifyOptions{}, key_name_out);
 }
 
 }  // namespace sdns::dns

@@ -29,11 +29,32 @@ enum class TsigStatus {
   kMissing,     ///< no TSIG record present
   kUnknownKey,  ///< key name not recognized by the verifier
   kBadMac,      ///< signature check failed
+  kBadTime,     ///< valid MAC but timestamp outside the fudge window
+};
+
+struct TsigVerifyOptions {
+  /// The verifier's clock (seconds, same epoch as the signer's timestamps).
+  /// Empty disables the freshness check entirely — the simulator's
+  /// deterministic tests sign with logical timestamps that have no wall
+  /// clock to compare against.
+  std::function<std::uint64_t()> now;
+  /// Maximum |now - timestamp| accepted, RFC 2845 §4.5.2 style ("fudge").
+  std::uint64_t fudge = 300;
 };
 
 /// Verify and strip the trailing TSIG record. `lookup` maps a key name to
-/// its secret (return nullopt for unknown keys). On kOk the TSIG record has
-/// been removed from `msg` and `key_name_out` (if given) holds the signer.
+/// its secret (return nullopt for unknown keys). The MAC is checked before
+/// the timestamp (RFC 2845 §4.5: time is only trustworthy once the
+/// signature is), so a replayed-but-stale message yields kBadTime, and a
+/// forged one kBadMac. On kOk the TSIG record has been removed from `msg`
+/// and `key_name_out` (if given) holds the signer.
+TsigStatus tsig_verify(
+    Message& msg,
+    const std::function<std::optional<util::Bytes>(const std::string&)>& lookup,
+    const TsigVerifyOptions& options, std::string* key_name_out = nullptr);
+
+/// Verify without a freshness check (logical-time tests and callers that
+/// enforce replay protection elsewhere).
 TsigStatus tsig_verify(
     Message& msg,
     const std::function<std::optional<util::Bytes>(const std::string&)>& lookup,

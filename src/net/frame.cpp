@@ -7,6 +7,7 @@
 #include <cerrno>
 
 #include "crypto/hmac.hpp"
+#include "net/socket.hpp"
 
 namespace sdns::net {
 
@@ -230,9 +231,9 @@ bool WriteQueue::flush(int fd) {
   while (!chunks_.empty()) {
     const Bytes& front = chunks_.front();
     const std::size_t left = front.size() - head_offset_;
-    const ssize_t n = ::send(fd, front.data() + head_offset_, left, MSG_NOSIGNAL);
+    const ssize_t n =
+        retry_send(fd, front.data() + head_offset_, left, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       return false;
     }

@@ -15,7 +15,15 @@ using util::BytesView;
 
 namespace {
 constexpr std::uint64_t kTcpBit = 1ULL << 63;
-}
+
+/// Cap on the (ClientId, DNS id) -> arrival time latency-pairing map.
+constexpr std::size_t kMaxInflight = 8192;
+
+const char* const kRcodeNames[16] = {
+    "noerror", "formerr", "servfail", "nxdomain", "notimp",  "refused",
+    "yxdomain", "yxrrset", "nxrrset",  "notauth",  "notzone", "rcode11",
+    "rcode12",  "rcode13", "rcode14",  "rcode15"};
+}  // namespace
 
 bool client_is_udp(ClientId id) { return (id & kTcpBit) == 0; }
 
@@ -35,9 +43,14 @@ unsigned client_tcp_owner(ClientId id) {
 }
 
 ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload) {
-  // 15 bits suffice: RFC 2671 sizes beyond 32767 have no practical meaning
-  // and the classic floor is reapplied on the way out.
-  const std::uint64_t payload = std::min<std::uint64_t>(edns_payload, 0x7fff);
+  // 15 bits suffice: RFC 2671 sizes beyond 32767 have no practical meaning.
+  std::uint64_t payload = std::min<std::uint64_t>(edns_payload, 0x7fff);
+  // RFC 6891 §6.2.5: an advertised size below 512 MUST be treated as 512 —
+  // a maliciously tiny OPT must not shrink the response budget below the
+  // classic limit. Zero stays zero: it is the "query had no OPT" sentinel.
+  if (payload != 0 && payload < dns::kClassicUdpLimit) {
+    payload = dns::kClassicUdpLimit;
+  }
   return payload << 48 | static_cast<std::uint64_t>(addr.ip) << 16 | addr.port;
 }
 
@@ -47,7 +60,56 @@ ClientId make_tcp_client(unsigned replica, std::uint64_t serial) {
 }
 
 DnsFrontend::DnsFrontend(EventLoop& loop, Options options, RequestFn on_request)
-    : loop_(loop), opt_(options), on_request_(std::move(on_request)) {}
+    : loop_(loop), opt_(options), on_request_(std::move(on_request)) {
+  obs::Registry* m = opt_.metrics;
+  c_udp_queries_ = m ? &m->counter("net.udp.queries") : &obs::noop_counter();
+  c_tcp_queries_ = m ? &m->counter("net.tcp.queries") : &obs::noop_counter();
+  c_truncated_ = m ? &m->counter("net.udp.truncated") : &obs::noop_counter();
+  c_tcp_accepted_ = m ? &m->counter("net.tcp.accepted") : &obs::noop_counter();
+  c_tcp_closed_ = m ? &m->counter("net.tcp.closed") : &obs::noop_counter();
+  c_idle_closed_ = m ? &m->counter("net.tcp.idle_closed") : &obs::noop_counter();
+  c_idle_sweeps_ = m ? &m->counter("net.tcp.idle_sweeps") : &obs::noop_counter();
+  c_opcode_query_ =
+      m ? &m->counter("net.query.opcode.query") : &obs::noop_counter();
+  c_opcode_update_ =
+      m ? &m->counter("net.query.opcode.update") : &obs::noop_counter();
+  c_opcode_other_ =
+      m ? &m->counter("net.query.opcode.other") : &obs::noop_counter();
+  for (int i = 0; i < 16; ++i) {
+    c_rcode_[i] = m ? &m->counter(std::string("net.rcode.") + kRcodeNames[i])
+                    : &obs::noop_counter();
+  }
+  h_latency_ =
+      m ? &m->histogram("net.query.latency_us") : &obs::noop_histogram();
+}
+
+void DnsFrontend::note_request(ClientId client, BytesView wire) {
+  if (wire.size() < 12) return;
+  const std::uint8_t opcode = (wire[2] >> 3) & 0x0f;
+  if (opcode == 0) {
+    c_opcode_query_->inc();
+  } else if (opcode == 5) {
+    c_opcode_update_->inc();
+  } else {
+    c_opcode_other_->inc();
+  }
+  if (opt_.metrics && inflight_.size() < kMaxInflight) {
+    const auto id = static_cast<std::uint16_t>(wire[0] << 8 | wire[1]);
+    inflight_.emplace(std::make_pair(client, id), loop_.now());
+  }
+}
+
+void DnsFrontend::note_response(ClientId client, BytesView wire) {
+  if (wire.size() < 12) return;
+  c_rcode_[wire[3] & 0x0f]->inc();
+  if (!opt_.metrics) return;
+  const auto id = static_cast<std::uint16_t>(wire[0] << 8 | wire[1]);
+  const auto it = inflight_.find(std::make_pair(client, id));
+  if (it == inflight_.end()) return;  // duplicate answer, or map was full
+  h_latency_->observe(
+      static_cast<std::uint64_t>((loop_.now() - it->second) * 1e6));
+  inflight_.erase(it);
+}
 
 DnsFrontend::~DnsFrontend() {
   for (auto& [serial, conn] : conns_) loop_.del_fd(conn.fd);
@@ -78,14 +140,12 @@ void DnsFrontend::on_udp_ready() {
   for (;;) {
     sockaddr_in sa{};
     socklen_t sa_len = sizeof sa;
-    const ssize_t n = ::recvfrom(udp_fd_, buf, sizeof buf, 0,
-                                 reinterpret_cast<sockaddr*>(&sa), &sa_len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;  // EAGAIN: drained
-    }
+    const ssize_t n = retry_recvfrom(udp_fd_, buf, sizeof buf, 0,
+                                     reinterpret_cast<sockaddr*>(&sa), &sa_len);
+    if (n < 0) break;  // EAGAIN: drained
     if (n < 12) continue;  // shorter than a DNS header: noise
     ++udp_queries_;
+    c_udp_queries_->inc();
     const SockAddr from = SockAddr::from_sockaddr(sa);
     // Pull the advertised EDNS payload out of the query so the return
     // address carries the response budget to whichever replica answers.
@@ -93,22 +153,25 @@ void DnsFrontend::on_udp_ready() {
     try {
       const dns::Message query =
           dns::Message::decode({buf, static_cast<std::size_t>(n)});
-      if (const auto edns = dns::find_edns(query)) payload = edns->udp_payload;
+      if (const auto edns = dns::find_edns(query)) {
+        // RFC 6891 §6.2.5 floor; also keeps a 0-byte OPT distinct from the
+        // "no OPT" sentinel the ClientId encodes as payload 0.
+        payload = std::max<std::uint16_t>(edns->udp_payload,
+                                          dns::kClassicUdpLimit);
+      }
     } catch (const util::ParseError&) {
       continue;  // unparseable datagram: drop silently like named does
     }
-    on_request_(make_udp_client(from, payload),
-                Bytes(buf, buf + static_cast<std::size_t>(n)));
+    const ClientId client = make_udp_client(from, payload);
+    note_request(client, {buf, static_cast<std::size_t>(n)});
+    on_request_(client, Bytes(buf, buf + static_cast<std::size_t>(n)));
   }
 }
 
 void DnsFrontend::on_listener_ready() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
+    const int fd = retry_accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
     if (conns_.size() >= opt_.max_connections) {
       ::close(fd);
       continue;
@@ -127,6 +190,7 @@ void DnsFrontend::on_listener_ready() {
     conn.wq = WriteQueue(opt_.write_cap);
     conn.last_active = loop_.now();
     conns_.emplace(serial, std::move(conn));
+    c_tcp_accepted_->inc();
     loop_.add_fd(fd, EventLoop::kReadable,
                  [this, serial](std::uint32_t ev) { on_conn_io(serial, ev); });
   }
@@ -137,14 +201,17 @@ void DnsFrontend::close_conn(std::uint64_t serial) {
   if (it == conns_.end()) return;
   loop_.del_fd(it->second.fd);
   conns_.erase(it);
+  c_tcp_closed_->inc();
 }
 
 void DnsFrontend::sweep_idle() {
+  c_idle_sweeps_->inc();
   const double cutoff = loop_.now() - opt_.idle_timeout;
   std::vector<std::uint64_t> idle;
   for (const auto& [serial, conn] : conns_) {
     if (conn.last_active < cutoff) idle.push_back(serial);
   }
+  c_idle_closed_->inc(idle.size());
   for (const std::uint64_t serial : idle) close_conn(serial);
   sweep_timer_ = loop_.add_timer(std::max(opt_.idle_timeout / 4, 0.05),
                                  [this] { sweep_idle(); });
@@ -172,9 +239,8 @@ void DnsFrontend::on_conn_io(std::uint64_t serial, std::uint32_t events) {
   if (!(events & EventLoop::kReadable)) return;
   std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    const ssize_t n = retry_recv(conn.fd, buf, sizeof buf, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_conn(serial);
       return;
@@ -192,7 +258,10 @@ void DnsFrontend::on_conn_io(std::uint64_t serial, std::uint32_t events) {
     // Pipelining: a single read may complete several queries.
     while (auto wire = conn.decoder.next()) {
       ++tcp_queries_;
-      on_request_(make_tcp_client(opt_.replica, serial), std::move(*wire));
+      c_tcp_queries_->inc();
+      const ClientId client = make_tcp_client(opt_.replica, serial);
+      note_request(client, *wire);
+      on_request_(client, std::move(*wire));
       if (conns_.find(serial) == conns_.end()) return;  // closed by reentry
     }
     if (conn.decoder.broken()) {
@@ -219,22 +288,23 @@ void DnsFrontend::respond_udp(ClientId client, BytesView wire) {
         info.udp_payload = opt_.edns_payload;
         dns::set_edns(response, info);
       }
-      if (dns::truncate_for_udp(response, limit)) ++truncated_;
+      if (dns::truncate_for_udp(response, limit)) {
+        ++truncated_;
+        c_truncated_->inc();
+      }
       out = response.encode();
     } catch (const util::ParseError&) {
       return;  // replica produced an undecodable response; drop
     }
   }
   const sockaddr_in sa = to.to_sockaddr();
-  for (;;) {
-    const ssize_t n = ::sendto(udp_fd_, out.data(), out.size(), 0,
-                               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
-    if (n < 0 && errno == EINTR) continue;
-    break;  // EAGAIN: kernel buffer full — UDP may drop, the client retries
-  }
+  // EAGAIN: kernel buffer full — UDP may drop, the client retries.
+  retry_sendto(udp_fd_, out.data(), out.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
 }
 
 void DnsFrontend::respond(ClientId client, BytesView wire) {
+  note_response(client, wire);
   if (client_is_udp(client)) {
     respond_udp(client, wire);
     return;

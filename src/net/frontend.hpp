@@ -28,6 +28,7 @@
 #include "net/frame.hpp"
 #include "net/loop.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 
 namespace sdns::net {
 
@@ -55,6 +56,10 @@ class DnsFrontend {
     std::size_t max_connections = 512;
     std::size_t write_cap = 1 * 1024 * 1024;  ///< per-connection
     std::uint16_t edns_payload = 4096;  ///< our advertised receive size
+    /// Metrics sink (owned by the caller, must outlive the frontend).
+    /// Null components bump a shared no-op counter — no branch on the
+    /// hot path either way.
+    obs::Registry* metrics = nullptr;
   };
 
   using RequestFn = std::function<void(ClientId, util::Bytes wire)>;
@@ -92,6 +97,8 @@ class DnsFrontend {
   void close_conn(std::uint64_t serial);
   void sweep_idle();
   void respond_udp(ClientId client, util::BytesView wire);
+  void note_request(ClientId client, util::BytesView wire);
+  void note_response(ClientId client, util::BytesView wire);
 
   EventLoop& loop_;
   Options opt_;
@@ -104,6 +111,24 @@ class DnsFrontend {
   std::uint64_t udp_queries_ = 0;
   std::uint64_t tcp_queries_ = 0;
   std::uint64_t truncated_ = 0;
+
+  // Counters resolved once at construction (see Options::metrics).
+  obs::Counter* c_udp_queries_;
+  obs::Counter* c_tcp_queries_;
+  obs::Counter* c_truncated_;
+  obs::Counter* c_tcp_accepted_;
+  obs::Counter* c_tcp_closed_;
+  obs::Counter* c_idle_closed_;
+  obs::Counter* c_idle_sweeps_;
+  obs::Counter* c_opcode_query_;
+  obs::Counter* c_opcode_update_;
+  obs::Counter* c_opcode_other_;
+  obs::Counter* c_rcode_[16];
+  obs::Histogram* h_latency_;
+  /// Request arrival times, keyed (ClientId, DNS id), matched by the first
+  /// respond() for that pair; bounded so an unanswerable flood cannot grow
+  /// it without limit.
+  std::map<std::pair<ClientId, std::uint16_t>, double> inflight_;
 };
 
 }  // namespace sdns::net

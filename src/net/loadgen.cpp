@@ -60,13 +60,9 @@ void Loadgen::send_one() {
   const SockAddr& server = opt_.servers[next_server_];
   next_server_ = (next_server_ + 1) % opt_.servers.size();
   const sockaddr_in sa = server.to_sockaddr();
-  for (;;) {
-    const ssize_t n =
-        ::sendto(fd_, query_template_.data(), query_template_.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
-    if (n < 0 && errno == EINTR) continue;
-    break;  // EAGAIN: the datagram is lost, like any UDP drop
-  }
+  // EAGAIN: the datagram is lost, like any UDP drop.
+  retry_sendto(fd_, query_template_.data(), query_template_.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
   in_flight_[id] = loop_.now();
   ++sent_;
 }
@@ -101,11 +97,8 @@ void Loadgen::tick() {
 void Loadgen::on_readable() {
   std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
+    const ssize_t n = retry_recv(fd_, buf, sizeof buf, 0);
+    if (n < 0) break;
     if (n < 2) continue;
     const std::uint16_t id =
         static_cast<std::uint16_t>(buf[0]) << 8 | buf[1];

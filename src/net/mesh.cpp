@@ -19,6 +19,12 @@ constexpr double kHelloDeadline = 5.0;  ///< accepted conns must speak fast
 
 Mesh::Mesh(EventLoop& loop, Options options, DeliverFn deliver, util::Rng rng)
     : loop_(loop), opt_(std::move(options)), deliver_(std::move(deliver)), rng_(rng) {
+  obs::Registry* m = opt_.metrics;
+  c_reconnects_ = m ? &m->counter("mesh.reconnects") : &obs::noop_counter();
+  c_dropped_ = m ? &m->counter("mesh.drops.fair_lossy") : &obs::noop_counter();
+  c_mac_rejects_ = m ? &m->counter("mesh.rejects.mac") : &obs::noop_counter();
+  c_conn_drops_ = m ? &m->counter("mesh.conn.drops") : &obs::noop_counter();
+  c_established_ = m ? &m->counter("mesh.conn.established") : &obs::noop_counter();
   for (unsigned i = 0; i < opt_.peers.size(); ++i) {
     if (i == opt_.self) continue;
     Peer p;
@@ -86,6 +92,7 @@ void Mesh::schedule_reconnect(unsigned peer) {
                              : std::min(p.backoff * 2, opt_.reconnect_max);
   const double delay = p.backoff * (0.5 + rng_.unit());  // jittered
   ++reconnects_;
+  c_reconnects_->inc();
   p.retry_timer = loop_.add_timer(delay, [this, peer] { start_connect(peer); });
 }
 
@@ -100,6 +107,10 @@ void Mesh::drop_connection(unsigned peer, const char* why) {
   Peer& p = peers_.at(peer);
   if (p.fd < 0) return;
   SDNS_LOG_DEBUG("mesh ", opt_.self, "<->", peer, ": dropping connection (", why, ")");
+  c_conn_drops_->inc();
+  if (opt_.metrics) {
+    opt_.metrics->trace().record(loop_.now(), "mesh", why, opt_.self, peer);
+  }
   loop_.del_fd(p.fd);
   p.fd = -1;
   p.established = false;
@@ -131,9 +142,8 @@ void Mesh::on_peer_io(unsigned peer, std::uint32_t events) {
   if (!(events & EventLoop::kReadable)) return;
   std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(p.fd, buf, sizeof buf, 0);
+    const ssize_t n = retry_recv(p.fd, buf, sizeof buf, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       drop_connection(peer, "read error");
       return;
@@ -174,6 +184,7 @@ void Mesh::establish(Peer& p, const Bytes& peer_nonce) {
   p.session_key = derive_session_key(link_key(p.id), lower, lower_nonce, higher_nonce);
   p.established = true;
   p.backoff = 0;
+  c_established_->inc();
   SDNS_LOG_INFO("mesh ", opt_.self, "<->", p.id, ": link established");
   // Flush everything queued while the link was down.
   while (!p.backlog.empty()) {
@@ -184,6 +195,7 @@ void Mesh::establish(Peer& p, const Bytes& peer_nonce) {
         encode_data_frame(p.session_key, opt_.self, p.id, p.send_seq, body));
     if (!p.wq.push(framed)) {
       ++dropped_;
+      c_dropped_->inc();
       continue;
     }
     ++p.send_seq;
@@ -199,6 +211,7 @@ void Mesh::handle_frame(Peer& p, const Bytes& payload) {
   auto body =
       decode_data_frame(p.session_key, p.id, opt_.self, p.recv_seq, payload);
   if (!body) {
+    c_mac_rejects_->inc();
     drop_connection(p.id, "bad MAC or sequence");
     return;
   }
@@ -208,9 +221,8 @@ void Mesh::handle_frame(Peer& p, const Bytes& payload) {
 
 void Mesh::on_listener_ready() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = retry_accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       SDNS_LOG_WARN("mesh ", opt_.self, ": accept failed");
       break;
@@ -247,9 +259,8 @@ void Mesh::on_pending_io(int fd, std::uint32_t events) {
   }
   std::uint8_t buf[16 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    const ssize_t n = retry_recv(fd, buf, sizeof buf, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       drop_pending(fd);
       return;
@@ -317,6 +328,7 @@ void Mesh::send(unsigned to, Bytes msg) {
         encode_data_frame(p.session_key, opt_.self, to, p.send_seq, msg));
     if (!p.wq.push(framed)) {
       ++dropped_;
+      c_dropped_->inc();
       return;
     }
     ++p.send_seq;
@@ -329,6 +341,7 @@ void Mesh::send(unsigned to, Bytes msg) {
   }
   if (p.backlog_bytes + msg.size() > opt_.write_cap) {
     ++dropped_;
+    c_dropped_->inc();
     return;
   }
   p.backlog_bytes += msg.size();

@@ -23,6 +23,7 @@
 #include "net/frame.hpp"
 #include "net/loop.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace sdns::net {
@@ -37,6 +38,8 @@ class Mesh {
     double reconnect_min = 0.2;  ///< first retry delay (doubles per failure)
     double reconnect_max = 5.0;
     std::size_t write_cap = 8 * 1024 * 1024;  ///< per-peer outbound bytes
+    /// Metrics sink (owned by the caller, must outlive the mesh).
+    obs::Registry* metrics = nullptr;
   };
 
   using DeliverFn = std::function<void(unsigned from, util::Bytes msg)>;
@@ -106,6 +109,13 @@ class Mesh {
   std::map<int, PendingConn> pending_;
   std::uint64_t dropped_ = 0;
   std::uint64_t reconnects_ = 0;
+
+  // Counters resolved once at construction (see Options::metrics).
+  obs::Counter* c_reconnects_;
+  obs::Counter* c_dropped_;
+  obs::Counter* c_mac_rejects_;
+  obs::Counter* c_conn_drops_;
+  obs::Counter* c_established_;
 };
 
 }  // namespace sdns::net

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -57,16 +58,15 @@ StubResolver::Result StubResolver::exchange_udp(const dns::Message& request,
   set_rcv_timeout(sock.fd, opt_.timeout);
   const Bytes wire = request.encode();
   const sockaddr_in sa = server.to_sockaddr();
-  if (::sendto(sock.fd, wire.data(), wire.size(), 0,
-               reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+  if (retry_sendto(sock.fd, wire.data(), wire.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
     out.error = "sendto: " + std::string(std::strerror(errno));
     return out;
   }
   std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(sock.fd, buf, sizeof buf, 0);
+    const ssize_t n = retry_recv(sock.fd, buf, sizeof buf, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
       out.error = "timeout";
       return out;
     }
@@ -93,17 +93,24 @@ StubResolver::Result StubResolver::exchange_tcp(const dns::Message& request,
   }
   set_rcv_timeout(sock.fd, opt_.timeout);
   const sockaddr_in sa = server.to_sockaddr();
-  if (::connect(sock.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+  for (;;) {
+    if (::connect(sock.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0) {
+      break;
+    }
+    // A signal can interrupt a blocking connect while the handshake keeps
+    // running in the kernel; re-issuing it reports EALREADY until it lands
+    // and EISCONN afterwards (POSIX connect §ERRORS).
+    if (errno == EINTR || errno == EALREADY) continue;
+    if (errno == EISCONN) break;
     out.error = "connect: " + std::string(std::strerror(errno));
     return out;
   }
   const Bytes framed = DnsTcpDecoder::frame(request.encode());
   std::size_t sent = 0;
   while (sent < framed.size()) {
-    const ssize_t n = ::send(sock.fd, framed.data() + sent, framed.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = retry_send(sock.fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
       out.error = "send: " + std::string(std::strerror(errno));
       return out;
     }
@@ -112,9 +119,8 @@ StubResolver::Result StubResolver::exchange_tcp(const dns::Message& request,
   DnsTcpDecoder decoder;
   std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(sock.fd, buf, sizeof buf, 0);
+    const ssize_t n = retry_recv(sock.fd, buf, sizeof buf, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
       out.error = "timeout";
       return out;
     }
@@ -172,8 +178,11 @@ StubResolver::Result StubResolver::exchange(dns::Message request) {
   return last;
 }
 
-StubResolver::Result StubResolver::query(const dns::Name& name, dns::RRType type) {
-  return exchange(dns::Message::make_query(0, name, type));
+StubResolver::Result StubResolver::query(const dns::Name& name, dns::RRType type,
+                                         dns::RRClass klass) {
+  dns::Message request = dns::Message::make_query(0, name, type);
+  request.questions.front().klass = klass;
+  return exchange(std::move(request));
 }
 
 StubResolver::Result StubResolver::send_update(dns::Message update,
@@ -181,6 +190,9 @@ StubResolver::Result StubResolver::send_update(dns::Message update,
                                                std::uint64_t timestamp) {
   update.id = next_id_++;
   if (next_id_ == 0) next_id_ = 1;
+  if (timestamp == kTimestampNow) {
+    timestamp = static_cast<std::uint64_t>(::time(nullptr));
+  }
   if (key) dns::tsig_sign(update, *key, timestamp);
   return exchange(std::move(update));
 }

@@ -40,13 +40,20 @@ class StubResolver {
 
   explicit StubResolver(Options options);
 
-  /// dig: query (name, type) and return the first response whose id and
-  /// question match, following TC to TCP.
-  Result query(const dns::Name& name, dns::RRType type);
+  /// Passed as `timestamp` to sign with the wall clock at send time — the
+  /// only value that survives a server-side TSIG fudge-window check.
+  static constexpr std::uint64_t kTimestampNow = ~0ULL;
 
-  /// nsupdate: send a dynamic update (TSIG applied if `key` is non-null).
+  /// dig: query (name, type) and return the first response whose id and
+  /// question match, following TC to TCP. `klass` defaults to IN; pass
+  /// dns::RRClass::kCH to scrape a replica's stats.sdns. introspection TXT.
+  Result query(const dns::Name& name, dns::RRType type,
+               dns::RRClass klass = dns::RRClass::kIN);
+
+  /// nsupdate: send a dynamic update (TSIG applied if `key` is non-null,
+  /// stamped with the wall clock unless an explicit timestamp is given).
   Result send_update(dns::Message update, const dns::TsigKey* key = nullptr,
-                     std::uint64_t timestamp = 1);
+                     std::uint64_t timestamp = kTimestampNow);
 
   /// Raw exchange of an arbitrary request.
   Result exchange(dns::Message request);

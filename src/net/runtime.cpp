@@ -1,10 +1,13 @@
 #include "net/runtime.hpp"
 
+#include <time.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "dns/message.hpp"
 
 #include "abcast/group.hpp"
 #include "util/log.hpp"
@@ -89,6 +92,8 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
     else if (key == "edns_payload")
       cfg.edns_payload = static_cast<std::uint16_t>(std::stoul(value));
     else if (key == "seed") cfg.seed = std::stoull(value);
+    else if (key == "stats_interval") cfg.stats_interval = std::stod(value);
+    else if (key == "tsig_fudge") cfg.tsig_fudge = std::stoull(value);
     else if (key.rfind("peer", 0) == 0) {
       const unsigned peer_id = static_cast<unsigned>(std::stoul(key.substr(4)));
       peers[peer_id] = SockAddr::parse(value);
@@ -128,6 +133,12 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
     rc.update_policy.require_tsig = true;
     rc.update_policy.keys.push_back(
         {cfg_.tsig_name, util::hex_decode(cfg_.tsig_secret_hex)});
+    // Deployed replicas enforce the RFC 2845 freshness window against the
+    // wall clock; the simulator leaves tsig_clock empty (logical timestamps).
+    rc.update_policy.tsig_clock = [] {
+      return static_cast<std::uint64_t>(::time(nullptr));
+    };
+    rc.update_policy.tsig_fudge = cfg_.tsig_fudge;
   }
 
   // ---- transports ----
@@ -136,8 +147,10 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   fopt.listen = cfg_.listen_dns;
   fopt.idle_timeout = cfg_.idle_timeout;
   fopt.edns_payload = cfg_.edns_payload;
+  fopt.metrics = &registry_;
   frontend_ = std::make_unique<DnsFrontend>(
       loop_, fopt, [this](ClientId client, Bytes wire) {
+        if (maybe_answer_stats(client, wire)) return;
         replica_->on_client_request(client, wire);
       });
 
@@ -149,6 +162,7 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   mopt.self = cfg_.id;
   mopt.peers = cfg_.mesh_peers;
   mopt.mesh_secret = read_file(cfg_.mesh_secret);
+  mopt.metrics = &registry_;
   mesh_ = std::make_unique<Mesh>(
       loop_, mopt,
       [this](unsigned from, Bytes msg) { replica_->on_replica_message(from, msg); },
@@ -164,14 +178,68 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   cb.set_timer = [this](double delay, std::function<void()> fn) {
     loop_.add_timer(delay, std::move(fn));
   };
+  cb.metrics = &registry_;
   replica_ = std::make_unique<core::ReplicaNode>(
       rc, group, std::move(secret), zone_pub, std::move(share), std::move(zone), cb,
       util::Rng(seed, cfg_.id));
 }
 
+bool ReplicaRuntime::maybe_answer_stats(ClientId client, BytesView wire) {
+  dns::Message request;
+  try {
+    request = dns::Message::decode(wire);
+  } catch (const util::ParseError&) {
+    return false;
+  }
+  if (request.opcode != dns::Opcode::kQuery || request.questions.size() != 1) {
+    return false;
+  }
+  const dns::Question& q = request.questions.front();
+  if (q.klass != dns::RRClass::kCH) return false;
+
+  // All CHAOS-class traffic is served locally — it describes this server,
+  // not the zone, so it must not go through atomic broadcast.
+  dns::Message response = dns::Message::make_response(request);
+  static const dns::Name kStatsName = dns::Name::parse("stats.sdns.");
+  const bool name_ok = q.name.canonical() == kStatsName;
+  const bool type_ok = q.type == dns::RRType::kTXT || q.type == dns::RRType::kANY;
+  if (name_ok && type_ok) {
+    for (const obs::Registry::Sample& s : registry_.export_samples()) {
+      std::string txt = s.name + "=" + s.value;
+      if (txt.size() > 255) txt.resize(255);  // single character-string cap
+      dns::ResourceRecord rr;
+      rr.name = q.name;
+      rr.type = dns::RRType::kTXT;
+      rr.klass = dns::RRClass::kCH;
+      rr.ttl = 0;
+      rr.rdata.push_back(static_cast<std::uint8_t>(txt.size()));
+      rr.rdata.insert(rr.rdata.end(), txt.begin(), txt.end());
+      response.answers.push_back(std::move(rr));
+    }
+  } else {
+    response.rcode = dns::Rcode::kRefused;
+  }
+  frontend_->respond(client, response.encode());
+  return true;
+}
+
+void ReplicaRuntime::log_stats_line() {
+  std::ostringstream os;
+  os << "stats replica=" << cfg_.id;
+  for (const obs::Registry::Sample& s : registry_.export_samples()) {
+    os << " " << s.name << "=" << s.value;
+  }
+  SDNS_LOG_INFO(os.str());
+}
+
 void ReplicaRuntime::start() {
   frontend_->start();
   mesh_->start();
+  // Seed the protocol trace with a boot marker so a --trace-dump is never
+  // empty: an operator can tell "ring was dumped, nothing happened" apart
+  // from "dump path never ran".
+  registry_.trace().record(loop_.now(), "runtime", "start", cfg_.id,
+                           cfg_.recover ? 1 : 0);
   SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": serving ", cfg_.listen_dns.to_string(),
                 ", mesh ", cfg_.mesh_peers[cfg_.id].to_string());
   if (cfg_.recover) {
@@ -179,6 +247,17 @@ void ReplicaRuntime::start() {
       SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": starting snapshot recovery");
       replica_->start_recovery();
     });
+  }
+  if (cfg_.stats_interval > 0) {
+    // Self-re-arming periodic timer; the loop owns the closure chain.
+    struct Rearm {
+      ReplicaRuntime* rt;
+      void operator()() const {
+        rt->log_stats_line();
+        rt->loop_.add_timer(rt->cfg_.stats_interval, *this);
+      }
+    };
+    loop_.add_timer(cfg_.stats_interval, Rearm{this});
   }
 }
 

@@ -50,6 +50,10 @@ struct RuntimeConfig {
   double idle_timeout = 30.0;
   std::uint16_t edns_payload = 4096;
   std::uint64_t seed = 0;  ///< 0: derive from pid/clock (nonces, jitter)
+  /// Log one counter-summary line every this many seconds (0 disables).
+  double stats_interval = 0;
+  /// TSIG timestamp acceptance window, seconds (RFC 2845 "fudge").
+  std::uint64_t tsig_fudge = 300;
 
   /// Parse the `key = value` config file format. Throws NetError with the
   /// offending line on malformed input.
@@ -72,10 +76,19 @@ class ReplicaRuntime {
   DnsFrontend& frontend() { return *frontend_; }
   Mesh& mesh() { return *mesh_; }
   const RuntimeConfig& config() const { return cfg_; }
+  /// The counters every component of this runtime counts into.
+  obs::Registry& registry() { return registry_; }
 
  private:
+  /// Answer BIND-style introspection queries (`stats.sdns. CH TXT`) directly
+  /// from the registry, without touching the replicated state machine.
+  /// Returns true when `wire` was a CHAOS-class query and has been answered.
+  bool maybe_answer_stats(ClientId client, util::BytesView wire);
+  void log_stats_line();
+
   EventLoop& loop_;
   RuntimeConfig cfg_;
+  obs::Registry registry_;  ///< must outlive frontend/mesh/replica below
   std::unique_ptr<DnsFrontend> frontend_;
   std::unique_ptr<Mesh> mesh_;
   std::unique_ptr<core::ReplicaNode> replica_;

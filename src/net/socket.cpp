@@ -126,6 +126,43 @@ int tcp_connect(const SockAddr& addr) {
   return fd;
 }
 
+ssize_t retry_send(int fd, const void* buf, std::size_t len, int flags) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, flags);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t retry_recv(int fd, void* buf, std::size_t len, int flags) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, flags);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t retry_sendto(int fd, const void* buf, std::size_t len, int flags,
+                     const sockaddr* addr, socklen_t addr_len) {
+  for (;;) {
+    const ssize_t n = ::sendto(fd, buf, len, flags, addr, addr_len);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t retry_recvfrom(int fd, void* buf, std::size_t len, int flags,
+                       sockaddr* addr, socklen_t* addr_len) {
+  for (;;) {
+    const ssize_t n = ::recvfrom(fd, buf, len, flags, addr, addr_len);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+int retry_accept(int fd, sockaddr* addr, socklen_t* addr_len) {
+  for (;;) {
+    const int conn = ::accept(fd, addr, addr_len);
+    if (conn >= 0 || errno != EINTR) return conn;
+  }
+}
+
 int socket_error(int fd) {
   int err = 0;
   socklen_t len = sizeof err;

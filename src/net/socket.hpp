@@ -5,6 +5,8 @@
 #pragma once
 
 #include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
 
 #include <cstdint>
 #include <stdexcept>
@@ -51,6 +53,18 @@ int tcp_connect(const SockAddr& addr);
 
 /// The error accumulated on a socket (SO_ERROR), 0 if none.
 int socket_error(int fd);
+
+// EINTR-retrying syscall wrappers. A signal landing mid-call — the SIGUSR1
+// trace dump, SIGCHLD from a forked test cluster, a profiler tick — must
+// restart the call, not surface as a connection error. Each returns exactly
+// what the underlying syscall would, with EINTR filtered out.
+ssize_t retry_send(int fd, const void* buf, std::size_t len, int flags);
+ssize_t retry_recv(int fd, void* buf, std::size_t len, int flags);
+ssize_t retry_sendto(int fd, const void* buf, std::size_t len, int flags,
+                     const sockaddr* addr, socklen_t addr_len);
+ssize_t retry_recvfrom(int fd, void* buf, std::size_t len, int flags,
+                       sockaddr* addr, socklen_t* addr_len);
+int retry_accept(int fd, sockaddr* addr, socklen_t* addr_len);
 
 /// Local address of a bound socket (resolves port 0 after bind).
 SockAddr local_addr(int fd);

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace sdns::obs {
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  ++buckets_[bucket_index(v)];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double Histogram::mean() const noexcept {
+  if (count_ == 0) return 0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < 16) return static_cast<std::size_t>(v);
+  // Octave = floor(log2 v) >= 4; the top three bits below the leading one
+  // pick the linear sub-bucket, giving bucket widths of 1/8 octave.
+  const unsigned octave = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const std::uint64_t sub = (v >> (octave - 3)) & (kSubBuckets - 1);
+  return 16 + (octave - 4) * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t index) noexcept {
+  if (index < 16) return index;
+  const unsigned octave = 4 + static_cast<unsigned>((index - 16) / kSubBuckets);
+  const std::uint64_t sub = (index - 16) % kSubBuckets;
+  return (kSubBuckets + sub) << (octave - 3);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t index) noexcept {
+  if (index < 16) return index + 1;
+  const unsigned octave = 4 + static_cast<unsigned>((index - 16) / kSubBuckets);
+  const std::uint64_t lo = bucket_lo(index);
+  const std::uint64_t width = 1ULL << (octave - 3);
+  // The very top bucket's upper edge is 2^64; saturate.
+  return lo + width < lo ? ~0ULL : lo + width;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Same rank convention as bench_common's LatencySummary: the p-quantile
+  // sits at fractional rank p * (n - 1) over the sorted samples.
+  const double rank = p * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets_[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(seen + c)) {
+      const double frac = (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      const double lo = static_cast<double>(bucket_lo(i));
+      const double hi = static_cast<double>(bucket_hi(i));
+      // Clamp to the observed extremes so percentiles never exceed max().
+      const double v = lo + frac * (hi - lo);
+      const double hi_clamp = static_cast<double>(max_);
+      const double lo_clamp = static_cast<double>(min());
+      return v > hi_clamp ? hi_clamp : (v < lo_clamp ? lo_clamp : v);
+    }
+    seen += c;
+  }
+  return static_cast<double>(max_);
+}
+
+Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Registry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<Registry::Sample> Registry::export_samples() const {
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, std::to_string(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, std::to_string(g.value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name + ".count", std::to_string(h.count())});
+    out.push_back({name + ".p50",
+                   std::to_string(static_cast<std::uint64_t>(h.percentile(0.50)))});
+    out.push_back({name + ".p99",
+                   std::to_string(static_cast<std::uint64_t>(h.percentile(0.99)))});
+    out.push_back({name + ".max", std::to_string(h.max())});
+    out.push_back({name + ".mean",
+                   std::to_string(static_cast<std::uint64_t>(h.mean()))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+Counter& noop_counter() noexcept {
+  thread_local Counter sink;
+  return sink;
+}
+
+Histogram& noop_histogram() noexcept {
+  thread_local Histogram sink;
+  return sink;
+}
+
+}  // namespace sdns::obs

@@ -1,0 +1,132 @@
+// Metrics registry: named monotonic counters, gauges, and fixed-bucket
+// log-linear latency histograms.
+//
+// Built for the single-threaded epoll hot path: a Counter bump is one plain
+// uint64_t increment, no locks, no atomics. Components look their counters
+// up ONCE (at construction) and keep the returned reference — lookups walk a
+// std::map, increments do not. The registry hands out stable references
+// (node-based map), so the pointer a component caches stays valid for the
+// registry's lifetime.
+//
+// Histograms use ~500 fixed log-linear buckets (exact below 16 µs, then each
+// power-of-two octave split into 8 linear sub-buckets), giving <= 6.25%
+// relative bucket width across the full uint64 range with a constant-time,
+// allocation-free observe(). Percentiles come out of a cumulative scan with
+// linear interpolation inside the winning bucket — the same interpolation
+// convention as bench_common's LatencySummary, so BENCH numbers computed
+// from raw samples and scraped replica histograms agree on what "p99" means.
+//
+// One Registry per replica instance (NOT a process-wide singleton): the
+// simulator runs n ReplicaNodes in one process and each needs its own view.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace sdns::obs {
+
+/// Monotonic event count. Wraps modulo 2^64 like any unsigned counter;
+/// scrapers diff successive samples, so wrap is harmless in practice.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level (queue depths, connection counts); may go down.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_ = v; }
+  void add(std::int64_t delta) noexcept { value_ += delta; }
+  std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket log-linear histogram of non-negative integer samples
+/// (microseconds, by convention, for all *_us histograms).
+class Histogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave.
+  static constexpr std::size_t kSubBuckets = 8;
+  /// Values 0..15 land in their own bucket; octaves 4..63 contribute
+  /// kSubBuckets each.
+  static constexpr std::size_t kBuckets = 16 + (64 - 4) * kSubBuckets;
+
+  void observe(std::uint64_t v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept;
+
+  /// Quantile in [0,1], e.g. 0.99. Cumulative scan, linearly interpolated
+  /// within the winning bucket; exact for values below 16.
+  double percentile(double p) const noexcept;
+
+  /// Bucket geometry, exposed for the boundary unit tests.
+  static std::size_t bucket_index(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_lo(std::size_t index) noexcept;
+  static std::uint64_t bucket_hi(std::size_t index) noexcept;  ///< exclusive
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+class Registry {
+ public:
+  /// Look up (creating on first use) by name. The returned reference is
+  /// stable for the registry's lifetime — resolve once, bump forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Read a counter without creating it (0 when absent) — for tests and
+  /// invariant checkers that must not perturb the snapshot.
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// One exported sample: a metric name and its rendered decimal value.
+  /// Histograms expand to five entries (.count/.p50/.p99/.max/.mean).
+  /// Sorted by name so every scrape of the same state is byte-identical —
+  /// the CH TXT endpoint and --stats-interval log line are both built
+  /// from this.
+  struct Sample {
+    std::string name;
+    std::string value;
+  };
+  std::vector<Sample> export_samples() const;
+
+  /// The protocol-event trace ring riding along with the metrics (one
+  /// pointer plumbs both through the stack).
+  TraceRing& trace() noexcept { return trace_; }
+  const TraceRing& trace() const noexcept { return trace_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  TraceRing trace_;
+};
+
+/// A shared sink for components constructed without a registry: resolving
+/// counters against it keeps the hot path branch-free (bump a dummy instead
+/// of testing a pointer). Thread-local because unit tests run event loops
+/// on several threads; the values are never read.
+Counter& noop_counter() noexcept;
+Histogram& noop_histogram() noexcept;
+
+}  // namespace sdns::obs

@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sdns::obs {
+
+namespace {
+
+/// Decimal-format `v` into `buf` (must hold 21 bytes); returns the length.
+/// No snprintf: that is not async-signal-safe.
+std::size_t format_u64(std::uint64_t v, char* buf) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void append(char* buf, std::size_t& len, std::size_t cap, const char* s,
+            std::size_t n) {
+  if (len + n > cap) n = cap - len;
+  std::memcpy(buf + len, s, n);
+  len += n;
+}
+
+void append_str(char* buf, std::size_t& len, std::size_t cap, const char* s) {
+  append(buf, len, cap, s, std::strlen(s));
+}
+
+void copy_field(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  if (src) {
+    for (; i + 1 < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+  }
+  for (; i < cap; ++i) dst[i] = '\0';
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) : ring_(capacity ? capacity : 1) {}
+
+void TraceRing::record(double t, const char* cat, const char* msg,
+                       std::uint64_t a, std::uint64_t b) noexcept {
+  TraceEvent& e = ring_[head_];
+  e.t = t;
+  copy_field(e.cat, sizeof e.cat, cat);
+  copy_field(e.msg, sizeof e.msg, msg);
+  e.a = a;
+  e.b = b;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t first = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::dump(int fd) const noexcept {
+  const std::size_t first = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = ring_[(first + i) % ring_.size()];
+    char line[128];
+    std::size_t len = 0;
+    char num[21];
+    append_str(line, len, sizeof line, "TRACE t_us=");
+    // The timestamp is loop time in seconds; print integral microseconds so
+    // no floating-point formatting (not signal-safe) is needed.
+    const std::uint64_t t_us =
+        e.t > 0 ? static_cast<std::uint64_t>(e.t * 1e6) : 0;
+    append(line, len, sizeof line, num, format_u64(t_us, num));
+    append_str(line, len, sizeof line, " ");
+    append(line, len, sizeof line, e.cat, ::strnlen(e.cat, sizeof e.cat));
+    append_str(line, len, sizeof line, " ");
+    append(line, len, sizeof line, e.msg, ::strnlen(e.msg, sizeof e.msg));
+    append_str(line, len, sizeof line, " a=");
+    append(line, len, sizeof line, num, format_u64(e.a, num));
+    append_str(line, len, sizeof line, " b=");
+    append(line, len, sizeof line, num, format_u64(e.b, num));
+    append_str(line, len, sizeof line, "\n");
+    const char* p = line;
+    std::size_t left = len;
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // a dead fd: give up quietly
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+}
+
+}  // namespace sdns::obs

@@ -1,0 +1,55 @@
+// Bounded ring-buffer protocol-event trace.
+//
+// Every layer that holds an obs::Registry can append fixed-size events
+// (timestamp, category, label, two integer arguments) without allocating;
+// the ring overwrites its oldest entry when full, so a long-running replica
+// keeps the most recent window of protocol activity. dump() renders the
+// window using only write(2) and stack formatting, making it safe to call
+// from a fatal-signal handler — sdnsd wires it to SIGUSR1 and to crashes so
+// a wedged or dying replica leaves its last protocol steps on stderr.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdns::obs {
+
+/// One fixed-size trace entry; char arrays (not std::string) so record()
+/// never allocates and dump() never touches the heap.
+struct TraceEvent {
+  double t = 0;       ///< loop time (seconds) when recorded
+  char cat[12] = {};  ///< subsystem, e.g. "abcast"
+  char msg[28] = {};  ///< event label, e.g. "epoch-change"
+  std::uint64_t a = 0, b = 0;  ///< event-specific arguments
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 2048);
+
+  /// Append an event, overwriting the oldest when the ring is full. `cat`
+  /// and `msg` are truncated to their fixed widths.
+  void record(double t, const char* cat, const char* msg, std::uint64_t a = 0,
+              std::uint64_t b = 0) noexcept;
+
+  /// Events oldest-first (for tests and structured export).
+  std::vector<TraceEvent> events() const;
+
+  /// Write the ring oldest-first to `fd` as one line per event. Uses only
+  /// write(2) and stack buffers — async-signal-safe, so a SIGSEGV handler
+  /// may call it. Concurrent record() from the interrupted thread can tear
+  /// the entry being written at the time; every other entry is intact,
+  /// which is the useful property for a crash dump.
+  void dump(int fd) const noexcept;
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next slot to write
+  std::size_t size_ = 0;  ///< entries recorded, saturating at capacity
+};
+
+}  // namespace sdns::obs

@@ -33,7 +33,15 @@ SigningSession::SigningSession(const ThresholdPublicKey& pk, const KeyShare& sha
       x_(std::move(x)),
       cb_(std::move(callbacks)),
       rng_(rng),
-      corruption_(corruption) {}
+      corruption_(corruption) {
+  obs::Registry* m = cb_.metrics;
+  c_verify_ok_ = m ? &m->counter("threshold.share.verify_ok") : &obs::noop_counter();
+  c_verify_fail_ =
+      m ? &m->counter("threshold.share.verify_fail") : &obs::noop_counter();
+  c_opt_hit_ = m ? &m->counter("threshold.optimistic.hit") : &obs::noop_counter();
+  c_opt_miss_ = m ? &m->counter("threshold.optimistic.miss") : &obs::noop_counter();
+  h_sign_us_ = m ? &m->histogram("threshold.sign_us") : &obs::noop_histogram();
+}
 
 Bytes SigningSession::frame(MsgType type, BytesView payload) const {
   Writer w;
@@ -93,6 +101,7 @@ Bytes SigningSession::encode_final(std::uint64_t sid, const BigInt& y) {
 
 void SigningSession::start() {
   started_ = true;
+  started_at_ = cb_.now ? cb_.now() : 0.0;
   const bool with_proof = protocol_ == SigProtocol::kBasic;
   SignatureShare own = make_own_share(with_proof);
   if (corruption_ != ShareCorruption::kMute && cb_.send_to_all) {
@@ -147,9 +156,11 @@ void SigningSession::handle_share(SignatureShare share) {
       if (!share.has_proof) return;
       if (cb_.charge) cb_.charge(CryptoOp::kProofVerify);
       if (verify_share(*ctx_, x_, share)) {
+        c_verify_ok_->inc();
         valid_shares_.emplace(share.index, std::move(share));
         check_basic_progress();
       } else {
+        c_verify_fail_->inc();
         rejected_indices_.insert(share.index);
       }
       break;
@@ -160,9 +171,11 @@ void SigningSession::handle_share(SignatureShare share) {
         if (!share.has_proof) return;
         if (cb_.charge) cb_.charge(CryptoOp::kProofVerify);
         if (verify_share(*ctx_, x_, share)) {
+          c_verify_ok_->inc();
           valid_shares_.emplace(share.index, std::move(share));
           check_basic_progress();
         } else {
+          c_verify_fail_->inc();
           rejected_indices_.insert(share.index);
         }
       } else {
@@ -227,6 +240,7 @@ void SigningSession::try_assemble_optimistic() {
   }
   auto y = assemble(*ctx_, x_, subset);
   if (y && verify_signature(*ctx_, x_, *y)) {
+    c_opt_hit_->inc();
     if (corruption_ == ShareCorruption::kNone && cb_.send_to_all) {
       cb_.send_to_all(frame(kFinalSig, y->to_bytes_be()));
     }
@@ -234,6 +248,7 @@ void SigningSession::try_assemble_optimistic() {
     return;
   }
   // Optimism failed: someone sent a bad share. Ask for proofs (OptProof).
+  c_opt_miss_->inc();
   SDNS_LOG_DEBUG("signing session ", sid_, ": optimistic assembly failed, requesting proofs");
   proof_mode_ = true;
   if (cb_.send_to_all) cb_.send_to_all(frame(kProofRequest, {}));
@@ -308,6 +323,7 @@ void SigningSession::check_basic_progress() {
 void SigningSession::complete(BigInt y) {
   if (done()) return;
   signature_ = std::move(y);
+  if (cb_.now) h_sign_us_->observe((cb_.now() - started_at_) * 1e6);
   if (cb_.on_complete) cb_.on_complete(*signature_);
 }
 

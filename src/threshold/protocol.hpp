@@ -26,6 +26,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "threshold/context.hpp"
 #include "threshold/shoup.hpp"
 
@@ -52,6 +53,11 @@ struct SessionCallbacks {
   std::function<void(const bn::BigInt& y)> on_complete;
   /// Cost accounting hook; may be empty.
   std::function<void(CryptoOp)> charge;
+  /// Metrics sink (owned by the caller, must outlive the session); null
+  /// sessions count into a shared no-op sink.
+  obs::Registry* metrics = nullptr;
+  /// Clock for the signing-latency histogram; empty disables it.
+  std::function<double()> now;
 };
 
 /// How a corrupted server misbehaves inside the signing protocol. The paper's
@@ -152,6 +158,14 @@ class SigningSession {
   // OptTE: subsets already tried, as sorted index vectors.
   std::set<std::vector<unsigned>> tried_subsets_;
   bool optimistic_attempted_ = false;
+
+  // Counters resolved once at construction (see SessionCallbacks::metrics).
+  obs::Counter* c_verify_ok_;
+  obs::Counter* c_verify_fail_;
+  obs::Counter* c_opt_hit_;
+  obs::Counter* c_opt_miss_;
+  obs::Histogram* h_sign_us_;
+  double started_at_ = 0.0;
 };
 
 }  // namespace sdns::threshold

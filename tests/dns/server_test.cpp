@@ -387,6 +387,30 @@ TEST(Update, TsigEnforcedWhenRequired) {
   EXPECT_FALSE(server.zone().name_exists(Name::parse("evil.corp.example.")));
 }
 
+TEST(Update, TsigReplayOutsideFudgeIsNotAuth) {
+  // RFC 2845 freshness: with a clock configured, a correctly signed update
+  // whose timestamp fell out of the fudge window answers NOTAUTH (BADTIME)
+  // and is not applied — the replay defense the MAC alone cannot give.
+  Zone z = base_zone();
+  UpdatePolicy policy;
+  policy.require_tsig = true;
+  policy.keys.push_back({"client", to_bytes("shared")});
+  policy.tsig_clock = [] { return std::uint64_t{10'000}; };
+  policy.tsig_fudge = 300;
+  AuthoritativeServer server(std::move(z), policy);
+
+  Message replayed = update_message();
+  replayed.updates().push_back(add_a("replayed.corp.example.", "10.0.0.2"));
+  tsig_sign(replayed, {"client", to_bytes("shared")}, 1000);  // long stale
+  EXPECT_EQ(server.apply_update(replayed, 1).rcode, Rcode::kNotAuth);
+  EXPECT_FALSE(server.zone().name_exists(Name::parse("replayed.corp.example.")));
+
+  Message fresh = update_message();
+  fresh.updates().push_back(add_a("fresh.corp.example.", "10.0.0.3"));
+  tsig_sign(fresh, {"client", to_bytes("shared")}, 9'900);  // inside the window
+  EXPECT_EQ(server.apply_update(fresh, 1).rcode, Rcode::kNoError);
+}
+
 TEST(UpdateSigned, AddYieldsFourSigTasks) {
   // The paper's §5.2 observation: an add at a new name triggers four
   // signatures (new RRset, new NXT, predecessor NXT, SOA) and a delete two.

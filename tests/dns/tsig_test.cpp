@@ -82,6 +82,67 @@ TEST(Tsig, TamperedTimestampFails) {
   EXPECT_EQ(tsig_verify(m, single_key_lookup()), TsigStatus::kBadMac);
 }
 
+// The RFC 2845 freshness window: a valid MAC over a stale timestamp is a
+// replay and must be rejected with BADTIME, not accepted. Pre-fix, verify
+// only checked the MAC, so a captured signed update could be replayed
+// indefinitely — this test fails against that code.
+TEST(Tsig, StaleTimestampIsBadTime) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 1000);
+  TsigVerifyOptions opt;
+  opt.now = [] { return std::uint64_t{2000}; };
+  opt.fudge = 300;
+  EXPECT_EQ(tsig_verify(m, single_key_lookup(), opt), TsigStatus::kBadTime);
+  EXPECT_FALSE(m.additional.empty());  // left intact on failure
+}
+
+TEST(Tsig, FutureTimestampIsBadTime) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 3000);
+  TsigVerifyOptions opt;
+  opt.now = [] { return std::uint64_t{1000}; };
+  opt.fudge = 300;
+  EXPECT_EQ(tsig_verify(m, single_key_lookup(), opt), TsigStatus::kBadTime);
+}
+
+TEST(Tsig, TimestampInsideFudgeVerifies) {
+  for (const std::uint64_t ts : {std::uint64_t{700}, std::uint64_t{1000},
+                                 std::uint64_t{1300}}) {
+    Message m = sample_update();
+    tsig_sign(m, key(), ts);
+    TsigVerifyOptions opt;
+    opt.now = [] { return std::uint64_t{1000}; };
+    opt.fudge = 300;
+    EXPECT_EQ(tsig_verify(m, single_key_lookup(), opt), TsigStatus::kOk) << ts;
+  }
+}
+
+TEST(Tsig, JustOutsideFudgeFails) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 699);  // now=1000, fudge=300: oldest acceptable is 700
+  TsigVerifyOptions opt;
+  opt.now = [] { return std::uint64_t{1000}; };
+  opt.fudge = 300;
+  EXPECT_EQ(tsig_verify(m, single_key_lookup(), opt), TsigStatus::kBadTime);
+}
+
+TEST(Tsig, EmptyClockDisablesFreshnessCheck) {
+  Message m = sample_update();
+  tsig_sign(m, key(), 1);  // ancient logical timestamp
+  EXPECT_EQ(tsig_verify(m, single_key_lookup(), TsigVerifyOptions{}),
+            TsigStatus::kOk);
+}
+
+TEST(Tsig, BadMacReportedBeforeBadTime) {
+  // MAC is checked first: an attacker must not learn clock state from a
+  // forgery's rcode.
+  Message m = sample_update();
+  tsig_sign(m, {"update-key", to_bytes("wrong secret")}, 1);
+  TsigVerifyOptions opt;
+  opt.now = [] { return std::uint64_t{5000}; };
+  EXPECT_EQ(tsig_verify(m, single_key_lookup(), opt), TsigStatus::kBadMac);
+}
+
 TEST(Tsig, DifferentTimestampsGiveDifferentMacs) {
   Message m1 = sample_update();
   Message m2 = sample_update();

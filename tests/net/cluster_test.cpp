@@ -15,8 +15,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -144,6 +146,28 @@ class ClusterTest : public ::testing::Test {
     return r.send_update(std::move(update), &tsig_key_);
   }
 
+  /// Scrape replica `id`'s live counters over the wire: stats.sdns. CH TXT,
+  /// one `name=value` character-string per answer RR.
+  std::map<std::string, std::uint64_t> scrape_stats(unsigned id) {
+    StubResolver r = resolver_for(id, /*timeout=*/1.0, /*attempts=*/3);
+    const auto res = r.query(dns::Name::parse("stats.sdns."),
+                             dns::RRType::kTXT, dns::RRClass::kCH);
+    std::map<std::string, std::uint64_t> out;
+    if (!res.ok) return out;
+    for (const auto& rr : res.response.answers) {
+      if (rr.rdata.empty()) continue;
+      const std::size_t len =
+          std::min<std::size_t>(rr.rdata[0], rr.rdata.size() - 1);
+      const std::string txt(rr.rdata.begin() + 1, rr.rdata.begin() + 1 + len);
+      const auto eq = txt.find('=');
+      if (eq == std::string::npos) continue;
+      // Histogram exports are decimal floats; strtoull keeps the integer part.
+      out[txt.substr(0, eq)] =
+          std::strtoull(txt.c_str() + eq + 1, nullptr, 10);
+    }
+    return out;
+  }
+
   std::string dir_;
   ClusterFiles files_;
   dns::TsigKey tsig_key_;
@@ -166,6 +190,37 @@ TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
       if (rr.type == dns::RRType::kSIG) has_sig = true;
     }
     EXPECT_TRUE(has_sig) << "replica " << id << " served an unsigned answer";
+  }
+
+  // ---- CHAOS-class introspection: scraped stats track client-observed
+  //      query counts ----
+  {
+    const auto before = scrape_stats(0);
+    ASSERT_FALSE(before.empty()) << "stats.sdns. CH TXT scrape failed";
+    ASSERT_TRUE(before.count("replica.reads"));
+    ASSERT_TRUE(before.count("net.udp.queries"));
+
+    constexpr unsigned kProbes = 5;
+    unsigned answered = 0;
+    StubResolver probe = resolver_for(0, /*timeout=*/1.0, /*attempts=*/2);
+    for (unsigned i = 0; i < kProbes; ++i) {
+      const auto res =
+          probe.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+      if (res.ok) ++answered;
+    }
+    ASSERT_GT(answered, 0u);
+
+    const auto after = scrape_stats(0);
+    ASSERT_FALSE(after.empty());
+    // Every answered query was counted; retransmits can only add to the
+    // server-side view, never subtract.
+    EXPECT_GE(after.at("replica.reads"),
+              before.at("replica.reads") + answered);
+    EXPECT_GE(after.at("net.udp.queries"),
+              before.at("net.udp.queries") + answered);
+    EXPECT_GE(after.at("net.query.latency_us.count"), answered);
+    // Fault-free cluster: the optimistic abcast path never fell back.
+    EXPECT_EQ(after.at("abcast.fallback"), 0u);
   }
 
   // ---- dig over TCP ----

@@ -180,6 +180,74 @@ TEST_F(FrontendTest, EdnsPayloadLiftsTruncationLimit) {
   EXPECT_EQ(frontend_->truncated(), 0u);
 }
 
+TEST(ClientIdTest, TinyAdvertisedPayloadClampsTo512) {
+  // RFC 6891 §6.2.5: requestor payload sizes below 512 are treated as 512.
+  // Pre-fix, make_udp_client stored the advertised value verbatim, so a
+  // malicious OPT of e.g. 100 bytes forced truncation of well-formed
+  // sub-512-byte responses — this test fails against that code.
+  const SockAddr addr = SockAddr::parse("127.0.0.1:5353");
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 100)), 512);
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 1)), 512);
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 511)), 512);
+  // 0 is the "query had no OPT" sentinel and must survive unclamped.
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 0)), 0);
+  // At and above the classic limit the advertised size is honored.
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 512)), 512);
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 1232)), 1232);
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 4096)), 4096);
+}
+
+TEST_F(FrontendTest, MaliciouslyTinyEdnsPayloadStillGets512) {
+  // An attacker advertising a 100-byte OPT payload must not shrink the
+  // response budget below the classic 512-byte limit: a ~300-byte answer
+  // set comes back whole — no truncation at the tiny advertised size.
+  start({}, /*answer_count=*/8);
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    const Bytes q = query_wire(0x0707, /*edns_payload=*/100);
+    ASSERT_GT(::sendto(fd, q.data(), q.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    EXPECT_GT(static_cast<std::size_t>(n), 100u);   // beyond the tiny advert
+    EXPECT_LE(static_cast<std::size_t>(n), dns::kClassicUdpLimit);
+    const dns::Message r = dns::Message::decode({buf, static_cast<std::size_t>(n)});
+    EXPECT_FALSE(r.tc);
+    EXPECT_EQ(r.answers.size(), 8u);
+    ::close(fd);
+  });
+  EXPECT_EQ(frontend_->truncated(), 0u);
+}
+
+TEST_F(FrontendTest, MetricsRegistryCountsQueries) {
+  obs::Registry reg;
+  DnsFrontend::Options opt;
+  opt.metrics = &reg;
+  start(opt);
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    for (std::uint16_t id : {0x21, 0x22}) {
+      const Bytes q = query_wire(id);
+      ASSERT_GT(::sendto(fd, q.data(), q.size(), 0,
+                         reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+                0);
+      std::uint8_t buf[4096];
+      ASSERT_GT(::recv(fd, buf, sizeof buf, 0), 0);
+    }
+    ::close(fd);
+  });
+  EXPECT_EQ(reg.counter_value("net.udp.queries"), 2u);
+  EXPECT_EQ(reg.counter_value("net.query.opcode.query"), 2u);
+  EXPECT_EQ(reg.counter_value("net.rcode.noerror"), 2u);
+  EXPECT_EQ(reg.histogram("net.query.latency_us").count(), 2u);
+}
+
 TEST_F(FrontendTest, TcpQueryWithSplitLengthPrefix) {
   start({});
   run_with_client([&] {

@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <map>
+#include <string>
+
+namespace sdns::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndCounts) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, WrapsModulo64Bits) {
+  Counter c;
+  c.inc(~0ULL);  // 2^64 - 1
+  EXPECT_EQ(c.value(), ~0ULL);
+  c.inc();  // wraps to 0; scrapers diff samples, so wrap must not trap
+  EXPECT_EQ(c.value(), 0u);
+  c.inc(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, GoesUpAndDown) {
+  Gauge g;
+  g.set(10);
+  g.add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(Histogram, ExactBucketsBelowSixteen) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lo(v), v);
+    EXPECT_EQ(Histogram::bucket_hi(v), v + 1);
+  }
+}
+
+TEST(Histogram, OctaveBoundaries) {
+  // 16 opens the first log-linear octave.
+  EXPECT_EQ(Histogram::bucket_index(15), 15u);
+  EXPECT_EQ(Histogram::bucket_index(16), 16u);
+  EXPECT_EQ(Histogram::bucket_index(17), 16u);  // width 2 in octave [16,32)
+  EXPECT_EQ(Histogram::bucket_index(18), 17u);
+  EXPECT_EQ(Histogram::bucket_index(31), 23u);
+  EXPECT_EQ(Histogram::bucket_index(32), 24u);  // next octave
+  // Indices must be strictly monotone in v across octave boundaries.
+  std::size_t prev = 0;
+  for (std::uint64_t v = 1; v < 4096; ++v) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+  EXPECT_LT(Histogram::bucket_index(~0ULL), Histogram::kBuckets);
+}
+
+TEST(Histogram, BucketGeometryRoundTrips) {
+  // Every bucket's lo must map back to the same bucket, and hi-1 too.
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lo(i);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "lo of bucket " << i;
+    const std::uint64_t hi = Histogram::bucket_hi(i);
+    EXPECT_GT(hi, lo);
+    EXPECT_EQ(Histogram::bucket_index(hi - 1), i) << "hi-1 of bucket " << i;
+  }
+  // Top bucket saturates at 2^64.
+  EXPECT_EQ(Histogram::bucket_hi(Histogram::kBuckets - 1), ~0ULL);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reads 0, not 2^64-1
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.observe(10);
+  h.observe(20);
+  h.observe(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentilesExactBelowSixteen) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 10; ++v) h.observe(v);
+  // rank = p * (n-1) over sorted samples 0..9, same convention as
+  // bench_common's LatencySummary.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.0);
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+  Histogram h;
+  h.observe(1000);  // single sample in a wide bucket
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(Histogram, PercentileMonotoneInP) {
+  Histogram h;
+  std::uint64_t x = 1;
+  for (int i = 0; i < 500; ++i) {
+    h.observe(x);
+    x = x * 1103515245 + 12345;  // deterministic spread over the range
+  }
+  double prev = -1;
+  for (double p = 0; p <= 1.0; p += 0.01) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
+}
+
+TEST(Registry, StableReferencesAndCounterValue) {
+  Registry reg;
+  Counter& a = reg.counter("a.first");
+  Counter& b = reg.counter("b.second");
+  a.inc();
+  // Creating more entries must not move existing ones (node-based map).
+  for (int i = 0; i < 100; ++i) reg.counter("filler." + std::to_string(i));
+  EXPECT_EQ(&reg.counter("a.first"), &a);
+  EXPECT_EQ(&reg.counter("b.second"), &b);
+  EXPECT_EQ(reg.counter_value("a.first"), 1u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);  // must not create it
+  EXPECT_EQ(reg.export_samples().size(), 102u);
+}
+
+TEST(Registry, ExportIsSortedAndConsistent) {
+  Registry reg;
+  reg.counter("zeta").inc(3);
+  reg.counter("alpha").inc(1);
+  reg.gauge("mid").set(-4);
+  reg.histogram("lat_us").observe(5);
+  reg.histogram("lat_us").observe(7);
+
+  const auto samples = reg.export_samples();
+  ASSERT_EQ(samples.size(), 2 + 1 + 5u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+  std::map<std::string, std::string> by_name;
+  for (const auto& s : samples) by_name[s.name] = s.value;
+  EXPECT_EQ(by_name["alpha"], "1");
+  EXPECT_EQ(by_name["zeta"], "3");
+  EXPECT_EQ(by_name["mid"], "-4");
+  EXPECT_EQ(by_name["lat_us.count"], "2");
+  EXPECT_EQ(by_name["lat_us.max"], "7");
+  EXPECT_EQ(by_name["lat_us.mean"], "6");
+  // A second export of unchanged state is byte-identical.
+  const auto again = reg.export_samples();
+  ASSERT_EQ(again.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(again[i].name, samples[i].name);
+    EXPECT_EQ(again[i].value, samples[i].value);
+  }
+}
+
+TEST(Noop, SinksAbsorbWithoutRegistry) {
+  noop_counter().inc(123);
+  noop_histogram().observe(456);  // must not crash; values are never read
+}
+
+TEST(TraceRing, KeepsNewestEvents) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record(static_cast<double>(i), "cat", "msg", i, i * 2);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, holding the newest four records (6..9).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6 + i);
+    EXPECT_EQ(events[i].b, (6 + i) * 2);
+  }
+}
+
+TEST(TraceRing, TruncatesLongFields) {
+  TraceRing ring(2);
+  ring.record(1.0, "a-category-longer-than-the-field",
+              "a-message-that-is-much-longer-than-the-field", 1, 2);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  // Fields are NUL-terminated truncating copies.
+  EXPECT_EQ(events[0].cat[sizeof events[0].cat - 1], '\0');
+  EXPECT_EQ(events[0].msg[sizeof events[0].msg - 1], '\0');
+}
+
+TEST(TraceRing, DumpWritesParseableLines) {
+  TraceRing ring(8);
+  ring.record(1.5, "abcast", "epoch-change", 3, 42);
+  ring.record(2.5, "mesh", "mac-reject", 1, 0);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ring.dump(fds[1]);
+  ::close(fds[1]);
+  std::string out;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof buf)) > 0) out.append(buf, static_cast<std::size_t>(n));
+  ::close(fds[0]);
+
+  EXPECT_NE(out.find("TRACE t_us=1500000 abcast epoch-change a=3 b=42"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("TRACE t_us=2500000 mesh mac-reject a=1 b=0"),
+            std::string::npos)
+      << out;
+}
+
+}  // namespace
+}  // namespace sdns::obs

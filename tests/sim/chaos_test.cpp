@@ -73,6 +73,40 @@ TEST(ChaosCheckers, DetectsInvalidZoneSignature) {
   EXPECT_EQ(v.front().invariant, "zone-signature");
 }
 
+// The first counter-based invariant: a fault-free run must never leave the
+// optimistic abcast path, so a nonzero fallback counter is a violation even
+// when every safety invariant held.
+TEST(ChaosCheckers, FaultFreeRunWithFallbacksIsAViolation) {
+  std::vector<ReplicaObservation> obs = {honest_obs(0), honest_obs(1)};
+  obs[1].fallbacks = 3;
+  auto v = check_observations(obs, 1, /*fault_free=*/true);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.front().invariant, "fallback-free");
+  EXPECT_NE(v.front().detail.find("replica 1"), std::string::npos);
+}
+
+TEST(ChaosCheckers, FallbacksAreAllowedWhenFaultsWereInjected) {
+  std::vector<ReplicaObservation> obs = {honest_obs(0), honest_obs(1)};
+  obs[1].fallbacks = 3;
+  EXPECT_TRUE(check_observations(obs, 1, /*fault_free=*/false).empty());
+}
+
+TEST(ChaosCheckers, FaultFreeRunWithoutFallbacksIsClean) {
+  std::vector<ReplicaObservation> obs = {honest_obs(0), honest_obs(1)};
+  EXPECT_TRUE(check_observations(obs, 1, /*fault_free=*/true).empty());
+}
+
+TEST(Chaos, FaultFreeRunStaysOnTheOptimisticPath) {
+  // No injected faults, no Byzantine replicas: run_chaos flags the run as
+  // fault-free and enforces fallback == 0 on every replica end-to-end.
+  ChaosConfig cfg;
+  cfg.seed = 11;
+  cfg.byzantine = 0;
+  cfg.max_faults = 0;
+  const ChaosReport r = run_chaos(cfg);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
 TEST(ChaosCheckers, ByzantineReplicasAreExemptFromEveryInvariant) {
   std::vector<ReplicaObservation> obs = {honest_obs(0), honest_obs(1)};
   obs[1].byzantine = true;
