@@ -1,7 +1,7 @@
 // sdnsd — one replica of the intrusion-tolerant name service, deployed.
 //
 //   sdnsd <config-file> [--recover] [--log LEVEL] [--stats-interval SECONDS]
-//         [--trace-dump]
+//         [--trace-dump] [--shards N]
 //
 // The config file format is RuntimeConfig::load's `key = value` form; see
 // README.md for the four-replica localhost recipe and sdns_keygen for how
@@ -51,7 +51,7 @@ void handle_crash_signal(int sig) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config-file> [--recover] [--log error|warn|info|debug]"
-               " [--stats-interval SECONDS] [--trace-dump]\n",
+               " [--stats-interval SECONDS] [--trace-dump] [--shards N]\n",
                argv0);
   return 2;
 }
@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
   bool trace_dump = false;
   bool explicit_log_level = false;
   double stats_interval = -1;
+  int shards = 0;  // 0: keep the config file's value
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
@@ -85,6 +86,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
       stats_interval = std::atof(argv[++i]);
       if (stats_interval <= 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1 || shards > 64) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       explicit_log_level = true;
       const char* level = argv[++i];
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
     sdns::net::RuntimeConfig config = sdns::net::RuntimeConfig::load(config_path);
     if (recover) config.recover = true;
     if (stats_interval > 0) config.stats_interval = stats_interval;
+    if (shards > 0) config.shards = static_cast<unsigned>(shards);
     sdns::net::EventLoop loop;
     g_loop = &loop;
     std::signal(SIGINT, handle_signal);

@@ -7,10 +7,18 @@
 // latency percentiles.
 //
 //   bench_net_loadgen [--rate QPS] [--duration S] [--dir DIR] [--json FILE]
+//                     [--shards N] [--sockets N] [--min-qps QPS]
 //
 // The configuration is the §3.4 rare-update mode (disseminate_reads=false):
 // reads are answered from the replica's local signed zone without a round of
 // atomic broadcast — the path a production resolver-facing deployment runs.
+// --shards runs each replica with N SO_REUSEPORT frontend shards; --sockets
+// spreads the driver across that many source ports so the kernel's 4-tuple
+// hash actually reaches every shard (defaults to the shard count).
+//
+// Beyond the delivery bar, the run fails if --min-qps is not sustained or if
+// the pure-read invariant breaks: a read-only workload must never increment
+// the TSIG or opcode cache-bypass counters.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -75,6 +83,9 @@ std::map<std::string, std::string> scrape_counters(const net::SockAddr& addr) {
 int main(int argc, char** argv) {
   double rate = 6000;
   double duration = 5.0;
+  double min_qps = 0;
+  unsigned shards = 1;
+  unsigned sockets = 0;  // 0: match the shard count
   std::string dir = "/tmp/sdns_loadgen_cluster";
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +93,12 @@ int main(int argc, char** argv) {
       rate = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-qps") == 0 && i + 1 < argc) {
+      min_qps = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--sockets") == 0 && i + 1 < argc) {
+      sockets = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -89,11 +106,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rate QPS] [--duration S] [--dir DIR] "
-                   "[--json FILE]\n",
+                   "[--json FILE] [--shards N] [--sockets N] [--min-qps QPS]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (shards < 1) shards = 1;
+  if (sockets == 0) sockets = shards;
 
   std::string mkdir_cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
   if (std::system(mkdir_cmd.c_str()) != 0) {
@@ -107,6 +126,7 @@ int main(int argc, char** argv) {
   copt.dns_base_port = 6300;
   copt.mesh_base_port = 6400;
   copt.seed = 11;
+  copt.shards = shards;
   std::fprintf(stderr, "dealing cluster keys...\n");
   const net::ClusterFiles files = net::generate_cluster(dir, copt);
 
@@ -144,6 +164,7 @@ int main(int argc, char** argv) {
   lopt.name = dns::Name::parse("www.example.com.");
   lopt.rate = rate;
   lopt.duration = duration;
+  lopt.sockets = sockets;
   net::Loadgen loadgen(loop, lopt);
   loadgen.start();
   loop.run();
@@ -161,6 +182,8 @@ int main(int argc, char** argv) {
   for (pid_t pid : children) ::waitpid(pid, nullptr, 0);
 
   bool fallback_free = true;
+  bool bypass_clean = true;
+  std::uint64_t cache_hits = 0, cache_misses = 0;
   std::ostringstream replicas_json;
   for (std::size_t i = 0; i < counters.size(); ++i) {
     const auto& c = counters[i];
@@ -169,6 +192,15 @@ int main(int argc, char** argv) {
       return it == c.end() ? "0" : it->second;
     };
     if (c.empty() || get("abcast.fallback") != "0") fallback_free = false;
+    // A pure-read, unsigned workload must never take the TSIG or opcode
+    // bypass — either one firing means signed/update traffic slipped into
+    // the cacheable path or vice versa.
+    if (get("net.cache.bypass.tsig") != "0" ||
+        get("net.cache.bypass.opcode") != "0") {
+      bypass_clean = false;
+    }
+    cache_hits += std::stoull(get("net.cache.hits"));
+    cache_misses += std::stoull(get("net.cache.misses"));
     replicas_json << "    {\n"
                   << "      \"replica\": " << i << ",\n"
                   << "      \"scraped\": " << (c.empty() ? "false" : "true")
@@ -177,6 +209,13 @@ int main(int argc, char** argv) {
                   << "      \"replica_reads\": " << get("replica.reads") << ",\n"
                   << "      \"abcast_fallback\": " << get("abcast.fallback")
                   << ",\n"
+                  << "      \"cache_hits\": " << get("net.cache.hits") << ",\n"
+                  << "      \"cache_misses\": " << get("net.cache.misses")
+                  << ",\n"
+                  << "      \"cache_bypass_tsig\": "
+                  << get("net.cache.bypass.tsig") << ",\n"
+                  << "      \"cache_bypass_opcode\": "
+                  << get("net.cache.bypass.opcode") << ",\n"
                   << "      \"query_latency_us\": {\n"
                   << "        \"count\": " << get("net.query.latency_us.count")
                   << ",\n"
@@ -189,17 +228,25 @@ int main(int argc, char** argv) {
                   << "      }\n"
                   << "    }" << (i + 1 < counters.size() ? "," : "") << "\n";
   }
+  const double cache_hit_rate =
+      (cache_hits + cache_misses) > 0
+          ? static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses)
+          : 0.0;
 
   char json[2048];
   std::snprintf(json, sizeof json,
                 "{\n"
                 "  \"benchmark\": \"net_loadgen_loopback\",\n"
                 "  \"topology\": \"(4,1) localhost, direct reads\",\n"
+                "  \"shards\": %u,\n"
+                "  \"driver_sockets\": %u,\n"
                 "  \"offered_qps\": %.0f,\n"
                 "  \"duration_s\": %.1f,\n"
                 "  \"sent\": %llu,\n"
                 "  \"received\": %llu,\n"
                 "  \"achieved_qps\": %.0f,\n"
+                "  \"cache_hit_rate\": %.4f,\n"
                 "  \"latency_ms\": {\n"
                 "    \"mean\": %.3f,\n"
                 "    \"p50\": %.3f,\n"
@@ -209,10 +256,11 @@ int main(int argc, char** argv) {
                 "    \"max\": %.3f\n"
                 "  },\n"
                 "  \"replica_counters\": [\n",
-                rate, duration, static_cast<unsigned long long>(r.sent),
+                shards, sockets, rate, duration,
+                static_cast<unsigned long long>(r.sent),
                 static_cast<unsigned long long>(r.received), r.achieved_qps,
-                r.mean * 1e3, r.p50 * 1e3, r.p90 * 1e3, r.p99 * 1e3, r.p999 * 1e3,
-                r.max * 1e3);
+                cache_hit_rate, r.mean * 1e3, r.p50 * 1e3, r.p90 * 1e3,
+                r.p99 * 1e3, r.p999 * 1e3, r.max * 1e3);
   std::string full = json;
   full += replicas_json.str();
   full += "  ]\n}\n";
@@ -221,13 +269,23 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << full;
   }
-  // ≥95% answered at the offered rate counts as sustaining it, and a
-  // fault-free run must never leave the optimistic abcast path.
-  const bool ok =
-      r.received >= static_cast<std::uint64_t>(0.95 * r.sent) && fallback_free;
-  std::fprintf(stderr, "%s: %llu/%llu answered, %s\n", ok ? "PASS" : "FAIL",
+  // ≥95% answered at the offered rate counts as sustaining it, a fault-free
+  // run must never leave the optimistic abcast path, a pure-read run must
+  // never trip the TSIG/opcode cache bypass, and --min-qps (when given) is
+  // the regression floor.
+  const bool delivered = r.received >= static_cast<std::uint64_t>(0.95 * r.sent);
+  // 2% tolerance: achieved = received / elapsed quantizes a hair below the
+  // offered rate even at 100% delivery, so an exact floor would always fail.
+  const bool fast_enough = min_qps <= 0 || r.achieved_qps >= 0.98 * min_qps;
+  const bool ok = delivered && fallback_free && bypass_clean && fast_enough;
+  std::fprintf(stderr,
+               "%s: %llu/%llu answered, %.0f qps (floor %.0f), "
+               "cache hit rate %.3f, %s, %s\n",
+               ok ? "PASS" : "FAIL",
                static_cast<unsigned long long>(r.received),
-               static_cast<unsigned long long>(r.sent),
-               fallback_free ? "fallback-free" : "FALLBACK OBSERVED");
+               static_cast<unsigned long long>(r.sent), r.achieved_qps, min_qps,
+               cache_hit_rate,
+               fallback_free ? "fallback-free" : "FALLBACK OBSERVED",
+               bypass_clean ? "bypass-clean" : "CACHE BYPASS TRIPPED");
   return ok ? 0 : 1;
 }

@@ -71,6 +71,8 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
   c_updates_ = &metrics_->counter("replica.updates");
   c_signatures_ = &metrics_->counter("replica.signatures");
   c_recoveries_ = &metrics_->counter("replica.recoveries");
+  metrics_->gauge("replica.zone_gen")
+      .set(static_cast<std::int64_t>(zone_generation_value()));
   // Threshold counters normally materialize when the first signing session
   // constructs; pre-create them so every scrape exposes the full taxonomy
   // from boot (dashboards can rely on the names existing at 0).
@@ -269,6 +271,7 @@ void ReplicaNode::try_finish_recovery() {
     return;
   }
   server_.zone() = dns::Zone::from_wire(best->zone_wire);
+  bump_zone_generation();
   deliveries_ = best->deliveries;
   update_counter_ = best->update_counter;
   abcast_->fast_forward(best->abcast_cursor);
@@ -295,6 +298,9 @@ void ReplicaNode::install_zone_share(
   if (zone_key_) old_zone_keys_.push_back(zone_key_);
   zone_key_ = std::move(pub);
   zone_share_ = std::move(share);
+  // Served records don't change, but signatures produced from here on come
+  // from the refreshed share; treat it as a new signature generation.
+  bump_zone_generation();
 }
 
 void ReplicaNode::execute_next() {
@@ -347,6 +353,10 @@ void ReplicaNode::run_update(ClientId client, const dns::Message& request) {
       1'000'000 + static_cast<std::uint32_t>(update_counter_);
   ++update_counter_;
   dns::UpdateResult result = server_.apply_update(request, inception);
+  // The generation must be ahead of any response computed against the new
+  // zone, so bump before responding — a frontend shard can then never stamp
+  // a fresh answer with a stale generation.
+  if (result.rcode == dns::Rcode::kNoError) bump_zone_generation();
   if (result.rcode != dns::Rcode::kNoError || result.sig_tasks.empty()) {
     respond(client, dns::AuthoritativeServer::update_response(request, result.rcode));
     executing_ = false;
@@ -362,6 +372,7 @@ void ReplicaNode::run_update(ClientId client, const dns::Message& request) {
       c_signatures_->inc();
     }
     server_.finalize_journal();
+    bump_zone_generation();
     respond(client, dns::AuthoritativeServer::update_response(request, dns::Rcode::kNoError));
     executing_ = false;
     execute_next();
@@ -396,6 +407,7 @@ void ReplicaNode::start_next_signature() {
   scb.on_complete = [this, index](const bn::BigInt& y) {
     PendingUpdate& u = *current_update_;
     server_.install_signature(u.tasks[index], threshold::signature_bytes(*zone_key_, y));
+    bump_zone_generation();
     ++signatures_computed_;
     c_signatures_->inc();
     last_finished_sid_ = signing_->session_id();
@@ -467,6 +479,15 @@ void ReplicaNode::finish_update() {
           dns::AuthoritativeServer::update_response(update.request, dns::Rcode::kNoError));
   executing_ = false;
   execute_next();
+}
+
+void ReplicaNode::bump_zone_generation() {
+  // Release pairs with the acquire load in the frontend shards: by the time
+  // a shard observes the new generation, the mutation that caused it has
+  // already happened-before on this (the only mutating) thread.
+  const auto next =
+      zone_generation_.fetch_add(1, std::memory_order_release) + 1;
+  metrics_->gauge("replica.zone_gen").set(static_cast<std::int64_t>(next));
 }
 
 void ReplicaNode::respond(ClientId client, const dns::Message& response) {

@@ -16,6 +16,7 @@
 // Corruption modes implement the paper's testbed misbehaviors (§4.4).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 
@@ -109,6 +110,19 @@ class ReplicaNode {
   std::uint64_t executed_updates() const { return executed_updates_; }
   std::uint64_t signatures_computed() const { return signatures_computed_; }
 
+  /// Zone-generation counter: bumped (release) on the replica thread for
+  /// every observable zone mutation — an applied RFC 2136 update, an
+  /// installed threshold signature, a recovery reinstall. Frontend shards
+  /// read it (acquire) to stamp and lazily invalidate packet-cache entries;
+  /// it never decreases. Starts at 1 so generation 0 can mean "no replica
+  /// attached" in frontend unit tests.
+  const std::atomic<std::uint64_t>& zone_generation() const {
+    return zone_generation_;
+  }
+  std::uint64_t zone_generation_value() const {
+    return zone_generation_.load(std::memory_order_acquire);
+  }
+
  private:
   struct PendingUpdate {
     ClientId client;
@@ -138,6 +152,7 @@ class ReplicaNode {
   void finish_update();
   void respond(ClientId client, const dns::Message& response);
   std::uint64_t next_session_id();
+  void bump_zone_generation();
 
   ReplicaConfig config_;
   abcast::NodeSecret secret_;
@@ -177,6 +192,7 @@ class ReplicaNode {
   std::uint64_t executed_reads_ = 0;
   std::uint64_t executed_updates_ = 0;
   std::uint64_t signatures_computed_ = 0;
+  std::atomic<std::uint64_t> zone_generation_{1};
 
   /// Private registry when Callbacks::metrics is null (the simulator runs
   /// many replicas per process; each needs its own counter namespace).

@@ -227,6 +227,28 @@ Message Message::make_query(std::uint16_t id, const Name& name, RRType type) {
   return m;
 }
 
+std::size_t question_section_span(util::BytesView wire) {
+  if (wire.size() < 12) throw util::ParseError("message shorter than header");
+  const std::size_t qdcount = static_cast<std::size_t>(wire[4]) << 8 | wire[5];
+  std::size_t at = 12;
+  for (std::size_t q = 0; q < qdcount; ++q) {
+    for (;;) {
+      if (at >= wire.size()) throw util::ParseError("truncated question name");
+      const std::uint8_t len = wire[at];
+      if ((len & 0xC0) == 0xC0) {  // compression pointer ends the name
+        at += 2;
+        break;
+      }
+      if (len & 0xC0) throw util::ParseError("bad label length in question");
+      at += 1 + len;
+      if (len == 0) break;
+    }
+    at += 4;  // qtype + qclass
+    if (at > wire.size()) throw util::ParseError("truncated question");
+  }
+  return at - 12;
+}
+
 Message Message::make_response(const Message& request) {
   Message m;
   m.id = request.id;

@@ -80,4 +80,12 @@ struct Message {
   static Message make_response(const Message& request);
 };
 
+/// Byte length of the question section of an encoded message (the qdcount
+/// entries starting at offset 12). The packet cache uses this to splice a
+/// client's literal question bytes — exact casing preserved — in front of a
+/// stored answer tail. Compression pointers (legal, if unusual, inside a
+/// question name) terminate that name. Throws util::ParseError on truncated
+/// or malformed input.
+std::size_t question_section_span(util::BytesView wire);
+
 }  // namespace sdns::dns

@@ -150,6 +150,14 @@ Name Name::canonical() const {
   return out;
 }
 
+void Name::append_canonical_key(std::string& out) const {
+  for (const auto& l : labels_) {
+    out.push_back(static_cast<char>(l.size()));
+    for (char c : l) out.push_back(fold(c));
+  }
+  out.push_back('\0');
+}
+
 bool operator==(const Name& a, const Name& b) {
   if (a.labels_.size() != b.labels_.size()) return false;
   for (std::size_t i = 0; i < a.labels_.size(); ++i) {

@@ -48,6 +48,13 @@ class Name {
   /// Case-folded copy (canonical form for signing and ordering).
   Name canonical() const;
 
+  /// Append the case-folded uncompressed wire form to `out` — the
+  /// allocation-free cache-key form of this name. Two spellings of the same
+  /// name (RFC 1035 §2.3.3 case-insensitive match, 0x20-style mixed casing
+  /// included) append identical bytes; distinct names never collide because
+  /// the wire form is self-delimiting (length-prefixed labels, root byte).
+  void append_canonical_key(std::string& out) const;
+
   /// Case-insensitive equality.
   friend bool operator==(const Name& a, const Name& b);
   friend bool operator!=(const Name& a, const Name& b) { return !(a == b); }

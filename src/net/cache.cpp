@@ -1,0 +1,177 @@
+#include "net/cache.hpp"
+
+#include "dns/rr.hpp"
+
+namespace sdns::net {
+
+using util::Bytes;
+using util::BytesView;
+
+std::uint16_t payload_bucket(std::uint16_t advertised) {
+  if (advertised == 0) return 0;
+  if (advertised >= 4096) return 4096;
+  if (advertised >= 1232) return 1232;
+  return 512;
+}
+
+namespace {
+
+/// Advance past one wire name starting at `at`. Pointers (legal anywhere a
+/// name may appear) terminate the name. Returns false on truncation or a
+/// reserved label type. `compressed` reports whether a pointer was seen.
+bool skip_name(BytesView wire, std::size_t& at, bool* compressed = nullptr) {
+  for (;;) {
+    if (at >= wire.size()) return false;
+    const std::uint8_t len = wire[at];
+    if ((len & 0xC0) == 0xC0) {
+      if (at + 2 > wire.size()) return false;
+      at += 2;
+      if (compressed) *compressed = true;
+      return true;
+    }
+    if (len & 0xC0) return false;  // 0x40/0x80 label types are reserved
+    at += 1 + len;
+    if (len == 0) return true;
+  }
+}
+
+/// Advance past one resource record, reporting its type and the 32-bit TTL
+/// field (which the OPT pseudo-RR overloads with flags).
+bool skip_rr(BytesView wire, std::size_t& at, std::uint16_t& type,
+             std::uint16_t& klass, std::uint32_t& ttl) {
+  if (!skip_name(wire, at)) return false;
+  if (at + 10 > wire.size()) return false;
+  type = static_cast<std::uint16_t>(wire[at] << 8 | wire[at + 1]);
+  klass = static_cast<std::uint16_t>(wire[at + 2] << 8 | wire[at + 3]);
+  ttl = static_cast<std::uint32_t>(wire[at + 4]) << 24 |
+        static_cast<std::uint32_t>(wire[at + 5]) << 16 |
+        static_cast<std::uint32_t>(wire[at + 6]) << 8 | wire[at + 7];
+  const std::size_t rdlen =
+      static_cast<std::size_t>(wire[at + 8]) << 8 | wire[at + 9];
+  at += 10;
+  if (at + rdlen > wire.size()) return false;
+  at += rdlen;
+  return true;
+}
+
+}  // namespace
+
+bool scan_query(BytesView wire, QueryShape& out) {
+  if (wire.size() < 12) return false;
+  out.id = static_cast<std::uint16_t>(wire[0] << 8 | wire[1]);
+  out.qr = wire[2] & 0x80;
+  out.opcode = (wire[2] >> 3) & 0x0f;
+  out.rd = wire[2] & 0x01;
+  out.qdcount = static_cast<std::uint16_t>(wire[4] << 8 | wire[5]);
+  const std::size_t ancount = static_cast<std::size_t>(wire[6]) << 8 | wire[7];
+  const std::size_t nscount = static_cast<std::size_t>(wire[8]) << 8 | wire[9];
+  const std::size_t arcount =
+      static_cast<std::size_t>(wire[10]) << 8 | wire[11];
+  std::size_t at = 12;
+  for (std::uint16_t q = 0; q < out.qdcount; ++q) {
+    bool compressed = false;
+    if (!skip_name(wire, at, &compressed)) return false;
+    if (at + 4 > wire.size()) return false;
+    if (q == 0) {
+      out.compressed_qname = compressed;
+      out.qtype = static_cast<std::uint16_t>(wire[at] << 8 | wire[at + 1]);
+      out.qclass =
+          static_cast<std::uint16_t>(wire[at + 2] << 8 | wire[at + 3]);
+    }
+    at += 4;
+  }
+  out.question_len = static_cast<std::uint16_t>(at - 12);
+  for (std::size_t i = 0; i < ancount + nscount + arcount; ++i) {
+    std::uint16_t type = 0, klass = 0;
+    std::uint32_t ttl = 0;
+    if (!skip_rr(wire, at, type, klass, ttl)) return false;
+    if (i >= ancount + nscount) {  // additional section
+      if (type == static_cast<std::uint16_t>(dns::RRType::kOPT)) {
+        out.edns_payload = klass;       // RFC 6891: class carries the size
+        out.dnssec_ok = ttl & 0x8000;   // DO is bit 15 of the TTL field
+      } else if (type == static_cast<std::uint16_t>(dns::RRType::kTSIG)) {
+        out.has_tsig = true;
+      }
+    }
+  }
+  return at == wire.size();  // trailing bytes: let full decode reject it
+}
+
+Cacheable classify_query(const QueryShape& shape) {
+  if (shape.qr || shape.opcode != 0) return Cacheable::kOpcode;
+  if (shape.has_tsig) return Cacheable::kTsig;
+  if (shape.qdcount != 1 || shape.compressed_qname ||
+      shape.qtype == static_cast<std::uint16_t>(dns::RRType::kAXFR) ||
+      shape.qtype == static_cast<std::uint16_t>(dns::RRType::kIXFR)) {
+    return Cacheable::kQform;
+  }
+  if (shape.qclass != static_cast<std::uint16_t>(dns::RRClass::kIN)) {
+    return Cacheable::kClass;
+  }
+  return Cacheable::kYes;
+}
+
+void append_cache_key(std::string& key, BytesView wire,
+                      const QueryShape& shape) {
+  // classify_query(kYes) guarantees an uncompressed single question, so the
+  // qname is the literal label run at offset 12; fold it byte-for-byte.
+  std::size_t at = 12;
+  for (;;) {
+    const std::uint8_t len = wire[at];
+    key.push_back(static_cast<char>(len));
+    ++at;
+    if (len == 0) break;
+    for (std::uint8_t i = 0; i < len; ++i, ++at) {
+      const char c = static_cast<char>(wire[at]);
+      key.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                           : c);
+    }
+  }
+  const std::uint16_t bucket = payload_bucket(shape.edns_payload);
+  key.push_back(static_cast<char>(shape.qtype >> 8));
+  key.push_back(static_cast<char>(shape.qtype));
+  key.push_back(static_cast<char>(shape.qclass >> 8));
+  key.push_back(static_cast<char>(shape.qclass));
+  key.push_back(static_cast<char>(bucket >> 8));
+  key.push_back(static_cast<char>(bucket));
+  key.push_back(shape.dnssec_ok ? 1 : 0);
+}
+
+PacketCache::PacketCache(std::size_t max_entries)
+    : max_entries_(max_entries ? max_entries : 1) {}
+
+void PacketCache::flush_if_stale(std::uint64_t generation) {
+  if (generation == last_generation_) return;
+  if (!map_.empty()) {
+    ++stats_.flushes;
+    map_.clear();
+  }
+  last_generation_ = generation;
+}
+
+const PacketCache::Entry* PacketCache::lookup(const std::string& key,
+                                              std::uint64_t generation) {
+  flush_if_stale(generation);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void PacketCache::store(std::string key, Bytes wire,
+                        std::uint16_t question_len, std::uint64_t generation) {
+  flush_if_stale(generation);
+  if (map_.size() >= max_entries_ && map_.find(key) == map_.end()) {
+    map_.erase(map_.begin());  // arbitrary victim; the map is a hot-set cache
+    ++stats_.evictions;
+  }
+  ++stats_.stores;
+  map_[std::move(key)] = Entry{std::move(wire), question_len, generation};
+}
+
+void PacketCache::clear() { map_.clear(); }
+
+}  // namespace sdns::net

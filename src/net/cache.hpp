@@ -1,0 +1,134 @@
+// Serial-stamped response packet cache for the read hot path.
+//
+// Each frontend shard owns one PacketCache: a map from a canonical query key
+// to the fully encoded wire response last produced for that key. A hit skips
+// parse, zone lookup, signature attach, and re-encode entirely — the shard
+// splices the client's literal question bytes (exact 0x20 casing, RFC 1035
+// §2.3.3) and message id in front of the stored answer tail and sends.
+//
+// Keys are (qname canonical-case wire form, qtype, qclass, EDNS payload
+// bucket, DO bit). Advertised EDNS sizes collapse into floor buckets
+// {0 = no OPT, 512, 1232, 4096}; a packet is only stored if it fits its
+// bucket floor, so one stored encoding is valid for every advertised size
+// in the bucket.
+//
+// Consistency is by generation stamping, not fine-grained invalidation: the
+// replica bumps an atomic zone-generation counter whenever the zone mutates
+// (RFC 2136 update applied, signature installed, recovery reinstall). Every
+// entry is stamped with the generation current when the answer was routed —
+// captured on the replica thread, the sole zone mutator, so a stamp can
+// never be newer than the zone state it describes. A lookup under a
+// different generation flushes the whole map lazily; no shard ever serves
+// an answer stamped with anything but the current generation.
+//
+// The cache is confined to its shard's event-loop thread; only the
+// generation counter crosses threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+
+namespace sdns::net {
+
+/// Floor an advertised EDNS payload into a cache bucket: 0 stays 0 (query
+/// had no OPT), anything else becomes the largest of {512, 1232, 4096} not
+/// above it (advertised sizes below 512 were already floored to 512 by the
+/// RFC 6891 §6.2.5 clamp).
+std::uint16_t payload_bucket(std::uint16_t advertised);
+
+/// The response-size budget a bucket guarantees for every client in it.
+inline std::size_t bucket_limit(std::uint16_t bucket) {
+  return bucket == 0 ? 512 : bucket;
+}
+
+/// One-pass structural scan of a query datagram — the fields the cache
+/// needs, extracted without building a dns::Message (no allocation beyond
+/// the caller's key buffer). Deliberately shallower than Message::decode:
+/// it walks section skeletons but not rdata interiors.
+struct QueryShape {
+  std::uint16_t id = 0;
+  bool qr = false;
+  std::uint8_t opcode = 0;
+  bool rd = false;
+  std::uint16_t qdcount = 0;
+  std::uint16_t qtype = 0;
+  std::uint16_t qclass = 0;
+  std::uint16_t question_len = 0;  ///< bytes of the question section
+  bool compressed_qname = false;   ///< pointer inside the question name
+  std::uint16_t edns_payload = 0;  ///< OPT class field; 0 = no OPT
+  bool dnssec_ok = false;          ///< DO bit of the OPT TTL
+  bool has_tsig = false;           ///< TSIG RR present in additional
+};
+
+/// Scan `wire`. Returns false if the datagram is not structurally walkable
+/// (truncated section, bad label) or carries trailing bytes — such packets
+/// take the full-decode path, which drops them. On false, `out` is partial.
+bool scan_query(util::BytesView wire, QueryShape& out);
+
+/// Why a query cannot be served from / stored into the cache.
+enum class Cacheable : std::uint8_t {
+  kYes = 0,
+  kOpcode,  ///< not a QUERY opcode, or qr already set
+  kQform,   ///< qdcount != 1, compressed qname, or AXFR/IXFR qtype
+  kClass,   ///< question class is not IN
+  kTsig,    ///< TSIG-signed — per-requester MAC, never cached
+};
+
+Cacheable classify_query(const QueryShape& shape);
+
+/// Append the cache key for a scanned query to `key`: the case-folded qname
+/// wire form straight off the datagram, then qtype, qclass, bucket, DO.
+/// Only valid when classify_query() said kYes (uncompressed single
+/// question). Appends, so clear the buffer first; never allocates beyond
+/// the buffer's capacity once it has grown past the largest key.
+void append_cache_key(std::string& key, util::BytesView wire,
+                      const QueryShape& shape);
+
+class PacketCache {
+ public:
+  struct Entry {
+    util::Bytes wire;             ///< full encoded response as sent
+    std::uint16_t question_len;   ///< question-section bytes (splice width)
+    std::uint64_t generation;     ///< zone generation the answer reflects
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t flushes = 0;    ///< wholesale generation flushes
+    std::uint64_t evictions = 0;  ///< single-entry capacity evictions
+  };
+
+  explicit PacketCache(std::size_t max_entries = 4096);
+
+  /// The entry for `key` valid at `generation`, or nullptr. A generation
+  /// change flushes the whole map before the probe (lazy wholesale
+  /// invalidation). The pointer is valid until the next store/lookup.
+  const Entry* lookup(const std::string& key, std::uint64_t generation);
+
+  /// Remember `wire` for `key` at `generation`. Evicts an arbitrary entry
+  /// at capacity. A stale-generation store flushes first, same as lookup.
+  void store(std::string key, util::Bytes wire, std::uint16_t question_len,
+             std::uint64_t generation);
+
+  void clear();
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+  std::uint64_t generation() const { return last_generation_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void flush_if_stale(std::uint64_t generation);
+
+  std::size_t max_entries_;
+  std::uint64_t last_generation_ = 0;
+  std::unordered_map<std::string, Entry> map_;
+  Stats stats_;
+};
+
+}  // namespace sdns::net

@@ -132,6 +132,7 @@ ClusterFiles generate_cluster(const std::string& dir, const ClusterOptions& opt)
         << "mesh_secret = " << dir << "/mesh.secret\n"
         << "listen_dns = " << opt.dns_host << ":" << (opt.dns_base_port + i) << "\n"
         << "seed = " << (opt.seed + 1000 + i) << "\n";
+    if (opt.shards != 1) cfg << "shards = " << opt.shards << "\n";
     if (opt.require_tsig) {
       cfg << "require_tsig = true\n"
           << "tsig_name = " << opt.tsig_name << "\n"

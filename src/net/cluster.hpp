@@ -28,6 +28,7 @@ struct ClusterOptions {
   std::string origin = "example.com.";
   std::string zone_text;  ///< master-file text; empty = a small default zone
   std::uint64_t seed = 1;
+  unsigned shards = 1;  ///< frontend shards per replica (SO_REUSEPORT group)
 
   std::string dns_host = "127.0.0.1";
   std::uint16_t dns_base_port = 5300;   ///< replica i serves dns_base_port + i

@@ -39,6 +39,9 @@ bool DnsTcpDecoder::feed(BytesView data) {
     broken_ = true;
     return false;
   }
+  // Compact here rather than in next_view(): views handed out by
+  // next_view() must survive until the following feed().
+  compact(buf_, consumed_);
   buf_.insert(buf_.end(), data.begin(), data.end());
   // Validate the visible length prefix eagerly so an abusive length is
   // rejected before its payload is ever awaited.
@@ -67,9 +70,24 @@ std::optional<Bytes> DnsTcpDecoder::next() {
   Bytes msg(buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 2),
             buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 2 + len));
   consumed_ += 2 + len;
-  compact(buf_, consumed_);
   // A following frame's length prefix may now be visible and bogus; the
   // caller sees it via broken() on the next feed/next cycle.
+  return msg;
+}
+
+std::optional<BytesView> DnsTcpDecoder::next_view() {
+  if (broken_) return std::nullopt;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 2) return std::nullopt;
+  const std::size_t len =
+      static_cast<std::size_t>(buf_[consumed_]) << 8 | buf_[consumed_ + 1];
+  if (len < kDnsHeaderLen || len > max_message_) {
+    broken_ = true;
+    return std::nullopt;
+  }
+  if (avail < 2 + len) return std::nullopt;
+  BytesView msg(buf_.data() + consumed_ + 2, len);
+  consumed_ += 2 + len;
   return msg;
 }
 

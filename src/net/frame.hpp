@@ -43,6 +43,12 @@ class DnsTcpDecoder {
   /// Extract the next complete message, if any.
   std::optional<util::Bytes> next();
 
+  /// Allocation-free variant: a view into the reassembly buffer, valid
+  /// until the next feed() (which may compact or reallocate the buffer).
+  /// The sharded frontend's read hot path uses this to hand each pipelined
+  /// query to the owner without a per-message copy.
+  std::optional<util::BytesView> next_view();
+
   bool broken() const { return broken_; }
 
   /// Frame a message for the stream (length prefix + payload).

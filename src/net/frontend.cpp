@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "dns/message.hpp"
 #include "util/log.hpp"
 
 namespace sdns::net {
@@ -15,9 +16,15 @@ using util::BytesView;
 
 namespace {
 constexpr std::uint64_t kTcpBit = 1ULL << 63;
+constexpr std::uint64_t kUdpDoBit = 1ULL << 62;
 
 /// Cap on the (ClientId, DNS id) -> arrival time latency-pairing map.
 constexpr std::size_t kMaxInflight = 8192;
+
+/// Cap on the (ClientId, DNS id) -> pending cache-store map. Entries are
+/// consumed by the matching respond(); the cap only matters if a flood of
+/// cacheable queries goes unanswered.
+constexpr std::size_t kMaxPending = 8192;
 
 const char* const kRcodeNames[16] = {
     "noerror", "formerr", "servfail", "nxdomain", "notimp",  "refused",
@@ -35,23 +42,33 @@ SockAddr client_udp_addr(ClientId id) {
 }
 
 std::uint16_t client_udp_payload(ClientId id) {
-  return static_cast<std::uint16_t>((id >> 48) & 0x7fff);
+  return static_cast<std::uint16_t>((id >> 48) & 0x3fff);
 }
+
+bool client_udp_do(ClientId id) { return (id & kUdpDoBit) != 0; }
 
 unsigned client_tcp_owner(ClientId id) {
   return static_cast<unsigned>((id >> 48) & 0xff);
 }
 
-ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload) {
-  // 15 bits suffice: RFC 2671 sizes beyond 32767 have no practical meaning.
-  std::uint64_t payload = std::min<std::uint64_t>(edns_payload, 0x7fff);
+unsigned client_tcp_shard(ClientId id) {
+  return static_cast<unsigned>((id >> 40) & 0xff);
+}
+
+ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload,
+                         bool dnssec_ok) {
+  // 14 bits suffice: RFC 2671 sizes beyond 16383 have no practical meaning
+  // (the transport caps a datagram at 65535 and real-world advertised
+  // sizes top out at 4096). Bit 62 carries the query's DO bit.
+  std::uint64_t payload = std::min<std::uint64_t>(edns_payload, 0x3fff);
   // RFC 6891 §6.2.5: an advertised size below 512 MUST be treated as 512 —
   // a maliciously tiny OPT must not shrink the response budget below the
   // classic limit. Zero stays zero: it is the "query had no OPT" sentinel.
   if (payload != 0 && payload < dns::kClassicUdpLimit) {
     payload = dns::kClassicUdpLimit;
   }
-  return payload << 48 | static_cast<std::uint64_t>(addr.ip) << 16 | addr.port;
+  return (dnssec_ok ? kUdpDoBit : 0) | payload << 48 |
+         static_cast<std::uint64_t>(addr.ip) << 16 | addr.port;
 }
 
 ClientId make_tcp_client(unsigned replica, std::uint64_t serial) {
@@ -60,27 +77,53 @@ ClientId make_tcp_client(unsigned replica, std::uint64_t serial) {
 }
 
 DnsFrontend::DnsFrontend(EventLoop& loop, Options options, RequestFn on_request)
-    : loop_(loop), opt_(options), on_request_(std::move(on_request)) {
+    : loop_(loop),
+      opt_(options),
+      on_request_(std::move(on_request)),
+      cache_(options.cache_entries),
+      udp_buf_(64 * 1024),
+      tcp_buf_(64 * 1024) {
   obs::Registry* m = opt_.metrics;
-  c_udp_queries_ = m ? &m->counter("net.udp.queries") : &obs::noop_counter();
-  c_tcp_queries_ = m ? &m->counter("net.tcp.queries") : &obs::noop_counter();
-  c_truncated_ = m ? &m->counter("net.udp.truncated") : &obs::noop_counter();
-  c_tcp_accepted_ = m ? &m->counter("net.tcp.accepted") : &obs::noop_counter();
-  c_tcp_closed_ = m ? &m->counter("net.tcp.closed") : &obs::noop_counter();
-  c_idle_closed_ = m ? &m->counter("net.tcp.idle_closed") : &obs::noop_counter();
-  c_idle_sweeps_ = m ? &m->counter("net.tcp.idle_sweeps") : &obs::noop_counter();
-  c_opcode_query_ =
-      m ? &m->counter("net.query.opcode.query") : &obs::noop_counter();
-  c_opcode_update_ =
-      m ? &m->counter("net.query.opcode.update") : &obs::noop_counter();
-  c_opcode_other_ =
-      m ? &m->counter("net.query.opcode.other") : &obs::noop_counter();
+  auto ctr = [m](const std::string& name) {
+    return m ? &m->counter(name) : &obs::noop_counter();
+  };
+  const std::string shard = "net.shard" + std::to_string(opt_.shard) + ".";
+  c_udp_queries_ = ctr("net.udp.queries");
+  c_tcp_queries_ = ctr("net.tcp.queries");
+  c_truncated_ = ctr("net.udp.truncated");
+  c_tcp_accepted_ = ctr("net.tcp.accepted");
+  c_tcp_closed_ = ctr("net.tcp.closed");
+  c_idle_closed_ = ctr("net.tcp.idle_closed");
+  c_idle_sweeps_ = ctr("net.tcp.idle_sweeps");
+  c_opcode_query_ = ctr("net.query.opcode.query");
+  c_opcode_update_ = ctr("net.query.opcode.update");
+  c_opcode_other_ = ctr("net.query.opcode.other");
   for (int i = 0; i < 16; ++i) {
-    c_rcode_[i] = m ? &m->counter(std::string("net.rcode.") + kRcodeNames[i])
-                    : &obs::noop_counter();
+    c_rcode_[i] = ctr(std::string("net.rcode.") + kRcodeNames[i]);
   }
   h_latency_ =
       m ? &m->histogram("net.query.latency_us") : &obs::noop_histogram();
+  c_shard_udp_queries_ = ctr(shard + "udp.queries");
+  h_shard_latency_ =
+      m ? &m->histogram(shard + "query.latency_us") : &obs::noop_histogram();
+  auto pair = [&](obs::Counter* (&slot)[2], const std::string& name) {
+    slot[0] = ctr("net." + name);
+    slot[1] = ctr(shard + name);
+  };
+  pair(c_cache_hits_, "cache.hits");
+  pair(c_cache_misses_, "cache.misses");
+  pair(c_cache_stores_, "cache.stores");
+  pair(c_cache_flushes_, "cache.flushes");
+  pair(c_cache_evictions_, "cache.evictions");
+  pair(c_bypass_tsig_, "cache.bypass.tsig");
+  pair(c_bypass_opcode_, "cache.bypass.opcode");
+  pair(c_bypass_class_, "cache.bypass.class");
+  pair(c_bypass_qform_, "cache.bypass.qform");
+}
+
+std::uint64_t DnsFrontend::current_generation() const {
+  return opt_.generation ? opt_.generation->load(std::memory_order_acquire)
+                         : 0;
 }
 
 void DnsFrontend::note_request(ClientId client, BytesView wire) {
@@ -106,9 +149,24 @@ void DnsFrontend::note_response(ClientId client, BytesView wire) {
   const auto id = static_cast<std::uint16_t>(wire[0] << 8 | wire[1]);
   const auto it = inflight_.find(std::make_pair(client, id));
   if (it == inflight_.end()) return;  // duplicate answer, or map was full
-  h_latency_->observe(
-      static_cast<std::uint64_t>((loop_.now() - it->second) * 1e6));
+  const auto us =
+      static_cast<std::uint64_t>((loop_.now() - it->second) * 1e6);
+  h_latency_->observe(us);
+  h_shard_latency_->observe(us);
   inflight_.erase(it);
+}
+
+void DnsFrontend::note_bypass(Cacheable why) {
+  obs::Counter* (*slot)[2] = nullptr;
+  switch (why) {
+    case Cacheable::kYes: return;
+    case Cacheable::kTsig: slot = &c_bypass_tsig_; break;
+    case Cacheable::kOpcode: slot = &c_bypass_opcode_; break;
+    case Cacheable::kClass: slot = &c_bypass_class_; break;
+    case Cacheable::kQform: slot = &c_bypass_qform_; break;
+  }
+  (*slot)[0]->inc();
+  (*slot)[1]->inc();
 }
 
 DnsFrontend::~DnsFrontend() {
@@ -119,12 +177,12 @@ DnsFrontend::~DnsFrontend() {
 }
 
 void DnsFrontend::start() {
-  udp_fd_ = udp_bind(opt_.listen);
+  udp_fd_ = udp_bind(opt_.listen, opt_.reuseport);
   // TCP binds the same port the UDP socket resolved (when listen.port == 0,
   // tests let the kernel pick — both transports must share the number).
   SockAddr tcp_addr = local_addr(udp_fd_);
   tcp_addr.ip = opt_.listen.ip;
-  listen_fd_ = tcp_listen(tcp_addr);
+  listen_fd_ = tcp_listen(tcp_addr, opt_.reuseport);
   loop_.add_fd(udp_fd_, EventLoop::kReadable, [this](std::uint32_t) { on_udp_ready(); });
   loop_.add_fd(listen_fd_, EventLoop::kReadable,
                [this](std::uint32_t) { on_listener_ready(); });
@@ -135,36 +193,112 @@ void DnsFrontend::start() {
 
 SockAddr DnsFrontend::bound_addr() const { return local_addr(udp_fd_); }
 
+void DnsFrontend::serve_cached(const PacketCache::Entry& entry,
+                               BytesView query, const QueryShape& shape,
+                               const sockaddr_in& from) {
+  // Splice: client's id and question bytes (exact casing) in front of the
+  // stored answer tail. Compression pointers in the tail target offsets
+  // inside the question region; a case-only qname difference preserves
+  // every offset, so the tail is byte-for-byte reusable.
+  const Bytes& s = entry.wire;
+  const std::size_t qlen = entry.question_len;
+  splice_buf_.clear();
+  splice_buf_.reserve(s.size());
+  splice_buf_.push_back(query[0]);  // client's message id
+  splice_buf_.push_back(query[1]);
+  // Stored flags, with RD (bit 0 of byte 2) echoed from this query.
+  splice_buf_.push_back(
+      static_cast<std::uint8_t>((s[2] & ~0x01) | (query[2] & 0x01)));
+  splice_buf_.push_back(s[3]);
+  splice_buf_.insert(splice_buf_.end(), s.begin() + 4, s.begin() + 12);
+  splice_buf_.insert(splice_buf_.end(), query.begin() + 12,
+                     query.begin() + 12 + static_cast<std::ptrdiff_t>(qlen));
+  splice_buf_.insert(splice_buf_.end(),
+                     s.begin() + 12 + static_cast<std::ptrdiff_t>(qlen),
+                     s.end());
+  // EAGAIN: kernel buffer full — UDP may drop, the client retries.
+  retry_sendto(udp_fd_, splice_buf_.data(), splice_buf_.size(), 0,
+               reinterpret_cast<const sockaddr*>(&from), sizeof from);
+  c_opcode_query_->inc();
+  c_rcode_[s[3] & 0x0f]->inc();
+  // The whole exchange happened inside one epoll wakeup; observe it as
+  // sub-microsecond rather than paying two map operations to time it.
+  h_latency_->observe(0);
+  h_shard_latency_->observe(0);
+  (void)shape;
+}
+
 void DnsFrontend::on_udp_ready() {
-  std::uint8_t buf[64 * 1024];
   for (;;) {
     sockaddr_in sa{};
     socklen_t sa_len = sizeof sa;
-    const ssize_t n = retry_recvfrom(udp_fd_, buf, sizeof buf, 0,
-                                     reinterpret_cast<sockaddr*>(&sa), &sa_len);
+    const ssize_t n =
+        retry_recvfrom(udp_fd_, udp_buf_.data(), udp_buf_.size(), 0,
+                       reinterpret_cast<sockaddr*>(&sa), &sa_len);
     if (n < 0) break;  // EAGAIN: drained
     if (n < 12) continue;  // shorter than a DNS header: noise
     ++udp_queries_;
     c_udp_queries_->inc();
-    const SockAddr from = SockAddr::from_sockaddr(sa);
-    // Pull the advertised EDNS payload out of the query so the return
-    // address carries the response budget to whichever replica answers.
+    c_shard_udp_queries_->inc();
+    const BytesView wire(udp_buf_.data(), static_cast<std::size_t>(n));
+
+    // Allocation-free fast path: one structural scan classifies the query
+    // and, when cacheable, builds the key and probes the packet cache. A
+    // hit is answered right here — no parse, no zone, no encode.
     std::uint16_t payload = 0;
-    try {
-      const dns::Message query =
-          dns::Message::decode({buf, static_cast<std::size_t>(n)});
-      if (const auto edns = dns::find_edns(query)) {
-        // RFC 6891 §6.2.5 floor; also keeps a 0-byte OPT distinct from the
-        // "no OPT" sentinel the ClientId encodes as payload 0.
-        payload = std::max<std::uint16_t>(edns->udp_payload,
-                                          dns::kClassicUdpLimit);
+    bool dnssec_ok = false;
+    bool cacheable = false;
+    QueryShape shape;
+    if (scan_query(wire, shape)) {
+      payload = shape.edns_payload;
+      dnssec_ok = shape.dnssec_ok;
+      const Cacheable why = classify_query(shape);
+      if (why != Cacheable::kYes) {
+        note_bypass(why);
+      } else if (opt_.enable_cache) {
+        cacheable = true;
+        key_scratch_.clear();
+        append_cache_key(key_scratch_, wire, shape);
+        const std::uint64_t gen = current_generation();
+        if (cache_.generation() != gen && cache_.size() > 0) {
+          c_cache_flushes_[0]->inc();
+          c_cache_flushes_[1]->inc();
+        }
+        const PacketCache::Entry* entry = cache_.lookup(key_scratch_, gen);
+        if (entry && entry->question_len == shape.question_len) {
+          c_cache_hits_[0]->inc();
+          c_cache_hits_[1]->inc();
+          serve_cached(*entry, wire, shape, sa);
+          continue;
+        }
+        c_cache_misses_[0]->inc();
+        c_cache_misses_[1]->inc();
       }
-    } catch (const util::ParseError&) {
-      continue;  // unparseable datagram: drop silently like named does
+    } else {
+      // Not structurally walkable: the full decoder is the authority, and
+      // it drops malformed noise silently like named does.
+      try {
+        const dns::Message query = dns::Message::decode(wire);
+        if (const auto edns = dns::find_edns(query)) {
+          payload = edns->udp_payload;
+          dnssec_ok = edns->dnssec_ok;
+        }
+      } catch (const util::ParseError&) {
+        continue;
+      }
     }
-    const ClientId client = make_udp_client(from, payload);
-    note_request(client, {buf, static_cast<std::size_t>(n)});
-    on_request_(client, Bytes(buf, buf + static_cast<std::size_t>(n)));
+    // RFC 6891 §6.2.5 floor is applied inside make_udp_client; zero stays
+    // the "no OPT" sentinel either way.
+    const SockAddr from = SockAddr::from_sockaddr(sa);
+    const ClientId client = make_udp_client(from, payload, dnssec_ok);
+    note_request(client, wire);
+    if (cacheable && pending_.size() < kMaxPending) {
+      pending_.emplace(
+          std::make_pair(client, shape.id),
+          PendingStore{key_scratch_, shape.question_len,
+                       payload_bucket(shape.edns_payload)});
+    }
+    on_request_(client, wire);
   }
 }
 
@@ -182,7 +316,11 @@ void DnsFrontend::on_listener_ready() {
       ::close(fd);
       continue;
     }
-    const std::uint64_t serial = next_serial_++;
+    // The 48-bit ClientId serial carries the shard in its top byte so
+    // responses routed from the replica thread find the owning loop.
+    const std::uint64_t serial =
+        static_cast<std::uint64_t>(opt_.shard & 0xff) << 40 |
+        (next_serial_++ & 0xFFFFFFFFFFULL);
     Conn conn;
     conn.fd = fd;
     conn.serial = serial;
@@ -237,9 +375,8 @@ void DnsFrontend::on_conn_io(std::uint64_t serial, std::uint32_t events) {
     conn.last_active = loop_.now();
   }
   if (!(events & EventLoop::kReadable)) return;
-  std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = retry_recv(conn.fd, buf, sizeof buf, 0);
+    const ssize_t n = retry_recv(conn.fd, tcp_buf_.data(), tcp_buf_.size(), 0);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_conn(serial);
@@ -251,17 +388,18 @@ void DnsFrontend::on_conn_io(std::uint64_t serial, std::uint32_t events) {
       return;
     }
     conn.last_active = loop_.now();
-    if (!conn.decoder.feed({buf, static_cast<std::size_t>(n)})) {
+    if (!conn.decoder.feed({tcp_buf_.data(), static_cast<std::size_t>(n)})) {
       close_conn(serial);  // undersized/oversized length or backlog abuse
       return;
     }
-    // Pipelining: a single read may complete several queries.
-    while (auto wire = conn.decoder.next()) {
+    // Pipelining: a single read may complete several queries. The view is
+    // valid until the next feed(), which cannot happen inside on_request_.
+    while (auto wire = conn.decoder.next_view()) {
       ++tcp_queries_;
       c_tcp_queries_->inc();
       const ClientId client = make_tcp_client(opt_.replica, serial);
       note_request(client, *wire);
-      on_request_(client, std::move(*wire));
+      on_request_(client, *wire);
       if (conns_.find(serial) == conns_.end()) return;  // closed by reentry
     }
     if (conn.decoder.broken()) {
@@ -271,13 +409,26 @@ void DnsFrontend::on_conn_io(std::uint64_t serial, std::uint32_t events) {
   }
 }
 
-void DnsFrontend::respond_udp(ClientId client, BytesView wire) {
+void DnsFrontend::respond_udp(ClientId client, BytesView wire,
+                              std::optional<std::uint64_t> generation) {
+  // Claim the pending store context registered when the query arrived (if
+  // any); its presence is required for the response to be cached.
+  std::optional<PendingStore> pending;
+  if (wire.size() >= 12 && !pending_.empty()) {
+    const auto id = static_cast<std::uint16_t>(wire[0] << 8 | wire[1]);
+    const auto it = pending_.find(std::make_pair(client, id));
+    if (it != pending_.end()) {
+      pending = std::move(it->second);
+      pending_.erase(it);
+    }
+  }
   const SockAddr to = client_udp_addr(client);
   const std::uint16_t advertised = client_udp_payload(client);
   const std::size_t limit =
       advertised ? std::max<std::size_t>(advertised, dns::kClassicUdpLimit)
                  : dns::kClassicUdpLimit;
   Bytes out(wire.begin(), wire.end());
+  bool truncated = false;
   if (advertised || wire.size() > limit) {
     // EDNS clients get our OPT echoed; any oversized answer is truncated to
     // a TC-bit stub that sends the client to TCP.
@@ -289,6 +440,7 @@ void DnsFrontend::respond_udp(ClientId client, BytesView wire) {
         dns::set_edns(response, info);
       }
       if (dns::truncate_for_udp(response, limit)) {
+        truncated = true;
         ++truncated_;
         c_truncated_->inc();
       }
@@ -301,16 +453,46 @@ void DnsFrontend::respond_udp(ClientId client, BytesView wire) {
   // EAGAIN: kernel buffer full — UDP may drop, the client retries.
   retry_sendto(udp_fd_, out.data(), out.size(), 0,
                reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
-}
-
-void DnsFrontend::respond(ClientId client, BytesView wire) {
-  note_response(client, wire);
-  if (client_is_udp(client)) {
-    respond_udp(client, wire);
+  if (!pending || !generation || truncated || !opt_.enable_cache) return;
+  // Store only answers every client in the bucket could have received
+  // whole, and only the deterministic outcomes (NoError / NXDomain).
+  const std::uint8_t rcode = out[3] & 0x0f;
+  if (rcode != 0 && rcode != 3) return;
+  if (out.size() > bucket_limit(pending->bucket)) return;
+  // The splice requires the stored question section to be exactly as wide
+  // as the one registered at arrival (the replica echoes the question, so
+  // a mismatch means something exotic happened — skip, don't poison).
+  try {
+    if (dns::question_section_span(out) != pending->question_len) return;
+  } catch (const util::ParseError&) {
     return;
   }
-  if (client_tcp_owner(client) != opt_.replica) {
-    return;  // another replica's connection; unreachable from here
+  const std::uint64_t gen = *generation;
+  if (cache_.generation() != gen && cache_.size() > 0) {
+    c_cache_flushes_[0]->inc();
+    c_cache_flushes_[1]->inc();
+  }
+  const std::uint64_t evictions_before = cache_.stats().evictions;
+  cache_.store(std::move(pending->key), std::move(out), pending->question_len,
+               gen);
+  if (cache_.stats().evictions != evictions_before) {
+    c_cache_evictions_[0]->inc();
+    c_cache_evictions_[1]->inc();
+  }
+  c_cache_stores_[0]->inc();
+  c_cache_stores_[1]->inc();
+}
+
+void DnsFrontend::respond(ClientId client, BytesView wire,
+                          std::optional<std::uint64_t> generation) {
+  note_response(client, wire);
+  if (client_is_udp(client)) {
+    respond_udp(client, wire, generation);
+    return;
+  }
+  if (client_tcp_owner(client) != opt_.replica ||
+      client_tcp_shard(client) != opt_.shard) {
+    return;  // another replica's or shard's connection; not ours to answer
   }
   auto it = conns_.find(client & 0xFFFFFFFFFFFFULL);
   if (it == conns_.end()) return;  // client hung up before the answer

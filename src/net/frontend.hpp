@@ -5,26 +5,40 @@
 // and pipelining on TCP. Per-connection idle timeouts bound resource use;
 // oversized or undersized TCP length prefixes drop the connection.
 //
-// Requests are handed to the owner as (ClientId, wire bytes). A ClientId is
-// a self-contained 64-bit return address, so it can travel through atomic
-// broadcast and let EVERY replica answer the client directly (§3.3 — voting
-// clients need n independent responses):
+// A replica runs one DnsFrontend per shard. All shards of a replica bind
+// the same address with SO_REUSEPORT, so the kernel spreads client flows
+// across their event loops with no user-space hand-off. Each shard owns a
+// PacketCache (net/cache.hpp): queries that hit are answered entirely on
+// the shard thread — the stored wire response is spliced behind the
+// client's literal question bytes (exact 0x20 casing and message id
+// preserved, RFC 1035 §2.3.3) without parsing, zone lookup, or encoding.
+// Misses and non-cacheable traffic (updates, TSIG-signed queries, CH
+// class, zone transfers) are handed to the owner as before.
 //
-//   UDP  [63]=0 | [62..48] advertised EDNS payload (0 = no OPT in query)
-//              | [47..16] IPv4 | [15..0] port
+// Requests are handed to the owner as (ClientId, wire bytes — a view into
+// the shard's receive buffer, valid only for the duration of the call). A
+// ClientId is a self-contained 64-bit return address, so it can travel
+// through atomic broadcast and let EVERY replica answer the client
+// directly (§3.3 — voting clients need n independent responses):
+//
+//   UDP  [63]=0 | [62] DO bit | [61..48] advertised EDNS payload
+//              (0 = no OPT in query) | [47..16] IPv4 | [15..0] port
 //        Any replica can sendto() that address from its own UDP socket.
 //   TCP  [63]=1 | [55..48] replica id that owns the connection
-//              | [47..0] connection serial
-//        Only the replica holding the connection can respond; others drop.
+//              | [47..40] shard owning the connection | [39..0] serial
+//        Only the owning shard of the owning replica can respond.
 //
 // Responses over UDP are EDNS-aware: the frontend re-attaches an OPT if the
 // query carried one and truncates to the advertised payload size (classic
 // 512 bytes without EDNS), setting TC so the client retries over TCP.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <optional>
 
 #include "dns/edns.hpp"
+#include "net/cache.hpp"
 #include "net/frame.hpp"
 #include "net/loop.hpp"
 #include "net/socket.hpp"
@@ -40,29 +54,45 @@ bool client_is_udp(ClientId id);
 SockAddr client_udp_addr(ClientId id);
 /// The advertised EDNS payload (0 = query had no OPT).
 std::uint16_t client_udp_payload(ClientId id);
+/// The DO (DNSSEC OK) bit of the query's OPT.
+bool client_udp_do(ClientId id);
 /// The replica owning a TCP ClientId's connection.
 unsigned client_tcp_owner(ClientId id);
+/// The frontend shard (within the owning replica) holding the connection.
+unsigned client_tcp_shard(ClientId id);
 
-ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload);
+ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload,
+                         bool dnssec_ok = false);
 ClientId make_tcp_client(unsigned replica, std::uint64_t serial);
 
 class DnsFrontend {
  public:
   struct Options {
     unsigned replica = 0;   ///< stamped into TCP ClientIds
+    unsigned shard = 0;     ///< stamped into TCP ClientIds, metric names
     SockAddr listen;        ///< one address, both transports
+    bool reuseport = false; ///< join an SO_REUSEPORT group (sharded mode)
     double idle_timeout = 30.0;        ///< close idle TCP connections
     std::size_t max_tcp_message = 0;   ///< 0 = u16 max (65535)
     std::size_t max_connections = 512;
     std::size_t write_cap = 1 * 1024 * 1024;  ///< per-connection
     std::uint16_t edns_payload = 4096;  ///< our advertised receive size
+    bool enable_cache = true;           ///< response packet cache (UDP)
+    std::size_t cache_entries = 4096;   ///< per-shard cache capacity
+    /// Zone-generation counter owned by the replica (null = generation 0
+    /// forever, i.e. a never-invalidated cache — fine for unit tests).
+    /// Bumped by the replica thread on every zone mutation or re-sign;
+    /// read by shard threads to lazily flush stale entries.
+    const std::atomic<std::uint64_t>* generation = nullptr;
     /// Metrics sink (owned by the caller, must outlive the frontend).
     /// Null components bump a shared no-op counter — no branch on the
     /// hot path either way.
     obs::Registry* metrics = nullptr;
   };
 
-  using RequestFn = std::function<void(ClientId, util::Bytes wire)>;
+  /// Wire is a view into the shard's receive buffer — copy it if the
+  /// request outlives the call (e.g. is posted to another thread).
+  using RequestFn = std::function<void(ClientId, util::BytesView wire)>;
 
   DnsFrontend(EventLoop& loop, Options options, RequestFn on_request);
   ~DnsFrontend();
@@ -71,8 +101,13 @@ class DnsFrontend {
 
   /// Deliver a response. UDP ids are answered with sendto (EDNS attach +
   /// truncation applied); TCP ids are length-framed onto the connection if
-  /// it is still open and owned by this replica.
-  void respond(ClientId client, util::BytesView wire);
+  /// it is still open and owned by this replica+shard. When `generation`
+  /// is set, the answer came from the zone at that generation and — if the
+  /// query was registered as cacheable on arrival — is stored in the
+  /// packet cache. Responses without a generation (updates, TSIG answers,
+  /// CH stats) are never stored.
+  void respond(ClientId client, util::BytesView wire,
+               std::optional<std::uint64_t> generation = std::nullopt);
 
   /// The bound address (resolves port 0 for tests).
   SockAddr bound_addr() const;
@@ -80,6 +115,7 @@ class DnsFrontend {
   std::uint64_t udp_queries() const { return udp_queries_; }
   std::uint64_t tcp_queries() const { return tcp_queries_; }
   std::uint64_t truncated() const { return truncated_; }
+  const PacketCache& packet_cache() const { return cache_; }
 
  private:
   struct Conn {
@@ -91,14 +127,29 @@ class DnsFrontend {
     double last_active = 0;
   };
 
+  /// Cache-key context registered when a cacheable query arrives, consumed
+  /// by the respond() that answers it. Its existence is the store
+  /// authorization: TSIG-signed or otherwise bypassed queries never
+  /// register one, so their responses can never be stored.
+  struct PendingStore {
+    std::string key;
+    std::uint16_t question_len = 0;
+    std::uint16_t bucket = 0;
+  };
+
   void on_udp_ready();
   void on_listener_ready();
   void on_conn_io(std::uint64_t serial, std::uint32_t events);
   void close_conn(std::uint64_t serial);
   void sweep_idle();
-  void respond_udp(ClientId client, util::BytesView wire);
+  void respond_udp(ClientId client, util::BytesView wire,
+                   std::optional<std::uint64_t> generation);
+  void serve_cached(const PacketCache::Entry& entry, util::BytesView query,
+                    const QueryShape& shape, const sockaddr_in& from);
   void note_request(ClientId client, util::BytesView wire);
   void note_response(ClientId client, util::BytesView wire);
+  void note_bypass(Cacheable why);
+  std::uint64_t current_generation() const;
 
   EventLoop& loop_;
   Options opt_;
@@ -112,7 +163,21 @@ class DnsFrontend {
   std::uint64_t tcp_queries_ = 0;
   std::uint64_t truncated_ = 0;
 
-  // Counters resolved once at construction (see Options::metrics).
+  PacketCache cache_;
+  /// Bounded (ClientId, DNS id) -> pending store context for in-flight
+  /// cacheable queries.
+  std::map<std::pair<ClientId, std::uint16_t>, PendingStore> pending_;
+
+  // Per-shard scratch: reused across datagrams so the steady-state receive
+  // and cache-hit paths perform no allocation.
+  std::vector<std::uint8_t> udp_buf_;     ///< datagram receive buffer
+  std::vector<std::uint8_t> tcp_buf_;     ///< stream read scratch
+  std::string key_scratch_;               ///< cache-key assembly
+  util::Bytes splice_buf_;                ///< cache-hit response assembly
+
+  // Counters resolved once at construction (see Options::metrics). The
+  // cache/latency ones exist twice: an aggregate ("net.cache.hits") summed
+  // across shards, and a per-shard name ("net.shard0.cache.hits").
   obs::Counter* c_udp_queries_;
   obs::Counter* c_tcp_queries_;
   obs::Counter* c_truncated_;
@@ -125,6 +190,17 @@ class DnsFrontend {
   obs::Counter* c_opcode_other_;
   obs::Counter* c_rcode_[16];
   obs::Histogram* h_latency_;
+  obs::Counter* c_shard_udp_queries_;
+  obs::Histogram* h_shard_latency_;
+  obs::Counter* c_cache_hits_[2];      ///< [0] aggregate, [1] per-shard
+  obs::Counter* c_cache_misses_[2];
+  obs::Counter* c_cache_stores_[2];
+  obs::Counter* c_cache_flushes_[2];
+  obs::Counter* c_cache_evictions_[2];
+  obs::Counter* c_bypass_tsig_[2];
+  obs::Counter* c_bypass_opcode_[2];
+  obs::Counter* c_bypass_class_[2];
+  obs::Counter* c_bypass_qform_[2];
   /// Request arrival times, keyed (ClientId, DNS id), matched by the first
   /// respond() for that pair; bounded so an unanswerable flood cannot grow
   /// it without limit.

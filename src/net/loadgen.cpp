@@ -38,15 +38,20 @@ Loadgen::Loadgen(EventLoop& loop, Options options)
 }
 
 Loadgen::~Loadgen() {
-  if (fd_ >= 0) loop_.del_fd(fd_);
+  for (int fd : fds_) loop_.del_fd(fd);
 }
 
 void Loadgen::start() {
   SockAddr any;  // 0.0.0.0:0 — the kernel picks
   any.ip = 0;
   any.port = 0;
-  fd_ = udp_bind(any);
-  loop_.add_fd(fd_, EventLoop::kReadable, [this](std::uint32_t) { on_readable(); });
+  const unsigned count = std::max(1u, opt_.sockets);
+  for (unsigned i = 0; i < count; ++i) {
+    const int fd = udp_bind(any);
+    loop_.add_fd(fd, EventLoop::kReadable,
+                 [this, fd](std::uint32_t) { on_readable(fd); });
+    fds_.push_back(fd);
+  }
   started_ = loop_.now();
   last_tick_ = started_;
   loop_.add_timer(kTickInterval, [this] { tick(); });
@@ -59,9 +64,11 @@ void Loadgen::send_one() {
   query_template_[1] = static_cast<std::uint8_t>(id);
   const SockAddr& server = opt_.servers[next_server_];
   next_server_ = (next_server_ + 1) % opt_.servers.size();
+  const int fd = fds_[next_fd_];
+  next_fd_ = (next_fd_ + 1) % fds_.size();
   const sockaddr_in sa = server.to_sockaddr();
   // EAGAIN: the datagram is lost, like any UDP drop.
-  retry_sendto(fd_, query_template_.data(), query_template_.size(), 0,
+  retry_sendto(fd, query_template_.data(), query_template_.size(), 0,
                reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
   in_flight_[id] = loop_.now();
   ++sent_;
@@ -94,10 +101,10 @@ void Loadgen::tick() {
   loop_.add_timer(kTickInterval, [this] { tick(); });
 }
 
-void Loadgen::on_readable() {
+void Loadgen::on_readable(int fd) {
   std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = retry_recv(fd_, buf, sizeof buf, 0);
+    const ssize_t n = retry_recv(fd, buf, sizeof buf, 0);
     if (n < 0) break;
     if (n < 2) continue;
     const std::uint16_t id =

@@ -1,11 +1,16 @@
 // Loadgen — an open-loop UDP query driver for measuring a live cluster.
 //
-// Sends make_query datagrams at a configured rate from one socket on the
-// event loop (a 1 kHz pacing timer releases rate/1000 queries per tick,
-// accumulating fractional credit), matches responses to in-flight queries by
-// DNS id, and records per-query latency. After `duration` seconds it stops
-// the loop and the caller reads a Report with achieved QPS and p50/p99/p999
-// percentiles — the numbers BENCH_net.json captures.
+// Sends make_query datagrams at a configured rate (a 1 kHz pacing timer
+// releases rate/1000 queries per tick, accumulating fractional credit),
+// matches responses to in-flight queries by DNS id, and records per-query
+// latency. After `duration` seconds it stops the loop and the caller reads
+// a Report with achieved QPS and p50/p99/p999 percentiles — the numbers
+// BENCH_net.json captures.
+//
+// `sockets` controls how many source ports the driver round-robins across.
+// SO_REUSEPORT servers pin each 4-tuple to one shard, so a single-socket
+// driver would land every query on one shard no matter how many the server
+// runs; one driver socket per server shard exercises them all.
 //
 // Open-loop (send at the target rate regardless of completions) is the
 // honest way to measure a server: closed-loop drivers self-throttle and
@@ -31,6 +36,7 @@ class Loadgen {
     double duration = 5.0;   ///< send window, seconds
     double drain = 1.0;      ///< wait after sending for stragglers
     std::uint16_t edns_payload = 0;  ///< 0 = no OPT
+    unsigned sockets = 1;    ///< source sockets (≥ server shard count)
   };
 
   struct Report {
@@ -52,12 +58,13 @@ class Loadgen {
 
  private:
   void tick();
-  void on_readable();
+  void on_readable(int fd);
   void send_one();
 
   EventLoop& loop_;
   Options opt_;
-  int fd_ = -1;
+  std::vector<int> fds_;        ///< round-robin source sockets
+  std::size_t next_fd_ = 0;
   util::Bytes query_template_;  ///< encoded once; id patched per send
   double started_ = 0;
   double finished_sending_ = 0;

@@ -91,6 +91,9 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
     else if (key == "idle_timeout") cfg.idle_timeout = std::stod(value);
     else if (key == "edns_payload")
       cfg.edns_payload = static_cast<std::uint16_t>(std::stoul(value));
+    else if (key == "shards") cfg.shards = static_cast<unsigned>(std::stoul(value));
+    else if (key == "packet_cache") cfg.packet_cache = parse_bool(value, line);
+    else if (key == "cache_entries") cfg.cache_entries = std::stoul(value);
     else if (key == "seed") cfg.seed = std::stoull(value);
     else if (key == "stats_interval") cfg.stats_interval = std::stod(value);
     else if (key == "tsig_fudge") cfg.tsig_fudge = std::stoull(value);
@@ -105,6 +108,9 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
   for (const auto& [id, addr] : peers) {
     if (id >= cfg.n) throw NetError("peer id out of range in " + path);
     cfg.mesh_peers[id] = addr;
+  }
+  if (cfg.shards == 0 || cfg.shards > 64) {
+    throw NetError("shards must be in [1, 64] in " + path);
   }
   return cfg;
 }
@@ -141,38 +147,22 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
     rc.update_policy.tsig_fudge = cfg_.tsig_fudge;
   }
 
-  // ---- transports ----
-  DnsFrontend::Options fopt;
-  fopt.replica = cfg_.id;
-  fopt.listen = cfg_.listen_dns;
-  fopt.idle_timeout = cfg_.idle_timeout;
-  fopt.edns_payload = cfg_.edns_payload;
-  fopt.metrics = &registry_;
-  frontend_ = std::make_unique<DnsFrontend>(
-      loop_, fopt, [this](ClientId client, Bytes wire) {
-        if (maybe_answer_stats(client, wire)) return;
-        replica_->on_client_request(client, wire);
-      });
-
   const std::uint64_t seed =
       cfg_.seed ? cfg_.seed
                 : (static_cast<std::uint64_t>(::getpid()) << 32) ^
                       static_cast<std::uint64_t>(loop_.now() * 1e6);
-  Mesh::Options mopt;
-  mopt.self = cfg_.id;
-  mopt.peers = cfg_.mesh_peers;
-  mopt.mesh_secret = read_file(cfg_.mesh_secret);
-  mopt.metrics = &registry_;
-  mesh_ = std::make_unique<Mesh>(
-      loop_, mopt,
-      [this](unsigned from, Bytes msg) { replica_->on_replica_message(from, msg); },
-      util::Rng(seed, 0xFFFF'0000'0000'00AAULL));
 
-  // ---- the untouched protocol stack, bound to the loop ----
+  // ---- the untouched protocol stack, bound to the main loop ----
+  // Constructed before the frontends: they stamp cache entries with the
+  // replica's zone-generation counter. All replica callbacks run on the
+  // main loop thread only.
   core::ReplicaNode::Callbacks cb;
   cb.send_replica = [this](unsigned to, const Bytes& m) { mesh_->send(to, m); };
   cb.send_client = [this](core::ClientId client, const Bytes& m) {
-    frontend_->respond(client, m);
+    // Captured on the replica thread — the sole zone mutator — so the stamp
+    // can never be newer than the zone state this answer reflects. The
+    // pending-store gate in the frontend decides whether it is cached.
+    route_response(client, m, replica_->zone_generation_value());
   };
   cb.now = [this] { return loop_.now(); };
   cb.set_timer = [this](double delay, std::function<void()> fn) {
@@ -182,6 +172,81 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   replica_ = std::make_unique<core::ReplicaNode>(
       rc, group, std::move(secret), zone_pub, std::move(share), std::move(zone), cb,
       util::Rng(seed, cfg_.id));
+
+  // ---- transports ----
+  // Shard 0 rides the main loop; its frontend is built now so tests can
+  // reach it before start(). Shards 1..N-1 are built in start(), once the
+  // REUSEPORT group's port is resolved. Counters (shared registry) are
+  // resolved in each frontend's constructor on this thread, before any
+  // shard thread exists.
+  shards_.resize(cfg_.shards);
+  shards_[0].frontend = std::make_unique<DnsFrontend>(
+      loop_, frontend_options(0), [this](ClientId client, BytesView wire) {
+        handle_request(0, client, wire);
+      });
+
+  Mesh::Options mopt;
+  mopt.self = cfg_.id;
+  mopt.peers = cfg_.mesh_peers;
+  mopt.mesh_secret = read_file(cfg_.mesh_secret);
+  mopt.metrics = &registry_;
+  mesh_ = std::make_unique<Mesh>(
+      loop_, mopt,
+      [this](unsigned from, Bytes msg) { replica_->on_replica_message(from, msg); },
+      util::Rng(seed, 0xFFFF'0000'0000'00AAULL));
+}
+
+ReplicaRuntime::~ReplicaRuntime() {
+  for (Shard& shard : shards_) {
+    if (!shard.thread.joinable()) continue;
+    // post() rather than stop(): a stop() issued before the thread enters
+    // run() would be overwritten by run()'s own running_ = true.
+    EventLoop* l = shard.loop.get();
+    l->post([l] { l->stop(); });
+    shard.thread.join();
+  }
+}
+
+DnsFrontend::Options ReplicaRuntime::frontend_options(unsigned shard) {
+  DnsFrontend::Options fopt;
+  fopt.replica = cfg_.id;
+  fopt.shard = shard;
+  fopt.listen = cfg_.listen_dns;
+  fopt.reuseport = cfg_.shards > 1;
+  fopt.idle_timeout = cfg_.idle_timeout;
+  fopt.edns_payload = cfg_.edns_payload;
+  fopt.enable_cache = cfg_.packet_cache;
+  fopt.cache_entries = cfg_.cache_entries;
+  fopt.generation = &replica_->zone_generation();
+  fopt.metrics = &registry_;
+  return fopt;
+}
+
+void ReplicaRuntime::handle_request(unsigned shard, ClientId client,
+                                    BytesView wire) {
+  // Queries are answered synchronously inside on_client_request; remember
+  // which shard's socket the request came in on so route_response can send
+  // the answer back out the same one.
+  pending_shard_ = shard;
+  if (!maybe_answer_stats(client, wire)) {
+    replica_->on_client_request(client, wire);
+  }
+  pending_shard_ = 0;
+}
+
+void ReplicaRuntime::route_response(ClientId client, Bytes wire,
+                                    std::optional<std::uint64_t> generation) {
+  unsigned shard = client_is_udp(client) ? pending_shard_
+                                         : client_tcp_shard(client);
+  if (shard >= shards_.size()) return;  // stale id from an old config
+  if (!shards_[shard].loop) {
+    shards_[shard].frontend->respond(client, wire, generation);
+    return;
+  }
+  shards_[shard].loop->post(
+      [this, shard, client, w = std::move(wire), generation] {
+        shards_[shard].frontend->respond(client, w, generation);
+      });
 }
 
 bool ReplicaRuntime::maybe_answer_stats(ClientId client, BytesView wire) {
@@ -219,7 +284,7 @@ bool ReplicaRuntime::maybe_answer_stats(ClientId client, BytesView wire) {
   } else {
     response.rcode = dns::Rcode::kRefused;
   }
-  frontend_->respond(client, response.encode());
+  route_response(client, response.encode(), std::nullopt);
   return true;
 }
 
@@ -233,7 +298,30 @@ void ReplicaRuntime::log_stats_line() {
 }
 
 void ReplicaRuntime::start() {
-  frontend_->start();
+  // Shard 0 binds first: with listen_dns port 0 (tests) the kernel picks a
+  // port, and every other member of the REUSEPORT group must bind exactly
+  // that number.
+  shards_[0].frontend->start();
+  SockAddr resolved = shards_[0].frontend->bound_addr();
+  resolved.ip = cfg_.listen_dns.ip;
+  for (unsigned k = 1; k < cfg_.shards; ++k) {
+    Shard& shard = shards_[k];
+    shard.loop = std::make_unique<EventLoop>();
+    DnsFrontend::Options fopt = frontend_options(k);
+    fopt.listen = resolved;
+    shard.frontend = std::make_unique<DnsFrontend>(
+        *shard.loop, fopt, [this, k](ClientId client, BytesView wire) {
+          // Crossing to the main loop: the view dies with this callback, so
+          // the request bytes are copied into the posted closure.
+          loop_.post([this, k, client, w = Bytes(wire.begin(), wire.end())] {
+            handle_request(k, client, w);
+          });
+        });
+    // Bind and register on this thread — safe, the shard's loop is not
+    // running yet — then hand the loop to its thread.
+    shard.frontend->start();
+    shard.thread = std::thread([l = shard.loop.get()] { l->run(); });
+  }
   mesh_->start();
   // Seed the protocol trace with a boot marker so a --trace-dump is never
   // empty: an operator can tell "ring was dumped, nothing happened" apart
@@ -241,7 +329,8 @@ void ReplicaRuntime::start() {
   registry_.trace().record(loop_.now(), "runtime", "start", cfg_.id,
                            cfg_.recover ? 1 : 0);
   SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": serving ", cfg_.listen_dns.to_string(),
-                ", mesh ", cfg_.mesh_peers[cfg_.id].to_string());
+                " with ", cfg_.shards, " shard(s), mesh ",
+                cfg_.mesh_peers[cfg_.id].to_string());
   if (cfg_.recover) {
     loop_.add_timer(cfg_.recover_delay, [this] {
       SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": starting snapshot recovery");

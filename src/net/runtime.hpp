@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/replica.hpp"
 #include "net/frontend.hpp"
@@ -49,6 +50,12 @@ struct RuntimeConfig {
   double complaint_timeout = 5.0;
   double idle_timeout = 30.0;
   std::uint16_t edns_payload = 4096;
+  /// Frontend shards: each gets its own event-loop thread and its own
+  /// SO_REUSEPORT socket pair on listen_dns. 1 = classic single-loop mode
+  /// (no extra threads, no REUSEPORT).
+  unsigned shards = 1;
+  bool packet_cache = true;          ///< per-shard response packet cache
+  std::size_t cache_entries = 4096;  ///< per-shard cache capacity
   std::uint64_t seed = 0;  ///< 0: derive from pid/clock (nonces, jitter)
   /// Log one counter-summary line every this many seconds (0 disables).
   double stats_interval = 0;
@@ -65,33 +72,67 @@ util::Bytes read_file(const std::string& path);
 /// Write a whole file; throws NetError on failure.
 void write_file(const std::string& path, util::BytesView data);
 
+/// One replica process: the protocol stack on the main loop, plus N
+/// frontend shards. Shard 0's frontend lives on the main loop (so shards=1
+/// is exactly the classic single-threaded runtime); shards 1..N-1 each own
+/// an EventLoop on a dedicated thread, with their own SO_REUSEPORT sockets.
+/// The kernel spreads client flows across the shards; cache hits complete
+/// entirely on the shard thread, and only misses cross to the main loop
+/// (EventLoop::post) where the replicated state machine runs unchanged.
 class ReplicaRuntime {
  public:
   ReplicaRuntime(EventLoop& loop, RuntimeConfig config);
+  ~ReplicaRuntime();
 
-  /// Bind sockets, connect the mesh, and (if configured) schedule recovery.
+  /// Bind sockets (shard 0 first, resolving port 0 for the REUSEPORT
+  /// group), start shard threads, connect the mesh, and (if configured)
+  /// schedule recovery.
   void start();
 
   core::ReplicaNode& replica() { return *replica_; }
-  DnsFrontend& frontend() { return *frontend_; }
+  /// Shard 0's frontend (the main-loop one).
+  DnsFrontend& frontend() { return *shards_.front().frontend; }
+  DnsFrontend& frontend(unsigned shard) { return *shards_.at(shard).frontend; }
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
   Mesh& mesh() { return *mesh_; }
   const RuntimeConfig& config() const { return cfg_; }
   /// The counters every component of this runtime counts into.
   obs::Registry& registry() { return registry_; }
 
  private:
+  struct Shard {
+    /// Null for shard 0, which shares the runtime's main loop.
+    std::unique_ptr<EventLoop> loop;
+    std::unique_ptr<DnsFrontend> frontend;
+    std::thread thread;
+  };
+
   /// Answer BIND-style introspection queries (`stats.sdns. CH TXT`) directly
   /// from the registry, without touching the replicated state machine.
   /// Returns true when `wire` was a CHAOS-class query and has been answered.
   bool maybe_answer_stats(ClientId client, util::BytesView wire);
   void log_stats_line();
+  DnsFrontend::Options frontend_options(unsigned shard);
+  /// Runs on the main loop: serve stats or feed the replica. `wire` must
+  /// stay valid for the duration of the call only.
+  void handle_request(unsigned shard, ClientId client, util::BytesView wire);
+  /// Deliver a response to the shard that owns the client's socket. UDP
+  /// answers produced synchronously inside handle_request go back to the
+  /// originating shard (pending_shard_); asynchronous ones (update
+  /// completions) go out shard 0's socket, which is equally valid for UDP.
+  /// TCP answers follow the shard encoded in the ClientId.
+  void route_response(ClientId client, util::Bytes wire,
+                      std::optional<std::uint64_t> generation);
 
   EventLoop& loop_;
   RuntimeConfig cfg_;
   obs::Registry registry_;  ///< must outlive frontend/mesh/replica below
-  std::unique_ptr<DnsFrontend> frontend_;
-  std::unique_ptr<Mesh> mesh_;
   std::unique_ptr<core::ReplicaNode> replica_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<Mesh> mesh_;
+  /// Shard whose request handle_request is currently serving (main thread
+  /// only); 0 outside the synchronous window.
+  unsigned pending_shard_ = 0;
 };
 
 }  // namespace sdns::net

@@ -71,7 +71,7 @@ void set_nonblocking(int fd) {
   }
 }
 
-int udp_bind(const SockAddr& addr) {
+int udp_bind(const SockAddr& addr, bool reuseport) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) throw_errno("socket(UDP)");
   set_nonblocking(fd);
@@ -80,6 +80,15 @@ int udp_bind(const SockAddr& addr) {
   int bytes = 1 << 21;
   setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes);
   setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+  if (reuseport) {
+    int one = 1;
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("setsockopt(SO_REUSEPORT)");
+    }
+  }
   const sockaddr_in sa = addr.to_sockaddr();
   if (bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
     const int saved = errno;
@@ -90,12 +99,19 @@ int udp_bind(const SockAddr& addr) {
   return fd;
 }
 
-int tcp_listen(const SockAddr& addr) {
+int tcp_listen(const SockAddr& addr, bool reuseport) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket(TCP)");
   set_nonblocking(fd);
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuseport &&
+      setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("setsockopt(SO_REUSEPORT)");
+  }
   const sockaddr_in sa = addr.to_sockaddr();
   if (bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0 ||
       listen(fd, 128) < 0) {

@@ -41,11 +41,15 @@ struct SockAddr {
 /// Make an fd non-blocking (O_NONBLOCK) and close-on-exec.
 void set_nonblocking(int fd);
 
-/// Bound, non-blocking UDP socket.
-int udp_bind(const SockAddr& addr);
+/// Bound, non-blocking UDP socket. With `reuseport`, the socket joins (or
+/// starts) an SO_REUSEPORT group on the address: the kernel hashes each
+/// datagram's 4-tuple onto one member, which is how the sharded frontend
+/// load-balances flows across per-core loops with no user-space locking.
+int udp_bind(const SockAddr& addr, bool reuseport = false);
 
-/// Listening, non-blocking TCP socket (SO_REUSEADDR, backlog 128).
-int tcp_listen(const SockAddr& addr);
+/// Listening, non-blocking TCP socket (SO_REUSEADDR, backlog 128). With
+/// `reuseport`, incoming connections are likewise spread over the group.
+int tcp_listen(const SockAddr& addr, bool reuseport = false);
 
 /// Non-blocking TCP connect; returns the fd with the connection typically
 /// still in progress (poll for writability, then check SO_ERROR).

@@ -6,16 +6,25 @@
 namespace sdns::obs {
 
 void Histogram::observe(std::uint64_t v) noexcept {
-  ++buckets_[bucket_index(v)];
-  ++count_;
-  sum_ += v;
-  if (v < min_) min_ = v;
-  if (v > max_) max_ = v;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Lock-free running extremes: lose the race only to a strictly better
+  // value, so the final min/max are exact.
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 double Histogram::mean() const noexcept {
-  if (count_ == 0) return 0;
-  return static_cast<double>(sum_) / static_cast<double>(count_);
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  return static_cast<double>(sum()) / static_cast<double>(n);
 }
 
 std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
@@ -44,15 +53,16 @@ std::uint64_t Histogram::bucket_hi(std::size_t index) noexcept {
 }
 
 double Histogram::percentile(double p) const noexcept {
-  if (count_ == 0) return 0;
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
   if (p < 0) p = 0;
   if (p > 1) p = 1;
   // Same rank convention as bench_common's LatencySummary: the p-quantile
   // sits at fractional rank p * (n - 1) over the sorted samples.
-  const double rank = p * static_cast<double>(count_ - 1);
+  const double rank = p * static_cast<double>(n - 1);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    const std::uint64_t c = buckets_[i];
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
     if (c == 0) continue;
     if (rank < static_cast<double>(seen + c)) {
       const double frac = (rank - static_cast<double>(seen)) / static_cast<double>(c);
@@ -60,29 +70,38 @@ double Histogram::percentile(double p) const noexcept {
       const double hi = static_cast<double>(bucket_hi(i));
       // Clamp to the observed extremes so percentiles never exceed max().
       const double v = lo + frac * (hi - lo);
-      const double hi_clamp = static_cast<double>(max_);
+      const double hi_clamp = static_cast<double>(max());
       const double lo_clamp = static_cast<double>(min());
       return v > hi_clamp ? hi_clamp : (v < lo_clamp ? lo_clamp : v);
     }
     seen += c;
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(max());
 }
 
-Counter& Registry::counter(const std::string& name) { return counters_[name]; }
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
 
-Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
 
 Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return histograms_[name];
 }
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
 std::vector<Registry::Sample> Registry::export_samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Sample> out;
   out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
   for (const auto& [name, c] : counters_) {

@@ -1,12 +1,15 @@
 // Metrics registry: named monotonic counters, gauges, and fixed-bucket
 // log-linear latency histograms.
 //
-// Built for the single-threaded epoll hot path: a Counter bump is one plain
-// uint64_t increment, no locks, no atomics. Components look their counters
-// up ONCE (at construction) and keep the returned reference — lookups walk a
-// std::map, increments do not. The registry hands out stable references
-// (node-based map), so the pointer a component caches stays valid for the
-// registry's lifetime.
+// Built for the epoll hot path: a Counter bump is one relaxed atomic
+// increment, no locks. Relaxed ordering suffices because every metric is an
+// independent monotonic quantity — the sharded frontend bumps the same
+// aggregate counters from several loop threads, and scrapers tolerate a
+// momentarily torn view across *different* metrics. Components look their
+// counters up ONCE (at construction) and keep the returned reference —
+// lookups walk a std::map under a mutex, increments do not. The registry
+// hands out stable references (node-based map), so the pointer a component
+// caches stays valid for the registry's lifetime.
 //
 // Histograms use ~500 fixed log-linear buckets (exact below 16 µs, then each
 // power-of-two octave split into 8 linear sub-buckets), giving <= 6.25%
@@ -21,8 +24,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,22 +39,30 @@ namespace sdns::obs {
 /// scrapers diff successive samples, so wrap is harmless in practice.
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
-  std::uint64_t value() const noexcept { return value_; }
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Instantaneous level (queue depths, connection counts); may go down.
 class Gauge {
  public:
-  void set(std::int64_t v) noexcept { value_ = v; }
-  void add(std::int64_t delta) noexcept { value_ += delta; }
-  std::int64_t value() const noexcept { return value_; }
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket log-linear histogram of non-negative integer samples
@@ -64,10 +77,18 @@ class Histogram {
 
   void observe(std::uint64_t v) noexcept;
 
-  std::uint64_t count() const noexcept { return count_; }
-  std::uint64_t sum() const noexcept { return sum_; }
-  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
-  std::uint64_t max() const noexcept { return max_; }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min() const noexcept {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
   double mean() const noexcept;
 
   /// Quantile in [0,1], e.g. 0.99. Cumulative scan, linearly interpolated
@@ -80,11 +101,11 @@ class Histogram {
   static std::uint64_t bucket_hi(std::size_t index) noexcept;  ///< exclusive
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = ~0ULL;
-  std::uint64_t max_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 class Registry {
@@ -116,6 +137,9 @@ class Registry {
   const TraceRing& trace() const noexcept { return trace_; }
 
  private:
+  /// Guards map *structure* only (lookup-or-create and export iteration);
+  /// metric values themselves are relaxed atomics bumped lock-free.
+  mutable std::mutex mutex_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -213,5 +213,22 @@ TEST(Message, TextFormMentionsSections) {
   EXPECT_NE(text.find("x.example. IN A"), std::string::npos);
 }
 
+TEST(Message, QuestionSectionSpan) {
+  // The splice-width helper the packet cache stores per response: byte
+  // length of the question section, without decoding the message.
+  const Message q =
+      Message::make_query(7, Name::parse("www.example.com."), RRType::kA);
+  // 3www7example3com0 = 17 name bytes, + qtype + qclass.
+  EXPECT_EQ(question_section_span(q.encode()), 17u + 4u);
+
+  Message none = q;
+  none.questions.clear();
+  EXPECT_EQ(question_section_span(none.encode()), 0u);
+
+  const util::Bytes wire = q.encode();
+  EXPECT_THROW(question_section_span({wire.data(), 11}), util::ParseError);
+  EXPECT_THROW(question_section_span({wire.data(), 20}), util::ParseError);
+}
+
 }  // namespace
 }  // namespace sdns::dns

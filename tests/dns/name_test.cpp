@@ -88,6 +88,25 @@ TEST(Name, CanonicalFoldsCase) {
   EXPECT_EQ(Name::parse("WwW.ExAmPlE.").canonical().to_string(), "www.example.");
 }
 
+TEST(Name, AppendCanonicalKey) {
+  // The packet-cache key helper: wire-form labels, case folded, appended in
+  // place — 0x20-mixed spellings of one name must produce one key.
+  std::string key;
+  Name::parse("Ab.C.").append_canonical_key(key);
+  EXPECT_EQ(key, std::string("\2ab\1c\0", 6));
+  std::string other;
+  Name::parse("aB.c.").append_canonical_key(other);
+  EXPECT_EQ(key, other);
+  // Appends after existing content instead of clobbering it.
+  std::string prefixed = "x";
+  Name::parse("aB.c.").append_canonical_key(prefixed);
+  EXPECT_EQ(prefixed, "x" + key);
+  // Folding is ASCII-only: label bytes outside a-z/A-Z pass through.
+  std::string odd;
+  Name::parse("a-9.").append_canonical_key(odd);
+  EXPECT_EQ(odd, std::string("\3a-9\0", 5));
+}
+
 TEST(Name, WireLength) {
   EXPECT_EQ(Name().wire_length(), 1u);                       // root = 1 zero byte
   EXPECT_EQ(Name::parse("com.").wire_length(), 5u);          // 3 'com' + len + root

@@ -1,0 +1,183 @@
+// PacketCache and the query-shape scanner: key canonicalization (0x20 case
+// folding), EDNS payload bucketing, cacheability classification (TSIG /
+// opcode / class / question-form bypass), generation flushes, and capacity
+// eviction.
+#include "net/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/edns.hpp"
+#include "dns/message.hpp"
+#include "dns/tsig.hpp"
+
+namespace sdns::net {
+namespace {
+
+using util::Bytes;
+
+Bytes query(const std::string& name, dns::RRType type = dns::RRType::kA,
+            std::uint16_t edns_payload = 0, bool dnssec_ok = false) {
+  dns::Message q = dns::Message::make_query(0x1234, dns::Name::parse(name), type);
+  if (edns_payload) {
+    dns::EdnsInfo info;
+    info.udp_payload = edns_payload;
+    info.dnssec_ok = dnssec_ok;
+    dns::set_edns(q, info);
+  }
+  return q.encode();
+}
+
+QueryShape scan(const Bytes& wire) {
+  QueryShape shape;
+  EXPECT_TRUE(scan_query(wire, shape));
+  return shape;
+}
+
+std::string key_of(const Bytes& wire) {
+  QueryShape shape;
+  EXPECT_TRUE(scan_query(wire, shape));
+  EXPECT_EQ(classify_query(shape), Cacheable::kYes);
+  std::string key;
+  append_cache_key(key, wire, shape);
+  return key;
+}
+
+TEST(PayloadBucketTest, FloorsIntoFourBuckets) {
+  EXPECT_EQ(payload_bucket(0), 0);        // no OPT is its own bucket
+  EXPECT_EQ(payload_bucket(512), 512);
+  EXPECT_EQ(payload_bucket(1231), 512);
+  EXPECT_EQ(payload_bucket(1232), 1232);
+  EXPECT_EQ(payload_bucket(4095), 1232);
+  EXPECT_EQ(payload_bucket(4096), 4096);
+  EXPECT_EQ(payload_bucket(65535), 4096);
+  EXPECT_EQ(bucket_limit(0), 512u);       // plain DNS still gets 512 bytes
+  EXPECT_EQ(bucket_limit(1232), 1232u);
+}
+
+TEST(ScanQueryTest, ExtractsShapeOfPlainQuery) {
+  const QueryShape s = scan(query("www.example.com."));
+  EXPECT_EQ(s.id, 0x1234);
+  EXPECT_FALSE(s.qr);
+  EXPECT_EQ(s.opcode, 0);
+  EXPECT_EQ(s.qdcount, 1);
+  EXPECT_EQ(s.qtype, static_cast<std::uint16_t>(dns::RRType::kA));
+  EXPECT_EQ(s.qclass, 1);  // IN
+  // "www.example.com." on the wire: 3www7example3com0 (17) + type + class.
+  EXPECT_EQ(s.question_len, 17 + 4);
+  EXPECT_FALSE(s.compressed_qname);
+  EXPECT_EQ(s.edns_payload, 0);
+  EXPECT_FALSE(s.has_tsig);
+}
+
+TEST(ScanQueryTest, SeesEdnsAndDoBit) {
+  const QueryShape s =
+      scan(query("a.example.com.", dns::RRType::kA, 1232, /*dnssec_ok=*/true));
+  EXPECT_EQ(s.edns_payload, 1232);
+  EXPECT_TRUE(s.dnssec_ok);
+}
+
+TEST(ScanQueryTest, SeesTsig) {
+  dns::Message q = dns::Message::make_query(
+      7, dns::Name::parse("www.example.com."), dns::RRType::kA);
+  dns::tsig_sign(q, {"k", Bytes{1, 2, 3}}, 99);
+  const QueryShape s = scan(q.encode());
+  EXPECT_TRUE(s.has_tsig);
+  EXPECT_EQ(classify_query(s), Cacheable::kTsig);
+}
+
+TEST(ScanQueryTest, RejectsTruncatedAndTrailingBytes) {
+  Bytes wire = query("www.example.com.");
+  QueryShape s;
+  EXPECT_FALSE(scan_query({wire.data(), 11}, s));  // short of a header
+  Bytes cut(wire.begin(), wire.end() - 3);         // mid-question
+  EXPECT_FALSE(scan_query(cut, s));
+  wire.push_back(0x00);                            // trailing garbage
+  EXPECT_FALSE(scan_query(wire, s));
+}
+
+TEST(ClassifyTest, BypassReasons) {
+  QueryShape s = scan(query("www.example.com."));
+  EXPECT_EQ(classify_query(s), Cacheable::kYes);
+
+  QueryShape resp = s;
+  resp.qr = true;
+  EXPECT_EQ(classify_query(resp), Cacheable::kOpcode);
+  QueryShape upd = s;
+  upd.opcode = 5;  // UPDATE
+  EXPECT_EQ(classify_query(upd), Cacheable::kOpcode);
+
+  QueryShape axfr = s;
+  axfr.qtype = 252;  // AXFR
+  EXPECT_EQ(classify_query(axfr), Cacheable::kQform);
+  QueryShape multi = s;
+  multi.qdcount = 2;
+  EXPECT_EQ(classify_query(multi), Cacheable::kQform);
+  QueryShape comp = s;
+  comp.compressed_qname = true;
+  EXPECT_EQ(classify_query(comp), Cacheable::kQform);
+
+  QueryShape ch = s;
+  ch.qclass = 3;  // CHAOS
+  EXPECT_EQ(classify_query(ch), Cacheable::kClass);
+}
+
+TEST(CacheKeyTest, FoldsQnameCase) {
+  // The whole point of canonical keys: 0x20-mixed queries share an entry.
+  EXPECT_EQ(key_of(query("www.example.com.")), key_of(query("WwW.eXaMpLe.CoM.")));
+  EXPECT_EQ(key_of(query("www.example.com.")), key_of(query("WWW.EXAMPLE.COM.")));
+}
+
+TEST(CacheKeyTest, DiscriminatesEverythingElse) {
+  const std::string base = key_of(query("www.example.com."));
+  EXPECT_NE(base, key_of(query("ww2.example.com.")));
+  EXPECT_NE(base, key_of(query("www.example.com.", dns::RRType::kAAAA)));
+  // Different bucket, different key; same bucket, same key.
+  EXPECT_NE(base, key_of(query("www.example.com.", dns::RRType::kA, 4096)));
+  EXPECT_EQ(key_of(query("www.example.com.", dns::RRType::kA, 600)),
+            key_of(query("www.example.com.", dns::RRType::kA, 900)));
+  // DO bit is part of the key (DNSSEC answers carry extra records).
+  EXPECT_NE(key_of(query("www.example.com.", dns::RRType::kA, 4096, false)),
+            key_of(query("www.example.com.", dns::RRType::kA, 4096, true)));
+}
+
+TEST(PacketCacheTest, StoreLookupAndGenerationFlush) {
+  PacketCache cache(16);
+  const Bytes wire{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(cache.lookup("k", 1), nullptr);  // cold miss
+  cache.store("k", wire, 4, 1);
+  const PacketCache::Entry* e = cache.lookup("k", 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->wire, wire);
+  EXPECT_EQ(e->question_len, 4);
+  EXPECT_EQ(e->generation, 1u);
+
+  // Generation change: the probe itself flushes the whole map.
+  EXPECT_EQ(cache.lookup("k", 2), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // A stale-generation *store* also flushes before inserting.
+  cache.store("a", wire, 4, 2);
+  cache.store("b", wire, 4, 3);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().flushes, 2u);
+  ASSERT_NE(cache.lookup("b", 3), nullptr);
+}
+
+TEST(PacketCacheTest, EvictsAtCapacity) {
+  PacketCache cache(2);
+  cache.store("a", Bytes{1}, 1, 1);
+  cache.store("b", Bytes{2}, 1, 1);
+  cache.store("c", Bytes{3}, 1, 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Overwriting an existing key never evicts.
+  const std::string survivor = cache.lookup("b", 1) ? "b" : "c";
+  cache.store(survivor, Bytes{4}, 1, 1);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+}  // namespace
+}  // namespace sdns::net

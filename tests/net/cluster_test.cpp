@@ -16,10 +16,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/cluster.hpp"
@@ -43,6 +45,7 @@ class ClusterTest : public ::testing::Test {
     opt.t = 1;
     opt.require_tsig = true;
     opt.seed = 42;
+    opt.shards = shards_;
     // Spread port ranges by pid so parallel test runs don't collide.
     const std::uint16_t base =
         static_cast<std::uint16_t>(20000 + (::getpid() % 4000) * 8);
@@ -172,6 +175,8 @@ class ClusterTest : public ::testing::Test {
   ClusterFiles files_;
   dns::TsigKey tsig_key_;
   std::vector<pid_t> pids_;
+  /// Frontend shards per replica; subclasses set this before SetUp runs.
+  unsigned shards_ = 1;
 };
 
 TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
@@ -212,13 +217,17 @@ TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
 
     const auto after = scrape_stats(0);
     ASSERT_FALSE(after.empty());
-    // Every answered query was counted; retransmits can only add to the
-    // server-side view, never subtract.
-    EXPECT_GE(after.at("replica.reads"),
-              before.at("replica.reads") + answered);
+    // Every answered query was counted at the transport; retransmits can
+    // only add to the server-side view, never subtract.
     EXPECT_GE(after.at("net.udp.queries"),
               before.at("net.udp.queries") + answered);
     EXPECT_GE(after.at("net.query.latency_us.count"), answered);
+    // The probes repeat a question already answered once during startup, so
+    // they are served from the shard packet cache and never reach the
+    // replicated state machine: replica.reads stays flat, cache hits grow.
+    EXPECT_EQ(after.at("replica.reads"), before.at("replica.reads"));
+    EXPECT_GE(after.at("net.cache.hits"),
+              before.at("net.cache.hits") + answered);
     // Fault-free cluster: the optimistic abcast path never fell back.
     EXPECT_EQ(after.at("abcast.fallback"), 0u);
   }
@@ -275,6 +284,91 @@ TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
       EXPECT_TRUE(converges_on(id, "after-recovery.example.com."));
     }
   }
+}
+
+/// Same (4,1) cluster, but every replica runs four SO_REUSEPORT frontend
+/// shards — the read-scaling deployment shape.
+class ShardedClusterTest : public ClusterTest {
+ protected:
+  ShardedClusterTest() { shards_ = 4; }
+
+  static double now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+TEST_F(ShardedClusterTest, CachedReadsAcrossShardsNeverGoStale) {
+  // ---- warm the packet caches: every StubResolver query uses a fresh
+  //      source port, so the kernel's REUSEPORT hash spreads these across
+  //      all four shards of replica 0 ----
+  for (int i = 0; i < 16; ++i) {
+    StubResolver r = resolver_for(0, /*timeout=*/1.0, /*attempts=*/2);
+    const auto res =
+        r.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    ASSERT_FALSE(res.response.answers.empty());
+  }
+  {
+    const auto stats = scrape_stats(0);
+    ASSERT_FALSE(stats.empty());
+    EXPECT_GT(stats.at("net.cache.hits"), 0u)
+        << "16 identical reads produced no cache hits";
+    // The introspection queries themselves are CHAOS class — never cached.
+    EXPECT_GT(stats.at("net.cache.bypass.class"), 0u);
+  }
+
+  // ---- mutation during load: hammer a name that starts as NXDOMAIN (the
+  //      negative answer gets cached), add it mid-stream with a signed
+  //      update, and assert that no read *sent after the update was
+  //      acknowledged* ever sees the stale NXDOMAIN again ----
+  const std::string name = "fresh.example.com.";
+  std::atomic<bool> stop{false};
+  std::vector<std::pair<double, dns::Rcode>> observed;  // (send time, rcode)
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      StubResolver r = resolver_for(0, /*timeout=*/0.5, /*attempts=*/1);
+      const double sent = now_s();
+      const auto res = r.query(dns::Name::parse(name), dns::RRType::kA);
+      if (res.ok) observed.emplace_back(sent, res.response.rcode);
+    }
+  });
+
+  ::usleep(300 * 1000);  // some pre-update NXDOMAIN traffic
+  const auto upd = add_record(0, name, "10.9.9.9");
+  const double acked = now_s();  // replica 0 bumped its generation by now
+  ASSERT_TRUE(upd.ok);
+  ASSERT_EQ(upd.response.rcode, dns::Rcode::kNoError);
+  ::usleep(500 * 1000);  // post-update traffic
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  unsigned before_nx = 0, after_fresh = 0;
+  for (const auto& [sent, rcode] : observed) {
+    if (sent < acked) {
+      before_nx += (rcode == dns::Rcode::kNxDomain);
+    } else {
+      after_fresh += (rcode == dns::Rcode::kNoError);
+      // The no-stale invariant: a query sent after the update acknowledgment
+      // must never be answered from a pre-update cache entry.
+      EXPECT_NE(rcode, dns::Rcode::kNxDomain)
+          << "stale cached NXDOMAIN served after the update was applied";
+    }
+  }
+  EXPECT_GT(before_nx, 0u) << "no pre-update reads landed; test proves nothing";
+  EXPECT_GT(after_fresh, 0u) << "no post-update reads landed";
+
+  // The other replicas converge through abcast as usual.
+  for (unsigned id = 0; id < 4; ++id) {
+    EXPECT_TRUE(converges_on(id, name)) << "replica " << id;
+  }
+
+  // A generation flush happened on at least one shard of replica 0.
+  const auto stats = scrape_stats(0);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_GT(stats.at("net.cache.flushes"), 0u);
 }
 
 }  // namespace

@@ -11,9 +11,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "dns/edns.hpp"
+#include "dns/tsig.hpp"
 #include "net/loop.hpp"
 
 namespace sdns::net {
@@ -32,13 +35,17 @@ void set_timeouts(int fd) {
 
 /// Frontend + loop + a request handler that answers from a tiny in-memory
 /// "zone": one A record, with an adjustable amount of answer padding so
-/// tests can force truncation.
+/// tests can force truncation. The handler plays the replica: it counts its
+/// invocations (cache hits never reach it) and stamps answers with the
+/// test-owned zone-generation counter, exactly like ReplicaRuntime does.
 class FrontendTest : public ::testing::Test {
  protected:
   void start(DnsFrontend::Options opt, int answer_count = 1) {
     opt.listen = SockAddr::parse("127.0.0.1:0");
+    opt.generation = &gen_;
     frontend_ = std::make_unique<DnsFrontend>(
-        loop_, opt, [this, answer_count](ClientId client, Bytes wire) {
+        loop_, opt, [this, answer_count](ClientId client, util::BytesView wire) {
+          ++handler_calls_;
           dns::Message query = dns::Message::decode(wire);
           dns::Message response = dns::Message::make_response(query);
           response.aa = true;
@@ -46,11 +53,12 @@ class FrontendTest : public ::testing::Test {
             dns::ResourceRecord rr;
             rr.name = dns::Name::parse("h" + std::to_string(i) + ".example.com.");
             rr.type = dns::RRType::kA;
-            rr.ttl = 300;
+            rr.ttl = ttl_;
             rr.rdata = dns::ARdata::from_text("192.0.2.7").encode();
             response.answers.push_back(rr);
           }
-          frontend_->respond(client, response.encode());
+          frontend_->respond(client, response.encode(),
+                             gen_.load(std::memory_order_relaxed));
         });
     frontend_->start();
     addr_ = frontend_->bound_addr();
@@ -94,10 +102,10 @@ class FrontendTest : public ::testing::Test {
     return msg;
   }
 
-  static Bytes query_wire(std::uint16_t id, std::uint16_t edns_payload = 0) {
+  static Bytes query_wire(std::uint16_t id, std::uint16_t edns_payload = 0,
+                          const std::string& name = "www.example.com.") {
     dns::Message q =
-        dns::Message::make_query(id, dns::Name::parse("www.example.com."),
-                                 dns::RRType::kA);
+        dns::Message::make_query(id, dns::Name::parse(name), dns::RRType::kA);
     if (edns_payload) {
       dns::EdnsInfo info;
       info.udp_payload = edns_payload;
@@ -106,9 +114,26 @@ class FrontendTest : public ::testing::Test {
     return q.encode();
   }
 
+  /// Send one UDP query and block for the response (empty on timeout).
+  Bytes udp_roundtrip(int fd, const Bytes& q) {
+    const sockaddr_in sa = addr_.to_sockaddr();
+    EXPECT_GT(::sendto(fd, q.data(), q.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    std::uint8_t buf[8192];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return {};
+    return Bytes(buf, buf + n);
+  }
+
   EventLoop loop_;
   std::unique_ptr<DnsFrontend> frontend_;
   SockAddr addr_;
+  /// Stands in for core::ReplicaNode::zone_generation().
+  std::atomic<std::uint64_t> gen_{1};
+  /// Incremented on the loop thread; read after loop_.run() returns.
+  int handler_calls_ = 0;
+  std::uint32_t ttl_ = 300;
 };
 
 TEST_F(FrontendTest, UdpQueryGetsResponse) {
@@ -246,6 +271,154 @@ TEST_F(FrontendTest, MetricsRegistryCountsQueries) {
   EXPECT_EQ(reg.counter_value("net.query.opcode.query"), 2u);
   EXPECT_EQ(reg.counter_value("net.rcode.noerror"), 2u);
   EXPECT_EQ(reg.histogram("net.query.latency_us").count(), 2u);
+}
+
+TEST_F(FrontendTest, CacheHitPreservesClientCasingAndId) {
+  // RFC 1035 §2.3.3: case must be preserved in the echoed question. The
+  // second query differs from the first only in 0x20 casing and message id;
+  // it must be served from the packet cache (the handler never sees it),
+  // yet come back with *its own* id and *its own* casing — the splice path,
+  // not a verbatim replay of the stored packet.
+  start({});
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const Bytes r1 = udp_roundtrip(fd, query_wire(0x1111));
+    ASSERT_FALSE(r1.empty());
+    const Bytes q2 = query_wire(0x2222, 0, "wWw.ExAmPlE.cOm.");
+    const Bytes r2 = udp_roundtrip(fd, q2);
+    ASSERT_FALSE(r2.empty());
+    const dns::Message m2 = dns::Message::decode(r2);
+    EXPECT_EQ(m2.id, 0x2222);
+    ASSERT_EQ(m2.questions.size(), 1u);
+    EXPECT_EQ(m2.questions[0].name.to_string(), "wWw.ExAmPlE.cOm.");
+    EXPECT_EQ(m2.answers.size(), 1u);
+    // The raw question bytes are the client's own, byte for byte.
+    ASSERT_GE(r2.size(), 12 + q2.size() - 12);
+    EXPECT_TRUE(std::equal(q2.begin() + 12, q2.end(), r2.begin() + 12));
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 1);
+  EXPECT_EQ(frontend_->packet_cache().stats().hits, 1u);
+  EXPECT_EQ(frontend_->packet_cache().stats().stores, 1u);
+}
+
+TEST_F(FrontendTest, GenerationBumpInvalidatesCache) {
+  // A zone mutation bumps the replica's generation counter; the very next
+  // identical query must miss and return the *new* data, never a stale
+  // cached answer.
+  start({});
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    ASSERT_FALSE(udp_roundtrip(fd, query_wire(0x01)).empty());
+    // Warm hit first, to prove the entry was live before the bump.
+    ASSERT_FALSE(udp_roundtrip(fd, query_wire(0x02)).empty());
+    // "Mutate the zone": new TTL, new generation.
+    ttl_ = 999;
+    gen_.fetch_add(1, std::memory_order_release);
+    const Bytes r3 = udp_roundtrip(fd, query_wire(0x03));
+    ASSERT_FALSE(r3.empty());
+    EXPECT_EQ(dns::Message::decode(r3).answers.at(0).ttl, 999u);
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 2);  // queries 1 and 3; query 2 was a hit
+  EXPECT_EQ(frontend_->packet_cache().stats().hits, 1u);
+  EXPECT_GE(frontend_->packet_cache().stats().flushes, 1u);
+}
+
+TEST_F(FrontendTest, TsigSignedQueryBypassesCache) {
+  // Signed transactions are per-client: their responses carry a MAC over
+  // the exact exchange and must neither be stored nor served from cache.
+  obs::Registry reg;
+  DnsFrontend::Options opt;
+  opt.metrics = &reg;
+  start(opt);
+  const dns::TsigKey key{"client-key", util::Bytes{1, 2, 3, 4}};
+  auto signed_query = [&](std::uint16_t id) {
+    dns::Message q = dns::Message::make_query(
+        id, dns::Name::parse("www.example.com."), dns::RRType::kA);
+    dns::tsig_sign(q, key, /*timestamp=*/42);
+    return q.encode();
+  };
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    ASSERT_FALSE(udp_roundtrip(fd, signed_query(0x0A)).empty());
+    ASSERT_FALSE(udp_roundtrip(fd, signed_query(0x0B)).empty());
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 2);  // both reached the replica
+  EXPECT_EQ(frontend_->packet_cache().stats().stores, 0u);
+  EXPECT_EQ(frontend_->packet_cache().stats().hits, 0u);
+  EXPECT_EQ(reg.counter_value("net.cache.bypass.tsig"), 2u);
+}
+
+TEST_F(FrontendTest, UpdateOpcodeBypassesCache) {
+  // RFC 2136 updates mutate state; only opcode QUERY is cacheable.
+  obs::Registry reg;
+  DnsFrontend::Options opt;
+  opt.metrics = &reg;
+  start(opt);
+  auto update_wire = [](std::uint16_t id) {
+    dns::Message m = dns::Message::make_query(
+        id, dns::Name::parse("example.com."), dns::RRType::kSOA);
+    m.opcode = dns::Opcode::kUpdate;
+    return m.encode();
+  };
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    ASSERT_FALSE(udp_roundtrip(fd, update_wire(0x31)).empty());
+    ASSERT_FALSE(udp_roundtrip(fd, update_wire(0x32)).empty());
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 2);
+  EXPECT_EQ(frontend_->packet_cache().stats().stores, 0u);
+  EXPECT_EQ(reg.counter_value("net.cache.bypass.opcode"), 2u);
+}
+
+TEST_F(FrontendTest, EdnsBucketsCacheSeparately) {
+  // A response stored for a 4096-byte advertiser must not be replayed to a
+  // plain-DNS client that can only take 512 bytes: the payload bucket is
+  // part of the cache key.
+  start({}, /*answer_count=*/40);  // ~1.5 KB response
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const Bytes big = udp_roundtrip(fd, query_wire(0x41, /*edns=*/4096));
+    ASSERT_FALSE(big.empty());
+    EXPECT_FALSE(dns::Message::decode(big).tc);
+    // Same name, no OPT: different bucket, so a miss — and the response is
+    // truncated to the classic limit, as it must be.
+    const Bytes small = udp_roundtrip(fd, query_wire(0x42));
+    ASSERT_FALSE(small.empty());
+    EXPECT_LE(small.size(), dns::kClassicUdpLimit);
+    EXPECT_TRUE(dns::Message::decode(small).tc);
+    // Repeat of the 4096 form is a hit.
+    ASSERT_FALSE(udp_roundtrip(fd, query_wire(0x43, /*edns=*/4096)).empty());
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 2);
+  EXPECT_EQ(frontend_->packet_cache().stats().hits, 1u);
+  // Only the 4096-bucket response fit its bucket; the truncated one is
+  // never stored.
+  EXPECT_EQ(frontend_->packet_cache().stats().stores, 1u);
+}
+
+TEST_F(FrontendTest, CacheDisabledServesEveryQueryFromReplica) {
+  DnsFrontend::Options opt;
+  opt.enable_cache = false;
+  start(opt);
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    ASSERT_FALSE(udp_roundtrip(fd, query_wire(0x51)).empty());
+    ASSERT_FALSE(udp_roundtrip(fd, query_wire(0x52)).empty());
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 2);
+  EXPECT_EQ(frontend_->packet_cache().stats().stores, 0u);
 }
 
 TEST_F(FrontendTest, TcpQueryWithSplitLengthPrefix) {
