@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
       if (stats_interval <= 0) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
-      if (shards < 1 || shards > 64) return usage(argv[0]);
+      if (shards < 1 || shards > 16) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       explicit_log_level = true;
       const char* level = argv[++i];

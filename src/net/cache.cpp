@@ -137,6 +137,26 @@ void append_cache_key(std::string& key, BytesView wire,
   key.push_back(shape.dnssec_ok ? 1 : 0);
 }
 
+bool response_cache_key(std::string& key, BytesView wire, std::uint16_t bucket,
+                        bool dnssec_ok) {
+  if (wire.size() < 12) return false;
+  const auto qdcount = static_cast<std::uint16_t>(wire[4] << 8 | wire[5]);
+  if (qdcount != 1) return false;
+  std::size_t at = 12;
+  bool compressed = false;
+  if (!skip_name(wire, at, &compressed) || compressed) return false;
+  if (at + 4 > wire.size()) return false;
+  QueryShape shape;
+  shape.qtype = static_cast<std::uint16_t>(wire[at] << 8 | wire[at + 1]);
+  shape.qclass = static_cast<std::uint16_t>(wire[at + 2] << 8 | wire[at + 3]);
+  // payload_bucket is a fixpoint on bucket values, so feeding the bucket
+  // back through append_cache_key reproduces the arrival-time key bytes.
+  shape.edns_payload = bucket;
+  shape.dnssec_ok = dnssec_ok;
+  append_cache_key(key, wire, shape);
+  return true;
+}
+
 PacketCache::PacketCache(std::size_t max_entries)
     : max_entries_(max_entries ? max_entries : 1) {}
 

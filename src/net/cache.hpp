@@ -87,6 +87,17 @@ Cacheable classify_query(const QueryShape& shape);
 void append_cache_key(std::string& key, util::BytesView wire,
                       const QueryShape& shape);
 
+/// Rebuild, from a *response*, the cache key its answer belongs under: the
+/// case-folded qname / qtype / qclass come from the response's own question
+/// section, the payload bucket and DO bit from the pending context the
+/// caller registered at query arrival. Appends to `key` like
+/// append_cache_key. Returns false when the response does not carry exactly
+/// one uncompressed question — such a response is not storable at all.
+/// Store-time verification against the registered key is what keeps a
+/// (ClientId, DNS id) collision from filing an answer under the wrong name.
+bool response_cache_key(std::string& key, util::BytesView wire,
+                        std::uint16_t bucket, bool dnssec_ok);
+
 class PacketCache {
  public:
   struct Entry {

@@ -22,8 +22,10 @@ constexpr std::uint64_t kUdpDoBit = 1ULL << 62;
 constexpr std::size_t kMaxInflight = 8192;
 
 /// Cap on the (ClientId, DNS id) -> pending cache-store map. Entries are
-/// consumed by the matching respond(); the cap only matters if a flood of
-/// cacheable queries goes unanswered.
+/// consumed by the matching respond(); a flood of unanswered cacheable
+/// queries (replica-dropped packets, spoofed sources) evicts arbitrary
+/// victims at the cap and is aged out by the idle sweep, so caching
+/// degrades under attack but never shuts off.
 constexpr std::size_t kMaxPending = 8192;
 
 const char* const kRcodeNames[16] = {
@@ -42,10 +44,14 @@ SockAddr client_udp_addr(ClientId id) {
 }
 
 std::uint16_t client_udp_payload(ClientId id) {
-  return static_cast<std::uint16_t>((id >> 48) & 0x3fff);
+  return static_cast<std::uint16_t>(((id >> 48) & 0x3ff) << 4);
 }
 
 bool client_udp_do(ClientId id) { return (id & kUdpDoBit) != 0; }
+
+unsigned client_udp_shard(ClientId id) {
+  return static_cast<unsigned>((id >> 58) & 0x0f);
+}
 
 unsigned client_tcp_owner(ClientId id) {
   return static_cast<unsigned>((id >> 48) & 0xff);
@@ -56,10 +62,13 @@ unsigned client_tcp_shard(ClientId id) {
 }
 
 ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload,
-                         bool dnssec_ok) {
-  // 14 bits suffice: RFC 2671 sizes beyond 16383 have no practical meaning
-  // (the transport caps a datagram at 65535 and real-world advertised
-  // sizes top out at 4096). Bit 62 carries the query's DO bit.
+                         bool dnssec_ok, unsigned shard) {
+  // The payload travels as a 10-bit field of 16-byte units, floored — never
+  // above the advertised size, and exact for every multiple of 16 (all the
+  // sizes seen in practice: 512, 1232, 4096). Sizes beyond 16368 have no
+  // practical meaning anyway. Bit 62 carries the query's DO bit; bits
+  // 61..58 the shard the query arrived on, so asynchronously produced
+  // responses route back to the loop holding the pending store.
   std::uint64_t payload = std::min<std::uint64_t>(edns_payload, 0x3fff);
   // RFC 6891 §6.2.5: an advertised size below 512 MUST be treated as 512 —
   // a maliciously tiny OPT must not shrink the response budget below the
@@ -67,7 +76,8 @@ ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload,
   if (payload != 0 && payload < dns::kClassicUdpLimit) {
     payload = dns::kClassicUdpLimit;
   }
-  return (dnssec_ok ? kUdpDoBit : 0) | payload << 48 |
+  return (dnssec_ok ? kUdpDoBit : 0) |
+         static_cast<std::uint64_t>(shard & 0x0f) << 58 | (payload >> 4) << 48 |
          static_cast<std::uint64_t>(addr.ip) << 16 | addr.port;
 }
 
@@ -290,13 +300,22 @@ void DnsFrontend::on_udp_ready() {
     // RFC 6891 §6.2.5 floor is applied inside make_udp_client; zero stays
     // the "no OPT" sentinel either way.
     const SockAddr from = SockAddr::from_sockaddr(sa);
-    const ClientId client = make_udp_client(from, payload, dnssec_ok);
+    const ClientId client = make_udp_client(from, payload, dnssec_ok,
+                                            opt_.shard);
     note_request(client, wire);
-    if (cacheable && pending_.size() < kMaxPending) {
-      pending_.emplace(
-          std::make_pair(client, shape.id),
-          PendingStore{key_scratch_, shape.question_len,
-                       payload_bucket(shape.edns_payload)});
+    if (cacheable) {
+      const auto pkey = std::make_pair(client, shape.id);
+      if (pending_.size() >= kMaxPending && pending_.find(pkey) == pending_.end()) {
+        pending_.erase(pending_.begin());  // arbitrary victim, never refuse
+      }
+      // insert_or_assign, never emplace: an existing entry under this
+      // (client, id) is an orphan whose query was dropped or whose response
+      // is still in flight — keeping it would pair its stale key with this
+      // query's response.
+      pending_.insert_or_assign(
+          pkey, PendingStore{key_scratch_, shape.question_len,
+                             payload_bucket(shape.edns_payload),
+                             shape.dnssec_ok, loop_.now()});
     }
     on_request_(client, wire);
   }
@@ -351,6 +370,14 @@ void DnsFrontend::sweep_idle() {
   }
   c_idle_closed_->inc(idle.size());
   for (const std::uint64_t serial : idle) close_conn(serial);
+  // Age out pending cache-store contexts whose response never came, so the
+  // map can neither fill up for good nor hold a stale key for a future
+  // same-(client, id) response to mispair with.
+  const double pending_cutoff = loop_.now() - opt_.pending_timeout;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it = it->second.registered < pending_cutoff ? pending_.erase(it)
+                                                : std::next(it);
+  }
   sweep_timer_ = loop_.add_timer(std::max(opt_.idle_timeout / 4, 0.05),
                                  [this] { sweep_idle(); });
 }
@@ -459,12 +486,17 @@ void DnsFrontend::respond_udp(ClientId client, BytesView wire,
   const std::uint8_t rcode = out[3] & 0x0f;
   if (rcode != 0 && rcode != 3) return;
   if (out.size() > bucket_limit(pending->bucket)) return;
-  // The splice requires the stored question section to be exactly as wide
-  // as the one registered at arrival (the replica echoes the question, so
-  // a mismatch means something exotic happened — skip, don't poison).
-  try {
-    if (dns::question_section_span(out) != pending->question_len) return;
-  } catch (const util::ParseError&) {
+  // The pending entry identifies itself only by (ClientId, DNS id), which
+  // collides: it may be an orphan left by an earlier query this response
+  // does not answer. Re-derive the key from the response's own question
+  // and store only on an exact match — a weaker (length-only) check would
+  // let an equal-length qname poison the cache with a wrong answer. Key
+  // equality also pins the question width the splice relies on, since the
+  // folded qname bytes are part of the key.
+  verify_key_.clear();
+  if (!response_cache_key(verify_key_, out, pending->bucket,
+                          pending->dnssec_ok) ||
+      verify_key_ != pending->key) {
     return;
   }
   const std::uint64_t gen = *generation;

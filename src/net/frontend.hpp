@@ -21,9 +21,15 @@
 // through atomic broadcast and let EVERY replica answer the client
 // directly (§3.3 — voting clients need n independent responses):
 //
-//   UDP  [63]=0 | [62] DO bit | [61..48] advertised EDNS payload
-//              (0 = no OPT in query) | [47..16] IPv4 | [15..0] port
+//   UDP  [63]=0 | [62] DO bit | [61..58] shard the query arrived on
+//              | [57..48] advertised EDNS payload / 16, floored (0 = no OPT
+//              in query) | [47..16] IPv4 | [15..0] port
 //        Any replica can sendto() that address from its own UDP socket.
+//        The shard bits route a response produced asynchronously (abcast-
+//        disseminated reads, update completions) back to the event loop
+//        that registered the query's pending cache-store context; a
+//        replica whose shard count is smaller than the encoded value sends
+//        from shard 0, which is equally valid for UDP.
 //   TCP  [63]=1 | [55..48] replica id that owns the connection
 //              | [47..40] shard owning the connection | [39..0] serial
 //        Only the owning shard of the owning replica can respond.
@@ -52,17 +58,20 @@ using ClientId = std::uint64_t;
 bool client_is_udp(ClientId id);
 /// The UDP return address encoded in a UDP ClientId.
 SockAddr client_udp_addr(ClientId id);
-/// The advertised EDNS payload (0 = query had no OPT).
+/// The advertised EDNS payload (0 = query had no OPT), floored to the
+/// 16-byte granularity the ClientId encoding keeps.
 std::uint16_t client_udp_payload(ClientId id);
 /// The DO (DNSSEC OK) bit of the query's OPT.
 bool client_udp_do(ClientId id);
+/// The frontend shard a UDP query arrived on (within the minting replica).
+unsigned client_udp_shard(ClientId id);
 /// The replica owning a TCP ClientId's connection.
 unsigned client_tcp_owner(ClientId id);
 /// The frontend shard (within the owning replica) holding the connection.
 unsigned client_tcp_shard(ClientId id);
 
 ClientId make_udp_client(const SockAddr& addr, std::uint16_t edns_payload,
-                         bool dnssec_ok = false);
+                         bool dnssec_ok = false, unsigned shard = 0);
 ClientId make_tcp_client(unsigned replica, std::uint64_t serial);
 
 class DnsFrontend {
@@ -79,6 +88,10 @@ class DnsFrontend {
     std::uint16_t edns_payload = 4096;  ///< our advertised receive size
     bool enable_cache = true;           ///< response packet cache (UDP)
     std::size_t cache_entries = 4096;   ///< per-shard cache capacity
+    /// Age after which an unanswered pending cache-store context is swept
+    /// (see PendingStore). Generous: it only needs to outlive the slowest
+    /// legitimate response, including an abcast-disseminated read.
+    double pending_timeout = 10.0;
     /// Zone-generation counter owned by the replica (null = generation 0
     /// forever, i.e. a never-invalidated cache — fine for unit tests).
     /// Bumped by the replica thread on every zone mutation or re-sign;
@@ -116,6 +129,8 @@ class DnsFrontend {
   std::uint64_t tcp_queries() const { return tcp_queries_; }
   std::uint64_t truncated() const { return truncated_; }
   const PacketCache& packet_cache() const { return cache_; }
+  /// In-flight cacheable queries awaiting their respond() (tests/debug).
+  std::size_t pending_entries() const { return pending_.size(); }
 
  private:
   struct Conn {
@@ -130,11 +145,16 @@ class DnsFrontend {
   /// Cache-key context registered when a cacheable query arrives, consumed
   /// by the respond() that answers it. Its existence is the store
   /// authorization: TSIG-signed or otherwise bypassed queries never
-  /// register one, so their responses can never be stored.
+  /// register one, so their responses can never be stored. It is an
+  /// authorization only, never trusted as an identification — (ClientId,
+  /// DNS id) pairs collide, so respond() re-derives the key from the
+  /// response's own question and stores nothing on a mismatch.
   struct PendingStore {
     std::string key;
     std::uint16_t question_len = 0;
     std::uint16_t bucket = 0;
+    bool dnssec_ok = false;
+    double registered = 0;  ///< loop time; aged out by the idle sweep
   };
 
   void on_udp_ready();
@@ -165,7 +185,9 @@ class DnsFrontend {
 
   PacketCache cache_;
   /// Bounded (ClientId, DNS id) -> pending store context for in-flight
-  /// cacheable queries.
+  /// cacheable queries. A colliding arrival overwrites (the old entry is an
+  /// orphan), capacity evicts an arbitrary victim, and the idle sweep ages
+  /// out entries whose response never came.
   std::map<std::pair<ClientId, std::uint16_t>, PendingStore> pending_;
 
   // Per-shard scratch: reused across datagrams so the steady-state receive
@@ -173,6 +195,7 @@ class DnsFrontend {
   std::vector<std::uint8_t> udp_buf_;     ///< datagram receive buffer
   std::vector<std::uint8_t> tcp_buf_;     ///< stream read scratch
   std::string key_scratch_;               ///< cache-key assembly
+  std::string verify_key_;                ///< store-time key re-derivation
   util::Bytes splice_buf_;                ///< cache-hit response assembly
 
   // Counters resolved once at construction (see Options::metrics). The

@@ -109,8 +109,9 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
     if (id >= cfg.n) throw NetError("peer id out of range in " + path);
     cfg.mesh_peers[id] = addr;
   }
-  if (cfg.shards == 0 || cfg.shards > 64) {
-    throw NetError("shards must be in [1, 64] in " + path);
+  // 16 is the ceiling the 4-bit shard field of a UDP ClientId can route.
+  if (cfg.shards == 0 || cfg.shards > 16) {
+    throw NetError("shards must be in [1, 16] in " + path);
   }
   return cfg;
 }
@@ -182,7 +183,7 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   shards_.resize(cfg_.shards);
   shards_[0].frontend = std::make_unique<DnsFrontend>(
       loop_, frontend_options(0), [this](ClientId client, BytesView wire) {
-        handle_request(0, client, wire);
+        handle_request(client, wire);
       });
 
   Mesh::Options mopt;
@@ -222,23 +223,28 @@ DnsFrontend::Options ReplicaRuntime::frontend_options(unsigned shard) {
   return fopt;
 }
 
-void ReplicaRuntime::handle_request(unsigned shard, ClientId client,
-                                    BytesView wire) {
-  // Queries are answered synchronously inside on_client_request; remember
-  // which shard's socket the request came in on so route_response can send
-  // the answer back out the same one.
-  pending_shard_ = shard;
+void ReplicaRuntime::handle_request(ClientId client, BytesView wire) {
   if (!maybe_answer_stats(client, wire)) {
     replica_->on_client_request(client, wire);
   }
-  pending_shard_ = 0;
 }
 
 void ReplicaRuntime::route_response(ClientId client, Bytes wire,
                                     std::optional<std::uint64_t> generation) {
-  unsigned shard = client_is_udp(client) ? pending_shard_
-                                         : client_tcp_shard(client);
-  if (shard >= shards_.size()) return;  // stale id from an old config
+  unsigned shard;
+  if (client_is_udp(client)) {
+    // The ClientId carries the shard that received the query, so responses
+    // — including ones produced asynchronously, e.g. abcast-disseminated
+    // reads — go back to the loop holding the pending cache-store context.
+    // An id minted by a replica with more shards than this one maps to
+    // shard 0: any UDP socket of the group can answer, and the minting
+    // shard's pending store lives on another machine anyway.
+    shard = client_udp_shard(client);
+    if (shard >= shards_.size()) shard = 0;
+  } else {
+    shard = client_tcp_shard(client);
+    if (shard >= shards_.size()) return;  // stale id from an old config
+  }
   if (!shards_[shard].loop) {
     shards_[shard].frontend->respond(client, wire, generation);
     return;
@@ -310,11 +316,11 @@ void ReplicaRuntime::start() {
     DnsFrontend::Options fopt = frontend_options(k);
     fopt.listen = resolved;
     shard.frontend = std::make_unique<DnsFrontend>(
-        *shard.loop, fopt, [this, k](ClientId client, BytesView wire) {
+        *shard.loop, fopt, [this](ClientId client, BytesView wire) {
           // Crossing to the main loop: the view dies with this callback, so
           // the request bytes are copied into the posted closure.
-          loop_.post([this, k, client, w = Bytes(wire.begin(), wire.end())] {
-            handle_request(k, client, w);
+          loop_.post([this, client, w = Bytes(wire.begin(), wire.end())] {
+            handle_request(client, w);
           });
         });
     // Bind and register on this thread — safe, the shard's loop is not

@@ -52,7 +52,8 @@ struct RuntimeConfig {
   std::uint16_t edns_payload = 4096;
   /// Frontend shards: each gets its own event-loop thread and its own
   /// SO_REUSEPORT socket pair on listen_dns. 1 = classic single-loop mode
-  /// (no extra threads, no REUSEPORT).
+  /// (no extra threads, no REUSEPORT). Max 16 — the shard field a UDP
+  /// ClientId routes responses by is 4 bits.
   unsigned shards = 1;
   bool packet_cache = true;          ///< per-shard response packet cache
   std::size_t cache_entries = 4096;  ///< per-shard cache capacity
@@ -115,12 +116,11 @@ class ReplicaRuntime {
   DnsFrontend::Options frontend_options(unsigned shard);
   /// Runs on the main loop: serve stats or feed the replica. `wire` must
   /// stay valid for the duration of the call only.
-  void handle_request(unsigned shard, ClientId client, util::BytesView wire);
-  /// Deliver a response to the shard that owns the client's socket. UDP
-  /// answers produced synchronously inside handle_request go back to the
-  /// originating shard (pending_shard_); asynchronous ones (update
-  /// completions) go out shard 0's socket, which is equally valid for UDP.
-  /// TCP answers follow the shard encoded in the ClientId.
+  void handle_request(ClientId client, util::BytesView wire);
+  /// Deliver a response to the shard whose loop owns the client — both UDP
+  /// and TCP ClientIds carry their originating shard, so even responses
+  /// produced asynchronously (abcast-disseminated reads, update
+  /// completions) reach the shard holding the pending cache-store context.
   void route_response(ClientId client, util::Bytes wire,
                       std::optional<std::uint64_t> generation);
 
@@ -130,9 +130,6 @@ class ReplicaRuntime {
   std::unique_ptr<core::ReplicaNode> replica_;
   std::vector<Shard> shards_;
   std::unique_ptr<Mesh> mesh_;
-  /// Shard whose request handle_request is currently serving (main thread
-  /// only); 0 outside the synchronous window.
-  unsigned pending_shard_ = 0;
 };
 
 }  // namespace sdns::net

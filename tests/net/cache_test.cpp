@@ -140,6 +140,40 @@ TEST(CacheKeyTest, DiscriminatesEverythingElse) {
             key_of(query("www.example.com.", dns::RRType::kA, 4096, true)));
 }
 
+TEST(CacheKeyTest, ResponseKeyMatchesArrivalKeyOnlyForItsOwnQuestion) {
+  // Store-time verification: a response re-derives the key it belongs
+  // under from its own question section. It must reproduce the arrival-time
+  // key bytes exactly (case folded, bucket/DO supplied by the caller) so an
+  // orphaned pending entry mispaired by a (client, id) collision can never
+  // file an answer under a different name's key.
+  const Bytes q = query("WwW.eXaMpLe.CoM.", dns::RRType::kA, 900, true);
+  const QueryShape shape = scan(q);
+  std::string arrival;
+  append_cache_key(arrival, q, shape);
+  // The "response": the echoed question suffices for key derivation.
+  dns::Message m = dns::Message::decode(q);
+  m.qr = true;
+  std::string stored;
+  ASSERT_TRUE(response_cache_key(stored, m.encode(),
+                                 payload_bucket(shape.edns_payload),
+                                 shape.dnssec_ok));
+  EXPECT_EQ(stored, arrival);
+  // Same wire length, different name: the keys must differ.
+  std::string other;
+  ASSERT_TRUE(response_cache_key(other, query("ww2.example.com."), 512, true));
+  EXPECT_NE(other, arrival);
+  // A wrong bucket or DO bit also breaks the match.
+  std::string wrong_bucket;
+  ASSERT_TRUE(response_cache_key(wrong_bucket, m.encode(), 4096,
+                                 shape.dnssec_ok));
+  EXPECT_NE(wrong_bucket, arrival);
+  // Responses that are not storable at all: no / multiple questions.
+  std::string none;
+  dns::Message empty;
+  empty.qr = true;
+  EXPECT_FALSE(response_cache_key(none, empty.encode(), 0, false));
+}
+
 TEST(PacketCacheTest, StoreLookupAndGenerationFlush) {
   PacketCache cache(16);
   const Bytes wire{0xde, 0xad, 0xbe, 0xef};

@@ -46,6 +46,7 @@ class ClusterTest : public ::testing::Test {
     opt.require_tsig = true;
     opt.seed = 42;
     opt.shards = shards_;
+    opt.disseminate_reads = disseminate_reads_;
     // Spread port ranges by pid so parallel test runs don't collide.
     const std::uint16_t base =
         static_cast<std::uint16_t>(20000 + (::getpid() % 4000) * 8);
@@ -177,6 +178,9 @@ class ClusterTest : public ::testing::Test {
   std::vector<pid_t> pids_;
   /// Frontend shards per replica; subclasses set this before SetUp runs.
   unsigned shards_ = 1;
+  /// §3.4 rare-update mode: reads go through atomic broadcast, so their
+  /// responses are produced asynchronously. Subclasses set before SetUp.
+  bool disseminate_reads_ = false;
 };
 
 TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
@@ -369,6 +373,45 @@ TEST_F(ShardedClusterTest, CachedReadsAcrossShardsNeverGoStale) {
   const auto stats = scrape_stats(0);
   ASSERT_FALSE(stats.empty());
   EXPECT_GT(stats.at("net.cache.flushes"), 0u);
+}
+
+/// Four shards AND disseminated reads: every read response is produced
+/// asynchronously (after abcast delivery), so it can only be cached if the
+/// runtime routes it back to the shard that registered the pending store —
+/// the shard carried in the UDP ClientId, not whichever shard happens to be
+/// current when the response is routed.
+class DisseminatedShardedClusterTest : public ClusterTest {
+ protected:
+  DisseminatedShardedClusterTest() {
+    shards_ = 4;
+    disseminate_reads_ = true;
+  }
+};
+
+TEST_F(DisseminatedShardedClusterTest, AsyncReadResponsesAreCachedOnTheirShard) {
+  // Fresh source port per query, so the kernel's REUSEPORT hash spreads
+  // these across all four shards of replica 0.
+  constexpr unsigned kReads = 48;
+  unsigned answered = 0;
+  for (unsigned i = 0; i < kReads; ++i) {
+    StubResolver r = resolver_for(0, /*timeout=*/2.0, /*attempts=*/2);
+    const auto res =
+        r.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+    ASSERT_TRUE(res.ok) << "disseminated read " << i << " went unanswered";
+    ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    ASSERT_FALSE(res.response.answers.empty());
+    ++answered;
+  }
+  const auto stats = scrape_stats(0);
+  ASSERT_FALSE(stats.empty());
+  // Each shard misses once to warm its own entry; everything after must be
+  // a hit. Pre-fix, responses were routed to shard 0 regardless of origin,
+  // so only ~a quarter of the traffic could ever hit — requiring a strict
+  // majority of hits is what this regression pins down.
+  EXPECT_GE(stats.at("net.cache.hits"), answered / 2)
+      << "async read responses are not reaching the shard that registered "
+         "their pending cache-store entry";
+  EXPECT_GE(stats.at("net.cache.stores"), 1u);
 }
 
 }  // namespace

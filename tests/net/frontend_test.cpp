@@ -64,6 +64,31 @@ class FrontendTest : public ::testing::Test {
     addr_ = frontend_->bound_addr();
   }
 
+  /// Like start(), but with a test-supplied request handler standing in
+  /// for the replica (for drop / reorder scenarios).
+  void start_custom(DnsFrontend::Options opt, DnsFrontend::RequestFn handler) {
+    opt.listen = SockAddr::parse("127.0.0.1:0");
+    opt.generation = &gen_;
+    frontend_ = std::make_unique<DnsFrontend>(loop_, opt, std::move(handler));
+    frontend_->start();
+    addr_ = frontend_->bound_addr();
+  }
+
+  /// A response to `query` whose answer A record carries the query's own
+  /// name, so a cache-poisoned splice (question X, answer for Y) is
+  /// detectable by the client.
+  Bytes response_echoing_name(const dns::Message& query) {
+    dns::Message response = dns::Message::make_response(query);
+    response.aa = true;
+    dns::ResourceRecord rr;
+    rr.name = query.questions.at(0).name;
+    rr.type = dns::RRType::kA;
+    rr.ttl = ttl_;
+    rr.rdata = dns::ARdata::from_text("192.0.2.7").encode();
+    response.answers.push_back(rr);
+    return response.encode();
+  }
+
   /// Run the loop while `client` executes on its own thread.
   void run_with_client(const std::function<void()>& client) {
     std::thread t([&] {
@@ -220,6 +245,24 @@ TEST(ClientIdTest, TinyAdvertisedPayloadClampsTo512) {
   EXPECT_EQ(client_udp_payload(make_udp_client(addr, 512)), 512);
   EXPECT_EQ(client_udp_payload(make_udp_client(addr, 1232)), 1232);
   EXPECT_EQ(client_udp_payload(make_udp_client(addr, 4096)), 4096);
+}
+
+TEST(ClientIdTest, ShardRoundTripsNextToPayloadAndAddress) {
+  // The shard field routes asynchronously produced responses back to the
+  // loop that registered the query's pending cache-store context; it must
+  // coexist with every other field of the id.
+  const SockAddr addr = SockAddr::parse("192.0.2.1:9999");
+  for (unsigned shard : {0u, 1u, 7u, 15u}) {
+    const ClientId id = make_udp_client(addr, 1232, /*dnssec_ok=*/true, shard);
+    EXPECT_TRUE(client_is_udp(id));
+    EXPECT_EQ(client_udp_shard(id), shard);
+    EXPECT_EQ(client_udp_payload(id), 1232);
+    EXPECT_TRUE(client_udp_do(id));
+    EXPECT_EQ(client_udp_addr(id).to_string(), "192.0.2.1:9999");
+  }
+  // Payload granularity is 16 bytes, flooring — never above the advert.
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 1239)), 1232);
+  EXPECT_EQ(client_udp_payload(make_udp_client(addr, 16383)), 16368);
 }
 
 TEST_F(FrontendTest, MaliciouslyTinyEdnsPayloadStillGets512) {
@@ -419,6 +462,134 @@ TEST_F(FrontendTest, CacheDisabledServesEveryQueryFromReplica) {
   });
   EXPECT_EQ(handler_calls_, 2);
   EXPECT_EQ(frontend_->packet_cache().stats().stores, 0u);
+}
+
+TEST_F(FrontendTest, DroppedQueryCannotPoisonCacheViaReusedId) {
+  // REVIEW scenario: a cacheable query the replica silently drops leaves an
+  // orphaned pending-store entry under (source ip:port, DNS id). A later
+  // query from the same socket reusing the id but asking a *different,
+  // equal-length* name must not get its response filed under the orphan's
+  // key — pre-fix, "okay."'s answer was cached under "drop."'s key and then
+  // served to everyone asking "drop.".
+  start_custom({}, [this](ClientId client, util::BytesView wire) {
+    ++handler_calls_;
+    dns::Message query = dns::Message::decode(wire);
+    const std::string name = query.questions.at(0).name.to_string();
+    if (name == "drop.example.com.") return;  // decode-failure stand-in
+    frontend_->respond(client, response_echoing_name(query),
+                       gen_.load(std::memory_order_relaxed));
+  });
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    timeval tv{0, 400 * 1000};  // short: two of the queries go unanswered
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    // Orphan a pending entry: "drop." is swallowed by the handler.
+    const Bytes q1 = query_wire(0x77, 0, "drop.example.com.");
+    ASSERT_GT(::sendto(fd, q1.data(), q1.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    // Same socket, same id, different name of the same wire length.
+    const Bytes r2 = udp_roundtrip(fd, query_wire(0x77, 0, "okay.example.com."));
+    ASSERT_FALSE(r2.empty());
+    const dns::Message m2 = dns::Message::decode(r2);
+    EXPECT_EQ(m2.answers.at(0).name.to_string(), "okay.example.com.");
+    // Re-ask "drop.": a poisoned cache would answer it with "okay."'s
+    // record; correct behavior is a fresh handler call that drops it again.
+    const Bytes r3 = udp_roundtrip(fd, query_wire(0x78, 0, "drop.example.com."));
+    EXPECT_TRUE(r3.empty()) << "dropped name was served from the cache";
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 3);
+  EXPECT_EQ(frontend_->packet_cache().stats().stores, 1u);  // "okay." only
+  EXPECT_EQ(frontend_->packet_cache().stats().hits, 0u);
+}
+
+TEST_F(FrontendTest, LateResponseForOverwrittenPendingIsNotStored) {
+  // The reverse collision: the pending entry now belongs to the *newer*
+  // query ("fast."), and the older query's response arrives late (the
+  // abcast-disseminated read shape). Its question no longer matches the
+  // registered key, so it must be rejected at store time — the old
+  // length-only check let any equal-length qname through.
+  std::optional<dns::Message> slow_query;
+  ClientId slow_client = 0;
+  start_custom({}, [&](ClientId client, util::BytesView wire) {
+    ++handler_calls_;
+    dns::Message query = dns::Message::decode(wire);
+    const std::string name = query.questions.at(0).name.to_string();
+    if (name == "slow.example.com." && !slow_query) {
+      slow_query = std::move(query);  // answer it only when "fast." arrives
+      slow_client = client;
+      return;
+    }
+    if (slow_query) {
+      frontend_->respond(slow_client, response_echoing_name(*slow_query),
+                         gen_.load(std::memory_order_relaxed));
+      slow_query.reset();
+    }
+    frontend_->respond(client, response_echoing_name(query),
+                       gen_.load(std::memory_order_relaxed));
+  });
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    set_timeouts(fd);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    const Bytes q1 = query_wire(0x11, 0, "slow.example.com.");
+    ASSERT_GT(::sendto(fd, q1.data(), q1.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    // Same socket, same id: overwrites the pending slot with "fast."'s key.
+    const Bytes q2 = query_wire(0x11, 0, "fast.example.com.");
+    ASSERT_GT(::sendto(fd, q2.data(), q2.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+              0);
+    // Both responses arrive; each must answer its own question.
+    for (int i = 0; i < 2; ++i) {
+      std::uint8_t buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      ASSERT_GT(n, 0);
+      const dns::Message r = dns::Message::decode({buf, static_cast<std::size_t>(n)});
+      EXPECT_EQ(r.questions.at(0).name.to_string(),
+                r.answers.at(0).name.to_string());
+    }
+    // Neither collided response was stored, so this repeat must reach the
+    // handler and answer with its own name — a poisoned cache would have
+    // served "slow."'s answer from the entry filed under "fast."'s key.
+    const Bytes r3 = udp_roundtrip(fd, query_wire(0x12, 0, "fast.example.com."));
+    ASSERT_FALSE(r3.empty());
+    EXPECT_EQ(dns::Message::decode(r3).answers.at(0).name.to_string(),
+              "fast.example.com.");
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 3);
+  // The only store is the third query's own (uncollided) response.
+  EXPECT_EQ(frontend_->packet_cache().stats().stores, 1u);
+  EXPECT_EQ(frontend_->packet_cache().stats().hits, 0u);
+}
+
+TEST_F(FrontendTest, UnansweredPendingEntriesAgeOut) {
+  // Queries whose responses never come (replica drops, spoofed sources)
+  // must not pin pending-store slots forever — pre-fix the map filled to
+  // its cap and response caching silently shut off for the shard.
+  DnsFrontend::Options opt;
+  opt.idle_timeout = 0.2;     // sweep period is idle_timeout / 4
+  opt.pending_timeout = 0.1;
+  start_custom(opt, [this](ClientId, util::BytesView) { ++handler_calls_; });
+  run_with_client([&] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    const sockaddr_in sa = addr_.to_sockaddr();
+    for (std::uint16_t id : {0x61, 0x62, 0x63}) {
+      const Bytes q = query_wire(id);
+      ASSERT_GT(::sendto(fd, q.data(), q.size(), 0,
+                         reinterpret_cast<const sockaddr*>(&sa), sizeof sa),
+                0);
+    }
+    // Let several sweep periods elapse while the loop runs.
+    ::usleep(600 * 1000);
+    ::close(fd);
+  });
+  EXPECT_EQ(handler_calls_, 3);
+  EXPECT_EQ(frontend_->pending_entries(), 0u);
 }
 
 TEST_F(FrontendTest, TcpQueryWithSplitLengthPrefix) {
