@@ -95,6 +95,12 @@ class AtomicBroadcast {
   unsigned id() const { return secret_.id; }
   bool is_leader() const { return epoch_ % pub_->n == secret_.id; }
   std::uint64_t delivered_count() const { return next_deliver_; }
+  /// Whether a byte-identical payload has already come through total order
+  /// at this node. Delivered digests are never re-ordered (note_payload
+  /// drops them), so a submitter waiting on this digest would wait forever.
+  bool already_delivered(const Digest& d) const {
+    return delivered_.count(d) != 0;
+  }
   std::size_t pending_count() const { return pending_.size(); }
   std::uint64_t epoch_changes() const { return epoch_change_count_; }
   unsigned attempt() const { return attempt_; }

@@ -37,8 +37,19 @@ constexpr std::uint8_t kSigningFrame = 0x02;
 constexpr std::uint8_t kSnapshotRequestFrame = 0x03;
 constexpr std::uint8_t kSnapshotFrame = 0x04;
 
+// Atomic-broadcast payload tags: one client request, or a group-committed
+// batch of RFC 2136 updates (count, then per-entry client + wire). The
+// format is produced and consumed only in this file.
+constexpr std::uint8_t kPayloadSingle = 0x01;
+constexpr std::uint8_t kPayloadBatch = 0x02;
+/// Seconds before an unanswered batch round stops blocking the next one
+/// (liveness backstop; see maybe_submit_updates). Generous: covers several
+/// abcast epoch changes under churn without tripping on a healthy round.
+constexpr double kBatchWatchdog = 5.0;
+
 Bytes encode_payload(ClientId client, BytesView request) {
   Writer w;
+  w.u8(kPayloadSingle);
   w.u64(client);
   w.lp32(request);
   return std::move(w).take();
@@ -71,6 +82,8 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
   c_updates_ = &metrics_->counter("replica.updates");
   c_signatures_ = &metrics_->counter("replica.signatures");
   c_recoveries_ = &metrics_->counter("replica.recoveries");
+  c_update_batches_ = &metrics_->counter("replica.update_batches");
+  h_update_batch_size_ = &metrics_->histogram("replica.update_batch_size");
   metrics_->gauge("replica.zone_gen")
       .set(static_cast<std::int64_t>(zone_generation_value()));
   // Threshold counters normally materialize when the first signing session
@@ -91,10 +104,25 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
       cb_.send_replica(to, std::move(w).take());
     };
     acb.deliver = [this](const Bytes& payload) {
-      delivery_log_[abcast_->delivered_count()] =
-          abcast::AtomicBroadcast::digest_of(payload);
+      const abcast::Digest digest = abcast::AtomicBroadcast::digest_of(payload);
+      delivery_log_[abcast_->delivered_count()] = digest;
+      // Our in-flight batch came back through total order — the round is
+      // over, and anything that queued behind it can ride the next one.
+      // (Another gateway submitting a byte-identical payload clears the
+      // flag early; harmless, it only widens the next batch.)
+      if (batch_in_flight_ && in_flight_digest_ && digest == *in_flight_digest_) {
+        batch_in_flight_ = false;
+        in_flight_digest_.reset();
+      }
       exec_queue_.push_back(payload);
       execute_next();
+      // The next batch must NOT be submitted from inside the delivery
+      // callback: submit() re-enters the broadcast's delivery loop, which
+      // would advance its cursor under the running iteration and skip a
+      // delivery. Defer to the event loop.
+      if (!batch_in_flight_ && !update_queue_.empty() && cb_.set_timer) {
+        cb_.set_timer(0.0, [this] { maybe_submit_updates(false); });
+      }
     };
     acb.now = cb_.now;
     acb.set_timer = cb_.set_timer;
@@ -134,7 +162,82 @@ void ReplicaNode::on_client_request(ClientId client, BytesView wire) {
     abcast_->submit(encode_payload(client, rng_.bytes(32)));
     return;
   }
+  // Updates go through the group-commit queue; everything else (reads in
+  // disseminate mode, unclassifiable noise) is disseminated one per round
+  // as before.
+  const bool is_update = wire.size() >= 12 && ((wire[2] >> 3) & 0x0f) == 5;
+  if (is_update) {
+    update_queue_.emplace_back(client, Bytes(wire.begin(), wire.end()));
+    maybe_submit_updates(false);
+    return;
+  }
   abcast_->submit(encode_payload(client, wire));
+}
+
+void ReplicaNode::maybe_submit_updates(bool window_elapsed) {
+  if (!abcast_) return;
+  while (!update_queue_.empty() && !batch_in_flight_) {
+    const std::size_t cap = std::max<std::size_t>(1, config_.update_batch_max);
+    // A positive window delays the first submit so a burst can gather; an
+    // update that queued behind an in-flight round never waits again (the
+    // round itself was the window).
+    if (!window_elapsed && config_.update_batch_window > 0 && cb_.set_timer &&
+        update_queue_.size() < cap) {
+      if (!batch_timer_armed_) {
+        batch_timer_armed_ = true;
+        cb_.set_timer(config_.update_batch_window, [this] {
+          batch_timer_armed_ = false;
+          maybe_submit_updates(true);
+        });
+      }
+      return;
+    }
+    const std::size_t count = std::min(cap, update_queue_.size());
+    Bytes payload;
+    if (count == 1) {
+      payload = encode_payload(update_queue_.front().first,
+                               update_queue_.front().second);
+    } else {
+      Writer w;
+      w.u8(kPayloadBatch);
+      w.u16(static_cast<std::uint16_t>(count));
+      for (std::size_t i = 0; i < count; ++i) {
+        w.u64(update_queue_[i].first);
+        w.lp32(update_queue_[i].second);
+      }
+      payload = std::move(w).take();
+    }
+    update_queue_.erase(
+        update_queue_.begin(),
+        update_queue_.begin() + static_cast<std::ptrdiff_t>(count));
+    const abcast::Digest digest = abcast::AtomicBroadcast::digest_of(payload);
+    // Clients retry lost-response updates through successive gateways, so a
+    // byte-identical payload may already have gone through total order here.
+    // Atomic broadcast de-duplicates delivered payloads permanently — this
+    // digest will never be delivered again, so waiting on it would wedge
+    // the gateway queue forever. The round that delivered it already
+    // executed the update (and every replica responded); drop the duplicate
+    // and keep draining.
+    if (abcast_->already_delivered(digest)) continue;
+    batch_in_flight_ = true;
+    in_flight_digest_ = digest;
+    // Liveness backstop: a replica that skipped deliveries via snapshot
+    // recovery has an incomplete delivered-set, so the check above can miss
+    // and no delivery will ever clear the flag. The flag only widens
+    // batches — it is not a correctness gate — so time it out; a concurrent
+    // second round is harmless (abcast de-duplicates pending payloads too).
+    if (cb_.set_timer) {
+      cb_.set_timer(kBatchWatchdog, [this, digest] {
+        if (batch_in_flight_ && in_flight_digest_ &&
+            *in_flight_digest_ == digest) {
+          batch_in_flight_ = false;
+          in_flight_digest_.reset();
+          maybe_submit_updates(false);
+        }
+      });
+    }
+    abcast_->submit(std::move(payload));
+  }
 }
 
 void ReplicaNode::on_replica_message(unsigned from, BytesView msg) {
@@ -281,6 +384,11 @@ void ReplicaNode::try_finish_recovery() {
   exec_queue_.clear();
   executing_ = false;
   current_update_.reset();
+  current_batch_.reset();
+  // fast_forward may have skipped the delivery that would have cleared the
+  // in-flight flag; leave it set and queued updates would wait forever.
+  batch_in_flight_ = false;
+  in_flight_digest_.reset();
   retired_session_ = std::move(signing_);
   ++signing_timer_gen_;
   pending_signing_.clear();
@@ -290,6 +398,7 @@ void ReplicaNode::try_finish_recovery() {
   c_recoveries_->inc();
   SDNS_LOG_INFO("replica ", secret_.id, ": recovered to delivery cursor ",
                 best->abcast_cursor);
+  maybe_submit_updates(false);
 }
 
 void ReplicaNode::install_zone_share(
@@ -320,6 +429,26 @@ void ReplicaNode::execute(const Bytes& payload) {
   dns::Message request;
   try {
     Reader r(payload);
+    const std::uint8_t tag = r.u8();
+    if (tag == kPayloadBatch) {
+      UpdateBatch batch;
+      const std::uint16_t count = r.u16();
+      batch.entries.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        const ClientId entry_client = r.u64();
+        const Bytes wire = r.lp32();
+        batch.entries.emplace_back(entry_client, dns::Message::decode(wire));
+      }
+      r.expect_done();
+      if (batch.entries.empty()) {
+        executing_ = false;
+        return;
+      }
+      current_batch_ = std::move(batch);
+      continue_batch();
+      return;
+    }
+    if (tag != kPayloadSingle) throw util::ParseError("bad payload tag");
     client = r.u64();
     const Bytes wire = r.lp32();
     r.expect_done();
@@ -335,6 +464,73 @@ void ReplicaNode::execute(const Bytes& payload) {
     run_query(client, request);
     executing_ = false;
   }
+}
+
+void ReplicaNode::continue_batch() {
+  // Drive the batch's entries in order. An entry whose signing work is
+  // asynchronous leaves `next` unchanged until finish_update() advances it
+  // (via complete_update), which re-enters this loop.
+  while (current_batch_ && current_batch_->next < current_batch_->entries.size()) {
+    const std::size_t before = current_batch_->next;
+    const auto& entry = current_batch_->entries[before];
+    batch_stepping_ = true;
+    if (entry.second.opcode == dns::Opcode::kUpdate) {
+      run_update(entry.first, entry.second);
+    } else {
+      // A batch payload should only carry updates; execute anything else
+      // deterministically anyway (a corrupt gateway controls the content).
+      run_query(entry.first, entry.second);
+      ++current_batch_->next;
+    }
+    batch_stepping_ = false;
+    if (current_batch_ && current_batch_->next == before) return;  // suspended
+  }
+  if (current_batch_) finish_batch();
+}
+
+void ReplicaNode::finish_batch() {
+  UpdateBatch batch = std::move(*current_batch_);
+  current_batch_.reset();
+  // One generation bump covers every mutation in the batch. Mid-batch
+  // reads were answered with new content under the old generation — those
+  // cache entries flush right here, before any update response below can
+  // tell a client its write is done, so the no-stale invariant holds.
+  if (batch.dirty) bump_zone_generation();
+  c_update_batches_->inc();
+  h_update_batch_size_->observe(batch.entries.size());
+  for (const auto& [client, response] : batch.responses) {
+    respond(client, response);
+  }
+  executing_ = false;
+  execute_next();
+}
+
+void ReplicaNode::complete_update() {
+  if (current_batch_) {
+    ++current_batch_->next;
+    // Inside the continue_batch loop the step counter is enough; from an
+    // asynchronous finish_update the loop must be re-entered.
+    if (!batch_stepping_) continue_batch();
+    return;
+  }
+  executing_ = false;
+  execute_next();
+}
+
+void ReplicaNode::note_zone_mutated() {
+  if (current_batch_) {
+    current_batch_->dirty = true;
+    return;
+  }
+  bump_zone_generation();
+}
+
+void ReplicaNode::respond_update(ClientId client, const dns::Message& response) {
+  if (current_batch_) {
+    current_batch_->responses.emplace_back(client, response);
+    return;
+  }
+  respond(client, response);
 }
 
 void ReplicaNode::run_query(ClientId client, const dns::Message& request) {
@@ -355,12 +551,14 @@ void ReplicaNode::run_update(ClientId client, const dns::Message& request) {
   dns::UpdateResult result = server_.apply_update(request, inception);
   // The generation must be ahead of any response computed against the new
   // zone, so bump before responding — a frontend shard can then never stamp
-  // a fresh answer with a stale generation.
-  if (result.rcode == dns::Rcode::kNoError) bump_zone_generation();
+  // a fresh answer with a stale generation. Inside a batch both the bump
+  // and the responses are deferred to finish_batch(), which preserves the
+  // same ordering at batch granularity.
+  if (result.rcode == dns::Rcode::kNoError) note_zone_mutated();
   if (result.rcode != dns::Rcode::kNoError || result.sig_tasks.empty()) {
-    respond(client, dns::AuthoritativeServer::update_response(request, result.rcode));
-    executing_ = false;
-    execute_next();
+    respond_update(client,
+                   dns::AuthoritativeServer::update_response(request, result.rcode));
+    complete_update();
     return;
   }
   if (config_.base_case) {
@@ -372,10 +570,10 @@ void ReplicaNode::run_update(ClientId client, const dns::Message& request) {
       c_signatures_->inc();
     }
     server_.finalize_journal();
-    bump_zone_generation();
-    respond(client, dns::AuthoritativeServer::update_response(request, dns::Rcode::kNoError));
-    executing_ = false;
-    execute_next();
+    note_zone_mutated();
+    respond_update(client, dns::AuthoritativeServer::update_response(
+                               request, dns::Rcode::kNoError));
+    complete_update();
     return;
   }
   current_update_ = PendingUpdate{client, request, std::move(result.sig_tasks), 0};
@@ -407,7 +605,7 @@ void ReplicaNode::start_next_signature() {
   scb.on_complete = [this, index](const bn::BigInt& y) {
     PendingUpdate& u = *current_update_;
     server_.install_signature(u.tasks[index], threshold::signature_bytes(*zone_key_, y));
-    bump_zone_generation();
+    note_zone_mutated();
     ++signatures_computed_;
     c_signatures_->inc();
     last_finished_sid_ = signing_->session_id();
@@ -475,10 +673,10 @@ void ReplicaNode::finish_update() {
   PendingUpdate update = std::move(*current_update_);
   current_update_.reset();
   retired_session_ = std::move(signing_);
-  respond(update.client,
-          dns::AuthoritativeServer::update_response(update.request, dns::Rcode::kNoError));
-  executing_ = false;
-  execute_next();
+  respond_update(update.client,
+                 dns::AuthoritativeServer::update_response(update.request,
+                                                           dns::Rcode::kNoError));
+  complete_update();
 }
 
 void ReplicaNode::bump_zone_generation() {

@@ -138,6 +138,18 @@ class ReplicaNode {
     util::Bytes zone_wire;
   };
 
+  /// A delivered batch payload mid-execution. Entries run strictly in
+  /// order; the zone-generation bump and every update response are
+  /// deferred to finish_batch() so no client can see a NOERROR before the
+  /// flush-triggering bump (the packet cache's no-stale invariant holds at
+  /// batch granularity).
+  struct UpdateBatch {
+    std::vector<std::pair<ClientId, dns::Message>> entries;
+    std::size_t next = 0;
+    std::vector<std::pair<ClientId, dns::Message>> responses;
+    bool dirty = false;  ///< a zone mutation happened; one bump is owed
+  };
+
   void execute_next();
   void execute(const util::Bytes& payload);
   void handle_snapshot_request(unsigned from);
@@ -153,6 +165,13 @@ class ReplicaNode {
   void respond(ClientId client, const dns::Message& response);
   std::uint64_t next_session_id();
   void bump_zone_generation();
+  // Update batching (gateway side + execution side).
+  void maybe_submit_updates(bool window_elapsed);
+  void continue_batch();
+  void finish_batch();
+  void complete_update();
+  void note_zone_mutated();
+  void respond_update(ClientId client, const dns::Message& response);
 
   ReplicaConfig config_;
   abcast::NodeSecret secret_;
@@ -168,6 +187,17 @@ class ReplicaNode {
   std::deque<util::Bytes> exec_queue_;
   bool executing_ = false;
   std::optional<PendingUpdate> current_update_;
+  // Gateway-side group commit: updates wait here while a batch round is in
+  // flight (or, with a positive window, until it elapses), then ride out
+  // together as one payload. The in-flight flag clears when the submitted
+  // payload's digest comes back through delivery.
+  std::deque<std::pair<ClientId, util::Bytes>> update_queue_;
+  bool batch_in_flight_ = false;
+  bool batch_timer_armed_ = false;
+  std::optional<abcast::Digest> in_flight_digest_;
+  // Execution-side state for a delivered batch payload.
+  std::optional<UpdateBatch> current_batch_;
+  bool batch_stepping_ = false;  ///< complete_update ran inside the loop
   std::unique_ptr<threshold::SigningSession> signing_;
   /// The previous session, kept alive because transitions happen inside its
   /// completion callback.
@@ -202,6 +232,8 @@ class ReplicaNode {
   obs::Counter* c_updates_;
   obs::Counter* c_signatures_;
   obs::Counter* c_recoveries_;
+  obs::Counter* c_update_batches_;
+  obs::Histogram* h_update_batch_size_;
 
   // kStaleReplay: first response recorded per question.
   std::map<std::string, util::Bytes> stale_cache_;

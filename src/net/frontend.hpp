@@ -39,6 +39,8 @@
 // 512 bytes without EDNS), setting TC so the client retries over TCP.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <atomic>
 #include <map>
 #include <optional>
@@ -76,6 +78,9 @@ ClientId make_tcp_client(unsigned replica, std::uint64_t serial);
 
 class DnsFrontend {
  public:
+  /// Datagrams moved per recvmmsg/sendmmsg syscall on the UDP hot path.
+  static constexpr unsigned kUdpBatch = 32;
+
   struct Options {
     unsigned replica = 0;   ///< stamped into TCP ClientIds
     unsigned shard = 0;     ///< stamped into TCP ClientIds, metric names
@@ -158,6 +163,8 @@ class DnsFrontend {
   };
 
   void on_udp_ready();
+  void handle_udp_datagram(util::BytesView wire, const sockaddr_in& sa);
+  void flush_udp_sends();
   void on_listener_ready();
   void on_conn_io(std::uint64_t serial, std::uint32_t events);
   void close_conn(std::uint64_t serial);
@@ -191,18 +198,32 @@ class DnsFrontend {
   std::map<std::pair<ClientId, std::uint16_t>, PendingStore> pending_;
 
   // Per-shard scratch: reused across datagrams so the steady-state receive
-  // and cache-hit paths perform no allocation.
-  std::vector<std::uint8_t> udp_buf_;     ///< datagram receive buffer
+  // and cache-hit paths perform no allocation. The UDP side is a kernel
+  // batch: kUdpBatch receive slots filled by one recvmmsg, and kUdpBatch
+  // send slots (cache-hit splices) flushed by one sendmmsg. iovec/mmsghdr
+  // arrays are wired to their slots once, at construction; only msg_namelen
+  // (overwritten by the kernel) is re-armed per call.
+  std::vector<std::vector<std::uint8_t>> recv_bufs_;  ///< kUdpBatch × 64 KiB
+  std::vector<iovec> recv_iovs_;
+  std::vector<mmsghdr> recv_msgs_;
+  std::vector<sockaddr_in> recv_addrs_;
+  std::vector<util::Bytes> send_bufs_;    ///< cache-hit response assembly
+  std::vector<iovec> send_iovs_;
+  std::vector<mmsghdr> send_msgs_;
+  std::vector<sockaddr_in> send_addrs_;
+  unsigned send_count_ = 0;               ///< filled send slots awaiting flush
   std::vector<std::uint8_t> tcp_buf_;     ///< stream read scratch
   std::string key_scratch_;               ///< cache-key assembly
   std::string verify_key_;                ///< store-time key re-derivation
-  util::Bytes splice_buf_;                ///< cache-hit response assembly
 
   // Counters resolved once at construction (see Options::metrics). The
   // cache/latency ones exist twice: an aggregate ("net.cache.hits") summed
   // across shards, and a per-shard name ("net.shard0.cache.hits").
   obs::Counter* c_udp_queries_;
   obs::Counter* c_tcp_queries_;
+  obs::Counter* c_recvmmsg_calls_;
+  obs::Counter* c_sendmmsg_calls_;
+  obs::Counter* c_send_errors_[2];  ///< [0] aggregate, [1] per-shard
   obs::Counter* c_truncated_;
   obs::Counter* c_tcp_accepted_;
   obs::Counter* c_tcp_closed_;

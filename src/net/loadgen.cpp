@@ -27,7 +27,9 @@ double percentile(const std::vector<double>& sorted, double p) {
 }  // namespace
 
 Loadgen::Loadgen(EventLoop& loop, Options options)
-    : loop_(loop), opt_(std::move(options)) {
+    : loop_(loop),
+      opt_(std::move(options)),
+      batch_(std::max(1u, std::min(opt_.batch, kBatch))) {
   dns::Message query = dns::Message::make_query(0, opt_.name, opt_.type);
   if (opt_.edns_payload) {
     dns::EdnsInfo info;
@@ -35,6 +37,25 @@ Loadgen::Loadgen(EventLoop& loop, Options options)
     dns::set_edns(query, info);
   }
   query_template_ = query.encode();
+  send_bufs_.assign(kBatch, query_template_);
+  send_iovs_.resize(kBatch);
+  send_msgs_.resize(kBatch);
+  send_addrs_.resize(kBatch);
+  recv_bufs_.assign(kBatch, std::vector<std::uint8_t>(4096));
+  recv_iovs_.resize(kBatch);
+  recv_msgs_.resize(kBatch);
+  for (unsigned i = 0; i < kBatch; ++i) {
+    send_iovs_[i].iov_base = send_bufs_[i].data();
+    send_iovs_[i].iov_len = send_bufs_[i].size();
+    send_msgs_[i].msg_hdr.msg_name = &send_addrs_[i];
+    send_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    send_msgs_[i].msg_hdr.msg_iov = &send_iovs_[i];
+    send_msgs_[i].msg_hdr.msg_iovlen = 1;
+    recv_iovs_[i].iov_base = recv_bufs_[i].data();
+    recv_iovs_[i].iov_len = recv_bufs_[i].size();
+    recv_msgs_[i].msg_hdr.msg_iov = &recv_iovs_[i];
+    recv_msgs_[i].msg_hdr.msg_iovlen = 1;
+  }
 }
 
 Loadgen::~Loadgen() {
@@ -57,21 +78,24 @@ void Loadgen::start() {
   loop_.add_timer(kTickInterval, [this] { tick(); });
 }
 
-void Loadgen::send_one() {
-  const std::uint16_t id = static_cast<std::uint16_t>(sent_ & 0xffff);
-  // Patch the id into the pre-encoded template (bytes 0-1, big endian).
-  query_template_[0] = static_cast<std::uint8_t>(id >> 8);
-  query_template_[1] = static_cast<std::uint8_t>(id);
-  const SockAddr& server = opt_.servers[next_server_];
-  next_server_ = (next_server_ + 1) % opt_.servers.size();
+void Loadgen::flush_batch(unsigned count) {
+  // One sendmmsg moves the whole batch through one source socket; the
+  // socket round-robins per batch, which still spreads flows across every
+  // server shard over successive batches (the shard hash is per 4-tuple).
   const int fd = fds_[next_fd_];
   next_fd_ = (next_fd_ + 1) % fds_.size();
-  const sockaddr_in sa = server.to_sockaddr();
-  // EAGAIN: the datagram is lost, like any UDP drop.
-  retry_sendto(fd, query_template_.data(), query_template_.size(), 0,
-               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
-  in_flight_[id] = loop_.now();
-  ++sent_;
+  unsigned off = 0;
+  while (off < count) {
+    const int n = retry_sendmmsg(fd, send_msgs_.data() + off, count - off, 0);
+    ++sendmmsg_calls_;
+    if (n < 0) {
+      // EAGAIN/ENOBUFS: the rest of the batch is lost, like any UDP drop —
+      // the in-flight entries stay and simply never match (open loop).
+      send_errors_ += count - off;
+      break;
+    }
+    off += static_cast<unsigned>(n);  // partial batch: continue from off
+  }
 }
 
 void Loadgen::tick() {
@@ -83,8 +107,22 @@ void Loadgen::tick() {
     // Cap the burst so a stalled loop doesn't release a giant backlog.
     credit_ = std::min(credit_, opt_.rate * 0.05);
     while (credit_ >= 1.0) {
-      send_one();
-      credit_ -= 1.0;
+      // Stage up to kBatch queries into the send slots, then flush them
+      // with one syscall.
+      unsigned staged = 0;
+      while (credit_ >= 1.0 && staged < batch_) {
+        const std::uint16_t id = static_cast<std::uint16_t>(sent_ & 0xffff);
+        // Patch the id into the slot's template copy (bytes 0-1, big endian).
+        send_bufs_[staged][0] = static_cast<std::uint8_t>(id >> 8);
+        send_bufs_[staged][1] = static_cast<std::uint8_t>(id);
+        send_addrs_[staged] = opt_.servers[next_server_].to_sockaddr();
+        next_server_ = (next_server_ + 1) % opt_.servers.size();
+        in_flight_[id] = now;
+        ++sent_;
+        ++staged;
+        credit_ -= 1.0;
+      }
+      flush_batch(staged);
     }
     last_tick_ = now;
     if (now - started_ >= opt_.duration) {
@@ -102,18 +140,22 @@ void Loadgen::tick() {
 }
 
 void Loadgen::on_readable(int fd) {
-  std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = retry_recv(fd, buf, sizeof buf, 0);
-    if (n < 0) break;
-    if (n < 2) continue;
-    const std::uint16_t id =
-        static_cast<std::uint16_t>(buf[0]) << 8 | buf[1];
-    auto it = in_flight_.find(id);
-    if (it == in_flight_.end()) continue;  // duplicate or late
-    latencies_.push_back(loop_.now() - it->second);
-    in_flight_.erase(it);
-    ++received_;
+    const int got = retry_recvmmsg(fd, recv_msgs_.data(), batch_, 0);
+    if (got <= 0) break;  // EAGAIN: drained
+    ++recvmmsg_calls_;
+    const double now = loop_.now();
+    for (int i = 0; i < got; ++i) {
+      if (recv_msgs_[i].msg_len < 2) continue;
+      const std::uint8_t* b = recv_bufs_[i].data();
+      const std::uint16_t id = static_cast<std::uint16_t>(b[0]) << 8 | b[1];
+      auto it = in_flight_.find(id);
+      if (it == in_flight_.end()) continue;  // duplicate or late
+      latencies_.push_back(now - it->second);
+      in_flight_.erase(it);
+      ++received_;
+    }
+    if (got < static_cast<int>(batch_)) break;  // queue drained mid-call
   }
 }
 
@@ -121,6 +163,9 @@ Loadgen::Report Loadgen::report() const {
   Report r;
   r.sent = sent_;
   r.received = received_;
+  r.send_errors = send_errors_;
+  r.sendmmsg_calls = sendmmsg_calls_;
+  r.recvmmsg_calls = recvmmsg_calls_;
   r.elapsed = (done_sending_ ? finished_sending_ : loop_.now()) - started_;
   if (r.elapsed > 0) r.achieved_qps = static_cast<double>(received_) / r.elapsed;
   if (latencies_.empty()) return r;

@@ -179,6 +179,20 @@ int retry_accept(int fd, sockaddr* addr, socklen_t* addr_len) {
   }
 }
 
+int retry_recvmmsg(int fd, mmsghdr* msgs, unsigned vlen, int flags) {
+  for (;;) {
+    const int n = ::recvmmsg(fd, msgs, vlen, flags, nullptr);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+int retry_sendmmsg(int fd, mmsghdr* msgs, unsigned vlen, int flags) {
+  for (;;) {
+    const int n = ::sendmmsg(fd, msgs, vlen, flags);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
 int socket_error(int fd) {
   int err = 0;
   socklen_t len = sizeof err;

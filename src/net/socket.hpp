@@ -70,6 +70,17 @@ ssize_t retry_recvfrom(int fd, void* buf, std::size_t len, int flags,
                        sockaddr* addr, socklen_t* addr_len);
 int retry_accept(int fd, sockaddr* addr, socklen_t* addr_len);
 
+// Kernel-batched UDP: one syscall moves up to `vlen` datagrams. Partial-count
+// semantics are the syscall's own — recvmmsg returns however many datagrams
+// were queued (fewer than vlen means the queue drained mid-batch), sendmmsg
+// returns how many it accepted before the socket buffer filled (the caller
+// continues from `msgs + n`). Both return -1/EAGAIN on an empty (resp. full)
+// non-blocking socket; EINTR is retried like the wrappers above. recvmmsg's
+// EINTR retry is only reached when nothing was received yet — the kernel
+// reports a signal after a partial batch as a short count, not an error.
+int retry_recvmmsg(int fd, mmsghdr* msgs, unsigned vlen, int flags);
+int retry_sendmmsg(int fd, mmsghdr* msgs, unsigned vlen, int flags);
+
 /// Local address of a bound socket (resolves port 0 after bind).
 SockAddr local_addr(int fd);
 

@@ -225,7 +225,21 @@ TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
     // only add to the server-side view, never subtract.
     EXPECT_GE(after.at("net.udp.queries"),
               before.at("net.udp.queries") + answered);
-    EXPECT_GE(after.at("net.query.latency_us.count"), answered);
+    // Cache hits contribute NO latency samples (a zero-valued sample per
+    // hit would drag p50/p99 to 0 while max stays in the thousands — the
+    // scrape bug this guards against), so the probe burst must grow the
+    // histogram by strictly fewer than `answered`. The CH scrape itself is
+    // timed (its sample lands after its response renders), hence < rather
+    // than ==.
+    EXPECT_LT(after.at("net.query.latency_us.count") -
+                  before.at("net.query.latency_us.count"),
+              answered);
+    // The replica-path samples recorded during startup are real wall-clock
+    // latencies (an abcast round each), so the scraped percentiles must be
+    // non-zero whenever samples exist.
+    ASSERT_GT(after.at("net.query.latency_us.count"), 0u);
+    EXPECT_GT(after.at("net.query.latency_us.p50"), 0u);
+    EXPECT_GT(after.at("net.query.latency_us.p99"), 0u);
     // The probes repeat a question already answered once during startup, so
     // they are served from the shard packet cache and never reach the
     // replicated state machine: replica.reads stays flat, cache hits grow.

@@ -123,6 +123,48 @@ TEST(Histogram, PercentileMonotoneInP) {
   }
 }
 
+TEST(Histogram, NonZeroSamplesGiveNonZeroPercentiles) {
+  // Regression: the frontend used to observe(0) for every cache hit, so a
+  // scraped latency histogram read p50=0/p99=0 while max sat in the
+  // thousands of µs. With only genuine (positive) samples recorded, every
+  // percentile must be positive too.
+  Histogram h;
+  for (std::uint64_t v = 800; v <= 8000; v += 800) h.observe(v);
+  EXPECT_GT(h.percentile(0.50), 0.0);
+  EXPECT_GT(h.percentile(0.99), 0.0);
+  EXPECT_GE(h.percentile(0.99), h.percentile(0.50));
+  EXPECT_GT(h.max(), 0u);
+}
+
+TEST(Histogram, IdenticalSamplesCollapsePercentiles) {
+  // N copies of one value: p50 and p99 land in the same bucket, within its
+  // <= 6.25% relative width of the true value and of each other.
+  Histogram h;
+  constexpr std::uint64_t kValue = 3000;
+  for (int i = 0; i < 1000; ++i) h.observe(kValue);
+  const double p50 = h.percentile(0.50);
+  const double p99 = h.percentile(0.99);
+  EXPECT_NEAR(p50, static_cast<double>(kValue), 0.0625 * kValue);
+  EXPECT_NEAR(p99, static_cast<double>(kValue), 0.0625 * kValue);
+  EXPECT_NEAR(p50, p99, 0.0625 * kValue);
+}
+
+TEST(Histogram, ZeroFloodDragsPercentilesToZero) {
+  // Documents the failure mode the frontend fix removed: flooding zeros
+  // next to a few real samples yields the pathological p50=0, p99=0,
+  // max=thousands scrape. Kept as a canary — if percentile() ever starts
+  // ignoring zero-valued samples this test goes stale with it.
+  Histogram h;
+  for (int i = 0; i < 990; ++i) h.observe(0);
+  for (int i = 0; i < 10; ++i) h.observe(5000);
+  // Interpolation inside the [0,1) bucket gives fractional values; the
+  // point is that both percentiles collapse below one microsecond while
+  // max reports the real tail.
+  EXPECT_LT(h.percentile(0.50), 1.0);
+  EXPECT_LT(h.percentile(0.99), 1.0);
+  EXPECT_EQ(h.max(), 5000u);
+}
+
 TEST(Registry, StableReferencesAndCounterValue) {
   Registry reg;
   Counter& a = reg.counter("a.first");
