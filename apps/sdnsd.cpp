@@ -1,7 +1,8 @@
 // sdnsd — one replica of the intrusion-tolerant name service, deployed.
 //
 //   sdnsd <config-file> [--recover] [--log LEVEL] [--stats-interval SECONDS]
-//         [--trace-dump] [--shards N]
+//         [--trace-dump] [--shards N] [--fault-schedule FILE]
+//         [--fault-seed SEED] [--fault-time-scale X] [--fault-wan TOPOLOGY]
 //
 // The config file format is RuntimeConfig::load's `key = value` form; see
 // README.md for the four-replica localhost recipe and sdns_keygen for how
@@ -18,6 +19,15 @@
 //                        SIGUSR1, and — via an async-signal-safe path — on
 //                        SIGSEGV/SIGABRT before re-raising, so a crashed
 //                        replica leaves its last protocol events behind.
+//
+// Wire-level chaos (net/wirefault.hpp; see DESIGN.md §12):
+//   --fault-schedule F   load a serialized sim::FaultSchedule and enforce it
+//                        on the mesh/frontend with the deterministic injector;
+//   --fault-seed S       injector decision seed (same seed = same faults);
+//   --fault-time-scale X wall seconds per schedule second;
+//   --fault-wan T        apply the paper's Figure-1 per-link latency floor
+//                        for topology T (e.g. internet-4) — usable on its
+//                        own, without a schedule, for WAN-shaped benchmarks.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -51,7 +61,9 @@ void handle_crash_signal(int sig) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config-file> [--recover] [--log error|warn|info|debug]"
-               " [--stats-interval SECONDS] [--trace-dump] [--shards N]\n",
+               " [--stats-interval SECONDS] [--trace-dump] [--shards N]"
+               " [--fault-schedule FILE] [--fault-seed SEED]"
+               " [--fault-time-scale X] [--fault-wan TOPOLOGY]\n",
                argv0);
   return 2;
 }
@@ -78,6 +90,11 @@ int main(int argc, char** argv) {
   bool explicit_log_level = false;
   double stats_interval = -1;
   int shards = 0;  // 0: keep the config file's value
+  const char* fault_schedule = nullptr;
+  const char* fault_wan = nullptr;
+  unsigned long long fault_seed = 0;
+  bool explicit_fault_seed = false;
+  double fault_time_scale = 0;  // 0: keep the config file's value
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
@@ -89,6 +106,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
       if (shards < 1 || shards > 16) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--fault-schedule") == 0 && i + 1 < argc) {
+      fault_schedule = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+      explicit_fault_seed = true;
+    } else if (std::strcmp(argv[i], "--fault-time-scale") == 0 && i + 1 < argc) {
+      fault_time_scale = std::atof(argv[++i]);
+      if (fault_time_scale <= 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--fault-wan") == 0 && i + 1 < argc) {
+      fault_wan = argv[++i];
     } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
       explicit_log_level = true;
       const char* level = argv[++i];
@@ -121,6 +148,10 @@ int main(int argc, char** argv) {
     if (recover) config.recover = true;
     if (stats_interval > 0) config.stats_interval = stats_interval;
     if (shards > 0) config.shards = static_cast<unsigned>(shards);
+    if (fault_schedule) config.fault_schedule = fault_schedule;
+    if (explicit_fault_seed) config.fault_seed = fault_seed;
+    if (fault_time_scale > 0) config.fault_time_scale = fault_time_scale;
+    if (fault_wan) config.fault_wan = fault_wan;
     sdns::net::EventLoop loop;
     g_loop = &loop;
     std::signal(SIGINT, handle_signal);

@@ -327,6 +327,8 @@ CellResult run_cell(const CellSpec& spec, const std::string& dir,
                 "  \"duration_s\": %.1f,\n"
                 "  \"sent\": %llu,\n"
                 "  \"received\": %llu,\n"
+                "  \"duplicate_responses\": %llu,\n"
+                "  \"timed_out\": %llu,\n"
                 "  \"achieved_qps\": %.0f,\n"
                 "  \"cache_hit_rate\": %.4f,\n"
                 "  \"driver_send_errors\": %llu,\n"
@@ -347,7 +349,9 @@ CellResult run_cell(const CellSpec& spec, const std::string& dir,
                 spec.cores, spec.shards, sockets, spec.batch, spec.rate,
                 spec.min_qps, duration,
                 static_cast<unsigned long long>(r.sent),
-                static_cast<unsigned long long>(r.received), r.achieved_qps,
+                static_cast<unsigned long long>(r.received),
+                static_cast<unsigned long long>(r.duplicate_responses),
+                static_cast<unsigned long long>(r.timed_out), r.achieved_qps,
                 cache_hit_rate,
                 static_cast<unsigned long long>(r.send_errors),
                 static_cast<unsigned long long>(r.sendmmsg_calls),

@@ -30,6 +30,8 @@ const CorruptionMode kByzantineModes[] = {
     CorruptionMode::kGarbagePayload, CorruptionMode::kGarbageShares,
 };
 
+}  // namespace
+
 std::map<unsigned, CorruptionMode> draw_byzantine(std::uint64_t seed, unsigned n,
                                                   unsigned count) {
   std::map<unsigned, CorruptionMode> out;
@@ -42,8 +44,6 @@ std::map<unsigned, CorruptionMode> draw_byzantine(std::uint64_t seed, unsigned n
   }
   return out;
 }
-
-}  // namespace
 
 std::string ChaosReport::to_string() const {
   std::ostringstream os;

@@ -91,6 +91,12 @@ struct ChaosReport {
 /// Run one chaos scenario to completion. Deterministic in `cfg`.
 ChaosReport run_chaos(const ChaosConfig& cfg);
 
+/// The seeded Byzantine assignment (which `count` of `n` replicas misbehave,
+/// and how). Shared with the wire-chaos harness so a seed names the same
+/// corrupt replicas in the simulator and on the real mesh.
+std::map<unsigned, CorruptionMode> draw_byzantine(std::uint64_t seed, unsigned n,
+                                                  unsigned count);
+
 /// The pure invariant checkers, exposed for unit tests. `t` is the fault
 /// threshold (used only for context in messages). `fault_free` enables the
 /// counter-based "fallback-free" invariant: a run with no injected faults and

@@ -309,6 +309,11 @@ void DnsFrontend::on_udp_ready() {
 }
 
 void DnsFrontend::handle_udp_datagram(BytesView wire, const sockaddr_in& sa) {
+  if (opt_.injector && opt_.injector->armed()) {
+    const WireDecision d = opt_.injector->decide(
+        opt_.client_node, opt_.replica, inject_seq_++, loop_.now());
+    if (d.drop) return;  // a dropped query, like any UDP loss
+  }
   // Allocation-free fast path: one structural scan classifies the query
   // and, when cacheable, builds the key and probes the packet cache. A
   // hit is answered right here — no parse, no zone, no encode.

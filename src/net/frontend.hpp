@@ -50,6 +50,7 @@
 #include "net/frame.hpp"
 #include "net/loop.hpp"
 #include "net/socket.hpp"
+#include "net/wirefault.hpp"
 #include "obs/metrics.hpp"
 
 namespace sdns::net {
@@ -106,6 +107,16 @@ class DnsFrontend {
     /// Null components bump a shared no-op counter — no branch on the
     /// hot path either way.
     obs::Registry* metrics = nullptr;
+    /// Wire-level chaos injection (net/wirefault.hpp) for the client UDP
+    /// path: inbound datagrams on the client->replica link may be dropped
+    /// (delay/duplicate stay mesh-only — a datagram here is a borrowed view
+    /// of the receive buffer, and clients retransmit anyway). Owned by the
+    /// caller, must outlive the frontend.
+    FaultInjector* injector = nullptr;
+    /// The schedule node id standing for "the client side" in fault
+    /// schedules consulted via `injector` (sim convention: replicas are
+    /// 0..n-1, the client is node n).
+    unsigned client_node = 0;
   };
 
   /// Wire is a view into the shard's receive buffer — copy it if the
@@ -189,6 +200,9 @@ class DnsFrontend {
   std::uint64_t udp_queries_ = 0;
   std::uint64_t tcp_queries_ = 0;
   std::uint64_t truncated_ = 0;
+  /// Per-shard arrival counter feeding the injector's (seed, link, seq)
+  /// decisions for the client->replica link.
+  std::uint64_t inject_seq_ = 0;
 
   PacketCache cache_;
   /// Bounded (ClientId, DNS id) -> pending store context for in-flight

@@ -59,7 +59,9 @@ Loadgen::Loadgen(EventLoop& loop, Options options)
 }
 
 Loadgen::~Loadgen() {
-  for (int fd : fds_) loop_.del_fd(fd);
+  for (const Socket& s : socks_) {
+    if (s.fd >= 0) loop_.del_fd(s.fd);
+  }
 }
 
 void Loadgen::start() {
@@ -67,23 +69,22 @@ void Loadgen::start() {
   any.ip = 0;
   any.port = 0;
   const unsigned count = std::max(1u, opt_.sockets);
+  socks_.resize(count);
   for (unsigned i = 0; i < count; ++i) {
-    const int fd = udp_bind(any);
-    loop_.add_fd(fd, EventLoop::kReadable,
-                 [this, fd](std::uint32_t) { on_readable(fd); });
-    fds_.push_back(fd);
+    socks_[i].fd = udp_bind(any);
+    loop_.add_fd(socks_[i].fd, EventLoop::kReadable,
+                 [this, i](std::uint32_t) { on_readable(i); });
   }
   started_ = loop_.now();
   last_tick_ = started_;
   loop_.add_timer(kTickInterval, [this] { tick(); });
 }
 
-void Loadgen::flush_batch(unsigned count) {
+void Loadgen::flush_batch(std::size_t sock, unsigned count) {
   // One sendmmsg moves the whole batch through one source socket; the
   // socket round-robins per batch, which still spreads flows across every
   // server shard over successive batches (the shard hash is per 4-tuple).
-  const int fd = fds_[next_fd_];
-  next_fd_ = (next_fd_ + 1) % fds_.size();
+  const int fd = socks_[sock].fd;
   unsigned off = 0;
   while (off < count) {
     const int n = retry_sendmmsg(fd, send_msgs_.data() + off, count - off, 0);
@@ -108,7 +109,12 @@ void Loadgen::tick() {
     credit_ = std::min(credit_, opt_.rate * 0.05);
     while (credit_ >= 1.0) {
       // Stage up to kBatch queries into the send slots, then flush them
-      // with one syscall.
+      // with one syscall. The sending socket is picked BEFORE staging so
+      // the in-flight entries land in the accounting of the socket whose
+      // 4-tuple the responses will actually arrive on.
+      const std::size_t sock = next_fd_;
+      next_fd_ = (next_fd_ + 1) % socks_.size();
+      Socket& s = socks_[sock];
       unsigned staged = 0;
       while (credit_ >= 1.0 && staged < batch_) {
         const std::uint16_t id = static_cast<std::uint16_t>(sent_ & 0xffff);
@@ -117,12 +123,19 @@ void Loadgen::tick() {
         send_bufs_[staged][1] = static_cast<std::uint8_t>(id);
         send_addrs_[staged] = opt_.servers[next_server_].to_sockaddr();
         next_server_ = (next_server_ + 1) % opt_.servers.size();
-        in_flight_[id] = now;
+        // Reusing an id slot retires its previous query: still-pending means
+        // it never completed — timed out, accounted for right here.
+        const auto [it, inserted] = s.in_flight.emplace(id, now);
+        if (!inserted) {
+          ++timed_out_;
+          it->second = now;
+        }
+        s.answered[id] = false;
         ++sent_;
         ++staged;
         credit_ -= 1.0;
       }
-      flush_batch(staged);
+      flush_batch(sock, staged);
     }
     last_tick_ = now;
     if (now - started_ >= opt_.duration) {
@@ -139,9 +152,10 @@ void Loadgen::tick() {
   loop_.add_timer(kTickInterval, [this] { tick(); });
 }
 
-void Loadgen::on_readable(int fd) {
+void Loadgen::on_readable(std::size_t sock) {
+  Socket& s = socks_[sock];
   for (;;) {
-    const int got = retry_recvmmsg(fd, recv_msgs_.data(), batch_, 0);
+    const int got = retry_recvmmsg(s.fd, recv_msgs_.data(), batch_, 0);
     if (got <= 0) break;  // EAGAIN: drained
     ++recvmmsg_calls_;
     const double now = loop_.now();
@@ -149,11 +163,20 @@ void Loadgen::on_readable(int fd) {
       if (recv_msgs_[i].msg_len < 2) continue;
       const std::uint8_t* b = recv_bufs_[i].data();
       const std::uint16_t id = static_cast<std::uint16_t>(b[0]) << 8 | b[1];
-      auto it = in_flight_.find(id);
-      if (it == in_flight_.end()) continue;  // duplicate or late
-      latencies_.push_back(now - it->second);
-      in_flight_.erase(it);
-      ++received_;
+      auto it = s.in_flight.find(id);
+      if (it != s.in_flight.end()) {
+        latencies_.push_back(now - it->second);
+        s.in_flight.erase(it);
+        s.answered[id] = true;
+        ++received_;
+      } else if (s.answered[id]) {
+        // The wire (or the server) duplicated an already-completed
+        // response; counting it as received would inflate QPS.
+        ++duplicate_responses_;
+      }
+      // Else: a response to a query whose id slot was since reused and is
+      // pending again — indistinguishable from the new query's response
+      // with 16-bit ids, but the find() above already consumed that case.
     }
     if (got < static_cast<int>(batch_)) break;  // queue drained mid-call
   }
@@ -163,6 +186,11 @@ Loadgen::Report Loadgen::report() const {
   Report r;
   r.sent = sent_;
   r.received = received_;
+  r.duplicate_responses = duplicate_responses_;
+  r.timed_out = timed_out_;
+  // Whatever is still pending never completed; with the reuse accounting in
+  // tick(), received + timed_out == sent holds exactly.
+  for (const Socket& s : socks_) r.timed_out += s.in_flight.size();
   r.send_errors = send_errors_;
   r.sendmmsg_calls = sendmmsg_calls_;
   r.recvmmsg_calls = recvmmsg_calls_;

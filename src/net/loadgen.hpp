@@ -7,6 +7,16 @@
 // a Report with achieved QPS and p50/p99/p999 percentiles — the numbers
 // BENCH_net.json captures.
 //
+// Response accounting is per SOURCE SOCKET: the 16-bit DNS id is only
+// unique within one socket's in-flight window, so each socket tracks its
+// own id -> send-time map plus an answered-id set. A response matching an
+// in-flight id completes it exactly once; a second response for the same
+// id (duplicated on the wire, e.g. by the chaos injector) is counted in
+// duplicate_responses instead of inflating received/QPS. Every released
+// query is accounted for: received + timed_out == sent, where a query
+// times out when its id slot is reused while it is still pending or when
+// the run ends with it unanswered.
+//
 // Both directions are kernel-batched so the driver can offer ≥100k QPS
 // without itself becoming the bottleneck: each tick's release is grouped
 // into sendmmsg batches of up to kBatch datagrams (one pre-encoded template
@@ -57,7 +67,13 @@ class Loadgen {
 
   struct Report {
     std::uint64_t sent = 0;
-    std::uint64_t received = 0;
+    std::uint64_t received = 0;  ///< unique completions (duplicates excluded)
+    /// Responses for an id this socket already completed — wire-level
+    /// duplication (or a server double-send); never counted in received.
+    std::uint64_t duplicate_responses = 0;
+    /// Queries that never completed: id slot reused while pending, or still
+    /// unanswered at report time. received + timed_out == sent always.
+    std::uint64_t timed_out = 0;
     std::uint64_t send_errors = 0;    ///< kernel-refused sends (EAGAIN/ENOBUFS)
     std::uint64_t sendmmsg_calls = 0;
     std::uint64_t recvmmsg_calls = 0;
@@ -76,14 +92,24 @@ class Loadgen {
   Report report() const;
 
  private:
+  /// One source socket's accounting: DNS ids are 16-bit, so uniqueness (and
+  /// therefore dedup) only holds per socket.
+  struct Socket {
+    int fd = -1;
+    std::map<std::uint16_t, double> in_flight;  ///< id -> send time
+    /// Ids whose most recent query was completed — a further response with
+    /// that id is a duplicate, not a completion.
+    std::vector<bool> answered = std::vector<bool>(65536, false);
+  };
+
   void tick();
-  void on_readable(int fd);
-  void flush_batch(unsigned count);
+  void on_readable(std::size_t sock);
+  void flush_batch(std::size_t sock, unsigned count);
 
   EventLoop& loop_;
   Options opt_;
   unsigned batch_ = kBatch;  ///< opt_.batch clamped to [1, kBatch]
-  std::vector<int> fds_;        ///< round-robin source sockets
+  std::vector<Socket> socks_;   ///< round-robin source sockets
   std::size_t next_fd_ = 0;
   util::Bytes query_template_;  ///< encoded once; copied into send slots
   // Batch pools, wired to their slots once at construction. Send slots are
@@ -105,8 +131,10 @@ class Loadgen {
   double credit_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t duplicate_responses_ = 0;
+  /// Ids overwritten while still pending; report() adds the still-pending.
+  std::uint64_t timed_out_ = 0;
   std::size_t next_server_ = 0;
-  std::map<std::uint16_t, double> in_flight_;  ///< id -> send time
   std::vector<double> latencies_;
   bool done_sending_ = false;
 };

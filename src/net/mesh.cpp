@@ -320,6 +320,26 @@ void Mesh::on_pending_io(int fd, std::uint32_t events) {
 }
 
 void Mesh::send(unsigned to, Bytes msg) {
+  if (opt_.injector && opt_.injector->armed()) {
+    const WireDecision d =
+        opt_.injector->decide(opt_.self, to, inject_seq_[to]++, loop_.now());
+    if (d.drop) return;
+    if (d.duplicate) {
+      loop_.add_timer(d.delay + d.dup_delay, [this, to, copy = msg]() mutable {
+        send_now(to, std::move(copy));
+      });
+    }
+    if (d.delay > 0) {
+      loop_.add_timer(d.delay, [this, to, m = std::move(msg)]() mutable {
+        send_now(to, std::move(m));
+      });
+      return;
+    }
+  }
+  send_now(to, std::move(msg));
+}
+
+void Mesh::send_now(unsigned to, Bytes msg) {
   auto it = peers_.find(to);
   if (it == peers_.end()) return;
   Peer& p = it->second;

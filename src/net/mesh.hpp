@@ -23,6 +23,7 @@
 #include "net/frame.hpp"
 #include "net/loop.hpp"
 #include "net/socket.hpp"
+#include "net/wirefault.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +41,11 @@ class Mesh {
     std::size_t write_cap = 8 * 1024 * 1024;  ///< per-peer outbound bytes
     /// Metrics sink (owned by the caller, must outlive the mesh).
     obs::Registry* metrics = nullptr;
+    /// Wire-level chaos injection (net/wirefault.hpp), consulted by send()
+    /// BEFORE framing — message-level faults, so the per-connection HMAC
+    /// sequence stays intact. Null/unarmed = no interference. Owned by the
+    /// caller, must outlive the mesh.
+    FaultInjector* injector = nullptr;
   };
 
   using DeliverFn = std::function<void(unsigned from, util::Bytes msg)>;
@@ -52,7 +58,8 @@ class Mesh {
 
   /// Queue `msg` for replica `to`; delivered once the link is up (dropped
   /// with a count if the backlog cap is exceeded — the protocol layer's
-  /// retransmission timers recover).
+  /// retransmission timers recover). With a fault injector configured, the
+  /// message may instead be dropped, held in a loop timer, or duplicated.
   void send(unsigned to, util::Bytes msg);
 
   bool connected(unsigned to) const;
@@ -88,6 +95,9 @@ class Mesh {
   bool initiator_for(unsigned peer) const { return opt_.self > peer; }
   util::Bytes link_key(unsigned peer) const;
 
+  /// The real send path (frame + flush or backlog), after injection.
+  void send_now(unsigned to, util::Bytes msg);
+
   void start_connect(unsigned peer);
   void schedule_reconnect(unsigned peer);
   void on_connect_ready(unsigned peer, std::uint32_t events);
@@ -107,6 +117,10 @@ class Mesh {
   int listen_fd_ = -1;
   std::map<unsigned, Peer> peers_;
   std::map<int, PendingConn> pending_;
+  /// Monotonic per-directed-link frame counter feeding the injector's
+  /// (seed, link, seq) decisions; never reset on reconnect, so a replayed
+  /// run makes the same decisions regardless of connection churn.
+  std::map<unsigned, std::uint64_t> inject_seq_;
   std::uint64_t dropped_ = 0;
   std::uint64_t reconnects_ = 0;
 

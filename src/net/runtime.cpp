@@ -48,6 +48,27 @@ threshold::SigProtocol parse_protocol(const std::string& v, const std::string& l
   throw NetError("bad sig_protocol in config line: " + line);
 }
 
+core::CorruptionMode parse_corruption(const std::string& v, const std::string& line) {
+  for (const core::CorruptionMode m :
+       {core::CorruptionMode::kHonest, core::CorruptionMode::kFlipShares,
+        core::CorruptionMode::kMute, core::CorruptionMode::kStaleReplay,
+        core::CorruptionMode::kEquivocate, core::CorruptionMode::kGarbagePayload,
+        core::CorruptionMode::kGarbageShares}) {
+    if (v == core::to_string(m)) return m;
+  }
+  throw NetError("bad corruption in config line: " + line);
+}
+
+// FNV-1a over arbitrary byte runs, top bit cleared so the value survives a
+// round trip through an int64 gauge and a strtoull-based scraper unchanged.
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 std::string trim(const std::string& s) {
   const auto first = s.find_first_not_of(" \t\r");
   if (first == std::string::npos) return "";
@@ -97,6 +118,12 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
     else if (key == "seed") cfg.seed = std::stoull(value);
     else if (key == "stats_interval") cfg.stats_interval = std::stod(value);
     else if (key == "tsig_fudge") cfg.tsig_fudge = std::stoull(value);
+    else if (key == "fault_schedule") cfg.fault_schedule = value;
+    else if (key == "fault_seed") cfg.fault_seed = std::stoull(value);
+    else if (key == "fault_time_scale") cfg.fault_time_scale = std::stod(value);
+    else if (key == "fault_start") cfg.fault_start = std::stod(value);
+    else if (key == "fault_wan") cfg.fault_wan = value;
+    else if (key == "corruption") cfg.corruption = parse_corruption(value, line);
     else if (key.rfind("peer", 0) == 0) {
       const unsigned peer_id = static_cast<unsigned>(std::stoul(key.substr(4)));
       peers[peer_id] = SockAddr::parse(value);
@@ -153,6 +180,23 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
                 : (static_cast<std::uint64_t>(::getpid()) << 32) ^
                       static_cast<std::uint64_t>(loop_.now() * 1e6);
 
+  // ---- wire-level chaos injector (before the transports that hook it) ----
+  if (!cfg_.fault_schedule.empty() || !cfg_.fault_wan.empty()) {
+    FaultInjector::Options iopt;
+    iopt.seed = cfg_.fault_seed;
+    if (!cfg_.fault_schedule.empty()) {
+      const Bytes raw = read_file(cfg_.fault_schedule);
+      iopt.schedule =
+          sim::parse_schedule(std::string(raw.begin(), raw.end()));
+    }
+    iopt.time_scale = cfg_.fault_time_scale;
+    if (!cfg_.fault_wan.empty()) {
+      iopt.wan = sim::parse_topology(cfg_.fault_wan);
+    }
+    iopt.metrics = &registry_;
+    injector_ = std::make_unique<FaultInjector>(std::move(iopt));
+  }
+
   // ---- the untouched protocol stack, bound to the main loop ----
   // Constructed before the frontends: they stamp cache entries with the
   // replica's zone-generation counter. All replica callbacks run on the
@@ -172,7 +216,7 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   cb.metrics = &registry_;
   replica_ = std::make_unique<core::ReplicaNode>(
       rc, group, std::move(secret), zone_pub, std::move(share), std::move(zone), cb,
-      util::Rng(seed, cfg_.id));
+      util::Rng(seed, cfg_.id), cfg_.corruption);
 
   // ---- transports ----
   // Shard 0 rides the main loop; its frontend is built now so tests can
@@ -191,6 +235,7 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   mopt.peers = cfg_.mesh_peers;
   mopt.mesh_secret = read_file(cfg_.mesh_secret);
   mopt.metrics = &registry_;
+  mopt.injector = injector_.get();
   mesh_ = std::make_unique<Mesh>(
       loop_, mopt,
       [this](unsigned from, Bytes msg) { replica_->on_replica_message(from, msg); },
@@ -220,6 +265,8 @@ DnsFrontend::Options ReplicaRuntime::frontend_options(unsigned shard) {
   fopt.cache_entries = cfg_.cache_entries;
   fopt.generation = &replica_->zone_generation();
   fopt.metrics = &registry_;
+  fopt.injector = injector_.get();
+  fopt.client_node = cfg_.n;  // sim convention: the client is node n
   return fopt;
 }
 
@@ -272,21 +319,33 @@ bool ReplicaRuntime::maybe_answer_stats(ClientId client, BytesView wire) {
   // not the zone, so it must not go through atomic broadcast.
   dns::Message response = dns::Message::make_response(request);
   static const dns::Name kStatsName = dns::Name::parse("stats.sdns.");
-  const bool name_ok = q.name.canonical() == kStatsName;
+  static const dns::Name kRecoverName = dns::Name::parse("recover.sdns.");
+  const bool stats_ok = q.name.canonical() == kStatsName;
+  const bool recover_ok = q.name.canonical() == kRecoverName;
   const bool type_ok = q.type == dns::RRType::kTXT || q.type == dns::RRType::kANY;
-  if (name_ok && type_ok) {
+  const auto append_txt = [&](std::string txt) {
+    if (txt.size() > 255) txt.resize(255);  // single character-string cap
+    dns::ResourceRecord rr;
+    rr.name = q.name;
+    rr.type = dns::RRType::kTXT;
+    rr.klass = dns::RRClass::kCH;
+    rr.ttl = 0;
+    rr.rdata.push_back(static_cast<std::uint8_t>(txt.size()));
+    rr.rdata.insert(rr.rdata.end(), txt.begin(), txt.end());
+    response.answers.push_back(std::move(rr));
+  };
+  if (stats_ok && type_ok) {
+    refresh_gauges();
     for (const obs::Registry::Sample& s : registry_.export_samples()) {
-      std::string txt = s.name + "=" + s.value;
-      if (txt.size() > 255) txt.resize(255);  // single character-string cap
-      dns::ResourceRecord rr;
-      rr.name = q.name;
-      rr.type = dns::RRType::kTXT;
-      rr.klass = dns::RRClass::kCH;
-      rr.ttl = 0;
-      rr.rdata.push_back(static_cast<std::uint8_t>(txt.size()));
-      rr.rdata.insert(rr.rdata.end(), txt.begin(), txt.end());
-      response.answers.push_back(std::move(rr));
+      append_txt(s.name + "=" + s.value);
     }
+  } else if (recover_ok && type_ok) {
+    // The wire-chaos harness's recovery nudge: the same state transfer a
+    // `--recover` boot schedules, triggered remotely for a replica that a
+    // healed partition left behind. Serving-plane deployments would gate
+    // CH-class traffic at the edge, like BIND's chaos zone ACLs.
+    replica_->start_recovery();
+    append_txt("recovering");
   } else {
     response.rcode = dns::Rcode::kRefused;
   }
@@ -294,7 +353,50 @@ bool ReplicaRuntime::maybe_answer_stats(ClientId client, BytesView wire) {
   return true;
 }
 
+void ReplicaRuntime::refresh_gauges() {
+  const auto& abcast = replica_->abcast();
+  registry_.gauge("abcast.delivered")
+      .set(static_cast<std::int64_t>(abcast.delivered_count()));
+  registry_.gauge("replica.recovering").set(replica_->recovering() ? 1 : 0);
+  // Chain digest over the delivery log's contiguous tail: equal cursor +
+  // equal digest pins both agreement (same payload at every sequence
+  // number) and order for every sequence the chain covers. Snapshot
+  // recovery skips entries (a respawned replica's log starts at its
+  // snapshot; a nudged one's has a hole where it was partitioned), so the
+  // chain starts at the last gap and the exported floor names that first
+  // covered sequence — checkers compare digests only between replicas with
+  // equal spans, the scrapeable form of the simulator's entry-by-entry
+  // intersection comparison.
+  const auto& log = replica_->delivery_log();
+  std::int64_t floor = -1;
+  if (!log.empty()) {
+    auto it = log.rbegin();
+    std::uint64_t first = it->first;
+    for (++it; it != log.rend() && it->first + 1 == first; ++it) first = it->first;
+    floor = static_cast<std::int64_t>(first);
+  }
+  std::uint64_t h = 1469598103934665603ULL;
+  if (floor >= 0) {
+    for (auto it = log.find(static_cast<std::uint64_t>(floor)); it != log.end();
+         ++it) {
+      std::uint8_t seq_bytes[8];
+      for (int i = 0; i < 8; ++i) {
+        seq_bytes[i] = static_cast<std::uint8_t>(it->first >> (8 * i));
+      }
+      h = fnv1a(h, seq_bytes, sizeof seq_bytes);
+      h = fnv1a(h, it->second.data(), it->second.size());
+    }
+  }
+  registry_.gauge("abcast.digest_floor").set(floor);
+  registry_.gauge("abcast.delivery_digest").set(static_cast<std::int64_t>(h >> 1));
+  const Bytes zone_wire = replica_->server().zone().to_wire();
+  registry_.gauge("replica.zone_digest")
+      .set(static_cast<std::int64_t>(
+          fnv1a(1469598103934665603ULL, zone_wire.data(), zone_wire.size()) >> 1));
+}
+
 void ReplicaRuntime::log_stats_line() {
+  refresh_gauges();
   std::ostringstream os;
   os << "stats replica=" << cfg_.id;
   for (const obs::Registry::Sample& s : registry_.export_samples()) {
@@ -329,6 +431,15 @@ void ReplicaRuntime::start() {
     shard.thread = std::thread([l = shard.loop.get()] { l->run(); });
   }
   mesh_->start();
+  if (injector_) {
+    // fault_start aligns schedule time 0 across the whole forked cluster
+    // (CLOCK_MONOTONIC is machine-wide); 0 means "the schedule starts now".
+    injector_->arm(cfg_.fault_start > 0 ? cfg_.fault_start : loop_.now());
+    SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": fault injector armed (",
+                  injector_->schedule().faults.size(), " faults, scale ",
+                  cfg_.fault_time_scale, cfg_.fault_wan.empty() ? "" : ", wan ",
+                  cfg_.fault_wan, ")");
+  }
   // Seed the protocol trace with a boot marker so a --trace-dump is never
   // empty: an operator can tell "ring was dumped, nothing happened" apart
   // from "dump path never ran".

@@ -63,6 +63,23 @@ struct RuntimeConfig {
   /// TSIG timestamp acceptance window, seconds (RFC 2845 "fudge").
   std::uint64_t tsig_fudge = 300;
 
+  // ---- wire-level chaos (net/wirefault.hpp) ----
+  /// Path to a serialized sim::FaultSchedule (sim::serialize form); empty =
+  /// no fault injection.
+  std::string fault_schedule;
+  std::uint64_t fault_seed = 0;      ///< injector decision seed
+  double fault_time_scale = 1.0;     ///< wall seconds per schedule second
+  /// Absolute CLOCK_MONOTONIC second that schedule time 0 maps to. 0 = arm
+  /// at start(). CLOCK_MONOTONIC is machine-wide, so a forked harness sets
+  /// one value for all replicas — including respawned ones, whose fault
+  /// windows then stay aligned with the rest of the cluster.
+  double fault_start = 0;
+  /// Figure-1 WAN topology name (sim::to_string(Topology)); empty = no
+  /// per-link latency floor.
+  std::string fault_wan;
+  /// Byzantine behavior for THIS replica (chaos campaigns only).
+  core::CorruptionMode corruption = core::CorruptionMode::kHonest;
+
   /// Parse the `key = value` config file format. Throws NetError with the
   /// offending line on malformed input.
   static RuntimeConfig load(const std::string& path);
@@ -110,9 +127,15 @@ class ReplicaRuntime {
 
   /// Answer BIND-style introspection queries (`stats.sdns. CH TXT`) directly
   /// from the registry, without touching the replicated state machine.
+  /// `recover.sdns. CH TXT` triggers snapshot recovery (the wire-chaos
+  /// harness's remote nudge for replicas that fell behind during a fault).
   /// Returns true when `wire` was a CHAOS-class query and has been answered.
   bool maybe_answer_stats(ClientId client, util::BytesView wire);
   void log_stats_line();
+  /// Protocol-state gauges (abcast cursor, delivery-log digest, zone
+  /// digest, recovering flag) are snapshotted into the registry just before
+  /// each export — they are derived state, not hot-path counters.
+  void refresh_gauges();
   DnsFrontend::Options frontend_options(unsigned shard);
   /// Runs on the main loop: serve stats or feed the replica. `wire` must
   /// stay valid for the duration of the call only.
@@ -127,6 +150,9 @@ class ReplicaRuntime {
   EventLoop& loop_;
   RuntimeConfig cfg_;
   obs::Registry registry_;  ///< must outlive frontend/mesh/replica below
+  /// Wire-level chaos injector; null unless fault_schedule/fault_wan is
+  /// configured. Constructed before the transports that reference it.
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<core::ReplicaNode> replica_;
   std::vector<Shard> shards_;
   std::unique_ptr<Mesh> mesh_;

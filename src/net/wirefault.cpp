@@ -1,0 +1,183 @@
+#include "net/wirefault.hpp"
+
+#include <cstdio>
+
+namespace sdns::net {
+
+namespace {
+
+// Salts separating the independent decision streams derived from one
+// (seed, link, seq) tuple — drop verdict, delay jitter, duplicate verdict,
+// duplicate spacing. XORed with the fault's schedule index so two
+// overlapping faults of the same kind on the same link stay independent.
+constexpr std::uint64_t kDropSalt = 0xD20D'0000'0000'0001ULL;
+constexpr std::uint64_t kJitterSalt = 0xD20D'0000'0000'0002ULL;
+constexpr std::uint64_t kDupSalt = 0xD20D'0000'0000'0003ULL;
+constexpr std::uint64_t kDupSpaceSalt = 0xD20D'0000'0000'0004ULL;
+
+std::uint64_t mix(std::uint64_t x) {
+  // splitmix64 finalizer: full avalanche, so consecutive sequence numbers
+  // decorrelate completely.
+  x += 0x9E37'79B9'7F4A'7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58'476D'1CE4'E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D0'49BB'1331'11EBULL;
+  return x ^ (x >> 31);
+}
+
+bool on_link(const sim::Fault& f, unsigned from, unsigned to) {
+  return (f.a == from && f.b == to) || (f.a == to && f.b == from);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Options options) : opt_(std::move(options)) {
+  if (opt_.time_scale <= 0) opt_.time_scale = 1.0;
+  if (opt_.wan) {
+    const sim::Testbed bed = sim::make_testbed(*opt_.wan);
+    const std::size_t nodes = bed.machines.size();
+    wan_.assign(nodes, std::vector<double>(nodes, 0));
+    for (std::size_t i = 0; i < nodes; ++i) {
+      for (std::size_t j = 0; j < nodes; ++j) {
+        wan_[i][j] = sim::one_way_latency(bed, i, j);
+      }
+    }
+  }
+  obs::Registry* reg = opt_.metrics;
+  c_dropped_ = reg ? &reg->counter("net.chaos.dropped") : &obs::noop_counter();
+  c_delayed_ = reg ? &reg->counter("net.chaos.delayed") : &obs::noop_counter();
+  c_duplicated_ =
+      reg ? &reg->counter("net.chaos.duplicated") : &obs::noop_counter();
+  c_reordered_ =
+      reg ? &reg->counter("net.chaos.reordered") : &obs::noop_counter();
+}
+
+void FaultInjector::arm(double start) {
+  start_ = start;
+  armed_.store(true, std::memory_order_release);
+}
+
+double FaultInjector::unit(unsigned from, unsigned to, std::uint64_t seq,
+                           std::uint64_t salt) const {
+  std::uint64_t h = mix(opt_.seed ^ salt);
+  h = mix(h ^ (static_cast<std::uint64_t>(from) << 32 |
+               static_cast<std::uint64_t>(to)));
+  h = mix(h ^ seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+WireDecision FaultInjector::decide(unsigned from, unsigned to,
+                                   std::uint64_t seq, double now) {
+  WireDecision d;
+  if (!armed_.load(std::memory_order_acquire) || idle()) return d;
+  // Schedule time: windows are interpreted in schedule seconds relative to
+  // the armed start, compressed or stretched by time_scale.
+  const double t = (now - start_) / opt_.time_scale;
+  double extra_delay = 0;  // schedule seconds, from active delay faults
+  const sim::Fault* cause = nullptr;
+  for (std::size_t i = 0; i < opt_.schedule.faults.size() && !d.drop; ++i) {
+    const sim::Fault& f = opt_.schedule.faults[i];
+    if (t < f.at || t >= f.heals_at()) continue;
+    switch (f.kind) {
+      case sim::FaultKind::kPartition:
+      case sim::FaultKind::kCrash:
+        // A crashed node is indistinguishable from a fully partitioned one
+        // at the message layer; the harness adds real kill/restart on top.
+        if (from == f.a || to == f.a) {
+          d.drop = true;
+          cause = &f;
+        }
+        break;
+      case sim::FaultKind::kLinkDrop:
+        if (on_link(f, from, to) &&
+            unit(from, to, seq, kDropSalt ^ i) < f.magnitude) {
+          d.drop = true;
+          cause = &f;
+        }
+        break;
+      case sim::FaultKind::kLinkDelay:
+        if (on_link(f, from, to)) {
+          // ±50% per-frame jitter: overlapping releases reorder frames,
+          // which is the point — a constant delay would only shift time.
+          extra_delay +=
+              f.magnitude * (0.5 + unit(from, to, seq, kJitterSalt ^ i));
+          cause = &f;
+        }
+        break;
+      case sim::FaultKind::kLinkDuplicate:
+        if (on_link(f, from, to) &&
+            unit(from, to, seq, kDupSalt ^ i) < f.magnitude) {
+          d.duplicate = true;
+          cause = &f;
+        }
+        break;
+    }
+  }
+  if (d.drop) {
+    d.duplicate = false;
+  } else {
+    double wan = 0;
+    if (!wan_.empty() && from < wan_.size() && to < wan_.size()) {
+      wan = wan_[from][to];
+    }
+    d.delay = wan + extra_delay * opt_.time_scale;
+    if (d.duplicate) {
+      d.dup_delay =
+          0.001 + 0.004 * unit(from, to, seq, kDupSpaceSalt);
+    }
+  }
+
+  const bool acted = d.drop || d.duplicate || d.delay > 0;
+  if (d.drop) {
+    dropped_.inc();
+    c_dropped_->inc();
+  }
+  if (d.delay > 0) {
+    delayed_.inc();
+    c_delayed_->inc();
+  }
+  if (d.duplicate) {
+    duplicated_.inc();
+    c_duplicated_->inc();
+  }
+  if (!acted) return d;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!d.drop) {
+    const std::uint64_t link =
+        static_cast<std::uint64_t>(from) << 32 | static_cast<std::uint64_t>(to);
+    double& latest = last_release_[link];
+    const double release = now + d.delay;
+    if (release < latest) {
+      reordered_.inc();
+      c_reordered_->inc();
+    }
+    if (release > latest) latest = release;
+  }
+  if (opt_.record_decisions && log_.size() < opt_.max_log) {
+    char line[192];
+    if (d.drop) {
+      std::snprintf(line, sizeof line, "link %u->%u seq %llu: drop (%s)",
+                    from, to, static_cast<unsigned long long>(seq),
+                    cause ? sim::to_string(cause->kind) : "?");
+    } else {
+      std::snprintf(line, sizeof line,
+                    "link %u->%u seq %llu: delay %.9gs%s", from, to,
+                    static_cast<unsigned long long>(seq), d.delay,
+                    d.duplicate ? " +dup" : "");
+    }
+    log_.emplace_back(line);
+  }
+  return d;
+}
+
+std::string FaultInjector::decision_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::string& line : log_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sdns::net

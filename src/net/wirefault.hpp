@@ -1,0 +1,132 @@
+// net::FaultInjector — deterministic wire-level fault injection.
+//
+// Replays a sim::FaultSchedule against the real transports. The injector
+// sits at the MESSAGE layer, not the socket layer: Mesh::send consults it
+// before framing, because mesh frames carry a per-connection HMAC sequence
+// number — dropping or reordering raw stream bytes would only desynchronize
+// the MAC check and kill the TCP connection, which is a different fault
+// (and one the reconnect logic already handles). Injecting above the frame
+// codec faults exactly what the simulator faults: whole protocol messages
+// per directed link. Each directed link has exactly one sending owner, so
+// replicas never need shared injector state.
+//
+// Determinism contract: every verdict is a pure function of
+// (seed, from, to, sequence) — a splitmix-style hash, no wall-clock
+// randomness — tested against the set of faults active at injector time.
+// Time only selects WHICH faults are active (activation windows are wall
+// windows scaled by `time_scale`); given the same frame sequence on a link
+// while a fault is active, two runs make byte-identical decisions. That is
+// what lets a failing campaign seed be replayed from the seed alone.
+//
+// Fault semantics on the wire (sim/adversary.hpp kinds):
+//  - kLinkDrop:      frame on link a<->b dropped with probability magnitude.
+//  - kLinkDelay:     frame held in an EventLoop timer for magnitude seconds
+//                    (scaled), jittered ±50% per frame by the decision hash —
+//                    so overlapping releases REORDER frames, detected and
+//                    counted as net.chaos.reordered.
+//  - kLinkDuplicate: frame sent twice, the copy a few ms later.
+//  - kPartition:     every frame touching node a dropped, both directions.
+//  - kCrash:         in-process, same as kPartition (the node is unreachable);
+//                    the wire-chaos harness ADDITIONALLY enforces real crash
+//                    semantics by SIGKILLing the replica process and
+//                    respawning it with --recover at the heal time.
+//
+// Independently of the schedule, `wan` applies the paper's Figure 1 per-link
+// one-way latencies (sim/testbed.hpp) as a constant, unscaled delay floor on
+// every frame — the real-wire analogue of apply_testbed().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/adversary.hpp"
+#include "sim/testbed.hpp"
+
+namespace sdns::net {
+
+/// The verdict for one frame. `delay` of 0 with no drop/duplicate means
+/// "send now, untouched".
+struct WireDecision {
+  bool drop = false;
+  double delay = 0;      ///< seconds to hold the frame (wall time)
+  bool duplicate = false;
+  double dup_delay = 0;  ///< extra delay of the duplicate copy, after `delay`
+};
+
+class FaultInjector {
+ public:
+  struct Options {
+    std::uint64_t seed = 0;
+    sim::FaultSchedule schedule;
+    /// Wall seconds per schedule second: 0.5 runs a 10 s schedule in 5 s.
+    /// Scales fault windows and delay magnitudes; WAN latencies are real
+    /// wire time and are never scaled.
+    double time_scale = 1.0;
+    /// Apply Figure 1 one-way latencies for this topology to every frame
+    /// between nodes the testbed covers.
+    std::optional<sim::Topology> wan;
+    obs::Registry* metrics = nullptr;
+    /// Keep a textual log of every non-pass decision (determinism tests).
+    bool record_decisions = false;
+    std::size_t max_log = 1 << 16;  ///< decision-log line cap
+  };
+
+  explicit FaultInjector(Options options);
+
+  /// Set the wall time that schedule time 0 maps to. Until armed, every
+  /// frame passes. A respawned replica passes the ORIGINAL campaign start
+  /// (CLOCK_MONOTONIC is machine-wide) so its windows stay aligned.
+  void arm(double start);
+  bool armed() const { return armed_; }
+
+  /// Verdict for frame `seq` on directed link from->to at loop time `now`.
+  /// Thread-safe: shard threads (frontend) and the main loop (mesh) may
+  /// call concurrently; the hash path is lock-free, bookkeeping is locked.
+  WireDecision decide(unsigned from, unsigned to, std::uint64_t seq,
+                      double now);
+
+  /// True when the injector can never act: empty schedule and no WAN
+  /// latencies. An idle injector is a strict no-op on the datapath.
+  bool idle() const { return opt_.schedule.faults.empty() && !opt_.wan; }
+
+  const sim::FaultSchedule& schedule() const { return opt_.schedule; }
+
+  std::uint64_t dropped() const { return dropped_.value(); }
+  std::uint64_t delayed() const { return delayed_.value(); }
+  std::uint64_t duplicated() const { return duplicated_.value(); }
+  std::uint64_t reordered() const { return reordered_.value(); }
+
+  /// One line per non-pass decision, in decision order (record_decisions).
+  std::string decision_log() const;
+
+ private:
+  double unit(unsigned from, unsigned to, std::uint64_t seq,
+              std::uint64_t salt) const;
+
+  Options opt_;
+  std::atomic<bool> armed_{false};
+  double start_ = 0;
+  /// wan_[i][j]: constant one-way latency for frames i->j (0 = none).
+  std::vector<std::vector<double>> wan_;
+
+  // Own counts (the accessors above), mirrored into the registry's
+  // net.chaos.* counters when a metrics sink was given.
+  obs::Counter dropped_, delayed_, duplicated_, reordered_;
+  obs::Counter* c_dropped_;
+  obs::Counter* c_delayed_;
+  obs::Counter* c_duplicated_;
+  obs::Counter* c_reordered_;
+
+  mutable std::mutex mu_;  ///< guards log_ and last_release_
+  std::vector<std::string> log_;
+  /// Latest scheduled release time per directed link, for reorder counting.
+  std::map<std::uint64_t, double> last_release_;
+};
+
+}  // namespace sdns::net

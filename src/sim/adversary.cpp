@@ -1,7 +1,9 @@
 #include "sim/adversary.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 
@@ -13,6 +15,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kLinkDelay: return "link-delay";
     case FaultKind::kPartition: return "partition";
     case FaultKind::kCrash: return "crash";
+    case FaultKind::kLinkDuplicate: return "link-duplicate";
   }
   return "?";
 }
@@ -20,14 +23,15 @@ const char* to_string(FaultKind k) {
 std::string Fault::to_string() const {
   std::ostringstream os;
   os << sdns::sim::to_string(kind) << " ";
-  if (kind == FaultKind::kLinkDrop || kind == FaultKind::kLinkDelay) {
-    os << "link " << a << "-" << b;
-  } else {
+  if (kind == FaultKind::kPartition || kind == FaultKind::kCrash) {
     os << "node " << a;
+  } else {
+    os << "link " << a << "-" << b;
   }
   os << " @" << at << "s for " << duration << "s";
   if (kind == FaultKind::kLinkDrop) os << " (p=" << magnitude << ")";
   if (kind == FaultKind::kLinkDelay) os << " (+" << magnitude << "s)";
+  if (kind == FaultKind::kLinkDuplicate) os << " (p=" << magnitude << ")";
   return os.str();
 }
 
@@ -48,6 +52,45 @@ std::string FaultSchedule::to_string() const {
   return out;
 }
 
+std::string serialize(const FaultSchedule& schedule) {
+  std::string out;
+  char line[160];
+  for (const Fault& f : schedule.faults) {
+    std::snprintf(line, sizeof line, "%s %.17g %.17g %zu %zu %.17g\n",
+                  to_string(f.kind), f.at, f.duration, f.a, f.b, f.magnitude);
+    out += line;
+  }
+  return out;
+}
+
+FaultSchedule parse_schedule(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    Fault f;
+    if (!(fields >> kind >> f.at >> f.duration >> f.a >> f.b >> f.magnitude)) {
+      throw std::invalid_argument("bad fault line: " + line);
+    }
+    bool known = false;
+    for (const FaultKind k :
+         {FaultKind::kLinkDrop, FaultKind::kLinkDelay, FaultKind::kPartition,
+          FaultKind::kCrash, FaultKind::kLinkDuplicate}) {
+      if (kind == to_string(k)) {
+        f.kind = k;
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw std::invalid_argument("unknown fault kind: " + kind);
+    schedule.faults.push_back(f);
+  }
+  return schedule;
+}
+
 FaultSchedule random_schedule(std::uint64_t seed, const ScheduleOptions& opt) {
   util::Rng rng(seed, /*stream=*/0xFA17'5C8DULL);
   FaultSchedule schedule;
@@ -56,7 +99,7 @@ FaultSchedule random_schedule(std::uint64_t seed, const ScheduleOptions& opt) {
   const std::size_t iso_bound = std::min(opt.isolation_bound, opt.nodes);
   for (std::size_t i = 0; i < count; ++i) {
     Fault f;
-    f.kind = static_cast<FaultKind>(rng.below(4));
+    f.kind = static_cast<FaultKind>(rng.below(opt.duplicates ? 5 : 4));
     if ((f.kind == FaultKind::kPartition || f.kind == FaultKind::kCrash) &&
         iso_bound == 0) {
       f.kind = FaultKind::kLinkDrop;
@@ -65,13 +108,16 @@ FaultSchedule random_schedule(std::uint64_t seed, const ScheduleOptions& opt) {
     f.duration = std::max(0.25, rng.unit() * opt.max_duration);
     switch (f.kind) {
       case FaultKind::kLinkDrop:
-      case FaultKind::kLinkDelay: {
+      case FaultKind::kLinkDelay:
+      case FaultKind::kLinkDuplicate: {
         f.a = rng.below(opt.nodes);
         f.b = rng.below(opt.nodes - 1);
         if (f.b >= f.a) ++f.b;  // distinct endpoints
         f.magnitude = f.kind == FaultKind::kLinkDrop
                           ? std::max(0.1, rng.unit() * opt.max_drop)
-                          : std::max(0.05, rng.unit() * opt.max_delay);
+                      : f.kind == FaultKind::kLinkDelay
+                          ? std::max(0.05, rng.unit() * opt.max_delay)
+                          : std::max(0.1, rng.unit() * opt.max_duplicate);
         break;
       }
       case FaultKind::kPartition:
@@ -155,6 +201,11 @@ void Adversary::reapply() {
         break;
       case FaultKind::kCrash:
         net_.set_node_down(f.a, true);
+        break;
+      case FaultKind::kLinkDuplicate:
+        // Wire-only (see FaultKind): the simulated network delivers each
+        // message exactly once, and the protocol layer is already
+        // idempotent against duplicates by design.
         break;
     }
   }

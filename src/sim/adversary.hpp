@@ -35,6 +35,10 @@ enum class FaultKind : std::uint8_t {
   kLinkDelay = 1,
   kPartition = 2,
   kCrash = 3,
+  /// Link a<->b duplicates each message with probability `magnitude`.
+  /// Wire-only: the simulated network delivers each message exactly once,
+  /// so the sim Adversary ignores it; the net::FaultInjector enforces it.
+  kLinkDuplicate = 4,
 };
 
 const char* to_string(FaultKind k);
@@ -60,6 +64,13 @@ struct FaultSchedule {
   std::string to_string() const;
 };
 
+/// Machine round-trip form: one fault per line,
+/// `kind at duration a b magnitude`, doubles at full precision. This is
+/// what `sdnsd --fault-schedule` and the forked wire-chaos harness load.
+std::string serialize(const FaultSchedule& schedule);
+/// Inverse of serialize(); throws std::invalid_argument on malformed input.
+FaultSchedule parse_schedule(const std::string& text);
+
 /// Options for random_schedule().
 struct ScheduleOptions {
   std::size_t nodes = 4;       ///< fault targets are nodes [0, nodes)
@@ -71,6 +82,10 @@ struct ScheduleOptions {
   /// Crash/partition faults are restricted to nodes below this bound so a
   /// harness can exempt e.g. the client (default: no restriction).
   std::size_t isolation_bound = SIZE_MAX;
+  /// Draw kLinkDuplicate faults too (wire schedules). Off by default so
+  /// every existing sim seed keeps producing the same schedule.
+  bool duplicates = false;
+  double max_duplicate = 0.5;  ///< duplication probabilities in (0, this]
 };
 
 /// Generate a randomized schedule; a pure function of (seed, options).

@@ -1,5 +1,6 @@
 #include "sim/testbed.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -65,6 +66,23 @@ Testbed make_testbed(Topology topology) {
   bed.machines.push_back(kZurich);
   bed.client = bed.machines.size() - 1;
   return bed;
+}
+
+double one_way_latency(const Testbed& bed, NodeId i, NodeId j) {
+  if (i >= bed.machines.size() || j >= bed.machines.size()) return 0;
+  if (i == j) return 0;
+  return one_way(bed.machines[i].location, bed.machines[j].location);
+}
+
+Topology parse_topology(const std::string& name) {
+  for (const Topology t : {Topology::kSingleZurich, Topology::kLan4,
+                           Topology::kInternet4, Topology::kInternet7}) {
+    std::string canon = to_string(t);
+    if (name == canon) return t;
+    canon.erase(std::remove(canon.begin(), canon.end(), '-'), canon.end());
+    if (name == canon) return t;
+  }
+  throw std::logic_error("unknown topology: " + name);
 }
 
 void apply_testbed(const Testbed& bed, Network& net) {

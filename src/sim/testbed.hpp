@@ -46,6 +46,15 @@ Testbed make_testbed(Topology topology);
 /// Configure latencies and CPU speeds on a Network sized for `bed`.
 void apply_testbed(const Testbed& bed, Network& net);
 
+/// One-way latency (seconds) between machines `i` and `j` of the testbed —
+/// the Figure 1 link RTTs halved. The wire-level fault injector applies
+/// these as constant per-link delays on the real mesh.
+double one_way_latency(const Testbed& bed, NodeId i, NodeId j);
+
+/// Parse a topology name as printed by to_string(Topology); accepts the
+/// dashless spellings the chaos campaign CLI uses ("lan4", "internet7").
+Topology parse_topology(const std::string& name);
+
 /// Table 1 of the paper, for bench banners.
 std::string testbed_table1();
 

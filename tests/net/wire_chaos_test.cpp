@@ -1,0 +1,156 @@
+// Wire-chaos regression suite: fixed fault scenarios against REAL forked
+// replica processes (net::run_wire_chaos), each asserting the full PR-2
+// invariant set over the wire — zone convergence, abcast agreement,
+// recovery completion, liveness probes, and the packet-cache no-stale probe
+// after heal. Three pinned scenarios cover the three fault families the
+// campaigns draw from:
+//   - PartitionHeal:  a replica is message-partitioned mid-run and must
+//                     catch back up after heal;
+//   - CrashRecover:   a replica is SIGKILLed and respawned with recovery;
+//   - Figure1Wan:     no faults, but every link carries the paper's
+//                     Figure 1 WAN latency floor — the optimistic abcast
+//                     path must hold (fallback-free) at real RTTs.
+// Plus loadgen accounting under injected loss: when the injector drops 10%
+// of client datagrams, every released query is still accounted for
+// (received + timed_out == sent) and duplicates never inflate QPS.
+//
+// Own binary: forks must never run under another test's threads.
+#include "net/wirechaos.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "net/loadgen.hpp"
+#include "net/resolver.hpp"
+#include "net/wirefault.hpp"
+
+namespace sdns::net {
+namespace {
+
+sim::Fault make_fault(sim::FaultKind kind, double at, double duration,
+                      std::size_t a, std::size_t b = 0, double magnitude = 0) {
+  sim::Fault f;
+  f.kind = kind;
+  f.at = at;
+  f.duration = duration;
+  f.a = a;
+  f.b = b;
+  f.magnitude = magnitude;
+  return f;
+}
+
+class WireChaosTest : public ::testing::Test {
+ protected:
+  static WireChaosOptions base_options() {
+    WireChaosOptions opt;
+    opt.operations = 4;
+    opt.time_scale = 0.5;
+    opt.boot_budget = 2.5;
+    return opt;
+  }
+
+  void run_and_expect_clean(const WireChaosOptions& opt) {
+    WireCluster cluster(WireCluster::Options{});
+    const core::ChaosReport report = run_wire_chaos(cluster, opt);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_GT(report.ops_attempted, 0u);
+  }
+};
+
+TEST_F(WireChaosTest, PartitionHealsAndLaggardConverges) {
+  WireChaosOptions opt = base_options();
+  opt.seed = 1001;
+  sim::FaultSchedule schedule;
+  schedule.faults.push_back(
+      make_fault(sim::FaultKind::kPartition, 0.5, 2.0, /*a=*/2));
+  opt.schedule = schedule;
+  run_and_expect_clean(opt);
+}
+
+TEST_F(WireChaosTest, CrashIsKilledRespawnedAndRecovers) {
+  WireChaosOptions opt = base_options();
+  opt.seed = 1002;
+  sim::FaultSchedule schedule;
+  schedule.faults.push_back(
+      make_fault(sim::FaultKind::kCrash, 0.5, 2.0, /*a=*/1));
+  opt.schedule = schedule;
+  run_and_expect_clean(opt);
+}
+
+TEST_F(WireChaosTest, Figure1WanLatencyKeepsOptimisticPath) {
+  WireChaosOptions opt = base_options();
+  opt.seed = 1003;
+  opt.schedule = sim::FaultSchedule{};  // no faults: fallback-free is checked
+  opt.wan = "internet-4";               // paper Figure 1 one-way latencies
+  run_and_expect_clean(opt);
+}
+
+TEST(LoadgenUnderLoss, EveryQueryAccountedForAndNoDuplicateInflation) {
+  // One replica, reads served locally; the injector drops 10% of datagrams
+  // on the client->replica link (client pseudo-node is id n == 4).
+  WireCluster cluster(WireCluster::Options{});
+
+  sim::FaultSchedule schedule;
+  schedule.faults.push_back(make_fault(sim::FaultKind::kLinkDrop, 0.0, 3600.0,
+                                       /*a=*/4, /*b=*/0, /*magnitude=*/0.1));
+  const std::string sched_path = cluster.dir() + "/loss_schedule.txt";
+  const std::string text = sim::serialize(schedule);
+  write_file(sched_path,
+             util::BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                             text.size()));
+
+  WireReplicaConfig rc;
+  rc.schedule_path = sched_path;
+  rc.fault_seed = 77;
+  rc.fault_start = monotonic_now();  // active from boot
+  const pid_t pid = spawn_wire_replica(cluster, 0, rc);
+  ASSERT_GT(pid, 0);
+
+  // Wait for the replica to serve (probes themselves face the 10% drop —
+  // attempts ride through it).
+  {
+    StubResolver::Options ropt;
+    ropt.servers = {cluster.files().dns_addrs[0]};
+    ropt.timeout = 0.5;
+    ropt.attempts = 30;
+    StubResolver probe(ropt);
+    const auto res =
+        probe.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+    ASSERT_TRUE(res.ok) << res.error;
+  }
+
+  EventLoop loop;
+  Loadgen::Options lopt;
+  lopt.servers = {cluster.files().dns_addrs[0]};
+  lopt.name = dns::Name::parse("www.example.com.");
+  lopt.rate = 2000;
+  lopt.duration = 2.0;
+  lopt.drain = 0.8;
+  lopt.sockets = 2;  // exercise the per-socket accounting
+  Loadgen gen(loop, lopt);
+  gen.start();
+  loop.run();
+  const Loadgen::Report r = gen.report();
+
+  ::kill(pid, SIGTERM);
+  ::waitpid(pid, nullptr, 0);
+
+  ASSERT_GT(r.sent, 0u);
+  EXPECT_EQ(r.send_errors, 0u);
+  // The accounting identity: every released query either completed or is
+  // counted timed out — injected loss cannot leak queries.
+  EXPECT_EQ(r.received + r.timed_out, r.sent);
+  // Responses are deduplicated per socket; nothing here duplicates, so the
+  // counter must stay zero (it only moves when the wire actually dupes).
+  EXPECT_EQ(r.duplicate_responses, 0u);
+  // ~10% of queries drop (seeded hash, not exact): the loss must be visible
+  // but bounded.
+  EXPECT_LT(r.received, r.sent);
+  EXPECT_GT(static_cast<double>(r.received), 0.80 * static_cast<double>(r.sent));
+  EXPECT_LT(static_cast<double>(r.received), 0.97 * static_cast<double>(r.sent));
+}
+
+}  // namespace
+}  // namespace sdns::net
