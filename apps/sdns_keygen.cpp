@@ -1,8 +1,12 @@
 // sdns_keygen — the trusted dealer (§4.3) as a command-line utility.
 //
 //   sdns_keygen --dir DIR [--n N] [--t T] [--bits 512|1024]
-//               [--origin NAME] [--zone FILE] [--tsig]
+//               [--origin NAME] [--zone FILE] [--tsig] [--durable]
 //               [--dns-port P] [--mesh-port P] [--seed S]
+//
+// --durable points each replica's config at a data directory
+// (DIR/data<i>) for the write-ahead log and signed snapshots, so a
+// restarted replica recovers from disk before asking the peers.
 //
 // Writes, into DIR (which must exist): the threshold-signed zone in wire
 // form, the SINTRA group public key, the threshold zone public key, the
@@ -20,8 +24,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir DIR [--n N] [--t T] [--bits 512|1024] "
-               "[--origin NAME] [--zone FILE] [--tsig] [--dns-port P] "
-               "[--mesh-port P] [--seed S]\n",
+               "[--origin NAME] [--zone FILE] [--tsig] [--durable] "
+               "[--dns-port P] [--mesh-port P] [--seed S]\n",
                argv0);
   return 2;
 }
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
       opt.mesh_base_port = static_cast<std::uint16_t>(std::stoul(v));
     else if (const char* v = want_value("--seed")) opt.seed = std::stoull(v);
     else if (std::strcmp(argv[i], "--tsig") == 0) opt.require_tsig = true;
+    else if (std::strcmp(argv[i], "--durable") == 0) opt.durable = true;
     else return usage(argv[0]);
   }
   if (dir.empty()) return usage(argv[0]);

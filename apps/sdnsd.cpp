@@ -1,6 +1,7 @@
 // sdnsd — one replica of the intrusion-tolerant name service, deployed.
 //
-//   sdnsd <config-file> [--recover] [--log LEVEL] [--stats-interval SECONDS]
+//   sdnsd <config-file> [--recover] [--data-dir DIR] [--snapshot-bytes N]
+//         [--log LEVEL] [--stats-interval SECONDS]
 //         [--trace-dump] [--shards N] [--fault-schedule FILE]
 //         [--fault-seed SEED] [--fault-time-scale X] [--fault-wan TOPOLOGY]
 //
@@ -11,6 +12,14 @@
 // SIGINT/SIGTERM stop the loop cleanly (EventLoop::wake is async-signal
 // safe), so supervisors can restart a replica and exercise the recovery
 // path (--recover pulls a verified snapshot from the peers after boot).
+//
+// Durability (src/store; see DESIGN.md §13):
+//   --data-dir DIR       write-ahead log + signed snapshots in DIR. A
+//                        restart first recovers from disk (snapshot verified
+//                        against the zone key, WAL tail replayed), and
+//                        --recover then merely confirms with the peers that
+//                        the disk is current instead of transferring state;
+//   --snapshot-bytes N   snapshot + truncate once the WAL exceeds N bytes.
 //
 // Introspection:
 //   --stats-interval N   log one counter-summary line every N seconds (the
@@ -60,7 +69,8 @@ void handle_crash_signal(int sig) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <config-file> [--recover] [--log error|warn|info|debug]"
+               "usage: %s <config-file> [--recover] [--data-dir DIR]"
+               " [--snapshot-bytes N] [--log error|warn|info|debug]"
                " [--stats-interval SECONDS] [--trace-dump] [--shards N]"
                " [--fault-schedule FILE] [--fault-seed SEED]"
                " [--fault-time-scale X] [--fault-wan TOPOLOGY]\n",
@@ -86,6 +96,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const char* config_path = nullptr;
   bool recover = false;
+  const char* data_dir = nullptr;
+  long long snapshot_bytes = -1;
   bool trace_dump = false;
   bool explicit_log_level = false;
   double stats_interval = -1;
@@ -98,6 +110,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-bytes") == 0 && i + 1 < argc) {
+      snapshot_bytes = std::atoll(argv[++i]);
+      if (snapshot_bytes < 0) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--trace-dump") == 0) {
       trace_dump = true;
     } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
@@ -146,6 +163,10 @@ int main(int argc, char** argv) {
   try {
     sdns::net::RuntimeConfig config = sdns::net::RuntimeConfig::load(config_path);
     if (recover) config.recover = true;
+    if (data_dir) config.data_dir = data_dir;
+    if (snapshot_bytes >= 0) {
+      config.snapshot_log_bytes = static_cast<std::uint64_t>(snapshot_bytes);
+    }
     if (stats_interval > 0) config.stats_interval = stats_interval;
     if (shards > 0) config.shards = static_cast<unsigned>(shards);
     if (fault_schedule) config.fault_schedule = fault_schedule;

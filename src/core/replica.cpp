@@ -1,5 +1,7 @@
 #include "core/replica.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace sdns::core {
@@ -36,6 +38,7 @@ constexpr std::uint8_t kAbcastFrame = 0x01;
 constexpr std::uint8_t kSigningFrame = 0x02;
 constexpr std::uint8_t kSnapshotRequestFrame = 0x03;
 constexpr std::uint8_t kSnapshotFrame = 0x04;
+constexpr std::uint8_t kSnapshotCurrentFrame = 0x05;
 
 // Atomic-broadcast payload tags: one client request, or a group-committed
 // batch of RFC 2136 updates (count, then per-entry client + wire). The
@@ -53,6 +56,24 @@ Bytes encode_payload(ClientId client, BytesView request) {
   w.u64(client);
   w.lp32(request);
   return std::move(w).take();
+}
+
+// Whether executing this abcast payload can change the zone. Batches carry
+// only updates by construction; singles are classified by the DNS opcode,
+// the same test on_client_request uses to route them. Undecodable payloads
+// execute as no-ops, so treating them as non-mutating is exact.
+bool payload_mutates(BytesView payload) {
+  try {
+    Reader r(payload);
+    const std::uint8_t tag = r.u8();
+    if (tag == kPayloadBatch) return true;
+    if (tag != kPayloadSingle) return false;
+    r.u64();  // client
+    const Bytes wire = r.lp32();
+    return wire.size() >= 12 && ((wire[2] >> 3) & 0x0f) == 5;
+  } catch (const util::ParseError&) {
+    return false;
+  }
 }
 }  // namespace
 
@@ -78,10 +99,17 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
     own_metrics_ = std::make_unique<obs::Registry>();
     metrics_ = own_metrics_.get();
   }
+  if (cb_.store) {
+    store_ = cb_.store;
+  } else {
+    own_store_ = std::make_unique<store::MemoryZoneStore>();
+    store_ = own_store_.get();
+  }
   c_reads_ = &metrics_->counter("replica.reads");
   c_updates_ = &metrics_->counter("replica.updates");
   c_signatures_ = &metrics_->counter("replica.signatures");
   c_recoveries_ = &metrics_->counter("replica.recoveries");
+  c_recovery_standdowns_ = &metrics_->counter("replica.recovery_standdowns");
   c_update_batches_ = &metrics_->counter("replica.update_batches");
   h_update_batch_size_ = &metrics_->histogram("replica.update_batch_size");
   metrics_->gauge("replica.zone_gen")
@@ -105,7 +133,19 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
     };
     acb.deliver = [this](const Bytes& payload) {
       const abcast::Digest digest = abcast::AtomicBroadcast::digest_of(payload);
-      delivery_log_[abcast_->delivered_count()] = digest;
+      const std::uint64_t seq = abcast_->delivered_count();
+      delivery_log_[seq] = digest;
+      // Write-ahead log: the committed payload is appended (buffered) here,
+      // at delivery; the fsync happens in execute() before the first zone
+      // mutation that depends on it. Non-mutating deliveries are logged as
+      // cursor marks carrying only their digest, so a replayed log rebuilds
+      // the same contiguous safety chain without re-running reads.
+      if (payload_mutates(payload)) {
+        store_->append(seq, payload, /*mark=*/false);
+      } else {
+        store_->append(seq, BytesView(digest.data(), digest.size()),
+                       /*mark=*/true);
+      }
       // Our in-flight batch came back through total order — the round is
       // over, and anything that queued behind it can ride the next one.
       // (Another gateway submitting a byte-identical payload clears the
@@ -278,11 +318,15 @@ void ReplicaNode::on_replica_message(unsigned from, BytesView msg) {
     return;
   }
   if (tag == kSnapshotRequestFrame) {
-    handle_snapshot_request(from);
+    handle_snapshot_request(from, body);
     return;
   }
   if (tag == kSnapshotFrame) {
     handle_snapshot(from, body);
+    return;
+  }
+  if (tag == kSnapshotCurrentFrame) {
+    handle_snapshot_current(from, body);
     return;
   }
 }
@@ -291,26 +335,66 @@ void ReplicaNode::start_recovery() {
   if (config_.base_case || !cb_.send_replica) return;
   recovering_ = true;
   recovery_snapshots_.clear();
+  recovery_current_acks_.clear();
+  // The request carries our delivered cursor: a disk-first restart is
+  // usually already current, and peers that are not ahead answer with a
+  // tiny ack instead of shipping the whole zone.
   Writer w;
   w.u8(kSnapshotRequestFrame);
+  w.u64(abcast_->delivered_count());
   const Bytes msg = std::move(w).take();
   for (unsigned i = 0; i < config_.n; ++i) {
     if (i != secret_.id) cb_.send_replica(i, msg);
   }
 }
 
-void ReplicaNode::handle_snapshot_request(unsigned from) {
+void ReplicaNode::handle_snapshot_request(unsigned from, BytesView body) {
   if (corruption_ == CorruptionMode::kMute) return;
+  if (!abcast_ || !cb_.send_replica) return;
+  // Cursor hint: when the requester is already at (or ahead of) our
+  // delivered cursor there is nothing to transfer — confirm with a
+  // "current" ack. Pre-hint requests (empty body) always get a snapshot.
+  if (!body.empty()) {
+    std::uint64_t hint = 0;
+    try {
+      Reader r(body);
+      hint = r.u64();
+      r.expect_done();
+    } catch (const util::ParseError&) {
+      return;
+    }
+    if (abcast_->delivered_count() <= hint) {
+      Writer w;
+      w.u8(kSnapshotCurrentFrame);
+      w.u64(abcast_->delivered_count());
+      cb_.send_replica(from, std::move(w).take());
+      return;
+    }
+  }
   // Only serve a consistent point: between operations, with the execution
   // queue drained, the zone reflects exactly `deliveries_` executed requests.
-  if (executing_ || !exec_queue_.empty() || !abcast_) return;
+  if (executing_ || !exec_queue_.empty()) return;
   Writer w;
   w.u8(kSnapshotFrame);
   w.u64(abcast_->delivered_count());
   w.u64(deliveries_);
   w.u64(update_counter_);
   w.lp32(server_.zone().to_wire());
-  if (cb_.send_replica) cb_.send_replica(from, std::move(w).take());
+  cb_.send_replica(from, std::move(w).take());
+}
+
+void ReplicaNode::handle_snapshot_current(unsigned from, BytesView body) {
+  if (!recovering_) return;
+  std::uint64_t cursor = 0;
+  try {
+    Reader r(body);
+    cursor = r.u64();
+    r.expect_done();
+  } catch (const util::ParseError&) {
+    return;
+  }
+  recovery_current_acks_[from] = cursor;
+  try_finish_recovery();
 }
 
 void ReplicaNode::handle_snapshot(unsigned from, BytesView body) {
@@ -345,7 +429,11 @@ void ReplicaNode::try_finish_recovery() {
     } catch (const util::ParseError&) {
     }
   }
-  if (valid.size() < static_cast<std::size_t>(config_.t) + 1) return;
+  // A "current" ack counts toward the response quorum: the acking peer
+  // compared its cursor against ours and found nothing to transfer. With at
+  // most t faulty replicas, t+1 responses contain an honest one.
+  const std::size_t quorum = static_cast<std::size_t>(config_.t) + 1;
+  if (valid.size() + recovery_current_acks_.size() < quorum) return;
   const Snapshot* best = nullptr;
   if (server_.zone_is_signed()) {
     // Signed zone: any verified snapshot is authentic; take the freshest.
@@ -365,12 +453,20 @@ void ReplicaNode::try_finish_recovery() {
       if (entry.first >= config_.t + 1) best = snap;
     }
   }
-  if (!best) return;
-  if (best->abcast_cursor < abcast_->delivered_count()) {
-    // The peers' freshest snapshot is behind what we already delivered —
-    // adopting it would roll our state back. We are not behind; stand down.
-    recovering_ = false;
-    recovery_snapshots_.clear();
+  if (!best) {
+    // No adoptable snapshot yet. If a quorum of peers confirmed we are
+    // current, there is nothing to fetch — the disk-first restore already
+    // holds everything the cluster committed.
+    if (recovery_current_acks_.size() >= quorum) {
+      stand_down_recovery("quorum of peers confirmed local state is current");
+    }
+    return;
+  }
+  if (best->abcast_cursor <= abcast_->delivered_count()) {
+    // The peers' freshest snapshot is at or behind what we already
+    // delivered — adopting it would transfer state for nothing (equal) or
+    // roll us back (behind). We are not behind; stand down.
+    stand_down_recovery("freshest peer snapshot is not ahead of local state");
     return;
   }
   server_.zone() = dns::Zone::from_wire(best->zone_wire);
@@ -394,11 +490,85 @@ void ReplicaNode::try_finish_recovery() {
   pending_signing_.clear();
   recovering_ = false;
   recovery_snapshots_.clear();
+  recovery_current_acks_.clear();
+  // Adoption abandoned any boot replay in progress; nothing left to mute.
+  suppress_responses_below_ = 0;
+  // The WAL's history no longer leads to this state — re-anchor the disk
+  // with an unconditional snapshot so the next restart recovers to here.
+  store_->checkpoint([this] { return make_store_state(); });
   ++recoveries_completed_;
   c_recoveries_->inc();
   SDNS_LOG_INFO("replica ", secret_.id, ": recovered to delivery cursor ",
                 best->abcast_cursor);
   maybe_submit_updates(false);
+}
+
+void ReplicaNode::stand_down_recovery(const char* why) {
+  recovering_ = false;
+  recovery_snapshots_.clear();
+  recovery_current_acks_.clear();
+  c_recovery_standdowns_->inc();
+  SDNS_LOG_INFO("replica ", secret_.id, ": recovery stand-down at cursor ",
+                abcast_ ? abcast_->delivered_count() : 0, ": ", why);
+}
+
+store::ZoneState ReplicaNode::make_store_state() const {
+  store::ZoneState state;
+  state.abcast_cursor = abcast_ ? abcast_->delivered_count() : deliveries_;
+  state.deliveries = deliveries_;
+  state.update_counter = update_counter_;
+  state.zone_generation = zone_generation_value();
+  state.zone_wire = server_.zone().to_wire();
+  return state;
+}
+
+void ReplicaNode::restore_from_store(const store::RecoveredState& recovered) {
+  if (!recovered.usable() || config_.base_case || !abcast_) return;
+  std::uint64_t cursor = 0;
+  if (recovered.snapshot) {
+    const store::ZoneState& snap = *recovered.snapshot;
+    try {
+      server_.zone() = dns::Zone::from_wire(snap.zone_wire);
+    } catch (const util::ParseError&) {
+      // The store verified the snapshot already; an unparseable zone here
+      // means the verifier was disabled. Treat the disk as empty.
+      SDNS_LOG_WARN("replica ", secret_.id,
+                    ": recovered snapshot zone does not parse, ignoring disk");
+      return;
+    }
+    deliveries_ = snap.deliveries;
+    update_counter_ = snap.update_counter;
+    cursor = snap.abcast_cursor;
+  }
+  std::size_t replayed = 0;
+  for (const store::WalRecord& rec : recovered.tail) {
+    cursor = rec.seq + 1;
+    if (rec.mark) {
+      // Non-mutating delivery: the record carries the payload's abcast
+      // digest, so the safety chain over the delivery log is rebuilt
+      // byte-identically without re-running the read.
+      abcast::Digest digest{};
+      if (rec.payload.size() == digest.size()) {
+        std::copy(rec.payload.begin(), rec.payload.end(), digest.begin());
+        delivery_log_[rec.seq] = digest;
+      }
+      ++deliveries_;
+      continue;
+    }
+    delivery_log_[rec.seq] = abcast::AtomicBroadcast::digest_of(rec.payload);
+    exec_queue_.push_back(rec.payload);
+    ++replayed;
+  }
+  abcast_->fast_forward(cursor);
+  // Replayed operations answered their clients in a previous life; the
+  // re-execution below must stay silent (see respond()). Signing sessions
+  // re-run with the same deterministic ids, and peers that already finished
+  // them answer our re-sent shares with the assembled final signature.
+  suppress_responses_below_ = deliveries_ + exec_queue_.size();
+  bump_zone_generation();
+  SDNS_LOG_INFO("replica ", secret_.id, ": disk-first restore to cursor ",
+                cursor, ", replaying ", replayed, " logged operations");
+  execute_next();
 }
 
 void ReplicaNode::install_zone_share(
@@ -421,10 +591,22 @@ void ReplicaNode::execute_next() {
     // execute() clears executing_ for synchronous operations; updates with
     // signature work leave it set until finish_update().
   }
+  // Idle between operations: the zone reflects exactly `deliveries_`
+  // executed requests, so the store may take a consistent snapshot (it
+  // does only when its log-bytes threshold says one is due).
+  if (!executing_ && exec_queue_.empty() && !recovering_) {
+    store_->maybe_snapshot([this] { return make_store_state(); });
+  }
 }
 
 void ReplicaNode::execute(const Bytes& payload) {
   ++deliveries_;
+  // Write-ahead invariant: everything appended up to and including this
+  // payload becomes durable before its mutation applies. Group commit —
+  // one fsync covers every record buffered since the last sync, e.g. a
+  // whole update batch plus any payloads that queued behind an in-flight
+  // signing session. No-op for non-mutating payloads and a clean log.
+  if (payload_mutates(payload)) store_->sync();
   ClientId client = 0;
   dns::Message request;
   try {
@@ -689,6 +871,11 @@ void ReplicaNode::bump_zone_generation() {
 }
 
 void ReplicaNode::respond(ClientId client, const dns::Message& response) {
+  // Boot replay after a disk-first restore: these operations' clients were
+  // answered before the crash; re-executing must not answer again. Direct
+  // reads arrive outside the execution pipeline (executing_ == false) and
+  // are served normally throughout.
+  if (executing_ && deliveries_ <= suppress_responses_below_) return;
   if (!cb_.send_client || corruption_ == CorruptionMode::kMute) return;
   Bytes wire = response.encode();
   if (corruption_ == CorruptionMode::kStaleReplay && !response.questions.empty() &&

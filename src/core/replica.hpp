@@ -24,6 +24,7 @@
 #include "core/config.hpp"
 #include "crypto/rsa.hpp"
 #include "dns/server.hpp"
+#include "store/store.hpp"
 #include "threshold/protocol.hpp"
 
 namespace sdns::core {
@@ -51,6 +52,11 @@ class ReplicaNode {
     /// Metrics sink; when null the replica owns a private registry so its
     /// counters (and the components' below it) are still introspectable.
     obs::Registry* metrics = nullptr;
+    /// Durable zone store (write-ahead log + snapshots). When null the
+    /// replica owns a no-op in-memory store, so the commit hook — append on
+    /// delivery, fsync before the mutation applies, snapshot offer when
+    /// idle — is exercised on every path, persisted or not.
+    store::ZoneStoreIf* store = nullptr;
   };
 
   /// `zone_share` is this server's share of the zone key; `zone_key_pub` the
@@ -80,6 +86,19 @@ class ReplicaNode {
   void start_recovery();
   bool recovering() const { return recovering_; }
   std::uint64_t recoveries_completed() const { return recoveries_completed_; }
+
+  /// Disk-first recovery: install the state the durable store recovered —
+  /// zone and counters from the verified snapshot, then the WAL tail queued
+  /// for replay through the normal execution path (signing sessions re-run
+  /// deterministically; peers that already finished answer re-sent shares
+  /// with the final signature). Responses for replayed operations are
+  /// suppressed — their clients were answered in the previous life. Call
+  /// once, right after construction, before serving traffic. A subsequent
+  /// start_recovery() then asks the peers only whether the disk is behind:
+  /// peers at or below our cursor send a small "current" ack instead of a
+  /// full snapshot, and t+1 such acks stand the recovery down without any
+  /// state transfer.
+  void restore_from_store(const store::RecoveredState& recovered);
 
   /// Proactive share refresh (§4.3): install a re-dealt share of the *same*
   /// RSA key (N, e unchanged; verification values v, v_i re-randomized). The
@@ -152,9 +171,12 @@ class ReplicaNode {
 
   void execute_next();
   void execute(const util::Bytes& payload);
-  void handle_snapshot_request(unsigned from);
+  void handle_snapshot_request(unsigned from, util::BytesView body);
   void handle_snapshot(unsigned from, util::BytesView body);
+  void handle_snapshot_current(unsigned from, util::BytesView body);
   void try_finish_recovery();
+  void stand_down_recovery(const char* why);
+  store::ZoneState make_store_state() const;
   void run_query(ClientId client, const dns::Message& request);
   void run_update(ClientId client, const dns::Message& request);
   void start_next_signature();
@@ -232,8 +254,16 @@ class ReplicaNode {
   obs::Counter* c_updates_;
   obs::Counter* c_signatures_;
   obs::Counter* c_recoveries_;
+  obs::Counter* c_recovery_standdowns_;
   obs::Counter* c_update_batches_;
   obs::Histogram* h_update_batch_size_;
+
+  /// The durable (or no-op) store behind Callbacks::store.
+  std::unique_ptr<store::MemoryZoneStore> own_store_;
+  store::ZoneStoreIf* store_ = nullptr;
+  /// Boot replay: responses whose delivery number is at or below this were
+  /// already sent in a previous life; re-executing must stay silent.
+  std::uint64_t suppress_responses_below_ = 0;
 
   // kStaleReplay: first response recorded per question.
   std::map<std::string, util::Bytes> stale_cache_;
@@ -241,6 +271,9 @@ class ReplicaNode {
   // Recovery state.
   bool recovering_ = false;
   std::map<unsigned, Snapshot> recovery_snapshots_;
+  /// Peers that answered the snapshot request with "you are current"
+  /// (their cursor <= ours) instead of a full snapshot.
+  std::map<unsigned, std::uint64_t> recovery_current_acks_;
   std::uint64_t recoveries_completed_ = 0;
 };
 

@@ -135,9 +135,43 @@ ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& or
         it != opt_.corruption_by_replica.end()) {
       mode = it->second;
     }
+    // Durable zone store: WAL + signed snapshots in data_dirs[i]. The same
+    // verifier the deployed runtime installs — the snapshot's embedded zone
+    // must carry the dealt key at its apex and verify in full under it.
+    std::unique_ptr<store::DurableZoneStore> dstore;
+    if (!base && i < opt_.data_dirs.size() && !opt_.data_dirs[i].empty()) {
+      store::DurableZoneStore::Options sopt;
+      sopt.dir = opt_.data_dirs[i];
+      sopt.snapshot_log_bytes = opt_.snapshot_log_bytes;
+      if (opt_.zone_signed) {
+        sopt.verify = [dealt = zone_pub_rsa_](const store::ZoneState& s) {
+          try {
+            dns::Zone z = dns::Zone::from_wire(s.zone_wire);
+            const dns::RRset* keys = z.find(z.origin(), dns::RRType::kKEY);
+            if (!keys || keys->rdatas.empty()) return false;
+            const crypto::RsaPublicKey pub = dns::zone_key_from_record(
+                dns::KeyRdata::decode(keys->rdatas.front()));
+            if (!(pub.n == dealt.n) || !(pub.e == dealt.e)) return false;
+            return dns::verify_zone(z).ok;
+          } catch (const util::ParseError&) {
+            return false;
+          }
+        };
+      }
+      dstore = std::make_unique<store::DurableZoneStore>(std::move(sopt));
+      cb.store = dstore.get();
+    }
     replicas_.push_back(std::make_unique<ReplicaNode>(
         config, group.pub, base ? abcast::NodeSecret{} : group.secrets[i], zone_pub,
         zone_shares[i], zone, cb, Rng(opt_.seed, i), mode, local_key));
+    if (dstore && dstore->recovered().usable()) {
+      // Disk-first boot: install the recovered state before any traffic.
+      // The replayed operations' signing shares queue as simulator events
+      // and complete once the run starts (each replica replays the same
+      // deterministic sessions, so they re-sign cooperatively).
+      replicas_.back()->restore_from_store(dstore->recovered());
+    }
+    stores_.push_back(std::move(dstore));
   }
 
   // ---- network handlers ----

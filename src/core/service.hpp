@@ -15,6 +15,7 @@
 #include "sim/costmodel.hpp"
 #include "sim/network.hpp"
 #include "sim/testbed.hpp"
+#include "store/durable.hpp"
 
 namespace sdns::core {
 
@@ -40,6 +41,14 @@ struct ServiceOptions {
   double complaint_timeout = 5.0;
   bool require_tsig = false;
   sim::CostModel cost_model;
+  /// Per-replica durable store directories (src/store); replica i persists
+  /// its WAL and snapshots in data_dirs[i] when set and non-empty. A second
+  /// service constructed over the same directories boots disk-first: each
+  /// replica restores its snapshot + WAL tail before any traffic, and the
+  /// replayed signing sessions complete cooperatively across the cluster.
+  std::vector<std::string> data_dirs;
+  /// Snapshot threshold for durable replicas (WAL bytes; 0 disables).
+  std::uint64_t snapshot_log_bytes = 4ull << 20;
 };
 
 class ReplicatedService {
@@ -54,6 +63,8 @@ class ReplicatedService {
   sim::Network& net() { return *net_; }
   Client& client() { return *client_; }
   ReplicaNode& replica(unsigned i) { return *replicas_[i]; }
+  /// Replica i's durable store, or null when it runs in-memory.
+  store::DurableZoneStore* store(unsigned i) { return stores_[i].get(); }
   const crypto::RsaPublicKey& zone_public_key() const { return zone_pub_rsa_; }
   const dns::TsigKey& tsig_key() const { return tsig_key_; }
 
@@ -104,6 +115,9 @@ class ReplicatedService {
   sim::Testbed bed_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<Client> client_;
+  /// Declared before replicas_: a replica appends to its store from the
+  /// delivery callback, so stores must be destroyed after the replicas.
+  std::vector<std::unique_ptr<store::DurableZoneStore>> stores_;
   std::vector<std::unique_ptr<ReplicaNode>> replicas_;
   std::shared_ptr<threshold::ThresholdPublicKey> zone_pub_;
   std::optional<threshold::DealtKey> last_refresh_;

@@ -133,6 +133,12 @@ ClusterFiles generate_cluster(const std::string& dir, const ClusterOptions& opt)
         << "listen_dns = " << opt.dns_host << ":" << (opt.dns_base_port + i) << "\n"
         << "seed = " << (opt.seed + 1000 + i) << "\n";
     if (opt.shards != 1) cfg << "shards = " << opt.shards << "\n";
+    if (opt.durable) {
+      const std::string data_dir = dir + "/data" + suffix;
+      cfg << "data_dir = " << data_dir << "\n"
+          << "snapshot_log_bytes = " << opt.snapshot_log_bytes << "\n";
+      out.data_dirs.push_back(data_dir);
+    }
     if (opt.require_tsig) {
       cfg << "require_tsig = true\n"
           << "tsig_name = " << opt.tsig_name << "\n"

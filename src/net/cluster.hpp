@@ -29,6 +29,12 @@ struct ClusterOptions {
   std::string zone_text;  ///< master-file text; empty = a small default zone
   std::uint64_t seed = 1;
   unsigned shards = 1;  ///< frontend shards per replica (SO_REUSEPORT group)
+  /// Give each replica a durable zone store: config i gets
+  /// `data_dir = <dir>/data<i>`, so a respawned replica recovers from disk
+  /// before asking the peers for anything.
+  bool durable = false;
+  /// WAL snapshot threshold for durable replicas (bytes; 0 disables).
+  std::uint64_t snapshot_log_bytes = 4ull << 20;
 
   std::string dns_host = "127.0.0.1";
   std::uint16_t dns_base_port = 5300;   ///< replica i serves dns_base_port + i
@@ -38,6 +44,8 @@ struct ClusterOptions {
 struct ClusterFiles {
   std::vector<std::string> configs;  ///< per-replica sdnsd config paths
   std::vector<SockAddr> dns_addrs;   ///< client-facing endpoints
+  /// Per-replica durable-store directories; empty unless durable was set.
+  std::vector<std::string> data_dirs;
   std::string tsig_name;
   std::string tsig_secret_hex;
   crypto::RsaPublicKey zone_key;  ///< for client-side DNSSEC verification

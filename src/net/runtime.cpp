@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "dns/dnssec.hpp"
 #include "dns/message.hpp"
 
 #include "abcast/group.hpp"
@@ -106,6 +107,8 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
     else if (key == "zone_share") cfg.zone_share = value;
     else if (key == "mesh_secret") cfg.mesh_secret = value;
     else if (key == "listen_dns") cfg.listen_dns = SockAddr::parse(value);
+    else if (key == "data_dir") cfg.data_dir = value;
+    else if (key == "snapshot_log_bytes") cfg.snapshot_log_bytes = std::stoull(value);
     else if (key == "recover") cfg.recover = parse_bool(value, line);
     else if (key == "recover_delay") cfg.recover_delay = std::stod(value);
     else if (key == "complaint_timeout") cfg.complaint_timeout = std::stod(value);
@@ -197,6 +200,36 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
     injector_ = std::make_unique<FaultInjector>(std::move(iopt));
   }
 
+  // ---- durable zone store (WAL + signed snapshots) ----
+  if (!cfg_.data_dir.empty()) {
+    store::DurableZoneStore::Options sopt;
+    sopt.dir = cfg_.data_dir;
+    sopt.snapshot_log_bytes = cfg_.snapshot_log_bytes;
+    sopt.metrics = &registry_;
+    // A snapshot is self-certifying when the zone is threshold-signed: the
+    // embedded zone must carry the dealt zone key at its apex and verify in
+    // full under it. A snapshot that fails is treated as absent and
+    // recovery falls back to the network transfer.
+    const bool zone_signed =
+        zone.find(zone.origin(), dns::RRType::kKEY) != nullptr;
+    const crypto::RsaPublicKey dealt = zone_pub->rsa();
+    sopt.verify = [dealt, zone_signed](const store::ZoneState& s) {
+      try {
+        dns::Zone z = dns::Zone::from_wire(s.zone_wire);
+        if (!zone_signed) return true;
+        const dns::RRset* keys = z.find(z.origin(), dns::RRType::kKEY);
+        if (!keys || keys->rdatas.empty()) return false;
+        const crypto::RsaPublicKey pub = dns::zone_key_from_record(
+            dns::KeyRdata::decode(keys->rdatas.front()));
+        if (!(pub.n == dealt.n) || !(pub.e == dealt.e)) return false;
+        return dns::verify_zone(z).ok;
+      } catch (const util::ParseError&) {
+        return false;
+      }
+    };
+    store_ = std::make_unique<store::DurableZoneStore>(std::move(sopt));
+  }
+
   // ---- the untouched protocol stack, bound to the main loop ----
   // Constructed before the frontends: they stamp cache entries with the
   // replica's zone-generation counter. All replica callbacks run on the
@@ -214,6 +247,7 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
     loop_.add_timer(delay, std::move(fn));
   };
   cb.metrics = &registry_;
+  cb.store = store_.get();
   replica_ = std::make_unique<core::ReplicaNode>(
       rc, group, std::move(secret), zone_pub, std::move(share), std::move(zone), cb,
       util::Rng(seed, cfg_.id), cfg_.corruption);
@@ -240,6 +274,19 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
       loop_, mopt,
       [this](unsigned from, Bytes msg) { replica_->on_replica_message(from, msg); },
       util::Rng(seed, 0xFFFF'0000'0000'00AAULL));
+
+  // ---- disk-first recovery ----
+  // After the mesh exists (boot replay re-runs signing sessions, which
+  // broadcast shares; the mesh backlogs them until links come up) but
+  // before any client traffic. A subsequent --recover pass then only asks
+  // the peers whether the disk is behind — they ack "current" instead of
+  // shipping the zone when it is not.
+  if (store_ && store_->recovered().usable()) {
+    replica_->restore_from_store(store_->recovered());
+    registry_.counter("store.recoveries_from_disk").inc();
+    SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": state restored from ",
+                  cfg_.data_dir);
+  }
 }
 
 ReplicaRuntime::~ReplicaRuntime() {

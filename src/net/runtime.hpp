@@ -20,6 +20,7 @@
 #include "core/replica.hpp"
 #include "net/frontend.hpp"
 #include "net/mesh.hpp"
+#include "store/durable.hpp"
 
 namespace sdns::net {
 
@@ -44,6 +45,13 @@ struct RuntimeConfig {
 
   SockAddr listen_dns;                ///< UDP + TCP client-facing endpoint
   std::vector<SockAddr> mesh_peers;   ///< index = replica id (incl. self)
+
+  /// Durable zone store directory (WAL + signed snapshots). Empty = purely
+  /// in-memory; crash recovery then always needs a network state transfer.
+  std::string data_dir;
+  /// Snapshot (and truncate the WAL) once the log exceeds this many bytes;
+  /// 0 disables size-triggered snapshots.
+  std::uint64_t snapshot_log_bytes = 4ull << 20;
 
   bool recover = false;        ///< run snapshot recovery after boot (§4.3)
   double recover_delay = 1.0;  ///< let mesh links come up first
@@ -153,6 +161,9 @@ class ReplicaRuntime {
   /// Wire-level chaos injector; null unless fault_schedule/fault_wan is
   /// configured. Constructed before the transports that reference it.
   std::unique_ptr<FaultInjector> injector_;
+  /// Durable zone store; null unless data_dir is configured. Must outlive
+  /// replica_, which appends to it from the delivery callback.
+  std::unique_ptr<store::DurableZoneStore> store_;
   std::unique_ptr<core::ReplicaNode> replica_;
   std::vector<Shard> shards_;
   std::unique_ptr<Mesh> mesh_;

@@ -103,6 +103,7 @@ WireCluster::WireCluster(Options options) : opt_(options) {
   copt.t = opt_.t;
   copt.shards = opt_.shards;
   copt.seed = opt_.key_seed;
+  copt.durable = opt_.durable;
   copt.require_tsig = false;  // chaos workloads update without TSIG
   // Pid-spread ports in [52000, 64480) — disjoint from the cluster_test
   // range [20000, 52000) so parallel ctest runs never collide. The fixed
@@ -117,6 +118,13 @@ WireCluster::WireCluster(Options options) : opt_(options) {
 WireCluster::~WireCluster() {
   const std::string cleanup = "rm -rf '" + dir_ + "'";
   (void)std::system(cleanup.c_str());
+}
+
+void WireCluster::reset_data_dirs() const {
+  for (const std::string& d : files_.data_dirs) {
+    const std::string cleanup = "rm -rf '" + d + "'";
+    (void)std::system(cleanup.c_str());
+  }
 }
 
 pid_t spawn_wire_replica(const WireCluster& cluster, unsigned id,
@@ -152,6 +160,9 @@ core::ChaosReport run_wire_chaos(const WireCluster& cluster,
                                  const WireChaosOptions& opt) {
   const unsigned n = cluster.n();
   const ClusterFiles& files = cluster.files();
+  // Durable clusters: every seed starts from empty disks (respawns within
+  // THIS run then reuse whatever the killed replica had persisted).
+  cluster.reset_data_dirs();
 
   core::ChaosReport report;
   report.seed = opt.seed;

@@ -42,6 +42,10 @@ class WireCluster {
     unsigned t = 1;
     unsigned shards = 1;  ///< frontend shards per replica
     std::uint64_t key_seed = 42;
+    /// Per-replica durable stores (data_dir = <dir>/data<i>): a SIGKILLed
+    /// replica respawns over its own WAL + snapshots and recovers from
+    /// disk first instead of transferring the zone from the peers.
+    bool durable = false;
   };
 
   explicit WireCluster(Options options);
@@ -54,6 +58,11 @@ class WireCluster {
   const std::string& dir() const { return dir_; }
   unsigned n() const { return opt_.n; }
   unsigned t() const { return opt_.t; }
+  /// Wipe every replica's data directory. Clusters are reused across
+  /// seeds (the dealer step is per-cluster); each run starts from empty
+  /// disks so one seed's durable state never leaks into the next, while
+  /// kill/respawn WITHIN a run reuses the dirs — that is the point.
+  void reset_data_dirs() const;
 
  private:
   Options opt_;

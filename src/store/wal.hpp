@@ -1,0 +1,69 @@
+// Write-ahead log file: length-prefixed, checksummed, torn-tail tolerant.
+//
+// Layout:
+//   8-byte magic "SDNSWAL1"
+//   records:  u32 body_len | u64 fnv1a(body) | body
+//   body:     u64 seq | u8 kind (0 payload, 1 mark) | payload bytes
+//
+// All integers big-endian (util::Writer convention). The opening scan stops
+// at the first record whose header is short, whose body is short, or whose
+// checksum mismatches — that is exactly what a crash mid-append leaves
+// behind — and truncates the file back to the intact prefix so subsequent
+// appends extend valid data, never garbage. A corrupt *magic* means the
+// file is unusable as history; it is reset to an empty log (the caller's
+// recovery then proceeds without a tail).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "store/store.hpp"
+
+namespace sdns::store {
+
+class Wal {
+ public:
+  /// Open (creating if absent), scan, and truncate any torn tail. The
+  /// records that survived the scan are available via take_records().
+  /// Throws util::IoError on unrecoverable I/O failure.
+  explicit Wal(std::string path, obs::Registry* metrics = nullptr);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// The intact records found by the opening scan (destructive read).
+  std::vector<WalRecord> take_records() { return std::move(recovered_); }
+
+  /// Bytes of torn/corrupt tail the opening scan truncated (0 = clean).
+  std::uint64_t torn_bytes() const { return torn_bytes_; }
+
+  /// Append one record (buffered in the kernel; not yet durable).
+  void append(const WalRecord& rec);
+
+  /// fdatasync if anything was appended since the last sync. Returns true
+  /// when an fsync actually happened (for latency accounting).
+  bool sync();
+
+  /// Truncate back to an empty log (post-snapshot compaction) and fsync.
+  void reset();
+
+  /// Current log size in bytes (header included).
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t torn_bytes_ = 0;
+  bool dirty_ = false;
+  std::vector<WalRecord> recovered_;
+
+  obs::Counter* c_appends_;
+  obs::Counter* c_append_bytes_;
+  obs::Counter* c_syncs_;
+};
+
+}  // namespace sdns::store

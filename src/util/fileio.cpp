@@ -1,0 +1,133 @@
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sdns::util {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+int retry_open(const std::string& path, int flags, int mode) {
+  for (;;) {
+    const int fd = ::open(path.c_str(), flags | O_CLOEXEC, mode);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    throw_errno("open " + path);
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+void write_all(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void write_all(int fd, BytesView data) { write_all(fd, data.data(), data.size()); }
+
+std::size_t read_some(int fd, void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw_errno("read");
+  }
+}
+
+Bytes read_entire_file(const std::string& path) {
+  const int fd = retry_open(path, O_RDONLY);
+  Bytes out;
+  try {
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const std::size_t n = read_some(fd, buf, sizeof buf);
+      if (n == 0) break;
+      out.insert(out.end(), buf, buf + n);
+    }
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  close_fd(fd);
+  return out;
+}
+
+void fsync_fd(int fd) {
+  for (;;) {
+    if (::fsync(fd) == 0) return;
+    if (errno == EINTR) continue;
+    throw_errno("fsync");
+  }
+}
+
+void fdatasync_fd(int fd) {
+  for (;;) {
+    if (::fdatasync(fd) == 0) return;
+    if (errno == EINTR) continue;
+    throw_errno("fdatasync");
+  }
+}
+
+void rename_file(const std::string& from, const std::string& to) {
+  for (;;) {
+    if (::rename(from.c_str(), to.c_str()) == 0) return;
+    if (errno == EINTR) continue;
+    throw_errno("rename " + from + " -> " + to);
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = retry_open(dir, O_RDONLY | O_DIRECTORY);
+  try {
+    fsync_fd(fd);
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  close_fd(fd);
+}
+
+void truncate_fd(int fd, std::uint64_t len) {
+  for (;;) {
+    if (::ftruncate(fd, static_cast<off_t>(len)) == 0) return;
+    if (errno == EINTR) continue;
+    throw_errno("ftruncate");
+  }
+}
+
+std::uint64_t file_size(int fd) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) throw_errno("fstat");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+bool ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return true;
+  if (errno == EEXIST) return false;
+  throw_errno("mkdir " + path);
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return;
+  throw_errno("unlink " + path);
+}
+
+}  // namespace sdns::util

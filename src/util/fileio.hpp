@@ -1,0 +1,74 @@
+// EINTR-safe file-I/O wrappers — the disk twin of net/socket's syscall
+// wrappers. A signal landing mid-call (the SIGUSR1 trace dump, a profiler
+// tick) must never look like an I/O failure, so every wrapper retries EINTR
+// and nothing else.
+//
+// The one deliberate asymmetry: a failed fsync/fdatasync is NOT retried.
+// After a failed fsync the kernel may have already dropped the dirty pages
+// whose writeback failed, so a second fsync that returns success proves
+// nothing about the first attempt's data (the "fsyncgate" lesson). The
+// wrappers throw IoError once and the durable store treats that as fatal —
+// a store that cannot make an acknowledged update durable must stop
+// acknowledging updates, not loop until the error goes away.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace sdns::util {
+
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// open(2), EINTR retried. Returns the fd; throws IoError on failure.
+int retry_open(const std::string& path, int flags, int mode = 0644);
+
+/// close(2); EINTR is NOT retried (POSIX leaves the fd state unspecified,
+/// and retrying can close an fd another thread just received). Errors are
+/// swallowed — close is used on cleanup paths where throwing would mask the
+/// original error.
+void close_fd(int fd) noexcept;
+
+/// Write the entire buffer: short writes continue, EINTR retries. Throws
+/// IoError if the kernel refuses bytes for any other reason.
+void write_all(int fd, const void* buf, std::size_t len);
+void write_all(int fd, BytesView data);
+
+/// Read up to `len` bytes (EINTR retried). Returns the count; 0 means EOF.
+std::size_t read_some(int fd, void* buf, std::size_t len);
+
+/// Read the whole file. Throws IoError if the file cannot be opened or read.
+Bytes read_entire_file(const std::string& path);
+
+/// fsync(2)/fdatasync(2), EINTR retried. Any other failure throws IoError
+/// and must be treated as fatal — see the header comment; never call these
+/// again on the same fd after a failure and assume the data survived.
+void fsync_fd(int fd);
+void fdatasync_fd(int fd);
+
+/// rename(2), EINTR retried; throws IoError on failure. Atomic within a
+/// filesystem — the visibility primitive for snapshot installation.
+void rename_file(const std::string& from, const std::string& to);
+
+/// Open `dir` read-only and fsync it: makes a preceding rename_file (the
+/// directory entry itself) durable. Throws IoError.
+void fsync_dir(const std::string& dir);
+
+/// ftruncate(2), EINTR retried; throws IoError.
+void truncate_fd(int fd, std::uint64_t len);
+
+/// Size of an open file via fstat(2); throws IoError.
+std::uint64_t file_size(int fd);
+
+/// mkdir(2); existing directory is success. Throws IoError on any other
+/// failure. Returns true when the directory was created by this call.
+bool ensure_dir(const std::string& path);
+
+/// unlink(2); a missing file is success (idempotent cleanup).
+void remove_file(const std::string& path);
+
+}  // namespace sdns::util

@@ -18,9 +18,16 @@
 #include "net/wirechaos.hpp"
 
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "net/loadgen.hpp"
 #include "net/resolver.hpp"
@@ -85,6 +92,196 @@ TEST_F(WireChaosTest, Figure1WanLatencyKeepsOptimisticPath) {
   opt.schedule = sim::FaultSchedule{};  // no faults: fallback-free is checked
   opt.wan = "internet-4";               // paper Figure 1 one-way latencies
   run_and_expect_clean(opt);
+}
+
+TEST_F(WireChaosTest, DurableCrashRecoverCampaignStaysClean) {
+  // The seeded crash campaign, but over durable replicas: the SIGKILLed
+  // process respawns onto its own WAL + snapshots and the PR-2 invariants
+  // (including chain-digest agreement, which exercises the replayed
+  // delivery log byte-for-byte) must stay green.
+  WireChaosOptions opt = base_options();
+  opt.seed = 1002;
+  sim::FaultSchedule schedule;
+  schedule.faults.push_back(
+      make_fault(sim::FaultKind::kCrash, 0.5, 2.0, /*a=*/1));
+  opt.schedule = schedule;
+
+  WireCluster::Options copt;
+  copt.durable = true;
+  WireCluster cluster(copt);
+  ASSERT_EQ(cluster.files().data_dirs.size(), cluster.n());
+  const core::ChaosReport report = run_wire_chaos(cluster, opt);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.ops_attempted, 0u);
+}
+
+// ---- disk-first recovery over the wire -------------------------------------
+
+StubResolver durable_resolver(const ClusterFiles& files, unsigned id,
+                              double timeout, unsigned attempts) {
+  StubResolver::Options opt;
+  opt.servers = {files.dns_addrs[id]};
+  opt.timeout = timeout;
+  opt.attempts = attempts;
+  return StubResolver(opt);
+}
+
+/// stats.sdns. CH TXT scrape into name=value pairs; empty map on failure.
+std::map<std::string, std::uint64_t> durable_scrape(const ClusterFiles& files,
+                                                    unsigned id) {
+  StubResolver r = durable_resolver(files, id, /*timeout=*/0.8, /*attempts=*/2);
+  const auto res = r.query(dns::Name::parse("stats.sdns."), dns::RRType::kTXT,
+                           dns::RRClass::kCH);
+  std::map<std::string, std::uint64_t> out;
+  if (!res.ok) return out;
+  for (const auto& rr : res.response.answers) {
+    if (rr.rdata.empty()) continue;
+    const std::size_t len =
+        std::min<std::size_t>(rr.rdata[0], rr.rdata.size() - 1);
+    const std::string txt(rr.rdata.begin() + 1, rr.rdata.begin() + 1 + len);
+    const auto eq = txt.find('=');
+    if (eq == std::string::npos) continue;
+    out[txt.substr(0, eq)] = std::strtoull(txt.c_str() + eq + 1, nullptr, 10);
+  }
+  return out;
+}
+
+StubResolver::Result durable_add_record(const ClusterFiles& files, unsigned via,
+                                        const std::string& name,
+                                        const std::string& addr) {
+  dns::Message update;
+  update.opcode = dns::Opcode::kUpdate;
+  update.questions.push_back(
+      {dns::Name::parse("example.com."), dns::RRType::kSOA, dns::RRClass::kIN});
+  dns::ResourceRecord rr;
+  rr.name = dns::Name::parse(name);
+  rr.type = dns::RRType::kA;
+  rr.ttl = 300;
+  rr.rdata = dns::ARdata::from_text(addr).encode();
+  update.updates().push_back(rr);
+  StubResolver r = durable_resolver(files, via, /*timeout=*/2.0, /*attempts=*/8);
+  return r.send_update(std::move(update));
+}
+
+/// Poll `pred` against one replica's scrape until it holds or ~deadline
+/// seconds elapse. Returns the last scrape either way.
+std::map<std::string, std::uint64_t> durable_poll(
+    const ClusterFiles& files, unsigned id, double deadline,
+    const std::function<bool(const std::map<std::string, std::uint64_t>&)>&
+        pred) {
+  const double until = monotonic_now() + deadline;
+  std::map<std::string, std::uint64_t> last;
+  for (;;) {
+    last = durable_scrape(files, id);
+    if (pred(last)) return last;
+    if (monotonic_now() >= until) return last;
+    ::usleep(100000);
+  }
+}
+
+TEST(DurableWireRecovery, SigkilledReplicaRebootsFromDiskWithoutTransfer) {
+  // The acceptance scenario end to end on real sockets: a durable replica
+  // is SIGKILLed, respawned over its data directory, and must come back via
+  // disk-first recovery — store.recoveries_from_disk moves, while
+  // replica.recoveries (full network transfers) stays zero because the
+  // cursor-hint pass makes the peers ack "current" instead of shipping the
+  // zone. Scraped through the same CH TXT endpoint CI uses.
+  WireCluster::Options copt;
+  copt.durable = true;
+  WireCluster cluster(copt);
+  const ClusterFiles& files = cluster.files();
+  ASSERT_EQ(files.data_dirs.size(), cluster.n());
+
+  std::vector<pid_t> pids(cluster.n(), -1);
+  const WireReplicaConfig rc;
+  for (unsigned i = 0; i < cluster.n(); ++i) {
+    pids[i] = spawn_wire_replica(cluster, i, rc);
+    ASSERT_GT(pids[i], 0);
+  }
+  const auto reap_all = [&] {
+    for (unsigned i = 0; i < cluster.n(); ++i) {
+      if (pids[i] > 0) ::kill(pids[i], SIGTERM);
+    }
+    for (unsigned i = 0; i < cluster.n(); ++i) {
+      if (pids[i] > 0) ::waitpid(pids[i], nullptr, 0);
+    }
+  };
+
+  // Every replica serving.
+  for (unsigned i = 0; i < cluster.n(); ++i) {
+    StubResolver probe = durable_resolver(files, i, 0.5, 30);
+    const auto res =
+        probe.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+    if (!res.ok) {
+      reap_all();
+      FAIL() << "replica " << i << " never served: " << res.error;
+    }
+  }
+
+  // One committed update, delivered (and therefore WAL-fsynced) everywhere.
+  const auto upd =
+      durable_add_record(files, 0, "durable.example.com.", "10.9.9.9");
+  if (!upd.ok) {
+    reap_all();
+    FAIL() << "update failed: " << upd.error;
+  }
+  for (unsigned i = 0; i < cluster.n(); ++i) {
+    const auto stats = durable_poll(files, i, 8.0, [](const auto& s) {
+      const auto it = s.find("replica.updates");
+      return it != s.end() && it->second >= 1;
+    });
+    const auto it = stats.find("replica.updates");
+    if (it == stats.end() || it->second < 1) {
+      reap_all();
+      FAIL() << "replica " << i << " never executed the update";
+    }
+  }
+
+  // SIGKILL replica 1 mid-life and respawn it over the same data dir.
+  ::kill(pids[1], SIGKILL);
+  ::waitpid(pids[1], nullptr, 0);
+  WireReplicaConfig rc2;
+  rc2.recover = true;  // crash-recover path: the respawn asks the peers too
+  rc2.recover_delay = 0.3;
+  pids[1] = spawn_wire_replica(cluster, 1, rc2);
+  ASSERT_GT(pids[1], 0);
+
+  const auto stats = durable_poll(files, 1, 10.0, [](const auto& s) {
+    const auto disk = s.find("store.recoveries_from_disk");
+    const auto rec = s.find("replica.recovering");
+    const auto settled = s.find("replica.recovery_standdowns");
+    return disk != s.end() && disk->second >= 1 &&  //
+           rec != s.end() && rec->second == 0 &&    //
+           settled != s.end() && settled->second >= 1;
+  });
+  EXPECT_GE(stats.at("store.recoveries_from_disk"), 1u);
+  EXPECT_EQ(stats.at("replica.recovering"), 0u);
+  // Disk-first means no full zone transfer: the recovery pass stood down.
+  EXPECT_EQ(stats.at("replica.recoveries"), 0u);
+  EXPECT_GE(stats.at("replica.recovery_standdowns"), 1u);
+
+  // The pre-kill record is served from the respawned replica's own state.
+  StubResolver r1 = durable_resolver(files, 1, 0.5, 20);
+  const auto res =
+      r1.query(dns::Name::parse("durable.example.com."), dns::RRType::kA);
+  EXPECT_TRUE(res.ok) << res.error;
+  if (res.ok) {
+    EXPECT_FALSE(res.response.answers.empty());
+  }
+
+  // And the restored replica keeps executing: a post-restart update lands.
+  const auto upd2 =
+      durable_add_record(files, 0, "after-kill.example.com.", "10.9.9.10");
+  EXPECT_TRUE(upd2.ok) << upd2.error;
+  const auto after = durable_poll(files, 1, 8.0, [](const auto& s) {
+    const auto it = s.find("replica.updates");
+    return it != s.end() && it->second >= 2;
+  });
+  const auto it = after.find("replica.updates");
+  EXPECT_TRUE(it != after.end() && it->second >= 2)
+      << "post-restart update never reached the respawned replica";
+
+  reap_all();
 }
 
 TEST(LoadgenUnderLoss, EveryQueryAccountedForAndNoDuplicateInflation) {

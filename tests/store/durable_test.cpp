@@ -1,0 +1,435 @@
+// DurableZoneStore: snapshot round trips, threshold compaction, the
+// rejection ladder (checksum, verifier), crash-shaped disk states (stale
+// pre-snapshot WAL, gapped tails), and a forked SIGKILL-mid-commit harness
+// asserting the write-ahead invariant — every sync()-acknowledged record
+// survives the kill.
+#include "store/durable.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/fileio.hpp"
+
+namespace sdns::store {
+namespace {
+
+using util::Bytes;
+using util::BytesView;
+
+class DurableStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/sdns_store_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cleanup = "rm -rf '" + dir_ + "'";
+    (void)std::system(cleanup.c_str());
+  }
+
+  static DurableZoneStore::Options options(const std::string& dir) {
+    DurableZoneStore::Options opt;
+    opt.dir = dir;
+    opt.fatal_io_errors = false;  // tests want IoError, not abort
+    return opt;
+  }
+
+  static ZoneState make_state(std::uint64_t cursor) {
+    ZoneState s;
+    s.abcast_cursor = cursor;
+    s.deliveries = cursor ? cursor - 1 : 0;
+    s.update_counter = cursor * 2;
+    s.zone_generation = cursor + 7;
+    // Deterministic function of the cursor, so recovery tests can detect a
+    // snapshot paired with the wrong counters.
+    s.zone_wire.assign(16 + cursor % 5, static_cast<std::uint8_t>(0x30 + cursor));
+    return s;
+  }
+
+  static Bytes payload_for(std::uint64_t seq) {
+    return Bytes(4 + seq % 3, static_cast<std::uint8_t>(seq + 1));
+  }
+
+  static void append_seqs(DurableZoneStore& store, std::uint64_t from,
+                          std::uint64_t to) {
+    for (std::uint64_t seq = from; seq < to; ++seq) {
+      const Bytes p = payload_for(seq);
+      store.append(seq, BytesView(p), /*mark=*/seq % 4 == 3);
+    }
+    store.sync();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableStoreTest, FreshDirectoryRecoversNothing) {
+  DurableZoneStore store(options(dir_));
+  EXPECT_FALSE(store.recovered().usable());
+  EXPECT_FALSE(store.recovered().snapshot.has_value());
+  EXPECT_TRUE(store.recovered().tail.empty());
+}
+
+TEST_F(DurableStoreTest, SnapshotRoundTripsEveryField) {
+  {
+    DurableZoneStore store(options(dir_));
+    store.checkpoint([] { return make_state(5); });
+    EXPECT_EQ(store.snapshots_written(), 1u);
+  }
+  DurableZoneStore store(options(dir_));
+  ASSERT_TRUE(store.recovered().snapshot.has_value());
+  const ZoneState& s = *store.recovered().snapshot;
+  const ZoneState want = make_state(5);
+  EXPECT_EQ(s.abcast_cursor, want.abcast_cursor);
+  EXPECT_EQ(s.deliveries, want.deliveries);
+  EXPECT_EQ(s.update_counter, want.update_counter);
+  EXPECT_EQ(s.zone_generation, want.zone_generation);
+  EXPECT_EQ(s.zone_wire, want.zone_wire);
+  EXPECT_TRUE(store.recovered().tail.empty());
+}
+
+TEST_F(DurableStoreTest, WalTailOnlyRecoveryFromSequenceZero) {
+  {
+    DurableZoneStore store(options(dir_));
+    append_seqs(store, 0, 6);
+  }
+  DurableZoneStore store(options(dir_));
+  EXPECT_FALSE(store.recovered().snapshot.has_value());
+  const auto& tail = store.recovered().tail;
+  ASSERT_EQ(tail.size(), 6u);
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    EXPECT_EQ(tail[seq].seq, seq);
+    EXPECT_EQ(tail[seq].mark, seq % 4 == 3);
+    EXPECT_EQ(tail[seq].payload, payload_for(seq));
+  }
+}
+
+TEST_F(DurableStoreTest, SnapshotPlusTailRecoversBoth) {
+  {
+    DurableZoneStore store(options(dir_));
+    append_seqs(store, 0, 3);
+    store.checkpoint([] { return make_state(3); });  // compacts the log
+    append_seqs(store, 3, 6);
+  }
+  DurableZoneStore store(options(dir_));
+  ASSERT_TRUE(store.recovered().snapshot.has_value());
+  EXPECT_EQ(store.recovered().snapshot->abcast_cursor, 3u);
+  const auto& tail = store.recovered().tail;
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.front().seq, 3u);
+  EXPECT_EQ(tail.back().seq, 5u);
+}
+
+TEST_F(DurableStoreTest, MaybeSnapshotHonorsLogBytesThreshold) {
+  DurableZoneStore::Options opt = options(dir_);
+  opt.snapshot_log_bytes = 256;
+  DurableZoneStore store(opt);
+
+  bool asked = false;
+  const auto state = [&] {
+    asked = true;
+    return make_state(1);
+  };
+  store.maybe_snapshot(state);  // log below threshold: no state() call
+  EXPECT_FALSE(asked);
+  EXPECT_EQ(store.snapshots_written(), 0u);
+
+  std::uint64_t seq = 0;
+  while (store.wal_bytes() < opt.snapshot_log_bytes) {
+    const Bytes p = payload_for(seq);
+    store.append(seq++, BytesView(p), false);
+  }
+  store.sync();
+  store.maybe_snapshot(state);
+  EXPECT_TRUE(asked);
+  EXPECT_EQ(store.snapshots_written(), 1u);
+  EXPECT_LT(store.wal_bytes(), opt.snapshot_log_bytes);  // log compacted
+}
+
+TEST_F(DurableStoreTest, ZeroThresholdDisablesSizeTriggeredSnapshots) {
+  DurableZoneStore::Options opt = options(dir_);
+  opt.snapshot_log_bytes = 0;
+  DurableZoneStore store(opt);
+  append_seqs(store, 0, 50);
+  store.maybe_snapshot([] {
+    ADD_FAILURE() << "state() must not be called when disabled";
+    return make_state(0);
+  });
+  EXPECT_EQ(store.snapshots_written(), 0u);
+  store.checkpoint([] { return make_state(50); });  // explicit still works
+  EXPECT_EQ(store.snapshots_written(), 1u);
+}
+
+TEST_F(DurableStoreTest, CorruptSnapshotChecksumIsRejected) {
+  {
+    DurableZoneStore store(options(dir_));
+    store.checkpoint([] { return make_state(4); });
+  }
+  // Flip one byte in the zone payload region; the trailing FNV checksum
+  // catches it and recovery proceeds as if the disk held no snapshot.
+  Bytes raw = util::read_entire_file(dir_ + "/snapshot.bin");
+  raw[raw.size() / 2] ^= 0x01;
+  {
+    const int fd = util::retry_open(dir_ + "/snapshot.bin", O_WRONLY | O_TRUNC);
+    util::write_all(fd, BytesView(raw));
+    util::close_fd(fd);
+  }
+  obs::Registry reg;
+  DurableZoneStore::Options opt = options(dir_);
+  opt.metrics = &reg;
+  DurableZoneStore store(opt);
+  EXPECT_FALSE(store.recovered().snapshot.has_value());
+  EXPECT_FALSE(store.recovered().usable());
+  EXPECT_EQ(reg.counter_value("store.snapshot_rejects"), 1u);
+}
+
+TEST_F(DurableStoreTest, TruncatedSnapshotIsRejected) {
+  {
+    DurableZoneStore store(options(dir_));
+    store.checkpoint([] { return make_state(4); });
+  }
+  const Bytes raw = util::read_entire_file(dir_ + "/snapshot.bin");
+  // A handful of torn prefixes, including a cut inside the checksum.
+  for (const std::size_t keep :
+       {std::size_t{1}, std::size_t{8}, raw.size() / 2, raw.size() - 3}) {
+    const int fd = util::retry_open(dir_ + "/snapshot.bin", O_WRONLY | O_TRUNC);
+    util::write_all(fd, BytesView(raw.data(), keep));
+    util::close_fd(fd);
+    DurableZoneStore store(options(dir_));
+    EXPECT_FALSE(store.recovered().snapshot.has_value()) << "keep=" << keep;
+  }
+}
+
+TEST_F(DurableStoreTest, VerifierRejectionDiscardsSnapshot) {
+  {
+    DurableZoneStore store(options(dir_));
+    store.checkpoint([] { return make_state(4); });
+  }
+  obs::Registry reg;
+  DurableZoneStore::Options opt = options(dir_);
+  opt.metrics = &reg;
+  opt.verify = [](const ZoneState&) { return false; };
+  DurableZoneStore store(opt);
+  EXPECT_FALSE(store.recovered().snapshot.has_value());
+  EXPECT_EQ(reg.counter_value("store.snapshot_rejects"), 1u);
+}
+
+TEST_F(DurableStoreTest, VerifierSeesTheDecodedState) {
+  {
+    DurableZoneStore store(options(dir_));
+    store.checkpoint([] { return make_state(9); });
+  }
+  DurableZoneStore::Options opt = options(dir_);
+  bool called = false;
+  opt.verify = [&](const ZoneState& s) {
+    called = true;
+    EXPECT_EQ(s.abcast_cursor, 9u);
+    EXPECT_EQ(s.zone_wire, make_state(9).zone_wire);
+    return true;
+  };
+  DurableZoneStore store(opt);
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(store.recovered().snapshot.has_value());
+}
+
+TEST_F(DurableStoreTest, StaleWalRecordsBelowSnapshotCursorAreSkipped) {
+  // Crash between snapshot rename and WAL reset: the snapshot is durable
+  // but the log still holds the records it superseded. Reconstruct that
+  // exact disk state by saving the log, snapshotting, and putting the old
+  // log back.
+  Bytes stale_log;
+  {
+    DurableZoneStore store(options(dir_));
+    append_seqs(store, 0, 6);
+    stale_log = util::read_entire_file(dir_ + "/wal.log");
+    store.checkpoint([] { return make_state(3); });
+  }
+  {
+    const int fd = util::retry_open(dir_ + "/wal.log", O_WRONLY | O_TRUNC);
+    util::write_all(fd, BytesView(stale_log));
+    util::close_fd(fd);
+  }
+  DurableZoneStore store(options(dir_));
+  ASSERT_TRUE(store.recovered().snapshot.has_value());
+  EXPECT_EQ(store.recovered().snapshot->abcast_cursor, 3u);
+  const auto& tail = store.recovered().tail;
+  ASSERT_EQ(tail.size(), 3u);  // 0..2 skipped, 3..5 replayable
+  EXPECT_EQ(tail.front().seq, 3u);
+  EXPECT_EQ(tail.back().seq, 5u);
+}
+
+TEST_F(DurableStoreTest, GappedTailIsDroppedAtTheGap) {
+  {
+    Wal wal(dir_ + "/wal.log");
+    for (const std::uint64_t seq : {0u, 1u, 3u, 4u}) {  // 2 is missing
+      WalRecord rec;
+      rec.seq = seq;
+      rec.payload = payload_for(seq);
+      wal.append(rec);
+    }
+    wal.sync();
+  }
+  DurableZoneStore store(options(dir_));
+  const auto& tail = store.recovered().tail;
+  ASSERT_EQ(tail.size(), 2u);  // nothing beyond the gap is replayable
+  EXPECT_EQ(tail[0].seq, 0u);
+  EXPECT_EQ(tail[1].seq, 1u);
+}
+
+TEST_F(DurableStoreTest, TailNotStartingAtSnapshotCursorIsDropped) {
+  {
+    DurableZoneStore store(options(dir_));
+    store.checkpoint([] { return make_state(3); });
+  }
+  {
+    Wal wal(dir_ + "/wal.log");
+    WalRecord rec;
+    rec.seq = 5;  // base is 3: records 3 and 4 are missing
+    rec.payload = payload_for(5);
+    wal.append(rec);
+    wal.sync();
+  }
+  DurableZoneStore store(options(dir_));
+  ASSERT_TRUE(store.recovered().snapshot.has_value());
+  EXPECT_TRUE(store.recovered().tail.empty());
+}
+
+TEST_F(DurableStoreTest, IoErrorSurfacesWhenNotFatal) {
+  DurableZoneStore store(options(dir_));
+  append_seqs(store, 0, 2);
+  // Yank the directory out from under the store: the snapshot temp file
+  // cannot be created, and with fatal_io_errors=false the failure must
+  // surface as util::IoError instead of aborting the process.
+  const std::string cleanup = "rm -rf '" + dir_ + "'";
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+  EXPECT_THROW(store.checkpoint([] { return make_state(2); }), util::IoError);
+}
+
+TEST_F(DurableStoreTest, ReopenCountsReplayAndTornBytes) {
+  {
+    DurableZoneStore store(options(dir_));
+    append_seqs(store, 0, 4);
+  }
+  // Tear the final record so the reopen has both replayed and torn bytes.
+  const int fd = util::retry_open(dir_ + "/wal.log", O_RDWR);
+  const std::uint64_t size = util::file_size(fd);
+  util::truncate_fd(fd, size - 1);
+  util::close_fd(fd);
+
+  obs::Registry reg;
+  DurableZoneStore::Options opt = options(dir_);
+  opt.metrics = &reg;
+  DurableZoneStore store(opt);
+  EXPECT_EQ(store.recovered().tail.size(), 3u);
+  EXPECT_EQ(reg.counter_value("store.wal_replayed"), 3u);
+  EXPECT_GT(reg.counter_value("store.wal_torn_bytes"), 0u);
+  // The scrape names asserted by CI exist from the first scrape onward.
+  EXPECT_EQ(reg.counter_value("store.recoveries_from_disk"), 0u);
+}
+
+// ---- SIGKILL-mid-commit harness -------------------------------------------
+//
+// The child appends and group-commits records as fast as it can, reporting
+// each sync()-acknowledged sequence to the parent over a pipe, and takes
+// size-triggered snapshots along the way. The parent kills it with SIGKILL
+// at an arbitrary moment and then recovers the directory, asserting the
+// write-ahead invariant: every acknowledged record is either in the
+// snapshot's history or in the replayable tail — a torn unacknowledged
+// record at the end is the only permissible loss.
+
+void run_commit_child(const std::string& dir, int report_fd) {
+  DurableZoneStore::Options opt;
+  opt.dir = dir;
+  opt.snapshot_log_bytes = 2048;  // force several compactions per run
+  opt.fatal_io_errors = true;     // the deployment configuration
+  DurableZoneStore store(opt);
+  for (std::uint64_t seq = 0; seq < 100000; ++seq) {
+    const Bytes p = Bytes(16 + seq % 32, static_cast<std::uint8_t>(seq));
+    store.append(seq, BytesView(p), false);
+    store.sync();
+    // Acknowledge: after this write the parent may treat seq as durable.
+    const std::uint64_t acked = seq;
+    if (::write(report_fd, &acked, sizeof acked) != sizeof acked) std::_Exit(3);
+    const std::uint64_t next = seq + 1;
+    store.maybe_snapshot([next] {
+      ZoneState s;
+      s.abcast_cursor = next;
+      s.zone_wire.assign(32, static_cast<std::uint8_t>(next));
+      return s;
+    });
+  }
+  std::_Exit(0);
+}
+
+TEST_F(DurableStoreTest, SigkillMidCommitNeverLosesAcknowledgedRecords) {
+  for (int round = 0; round < 4; ++round) {
+    const std::string dir = dir_ + "/kill" + std::to_string(round);
+    int pipefd[2];
+    ASSERT_EQ(::pipe(pipefd), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      run_commit_child(dir, pipefd[1]);  // never returns
+    }
+    ::close(pipefd[1]);
+
+    // Let the child commit for a while, tracking the last acked sequence,
+    // then kill it mid-stride. Different rounds land the kill at different
+    // points of the append/sync/snapshot cycle.
+    std::uint64_t acked = 0;
+    bool any = false;
+    const int target = 50 + round * 40;
+    std::uint64_t v = 0;
+    for (int got = 0; got < target; ++got) {
+      if (::read(pipefd[0], &v, sizeof v) != sizeof v) break;
+      acked = v;
+      any = true;
+    }
+    ::kill(pid, SIGKILL);
+    // Drain acks raced in before the kill landed; they count as durable.
+    while (::read(pipefd[0], &v, sizeof v) == sizeof v) acked = v;
+    ::close(pipefd[0]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+    ASSERT_TRUE(any);
+
+    // Recover exactly as a restarting replica would.
+    DurableZoneStore::Options opt;
+    opt.dir = dir;
+    opt.fatal_io_errors = false;
+    opt.verify = [](const ZoneState& s) {
+      // The child's snapshots encode their cursor in the zone bytes; a
+      // snapshot paired with the wrong zone would be a torn write.
+      return s.zone_wire ==
+             Bytes(32, static_cast<std::uint8_t>(s.abcast_cursor));
+    };
+    DurableZoneStore store(opt);
+    const auto& rec = store.recovered();
+    const std::uint64_t base =
+        rec.snapshot ? rec.snapshot->abcast_cursor : 0;
+    std::uint64_t expect = base;
+    for (const WalRecord& r : rec.tail) {
+      EXPECT_EQ(r.seq, expect) << "round " << round;
+      EXPECT_EQ(r.payload,
+                Bytes(16 + r.seq % 32, static_cast<std::uint8_t>(r.seq)))
+          << "round " << round;
+      ++expect;
+    }
+    // The write-ahead invariant: coverage reaches every acked sequence.
+    EXPECT_GE(expect, acked + 1)
+        << "round " << round << ": acked " << acked << " but disk covers only ["
+        << base << ", " << expect << ")";
+  }
+}
+
+}  // namespace
+}  // namespace sdns::store

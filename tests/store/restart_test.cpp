@@ -1,0 +1,169 @@
+// Disk-first cold restart on the simulated testbed: a whole cluster shuts
+// down and a second ReplicatedService boots over the same data directories.
+// Every replica must restore from its own WAL + snapshot (no network state
+// transfer), replay the logged updates cooperatively (the threshold signing
+// sessions re-run across the cluster), and come back serving the exact
+// signed zone it acknowledged before the shutdown.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/service.hpp"
+#include "dns/dnssec.hpp"
+
+namespace sdns::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+constexpr const char* kZoneText = R"(
+@     IN SOA ns1.dur.example. hostmaster.dur.example. 100 7200 1200 604800 600
+@     IN NS  ns1.dur.example.
+ns1   IN A   192.0.2.53
+www   IN A   192.0.2.80
+)";
+
+const Name kOrigin = Name::parse("dur.example.");
+
+class DurableRestartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/sdns_restart_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cleanup = "rm -rf '" + dir_ + "'";
+    (void)std::system(cleanup.c_str());
+  }
+
+  ServiceOptions durable_options(unsigned n = 4) {
+    ServiceOptions opt;
+    opt.topology = sim::Topology::kLan4;
+    for (unsigned i = 0; i < n; ++i) {
+      opt.data_dirs.push_back(dir_ + "/data" + std::to_string(i));
+    }
+    return opt;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableRestartTest, ColdRestartReplaysWalWithoutNetworkTransfer) {
+  const ServiceOptions opt = durable_options();
+  std::string zone_before;
+  {
+    ReplicatedService svc(opt, kOrigin, kZoneText);
+    ASSERT_TRUE(svc.add_record(Name::parse("a.dur.example."), "10.0.0.1").ok);
+    ASSERT_TRUE(svc.add_record(Name::parse("b.dur.example."), "10.0.0.2").ok);
+    ASSERT_TRUE(svc.delete_record(Name::parse("www.dur.example.")).ok);
+    svc.settle();
+    zone_before = svc.replica(0).server().zone().to_text();
+  }
+
+  // Same directories, fresh processes (the dealer's material re-derives
+  // deterministically from the seed — as if each sdnsd re-read its config).
+  ReplicatedService svc(opt, kOrigin, kZoneText);
+  for (unsigned i = 0; i < svc.n(); ++i) {
+    ASSERT_NE(svc.store(i), nullptr);
+    EXPECT_TRUE(svc.store(i)->recovered().usable()) << "replica " << i;
+  }
+  svc.settle();  // the replayed signing sessions complete cooperatively
+
+  for (unsigned i = 0; i < svc.n(); ++i) {
+    EXPECT_FALSE(svc.replica(i).recovering()) << "replica " << i;
+    // Disk-first means disk ONLY: nobody fell back to network transfer.
+    EXPECT_EQ(svc.replica(i).recoveries_completed(), 0u) << "replica " << i;
+    EXPECT_EQ(svc.replica(i).server().zone().to_text(), zone_before)
+        << "replica " << i;
+  }
+  const auto verify = dns::verify_zone(svc.replica(0).server().zone());
+  EXPECT_TRUE(verify.ok) << verify.first_error;
+
+  // The restored cluster still serves and still updates.
+  EXPECT_TRUE(svc.query(Name::parse("a.dur.example."), RRType::kA).ok);
+  ASSERT_TRUE(svc.add_record(Name::parse("c.dur.example."), "10.0.0.3").ok);
+  svc.settle();
+  for (unsigned i = 0; i < svc.n(); ++i) {
+    EXPECT_NE(
+        svc.replica(i).server().zone().find(Name::parse("c.dur.example."),
+                                            RRType::kA),
+        nullptr)
+        << "replica " << i;
+  }
+}
+
+TEST_F(DurableRestartTest, RestartFromSnapshotAfterCompaction) {
+  ServiceOptions opt = durable_options();
+  opt.snapshot_log_bytes = 1;  // compact whenever the replica goes idle
+  std::string zone_before;
+  {
+    ReplicatedService svc(opt, kOrigin, kZoneText);
+    ASSERT_TRUE(svc.add_record(Name::parse("s1.dur.example."), "10.0.1.1").ok);
+    ASSERT_TRUE(svc.add_record(Name::parse("s2.dur.example."), "10.0.1.2").ok);
+    svc.settle();
+    zone_before = svc.replica(0).server().zone().to_text();
+    for (unsigned i = 0; i < svc.n(); ++i) {
+      EXPECT_GT(svc.store(i)->snapshots_written(), 0u) << "replica " << i;
+    }
+  }
+
+  ReplicatedService svc(opt, kOrigin, kZoneText);
+  for (unsigned i = 0; i < svc.n(); ++i) {
+    ASSERT_TRUE(svc.store(i)->recovered().snapshot.has_value())
+        << "replica " << i;
+    // The snapshot's embedded zone passed the threshold-signature verifier
+    // (the service installs the same verifier as the deployed runtime).
+    EXPECT_TRUE(svc.store(i)->recovered().usable());
+  }
+  svc.settle();
+  for (unsigned i = 0; i < svc.n(); ++i) {
+    EXPECT_EQ(svc.replica(i).recoveries_completed(), 0u);
+    EXPECT_EQ(svc.replica(i).server().zone().to_text(), zone_before);
+  }
+
+  // Serve a read for a record that only exists via the restored state.
+  const auto res = svc.query(Name::parse("s2.dur.example."), RRType::kA);
+  EXPECT_TRUE(res.ok);
+}
+
+TEST_F(DurableRestartTest, TamperedSnapshotFallsBackToNetworkTransfer) {
+  ServiceOptions opt = durable_options();
+  opt.snapshot_log_bytes = 1;
+  {
+    ReplicatedService svc(opt, kOrigin, kZoneText);
+    ASSERT_TRUE(svc.add_record(Name::parse("t1.dur.example."), "10.0.2.1").ok);
+    svc.settle();
+    ASSERT_GT(svc.store(3)->snapshots_written(), 0u);
+  }
+
+  // An attacker with disk access flips a bit inside replica 3's snapshot
+  // and fixes up the checksum story by... nothing — even a checksum-valid
+  // forgery would fail the zone-signature verifier. Here the checksum
+  // catches it; either way the replica must not trust the disk.
+  const std::string snap = dir_ + "/data3/snapshot.bin";
+  FILE* f = std::fopen(snap.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+  std::fputc(0xAA, f);
+  std::fclose(f);
+
+  ReplicatedService svc(opt, kOrigin, kZoneText);
+  // Replica 3's disk was rejected (zone bytes no longer checksum); its WAL
+  // alone cannot replay from the snapshot's base, so it boots empty and
+  // catches up through the normal network recovery path.
+  EXPECT_FALSE(svc.store(3)->recovered().snapshot.has_value());
+  svc.settle();
+  svc.replica(3).start_recovery();
+  svc.settle();
+  EXPECT_FALSE(svc.replica(3).recovering());
+  EXPECT_EQ(svc.replica(3).server().zone().to_text(),
+            svc.replica(0).server().zone().to_text());
+}
+
+}  // namespace
+}  // namespace sdns::core

@@ -1,0 +1,135 @@
+// EINTR-safe file-I/O wrappers: round trips, atomic rename, and the
+// IoError contract the durable store's write-ahead path builds on.
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace sdns::util {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/sdns_fileio_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cleanup = "rm -rf '" + dir_ + "'";
+    (void)std::system(cleanup.c_str());
+  }
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(FileIoTest, WriteAllReadEntireFileRoundTrip) {
+  const Bytes data = {1, 2, 3, 0, 255, 42};
+  const int fd = retry_open(path("f"), O_WRONLY | O_CREAT | O_TRUNC);
+  write_all(fd, BytesView(data));
+  fsync_fd(fd);
+  close_fd(fd);
+  EXPECT_EQ(read_entire_file(path("f")), data);
+}
+
+TEST_F(FileIoTest, LargeWriteRoundTripsThroughChunkedRead) {
+  Bytes data(1 << 20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const int fd = retry_open(path("big"), O_WRONLY | O_CREAT | O_TRUNC);
+  write_all(fd, BytesView(data));
+  close_fd(fd);
+  EXPECT_EQ(read_entire_file(path("big")), data);
+}
+
+TEST_F(FileIoTest, ReadEntireFileMissingThrowsIoError) {
+  EXPECT_THROW(read_entire_file(path("missing")), IoError);
+}
+
+TEST_F(FileIoTest, RetryOpenIntoMissingDirectoryThrowsIoError) {
+  EXPECT_THROW(retry_open(path("no/such/dir/f"), O_WRONLY | O_CREAT), IoError);
+}
+
+TEST_F(FileIoTest, ReadSomeReturnsZeroAtEof) {
+  const int wfd = retry_open(path("eof"), O_WRONLY | O_CREAT | O_TRUNC);
+  const Bytes data = {9, 8, 7};
+  write_all(wfd, BytesView(data));
+  close_fd(wfd);
+
+  const int rfd = retry_open(path("eof"), O_RDONLY);
+  std::uint8_t buf[16];
+  EXPECT_EQ(read_some(rfd, buf, sizeof buf), 3u);
+  EXPECT_EQ(read_some(rfd, buf, sizeof buf), 0u);
+  close_fd(rfd);
+}
+
+TEST_F(FileIoTest, RenameReplacesDestination) {
+  const Bytes fresh = {1, 1, 1};
+  const Bytes stale = {2, 2};
+  int fd = retry_open(path("tmp"), O_WRONLY | O_CREAT | O_TRUNC);
+  write_all(fd, BytesView(fresh));
+  close_fd(fd);
+  fd = retry_open(path("dst"), O_WRONLY | O_CREAT | O_TRUNC);
+  write_all(fd, BytesView(stale));
+  close_fd(fd);
+
+  rename_file(path("tmp"), path("dst"));
+  fsync_dir(dir_);
+  EXPECT_EQ(read_entire_file(path("dst")), fresh);
+  EXPECT_THROW(read_entire_file(path("tmp")), IoError);  // source is gone
+}
+
+TEST_F(FileIoTest, RenameMissingSourceThrowsIoError) {
+  EXPECT_THROW(rename_file(path("nope"), path("dst")), IoError);
+}
+
+TEST_F(FileIoTest, FsyncDirOnPlainFileThrowsIoError) {
+  const int fd = retry_open(path("f"), O_WRONLY | O_CREAT | O_TRUNC);
+  close_fd(fd);
+  EXPECT_THROW(fsync_dir(path("f")), IoError);
+  EXPECT_NO_THROW(fsync_dir(dir_));
+}
+
+TEST_F(FileIoTest, FsyncOnBadFdThrowsIoError) {
+  EXPECT_THROW(fsync_fd(-1), IoError);
+  EXPECT_THROW(fdatasync_fd(-1), IoError);
+}
+
+TEST_F(FileIoTest, TruncateAndFileSize) {
+  const Bytes data = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const int fd = retry_open(path("t"), O_RDWR | O_CREAT | O_TRUNC);
+  write_all(fd, BytesView(data));
+  EXPECT_EQ(file_size(fd), 10u);
+  truncate_fd(fd, 4);
+  EXPECT_EQ(file_size(fd), 4u);
+  close_fd(fd);
+  const Bytes prefix(data.begin(), data.begin() + 4);
+  EXPECT_EQ(read_entire_file(path("t")), prefix);
+}
+
+TEST_F(FileIoTest, EnsureDirCreatesOnceThenIdempotent) {
+  EXPECT_TRUE(ensure_dir(path("sub")));
+  EXPECT_FALSE(ensure_dir(path("sub")));
+  EXPECT_THROW(ensure_dir(path("no/parent/here")), IoError);
+}
+
+TEST_F(FileIoTest, RemoveFileIsIdempotent) {
+  const int fd = retry_open(path("r"), O_WRONLY | O_CREAT | O_TRUNC);
+  close_fd(fd);
+  EXPECT_NO_THROW(remove_file(path("r")));
+  EXPECT_NO_THROW(remove_file(path("r")));  // already gone: still success
+  EXPECT_THROW(read_entire_file(path("r")), IoError);
+}
+
+TEST_F(FileIoTest, CloseFdToleratesBadFd) {
+  close_fd(-1);  // must not crash; noexcept cleanup-path contract
+}
+
+}  // namespace
+}  // namespace sdns::util
