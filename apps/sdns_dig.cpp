@@ -64,7 +64,14 @@ int main(int argc, char** argv) {
     if (mode == "query") {
       sdns::dns::RRType type = sdns::dns::RRType::kA;
       if (words.size() > 1) type = sdns::dns::rrtype_from_string(words[1]);
-      result = resolver.query(sdns::dns::Name::parse(words[0]), type, klass);
+      if (type == sdns::dns::RRType::kAXFR || type == sdns::dns::RRType::kIXFR) {
+        // dig NAME AXFR: reassemble the RFC 5936 envelope stream over TCP
+        // and print the combined transfer.
+        result = resolver.xfr(sdns::dns::Message::make_query(
+            0, sdns::dns::Name::parse(words[0]), type));
+      } else {
+        result = resolver.query(sdns::dns::Name::parse(words[0]), type, klass);
+      }
     } else {
       sdns::dns::Message update;
       update.opcode = sdns::dns::Opcode::kUpdate;

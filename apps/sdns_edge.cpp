@@ -1,0 +1,94 @@
+// sdns_edge — a stateless serving edge of the replicated zone, deployed.
+//
+//   sdns_edge <config-file> [--log LEVEL] [--shards N]
+//             [--refresh-interval SECONDS]
+//
+// The config file format is EdgeConfig::load's `key = value` form:
+//
+//   origin      = example.com.
+//   zone_public = dir/zone.pub          # the dealt threshold zone key
+//   listen_dns  = 127.0.0.1:5500
+//   core        = 127.0.0.1:5300        # one line per core replica
+//   core        = 127.0.0.1:5301
+//
+// An edge holds no key share and no replica state machine: it AXFRs the
+// zone from any core replica at boot, IXFRs on NOTIFY (RFC 1996) or on the
+// SOA-refresh poll, verifies every received zone against the threshold zone
+// key before serving it, and answers queries from the same sharded
+// frontend + packet cache a replica uses. Scrape `stats.sdns. CH TXT` for
+// its counters (edge.ixfr_applied, edge.zone_serial, ...).
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "net/edge.hpp"
+#include "util/log.hpp"
+
+namespace {
+sdns::net::EventLoop* g_loop = nullptr;
+
+void handle_signal(int) {
+  if (g_loop) g_loop->stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <config-file> [--log error|warn|info|debug]"
+               " [--shards N] [--refresh-interval SECONDS]\n",
+               argv0);
+  return 2;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const char* config_path = nullptr;
+  int shards = 0;  // 0: keep the config file's value
+  double refresh_interval = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1 || shards > 16) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--refresh-interval") == 0 && i + 1 < argc) {
+      refresh_interval = std::atof(argv[++i]);
+      if (refresh_interval <= 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      const char* level = argv[++i];
+      if (std::strcmp(level, "error") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kError);
+      } else if (std::strcmp(level, "warn") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kWarn);
+      } else if (std::strcmp(level, "info") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kInfo);
+      } else if (std::strcmp(level, "debug") == 0) {
+        sdns::util::set_log_level(sdns::util::LogLevel::kDebug);
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (!config_path) {
+      config_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!config_path) return usage(argv[0]);
+
+  try {
+    sdns::net::EdgeConfig config = sdns::net::EdgeConfig::load(config_path);
+    if (shards > 0) config.shards = static_cast<unsigned>(shards);
+    if (refresh_interval > 0) config.refresh_interval = refresh_interval;
+    sdns::net::EventLoop loop;
+    g_loop = &loop;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    sdns::net::EdgeRuntime runtime(loop, std::move(config));
+    runtime.start();
+    loop.run();
+    g_loop = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdns_edge: %s\n", e.what());
+    return 1;
+  }
+}

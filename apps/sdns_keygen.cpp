@@ -3,10 +3,15 @@
 //   sdns_keygen --dir DIR [--n N] [--t T] [--bits 512|1024]
 //               [--origin NAME] [--zone FILE] [--tsig] [--durable]
 //               [--dns-port P] [--mesh-port P] [--seed S]
+//               [--edges K] [--edge-port P] [--journal-limit M]
 //
 // --durable points each replica's config at a data directory
 // (DIR/data<i>) for the write-ahead log and signed snapshots, so a
 // restarted replica recovers from disk before asking the peers.
+//
+// --edges K additionally writes edge<k>.conf for K replication edges
+// (run with sdns_edge) and points every replica's NOTIFY list at them.
+// Edge configs carry only the zone PUBLIC key — no share, no secrets.
 //
 // Writes, into DIR (which must exist): the threshold-signed zone in wire
 // form, the SINTRA group public key, the threshold zone public key, the
@@ -25,7 +30,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir DIR [--n N] [--t T] [--bits 512|1024] "
                "[--origin NAME] [--zone FILE] [--tsig] [--durable] "
-               "[--dns-port P] [--mesh-port P] [--seed S]\n",
+               "[--dns-port P] [--mesh-port P] [--seed S] "
+               "[--edges K] [--edge-port P] [--journal-limit M]\n",
                argv0);
   return 2;
 }
@@ -52,6 +58,12 @@ int main(int argc, char** argv) {
     else if (const char* v = want_value("--mesh-port"))
       opt.mesh_base_port = static_cast<std::uint16_t>(std::stoul(v));
     else if (const char* v = want_value("--seed")) opt.seed = std::stoull(v);
+    else if (const char* v = want_value("--edges"))
+      opt.edges = static_cast<unsigned>(std::stoul(v));
+    else if (const char* v = want_value("--edge-port"))
+      opt.edge_base_port = static_cast<std::uint16_t>(std::stoul(v));
+    else if (const char* v = want_value("--journal-limit"))
+      opt.journal_limit = std::stoul(v);
     else if (std::strcmp(argv[i], "--tsig") == 0) opt.require_tsig = true;
     else if (std::strcmp(argv[i], "--durable") == 0) opt.durable = true;
     else return usage(argv[0]);
@@ -68,6 +80,10 @@ int main(int argc, char** argv) {
     for (unsigned i = 0; i < opt.n; ++i) {
       std::printf("  replica %u: %s (dns %s)\n", i, files.configs[i].c_str(),
                   files.dns_addrs[i].to_string().c_str());
+    }
+    for (unsigned k = 0; k < opt.edges; ++k) {
+      std::printf("  edge %u: %s (dns %s)\n", k, files.edge_configs[k].c_str(),
+                  files.edge_addrs[k].to_string().c_str());
     }
     if (opt.require_tsig) {
       std::printf("  tsig key: %s secret %s\n", files.tsig_name.c_str(),

@@ -8,7 +8,8 @@
 //
 //   bench_net_loadgen [--rate QPS] [--duration S] [--dir DIR] [--json FILE]
 //                     [--shards N] [--sockets N] [--batch N] [--min-qps QPS]
-//                     [--matrix CxS:RATE[:MIN[:BATCH]]]... [--fail-on-send-errors]
+//                     [--edges N] [--matrix CxS:RATE[:MIN[:BATCH]]]...
+//                     [--fail-on-send-errors]
 //
 // The configuration is the §3.4 rare-update mode (disseminate_reads=false):
 // reads are answered from the replica's local signed zone without a round of
@@ -25,6 +26,12 @@
 // than the machine has are reported as skipped, not failed, so one matrix
 // works across container sizes.
 //
+// --edges runs the replication-edge scenario instead: the (4,1) core takes
+// sustained TSIG-signed RFC 2136 update load while N forked sdns_edge
+// processes serve the offered read rate from their packet caches; the run
+// passes only if every edge serves the last committed write within the
+// propagation window (no-stale probe) with zero verification failures.
+//
 // Beyond the delivery bar, a cell fails if its floor is not sustained or the
 // pure-read invariant breaks (a read-only workload must never increment the
 // TSIG or opcode cache-bypass counters). --fail-on-send-errors additionally
@@ -35,6 +42,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -46,6 +55,7 @@
 #include <vector>
 
 #include "net/cluster.hpp"
+#include "net/edge.hpp"
 #include "net/loadgen.hpp"
 #include "net/resolver.hpp"
 #include "net/runtime.hpp"
@@ -63,6 +73,24 @@ int run_replica(const std::string& config_path) {
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "replica %s: %s\n", config_path.c_str(), e.what());
+    return 1;
+  }
+}
+
+int run_edge(const std::string& config_path) {
+  try {
+    net::EventLoop loop;
+    net::EdgeConfig config = net::EdgeConfig::load(config_path);
+    // Loadgen cadence: retry the bootstrap fast, and keep the SOA-refresh
+    // backstop tight enough that a lost NOTIFY can't dominate propagation.
+    config.retry_interval = 0.2;
+    config.refresh_interval = 2.0;
+    net::EdgeRuntime runtime(loop, std::move(config));
+    runtime.start();
+    loop.run();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "edge %s: %s\n", config_path.c_str(), e.what());
     return 1;
   }
 }
@@ -392,18 +420,282 @@ CellResult run_cell(const CellSpec& spec, const std::string& dir,
   return result;
 }
 
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The replication-edge scenario: a (4,1) core under sustained RFC 2136
+/// update load while `edges` forked sdns_edge processes serve the read
+/// traffic at full packet-cache speed. Passes when the offered read rate is
+/// delivered AND every edge is fresh (serves the last committed update)
+/// within the propagation window after the load stops AND no edge ever
+/// installed (or was even offered) an unverifiable zone.
+bool run_edge_scenario(unsigned edges, double rate, double duration,
+                       const std::string& dir, std::string* json_out) {
+  net::ClusterOptions copt;
+  copt.n = 4;
+  copt.t = 1;
+  copt.require_tsig = true;
+  copt.seed = 11;
+  copt.edges = edges;
+  copt.dns_base_port = 6300;
+  copt.mesh_base_port = 6350;
+  copt.edge_base_port = 6400;
+  std::fprintf(stderr, "edges scenario: dealing cluster keys...\n");
+  const net::ClusterFiles files = net::generate_cluster(dir, copt);
+  const dns::TsigKey tsig_key{files.tsig_name,
+                              util::hex_decode(files.tsig_secret_hex)};
+
+  std::vector<pid_t> children;
+  for (const std::string& config : files.configs) {
+    const pid_t pid = ::fork();
+    if (pid == 0) std::_Exit(run_replica(config));
+    children.push_back(pid);
+  }
+  const auto shutdown = [&children] {
+    for (pid_t pid : children) ::kill(pid, SIGTERM);
+    for (pid_t pid : children) ::waitpid(pid, nullptr, 0);
+  };
+
+  // Wait for the core, then fork the edges and wait for their bootstrap
+  // (an edge answers ServFail until its AXFR copy verified and installed).
+  {
+    net::StubResolver::Options ropt;
+    ropt.timeout = 0.5;
+    ropt.attempts = 40;
+    for (const net::SockAddr& addr : files.dns_addrs) {
+      ropt.servers = {addr};
+      net::StubResolver probe(ropt);
+      if (!probe.query(dns::Name::parse("www.example.com."), dns::RRType::kA).ok) {
+        std::fprintf(stderr, "replica at %s never came up\n",
+                     addr.to_string().c_str());
+        shutdown();
+        return false;
+      }
+    }
+  }
+  for (const std::string& config : files.edge_configs) {
+    const pid_t pid = ::fork();
+    if (pid == 0) std::_Exit(run_edge(config));
+    children.push_back(pid);
+  }
+  for (const net::SockAddr& addr : files.edge_addrs) {
+    const double deadline = now_s() + 30.0;
+    bool up = false;
+    while (now_s() < deadline) {
+      net::StubResolver::Options ropt;
+      ropt.servers = {addr};
+      ropt.timeout = 0.5;
+      ropt.attempts = 1;
+      net::StubResolver probe(ropt);
+      const auto r =
+          probe.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+      if (r.ok && r.response.rcode == dns::Rcode::kNoError &&
+          !r.response.answers.empty()) {
+        up = true;
+        break;
+      }
+      ::usleep(100 * 1000);
+    }
+    if (!up) {
+      std::fprintf(stderr, "edge at %s never bootstrapped\n",
+                   addr.to_string().c_str());
+      shutdown();
+      return false;
+    }
+  }
+
+  // Sustained update load: one TSIG-signed RFC 2136 add every 250 ms,
+  // round-robin across the core, each a fresh owner name so the no-stale
+  // probe below has an unambiguous "last committed write" to look for.
+  std::atomic<bool> stop_updates{false};
+  std::atomic<unsigned> committed{0};
+  std::thread updater([&] {
+    unsigned i = 0;
+    while (!stop_updates.load(std::memory_order_relaxed)) {
+      dns::Message update;
+      update.opcode = dns::Opcode::kUpdate;
+      update.questions.push_back({dns::Name::parse("example.com."),
+                                  dns::RRType::kSOA, dns::RRClass::kIN});
+      dns::ResourceRecord rr;
+      rr.name = dns::Name::parse("u" + std::to_string(i) + ".example.com.");
+      rr.type = dns::RRType::kA;
+      rr.ttl = 300;
+      rr.rdata = dns::ARdata::from_text("10.9." + std::to_string(i / 250) + "." +
+                                        std::to_string(i % 250 + 1))
+                     .encode();
+      update.updates().push_back(rr);
+      net::StubResolver::Options ropt;
+      ropt.servers = {files.dns_addrs[i % files.dns_addrs.size()]};
+      ropt.timeout = 2.0;
+      ropt.attempts = 2;
+      net::StubResolver r(ropt);
+      const auto res = r.send_update(std::move(update), &tsig_key);
+      if (res.ok && res.response.rcode == dns::Rcode::kNoError) {
+        committed.store(++i, std::memory_order_relaxed);
+      }
+      ::usleep(250 * 1000);
+    }
+  });
+
+  std::fprintf(stderr,
+               "core + %u edge(s) up; driving %.0f qps at the edges for "
+               "%.1f s under update load...\n",
+               edges, rate, duration);
+  net::Loadgen::Report r;
+  {
+    net::EventLoop loop;
+    net::Loadgen::Options lopt;
+    lopt.servers = files.edge_addrs;
+    lopt.name = dns::Name::parse("www.example.com.");
+    lopt.rate = rate;
+    lopt.duration = duration;
+    net::Loadgen loadgen(loop, lopt);
+    loadgen.start();
+    loop.run();
+    r = loadgen.report();
+  }
+  stop_updates.store(true, std::memory_order_relaxed);
+  updater.join();
+
+  // No-stale probe: after the propagation window (NOTIFY -> ack -> IXFR ->
+  // verify -> swap, with the 2 s SOA poll as the lost-datagram backstop),
+  // every edge must serve the last committed write.
+  const unsigned updates = committed.load(std::memory_order_relaxed);
+  double worst_propagation = 0;
+  bool all_fresh = updates > 0;
+  if (updates > 0) {
+    const std::string last = "u" + std::to_string(updates - 1) + ".example.com.";
+    for (const net::SockAddr& addr : files.edge_addrs) {
+      const double start = now_s();
+      const double deadline = start + 10.0;
+      bool fresh = false;
+      while (now_s() < deadline) {
+        net::StubResolver::Options ropt;
+        ropt.servers = {addr};
+        ropt.timeout = 0.5;
+        ropt.attempts = 1;
+        net::StubResolver probe(ropt);
+        const auto res = probe.query(dns::Name::parse(last), dns::RRType::kA);
+        if (res.ok && res.response.rcode == dns::Rcode::kNoError &&
+            !res.response.answers.empty()) {
+          fresh = true;
+          break;
+        }
+        ::usleep(100 * 1000);
+      }
+      worst_propagation = std::max(worst_propagation, now_s() - start);
+      if (!fresh) {
+        std::fprintf(stderr, "edge at %s is STALE: never served %s\n",
+                     addr.to_string().c_str(), last.c_str());
+        all_fresh = false;
+      }
+    }
+  }
+
+  // Scrape the edges while they are alive: the refresh path must have been
+  // NOTIFY-driven IXFR, the verify gate must never have fired, and the read
+  // load must have been served out of the packet cache.
+  bool verify_clean = true;
+  std::uint64_t edge_cache_hits = 0, edge_ixfr = 0;
+  std::ostringstream edges_json;
+  for (std::size_t k = 0; k < files.edge_addrs.size(); ++k) {
+    const auto c = scrape_counters(files.edge_addrs[k]);
+    auto get = [&c](const char* key) -> std::string {
+      auto it = c.find(key);
+      return it == c.end() ? "0" : it->second;
+    };
+    if (c.empty() || get("edge.verify_failures") != "0") verify_clean = false;
+    edge_cache_hits += to_u64(get("net.cache.hits"));
+    edge_ixfr += to_u64(get("edge.ixfr_applied"));
+    edges_json << "    {\n"
+               << "      \"edge\": " << k << ",\n"
+               << "      \"scraped\": " << (c.empty() ? "false" : "true") << ",\n"
+               << "      \"udp_queries\": " << get("net.udp.queries") << ",\n"
+               << "      \"cache_hits\": " << get("net.cache.hits") << ",\n"
+               << "      \"axfr_bootstraps\": " << get("edge.axfr_bootstraps")
+               << ",\n"
+               << "      \"notifies_received\": "
+               << get("edge.notifies_received") << ",\n"
+               << "      \"ixfr_applied\": " << get("edge.ixfr_applied") << ",\n"
+               << "      \"refresh_up_to_date\": "
+               << get("edge.refresh_up_to_date") << ",\n"
+               << "      \"verify_failures\": " << get("edge.verify_failures")
+               << ",\n"
+               << "      \"zone_serial\": " << get("edge.zone_serial") << "\n"
+               << "    }" << (k + 1 < files.edge_addrs.size() ? "," : "") << "\n";
+  }
+
+  shutdown();
+
+  const bool delivered = r.received >= static_cast<std::uint64_t>(0.95 * r.sent);
+  const bool refreshed = edge_ixfr >= 1 && edge_cache_hits > 0;
+  const bool ok =
+      delivered && all_fresh && verify_clean && refreshed && updates > 0;
+
+  char head[1280];
+  std::snprintf(head, sizeof head,
+                "{\n"
+                "  \"benchmark\": \"net_loadgen_edges\",\n"
+                "  \"topology\": \"(4,1) core + %u edges, localhost\",\n"
+                "  \"edges\": %u,\n"
+                "  \"offered_qps\": %.0f,\n"
+                "  \"duration_s\": %.1f,\n"
+                "  \"sent\": %llu,\n"
+                "  \"received\": %llu,\n"
+                "  \"timed_out\": %llu,\n"
+                "  \"achieved_qps\": %.0f,\n"
+                "  \"updates_committed\": %u,\n"
+                "  \"all_edges_fresh\": %s,\n"
+                "  \"worst_propagation_s\": %.2f,\n"
+                "  \"latency_ms\": {\n"
+                "    \"mean\": %.3f,\n"
+                "    \"p50\": %.3f,\n"
+                "    \"p99\": %.3f,\n"
+                "    \"max\": %.3f\n"
+                "  },\n"
+                "  \"edge_counters\": [\n",
+                edges, edges, rate, duration,
+                static_cast<unsigned long long>(r.sent),
+                static_cast<unsigned long long>(r.received),
+                static_cast<unsigned long long>(r.timed_out), r.achieved_qps,
+                updates, all_fresh ? "true" : "false", worst_propagation,
+                r.mean * 1e3, r.p50 * 1e3, r.p99 * 1e3, r.max * 1e3);
+  *json_out = head;
+  *json_out += edges_json.str();
+  *json_out += "  ]\n}\n";
+
+  std::fprintf(stderr,
+               "%s edges=%u: %llu/%llu answered at %.0f qps, %u updates, "
+               "%s (worst propagation %.2f s), %llu edge cache hits, "
+               "%llu IXFRs applied, %s\n",
+               ok ? "PASS" : "FAIL", edges,
+               static_cast<unsigned long long>(r.received),
+               static_cast<unsigned long long>(r.sent), r.achieved_qps, updates,
+               all_fresh ? "all edges fresh" : "STALE EDGE", worst_propagation,
+               static_cast<unsigned long long>(edge_cache_hits),
+               static_cast<unsigned long long>(edge_ixfr),
+               verify_clean ? "verify-clean" : "VERIFY FAILURES");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CellSpec single;
   double duration = 5.0;
   bool fail_on_send_errors = false;
+  unsigned edges = 0;
   std::string dir = "/tmp/sdns_loadgen_cluster";
   std::string json_path;
   std::vector<CellSpec> matrix;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
       single.rate = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--edges") == 0 && i + 1 < argc) {
+      edges = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--min-qps") == 0 && i + 1 < argc) {
@@ -432,7 +724,7 @@ int main(int argc, char** argv) {
           stderr,
           "usage: %s [--rate QPS] [--duration S] [--dir DIR] [--json FILE]\n"
           "          [--shards N] [--sockets N] [--batch N] [--min-qps QPS]\n"
-          "          [--matrix CxS:RATE[:MIN[:BATCH]]]... "
+          "          [--edges N] [--matrix CxS:RATE[:MIN[:BATCH]]]... "
           "[--fail-on-send-errors]\n",
           argv[0]);
       return 2;
@@ -448,7 +740,11 @@ int main(int argc, char** argv) {
 
   std::string full;
   bool all_ok = true;
-  if (matrix.empty()) {
+  if (edges > 0) {
+    // The replication-edge scenario: core under update load, reads at the
+    // edges, no-stale probe after the propagation window.
+    all_ok = run_edge_scenario(edges, single.rate, duration, dir, &full);
+  } else if (matrix.empty()) {
     // Legacy single-run shape: one cell, the object printed bare.
     const CellResult cell =
         run_cell(single, dir, duration, 0, fail_on_send_errors);

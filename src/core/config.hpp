@@ -66,6 +66,10 @@ struct ReplicaConfig {
   double update_batch_window = 0.0;
   /// Most updates coalesced into one abcast payload (>= 1).
   std::size_t update_batch_max = 64;
+  /// IXFR journal depth (AuthoritativeServer::set_journal_limit): how many
+  /// committed update diffs are kept for incremental transfers before old
+  /// serials fall back to AXFR.
+  std::size_t journal_limit = 64;
 };
 
 }  // namespace sdns::core

@@ -105,6 +105,7 @@ ReplicaNode::ReplicaNode(ReplicaConfig config,
     own_store_ = std::make_unique<store::MemoryZoneStore>();
     store_ = own_store_.get();
   }
+  server_.set_journal_limit(config_.journal_limit);
   c_reads_ = &metrics_->counter("replica.reads");
   c_updates_ = &metrics_->counter("replica.updates");
   c_signatures_ = &metrics_->counter("replica.signatures");
@@ -868,6 +869,7 @@ void ReplicaNode::bump_zone_generation() {
   const auto next =
       zone_generation_.fetch_add(1, std::memory_order_release) + 1;
   metrics_->gauge("replica.zone_gen").set(static_cast<std::int64_t>(next));
+  if (cb_.zone_committed) cb_.zone_committed(next);
 }
 
 void ReplicaNode::respond(ClientId client, const dns::Message& response) {

@@ -41,6 +41,11 @@ class ReplicaNode {
     std::function<void(ClientId, const util::Bytes&)> send_client;
     std::function<double()> now;
     std::function<void(double, std::function<void()>)> set_timer;
+    /// Fired (optional) after every zone-generation bump with the new value
+    /// — the commit points: an applied update batch, an installed threshold
+    /// signature, a recovery or disk-restore reinstall. The runtime hangs
+    /// RFC 1996 NOTIFY fan-out off this.
+    std::function<void(std::uint64_t)> zone_committed;
     // Cost hooks (all optional).
     std::function<void(threshold::CryptoOp)> charge_crypto;
     std::function<void()> charge_message;

@@ -202,7 +202,10 @@ Message Message::decode(BytesView b) {
 std::string Message::to_text() const {
   std::ostringstream os;
   os << ";; id " << id << " opcode "
-     << (opcode == Opcode::kUpdate ? "UPDATE" : "QUERY") << " rcode "
+     << (opcode == Opcode::kUpdate   ? "UPDATE"
+         : opcode == Opcode::kNotify ? "NOTIFY"
+                                     : "QUERY")
+     << " rcode "
      << to_string(rcode) << (qr ? " qr" : "") << (aa ? " aa" : "") << "\n";
   os << ";; QUESTION (" << questions.size() << ")\n";
   for (const auto& q : questions) {

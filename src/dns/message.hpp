@@ -16,6 +16,7 @@ namespace sdns::dns {
 
 enum class Opcode : std::uint8_t {
   kQuery = 0,
+  kNotify = 4,  // RFC 1996 zone-change notification
   kUpdate = 5,
 };
 

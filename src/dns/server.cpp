@@ -119,7 +119,8 @@ void AuthoritativeServer::finalize_journal() {
   while (journal_.size() > journal_limit_) journal_.pop_front();
 }
 
-void AuthoritativeServer::answer_ixfr(Message& response, const Message& query) const {
+void AuthoritativeServer::answer_ixfr(Message& response, const Message& query,
+                                      bool* used_axfr) const {
   const RRset* soa_set = zone_.find(zone_.origin(), RRType::kSOA);
   if (!soa_set || soa_set->rdatas.empty()) {
     response.rcode = Rcode::kServFail;
@@ -153,6 +154,7 @@ void AuthoritativeServer::answer_ixfr(Message& response, const Message& query) c
     }
   }
   if (!client_serial || start == journal_.size()) {
+    if (used_axfr) *used_axfr = true;
     answer_axfr(response);  // too old (or no serial given): full transfer
     return;
   }
@@ -181,6 +183,60 @@ void AuthoritativeServer::answer_axfr(Message& response) const {
     response.answers.push_back(std::move(rr));
   }
   response.answers.push_back(soa_rr);
+}
+
+std::vector<Message> AuthoritativeServer::answer_xfr(const Message& query,
+                                                     std::size_t max_wire,
+                                                     bool* used_axfr) const {
+  if (used_axfr) *used_axfr = false;
+  Message full = Message::make_response(query);
+  full.aa = true;
+  if (query.opcode != Opcode::kQuery || query.questions.size() != 1) {
+    full.rcode = query.questions.empty() ? Rcode::kFormErr : Rcode::kNotImp;
+    return {std::move(full)};
+  }
+  const Question& q = query.questions.front();
+  if ((q.type != RRType::kAXFR && q.type != RRType::kIXFR) ||
+      !(q.name == zone_.origin()) ||
+      (q.klass != RRClass::kIN && q.klass != RRClass::kANY)) {
+    full.rcode = Rcode::kRefused;
+    return {std::move(full)};
+  }
+  if (q.type == RRType::kAXFR) {
+    if (used_axfr) *used_axfr = true;
+    answer_axfr(full);
+  } else {
+    answer_ixfr(full, query, used_axfr);
+  }
+  if (full.rcode != Rcode::kNoError || max_wire == 0) return {std::move(full)};
+
+  // Chunk the record stream into RFC 5936 envelopes. A record's canonical
+  // (uncompressed) wire size bounds its encoded size from above — compression
+  // only shrinks — so summing canonical sizes against the budget guarantees
+  // each envelope encodes below max_wire. The first envelope always carries
+  // at least two records when the stream has more than one, so a receiver
+  // can tell "single SOA = up to date" apart from a chunked transfer.
+  Message skeleton = full;
+  skeleton.answers.clear();
+  const std::size_t base = skeleton.encode().size();
+  std::vector<Message> out;
+  Message cur = skeleton;
+  std::size_t cur_size = base;
+  for (std::size_t i = 0; i < full.answers.size(); ++i) {
+    util::Writer w;
+    full.answers[i].to_canonical_wire(w);
+    const std::size_t rr_size = w.bytes().size();
+    const bool keep_pair = out.empty() && cur.answers.size() == 1;
+    if (!cur.answers.empty() && !keep_pair && cur_size + rr_size > max_wire) {
+      out.push_back(std::move(cur));
+      cur = skeleton;
+      cur_size = base;
+    }
+    cur.answers.push_back(full.answers[i]);
+    cur_size += rr_size;
+  }
+  out.push_back(std::move(cur));
+  return out;
 }
 
 std::optional<Name> AuthoritativeServer::wildcard_for(const Name& qname) const {

@@ -67,6 +67,17 @@ class AuthoritativeServer {
   /// a transport without the limit.
   Message answer_query(const Message& query, std::size_t max_udp_size = 0) const;
 
+  /// Answer an AXFR/IXFR query as an RFC 5936 envelope stream: each returned
+  /// Message encodes below `max_wire` bytes (so a large zone fits the 64 KiB
+  /// TCP length prefix one message at a time). `max_wire == 0` keeps the
+  /// legacy single-message form — what answer_query produces in-process.
+  /// IXFR serves journal diffs when the client's serial is still covered,
+  /// otherwise falls back to an AXFR-format response (`used_axfr` reports
+  /// which format went out). Validation failures (wrong opcode, non-apex
+  /// qname, non-XFR qtype) come back as a single error-rcode message.
+  std::vector<Message> answer_xfr(const Message& query, std::size_t max_wire,
+                                  bool* used_axfr = nullptr) const;
+
   /// Apply an RFC 2136 dynamic update at logical time `now` (drives SIG
   /// inception). TSIG is checked per policy. The zone is mutated on success;
   /// on failure (bad prerequisite etc.) it is left untouched.
@@ -96,7 +107,8 @@ class AuthoritativeServer {
 
  private:
   void answer_axfr(Message& response) const;
-  void answer_ixfr(Message& response, const Message& query) const;
+  void answer_ixfr(Message& response, const Message& query,
+                   bool* used_axfr = nullptr) const;
   /// The wildcard owner covering `qname`, if any ("*." + closest encloser).
   std::optional<Name> wildcard_for(const Name& qname) const;
   void add_denial(Message& response, const Name& qname) const;

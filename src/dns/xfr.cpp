@@ -23,6 +23,17 @@ Message make_ixfr_query(std::uint16_t id, const Name& zone, const SoaRdata& curr
   return q;
 }
 
+Message make_notify(std::uint16_t id, const Name& zone,
+                    const ResourceRecord* current_soa) {
+  Message m;
+  m.id = id;
+  m.opcode = Opcode::kNotify;
+  m.aa = true;
+  m.questions.push_back({zone, RRType::kSOA, RRClass::kIN});
+  if (current_soa) m.answers.push_back(*current_soa);
+  return m;
+}
+
 namespace {
 
 bool is_soa(const ResourceRecord& rr) { return rr.type == RRType::kSOA; }
@@ -83,6 +94,63 @@ XfrOutcome apply_xfr_response(Zone& zone, const Message& response) {
   auto final_soa = zone.soa();
   if (!final_soa || final_soa->serial != target.serial) return XfrOutcome::kMalformed;
   return XfrOutcome::kAppliedIxfr;
+}
+
+XfrAssembler::State XfrAssembler::step(const ResourceRecord& rr) {
+  const bool soa = is_soa(rr);
+  try {
+    if (records_seen_ == 0) {
+      // The stream must open with the current SOA — its serial is the
+      // transfer target every later completion check closes against.
+      if (!soa) return state_ = State::kMalformed;
+      target_serial_ = SoaRdata::decode(rr.rdata).serial;
+    } else if (mode_ == Mode::kUnknown) {
+      // Second record decides the format: SOA means IXFR diffs (it is the
+      // first diff's old-serial marker), anything else means AXFR data.
+      mode_ = soa ? Mode::kIxfrDeletions : Mode::kAxfr;
+    } else if (mode_ == Mode::kAxfr) {
+      if (soa) state_ = State::kDone;  // trailing SOA closes the transfer
+    } else if (mode_ == Mode::kIxfrDeletions) {
+      if (soa) mode_ = Mode::kIxfrAdditions;  // the diff's new-serial marker
+    } else {  // kIxfrAdditions
+      if (soa) {
+        if (SoaRdata::decode(rr.rdata).serial == target_serial_) {
+          state_ = State::kDone;  // closing SOA(target)
+        } else {
+          mode_ = Mode::kIxfrDeletions;  // next diff's old-serial marker
+        }
+      }
+    }
+  } catch (const util::ParseError&) {
+    return state_ = State::kMalformed;
+  }
+  ++records_seen_;
+  return state_;
+}
+
+XfrAssembler::State XfrAssembler::feed(const Message& envelope) {
+  if (state_ != State::kContinue) return state_ = State::kMalformed;
+  const bool first = records_seen_ == 0;
+  if (first) {
+    combined_ = envelope;  // keep the first envelope's header and question
+    combined_.answers.clear();
+    if (envelope.rcode != Rcode::kNoError) {
+      // An error reply is complete in itself; the caller reads the rcode.
+      return state_ = State::kDone;
+    }
+  }
+  if (envelope.answers.empty()) return state_ = State::kMalformed;
+  for (const auto& rr : envelope.answers) {
+    if (state_ == State::kDone) return state_ = State::kMalformed;  // trailing data
+    if (step(rr) == State::kMalformed) return state_;
+    combined_.answers.push_back(rr);
+  }
+  // A first envelope that is a lone SOA is the whole reply: already up to
+  // date (the chunker guarantees multi-envelope streams open with >= 2).
+  if (state_ == State::kContinue && first && records_seen_ == 1) {
+    state_ = State::kDone;
+  }
+  return state_;
 }
 
 }  // namespace sdns::dns

@@ -1,5 +1,6 @@
 #include "net/cache.hpp"
 
+#include "dns/message.hpp"
 #include "dns/rr.hpp"
 
 namespace sdns::net {
@@ -98,11 +99,19 @@ bool scan_query(BytesView wire, QueryShape& out) {
 }
 
 Cacheable classify_query(const QueryShape& shape) {
+  // NOTIFY outranks the generic opcode bucket so the bypass counter names
+  // the reason; a NOTIFY (or any non-QUERY, or a response) must never be
+  // answered from — nor stored into — the cache.
+  if (shape.opcode == static_cast<std::uint8_t>(dns::Opcode::kNotify)) {
+    return Cacheable::kNotify;
+  }
   if (shape.qr || shape.opcode != 0) return Cacheable::kOpcode;
   if (shape.has_tsig) return Cacheable::kTsig;
-  if (shape.qdcount != 1 || shape.compressed_qname ||
-      shape.qtype == static_cast<std::uint16_t>(dns::RRType::kAXFR) ||
+  if (shape.qtype == static_cast<std::uint16_t>(dns::RRType::kAXFR) ||
       shape.qtype == static_cast<std::uint16_t>(dns::RRType::kIXFR)) {
+    return Cacheable::kXfr;
+  }
+  if (shape.qdcount != 1 || shape.compressed_qname) {
     return Cacheable::kQform;
   }
   if (shape.qclass != static_cast<std::uint16_t>(dns::RRClass::kIN)) {

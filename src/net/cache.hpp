@@ -72,9 +72,11 @@ bool scan_query(util::BytesView wire, QueryShape& out);
 enum class Cacheable : std::uint8_t {
   kYes = 0,
   kOpcode,  ///< not a QUERY opcode, or qr already set
-  kQform,   ///< qdcount != 1, compressed qname, or AXFR/IXFR qtype
+  kQform,   ///< qdcount != 1 or compressed qname
   kClass,   ///< question class is not IN
   kTsig,    ///< TSIG-signed — per-requester MAC, never cached
+  kXfr,     ///< AXFR/IXFR qtype — transfer streams are never cached
+  kNotify,  ///< NOTIFY opcode — zone-change signal, never a cached answer
 };
 
 Cacheable classify_query(const QueryShape& shape);

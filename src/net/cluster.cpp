@@ -133,6 +133,10 @@ ClusterFiles generate_cluster(const std::string& dir, const ClusterOptions& opt)
         << "listen_dns = " << opt.dns_host << ":" << (opt.dns_base_port + i) << "\n"
         << "seed = " << (opt.seed + 1000 + i) << "\n";
     if (opt.shards != 1) cfg << "shards = " << opt.shards << "\n";
+    if (opt.journal_limit != 0) cfg << "journal_limit = " << opt.journal_limit << "\n";
+    for (unsigned k = 0; k < opt.edges; ++k) {
+      cfg << "notify = " << opt.dns_host << ":" << (opt.edge_base_port + k) << "\n";
+    }
     if (opt.durable) {
       const std::string data_dir = dir + "/data" + suffix;
       cfg << "data_dir = " << data_dir << "\n"
@@ -157,6 +161,33 @@ ClusterFiles generate_cluster(const std::string& dir, const ClusterOptions& opt)
     out.dns_addrs.push_back(
         SockAddr::parse(opt.dns_host + ":" +
                         std::to_string(opt.dns_base_port + i)));
+  }
+
+  // ---- edge configs (sdns_edge) ----
+  // An edge gets the zone PUBLIC key only — never a share. It learns the
+  // zone itself over AXFR from the core and trusts the threshold signatures
+  // inside, so this material distributes to any number of edges safely.
+  for (unsigned k = 0; k < opt.edges; ++k) {
+    std::ostringstream cfg;
+    cfg << "# sdns_edge " << k << " of " << opt.edges << " (generated)\n"
+        << "origin = " << opt.origin << "\n"
+        << "zone_public = " << dir << "/zone.pub\n"
+        << "listen_dns = " << opt.dns_host << ":" << (opt.edge_base_port + k)
+        << "\n";
+    for (unsigned i = 0; i < opt.n; ++i) {
+      cfg << "core = " << opt.dns_host << ":" << (opt.dns_base_port + i) << "\n";
+    }
+    if (opt.shards != 1) cfg << "shards = " << opt.shards << "\n";
+    cfg << "seed = " << (opt.seed + 2000 + k) << "\n";
+    const std::string cfg_str = cfg.str();
+    const std::string path = dir + "/edge" + std::to_string(k) + ".conf";
+    write_file(path, util::BytesView(
+                         reinterpret_cast<const std::uint8_t*>(cfg_str.data()),
+                         cfg_str.size()));
+    out.edge_configs.push_back(path);
+    out.edge_addrs.push_back(
+        SockAddr::parse(opt.dns_host + ":" +
+                        std::to_string(opt.edge_base_port + k)));
   }
   return out;
 }

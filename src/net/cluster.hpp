@@ -39,6 +39,14 @@ struct ClusterOptions {
   std::string dns_host = "127.0.0.1";
   std::uint16_t dns_base_port = 5300;   ///< replica i serves dns_base_port + i
   std::uint16_t mesh_base_port = 5400;  ///< replica i's mesh listener
+
+  /// Replication edges: each gets an edge<k>.conf (sdns_edge config) that
+  /// bootstraps via AXFR from the core and refreshes on NOTIFY/IXFR, and
+  /// every replica gets a `notify =` line per edge. 0 = no edge material.
+  unsigned edges = 0;
+  std::uint16_t edge_base_port = 5500;  ///< edge k serves edge_base_port + k
+  /// IXFR journal depth written into replica configs (0 = keep the default).
+  std::size_t journal_limit = 0;
 };
 
 struct ClusterFiles {
@@ -46,6 +54,8 @@ struct ClusterFiles {
   std::vector<SockAddr> dns_addrs;   ///< client-facing endpoints
   /// Per-replica durable-store directories; empty unless durable was set.
   std::vector<std::string> data_dirs;
+  std::vector<std::string> edge_configs;  ///< per-edge sdns_edge config paths
+  std::vector<SockAddr> edge_addrs;       ///< edge client-facing endpoints
   std::string tsig_name;
   std::string tsig_secret_hex;
   crypto::RsaPublicKey zone_key;  ///< for client-side DNSSEC verification

@@ -151,6 +151,8 @@ DnsFrontend::DnsFrontend(EventLoop& loop, Options options, RequestFn on_request)
   pair(c_bypass_opcode_, "cache.bypass.opcode");
   pair(c_bypass_class_, "cache.bypass.class");
   pair(c_bypass_qform_, "cache.bypass.qform");
+  pair(c_bypass_xfr_, "cache.bypass.xfr");
+  pair(c_bypass_notify_, "cache.bypass.notify");
 }
 
 std::uint64_t DnsFrontend::current_generation() const {
@@ -196,6 +198,8 @@ void DnsFrontend::note_bypass(Cacheable why) {
     case Cacheable::kOpcode: slot = &c_bypass_opcode_; break;
     case Cacheable::kClass: slot = &c_bypass_class_; break;
     case Cacheable::kQform: slot = &c_bypass_qform_; break;
+    case Cacheable::kXfr: slot = &c_bypass_xfr_; break;
+    case Cacheable::kNotify: slot = &c_bypass_notify_; break;
   }
   (*slot)[0]->inc();
   (*slot)[1]->inc();
@@ -405,7 +409,9 @@ void DnsFrontend::on_listener_ready() {
     conn.fd = fd;
     conn.serial = serial;
     conn.decoder = DnsTcpDecoder(opt_.max_tcp_message);
-    conn.wq = WriteQueue(opt_.write_cap);
+    // The queue's hard cap admits transfer streams; the tighter query
+    // backlog cap (write_cap) is enforced per-push in respond().
+    conn.wq = WriteQueue(std::max(opt_.write_cap, opt_.xfr_max_inflight));
     conn.last_active = loop_.now();
     conns_.emplace(serial, std::move(conn));
     c_tcp_accepted_->inc();
@@ -427,6 +433,10 @@ void DnsFrontend::sweep_idle() {
   const double cutoff = loop_.now() - opt_.idle_timeout;
   std::vector<std::uint64_t> idle;
   for (const auto& [serial, conn] : conns_) {
+    // A connection still draining queued output (a long zone transfer to a
+    // slow reader) is active, not idle — memory is bounded by the write
+    // queue cap, and every successful flush refreshes last_active.
+    if (!conn.wq.empty()) continue;
     if (conn.last_active < cutoff) idle.push_back(serial);
   }
   c_idle_closed_->inc(idle.size());
@@ -594,9 +604,43 @@ void DnsFrontend::respond(ClientId client, BytesView wire,
   auto it = conns_.find(client & 0xFFFFFFFFFFFFULL);
   if (it == conns_.end()) return;  // client hung up before the answer
   Conn& conn = it->second;
-  if (!conn.wq.push(DnsTcpDecoder::frame(wire))) {
+  // Query answers honor the tighter backlog cap even though the queue's
+  // hard limit admits more (transfers use the headroom, not queries).
+  Bytes framed = DnsTcpDecoder::frame(wire);
+  if (conn.wq.pending() + framed.size() > opt_.write_cap ||
+      !conn.wq.push(std::move(framed))) {
     close_conn(conn.serial);  // slow reader beyond the cap
     return;
+  }
+  if (!conn.wq.flush(conn.fd)) {
+    close_conn(conn.serial);
+    return;
+  }
+  if (!conn.wq.empty() && !conn.want_write) {
+    conn.want_write = true;
+    loop_.mod_fd(conn.fd, EventLoop::kReadable | EventLoop::kWritable);
+  }
+  conn.last_active = loop_.now();
+}
+
+void DnsFrontend::respond_xfr(ClientId client,
+                              const std::vector<Bytes>& wires) {
+  if (wires.empty() || client_is_udp(client)) return;
+  if (client_tcp_owner(client) != opt_.replica ||
+      client_tcp_shard(client) != opt_.shard) {
+    return;  // another replica's or shard's connection; not ours to answer
+  }
+  auto it = conns_.find(client & 0xFFFFFFFFFFFFULL);
+  if (it == conns_.end()) return;  // client hung up before the transfer
+  Conn& conn = it->second;
+  note_response(client, wires.front());
+  for (const Bytes& w : wires) {
+    Bytes framed = DnsTcpDecoder::frame(w);
+    if (conn.wq.pending() + framed.size() > opt_.xfr_max_inflight ||
+        !conn.wq.push(std::move(framed))) {
+      close_conn(conn.serial);  // reader fell beyond the transfer bound
+      return;
+    }
   }
   if (!conn.wq.flush(conn.fd)) {
     close_conn(conn.serial);

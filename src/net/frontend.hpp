@@ -90,7 +90,12 @@ class DnsFrontend {
     double idle_timeout = 30.0;        ///< close idle TCP connections
     std::size_t max_tcp_message = 0;   ///< 0 = u16 max (65535)
     std::size_t max_connections = 512;
-    std::size_t write_cap = 1 * 1024 * 1024;  ///< per-connection
+    std::size_t write_cap = 1 * 1024 * 1024;  ///< per-connection query backlog
+    /// Per-connection bound on queued zone-transfer output (respond_xfr).
+    /// Transfers are exempt from `write_cap` — a multi-megabyte AXFR stream
+    /// is normal, not a slow-reader symptom — but are still bounded: a
+    /// connection whose queued transfer bytes would exceed this is closed.
+    std::size_t xfr_max_inflight = 8 * 1024 * 1024;
     std::uint16_t edns_payload = 4096;  ///< our advertised receive size
     bool enable_cache = true;           ///< response packet cache (UDP)
     std::size_t cache_entries = 4096;   ///< per-shard cache capacity
@@ -137,6 +142,13 @@ class DnsFrontend {
   /// CH stats) are never stored.
   void respond(ClientId client, util::BytesView wire,
                std::optional<std::uint64_t> generation = std::nullopt);
+
+  /// Deliver a multi-message zone transfer (RFC 5936 envelope stream) onto
+  /// a TCP connection. Frames bypass the query backlog cap and are bounded
+  /// by Options::xfr_max_inflight instead; a connection still draining
+  /// queued transfer bytes is exempt from the idle sweep. UDP ClientIds are
+  /// ignored — transfer callers answer UDP with a TC stub instead.
+  void respond_xfr(ClientId client, const std::vector<util::Bytes>& wires);
 
   /// The bound address (resolves port 0 for tests).
   SockAddr bound_addr() const;
@@ -259,6 +271,8 @@ class DnsFrontend {
   obs::Counter* c_bypass_opcode_[2];
   obs::Counter* c_bypass_class_[2];
   obs::Counter* c_bypass_qform_[2];
+  obs::Counter* c_bypass_xfr_[2];
+  obs::Counter* c_bypass_notify_[2];
   /// Request arrival times, keyed (ClientId, DNS id), matched by the first
   /// respond() for that pair; bounded so an unanswerable flood cannot grow
   /// it without limit.

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "dns/edns.hpp"
+#include "dns/xfr.hpp"
 #include "net/frame.hpp"
 #include "util/bytes.hpp"
 
@@ -145,6 +146,94 @@ StubResolver::Result StubResolver::exchange_tcp(const dns::Message& request,
       }
     }
   }
+}
+
+StubResolver::Result StubResolver::xfr_tcp(const dns::Message& request,
+                                           const SockAddr& server) {
+  Result out;
+  out.used_tcp = true;
+  Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (sock.fd < 0) {
+    out.error = "socket: " + std::string(std::strerror(errno));
+    return out;
+  }
+  set_rcv_timeout(sock.fd, opt_.timeout);
+  const sockaddr_in sa = server.to_sockaddr();
+  for (;;) {
+    if (::connect(sock.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0) {
+      break;
+    }
+    if (errno == EINTR || errno == EALREADY) continue;
+    if (errno == EISCONN) break;
+    out.error = "connect: " + std::string(std::strerror(errno));
+    return out;
+  }
+  const Bytes framed = DnsTcpDecoder::frame(request.encode());
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = retry_send(sock.fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      out.error = "send: " + std::string(std::strerror(errno));
+      return out;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  // Read envelopes until the assembler sees the transfer close (trailing
+  // SOA / diff walk complete / lone up-to-date SOA).
+  dns::XfrAssembler assembler;
+  DnsTcpDecoder decoder;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = retry_recv(sock.fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      out.error = "timeout";
+      return out;
+    }
+    if (n == 0) {
+      out.error = "connection closed mid-transfer";
+      return out;
+    }
+    if (!decoder.feed({buf, static_cast<std::size_t>(n)})) {
+      out.error = "bad framing";
+      return out;
+    }
+    while (auto wire = decoder.next()) {
+      dns::Message envelope;
+      try {
+        envelope = dns::Message::decode(*wire);
+      } catch (const util::ParseError&) {
+        out.error = "undecodable envelope";
+        return out;
+      }
+      if (!matches(request, envelope)) continue;  // stray message
+      switch (assembler.feed(envelope)) {
+        case dns::XfrAssembler::State::kContinue:
+          break;
+        case dns::XfrAssembler::State::kDone:
+          out.ok = true;
+          out.response = assembler.combined();
+          return out;
+        case dns::XfrAssembler::State::kMalformed:
+          out.error = "malformed transfer stream";
+          return out;
+      }
+    }
+  }
+}
+
+StubResolver::Result StubResolver::xfr(dns::Message request) {
+  if (request.id == 0) request.id = next_id_++;
+  if (next_id_ == 0) next_id_ = 1;
+  Result last;
+  for (unsigned attempt = 0; attempt < opt_.attempts; ++attempt) {
+    const SockAddr& server = opt_.servers[attempt % opt_.servers.size()];
+    Result r = xfr_tcp(request, server);
+    r.tries = attempt + 1;
+    if (r.ok) return r;
+    last = std::move(r);
+  }
+  return last;
 }
 
 StubResolver::Result StubResolver::exchange(dns::Message request) {

@@ -58,9 +58,16 @@ class StubResolver {
   /// Raw exchange of an arbitrary request.
   Result exchange(dns::Message request);
 
+  /// Zone transfer: send an AXFR or IXFR query over TCP and reassemble the
+  /// RFC 5936 multi-message envelope stream. On success, Result.response is
+  /// the single combined logical transfer, ready for apply_xfr_response.
+  /// Rotates through the configured servers like exchange().
+  Result xfr(dns::Message request);
+
  private:
   Result exchange_udp(const dns::Message& request, const SockAddr& server);
   Result exchange_tcp(const dns::Message& request, const SockAddr& server);
+  Result xfr_tcp(const dns::Message& request, const SockAddr& server);
 
   Options opt_;
   std::uint16_t next_id_ = 0x517;

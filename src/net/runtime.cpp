@@ -118,6 +118,9 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
     else if (key == "shards") cfg.shards = static_cast<unsigned>(std::stoul(value));
     else if (key == "packet_cache") cfg.packet_cache = parse_bool(value, line);
     else if (key == "cache_entries") cfg.cache_entries = std::stoul(value);
+    else if (key == "notify") cfg.notify_edges.push_back(SockAddr::parse(value));
+    else if (key == "journal_limit") cfg.journal_limit = std::stoul(value);
+    else if (key == "xfr_max_inflight") cfg.xfr_max_inflight = std::stoul(value);
     else if (key == "seed") cfg.seed = std::stoull(value);
     else if (key == "stats_interval") cfg.stats_interval = std::stod(value);
     else if (key == "tsig_fudge") cfg.tsig_fudge = std::stoull(value);
@@ -166,6 +169,7 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   rc.sig_protocol = cfg_.sig_protocol;
   rc.disseminate_reads = cfg_.disseminate_reads;
   rc.complaint_timeout = cfg_.complaint_timeout;
+  rc.journal_limit = cfg_.journal_limit;
   if (cfg_.require_tsig) {
     rc.update_policy.require_tsig = true;
     rc.update_policy.keys.push_back(
@@ -243,6 +247,12 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
     route_response(client, m, replica_->zone_generation_value());
   };
   cb.now = [this] { return loop_.now(); };
+  // Every commit point (applied batch, installed signature, recovery
+  // install) schedules a NOTIFY round. Null-checked because the replica is
+  // constructed — and may bump during disk restore — before the notifier.
+  cb.zone_committed = [this](std::uint64_t) {
+    if (notifier_) notifier_->on_commit();
+  };
   cb.set_timer = [this](double delay, std::function<void()> fn) {
     loop_.add_timer(delay, std::move(fn));
   };
@@ -287,6 +297,28 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
     SDNS_LOG_INFO("sdnsd replica ", cfg_.id, ": state restored from ",
                   cfg_.data_dir);
   }
+
+  // ---- RFC 1996 NOTIFY fan-out to configured edges ----
+  if (!cfg_.notify_edges.empty()) {
+    Notifier::Options nopt;
+    nopt.edges = cfg_.notify_edges;
+    nopt.zone = replica_->server().zone().origin();
+    nopt.metrics = &registry_;
+    notifier_ = std::make_unique<Notifier>(loop_, std::move(nopt), [this] {
+      std::optional<dns::ResourceRecord> soa;
+      const dns::Zone& zone = replica_->server().zone();
+      if (const dns::RRset* rrset = zone.find(zone.origin(), dns::RRType::kSOA);
+          rrset && !rrset->rdatas.empty()) {
+        dns::ResourceRecord rr;
+        rr.name = rrset->name;
+        rr.type = rrset->type;
+        rr.ttl = rrset->ttl;
+        rr.rdata = rrset->rdatas.front();
+        soa = std::move(rr);
+      }
+      return soa;
+    });
+  }
 }
 
 ReplicaRuntime::~ReplicaRuntime() {
@@ -310,6 +342,7 @@ DnsFrontend::Options ReplicaRuntime::frontend_options(unsigned shard) {
   fopt.edns_payload = cfg_.edns_payload;
   fopt.enable_cache = cfg_.packet_cache;
   fopt.cache_entries = cfg_.cache_entries;
+  fopt.xfr_max_inflight = cfg_.xfr_max_inflight;
   fopt.generation = &replica_->zone_generation();
   fopt.metrics = &registry_;
   fopt.injector = injector_.get();
@@ -318,9 +351,63 @@ DnsFrontend::Options ReplicaRuntime::frontend_options(unsigned shard) {
 }
 
 void ReplicaRuntime::handle_request(ClientId client, BytesView wire) {
-  if (!maybe_answer_stats(client, wire)) {
-    replica_->on_client_request(client, wire);
+  if (maybe_answer_stats(client, wire)) return;
+  if (maybe_answer_xfr(client, wire)) return;
+  replica_->on_client_request(client, wire);
+}
+
+bool ReplicaRuntime::maybe_answer_xfr(ClientId client, BytesView wire) {
+  dns::Message request;
+  try {
+    request = dns::Message::decode(wire);
+  } catch (const util::ParseError&) {
+    return false;
   }
+  if (request.qr || request.opcode != dns::Opcode::kQuery ||
+      request.questions.size() != 1) {
+    return false;
+  }
+  const dns::Question& q = request.questions.front();
+  if (q.type != dns::RRType::kAXFR && q.type != dns::RRType::kIXFR) {
+    return false;
+  }
+  if (client_is_udp(client)) {
+    // RFC 5936 §4.2: AXFR is TCP-only. For IXFR over UDP a full answer may
+    // not fit either; both get a truncated stub so the resolver retries TCP.
+    dns::Message stub = dns::Message::make_response(request);
+    stub.tc = true;
+    route_response(client, stub.encode(), std::nullopt);
+    return true;
+  }
+  // Leave ~1.5 KiB of the 64 KiB TCP frame for the compressed header,
+  // question, and the pessimism gap of canonical-size budgeting.
+  constexpr std::size_t kXfrChunkWire = 60000;
+  bool used_axfr = false;
+  std::vector<dns::Message> envelopes =
+      replica_->server().answer_xfr(request, kXfrChunkWire, &used_axfr);
+  if (q.type == dns::RRType::kAXFR) {
+    registry_.counter("replica.axfr_out").inc();
+  } else {
+    registry_.counter("replica.ixfr_out").inc();
+    if (used_axfr) registry_.counter("replica.ixfr_fallback_axfr").inc();
+  }
+  std::vector<Bytes> wires;
+  wires.reserve(envelopes.size());
+  for (const dns::Message& m : envelopes) wires.push_back(m.encode());
+  route_xfr(client, std::move(wires));
+  return true;
+}
+
+void ReplicaRuntime::route_xfr(ClientId client, std::vector<Bytes> wires) {
+  const unsigned shard = client_tcp_shard(client);
+  if (shard >= shards_.size()) return;  // stale id from an old config
+  if (!shards_[shard].loop) {
+    shards_[shard].frontend->respond_xfr(client, wires);
+    return;
+  }
+  shards_[shard].loop->post([this, shard, client, ws = std::move(wires)] {
+    shards_[shard].frontend->respond_xfr(client, ws);
+  });
 }
 
 void ReplicaRuntime::route_response(ClientId client, Bytes wire,
@@ -478,6 +565,7 @@ void ReplicaRuntime::start() {
     shard.thread = std::thread([l = shard.loop.get()] { l->run(); });
   }
   mesh_->start();
+  if (notifier_) notifier_->start();
   if (injector_) {
     // fault_start aligns schedule time 0 across the whole forked cluster
     // (CLOCK_MONOTONIC is machine-wide); 0 means "the schedule starts now".

@@ -20,6 +20,7 @@
 #include "core/replica.hpp"
 #include "net/frontend.hpp"
 #include "net/mesh.hpp"
+#include "net/notify.hpp"
 #include "store/durable.hpp"
 
 namespace sdns::net {
@@ -65,6 +66,14 @@ struct RuntimeConfig {
   unsigned shards = 1;
   bool packet_cache = true;          ///< per-shard response packet cache
   std::size_t cache_entries = 4096;  ///< per-shard cache capacity
+  /// Replication edge: RFC 1996 NOTIFY targets, one `notify = host:port`
+  /// config line per edge. Empty = no notifier.
+  std::vector<SockAddr> notify_edges;
+  /// IXFR journal depth before old serials fall back to AXFR.
+  std::size_t journal_limit = 64;
+  /// Per-connection cap on queued AXFR/IXFR output (bytes). Transfer
+  /// streams are exempt from the query write cap; this bounds them instead.
+  std::size_t xfr_max_inflight = 8 * 1024 * 1024;
   std::uint64_t seed = 0;  ///< 0: derive from pid/clock (nonces, jitter)
   /// Log one counter-summary line every this many seconds (0 disables).
   double stats_interval = 0;
@@ -139,6 +148,14 @@ class ReplicaRuntime {
   /// harness's remote nudge for replicas that fell behind during a fault).
   /// Returns true when `wire` was a CHAOS-class query and has been answered.
   bool maybe_answer_stats(ClientId client, util::BytesView wire);
+  /// Serve AXFR/IXFR (RFC 5936 / RFC 1995) straight from the replica's
+  /// authoritative server, bypassing atomic broadcast — a transfer reads the
+  /// committed zone plus journal, both of which only the main loop mutates.
+  /// UDP transfer queries get a truncated stub pushing the client to TCP.
+  /// Returns true when `wire` was a transfer query and has been handled.
+  bool maybe_answer_xfr(ClientId client, util::BytesView wire);
+  /// Deliver a multi-message transfer stream to the shard owning `client`.
+  void route_xfr(ClientId client, std::vector<util::Bytes> wires);
   void log_stats_line();
   /// Protocol-state gauges (abcast cursor, delivery-log digest, zone
   /// digest, recovering flag) are snapshotted into the registry just before
@@ -167,6 +184,8 @@ class ReplicaRuntime {
   std::unique_ptr<core::ReplicaNode> replica_;
   std::vector<Shard> shards_;
   std::unique_ptr<Mesh> mesh_;
+  /// RFC 1996 NOTIFY fan-out; null unless notify_edges is configured.
+  std::unique_ptr<Notifier> notifier_;
 };
 
 }  // namespace sdns::net

@@ -63,6 +63,28 @@ TEST(SerialCompare, Rfc1982Semantics) {
   EXPECT_EQ(serial_compare(0, 0x80000000u), 0);
 }
 
+TEST(SerialCompare, Rfc1982Boundaries) {
+  // RFC 1982 §3.2: the comparison is defined only when the serials differ by
+  // less than 2^31. Exactly 2^31 apart is incomparable — in BOTH directions,
+  // from any starting point, including across the wrap.
+  for (const std::uint32_t a :
+       {0u, 1u, 0x12345678u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu}) {
+    const std::uint32_t b = a + 0x80000000u;  // wraps mod 2^32
+    EXPECT_EQ(serial_compare(a, b), 0) << a;
+    EXPECT_EQ(serial_compare(b, a), 0) << a;
+    // One short of the boundary is the greatest comparable distance...
+    EXPECT_LT(serial_compare(a, a + 0x7FFFFFFFu), 0) << a;
+    EXPECT_GT(serial_compare(a + 0x7FFFFFFFu, a), 0) << a;
+    // ...and one past it flips the sign: a + 2^31 + 1 is BEHIND a.
+    EXPECT_GT(serial_compare(a, a + 0x80000001u), 0) << a;
+    EXPECT_LT(serial_compare(a + 0x80000001u, a), 0) << a;
+  }
+  // Wraparound addition (§3.1): a serial stepping over 0xFFFFFFFF is newer.
+  EXPECT_LT(serial_compare(0xFFFFFFFEu, 0xFFFFFFFFu), 0);
+  EXPECT_LT(serial_compare(0xFFFFFFFFu, 42u), 0);
+  EXPECT_GT(serial_compare(42u, 0xFFFFFFFFu), 0);
+}
+
 TEST(Journal, RecordsDiffsPerUpdate) {
   auto server = make_server();
   ASSERT_EQ(server.apply_update(add_update("a", "10.0.0.1"), 1).rcode, Rcode::kNoError);
@@ -202,6 +224,167 @@ TEST(Ixfr, RefusedBelowApex) {
   auto server = make_server();
   Message q = Message::make_query(7, kOrigin.child("www"), RRType::kIXFR);
   EXPECT_EQ(server.answer_query(q).rcode, Rcode::kRefused);
+}
+
+// ---- RFC 5936 envelope streaming (answer_xfr) + reassembly ----
+
+Message feed_all(XfrAssembler& assembler, const std::vector<Message>& envelopes) {
+  for (const Message& e : envelopes) {
+    EXPECT_NE(assembler.state(), XfrAssembler::State::kMalformed);
+    assembler.feed(e);
+  }
+  EXPECT_EQ(assembler.state(), XfrAssembler::State::kDone);
+  return assembler.combined();
+}
+
+TEST(XfrStream, AxfrChunksUnderMaxWireAndReassembles) {
+  auto server = make_server();
+  for (int i = 0; i < 200; ++i) {
+    server.apply_update(add_update(("host" + std::to_string(i)).c_str(),
+                                   "10.1.2.3"), 1);
+  }
+  const Message q = Message::make_query(21, kOrigin, RRType::kAXFR);
+  constexpr std::size_t kMaxWire = 600;
+  bool used_axfr = false;
+  const std::vector<Message> envelopes = server.answer_xfr(q, kMaxWire, &used_axfr);
+  EXPECT_TRUE(used_axfr);
+  ASSERT_GT(envelopes.size(), 1u);  // the zone cannot fit one envelope
+  for (const Message& e : envelopes) {
+    EXPECT_LE(e.encode().size(), kMaxWire);
+    EXPECT_FALSE(e.answers.empty());
+    EXPECT_EQ(e.id, q.id);
+  }
+  // SOA-led, SOA-trailed, and ≥2 records in the first envelope (so a client
+  // can tell a chunked stream from a lone-SOA "up to date" reply).
+  EXPECT_EQ(envelopes.front().answers.front().type, RRType::kSOA);
+  EXPECT_EQ(envelopes.back().answers.back().type, RRType::kSOA);
+  EXPECT_GE(envelopes.front().answers.size(), 2u);
+
+  XfrAssembler assembler;
+  const Message combined = feed_all(assembler, envelopes);
+  Zone fresh(kOrigin);
+  EXPECT_EQ(apply_xfr_response(fresh, combined), XfrOutcome::kReplacedAxfr);
+  EXPECT_EQ(fresh.to_text(), server.zone().to_text());
+}
+
+TEST(XfrStream, IxfrDiffStreamsAndAppliesIncrementally) {
+  auto server = make_server();
+  server.set_journal_limit(256);  // keep all 120 diffs below in reach
+  Zone secondary = server.zone();
+  for (int i = 0; i < 120; ++i) {
+    server.apply_update(add_update(("d" + std::to_string(i)).c_str(),
+                                   "10.9.9.9"), 1);
+  }
+  const Message q = make_ixfr_query(22, kOrigin, *secondary.soa());
+  bool used_axfr = true;
+  const std::vector<Message> envelopes = server.answer_xfr(q, 600, &used_axfr);
+  EXPECT_FALSE(used_axfr);
+  ASSERT_GT(envelopes.size(), 1u);
+  XfrAssembler assembler;
+  const Message combined = feed_all(assembler, envelopes);
+  EXPECT_EQ(apply_xfr_response(secondary, combined), XfrOutcome::kAppliedIxfr);
+  EXPECT_EQ(secondary.to_text(), server.zone().to_text());
+}
+
+TEST(XfrStream, UpToDateIxfrIsSingleSoaEnvelope) {
+  auto server = make_server();
+  const Message q = make_ixfr_query(23, kOrigin, *server.zone().soa());
+  const std::vector<Message> envelopes = server.answer_xfr(q, 600);
+  ASSERT_EQ(envelopes.size(), 1u);
+  ASSERT_EQ(envelopes[0].answers.size(), 1u);
+  XfrAssembler assembler;
+  EXPECT_EQ(assembler.feed(envelopes[0]), XfrAssembler::State::kDone);
+  Zone z = server.zone();
+  EXPECT_EQ(apply_xfr_response(z, assembler.combined()), XfrOutcome::kUpToDate);
+}
+
+TEST(XfrStream, JournalTruncationFallsBackToAxfrFormat) {
+  auto server = make_server();
+  server.set_journal_limit(1);
+  Zone secondary = server.zone();
+  const SoaRdata old_soa = *secondary.soa();
+  for (int i = 0; i < 5; ++i) {
+    server.apply_update(add_update(("t" + std::to_string(i)).c_str(),
+                                   "10.0.0.7"), 1);
+  }
+  bool used_axfr = false;
+  const std::vector<Message> envelopes =
+      server.answer_xfr(make_ixfr_query(24, kOrigin, old_soa), 600, &used_axfr);
+  EXPECT_TRUE(used_axfr);
+  XfrAssembler assembler;
+  const Message combined = feed_all(assembler, envelopes);
+  EXPECT_EQ(apply_xfr_response(secondary, combined), XfrOutcome::kReplacedAxfr);
+  EXPECT_EQ(secondary.to_text(), server.zone().to_text());
+}
+
+TEST(XfrStream, ValidationFailuresAreSingleErrorEnvelopes) {
+  auto server = make_server();
+  const Message below = Message::make_query(25, kOrigin.child("www"), RRType::kAXFR);
+  std::vector<Message> envelopes = server.answer_xfr(below, 600);
+  ASSERT_EQ(envelopes.size(), 1u);
+  EXPECT_EQ(envelopes[0].rcode, Rcode::kRefused);
+  // The assembler surfaces the error reply as a completed (empty) transfer —
+  // callers read the rcode.
+  XfrAssembler assembler;
+  EXPECT_EQ(assembler.feed(envelopes[0]), XfrAssembler::State::kDone);
+  EXPECT_EQ(assembler.combined().rcode, Rcode::kRefused);
+
+  const Message wrong_type = Message::make_query(26, kOrigin, RRType::kA);
+  envelopes = server.answer_xfr(wrong_type, 600);
+  ASSERT_EQ(envelopes.size(), 1u);
+  EXPECT_EQ(envelopes[0].rcode, Rcode::kRefused);
+}
+
+TEST(XfrStream, AssemblerRejectsMalformedStreams) {
+  auto server = make_server();
+  for (int i = 0; i < 50; ++i) {
+    server.apply_update(add_update(("m" + std::to_string(i)).c_str(),
+                                   "10.2.2.2"), 1);
+  }
+  const Message q = Message::make_query(27, kOrigin, RRType::kAXFR);
+  const std::vector<Message> envelopes = server.answer_xfr(q, 600);
+  ASSERT_GT(envelopes.size(), 2u);
+
+  // A stream that does not lead with the SOA is not a transfer.
+  XfrAssembler wrong_first;
+  EXPECT_EQ(wrong_first.feed(envelopes[1]), XfrAssembler::State::kMalformed);
+
+  // Data after the terminal SOA: trailing envelopes must be rejected.
+  XfrAssembler trailing;
+  for (const Message& e : envelopes) trailing.feed(e);
+  ASSERT_EQ(trailing.state(), XfrAssembler::State::kDone);
+  EXPECT_EQ(trailing.feed(envelopes[1]), XfrAssembler::State::kMalformed);
+
+  // An empty envelope mid-stream carries no records — malformed.
+  XfrAssembler empty_mid;
+  empty_mid.feed(envelopes[0]);
+  ASSERT_EQ(empty_mid.state(), XfrAssembler::State::kContinue);
+  Message hollow = Message::make_response(q);
+  EXPECT_EQ(empty_mid.feed(hollow), XfrAssembler::State::kMalformed);
+}
+
+TEST(Notify, MessageShapeFollowsRfc1996) {
+  auto server = make_server();
+  ResourceRecord soa;
+  soa.name = kOrigin;
+  soa.type = RRType::kSOA;
+  soa.ttl = 600;
+  soa.rdata = server.zone().find(kOrigin, RRType::kSOA)->rdatas.front();
+
+  const Message n = make_notify(0x4e46, kOrigin, &soa);
+  const Message decoded = Message::decode(n.encode());
+  EXPECT_EQ(decoded.id, 0x4e46);
+  EXPECT_FALSE(decoded.qr);
+  EXPECT_EQ(decoded.opcode, Opcode::kNotify);
+  EXPECT_TRUE(decoded.aa);
+  ASSERT_EQ(decoded.questions.size(), 1u);
+  EXPECT_EQ(decoded.questions[0].name, kOrigin);
+  EXPECT_EQ(decoded.questions[0].type, RRType::kSOA);
+  // §3.7: the answer section MAY carry the current SOA as a serial hint.
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(SoaRdata::decode(decoded.answers[0].rdata).serial, 10u);
+  // Without the hint the answer section stays empty.
+  EXPECT_TRUE(make_notify(1, kOrigin).answers.empty());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "dns/edns.hpp"
 #include "dns/message.hpp"
 #include "dns/tsig.hpp"
+#include "dns/xfr.hpp"
 
 namespace sdns::net {
 namespace {
@@ -106,9 +107,24 @@ TEST(ClassifyTest, BypassReasons) {
   upd.opcode = 5;  // UPDATE
   EXPECT_EQ(classify_query(upd), Cacheable::kOpcode);
 
+  // Transfer and NOTIFY traffic must bypass under its OWN reason — the
+  // counters name why a query skipped the cache, and a transfer stream or a
+  // zone-change signal misfiled under "question form" hides real problems.
   QueryShape axfr = s;
   axfr.qtype = 252;  // AXFR
-  EXPECT_EQ(classify_query(axfr), Cacheable::kQform);
+  EXPECT_EQ(classify_query(axfr), Cacheable::kXfr);
+  QueryShape ixfr = s;
+  ixfr.qtype = 251;  // IXFR
+  EXPECT_EQ(classify_query(ixfr), Cacheable::kXfr);
+  QueryShape notify = s;
+  notify.opcode = 4;  // NOTIFY
+  EXPECT_EQ(classify_query(notify), Cacheable::kNotify);
+  // NOTIFY outranks every other test: even a malformed qr-set NOTIFY is
+  // attributed to the opcode that can never be served from cache.
+  QueryShape notify_qr = notify;
+  notify_qr.qr = true;
+  EXPECT_EQ(classify_query(notify_qr), Cacheable::kNotify);
+
   QueryShape multi = s;
   multi.qdcount = 2;
   EXPECT_EQ(classify_query(multi), Cacheable::kQform);
@@ -198,6 +214,36 @@ TEST(PacketCacheTest, StoreLookupAndGenerationFlush) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.stats().flushes, 2u);
   ASSERT_NE(cache.lookup("b", 3), nullptr);
+}
+
+TEST(PacketCacheTest, NeverServesTransfersOrNotify) {
+  // The frontend's serving gate: the cache is consulted only when
+  // classify_query answers kYes. A transfer is a multi-message TCP dialogue
+  // and a NOTIFY is a signal, not a question — a cached single answer
+  // "serving" either would be wrong even if the stored bytes looked right.
+  PacketCache cache(16);
+  const Bytes normal = query("zone.example.com.");
+  const QueryShape nshape = scan(normal);
+  std::string key;
+  append_cache_key(key, normal, nshape);
+  cache.store(key, Bytes{0xca, 0xfe}, nshape.question_len, 1);
+  ASSERT_NE(cache.lookup(key, 1), nullptr);  // a normal query would hit
+
+  for (const dns::RRType t : {dns::RRType::kAXFR, dns::RRType::kIXFR}) {
+    const Bytes xfr = query("zone.example.com.", t);
+    QueryShape shape;
+    ASSERT_TRUE(scan_query(xfr, shape));
+    EXPECT_EQ(classify_query(shape), Cacheable::kXfr);  // gate: never looked up
+    // Even a bypass bug could not alias the stored entry: qtype keys it.
+    std::string xkey;
+    append_cache_key(xkey, xfr, shape);
+    EXPECT_NE(xkey, key);
+  }
+  const dns::Message notify =
+      dns::make_notify(9, dns::Name::parse("zone.example.com."));
+  QueryShape shape;
+  ASSERT_TRUE(scan_query(notify.encode(), shape));
+  EXPECT_EQ(classify_query(shape), Cacheable::kNotify);
 }
 
 TEST(PacketCacheTest, EvictsAtCapacity) {

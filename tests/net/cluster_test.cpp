@@ -24,7 +24,10 @@
 #include <thread>
 #include <vector>
 
+#include "dns/dnssec.hpp"
+#include "dns/xfr.hpp"
 #include "net/cluster.hpp"
+#include "net/edge.hpp"
 #include "net/resolver.hpp"
 #include "net/runtime.hpp"
 
@@ -47,11 +50,15 @@ class ClusterTest : public ::testing::Test {
     opt.seed = 42;
     opt.shards = shards_;
     opt.disseminate_reads = disseminate_reads_;
-    // Spread port ranges by pid so parallel test runs don't collide.
+    opt.edges = edges_;
+    opt.journal_limit = journal_limit_;
+    // Spread port ranges by pid so parallel test runs don't collide. Each
+    // slot holds 4 DNS + 4 mesh + up to 4 edge ports.
     const std::uint16_t base =
-        static_cast<std::uint16_t>(20000 + (::getpid() % 4000) * 8);
+        static_cast<std::uint16_t>(20000 + (::getpid() % 3500) * 12);
     opt.dns_base_port = base;
     opt.mesh_base_port = base + 4;
+    opt.edge_base_port = base + 8;
     files_ = generate_cluster(dir_, opt);
     tsig_key_ = {files_.tsig_name, util::hex_decode(files_.tsig_secret_hex)};
 
@@ -60,11 +67,24 @@ class ClusterTest : public ::testing::Test {
     for (unsigned i = 0; i < 4; ++i) {
       ASSERT_TRUE(wait_until_up(i)) << "replica " << i << " never came up";
     }
+    edge_pids_.assign(edges_, -1);
+    for (unsigned k = 0; k < edges_; ++k) spawn_edge(k);
+    for (unsigned k = 0; k < edges_; ++k) {
+      // Edges answer ServFail until the AXFR bootstrap verifies + installs.
+      ASSERT_TRUE(converges_at(files_.edge_addrs[k], "www.example.com.", 20.0))
+          << "edge " << k << " never bootstrapped";
+    }
   }
 
   void TearDown() override {
+    for (pid_t pid : edge_pids_) {
+      if (pid > 0) ::kill(pid, SIGTERM);
+    }
     for (pid_t pid : pids_) {
       if (pid > 0) ::kill(pid, SIGTERM);
+    }
+    for (pid_t pid : edge_pids_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
     }
     for (pid_t pid : pids_) {
       if (pid > 0) ::waitpid(pid, nullptr, 0);
@@ -94,6 +114,29 @@ class ClusterTest : public ::testing::Test {
     pids_[id] = pid;
   }
 
+  /// Fork one edge process; its code path is exactly sdns_edge's. The retry
+  /// and refresh cadences are tightened so the test converges fast even if
+  /// an edge comes up before the core or a NOTIFY datagram is lost.
+  void spawn_edge(unsigned k) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      try {
+        EdgeConfig config = EdgeConfig::load(files_.edge_configs[k]);
+        config.retry_interval = 0.3;
+        config.refresh_interval = 3.0;
+        EventLoop loop;
+        EdgeRuntime runtime(loop, std::move(config));
+        runtime.start();
+        loop.run();
+        std::_Exit(0);
+      } catch (...) {
+        std::_Exit(1);
+      }
+    }
+    edge_pids_[k] = pid;
+  }
+
   void kill_replica(unsigned id) {
     ASSERT_GT(pids_[id], 0);
     ::kill(pids_[id], SIGKILL);
@@ -101,13 +144,18 @@ class ClusterTest : public ::testing::Test {
     pids_[id] = -1;
   }
 
-  StubResolver resolver_for(unsigned id, double timeout = 1.0,
-                            unsigned attempts = 10) const {
+  static StubResolver resolver_at(const SockAddr& addr, double timeout = 1.0,
+                                  unsigned attempts = 10) {
     StubResolver::Options opt;
-    opt.servers = {files_.dns_addrs[id]};
+    opt.servers = {addr};
     opt.timeout = timeout;
     opt.attempts = attempts;
     return StubResolver(opt);
+  }
+
+  StubResolver resolver_for(unsigned id, double timeout = 1.0,
+                            unsigned attempts = 10) const {
+    return resolver_at(files_.dns_addrs[id], timeout, attempts);
   }
 
   bool wait_until_up(unsigned id) {
@@ -117,10 +165,12 @@ class ClusterTest : public ::testing::Test {
     return r.ok;
   }
 
-  /// Wait until replica `id` serves `name` with an A record (updates are
-  /// applied asynchronously after abcast delivery + threshold signing).
-  bool converges_on(unsigned id, const std::string& name, double timeout = 15.0) {
-    StubResolver r = resolver_for(id, /*timeout=*/0.5, /*attempts=*/1);
+  /// Wait until the server at `addr` serves `name` with an A record (updates
+  /// are applied asynchronously after abcast delivery + threshold signing;
+  /// edges lag one more NOTIFY/IXFR hop behind).
+  static bool converges_at(const SockAddr& addr, const std::string& name,
+                           double timeout = 15.0) {
+    StubResolver r = resolver_at(addr, /*timeout=*/0.5, /*attempts=*/1);
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout);
     while (std::chrono::steady_clock::now() < deadline) {
@@ -132,6 +182,10 @@ class ClusterTest : public ::testing::Test {
       ::usleep(200 * 1000);
     }
     return false;
+  }
+
+  bool converges_on(unsigned id, const std::string& name, double timeout = 15.0) {
+    return converges_at(files_.dns_addrs[id], name, timeout);
   }
 
   StubResolver::Result add_record(unsigned via, const std::string& name,
@@ -150,10 +204,11 @@ class ClusterTest : public ::testing::Test {
     return r.send_update(std::move(update), &tsig_key_);
   }
 
-  /// Scrape replica `id`'s live counters over the wire: stats.sdns. CH TXT,
-  /// one `name=value` character-string per answer RR.
-  std::map<std::string, std::uint64_t> scrape_stats(unsigned id) {
-    StubResolver r = resolver_for(id, /*timeout=*/1.0, /*attempts=*/3);
+  /// Scrape live counters over the wire: stats.sdns. CH TXT, one
+  /// `name=value` character-string per answer RR. Works against replicas
+  /// and edges alike.
+  static std::map<std::string, std::uint64_t> scrape_stats_at(const SockAddr& addr) {
+    StubResolver r = resolver_at(addr, /*timeout=*/1.0, /*attempts=*/3);
     const auto res = r.query(dns::Name::parse("stats.sdns."),
                              dns::RRType::kTXT, dns::RRClass::kCH);
     std::map<std::string, std::uint64_t> out;
@@ -172,15 +227,52 @@ class ClusterTest : public ::testing::Test {
     return out;
   }
 
+  std::map<std::string, std::uint64_t> scrape_stats(unsigned id) {
+    return scrape_stats_at(files_.dns_addrs[id]);
+  }
+
+  /// AXFR the zone from `addr` over the real TCP frontend, reassembled from
+  /// the RFC 5936 envelope stream, and verify the copy against the dealt
+  /// threshold zone key — the same trust gate an edge applies.
+  dns::Zone fetch_and_verify_zone(const SockAddr& addr) {
+    StubResolver r = resolver_at(addr, /*timeout=*/5.0, /*attempts=*/3);
+    dns::Message axfr;
+    axfr.questions.push_back({dns::Name::parse("example.com."),
+                              dns::RRType::kAXFR, dns::RRClass::kIN});
+    const auto res = r.xfr(std::move(axfr));
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    dns::Zone zone(dns::Name::parse("example.com."));
+    EXPECT_EQ(dns::apply_xfr_response(zone, res.response),
+              dns::XfrOutcome::kReplacedAxfr);
+    const dns::RRset* keys = zone.find(zone.origin(), dns::RRType::kKEY);
+    EXPECT_NE(keys, nullptr) << "transferred zone carries no apex KEY";
+    if (keys && !keys->rdatas.empty()) {
+      const crypto::RsaPublicKey pub =
+          dns::zone_key_from_record(dns::KeyRdata::decode(keys->rdatas.front()));
+      EXPECT_TRUE(pub.n == files_.zone_key.n && pub.e == files_.zone_key.e)
+          << "transferred apex KEY is not the dealt zone key";
+    }
+    EXPECT_TRUE(dns::verify_zone(zone).ok)
+        << "transferred zone failed threshold-signature verification";
+    return zone;
+  }
+
   std::string dir_;
   ClusterFiles files_;
   dns::TsigKey tsig_key_;
   std::vector<pid_t> pids_;
+  std::vector<pid_t> edge_pids_;
   /// Frontend shards per replica; subclasses set this before SetUp runs.
   unsigned shards_ = 1;
   /// §3.4 rare-update mode: reads go through atomic broadcast, so their
   /// responses are produced asynchronously. Subclasses set before SetUp.
   bool disseminate_reads_ = false;
+  /// Replication edges forked alongside the replicas. Subclasses set before
+  /// SetUp; the generated replica configs then carry matching notify lines.
+  unsigned edges_ = 0;
+  /// IXFR journal depth in the generated replica configs (0 = default).
+  std::size_t journal_limit_ = 0;
 };
 
 TEST_F(ClusterTest, ServesSignedZoneCrashAndRecover) {
@@ -401,6 +493,129 @@ class DisseminatedShardedClusterTest : public ClusterTest {
     disseminate_reads_ = true;
   }
 };
+
+/// journal_limit = 1: after a few updates every older serial has fallen out
+/// of the IXFR journal, so a stale-serial IXFR must come back in AXFR format
+/// (RFC 1995 §4) — the fallback an edge recovers through after being
+/// offline longer than the journal covers.
+class TruncatedJournalClusterTest : public ClusterTest {
+ protected:
+  TruncatedJournalClusterTest() { journal_limit_ = 1; }
+};
+
+TEST_F(TruncatedJournalClusterTest, StaleIxfrFallsBackToAxfrOverTheWire) {
+  // ---- the seed zone AXFRs out of the live TCP frontend and verifies ----
+  const dns::Zone seed_zone = fetch_and_verify_zone(files_.dns_addrs[0]);
+  EXPECT_GT(seed_zone.record_count(), 0u);
+  const auto seed_soa = seed_zone.soa();
+  ASSERT_TRUE(seed_soa.has_value());
+
+  // ---- three signed updates; journal depth 1 forgets all but the last ----
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "u" + std::to_string(i) + ".example.com.";
+    const auto res = add_record(0, name, "10.7.0." + std::to_string(i + 1));
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    ASSERT_TRUE(converges_on(0, name));
+  }
+
+  // ---- IXFR from the seed serial: the journal no longer covers it, so the
+  //      replica answers in AXFR format and the client's copy is replaced
+  //      wholesale — and still verifies under the dealt zone key ----
+  {
+    StubResolver r = resolver_at(files_.dns_addrs[0], /*timeout=*/5.0,
+                                 /*attempts=*/3);
+    const auto res = r.xfr(make_ixfr_query(
+        0, dns::Name::parse("example.com."), *seed_soa));
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    dns::Zone copy = seed_zone;
+    ASSERT_EQ(dns::apply_xfr_response(copy, res.response),
+              dns::XfrOutcome::kReplacedAxfr)
+        << "stale IXFR did not fall back to AXFR format";
+    EXPECT_NE(copy.find(dns::Name::parse("u2.example.com."), dns::RRType::kA),
+              nullptr);
+    EXPECT_TRUE(dns::verify_zone(copy).ok);
+
+    // ---- and an IXFR from the now-current serial is a lone SOA ----
+    const auto fresh_soa = copy.soa();
+    ASSERT_TRUE(fresh_soa.has_value());
+    const auto res2 = r.xfr(make_ixfr_query(
+        0, dns::Name::parse("example.com."), *fresh_soa));
+    ASSERT_TRUE(res2.ok) << res2.error;
+    dns::Zone copy2 = copy;
+    EXPECT_EQ(dns::apply_xfr_response(copy2, res2.response),
+              dns::XfrOutcome::kUpToDate);
+  }
+
+  const auto stats = scrape_stats(0);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_GE(stats.at("replica.axfr_out"), 1u);
+  EXPECT_GE(stats.at("replica.ixfr_out"), 2u);
+  EXPECT_GE(stats.at("replica.ixfr_fallback_axfr"), 1u);
+}
+
+/// The full replication-edge deployment in miniature: a 4-replica core with
+/// two forked sdns_edge processes riding NOTIFY + IXFR behind it.
+class EdgeClusterTest : public ClusterTest {
+ protected:
+  EdgeClusterTest() { edges_ = 2; }
+};
+
+TEST_F(EdgeClusterTest, EdgesFollowCommittedUpdatesAndStayVerified) {
+  // SetUp already proved both edges bootstrapped (they answered NOERROR);
+  // the bootstrap path must have been one verified AXFR each.
+  for (unsigned k = 0; k < 2; ++k) {
+    const auto stats = scrape_stats_at(files_.edge_addrs[k]);
+    ASSERT_FALSE(stats.empty()) << "edge " << k << " stats scrape failed";
+    EXPECT_GE(stats.at("edge.axfr_bootstraps"), 1u);
+    EXPECT_EQ(stats.at("edge.verify_failures"), 0u);
+  }
+
+  // ---- edges serve the threshold-signed zone ----
+  {
+    StubResolver r = resolver_at(files_.edge_addrs[0]);
+    const auto res =
+        r.query(dns::Name::parse("www.example.com."), dns::RRType::kA);
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+    bool has_sig = false;
+    for (const auto& rr : res.response.answers) {
+      if (rr.type == dns::RRType::kSIG) has_sig = true;
+    }
+    EXPECT_TRUE(has_sig) << "edge served an unsigned answer";
+  }
+
+  // ---- a TSIG-signed update through the core propagates to both edges:
+  //      commit → NOTIFY → ack → IXFR → verify → swap ----
+  const auto res = add_record(0, "edge-fresh.example.com.", "10.8.8.8");
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+  for (unsigned k = 0; k < 2; ++k) {
+    EXPECT_TRUE(converges_at(files_.edge_addrs[k], "edge-fresh.example.com.", 20.0))
+        << "edge " << k << " never served the committed update";
+  }
+
+  // ---- the refresh was incremental and NOTIFY-driven ----
+  for (unsigned k = 0; k < 2; ++k) {
+    const auto stats = scrape_stats_at(files_.edge_addrs[k]);
+    ASSERT_FALSE(stats.empty());
+    EXPECT_GE(stats.at("edge.notifies_received"), 1u)
+        << "edge " << k << " refreshed only via the polling backstop";
+    EXPECT_GE(stats.at("edge.ixfr_applied"), 1u)
+        << "edge " << k << " fell back to AXFR for an in-journal refresh";
+    EXPECT_EQ(stats.at("edge.verify_failures"), 0u);
+  }
+  std::uint64_t notifies_sent = 0, acks = 0;
+  for (unsigned id = 0; id < 4; ++id) {
+    const auto stats = scrape_stats(id);
+    ASSERT_FALSE(stats.empty());
+    notifies_sent += stats.at("replica.notifies_sent");
+    acks += stats.at("replica.notify_acks");
+  }
+  EXPECT_GE(notifies_sent, 1u);
+  EXPECT_GE(acks, 1u);
+}
 
 TEST_F(DisseminatedShardedClusterTest, AsyncReadResponsesAreCachedOnTheirShard) {
   // Fresh source port per query, so the kernel's REUSEPORT hash spreads

@@ -16,8 +16,11 @@
 #include <thread>
 
 #include "dns/edns.hpp"
+#include "dns/server.hpp"
 #include "dns/tsig.hpp"
+#include "dns/xfr.hpp"
 #include "net/loop.hpp"
+#include "net/resolver.hpp"
 
 namespace sdns::net {
 namespace {
@@ -149,6 +152,20 @@ class FrontendTest : public ::testing::Test {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) return {};
     return Bytes(buf, buf + n);
+  }
+
+  /// The request handler playing ReplicaRuntime's transfer path: every
+  /// request goes through answer_xfr + respond_xfr against `server`.
+  DnsFrontend::RequestFn xfr_handler(
+      std::shared_ptr<dns::AuthoritativeServer> server) {
+    return [this, server](ClientId client, util::BytesView wire) {
+      const dns::Message q = dns::Message::decode(wire);
+      std::vector<dns::Message> envelopes = server->answer_xfr(q, 60000);
+      std::vector<Bytes> wires;
+      wires.reserve(envelopes.size());
+      for (const dns::Message& m : envelopes) wires.push_back(m.encode());
+      frontend_->respond_xfr(client, wires);
+    };
   }
 
   EventLoop loop_;
@@ -779,6 +796,119 @@ TEST_F(FrontendTest, IdleTcpConnectionIsClosed) {
     std::uint8_t buf[16];
     // No traffic: the sweep must close us within a few sweep periods.
     EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0);
+    ::close(fd);
+  });
+}
+
+// ---- zone transfer streaming over the real TCP frontend ----
+
+dns::Zone big_zone(std::size_t hosts) {
+  dns::Zone z = dns::Zone::from_text(dns::Name::parse("big.example."), R"(
+@  IN SOA ns.big.example. admin.big.example. 1 7200 1200 604800 600
+@  IN NS  ns.big.example.
+ns IN A   192.0.2.53
+)");
+  for (std::size_t i = 0; i < hosts; ++i) {
+    dns::ResourceRecord rr;
+    rr.name = z.origin().child("h" + std::to_string(i));
+    rr.type = dns::RRType::kA;
+    rr.ttl = 300;
+    rr.rdata = dns::ARdata::from_text("10.0.0.1").encode();
+    z.add_record(rr);
+  }
+  return z;
+}
+
+TEST_F(FrontendTest, AxfrOf100kRrsetZoneStreamsOverTcp) {
+  // The regression this whole edge rides on: a zone whose AXFR is megabytes
+  // must stream as multiple RFC 5936 envelopes, each under the 64 KiB TCP
+  // length prefix — the old single-message answer_axfr could never leave the
+  // building. Reassembled client-side with apply_xfr_response, byte-for-byte.
+  auto server = std::make_shared<dns::AuthoritativeServer>(big_zone(100'000));
+  DnsFrontend::Options opt;
+  start_custom(opt, xfr_handler(server));
+  StubResolver::Result res;
+  run_with_client([&] {
+    StubResolver::Options ropt;
+    ropt.servers = {addr_};
+    ropt.timeout = 20.0;
+    StubResolver resolver(std::move(ropt));
+    res = resolver.xfr(dns::Message::make_query(0x100, server->zone().origin(),
+                                                dns::RRType::kAXFR));
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_EQ(res.response.rcode, dns::Rcode::kNoError);
+  dns::Zone fresh(server->zone().origin());
+  ASSERT_EQ(apply_xfr_response(fresh, res.response),
+            dns::XfrOutcome::kReplacedAxfr);
+  EXPECT_EQ(fresh.record_count(), server->zone().record_count());
+  EXPECT_EQ(fresh.record_count(), 100'003u);
+}
+
+TEST_F(FrontendTest, SlowXfrReaderSurvivesIdleSweepAndQueryWriteCap) {
+  // Satellite regression: a connection with queued transfer output is ACTIVE
+  // (the peer is draining megabytes, not idling), so neither the idle sweep
+  // nor the per-connection query write cap may kill it mid-transfer. Before
+  // the xfr_max_inflight split, this client died twice over: the stream
+  // exceeds write_cap at push time, and sleeping past idle_timeout got the
+  // connection swept.
+  auto server = std::make_shared<dns::AuthoritativeServer>(big_zone(20'000));
+  DnsFrontend::Options opt;
+  opt.idle_timeout = 0.2;
+  opt.write_cap = 4096;  // far below the ~700 KiB stream
+  start_custom(opt, xfr_handler(server));
+  bool done = false;
+  run_with_client([&] {
+    const int fd = tcp_connect_blocking();
+    const Bytes framed = DnsTcpDecoder::frame(
+        dns::Message::make_query(0x200, server->zone().origin(),
+                                 dns::RRType::kAXFR)
+            .encode());
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+    // Sleep well past several sweep periods while the transfer backlog sits
+    // queued server-side; then drain it all.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    dns::XfrAssembler assembler;
+    while (assembler.state() == dns::XfrAssembler::State::kContinue) {
+      const auto msg = read_tcp_message(fd);
+      ASSERT_TRUE(msg.has_value()) << "connection died mid-transfer";
+      assembler.feed(dns::Message::decode(*msg));
+    }
+    ASSERT_EQ(assembler.state(), dns::XfrAssembler::State::kDone);
+    dns::Zone fresh(server->zone().origin());
+    ASSERT_EQ(apply_xfr_response(fresh, assembler.combined()),
+              dns::XfrOutcome::kReplacedAxfr);
+    done = fresh.record_count() == server->zone().record_count();
+    ::close(fd);
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST_F(FrontendTest, XfrBacklogBeyondInflightCapClosesConnection) {
+  // The transfer exemption is not unbounded: a stream that would queue more
+  // than xfr_max_inflight closes the connection instead of growing without
+  // limit.
+  auto server = std::make_shared<dns::AuthoritativeServer>(big_zone(20'000));
+  DnsFrontend::Options opt;
+  opt.xfr_max_inflight = 64 * 1024;  // the ~700 KiB stream cannot fit
+  start_custom(opt, xfr_handler(server));
+  run_with_client([&] {
+    const int fd = tcp_connect_blocking();
+    const Bytes framed = DnsTcpDecoder::frame(
+        dns::Message::make_query(0x201, server->zone().origin(),
+                                 dns::RRType::kAXFR)
+            .encode());
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+    // Without draining, the push must overflow the cap and the server must
+    // close — we observe EOF (possibly after a partial stream).
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      ASSERT_NE(n, -1) << "timed out waiting for the server to close";
+      if (n == 0) break;
+    }
     ::close(fd);
   });
 }
