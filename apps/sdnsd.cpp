@@ -2,7 +2,8 @@
 //
 //   sdnsd <config-file> [--recover] [--data-dir DIR] [--snapshot-bytes N]
 //         [--log LEVEL] [--stats-interval SECONDS]
-//         [--trace-dump] [--shards N] [--fault-schedule FILE]
+//         [--trace-dump] [--shards N] [--parse-threads N]
+//         [--fault-schedule FILE]
 //         [--fault-seed SEED] [--fault-time-scale X] [--fault-wan TOPOLOGY]
 //
 // The config file format is RuntimeConfig::load's `key = value` form; see
@@ -72,6 +73,7 @@ int usage(const char* argv0) {
                "usage: %s <config-file> [--recover] [--data-dir DIR]"
                " [--snapshot-bytes N] [--log error|warn|info|debug]"
                " [--stats-interval SECONDS] [--trace-dump] [--shards N]"
+               " [--parse-threads N]"
                " [--fault-schedule FILE] [--fault-seed SEED]"
                " [--fault-time-scale X] [--fault-wan TOPOLOGY]\n",
                argv0);
@@ -101,7 +103,8 @@ int main(int argc, char** argv) {
   bool trace_dump = false;
   bool explicit_log_level = false;
   double stats_interval = -1;
-  int shards = 0;  // 0: keep the config file's value
+  int shards = 0;         // 0: keep the config file's value
+  int parse_threads = 0;  // 0: keep the config file's value
   const char* fault_schedule = nullptr;
   const char* fault_wan = nullptr;
   unsigned long long fault_seed = 0;
@@ -123,6 +126,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
       if (shards < 1 || shards > 16) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--parse-threads") == 0 && i + 1 < argc) {
+      parse_threads = std::atoi(argv[++i]);
+      if (parse_threads < 1) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--fault-schedule") == 0 && i + 1 < argc) {
       fault_schedule = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
@@ -169,6 +175,7 @@ int main(int argc, char** argv) {
     }
     if (stats_interval > 0) config.stats_interval = stats_interval;
     if (shards > 0) config.shards = static_cast<unsigned>(shards);
+    if (parse_threads > 0) config.parse_threads = static_cast<unsigned>(parse_threads);
     if (fault_schedule) config.fault_schedule = fault_schedule;
     if (explicit_fault_seed) config.fault_seed = fault_seed;
     if (fault_time_scale > 0) config.fault_time_scale = fault_time_scale;

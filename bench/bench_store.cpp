@@ -8,18 +8,26 @@
 //      floor under every acknowledged update's commit latency.
 //   3. Cold-restart time — open a data directory holding a snapshot of a
 //      1k / 100k / 1M-RRset zone plus a short WAL tail, with the
-//      deployment-shaped verifier (full Zone::from_wire parse) in place.
+//      deployment-shaped verifier (full Zone::from_wire parse, parsed zone
+//      stashed in ZoneState::verified_zone exactly as sdnsd does) in place.
+//      Each row also times the legacy v1 zone encoding's parse so the
+//      SDNSZONE2 bulk-load speedup stays visible in the JSON.
 //
 //   bench_store [--dir DIR] [--records N] [--quick] [--json FILE]
+//               [--threads N] [--max-parse-us N]
 //
 // --dir points at the filesystem under test (default: a fresh /tmp dir —
 // NOTE: tmpfs fsyncs are free; point at a real disk for honest numbers).
 // --quick caps the cold-restart sweep at 100k RRsets for CI smoke runs.
+// --threads forwards to Zone::from_wire (0 = hardware concurrency).
+// --max-parse-us N exits nonzero if the 100k-RRset row's v2 zone parse
+// exceeds N microseconds — the CI perf-smoke regression gate.
 #include <time.h>
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +53,7 @@ double now_s() {
 }
 
 std::string fresh_dir(const std::string& base, const std::string& name) {
+  sdns::util::ensure_dir(base);  // --dir need not pre-exist
   const std::string dir = base + "/" + name;
   const std::string cleanup = "rm -rf '" + dir + "'";
   (void)std::system(cleanup.c_str());
@@ -105,14 +114,21 @@ struct RestartRow {
   std::size_t zone_bytes = 0;
   std::size_t snapshot_bytes = 0;
   std::size_t wal_tail = 0;
-  double zone_parse_ms = 0;  ///< Zone::from_wire alone
-  double open_ms = 0;        ///< DurableZoneStore ctor incl. verify (parse)
+  unsigned parse_threads = 0;    ///< Zone::from_wire thread request (0 = auto)
+  double zone_parse_us = 0;      ///< Zone::from_wire, SDNSZONE2 encoding
+  double zone_parse_v1_us = 0;   ///< Zone::from_wire, legacy v1 encoding
+  double zone_parse_ms = 0;      ///< zone_parse_us / 1000 (kept for trajectory)
+  double open_ms = 0;            ///< DurableZoneStore ctor incl. verify (parse)
 };
 
 /// A synthetic unsigned zone of `rrsets` A records. Unsigned keeps the
 /// sweep about I/O + parse cost; the threshold-verification cost of a
 /// signed zone is covered by BENCH_crypto.json's verify numbers.
-Bytes synthetic_zone_wire(std::size_t rrsets) {
+/// Both encodings of a synthetic zone. The Zone itself is built and
+/// destroyed inside this function so the timed parses below start from the
+/// same allocator state a long-running process restarts with (freed pages
+/// ready for reuse), not a pristine heap paying a page fault per node.
+void synthetic_zone_wires(std::size_t rrsets, Bytes& wire, Bytes& wire_v1) {
   sdns::dns::Zone zone = sdns::dns::Zone::from_text(
       Name::parse("bench.example."),
       "@ 3600 IN SOA ns1.bench.example. op.bench.example. 1 7200 3600 1209600 "
@@ -127,17 +143,22 @@ Bytes synthetic_zone_wire(std::size_t rrsets) {
                 static_cast<std::uint8_t>(a >> 8), static_cast<std::uint8_t>(a)};
     zone.add_record(rr);
   }
-  return zone.to_wire();
+  wire = zone.to_wire();
+  wire_v1 = zone.to_wire_v1();
 }
 
-RestartRow bench_restart(const std::string& base, std::size_t rrsets) {
+RestartRow bench_restart(const std::string& base, std::size_t rrsets,
+                         unsigned threads) {
   const std::string dir = fresh_dir(base, "restart_" + std::to_string(rrsets));
-  Bytes wire = synthetic_zone_wire(rrsets);
+  Bytes wire;
+  Bytes wire_v1;
+  synthetic_zone_wires(rrsets, wire, wire_v1);
 
   RestartRow row;
   row.rrsets = rrsets;
   row.zone_bytes = wire.size();
   row.wal_tail = 32;
+  row.parse_threads = threads;
 
   {
     DurableZoneStore::Options opt;
@@ -158,19 +179,29 @@ RestartRow bench_restart(const std::string& base, std::size_t rrsets) {
 
   {
     const double t0 = now_s();
-    const sdns::dns::Zone parsed = sdns::dns::Zone::from_wire(wire);
-    row.zone_parse_ms = (now_s() - t0) * 1e3;
+    const sdns::dns::Zone parsed = sdns::dns::Zone::from_wire(wire, threads);
+    row.zone_parse_us = (now_s() - t0) * 1e6;
+    row.zone_parse_ms = row.zone_parse_us / 1e3;
+    if (parsed.rrset_count() < rrsets) std::abort();  // sanity
+  }
+  {
+    const double t0 = now_s();
+    const sdns::dns::Zone parsed = sdns::dns::Zone::from_wire(wire_v1);
+    row.zone_parse_v1_us = (now_s() - t0) * 1e6;
     if (parsed.rrset_count() < rrsets) std::abort();  // sanity
   }
 
   const double t0 = now_s();
   DurableZoneStore::Options opt;
   opt.dir = dir;
-  // The deployment verifier parses the embedded zone before trusting it;
-  // mirror that so open_ms is what a restarting sdnsd actually waits.
-  opt.verify = [](const ZoneState& s) {
+  // The deployment verifier parses the embedded zone before trusting it and
+  // stashes the parsed Zone for the restore path to adopt by move; mirror
+  // that shape so open_ms is what a restarting sdnsd actually waits.
+  opt.verify = [threads](ZoneState& s) {
     try {
-      (void)sdns::dns::Zone::from_wire(s.zone_wire);
+      auto z = std::make_shared<sdns::dns::Zone>(
+          sdns::dns::Zone::from_wire(s.zone_wire, threads));
+      s.verified_zone = std::move(z);
       return true;
     } catch (const sdns::util::ParseError&) {
       return false;
@@ -195,6 +226,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::size_t records = 200000;
   bool quick = false;
+  unsigned threads = 0;
+  double max_parse_us = 0;  // 0: no gate
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       dir = argv[++i];
@@ -204,9 +237,14 @@ int main(int argc, char** argv) {
       records = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-parse-us") == 0 && i + 1 < argc) {
+      max_parse_us = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--dir DIR] [--records N] [--quick] [--json FILE]\n",
+                   "usage: %s [--dir DIR] [--records N] [--quick] [--json FILE]"
+                   " [--threads N] [--max-parse-us N]\n",
                    argv[0]);
       return 2;
     }
@@ -244,25 +282,36 @@ int main(int argc, char** argv) {
     json << buf;
     first = false;
   }
-  json << "\n  ],\n  \"cold_restart\": [\n";
+  json << "\n  ],\n  \"snapshot_format\": 2,\n  \"cold_restart\": [\n";
 
   std::vector<std::size_t> sweep = {1000, 100000, 1000000};
   if (quick) sweep.pop_back();
   first = true;
+  bool gate_failed = false;
   for (const std::size_t rrsets : sweep) {
-    const RestartRow row = bench_restart(dir, rrsets);
+    const RestartRow row = bench_restart(dir, rrsets, threads);
     std::printf(
         "restart %8zu rrsets  zone %9zu B  snapshot %9zu B  parse %8.2f ms  "
-        "open %8.2f ms\n",
+        "(v1 %8.2f ms)  open %8.2f ms\n",
         row.rrsets, row.zone_bytes, row.snapshot_bytes, row.zone_parse_ms,
-        row.open_ms);
+        row.zone_parse_v1_us / 1e3, row.open_ms);
+    if (max_parse_us > 0 && rrsets == 100000 && row.zone_parse_us > max_parse_us) {
+      std::fprintf(stderr,
+                   "perf gate: 100k-RRset zone parse %.0f us exceeds --max-parse-us "
+                   "%.0f\n",
+                   row.zone_parse_us, max_parse_us);
+      gate_failed = true;
+    }
     char buf[512];
     std::snprintf(
         buf, sizeof buf,
         "%s    {\"rrsets\": %zu, \"zone_bytes\": %zu, \"snapshot_bytes\": %zu, "
-        "\"wal_tail_records\": %zu, \"zone_parse_ms\": %.2f, \"open_ms\": %.2f}",
+        "\"wal_tail_records\": %zu, \"parse_threads\": %u, "
+        "\"zone_parse_us\": %.0f, \"zone_parse_v1_us\": %.0f, "
+        "\"zone_parse_ms\": %.2f, \"open_ms\": %.2f}",
         first ? "" : ",\n", row.rrsets, row.zone_bytes, row.snapshot_bytes,
-        row.wal_tail, row.zone_parse_ms, row.open_ms);
+        row.wal_tail, row.parse_threads, row.zone_parse_us, row.zone_parse_v1_us,
+        row.zone_parse_ms, row.open_ms);
     json << buf;
     first = false;
   }
@@ -276,5 +325,5 @@ int main(int argc, char** argv) {
     const std::string cleanup = "rm -rf '" + owned + "'";
     (void)std::system(cleanup.c_str());
   }
-  return 0;
+  return gate_failed ? 1 : 0;
 }

@@ -144,6 +144,12 @@ std::vector<ChaosViolation> check_observations(const std::vector<ReplicaObservat
            << " time(s) in a fault-free run (t=" << t << ")";
         out.push_back({"fallback-free", os.str()});
       }
+      if (o->malformed_sigs != 0) {
+        std::ostringstream os;
+        os << "replica " << o->id << " dropped " << o->malformed_sigs
+           << " malformed SIG rdata(s) in a fault-free run";
+        out.push_back({"malformed-sig-free", os.str()});
+      }
     }
   }
   return out;
@@ -278,6 +284,7 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
     o.recovering = svc.replica(i).recovering();
     o.delivered = svc.replica(i).abcast().delivered_count();
     o.fallbacks = svc.replica(i).abcast().epoch_changes();
+    o.malformed_sigs = svc.replica(i).server().zone().malformed_sigs_dropped();
     o.delivery_log = svc.replica(i).delivery_log();
     o.zone_wire = svc.replica(i).server().zone().to_wire();
     o.zone_signed = svc.replica(i).server().zone_is_signed();

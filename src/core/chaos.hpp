@@ -64,6 +64,10 @@ struct ReplicaObservation {
   std::uint64_t delivered = 0;  ///< atomic broadcast delivery cursor
   /// Epoch changes this replica initiated (abcast fallback activations).
   std::uint64_t fallbacks = 0;
+  /// Malformed SIG rdatas the zone silently discarded (remove_sigs). Our
+  /// own signers never emit undecodable SIGs, so any nonzero value in a
+  /// fault-free run means zone bytes were corrupted in flight or at rest.
+  std::uint64_t malformed_sigs = 0;
   std::map<std::uint64_t, abcast::Digest> delivery_log;
   util::Bytes zone_wire;
 };

@@ -1,6 +1,8 @@
 #include "core/replica.hpp"
 
 #include <algorithm>
+#include <any>
+#include <memory>
 
 #include "util/log.hpp"
 
@@ -420,6 +422,9 @@ void ReplicaNode::try_finish_recovery() {
   // verification (signed zones) or at face value for unsigned ones, where
   // freshness is established by t+1 agreeing on (cursor, zone) instead.
   std::vector<std::pair<unsigned, const Snapshot*>> valid;
+  // Keep each candidate's parsed zone so the adopted one installs by move
+  // instead of being parsed a second time (candidate count is at most n).
+  std::map<const Snapshot*, dns::Zone> parsed;
   for (const auto& [from, snap] : recovery_snapshots_) {
     try {
       dns::Zone zone = dns::Zone::from_wire(snap.zone_wire);
@@ -427,6 +432,7 @@ void ReplicaNode::try_finish_recovery() {
         if (!dns::verify_zone(zone).ok) continue;
       }
       valid.push_back({from, &snap});
+      parsed.emplace(&snap, std::move(zone));
     } catch (const util::ParseError&) {
     }
   }
@@ -470,7 +476,11 @@ void ReplicaNode::try_finish_recovery() {
     stand_down_recovery("freshest peer snapshot is not ahead of local state");
     return;
   }
-  server_.zone() = dns::Zone::from_wire(best->zone_wire);
+  if (const auto it = parsed.find(best); it != parsed.end()) {
+    server_.zone() = std::move(it->second);
+  } else {
+    server_.zone() = dns::Zone::from_wire(best->zone_wire);
+  }
   bump_zone_generation();
   deliveries_ = best->deliveries;
   update_counter_ = best->update_counter;
@@ -528,14 +538,26 @@ void ReplicaNode::restore_from_store(const store::RecoveredState& recovered) {
   std::uint64_t cursor = 0;
   if (recovered.snapshot) {
     const store::ZoneState& snap = *recovered.snapshot;
-    try {
-      server_.zone() = dns::Zone::from_wire(snap.zone_wire);
-    } catch (const util::ParseError&) {
-      // The store verified the snapshot already; an unparseable zone here
-      // means the verifier was disabled. Treat the disk as empty.
-      SDNS_LOG_WARN("replica ", secret_.id,
-                    ": recovered snapshot zone does not parse, ignoring disk");
-      return;
+    // The snapshot verifier already parsed the zone; install its stash
+    // instead of re-parsing the wire (the second parse used to dominate a
+    // 1M-RRset cold restart). The fallback parse covers stores opened with
+    // a null or stash-less verifier.
+    const auto* cached =
+        std::any_cast<std::shared_ptr<dns::Zone>>(&snap.verified_zone);
+    if (cached && *cached && (*cached)->rrset_count() != 0) {
+      // rrset_count() == 0 means the stash was already consumed (or holds a
+      // trivial zone) — re-parse rather than install a moved-from object.
+      server_.zone() = std::move(**cached);
+    } else {
+      try {
+        server_.zone() = dns::Zone::from_wire(snap.zone_wire);
+      } catch (const util::ParseError&) {
+        // The store verified the snapshot already; an unparseable zone here
+        // means the verifier was disabled. Treat the disk as empty.
+        SDNS_LOG_WARN("replica ", secret_.id,
+                      ": recovered snapshot zone does not parse, ignoring disk");
+        return;
+      }
     }
     deliveries_ = snap.deliveries;
     update_counter_ = snap.update_counter;

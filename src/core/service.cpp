@@ -144,15 +144,17 @@ ReplicatedService::ReplicatedService(ServiceOptions options, const dns::Name& or
       sopt.dir = opt_.data_dirs[i];
       sopt.snapshot_log_bytes = opt_.snapshot_log_bytes;
       if (opt_.zone_signed) {
-        sopt.verify = [dealt = zone_pub_rsa_](const store::ZoneState& s) {
+        sopt.verify = [dealt = zone_pub_rsa_](store::ZoneState& s) {
           try {
-            dns::Zone z = dns::Zone::from_wire(s.zone_wire);
-            const dns::RRset* keys = z.find(z.origin(), dns::RRType::kKEY);
+            auto z = std::make_shared<dns::Zone>(dns::Zone::from_wire(s.zone_wire));
+            const dns::RRset* keys = z->find(z->origin(), dns::RRType::kKEY);
             if (!keys || keys->rdatas.empty()) return false;
             const crypto::RsaPublicKey pub = dns::zone_key_from_record(
                 dns::KeyRdata::decode(keys->rdatas.front()));
             if (!(pub.n == dealt.n) || !(pub.e == dealt.e)) return false;
-            return dns::verify_zone(z).ok;
+            if (!dns::verify_zone(*z).ok) return false;
+            s.verified_zone = std::move(z);  // spare recovery the re-parse
+            return true;
           } catch (const util::ParseError&) {
             return false;
           }

@@ -88,6 +88,36 @@ Name Name::from_labels(std::vector<std::string> labels) {
   return n;
 }
 
+Name Name::from_wire(util::Reader& r) {
+  const util::BytesView whole = r.whole();
+  const std::size_t start = r.pos();
+  // Pass 1: find the root byte and count labels without allocating.
+  std::size_t pos = start;
+  std::size_t count = 0;
+  for (;;) {
+    if (pos >= whole.size()) throw util::ParseError("truncated wire name");
+    const std::uint8_t len = whole[pos++];
+    if (len == 0) break;
+    if (len > kMaxLabel) throw util::ParseError("label exceeds 63 octets");
+    pos += len;
+    ++count;
+  }
+  if (pos > whole.size()) throw util::ParseError("truncated wire name");
+  if (pos - start > kMaxName) throw util::ParseError("name exceeds 255 octets");
+  // Pass 2: build with exactly one vector allocation (labels are SSO-sized
+  // in the common case, so this is typically the only heap touch).
+  Name n;
+  n.labels_.reserve(count);
+  std::size_t p = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t len = whole[p++];
+    n.labels_.emplace_back(reinterpret_cast<const char*>(whole.data() + p), len);
+    p += len;
+  }
+  r.seek(pos);
+  return n;
+}
+
 std::size_t Name::wire_length() const {
   std::size_t total = 1;
   for (const auto& l : labels_) total += 1 + l.size();

@@ -26,6 +26,12 @@ class Name {
   /// Build from raw labels (no dots/escapes interpreted).
   static Name from_labels(std::vector<std::string> labels);
 
+  /// Parse one uncompressed wire-format name (length-prefixed labels,
+  /// terminating root byte) from `r`, enforcing the 63-octet label and
+  /// 255-octet name limits. Scans the bytes first so the label vector is
+  /// reserved exactly once — the hot path for bulk zone loads.
+  static Name from_wire(util::Reader& r);
+
   bool is_root() const { return labels_.empty(); }
   std::size_t label_count() const { return labels_.size(); }
   const std::string& label(std::size_t i) const { return labels_[i]; }

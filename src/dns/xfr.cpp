@@ -41,11 +41,15 @@ bool is_soa(const ResourceRecord& rr) { return rr.type == RRType::kSOA; }
 XfrOutcome apply_axfr(Zone& zone, const Message& response) {
   Zone fresh(zone.origin());
   // SOA leads and trails; every record in between (including the leading
-  // SOA, excluding the trailing duplicate) goes into the new zone.
+  // SOA, excluding the trailing duplicate) goes into the new zone. Our
+  // answer_axfr emits canonical order (modulo the SOA-first framing), so
+  // bulk-load through SortedInserter; out-of-order records from foreign
+  // primaries just fall back to the general path one record at a time.
+  Zone::SortedInserter inserter(fresh);
   for (std::size_t i = 0; i + 1 < response.answers.size(); ++i) {
     const ResourceRecord& rr = response.answers[i];
     if (!fresh.in_zone(rr.name)) return XfrOutcome::kMalformed;
-    fresh.add_record(rr);
+    inserter.add(rr);
   }
   zone = std::move(fresh);
   return XfrOutcome::kReplacedAxfr;

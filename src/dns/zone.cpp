@@ -1,8 +1,10 @@
 #include "dns/zone.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace sdns::dns {
 
@@ -195,7 +197,12 @@ void Zone::remove_sigs(const Name& name, RRType covered) {
                                 try {
                                   return SigRdata::decode(rd).type_covered == covered;
                                 } catch (const ParseError&) {
-                                  return true;  // drop malformed SIGs
+                                  // A SIG that does not even decode can never
+                                  // verify, so dropping it is safe — but it is
+                                  // never supposed to exist, so make the drop
+                                  // visible instead of silent.
+                                  ++malformed_sigs_dropped_;
+                                  return true;
                                 }
                               }),
                rdatas.end());
@@ -211,47 +218,446 @@ std::vector<ResourceRecord> Zone::all_records() const {
   return out;
 }
 
-util::Bytes Zone::to_wire() const {
+// ---------------------------------------------------------------------------
+// Wire formats.
+//
+// v1 (legacy): origin wire name | u32 record count | records. Records are
+// `ResourceRecord::to_wire` encodings in canonical order. Still read forever.
+//
+// v2 (SDNSZONE2): 9-byte magic "SDNSZONE2" | u8 header version (1) | origin
+// wire name | u64 total record count | u32 chunk count | chunk index | chunk
+// payloads. Each index entry is u32 record count, u64 byte offset (from the
+// start of the payload region), u64 byte length; offsets are contiguous from
+// 0 and chunks close on owner-name boundaries so each chunk is an
+// independently parsable, canonically sorted run. Record encoding inside a
+// chunk is identical to v1. The magic's first byte ('S' = 0x53 > 63) can
+// never be a v1 leading label length, so the two formats are self-describing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kZone2Magic[9] = {'S', 'D', 'N', 'S', 'Z', 'O', 'N', 'E', '2'};
+constexpr std::uint8_t kZone2HeaderVersion = 1;
+constexpr std::size_t kZone2IndexEntryBytes = 4 + 8 + 8;
+
+bool has_zone2_magic(BytesView data) {
+  return data.size() >= sizeof kZone2Magic &&
+         std::memcmp(data.data(), kZone2Magic, sizeof kZone2Magic) == 0;
+}
+
+void write_record(util::Writer& w, const RRset& rrset, const Bytes& rd) {
+  rrset.name.to_wire(w);
+  w.u16(static_cast<std::uint16_t>(rrset.type));
+  w.u16(static_cast<std::uint16_t>(RRClass::kIN));
+  w.u32(rrset.ttl);
+  w.lp16(rd);
+}
+
+/// One record inspected in place: views into the input, no allocation.
+struct RecordScan {
+  BytesView owner_raw;  ///< length-prefixed labels + root byte
+  std::size_t labels = 0;
+  RRType type{};
+  std::uint32_t ttl = 0;
+  BytesView rdata;
+};
+
+RecordScan scan_record(util::Reader& r) {
+  RecordScan s;
+  const BytesView whole = r.whole();
+  const std::size_t start = r.pos();
+  std::size_t pos = start;
+  for (;;) {
+    if (pos >= whole.size()) throw ParseError("truncated wire name");
+    const std::uint8_t len = whole[pos++];
+    if (len == 0) break;
+    if (len > 63) throw ParseError("label exceeds 63 octets");
+    pos += len;
+    ++s.labels;
+  }
+  if (pos > whole.size()) throw ParseError("truncated wire name");
+  if (pos - start > 255) throw ParseError("name exceeds 255 octets");
+  s.owner_raw = whole.subspan(start, pos - start);
+  r.seek(pos);
+  s.type = static_cast<RRType>(r.u16());
+  (void)r.u16();  // class: stored zones are IN-only, matching add_record
+  s.ttl = r.u32();
+  s.rdata = r.raw(r.u16());
+  return s;
+}
+
+Name name_from_scan(const RecordScan& s) {
+  std::vector<std::string> labels;
+  labels.reserve(s.labels);
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < s.labels; ++i) {
+    const std::uint8_t len = s.owner_raw[p++];
+    labels.emplace_back(reinterpret_cast<const char*>(s.owner_raw.data() + p), len);
+    p += len;
+  }
+  return Name::from_labels(std::move(labels));
+}
+
+ResourceRecord record_from_scan(const RecordScan& s, Name owner) {
+  ResourceRecord rr;
+  rr.name = std::move(owner);
+  rr.type = s.type;
+  rr.ttl = s.ttl;
+  rr.rdata.assign(s.rdata.begin(), s.rdata.end());
+  return rr;
+}
+
+/// Bulk loader for a canonically sorted run of records. The tail of the map
+/// is the maximum key, so each in-order record costs one canonical_compare
+/// (usually short-circuited by raw-byte equality with the previous owner)
+/// plus an amortized-O(1) emplace_hint at the end — no O(log n) lookups.
+///
+/// `strict` (v2 chunks) rejects any deviation: out-of-order owners or types,
+/// duplicate rdatas, owners spanning chunk boundaries. Non-strict (v1 input)
+/// tolerates everything add_record tolerates; an out-of-order record is
+/// handed back to the caller for the general-purpose path instead.
+class RunLoader {
+ public:
+  RunLoader(Zone::DataMap& out, const Name& origin, bool strict)
+      : out_(out), origin_(origin), strict_(strict), tail_(out.end()) {}
+
+  /// Consume one record from `r`. `boundary` marks the first record of a
+  /// follow-on v2 chunk: its owner must be strictly greater than the
+  /// previous chunk's last owner (owners never span chunks, which is what
+  /// keeps parallel parsing deterministic). Returns the decoded record
+  /// instead of inserting when non-strict input is out of order.
+  std::optional<ResourceRecord> add(util::Reader& r, bool boundary) {
+    const RecordScan s = scan_record(r);
+    if (tail_ != out_.end() && !boundary && s.owner_raw.size() == tail_raw_.size() &&
+        std::equal(s.owner_raw.begin(), s.owner_raw.end(), tail_raw_.begin())) {
+      // Same owner, same spelling as the previous record: no Name built.
+      append(tail_->second, s, nullptr);
+      return std::nullopt;
+    }
+    Name owner = name_from_scan(s);
+    if (tail_ != out_.end()) {
+      const int c = Name::canonical_compare(tail_->first, owner);
+      if (c > 0 || (c == 0 && boundary)) {
+        if (strict_) {
+          throw ParseError(c > 0 ? "records out of canonical order in SDNSZONE2 zone"
+                                 : "owner name spans a chunk boundary in SDNSZONE2 zone");
+        }
+        return record_from_scan(s, std::move(owner));
+      }
+      if (c == 0) {  // same owner, different spelling
+        tail_raw_ = s.owner_raw;
+        append(tail_->second, s, strict_ ? nullptr : &owner);
+        return std::nullopt;
+      }
+    }
+    if (!owner.is_subdomain_of(origin_)) {
+      throw ParseError("record outside zone in snapshot");
+    }
+    tail_ = out_.emplace_hint(out_.end(), std::move(owner), Zone::TypeMap{});
+    tail_raw_ = s.owner_raw;
+    append(tail_->second, s, &tail_->first);
+    return std::nullopt;
+  }
+
+ private:
+  void append(Zone::TypeMap& tm, const RecordScan& s, const Name* owner) {
+    Bytes rdata(s.rdata.begin(), s.rdata.end());
+    if (strict_) {
+      if (!tm.empty()) {
+        const auto last = std::prev(tm.end());
+        if (s.type < last->first) {
+          throw ParseError("record types out of canonical order in SDNSZONE2 zone");
+        }
+        if (s.type == last->first) {
+          RRset& rrset = last->second;
+          if (std::find(rrset.rdatas.begin(), rrset.rdatas.end(), rdata) !=
+              rrset.rdatas.end()) {
+            throw ParseError("duplicate rdata in SDNSZONE2 zone");
+          }
+          rrset.ttl = s.ttl;
+          rrset.rdatas.push_back(std::move(rdata));
+          return;
+        }
+      }
+      RRset& rrset = tm.emplace_hint(tm.end(), s.type, RRset{})->second;
+      rrset.name = owner ? *owner : name_from_scan(s);
+      rrset.type = s.type;
+      rrset.ttl = s.ttl;
+      rrset.rdatas.push_back(std::move(rdata));
+      return;
+    }
+    // Non-strict: add_record semantics — duplicate rdatas collapse and the
+    // newest record's TTL wins.
+    const auto [it, inserted] = tm.try_emplace(s.type);
+    RRset& rrset = it->second;
+    if (inserted) {
+      rrset.name = owner ? *owner : name_from_scan(s);
+      rrset.type = s.type;
+    } else if (owner) {
+      rrset.name = *owner;  // add_record refreshes the stored spelling
+    }
+    rrset.ttl = s.ttl;
+    if (std::find(rrset.rdatas.begin(), rrset.rdatas.end(), rdata) ==
+        rrset.rdatas.end()) {
+      rrset.rdatas.push_back(std::move(rdata));
+    }
+  }
+
+  Zone::DataMap& out_;
+  const Name& origin_;
+  const bool strict_;
+  Zone::DataMap::iterator tail_;
+  BytesView tail_raw_{};
+};
+
+struct Zone2Chunk {
+  std::uint32_t records = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct Zone2Header {
+  Name origin;
+  std::uint64_t total_records = 0;
+  std::vector<Zone2Chunk> chunks;
+  std::size_t payload_start = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+Zone2Header parse_zone2_header(BytesView data) {
+  util::Reader r(data);
+  r.raw(sizeof kZone2Magic);  // caller verified the magic
+  if (r.u8() != kZone2HeaderVersion) {
+    throw ParseError("unsupported SDNSZONE2 header version");
+  }
+  Zone2Header h;
+  h.origin = Name::from_wire(r);
+  h.total_records = r.u64();
+  const std::uint32_t nchunks = r.u32();
+  // Size the index before reading it so a huge count in a truncated buffer
+  // fails cleanly instead of allocating.
+  if (static_cast<std::uint64_t>(nchunks) * kZone2IndexEntryBytes > r.remaining()) {
+    throw ParseError("truncated SDNSZONE2 chunk index");
+  }
+  h.chunks.reserve(nchunks);
+  std::uint64_t expect_off = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < nchunks; ++i) {
+    Zone2Chunk c;
+    c.records = r.u32();
+    c.offset = r.u64();
+    c.bytes = r.u64();
+    if (c.records == 0) throw ParseError("empty chunk in SDNSZONE2 index");
+    if (c.offset != expect_off) throw ParseError("non-contiguous SDNSZONE2 chunk index");
+    if (c.bytes > data.size()) throw ParseError("oversized chunk in SDNSZONE2 index");
+    expect_off += c.bytes;
+    if (expect_off > data.size()) throw ParseError("SDNSZONE2 chunk index exceeds input");
+    total += c.records;
+    h.chunks.push_back(c);
+  }
+  h.payload_start = r.pos();
+  h.payload_bytes = r.remaining();
+  if (expect_off != h.payload_bytes) throw ParseError("SDNSZONE2 payload size mismatch");
+  if (total != h.total_records) throw ParseError("SDNSZONE2 record count mismatch");
+  return h;
+}
+
+/// Parse chunks [first, last) into `out`. Runs on worker threads: reports
+/// failure through `error` instead of throwing across the thread boundary.
+void parse_zone2_chunks(BytesView data, const Zone2Header& h, const Name& origin,
+                        std::size_t first, std::size_t last, Zone::DataMap& out,
+                        std::string& error) noexcept {
+  try {
+    RunLoader loader(out, origin, /*strict=*/true);
+    for (std::size_t c = first; c < last; ++c) {
+      const Zone2Chunk& m = h.chunks[c];
+      util::Reader r(data.subspan(h.payload_start + m.offset, m.bytes));
+      for (std::uint32_t i = 0; i < m.records; ++i) {
+        loader.add(r, /*boundary=*/i == 0 && c > first);
+      }
+      r.expect_done();  // a chunk must span exactly its declared bytes
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown error parsing SDNSZONE2 chunk";
+  }
+}
+
+}  // namespace
+
+util::Bytes Zone::to_wire_v1() const {
   util::Writer w;
   origin_.to_wire(w);
-  const auto records = all_records();
-  w.u32(static_cast<std::uint32_t>(records.size()));
-  for (const auto& rr : records) rr.to_wire(w);
+  w.u32(static_cast<std::uint32_t>(record_count()));
+  // Stream straight off the map — no all_records() copy of the whole zone.
+  for_each_rrset([&](const RRset& rrset) {
+    for (const auto& rd : rrset.rdatas) write_record(w, rrset, rd);
+  });
   return std::move(w).take();
 }
 
-Zone Zone::from_wire(util::BytesView data) {
-  util::Reader r(data);
-  std::vector<std::string> labels;
-  for (;;) {
-    const std::uint8_t len = r.u8();
-    if (len == 0) break;
-    if (len > 63) throw ParseError("bad origin label");
-    auto raw = r.raw(len);
-    labels.emplace_back(raw.begin(), raw.end());
-  }
-  Zone zone(Name::from_labels(std::move(labels)));
-  const std::uint32_t count = r.u32();
-  for (std::uint32_t i = 0; i < count; ++i) {
-    ResourceRecord rr;
-    std::vector<std::string> owner;
-    for (;;) {
-      const std::uint8_t len = r.u8();
-      if (len == 0) break;
-      if (len > 63) throw ParseError("bad owner label");
-      auto raw = r.raw(len);
-      owner.emplace_back(raw.begin(), raw.end());
+util::Bytes Zone::to_wire_v2(std::size_t chunk_records) const {
+  if (chunk_records == 0) chunk_records = 1;
+  // Pass 1: chunk layout. A chunk closes after the owner that reaches
+  // `chunk_records`, so owners never straddle chunks.
+  std::vector<Zone2Chunk> chunks;
+  std::uint64_t total_records = 0;
+  std::uint64_t payload = 0;
+  {
+    Zone2Chunk cur;
+    for (const auto& [name, types] : data_) {
+      for (const auto& [type, rrset] : types) {
+        const std::uint64_t per = rrset.name.wire_length() + 10;  // type/class/ttl/rdlen
+        for (const auto& rd : rrset.rdatas) {
+          cur.bytes += per + rd.size();
+          ++cur.records;
+          ++total_records;
+        }
+      }
+      if (cur.records >= chunk_records) {
+        cur.offset = payload;
+        payload += cur.bytes;
+        chunks.push_back(cur);
+        cur = {};
+      }
     }
-    rr.name = Name::from_labels(std::move(owner));
-    rr.type = static_cast<RRType>(r.u16());
-    rr.klass = static_cast<RRClass>(r.u16());
-    rr.ttl = r.u32();
-    rr.rdata = r.lp16();
-    if (!zone.in_zone(rr.name)) throw ParseError("record outside zone in snapshot");
-    zone.add_record(rr);
+    if (cur.records != 0) {
+      cur.offset = payload;
+      payload += cur.bytes;
+      chunks.push_back(cur);
+    }
+  }
+  util::Writer w(sizeof kZone2Magic + 1 + origin_.wire_length() + 8 + 4 +
+                 chunks.size() * kZone2IndexEntryBytes + payload);
+  for (const std::uint8_t b : kZone2Magic) w.u8(b);
+  w.u8(kZone2HeaderVersion);
+  origin_.to_wire(w);
+  w.u64(total_records);
+  w.u32(static_cast<std::uint32_t>(chunks.size()));
+  for (const auto& c : chunks) {
+    w.u32(c.records);
+    w.u64(c.offset);
+    w.u64(c.bytes);
+  }
+  // Pass 2: stream the records in the same map order the layout pass saw.
+  for_each_rrset([&](const RRset& rrset) {
+    for (const auto& rd : rrset.rdatas) write_record(w, rrset, rd);
+  });
+  return std::move(w).take();
+}
+
+Zone Zone::from_wire(util::BytesView data, unsigned threads) {
+  if (has_zone2_magic(data)) return from_wire_v2(data, threads);
+  return from_wire_v1(data);
+}
+
+Zone Zone::from_wire_v1(util::BytesView data) {
+  util::Reader r(data);
+  Zone zone(Name::from_wire(r));
+  const std::uint32_t count = r.u32();
+  RunLoader loader(zone.data_, zone.origin_, /*strict=*/false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto slow = loader.add(r, /*boundary=*/false);
+    if (!slow) continue;
+    // Out-of-order input — not produced by our writers, but v1 never
+    // promised order. Everything bulk-loaded so far stays valid; this
+    // record and the rest take the general-purpose path.
+    if (!zone.in_zone(slow->name)) throw ParseError("record outside zone in snapshot");
+    zone.add_record(*slow);
+    for (std::uint32_t j = i + 1; j < count; ++j) {
+      const RecordScan s = scan_record(r);
+      const ResourceRecord rr = record_from_scan(s, name_from_scan(s));
+      if (!zone.in_zone(rr.name)) throw ParseError("record outside zone in snapshot");
+      zone.add_record(rr);
+    }
+    break;
   }
   r.expect_done();
   return zone;
+}
+
+Zone Zone::from_wire_v2(util::BytesView data, unsigned threads) {
+  Zone2Header h = parse_zone2_header(data);
+  Zone zone(std::move(h.origin));
+  const std::size_t nchunks = h.chunks.size();
+  if (nchunks == 0) return zone;  // header parse verified an empty payload
+  unsigned want = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (want == 0) want = 1;
+  if (want > nchunks) want = static_cast<unsigned>(nchunks);
+  if (want <= 1) {
+    std::string error;
+    parse_zone2_chunks(data, h, zone.origin_, 0, nchunks, zone.data_, error);
+    if (!error.empty()) throw ParseError(error);
+    return zone;
+  }
+  // Parallel parse: each worker builds a sorted fragment from a contiguous
+  // chunk range; the main thread then verifies canonical order across every
+  // fragment seam and splices the fragments with O(1) node moves. Fragments
+  // are merged in chunk order, so the result is byte-for-byte independent of
+  // the thread count.
+  std::vector<Zone::DataMap> frags(want);
+  std::vector<std::string> errors(want);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(want);
+    const std::size_t base = nchunks / want;
+    const std::size_t extra = nchunks % want;
+    std::size_t next = 0;
+    for (unsigned wi = 0; wi < want; ++wi) {
+      const std::size_t first = next;
+      next += base + (wi < extra ? 1 : 0);
+      const std::size_t last = next;
+      workers.emplace_back([&, wi, first, last] {
+        parse_zone2_chunks(data, h, zone.origin_, first, last, frags[wi], errors[wi]);
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  for (const auto& e : errors) {
+    if (!e.empty()) throw ParseError(e);
+  }
+  for (auto& frag : frags) {
+    if (frag.empty()) continue;
+    if (!zone.data_.empty()) {
+      const int c = Name::canonical_compare(std::prev(zone.data_.end())->first,
+                                            frag.begin()->first);
+      if (c > 0) throw ParseError("records out of canonical order in SDNSZONE2 zone");
+      if (c == 0) throw ParseError("owner name spans a chunk boundary in SDNSZONE2 zone");
+    }
+    while (!frag.empty()) {
+      zone.data_.insert(zone.data_.end(), frag.extract(frag.begin()));
+    }
+  }
+  return zone;
+}
+
+void Zone::SortedInserter::add(const ResourceRecord& rr) {
+  DataMap& map = zone_.data_;
+  if (!map.empty()) {
+    const auto tail = std::prev(map.end());
+    const int c = Name::canonical_compare(tail->first, rr.name);
+    if (c > 0) {  // out of order: this one record pays the O(log n) path
+      zone_.add_record(rr);
+      return;
+    }
+    if (c == 0) {
+      RRset& rrset = tail->second.try_emplace(rr.type).first->second;
+      rrset.name = rr.name;
+      rrset.type = rr.type;
+      rrset.ttl = rr.ttl;
+      if (std::find(rrset.rdatas.begin(), rrset.rdatas.end(), rr.rdata) ==
+          rrset.rdatas.end()) {
+        rrset.rdatas.push_back(rr.rdata);
+      }
+      return;
+    }
+  }
+  RRset& rrset = map.emplace_hint(map.end(), rr.name, TypeMap{})->second[rr.type];
+  rrset.name = rr.name;
+  rrset.type = rr.type;
+  rrset.ttl = rr.ttl;
+  rrset.rdatas.push_back(rr.rdata);
 }
 
 std::string Zone::to_text() const {

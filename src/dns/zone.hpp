@@ -21,6 +21,19 @@ namespace sdns::dns {
 
 class Zone {
  public:
+  /// Canonical owner-name ordering (RFC 4034 §6.1) for the zone map.
+  struct CanonicalLess {
+    bool operator()(const Name& a, const Name& b) const {
+      return Name::canonical_compare(a, b) < 0;
+    }
+  };
+  using TypeMap = std::map<RRType, RRset>;
+  using DataMap = std::map<Name, TypeMap, CanonicalLess>;
+
+  /// Records per chunk in the SDNSZONE2 wire format (see to_wire). Chunks
+  /// close on owner-name boundaries, so real chunks may run slightly over.
+  static constexpr std::size_t kDefaultChunkRecords = 65536;
+
   explicit Zone(Name origin);
 
   /// Parse a simple master-file format: one record per line,
@@ -71,31 +84,64 @@ class Zone {
   /// bitmap (none of our supported types are).
   std::vector<Name> rebuild_nxt_chain();
 
-  /// Drop all SIG records covering `type` at `name`.
+  /// Drop all SIG records covering `type` at `name`. Malformed SIG rdata is
+  /// also dropped (it can never verify) but counted in
+  /// malformed_sigs_dropped() so operators and chaos invariants can see it:
+  /// in a fault-free run the counter must stay zero.
   void remove_sigs(const Name& name, RRType covered);
+
+  /// Total malformed SIG rdatas silently discarded by remove_sigs over the
+  /// life of this Zone object (exported as dns.zone.malformed_sigs_dropped).
+  std::uint64_t malformed_sigs_dropped() const { return malformed_sigs_dropped_; }
 
   /// Full presentation-format dump in canonical order.
   std::string to_text() const;
 
   /// Binary snapshot of the whole zone (origin + every record), used for
-  /// AXFR-style transfers and replica recovery. from_wire throws
-  /// util::ParseError on malformed input.
-  util::Bytes to_wire() const;
-  static Zone from_wire(util::BytesView data);
+  /// AXFR-style transfers and replica recovery. to_wire emits the chunked
+  /// SDNSZONE2 format (magic + owner-aligned chunk index + canonical-order
+  /// records) streamed straight off the map — no intermediate record vector.
+  /// from_wire auto-detects the format: SDNSZONE2 parses chunks in parallel
+  /// (`threads` workers; 0 = hardware concurrency) with strict order
+  /// verification, while legacy v1 input (origin-first, no magic) stays
+  /// readable forever via a sorted bulk-load path that falls back to
+  /// add_record on out-of-order input. Throws util::ParseError on malformed
+  /// input. Both writers and the parallel parser are deterministic: the same
+  /// zone yields the same bytes, and the same bytes yield the same zone
+  /// regardless of thread count.
+  util::Bytes to_wire() const { return to_wire_v2(kDefaultChunkRecords); }
+  util::Bytes to_wire_v2(std::size_t chunk_records) const;
+  /// Legacy (pre-SDNSZONE2) encoding: origin, u32 record count, records.
+  /// Kept for compatibility tests and for peers that only speak v1.
+  util::Bytes to_wire_v1() const;
+  static Zone from_wire(util::BytesView data, unsigned threads = 0);
+
+  /// Builds a zone from a stream of records that is *expected* to arrive in
+  /// canonical order (AXFR from our own serializers, snapshot replay).
+  /// In-order records append in O(1) amortized; an out-of-order record
+  /// degrades that single insert to the general add_record path, never
+  /// rejects. Semantics match add_record exactly (duplicate rdatas collapse,
+  /// RRset TTL follows the newest record).
+  class SortedInserter {
+   public:
+    explicit SortedInserter(Zone& zone) : zone_(zone) {}
+    void add(const ResourceRecord& rr);
+
+   private:
+    Zone& zone_;
+  };
 
   /// Every record in canonical order (SOA-first AXFR framing is up to the
   /// caller).
   std::vector<ResourceRecord> all_records() const;
 
  private:
-  struct CanonicalLess {
-    bool operator()(const Name& a, const Name& b) const {
-      return Name::canonical_compare(a, b) < 0;
-    }
-  };
+  static Zone from_wire_v1(util::BytesView data);
+  static Zone from_wire_v2(util::BytesView data, unsigned threads);
 
   Name origin_;
-  std::map<Name, std::map<RRType, RRset>, CanonicalLess> data_;
+  DataMap data_;
+  std::uint64_t malformed_sigs_dropped_ = 0;
 };
 
 }  // namespace sdns::dns

@@ -109,6 +109,7 @@ RuntimeConfig RuntimeConfig::load(const std::string& path) {
     else if (key == "listen_dns") cfg.listen_dns = SockAddr::parse(value);
     else if (key == "data_dir") cfg.data_dir = value;
     else if (key == "snapshot_log_bytes") cfg.snapshot_log_bytes = std::stoull(value);
+    else if (key == "parse_threads") cfg.parse_threads = static_cast<unsigned>(std::stoul(value));
     else if (key == "recover") cfg.recover = parse_bool(value, line);
     else if (key == "recover_delay") cfg.recover_delay = std::stod(value);
     else if (key == "complaint_timeout") cfg.complaint_timeout = std::stod(value);
@@ -161,7 +162,7 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
   auto zone_pub = std::make_shared<threshold::ThresholdPublicKey>(
       threshold::ThresholdPublicKey::decode(read_file(cfg_.zone_public)));
   threshold::KeyShare share = threshold::KeyShare::decode(read_file(cfg_.zone_share));
-  dns::Zone zone = dns::Zone::from_wire(read_file(cfg_.zone_file));
+  dns::Zone zone = dns::Zone::from_wire(read_file(cfg_.zone_file), cfg_.parse_threads);
 
   core::ReplicaConfig rc;
   rc.n = cfg_.n;
@@ -217,16 +218,23 @@ ReplicaRuntime::ReplicaRuntime(EventLoop& loop, RuntimeConfig config)
     const bool zone_signed =
         zone.find(zone.origin(), dns::RRType::kKEY) != nullptr;
     const crypto::RsaPublicKey dealt = zone_pub->rsa();
-    sopt.verify = [dealt, zone_signed](const store::ZoneState& s) {
+    const unsigned parse_threads = cfg_.parse_threads;
+    sopt.verify = [dealt, zone_signed, parse_threads](store::ZoneState& s) {
       try {
-        dns::Zone z = dns::Zone::from_wire(s.zone_wire);
-        if (!zone_signed) return true;
-        const dns::RRset* keys = z.find(z.origin(), dns::RRType::kKEY);
-        if (!keys || keys->rdatas.empty()) return false;
-        const crypto::RsaPublicKey pub = dns::zone_key_from_record(
-            dns::KeyRdata::decode(keys->rdatas.front()));
-        if (!(pub.n == dealt.n) || !(pub.e == dealt.e)) return false;
-        return dns::verify_zone(z).ok;
+        auto z = std::make_shared<dns::Zone>(
+            dns::Zone::from_wire(s.zone_wire, parse_threads));
+        if (zone_signed) {
+          const dns::RRset* keys = z->find(z->origin(), dns::RRType::kKEY);
+          if (!keys || keys->rdatas.empty()) return false;
+          const crypto::RsaPublicKey pub = dns::zone_key_from_record(
+              dns::KeyRdata::decode(keys->rdatas.front()));
+          if (!(pub.n == dealt.n) || !(pub.e == dealt.e)) return false;
+          if (!dns::verify_zone(*z).ok) return false;
+        }
+        // Hand the parse to recovery: restore_from_store installs this
+        // object instead of re-parsing the 37 MB wire a second time.
+        s.verified_zone = std::move(z);
+        return true;
       } catch (const util::ParseError&) {
         return false;
       }
@@ -527,6 +535,11 @@ void ReplicaRuntime::refresh_gauges() {
   registry_.gauge("replica.zone_digest")
       .set(static_cast<std::int64_t>(
           fnv1a(1469598103934665603ULL, zone_wire.data(), zone_wire.size()) >> 1));
+  // Malformed SIG rdata silently dropped by remove_sigs — must stay zero in
+  // a fault-free run (asserted by the chaos and wire-chaos invariants).
+  registry_.gauge("dns.zone.malformed_sigs_dropped")
+      .set(static_cast<std::int64_t>(
+          replica_->server().zone().malformed_sigs_dropped()));
 }
 
 void ReplicaRuntime::log_stats_line() {

@@ -53,6 +53,9 @@ struct RuntimeConfig {
   /// Snapshot (and truncate the WAL) once the log exceeds this many bytes;
   /// 0 disables size-triggered snapshots.
   std::uint64_t snapshot_log_bytes = 4ull << 20;
+  /// Worker threads for parsing SDNSZONE2 zone payloads (boot zone file and
+  /// snapshot recovery). 0 = one per hardware thread, capped by chunk count.
+  unsigned parse_threads = 0;
 
   bool recover = false;        ///< run snapshot recovery after boot (§4.3)
   double recover_delay = 1.0;  ///< let mesh links come up first

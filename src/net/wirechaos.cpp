@@ -492,6 +492,11 @@ core::ChaosReport run_wire_chaos(const WireCluster& cluster,
                          "replica " + std::to_string(id) +
                              " fell back with no faults injected"});
         }
+        if (stats[id]["dns.zone.malformed_sigs_dropped"] != 0) {
+          out.push_back({"malformed-sig-free",
+                         "replica " + std::to_string(id) +
+                             " dropped malformed SIG rdata with no faults injected"});
+        }
       }
     }
     return out;

@@ -16,7 +16,14 @@ using util::BytesView;
 
 namespace {
 constexpr char kSnapMagic[8] = {'S', 'D', 'N', 'S', 'S', 'N', 'A', 'P'};
-constexpr std::uint8_t kSnapVersion = 1;
+// Snapshot versions share one field layout (cursor counters + lp32 zone
+// wire + fnv1a trailer); the version byte records which zone wire encoding
+// the writer used. v1 carried the legacy zone format, v2 carries SDNSZONE2
+// (chunked, parallel-parsable — see dns/zone.cpp). Readers accept both
+// forever: Zone::from_wire auto-detects the payload, so a snapshot written
+// by a pre-SDNSZONE2 build still restores after an upgrade.
+constexpr std::uint8_t kSnapVersion = 2;
+constexpr std::uint8_t kSnapVersionMin = 1;
 
 std::uint64_t fnv1a(BytesView data) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -88,7 +95,10 @@ DurableZoneStore::DurableZoneStore(Options options) : opt_(std::move(options)) {
       util::Reader sum_r(BytesView(raw).subspan(raw.size() - 8));
       if (fnv1a(body) != sum_r.u64()) throw util::ParseError("snapshot checksum");
       util::Reader r(body.subspan(sizeof kSnapMagic));
-      if (r.u8() != kSnapVersion) throw util::ParseError("snapshot version");
+      const std::uint8_t version = r.u8();
+      if (version < kSnapVersionMin || version > kSnapVersion) {
+        throw util::ParseError("snapshot version");
+      }
       snap.abcast_cursor = r.u64();
       snap.deliveries = r.u64();
       snap.update_counter = r.u64();

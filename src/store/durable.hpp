@@ -5,9 +5,14 @@
 //   <dir>/snapshot.bin   newest snapshot (written to snapshot.tmp, renamed)
 //
 // Snapshot file layout (big-endian, util::Writer):
-//   8-byte magic "SDNSSNAP" | u8 version=1
+//   8-byte magic "SDNSSNAP" | u8 version
 //   u64 abcast_cursor | u64 deliveries | u64 update_counter
 //   u64 zone_generation | lp32 zone_wire | u64 fnv1a(everything above)
+//
+// version=1 snapshots carry the legacy zone wire encoding, version=2 the
+// chunked SDNSZONE2 encoding (dns/zone.cpp) that restores in parallel. New
+// snapshots are written as v2; v1 files stay readable forever because
+// Zone::from_wire auto-detects the payload format.
 //
 // The zone_wire carries the installed threshold SIG records, so a snapshot
 // is self-certifying: recovery re-verifies the whole zone against the zone
@@ -40,8 +45,10 @@ class DurableZoneStore final : public ZoneStoreIf {
     /// Snapshot admission: a checksum-valid snapshot is handed here before
     /// being trusted; return false to reject it (counted, and recovery
     /// proceeds as if no snapshot existed). The deployment verifies the
-    /// threshold signatures over the embedded zone. Null accepts all.
-    std::function<bool(const ZoneState&)> verify;
+    /// threshold signatures over the embedded zone. The state is mutable so
+    /// the verifier can stash the zone it parsed in ZoneState::verified_zone
+    /// for recovery to reuse. Null accepts all.
+    std::function<bool(ZoneState&)> verify;
     /// An fsync/write failure aborts the process (default): a store that
     /// cannot make acknowledged updates durable must not keep serving.
     /// Tests set false to get util::IoError instead.

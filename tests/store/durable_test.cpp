@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "dns/zone.hpp"
+#include "util/bytes.hpp"
 #include "util/fileio.hpp"
 
 namespace sdns::store {
@@ -429,6 +431,91 @@ TEST_F(DurableStoreTest, SigkillMidCommitNeverLosesAcknowledgedRecords) {
         << "round " << round << ": acked " << acked << " but disk covers only ["
         << base << ", " << expect << ")";
   }
+}
+
+// ---- snapshot format compatibility ----
+
+// fnv1a-64, matching the snapshot trailer in durable.cpp.
+std::uint64_t snapshot_fnv1a(BytesView data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Encode a snapshot file exactly as durable.cpp does, but with a chosen
+/// version byte — byte-for-byte what an older (or newer) build would write.
+Bytes encode_snapshot(std::uint8_t version, const ZoneState& s) {
+  util::Writer w;
+  static constexpr char kMagic[8] = {'S', 'D', 'N', 'S', 'S', 'N', 'A', 'P'};
+  w.raw(kMagic, sizeof kMagic);
+  w.u8(version);
+  w.u64(s.abcast_cursor);
+  w.u64(s.deliveries);
+  w.u64(s.update_counter);
+  w.u64(s.zone_generation);
+  w.lp32(s.zone_wire);
+  w.u64(snapshot_fnv1a(w.bytes()));
+  return std::move(w).take();
+}
+
+void write_snapshot_file(const std::string& path, BytesView raw) {
+  const int fd = util::retry_open(path, O_WRONLY | O_CREAT | O_TRUNC);
+  util::write_all(fd, raw);
+  util::close_fd(fd);
+}
+
+TEST_F(DurableStoreTest, VersionOneSnapshotFromOldBuildStillRecovers) {
+  // A pre-SDNSZONE2 build wrote version-1 snapshots carrying the legacy
+  // zone encoding. After an upgrade, the very same bytes must verify and
+  // restore — snapshot compatibility is forever, not best-effort.
+  dns::Zone zone = dns::Zone::from_text(
+      dns::Name::parse("old.example."),
+      "@ 600 IN SOA ns.old.example. op.old.example. 5 2 3 4 5\n"
+      "@ 600 IN NS ns.old.example.\n"
+      "www 600 IN A 192.0.2.80\n");
+  ZoneState s;
+  s.abcast_cursor = 41;
+  s.deliveries = 40;
+  s.update_counter = 82;
+  s.zone_generation = 48;
+  s.zone_wire = zone.to_wire_v1();
+  write_snapshot_file(dir_ + "/snapshot.bin", encode_snapshot(1, s));
+
+  DurableZoneStore::Options opt = options(dir_);
+  opt.verify = [](ZoneState& state) {
+    try {
+      (void)dns::Zone::from_wire(state.zone_wire);
+      return true;
+    } catch (const util::ParseError&) {
+      return false;
+    }
+  };
+  DurableZoneStore store(opt);
+  ASSERT_TRUE(store.recovered().snapshot.has_value());
+  EXPECT_EQ(store.recovered().snapshot->abcast_cursor, 41u);
+  const dns::Zone restored =
+      dns::Zone::from_wire(store.recovered().snapshot->zone_wire);
+  EXPECT_EQ(restored.to_text(), zone.to_text());
+
+  // The next checkpoint rewrites the state in the current format, and that
+  // round-trips too: upgrade happens on the first compaction, not by a
+  // migration step.
+  store.checkpoint([&] { return store.recovered().snapshot.value(); });
+  DurableZoneStore reopened(options(dir_));
+  ASSERT_TRUE(reopened.recovered().snapshot.has_value());
+  EXPECT_EQ(reopened.recovered().snapshot->abcast_cursor, 41u);
+}
+
+TEST_F(DurableStoreTest, FutureSnapshotVersionIsRejected) {
+  ZoneState s = make_state(6);
+  write_snapshot_file(dir_ + "/snapshot.bin", encode_snapshot(3, s));
+  DurableZoneStore store(options(dir_));
+  // A version from the future cannot be interpreted; the checksum being
+  // valid does not make the contents trustworthy.
+  EXPECT_FALSE(store.recovered().snapshot.has_value());
 }
 
 }  // namespace

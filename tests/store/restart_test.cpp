@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/service.hpp"
 #include "dns/dnssec.hpp"
+#include "util/fileio.hpp"
 
 namespace sdns::core {
 namespace {
@@ -129,6 +131,89 @@ TEST_F(DurableRestartTest, RestartFromSnapshotAfterCompaction) {
   // Serve a read for a record that only exists via the restored state.
   const auto res = svc.query(Name::parse("s2.dur.example."), RRType::kA);
   EXPECT_TRUE(res.ok);
+}
+
+// fnv1a-64, matching the snapshot trailer in durable.cpp.
+std::uint64_t snapshot_fnv1a(util::BytesView data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Rewrite `path` as the snapshot a pre-SDNSZONE2 build would have left on
+/// disk: version byte 1 and the embedded zone re-encoded in the legacy v1
+/// wire format, checksum recomputed. Everything else is preserved.
+void downgrade_snapshot_to_v1(const std::string& path) {
+  const util::Bytes raw = util::read_entire_file(path);
+  util::Reader r(raw);
+  r.raw(8);                        // magic
+  ASSERT_EQ(r.u8(), 2u);           // current builds write version 2
+  const std::uint64_t counters[4] = {r.u64(), r.u64(), r.u64(), r.u64()};
+  const util::Bytes zone_wire = r.lp32();
+  const util::Bytes zone_v1 = dns::Zone::from_wire(zone_wire).to_wire_v1();
+
+  util::Writer w;
+  static constexpr char kMagic[8] = {'S', 'D', 'N', 'S', 'S', 'N', 'A', 'P'};
+  w.raw(kMagic, sizeof kMagic);
+  w.u8(1);
+  for (const std::uint64_t c : counters) w.u64(c);
+  w.lp32(zone_v1);
+  w.u64(snapshot_fnv1a(w.bytes()));
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const util::Bytes out = std::move(w).take();
+  ASSERT_EQ(std::fwrite(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+}
+
+TEST_F(DurableRestartTest, UpgradedClusterRestoresVersionOneSnapshots) {
+  // A cluster that snapshotted under the old build restarts under this one:
+  // every replica's on-disk snapshot is rewritten to the legacy format, and
+  // recovery must still verify the threshold signature and restore the exact
+  // zone — the upgrade needs no migration step and no network transfer.
+  ServiceOptions opt = durable_options();
+  opt.snapshot_log_bytes = 1;  // compact whenever the replica goes idle
+  std::string zone_before;
+  {
+    ReplicatedService svc(opt, kOrigin, kZoneText);
+    ASSERT_TRUE(svc.add_record(Name::parse("u1.dur.example."), "10.0.3.1").ok);
+    ASSERT_TRUE(svc.add_record(Name::parse("u2.dur.example."), "10.0.3.2").ok);
+    svc.settle();
+    zone_before = svc.replica(0).server().zone().to_text();
+    for (unsigned i = 0; i < svc.n(); ++i) {
+      ASSERT_GT(svc.store(i)->snapshots_written(), 0u) << "replica " << i;
+    }
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    downgrade_snapshot_to_v1(dir_ + "/data" + std::to_string(i) +
+                             "/snapshot.bin");
+  }
+
+  ReplicatedService svc(opt, kOrigin, kZoneText);
+  for (unsigned i = 0; i < svc.n(); ++i) {
+    ASSERT_TRUE(svc.store(i)->recovered().snapshot.has_value())
+        << "replica " << i;
+  }
+  svc.settle();
+  for (unsigned i = 0; i < svc.n(); ++i) {
+    EXPECT_FALSE(svc.replica(i).recovering()) << "replica " << i;
+    EXPECT_EQ(svc.replica(i).recoveries_completed(), 0u) << "replica " << i;
+    EXPECT_EQ(svc.replica(i).server().zone().to_text(), zone_before)
+        << "replica " << i;
+  }
+  const auto verify = dns::verify_zone(svc.replica(0).server().zone());
+  EXPECT_TRUE(verify.ok) << verify.first_error;
+
+  // The first post-upgrade compaction rewrites the disk in the new format.
+  ASSERT_TRUE(svc.add_record(Name::parse("u3.dur.example."), "10.0.3.3").ok);
+  svc.settle();
+  const util::Bytes fresh =
+      util::read_entire_file(dir_ + "/data0/snapshot.bin");
+  ASSERT_GT(fresh.size(), 9u);
+  EXPECT_EQ(fresh[8], 2u);
 }
 
 TEST_F(DurableRestartTest, TamperedSnapshotFallsBackToNetworkTransfer) {
